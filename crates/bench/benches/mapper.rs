@@ -1,0 +1,81 @@
+//! Mapper throughput benchmarks: how fast the three algorithms chew
+//! through networks of increasing size, plus the front-end passes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use soi_circuits::misc::random::{generate, RandomSpec};
+use soi_circuits::registry;
+use soi_mapper::{MapConfig, Mapper};
+use soi_unate::{convert, Options};
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("map");
+    group.sample_size(10);
+    for &name in &["cm150", "b9", "c880"] {
+        let network = registry::benchmark(name).expect("registered");
+        for (alg, mapper) in [
+            ("domino", Mapper::baseline(MapConfig::default())),
+            ("rs", Mapper::rearrange_stacks(MapConfig::default())),
+            ("soi", Mapper::soi(MapConfig::default())),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(alg, name),
+                &network,
+                |b, network| b.iter(|| mapper.run(network).expect("maps")),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("soi_scaling");
+    group.sample_size(10);
+    for gates in [100usize, 400, 1600] {
+        let network = generate(&RandomSpec::control("scale", 32, 8, gates, 99));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(gates),
+            &network,
+            |b, network| {
+                let mapper = Mapper::soi(MapConfig::default());
+                b.iter(|| mapper.run(network).expect("maps"))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_frontend(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frontend");
+    group.sample_size(20);
+    let network = registry::benchmark("c880").expect("registered");
+    group.bench_function("unate_convert_c880", |b| {
+        b.iter(|| convert(&network, &Options::default()).expect("converts"))
+    });
+    let mapped = Mapper::soi(MapConfig::default())
+        .run(&network)
+        .expect("maps");
+    group.bench_function("pbe_hazard_check_c880", |b| {
+        b.iter(|| soi_pbe::hazard::check(&mapped.circuit))
+    });
+    group.finish();
+}
+
+fn bench_bodysim(c: &mut Criterion) {
+    use soi_pbe::bodysim::{BodySimConfig, BodySimulator};
+    let mut group = c.benchmark_group("bodysim");
+    group.sample_size(20);
+    let network = registry::benchmark("b9").expect("registered");
+    let mapped = Mapper::soi(MapConfig::default())
+        .run(&network)
+        .expect("maps");
+    let inputs = mapped.circuit.input_names().len();
+    group.bench_function("b9_cycle", |b| {
+        let mut sim = BodySimulator::new(&mapped.circuit, BodySimConfig::default());
+        let vector = vec![true; inputs];
+        b.iter(|| sim.step(&vector).expect("arity"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms, bench_scaling, bench_frontend, bench_bodysim);
+criterion_main!(benches);

@@ -1,0 +1,144 @@
+//! Ablation studies for the design choices indexed in `DESIGN.md` §4:
+//!
+//! * **A1** — paper stack-order heuristic vs exhaustive in-DP ordering;
+//! * **A2** — Pareto candidate cap sweep (1 = the paper's single-tuple
+//!   bookkeeping, up: our generalization);
+//! * **A3** — footing policy: foot only at primary inputs vs foot always;
+//! * **A4** — clock weight `k` sweep beyond Table III.
+
+//! * **A5** — logic duplication into consumers (off = the paper's flow);
+//! * **A6** — post-mapping Elmore delay: area vs depth objective, and the
+//!   same circuits under bulk-CMOS vs SOI junction capacitances (the
+//!   paper's §VI justification for wide/tall pull-down networks).
+
+use soi_circuits::registry;
+use soi_domino_ir::timing::{analyze, TechParams};
+use soi_mapper::{AndOrder, Footing, MapConfig, Mapper};
+
+const CIRCUITS: &[&str] = &["cm150", "z4ml", "cordic", "frg1", "b9", "9symml", "c432", "c880"];
+
+fn main() {
+    println!("Ablation studies over {:?}\n", CIRCUITS);
+
+    println!("A1 — AND stack ordering (SOI, area): total / discharge transistors");
+    println!(
+        "{:<8} {:>16} {:>16} {:>16}",
+        "circuit", "heuristic", "exhaustive", "first-on-top"
+    );
+    for &name in CIRCUITS {
+        let network = registry::benchmark(name).expect("registered");
+        let mut cells = Vec::new();
+        for order in [
+            AndOrder::PaperHeuristic,
+            AndOrder::Exhaustive,
+            AndOrder::FirstOnTop,
+        ] {
+            let config = MapConfig {
+                and_order: order,
+                ..MapConfig::default()
+            };
+            let r = Mapper::soi(config).run(&network).expect("maps");
+            cells.push(format!("{}/{}", r.counts.total, r.counts.discharge));
+        }
+        println!(
+            "{:<8} {:>16} {:>16} {:>16}",
+            name, cells[0], cells[1], cells[2]
+        );
+    }
+
+    println!("\nA2 — Pareto candidate cap (SOI, area): total transistors");
+    println!(
+        "{:<8} {:>8} {:>8} {:>8} {:>8}",
+        "circuit", "cap=1", "cap=2", "cap=4", "cap=8"
+    );
+    for &name in CIRCUITS {
+        let network = registry::benchmark(name).expect("registered");
+        let mut cells = Vec::new();
+        for cap in [1usize, 2, 4, 8] {
+            let config = MapConfig {
+                max_candidates: cap,
+                ..MapConfig::default()
+            };
+            let r = Mapper::soi(config).run(&network).expect("maps");
+            cells.push(r.counts.total);
+        }
+        println!(
+            "{:<8} {:>8} {:>8} {:>8} {:>8}",
+            name, cells[0], cells[1], cells[2], cells[3]
+        );
+    }
+
+    println!("\nA3 — footing policy (SOI, area): total / clock transistors");
+    println!("{:<8} {:>16} {:>16}", "circuit", "at-PIs", "always");
+    for &name in CIRCUITS {
+        let network = registry::benchmark(name).expect("registered");
+        let mut cells = Vec::new();
+        for footing in [Footing::AtPrimaryInputs, Footing::Always] {
+            let config = MapConfig {
+                footing,
+                ..MapConfig::default()
+            };
+            let r = Mapper::soi(config).run(&network).expect("maps");
+            cells.push(format!("{}/{}", r.counts.total, r.counts.clock));
+        }
+        println!("{:<8} {:>16} {:>16}", name, cells[0], cells[1]);
+    }
+
+    println!("\nA5 — logic duplication (SOI, area): total / gates");
+    println!("{:<8} {:>16} {:>16}", "circuit", "shared-only", "may-duplicate");
+    for &name in CIRCUITS {
+        let network = registry::benchmark(name).expect("registered");
+        let mut cells = Vec::new();
+        for allow_duplication in [false, true] {
+            let config = MapConfig {
+                allow_duplication,
+                ..MapConfig::default()
+            };
+            let r = Mapper::soi(config).run(&network).expect("maps");
+            cells.push(format!("{}/{}", r.counts.total, r.counts.gates));
+        }
+        println!("{:<8} {:>16} {:>16}", name, cells[0], cells[1]);
+    }
+
+    println!("\nA4 — clock weight sweep (SOI, area): total / clock transistors");
+    println!(
+        "{:<8} {:>12} {:>12} {:>12} {:>12}",
+        "circuit", "k=1", "k=2", "k=4", "k=8"
+    );
+    for &name in CIRCUITS {
+        let network = registry::benchmark(name).expect("registered");
+        let mut cells = Vec::new();
+        for k in [1u32, 2, 4, 8] {
+            let r = Mapper::soi(MapConfig::with_clock_weight(k))
+                .run(&network)
+                .expect("maps");
+            cells.push(format!("{}/{}", r.counts.total, r.counts.clock));
+        }
+        println!(
+            "{:<8} {:>12} {:>12} {:>12} {:>12}",
+            name, cells[0], cells[1], cells[2], cells[3]
+        );
+    }
+
+    println!("\nA6 — Elmore critical path (SOI params unless noted)");
+    println!(
+        "{:<8} {:>10} {:>10} {:>10} {:>12}",
+        "circuit", "base/area", "soi/area", "soi/depth", "soi/area@bulk"
+    );
+    for &name in CIRCUITS {
+        let network = registry::benchmark(name).expect("registered");
+        let base = Mapper::baseline(MapConfig::default())
+            .run(&network)
+            .expect("maps");
+        let area = Mapper::soi(MapConfig::default()).run(&network).expect("maps");
+        let depth = Mapper::soi(MapConfig::depth()).run(&network).expect("maps");
+        println!(
+            "{:<8} {:>10.1} {:>10.1} {:>10.1} {:>12.1}",
+            name,
+            analyze(&base.circuit, &TechParams::soi()).critical,
+            analyze(&area.circuit, &TechParams::soi()).critical,
+            analyze(&depth.circuit, &TechParams::soi()).critical,
+            analyze(&area.circuit, &TechParams::bulk()).critical,
+        );
+    }
+}

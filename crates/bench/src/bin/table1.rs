@@ -1,0 +1,7 @@
+//! Regenerates the paper's Table I: `Domino_Map` vs `RS_Map`.
+
+fn main() {
+    eprintln!("mapping Table I benchmarks (Domino_Map vs RS_Map)...");
+    let rows = soi_bench::run_table1();
+    print!("{}", soi_bench::harness::render_table1(&rows));
+}

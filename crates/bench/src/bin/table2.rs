@@ -1,0 +1,7 @@
+//! Regenerates the paper's Table II: `Domino_Map` vs `SOI_Domino_Map`.
+
+fn main() {
+    eprintln!("mapping Table II benchmarks (Domino_Map vs SOI_Domino_Map)...");
+    let rows = soi_bench::run_table2();
+    print!("{}", soi_bench::harness::render_table2(&rows));
+}

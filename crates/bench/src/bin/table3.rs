@@ -1,0 +1,8 @@
+//! Regenerates the paper's Table III: `SOI_Domino_Map` under clock-
+//! transistor weights `k = 1` and `k = 2`.
+
+fn main() {
+    eprintln!("mapping Table III benchmarks (clock weight sweep)...");
+    let rows = soi_bench::run_table3();
+    print!("{}", soi_bench::harness::render_table3(&rows));
+}

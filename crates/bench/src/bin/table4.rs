@@ -1,0 +1,7 @@
+//! Regenerates the paper's Table IV: the depth objective.
+
+fn main() {
+    eprintln!("mapping Table IV benchmarks (depth objective)...");
+    let rows = soi_bench::run_table4();
+    print!("{}", soi_bench::harness::render_table4(&rows));
+}

@@ -1,0 +1,453 @@
+//! Table-regeneration harness.
+//!
+//! Each `run_table*` function maps the corresponding benchmark list with
+//! the paper's configuration and returns per-circuit rows pairing measured
+//! counts with the published ones; the `render_*` functions format them the
+//! way the paper prints them, followed by a paper-vs-measured summary.
+
+use std::fmt::Write as _;
+
+use soi_circuits::registry;
+use soi_domino_ir::TransistorCounts;
+use soi_mapper::{MapConfig, Mapper};
+
+use crate::paper;
+
+/// A measured Table I row.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Measured `Domino_Map` counts.
+    pub base: TransistorCounts,
+    /// Measured `RS_Map` counts.
+    pub rs: TransistorCounts,
+}
+
+/// Maps the Table I benchmark list with `Domino_Map` and `RS_Map`.
+///
+/// # Panics
+///
+/// Panics if a registered benchmark fails to map — that is a bug, and the
+/// harness is the place to find out.
+pub fn run_table1() -> Vec<Table1Row> {
+    let config = MapConfig::default();
+    registry::TABLE1
+        .iter()
+        .map(|&name| {
+            let network = registry::benchmark(name).expect("registered benchmark");
+            let base = Mapper::baseline(config).run(&network).expect("baseline maps");
+            let rs = Mapper::rearrange_stacks(config)
+                .run(&network)
+                .expect("rs maps");
+            eprintln!("  {name}: base {} / rs {}", base.counts, rs.counts);
+            Table1Row {
+                name,
+                base: base.counts,
+                rs: rs.counts,
+            }
+        })
+        .collect()
+}
+
+/// A measured Table II row.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Measured `Domino_Map` counts.
+    pub base: TransistorCounts,
+    /// Measured `SOI_Domino_Map` counts.
+    pub soi: TransistorCounts,
+}
+
+/// Maps the Table II benchmark list with `Domino_Map` and
+/// `SOI_Domino_Map`.
+///
+/// # Panics
+///
+/// Panics if a registered benchmark fails to map.
+pub fn run_table2() -> Vec<Table2Row> {
+    let config = MapConfig::default();
+    registry::TABLE2
+        .iter()
+        .map(|&name| {
+            let network = registry::benchmark(name).expect("registered benchmark");
+            let base = Mapper::baseline(config).run(&network).expect("baseline maps");
+            let soi = Mapper::soi(config).run(&network).expect("soi maps");
+            eprintln!("  {name}: base {} / soi {}", base.counts, soi.counts);
+            Table2Row {
+                name,
+                base: base.counts,
+                soi: soi.counts,
+            }
+        })
+        .collect()
+}
+
+/// A measured Table III row.
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Measured counts at `k = 1`.
+    pub k1: TransistorCounts,
+    /// Measured counts at `k = 2`.
+    pub k2: TransistorCounts,
+}
+
+/// Maps the Table III benchmark list with `SOI_Domino_Map` at clock
+/// weights 1 and 2.
+///
+/// # Panics
+///
+/// Panics if a registered benchmark fails to map.
+pub fn run_table3() -> Vec<Table3Row> {
+    registry::TABLE3
+        .iter()
+        .map(|&name| {
+            let network = registry::benchmark(name).expect("registered benchmark");
+            let k1 = Mapper::soi(MapConfig::with_clock_weight(1))
+                .run(&network)
+                .expect("k=1 maps");
+            let k2 = Mapper::soi(MapConfig::with_clock_weight(2))
+                .run(&network)
+                .expect("k=2 maps");
+            eprintln!("  {name}: k1 {} / k2 {}", k1.counts, k2.counts);
+            Table3Row {
+                name,
+                k1: k1.counts,
+                k2: k2.counts,
+            }
+        })
+        .collect()
+}
+
+/// A measured Table IV row.
+#[derive(Debug, Clone)]
+pub struct Table4Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Depth of the unate 2-input network (the paper's `L` column).
+    pub network_depth: u32,
+    /// Measured `Domino_Map` counts under the depth objective.
+    pub base: TransistorCounts,
+    /// Measured `SOI_Domino_Map` counts under the depth objective.
+    pub soi: TransistorCounts,
+}
+
+/// Maps the Table IV benchmark list under the depth objective.
+///
+/// # Panics
+///
+/// Panics if a registered benchmark fails to map.
+pub fn run_table4() -> Vec<Table4Row> {
+    let config = MapConfig::depth();
+    registry::TABLE4
+        .iter()
+        .map(|&name| {
+            let network = registry::benchmark(name).expect("registered benchmark");
+            let base = Mapper::baseline(config).run(&network).expect("baseline maps");
+            let soi = Mapper::soi(config).run(&network).expect("soi maps");
+            eprintln!("  {name}: base {} / soi {}", base.counts, soi.counts);
+            Table4Row {
+                name,
+                network_depth: base.unate_depth,
+                base: base.counts,
+                soi: soi.counts,
+            }
+        })
+        .collect()
+}
+
+fn pct(old: u32, new: u32) -> f64 {
+    if old == 0 {
+        0.0
+    } else {
+        100.0 * (f64::from(old) - f64::from(new)) / f64::from(old)
+    }
+}
+
+/// Formats Table I with the paper's columns and a comparison footer.
+pub fn render_table1(rows: &[Table1Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table I — Domino_Map vs RS_Map (area objective, W≤5, H≤8)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<8} | {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7} | {:>8} {:>8} | paper",
+        "circuit", "Tlogic", "Tdisch", "Ttotal", "Tlogic", "Tdisch", "Ttotal", "dDisch%", "dTotal%"
+    );
+    let mut disch_sum = 0.0;
+    let mut total_sum = 0.0;
+    for row in rows {
+        let dd = pct(row.base.discharge, row.rs.discharge);
+        let dt = pct(row.base.total, row.rs.total);
+        disch_sum += dd;
+        total_sum += dt;
+        let paper = paper::TABLE1.iter().find(|p| p.name == row.name);
+        let paper_txt = paper
+            .map(|p| {
+                format!(
+                    "{}+{} → {}+{}",
+                    p.base.0, p.base.1, p.rs.0, p.rs.1
+                )
+            })
+            .unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "{:<8} | {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7} | {:>8.2} {:>8.2} | {}",
+            row.name,
+            row.base.logic,
+            row.base.discharge,
+            row.base.total,
+            row.rs.logic,
+            row.rs.discharge,
+            row.rs.total,
+            dd,
+            dt,
+            paper_txt
+        );
+    }
+    let n = rows.len() as f64;
+    let _ = writeln!(
+        out,
+        "Average: dDisch {:.2}% (paper {:.2}%), dTotal {:.2}% (paper {:.2}%)",
+        disch_sum / n,
+        paper::TABLE1_AVG.0,
+        total_sum / n,
+        paper::TABLE1_AVG.1
+    );
+    out
+}
+
+/// Formats Table II with the paper's columns and a comparison footer.
+pub fn render_table2(rows: &[Table2Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table II — Domino_Map vs SOI_Domino_Map (area objective, W≤5, H≤8)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<8} | {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7} | {:>8} {:>8} | paper",
+        "circuit", "Tlogic", "Tdisch", "Ttotal", "Tlogic", "Tdisch", "Ttotal", "dDisch%", "dTotal%"
+    );
+    let mut disch_sum = 0.0;
+    let mut total_sum = 0.0;
+    for row in rows {
+        let dd = pct(row.base.discharge, row.soi.discharge);
+        let dt = pct(row.base.total, row.soi.total);
+        disch_sum += dd;
+        total_sum += dt;
+        let paper = paper::TABLE2.iter().find(|p| p.name == row.name);
+        let paper_txt = paper
+            .map(|p| format!("{}+{} → {}+{}", p.base.0, p.base.1, p.soi.0, p.soi.1))
+            .unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "{:<8} | {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7} | {:>8.2} {:>8.2} | {}",
+            row.name,
+            row.base.logic,
+            row.base.discharge,
+            row.base.total,
+            row.soi.logic,
+            row.soi.discharge,
+            row.soi.total,
+            dd,
+            dt,
+            paper_txt
+        );
+    }
+    let n = rows.len() as f64;
+    let _ = writeln!(
+        out,
+        "Average: dDisch {:.2}% (paper {:.2}%), dTotal {:.2}% (paper {:.2}%)",
+        disch_sum / n,
+        paper::TABLE2_AVG.0,
+        total_sum / n,
+        paper::TABLE2_AVG.1
+    );
+    out
+}
+
+/// Formats Table III with the paper's columns and a comparison footer.
+pub fn render_table3(rows: &[Table3Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table III — SOI_Domino_Map under clock-transistor weights k=1 / k=2"
+    );
+    let _ = writeln!(
+        out,
+        "{:<8} | {:>6} {:>6} {:>6} {:>4} {:>6} | {:>6} {:>6} {:>6} {:>4} {:>6} | {:>8} | paper%",
+        "circuit", "Tlog", "Tdis", "Ttot", "#G", "Tclk", "Tlog", "Tdis", "Ttot", "#G", "Tclk",
+        "dTclk%"
+    );
+    let mut imp_sum = 0.0;
+    for row in rows {
+        let imp = pct(row.k1.clock, row.k2.clock);
+        imp_sum += imp;
+        let paper = paper::TABLE3.iter().find(|p| p.name == row.name);
+        let _ = writeln!(
+            out,
+            "{:<8} | {:>6} {:>6} {:>6} {:>4} {:>6} | {:>6} {:>6} {:>6} {:>4} {:>6} | {:>8.2} | {}",
+            row.name,
+            row.k1.logic,
+            row.k1.discharge,
+            row.k1.total,
+            row.k1.gates,
+            row.k1.clock,
+            row.k2.logic,
+            row.k2.discharge,
+            row.k2.total,
+            row.k2.gates,
+            row.k2.clock,
+            imp,
+            paper.map(|p| format!("{:.2}", p.improvement)).unwrap_or_default()
+        );
+    }
+    let n = rows.len() as f64;
+    let _ = writeln!(
+        out,
+        "Average T_clock improvement: {:.2}% (paper {:.2}%)",
+        imp_sum / n,
+        paper::TABLE3_AVG
+    );
+    out
+}
+
+/// Formats Table IV with the paper's columns and a comparison footer.
+pub fn render_table4(rows: &[Table4Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table IV — depth objective");
+    let _ = writeln!(
+        out,
+        "{:<8} {:>4} | {:>6} {:>6} {:>6} {:>3} | {:>6} {:>6} {:>6} {:>3} | {:>8} {:>7} | paper L",
+        "circuit", "L", "Tlog", "Tdis", "Ttot", "L", "Tlog", "Tdis", "Ttot", "L", "dDisch%", "dL%"
+    );
+    let mut disch_sum = 0.0;
+    let mut level_sum = 0.0;
+    for row in rows {
+        let dd = pct(row.base.discharge, row.soi.discharge);
+        let dl = pct(row.base.levels, row.soi.levels);
+        disch_sum += dd;
+        level_sum += dl;
+        let paper = paper::TABLE4.iter().find(|p| p.name == row.name);
+        let _ = writeln!(
+            out,
+            "{:<8} {:>4} | {:>6} {:>6} {:>6} {:>3} | {:>6} {:>6} {:>6} {:>3} | {:>8.2} {:>7.2} | {}",
+            row.name,
+            row.network_depth,
+            row.base.logic,
+            row.base.discharge,
+            row.base.total,
+            row.base.levels,
+            row.soi.logic,
+            row.soi.discharge,
+            row.soi.total,
+            row.soi.levels,
+            dd,
+            dl,
+            paper
+                .map(|p| format!("{} → {}", p.base.3, p.soi.3))
+                .unwrap_or_default()
+        );
+    }
+    let n = rows.len() as f64;
+    let _ = writeln!(
+        out,
+        "Average: dDisch {:.2}% (paper {:.2}%), dL {:.2}% (paper {:.2}%)",
+        disch_sum / n,
+        paper::TABLE4_AVG.0,
+        level_sum / n,
+        paper::TABLE4_AVG.1
+    );
+    out
+}
+
+/// Average discharge-reduction percentage of a measured Table II run —
+/// the paper's headline number (53%).
+pub fn table2_average_discharge_reduction(rows: &[Table2Row]) -> f64 {
+    rows.iter()
+        .map(|r| pct(r.base.discharge, r.soi.discharge))
+        .sum::<f64>()
+        / rows.len() as f64
+}
+
+/// Average discharge-reduction percentage of a measured Table I run (the
+/// paper reports 25.4%).
+pub fn table1_average_discharge_reduction(rows: &[Table1Row]) -> f64 {
+    rows.iter()
+        .map(|r| pct(r.base.discharge, r.rs.discharge))
+        .sum::<f64>()
+        / rows.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_mapper::Algorithm;
+
+    /// A miniature version of the table pipeline on the three smallest
+    /// benchmarks, checking the qualitative shape without the cost of a
+    /// full run (the binaries do that).
+    #[test]
+    fn small_circuit_shape() {
+        let config = MapConfig::default();
+        for name in ["cm150", "mux", "z4ml"] {
+            let network = registry::benchmark(name).unwrap();
+            let base = Mapper::baseline(config).run(&network).unwrap();
+            let rs = Mapper::rearrange_stacks(config).run(&network).unwrap();
+            let soi = Mapper::soi(config).run(&network).unwrap();
+            assert_eq!(base.algorithm, Algorithm::DominoMap);
+            assert!(
+                rs.counts.discharge <= base.counts.discharge,
+                "{name}: RS worse than baseline"
+            );
+            assert!(
+                soi.counts.discharge <= rs.counts.discharge,
+                "{name}: SOI worse than RS"
+            );
+            assert!(
+                soi.counts.total <= base.counts.total,
+                "{name}: SOI total worse than baseline"
+            );
+        }
+    }
+
+    #[test]
+    fn renderers_include_every_circuit() {
+        let rows = vec![Table1Row {
+            name: "cm150",
+            base: TransistorCounts {
+                logic: 76,
+                discharge: 31,
+                total: 107,
+                clock: 41,
+                gates: 5,
+                levels: 2,
+            },
+            rs: TransistorCounts {
+                logic: 76,
+                discharge: 0,
+                total: 76,
+                clock: 10,
+                gates: 5,
+                levels: 2,
+            },
+        }];
+        let text = render_table1(&rows);
+        assert!(text.contains("cm150"));
+        assert!(text.contains("100.00"));
+        assert!(text.contains("paper 25.41"));
+    }
+
+    #[test]
+    fn pct_handles_zero_baseline() {
+        assert_eq!(pct(0, 5), 0.0);
+        assert_eq!(pct(10, 5), 50.0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Ripple-carry and carry-select adders.
+
+use soi_netlist::{builder::NetworkBuilder, Network, NodeId};
+
+/// An n-bit ripple-carry adder: inputs `a0..`, `b0..`, `cin`; outputs
+/// `s0..` and `cout`.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+///
+/// # Example
+///
+/// ```rust
+/// let n = soi_circuits::arith::adder::ripple(4);
+/// // 3 + 5 = 8: a = 0011, b = 0101 (LSB first)
+/// let mut v = vec![true, true, false, false]; // a = 3
+/// v.extend([true, false, true, false]); // b = 5
+/// v.push(false); // cin
+/// let out = n.simulate(&v).unwrap();
+/// let sum: u32 = out
+///     .iter()
+///     .enumerate()
+///     .map(|(i, &b)| u32::from(b) << i)
+///     .sum();
+/// assert_eq!(sum, 8);
+/// ```
+pub fn ripple(width: usize) -> Network {
+    assert!(width > 0, "adder width must be positive");
+    let mut b = NetworkBuilder::new(format!("ripple{width}"));
+    let a_bits = b.inputs("a", width);
+    let b_bits = b.inputs("b", width);
+    let cin = b.input("cin");
+    let (sums, cout) = ripple_into(&mut b, &a_bits, &b_bits, cin);
+    for (i, s) in sums.iter().enumerate() {
+        b.output(format!("s{i}"), *s);
+    }
+    b.output("cout", cout);
+    b.finish()
+}
+
+/// Builds ripple-adder logic inside an existing builder, returning the sum
+/// bits and the carry-out.
+///
+/// # Panics
+///
+/// Panics if `a` and `b` have different widths or are empty.
+pub fn ripple_into(
+    b: &mut NetworkBuilder,
+    a: &[NodeId],
+    bb: &[NodeId],
+    cin: NodeId,
+) -> (Vec<NodeId>, NodeId) {
+    assert_eq!(a.len(), bb.len(), "operand widths differ");
+    assert!(!a.is_empty(), "adder width must be positive");
+    let mut carry = cin;
+    let mut sums = Vec::with_capacity(a.len());
+    for (x, y) in a.iter().zip(bb) {
+        let (s, c) = b.full_adder(*x, *y, carry);
+        sums.push(s);
+        carry = c;
+    }
+    (sums, carry)
+}
+
+/// Two's-complement subtractor built from the ripple adder
+/// (`a - b = a + !b + 1`), returning difference bits and the borrow-free
+/// carry.
+pub fn subtract_into(
+    b: &mut NetworkBuilder,
+    a: &[NodeId],
+    bb: &[NodeId],
+) -> (Vec<NodeId>, NodeId) {
+    let inverted: Vec<NodeId> = bb.iter().map(|&x| b.inv(x)).collect();
+    let one = b.one();
+    ripple_into(b, a, &inverted, one)
+}
+
+/// An n-bit carry-select adder with the given block size: each block is
+/// computed for both carry-in values and selected by the rippled carry —
+/// wider and shallower than [`ripple`], exercising different mapper
+/// shapes.
+///
+/// # Panics
+///
+/// Panics if `width == 0` or `block == 0`.
+pub fn carry_select(width: usize, block: usize) -> Network {
+    assert!(width > 0 && block > 0, "width and block must be positive");
+    let mut b = NetworkBuilder::new(format!("csel{width}x{block}"));
+    let a_bits = b.inputs("a", width);
+    let b_bits = b.inputs("b", width);
+    let cin = b.input("cin");
+
+    let mut carry = cin;
+    let mut sums = Vec::with_capacity(width);
+    let mut lo = 0;
+    while lo < width {
+        let hi = (lo + block).min(width);
+        let ab = &a_bits[lo..hi];
+        let bbts = &b_bits[lo..hi];
+        // Both speculative blocks.
+        let zero = b.zero();
+        let one = b.one();
+        let (s0, c0) = ripple_into(&mut b, ab, bbts, zero);
+        let (s1, c1) = ripple_into(&mut b, ab, bbts, one);
+        for (x0, x1) in s0.iter().zip(&s1) {
+            let s = b.mux(carry, *x0, *x1);
+            sums.push(s);
+        }
+        carry = b.mux(carry, c0, c1);
+        lo = hi;
+    }
+    for (i, s) in sums.iter().enumerate() {
+        b.output(format!("s{i}"), *s);
+    }
+    b.output("cout", carry);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_adder(n: &Network, width: usize) {
+        for (a, b, c) in [(0u64, 0u64, 0u64), (3, 5, 0), (7, 9, 1), (u64::MAX, 1, 0)] {
+            let mask = if width == 64 { u64::MAX } else { (1 << width) - 1 };
+            let (a, b) = (a & mask, b & mask);
+            let mut v = Vec::new();
+            for i in 0..width {
+                v.push(a >> i & 1 == 1);
+            }
+            for i in 0..width {
+                v.push(b >> i & 1 == 1);
+            }
+            v.push(c == 1);
+            let out = n.simulate(&v).unwrap();
+            let got: u64 = out
+                .iter()
+                .enumerate()
+                .map(|(i, &bit)| u64::from(bit) << i)
+                .sum();
+            assert_eq!(got, a + b + c, "{a} + {b} + {c} (width {width})");
+        }
+    }
+
+    #[test]
+    fn ripple_adds() {
+        for width in [1, 4, 8] {
+            check_adder(&ripple(width), width);
+        }
+    }
+
+    #[test]
+    fn carry_select_adds() {
+        check_adder(&carry_select(8, 3), 8);
+        check_adder(&carry_select(6, 2), 6);
+    }
+
+    #[test]
+    fn carry_select_matches_ripple_exhaustively() {
+        let r = ripple(3);
+        let c = carry_select(3, 2);
+        assert!(soi_netlist::sim::random_equivalent(&r, &c, 8, 17).unwrap());
+    }
+
+    #[test]
+    fn subtractor() {
+        let mut b = NetworkBuilder::new("sub");
+        let a = b.inputs("a", 4);
+        let bb = b.inputs("b", 4);
+        let (d, _) = subtract_into(&mut b, &a, &bb);
+        for (i, bit) in d.iter().enumerate() {
+            b.output(format!("d{i}"), *bit);
+        }
+        let n = b.finish();
+        for (x, y) in [(9u32, 4u32), (5, 5), (3, 7)] {
+            let mut v = Vec::new();
+            for i in 0..4 {
+                v.push(x >> i & 1 == 1);
+            }
+            for i in 0..4 {
+                v.push(y >> i & 1 == 1);
+            }
+            let out = n.simulate(&v).unwrap();
+            let got: u32 = out
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| u32::from(b) << i)
+                .sum();
+            assert_eq!(got, x.wrapping_sub(y) & 0xF, "{x} - {y}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_width_panics() {
+        let _ = ripple(0);
+    }
+}

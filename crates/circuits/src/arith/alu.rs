@@ -1,0 +1,140 @@
+//! A multi-function ALU slice array, standing in for the ISCAS ALU/control
+//! benchmarks (`c880`, `c3540`, `dalu`).
+
+use soi_netlist::{builder::NetworkBuilder, Network, NodeId};
+
+use super::adder;
+
+/// An n-bit ALU with a 3-bit opcode.
+///
+/// | op | function        |
+/// |----|-----------------|
+/// | 0  | `a + b`         |
+/// | 1  | `a - b`         |
+/// | 2  | `a & b`         |
+/// | 3  | `a \| b`        |
+/// | 4  | `a ^ b`         |
+/// | 5  | `!(a & b)`      |
+/// | 6  | `a` (pass)      |
+/// | 7  | `b` (pass)      |
+///
+/// Outputs: `r0..r(n-1)`, `cout` (valid for op 0/1), `zero` (NOR of all
+/// result bits) and `parity` (XOR of all result bits).
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+pub fn alu(width: usize) -> Network {
+    assert!(width > 0, "alu width must be positive");
+    let mut b = NetworkBuilder::new(format!("alu{width}"));
+    let a_bits = b.inputs("a", width);
+    let b_bits = b.inputs("b", width);
+    let op = b.inputs("op", 3);
+
+    let zero = b.zero();
+    let (add, add_c) = adder::ripple_into(&mut b, &a_bits, &b_bits, zero);
+    let (sub, sub_c) = adder::subtract_into(&mut b, &a_bits, &b_bits);
+    let ands: Vec<NodeId> = a_bits.iter().zip(&b_bits).map(|(&x, &y)| b.and(x, y)).collect();
+    let ors: Vec<NodeId> = a_bits.iter().zip(&b_bits).map(|(&x, &y)| b.or(x, y)).collect();
+    let xors: Vec<NodeId> = a_bits.iter().zip(&b_bits).map(|(&x, &y)| b.xor(x, y)).collect();
+    let nands: Vec<NodeId> = ands.iter().map(|&x| b.inv(x)).collect();
+
+    let mut results = Vec::with_capacity(width);
+    for i in 0..width {
+        let choices = [
+            add[i], sub[i], ands[i], ors[i], xors[i], nands[i], a_bits[i], b_bits[i],
+        ];
+        results.push(mux8(&mut b, &op, &choices));
+    }
+    let cout = {
+        let zero = b.zero();
+        let choices = [add_c, sub_c, zero, zero, zero, zero, zero, zero];
+        mux8(&mut b, &op, &choices)
+    };
+
+    let any = b.or_all(&results);
+    let is_zero = b.inv(any);
+    let parity = b.xor_all(&results);
+
+    for (i, r) in results.iter().enumerate() {
+        b.output(format!("r{i}"), *r);
+    }
+    b.output("cout", cout);
+    b.output("zero", is_zero);
+    b.output("parity", parity);
+    b.finish()
+}
+
+fn mux8(b: &mut NetworkBuilder, sel: &[NodeId], choices: &[NodeId; 8]) -> NodeId {
+    let lo0 = b.mux(sel[0], choices[0], choices[1]);
+    let lo1 = b.mux(sel[0], choices[2], choices[3]);
+    let lo2 = b.mux(sel[0], choices[4], choices[5]);
+    let lo3 = b.mux(sel[0], choices[6], choices[7]);
+    let m0 = b.mux(sel[1], lo0, lo1);
+    let m1 = b.mux(sel[1], lo2, lo3);
+    b.mux(sel[2], m0, m1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(n: &Network, a: u32, bb: u32, op: u32, width: usize) -> (u32, bool, bool, bool) {
+        let mut v = Vec::new();
+        for i in 0..width {
+            v.push(a >> i & 1 == 1);
+        }
+        for i in 0..width {
+            v.push(bb >> i & 1 == 1);
+        }
+        for i in 0..3 {
+            v.push(op >> i & 1 == 1);
+        }
+        let out = n.simulate(&v).unwrap();
+        let r: u32 = out[..width]
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| u32::from(b) << i)
+            .sum();
+        (r, out[width], out[width + 1], out[width + 2])
+    }
+
+    #[test]
+    fn all_ops_width_4() {
+        let n = alu(4);
+        let mask = 0xF;
+        for (a, bb) in [(3u32, 5u32), (0, 0), (15, 1), (9, 9)] {
+            let expect = [
+                (a + bb) & mask,
+                a.wrapping_sub(bb) & mask,
+                a & bb,
+                a | bb,
+                (a ^ bb) & mask,
+                !(a & bb) & mask,
+                a,
+                bb,
+            ];
+            for (op, want) in expect.iter().enumerate() {
+                let (r, _, z, p) = run(&n, a, bb, op as u32, 4);
+                assert_eq!(r, *want, "op {op} on {a},{bb}");
+                assert_eq!(z, r == 0);
+                assert_eq!(p, r.count_ones() % 2 == 1);
+            }
+        }
+    }
+
+    #[test]
+    fn carry_out_of_add() {
+        let n = alu(4);
+        let (r, c, _, _) = run(&n, 15, 1, 0, 4);
+        assert_eq!(r, 0);
+        assert!(c);
+    }
+
+    #[test]
+    fn io_counts() {
+        let n = alu(8);
+        assert_eq!(n.inputs().len(), 19);
+        assert_eq!(n.outputs().len(), 11);
+    }
+}

@@ -1,0 +1,89 @@
+//! Magnitude comparator.
+
+use soi_netlist::{builder::NetworkBuilder, Network, NodeId};
+
+/// An n-bit unsigned magnitude comparator with outputs `eq`, `lt`, `gt`.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+///
+/// # Example
+///
+/// ```rust
+/// let n = soi_circuits::arith::comparator::compare(3);
+/// // a = 2, b = 5 (LSB first): lt.
+/// let out = n.simulate(&[false, true, false, true, false, true]).unwrap();
+/// assert_eq!(out, vec![false, true, false]); // eq, lt, gt
+/// ```
+pub fn compare(width: usize) -> Network {
+    assert!(width > 0, "comparator width must be positive");
+    let mut b = NetworkBuilder::new(format!("cmp{width}"));
+    let a_bits = b.inputs("a", width);
+    let b_bits = b.inputs("b", width);
+    let (eq, lt) = compare_into(&mut b, &a_bits, &b_bits);
+    let ge = b.or(eq, lt);
+    let gt = b.inv(ge);
+    b.output("eq", eq);
+    b.output("lt", lt);
+    b.output("gt", gt);
+    b.finish()
+}
+
+/// Builds comparator logic in an existing builder, returning `(eq, lt)` for
+/// `a` versus `b` (unsigned, LSB first).
+///
+/// # Panics
+///
+/// Panics if the operand widths differ or are zero.
+pub fn compare_into(b: &mut NetworkBuilder, a: &[NodeId], bb: &[NodeId]) -> (NodeId, NodeId) {
+    assert_eq!(a.len(), bb.len(), "operand widths differ");
+    assert!(!a.is_empty(), "comparator width must be positive");
+    // From LSB to MSB: eq and lt accumulate.
+    let mut eq = b.one();
+    let mut lt = b.zero();
+    for (&x, &y) in a.iter().zip(bb) {
+        let bit_eq = b.xnor(x, y);
+        let nx = b.inv(x);
+        let bit_lt = b.and(nx, y);
+        // lt = bit_lt | (bit_eq & lt)
+        let keep = b.and(bit_eq, lt);
+        lt = b.or(bit_lt, keep);
+        eq = b.and(eq, bit_eq);
+    }
+    (eq, lt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhaustive_3bit() {
+        let n = compare(3);
+        for a in 0u32..8 {
+            for bb in 0u32..8 {
+                let mut v = Vec::new();
+                for i in 0..3 {
+                    v.push(a >> i & 1 == 1);
+                }
+                for i in 0..3 {
+                    v.push(bb >> i & 1 == 1);
+                }
+                let out = n.simulate(&v).unwrap();
+                assert_eq!(out[0], a == bb, "eq {a},{bb}");
+                assert_eq!(out[1], a < bb, "lt {a},{bb}");
+                assert_eq!(out[2], a > bb, "gt {a},{bb}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_bit() {
+        let n = compare(1);
+        assert_eq!(
+            n.simulate(&[false, true]).unwrap(),
+            vec![false, true, false]
+        );
+    }
+}

@@ -1,0 +1,6 @@
+//! Arithmetic circuit generators: adders, multipliers, ALUs, comparators.
+
+pub mod adder;
+pub mod alu;
+pub mod comparator;
+pub mod multiplier;

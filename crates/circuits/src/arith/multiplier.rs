@@ -1,0 +1,93 @@
+//! Array multiplier.
+
+use soi_netlist::{builder::NetworkBuilder, Network, NodeId};
+
+use super::adder;
+
+/// An n×n array multiplier: partial products ANDed and accumulated with
+/// ripple adders; inputs `a0..`, `b0..`; outputs `p0..p(2n-1)`.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+///
+/// # Example
+///
+/// ```rust
+/// let n = soi_circuits::arith::multiplier::array(3);
+/// // 5 * 6 = 30
+/// let v = [true, false, true, false, true, true]; // a=5, b=6 (LSB first)
+/// let out = n.simulate(&v).unwrap();
+/// let p: u32 = out.iter().enumerate().map(|(i, &b)| u32::from(b) << i).sum();
+/// assert_eq!(p, 30);
+/// ```
+pub fn array(width: usize) -> Network {
+    assert!(width > 0, "multiplier width must be positive");
+    let mut b = NetworkBuilder::new(format!("mult{width}"));
+    let a_bits = b.inputs("a", width);
+    let b_bits = b.inputs("b", width);
+
+    // Row 0: a * b0.
+    let mut acc: Vec<NodeId> = a_bits.iter().map(|&x| b.and(x, b_bits[0])).collect();
+    let mut products = vec![acc[0]];
+    let zero = b.zero();
+    acc.remove(0);
+    acc.push(zero);
+
+    for (row, &bb) in b_bits.iter().enumerate().skip(1) {
+        let pp: Vec<NodeId> = a_bits.iter().map(|&x| b.and(x, bb)).collect();
+        let zero = b.zero();
+        let (sums, cout) = adder::ripple_into(&mut b, &acc, &pp, zero);
+        products.push(sums[0]);
+        acc = sums[1..].to_vec();
+        acc.push(cout);
+        let _ = row;
+    }
+    products.extend(acc);
+    for (i, p) in products.iter().enumerate() {
+        b.output(format!("p{i}"), *p);
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiplies_exhaustively_3x3() {
+        let n = array(3);
+        for a in 0u32..8 {
+            for bb in 0u32..8 {
+                let mut v = Vec::new();
+                for i in 0..3 {
+                    v.push(a >> i & 1 == 1);
+                }
+                for i in 0..3 {
+                    v.push(bb >> i & 1 == 1);
+                }
+                let out = n.simulate(&v).unwrap();
+                let p: u32 = out
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &b)| u32::from(b) << i)
+                    .sum();
+                assert_eq!(p, a * bb, "{a} * {bb}");
+            }
+        }
+    }
+
+    #[test]
+    fn output_width_is_double() {
+        let n = array(4);
+        assert_eq!(n.outputs().len(), 8);
+        assert_eq!(n.inputs().len(), 8);
+    }
+
+    #[test]
+    fn one_bit_multiplier_is_an_and() {
+        let n = array(1);
+        assert_eq!(n.simulate(&[true, true]).unwrap(), vec![true, false]);
+        assert_eq!(n.simulate(&[true, false]).unwrap(), vec![false, false]);
+    }
+}

@@ -1,0 +1,278 @@
+//! The DES round function — the functional family of the MCNC `des`
+//! benchmark (the largest circuit in the paper's tables).
+//!
+//! A round computes `(L', R') = (R, L ⊕ f(R, K))` where `f` expands `R`
+//! from 32 to 48 bits, XORs the round key, substitutes through the eight
+//! standard S-boxes and permutes the result. S-boxes are synthesized as
+//! 6-input lookup logic via multiplexer trees over constant leaves (the
+//! builder's constant folding collapses them into plain AND/OR/XOR
+//! networks). The table constants below are the published FIPS 46-3
+//! values.
+//!
+//! Bit convention: input index `i` (0-based, LSB-style naming `r0..`)
+//! corresponds to DES bit `i + 1`; the software reference in the tests uses
+//! the identical convention, so the circuit and reference are
+//! self-consistent.
+
+use soi_netlist::{builder::NetworkBuilder, Network, NodeId};
+
+/// The DES expansion table `E` (FIPS 46-3): output bit `i` reads input bit
+/// `E[i]` (1-based).
+pub const E: [usize; 48] = [
+    32, 1, 2, 3, 4, 5, 4, 5, 6, 7, 8, 9, 8, 9, 10, 11, 12, 13, 12, 13, 14, 15, 16, 17, 16, 17,
+    18, 19, 20, 21, 20, 21, 22, 23, 24, 25, 24, 25, 26, 27, 28, 29, 28, 29, 30, 31, 32, 1,
+];
+
+/// The DES permutation table `P` (FIPS 46-3).
+pub const P: [usize; 32] = [
+    16, 7, 20, 21, 29, 12, 28, 17, 1, 15, 23, 26, 5, 18, 31, 10, 2, 8, 24, 14, 32, 27, 3, 9, 19,
+    13, 30, 6, 22, 11, 4, 25,
+];
+
+/// The eight DES S-boxes (FIPS 46-3), row-major: `S_BOX[box][row * 16 + col]`.
+pub const S_BOX: [[u8; 64]; 8] = [
+    [
+        14, 4, 13, 1, 2, 15, 11, 8, 3, 10, 6, 12, 5, 9, 0, 7, 0, 15, 7, 4, 14, 2, 13, 1, 10, 6,
+        12, 11, 9, 5, 3, 8, 4, 1, 14, 8, 13, 6, 2, 11, 15, 12, 9, 7, 3, 10, 5, 0, 15, 12, 8, 2,
+        4, 9, 1, 7, 5, 11, 3, 14, 10, 0, 6, 13,
+    ],
+    [
+        15, 1, 8, 14, 6, 11, 3, 4, 9, 7, 2, 13, 12, 0, 5, 10, 3, 13, 4, 7, 15, 2, 8, 14, 12, 0,
+        1, 10, 6, 9, 11, 5, 0, 14, 7, 11, 10, 4, 13, 1, 5, 8, 12, 6, 9, 3, 2, 15, 13, 8, 10, 1,
+        3, 15, 4, 2, 11, 6, 7, 12, 0, 5, 14, 9,
+    ],
+    [
+        10, 0, 9, 14, 6, 3, 15, 5, 1, 13, 12, 7, 11, 4, 2, 8, 13, 7, 0, 9, 3, 4, 6, 10, 2, 8, 5,
+        14, 12, 11, 15, 1, 13, 6, 4, 9, 8, 15, 3, 0, 11, 1, 2, 12, 5, 10, 14, 7, 1, 10, 13, 0, 6,
+        9, 8, 7, 4, 15, 14, 3, 11, 5, 2, 12,
+    ],
+    [
+        7, 13, 14, 3, 0, 6, 9, 10, 1, 2, 8, 5, 11, 12, 4, 15, 13, 8, 11, 5, 6, 15, 0, 3, 4, 7, 2,
+        12, 1, 10, 14, 9, 10, 6, 9, 0, 12, 11, 7, 13, 15, 1, 3, 14, 5, 2, 8, 4, 3, 15, 0, 6, 10,
+        1, 13, 8, 9, 4, 5, 11, 12, 7, 2, 14,
+    ],
+    [
+        2, 12, 4, 1, 7, 10, 11, 6, 8, 5, 3, 15, 13, 0, 14, 9, 14, 11, 2, 12, 4, 7, 13, 1, 5, 0,
+        15, 10, 3, 9, 8, 6, 4, 2, 1, 11, 10, 13, 7, 8, 15, 9, 12, 5, 6, 3, 0, 14, 11, 8, 12, 7,
+        1, 14, 2, 13, 6, 15, 0, 9, 10, 4, 5, 3,
+    ],
+    [
+        12, 1, 10, 15, 9, 2, 6, 8, 0, 13, 3, 4, 14, 7, 5, 11, 10, 15, 4, 2, 7, 12, 9, 5, 6, 1,
+        13, 14, 0, 11, 3, 8, 9, 14, 15, 5, 2, 8, 12, 3, 7, 0, 4, 10, 1, 13, 11, 6, 4, 3, 2, 12,
+        9, 5, 15, 10, 11, 14, 1, 7, 6, 0, 8, 13,
+    ],
+    [
+        4, 11, 2, 14, 15, 0, 8, 13, 3, 12, 9, 7, 5, 10, 6, 1, 13, 0, 11, 7, 4, 9, 1, 10, 14, 3,
+        5, 12, 2, 15, 8, 6, 1, 4, 11, 13, 12, 3, 7, 14, 10, 15, 6, 8, 0, 5, 9, 2, 6, 11, 13, 8,
+        1, 4, 10, 7, 9, 5, 0, 15, 14, 2, 3, 12,
+    ],
+    [
+        13, 2, 8, 4, 6, 15, 11, 1, 10, 9, 3, 14, 5, 0, 12, 7, 1, 15, 13, 8, 10, 3, 7, 4, 12, 5,
+        6, 11, 0, 14, 9, 2, 7, 11, 4, 1, 9, 12, 14, 2, 0, 6, 10, 13, 15, 3, 5, 8, 2, 1, 14, 7, 4,
+        10, 8, 13, 15, 12, 9, 0, 3, 5, 6, 11,
+    ],
+];
+
+/// Looks an S-box up in software (used by the circuit tests and by anything
+/// needing a reference model). `input` is a 6-bit value whose bit `k` is
+/// the `k`-th wire of the S-box input group.
+pub fn sbox_lookup(sbox: usize, input: u8) -> u8 {
+    let bit = |k: u8| (input >> k) & 1;
+    let row = (bit(0) << 1 | bit(5)) as usize;
+    let col = (bit(1) << 3 | bit(2) << 2 | bit(3) << 1 | bit(4)) as usize;
+    S_BOX[sbox][row * 16 + col]
+}
+
+/// Synthesizes one S-box output bit as a mux tree over the 64-entry truth
+/// table; `sel` are the 6 input wires (wire `k` = bit `k` of the lookup
+/// index).
+fn sbox_bit(b: &mut NetworkBuilder, sel: &[NodeId; 6], sbox: usize, out_bit: u8) -> NodeId {
+    let leaves: Vec<NodeId> = (0..64u8)
+        .map(|idx| {
+            if sbox_lookup(sbox, idx) >> out_bit & 1 == 1 {
+                b.one()
+            } else {
+                b.zero()
+            }
+        })
+        .collect();
+    crate::select::mux::tree_into(b, &leaves, sel.as_slice())
+}
+
+/// One DES round: inputs `l0..l31`, `r0..r31`, `k0..k47`; outputs
+/// `nl0..nl31` (= R) and `nr0..nr31` (= L ⊕ f(R, K)).
+pub fn round() -> Network {
+    let mut b = NetworkBuilder::new("des_round");
+    let l = b.inputs("l", 32);
+    let r = b.inputs("r", 32);
+    let k = b.inputs("k", 48);
+    let (nl, nr) = round_into(&mut b, &l, &r, &k);
+    for (i, o) in nl.iter().enumerate() {
+        b.output(format!("nl{i}"), *o);
+    }
+    for (i, o) in nr.iter().enumerate() {
+        b.output(format!("nr{i}"), *o);
+    }
+    b.finish()
+}
+
+/// `rounds` chained DES rounds, each with its own 48-bit key input —
+/// `64 + 48 × rounds` primary inputs, 64 outputs. Four rounds give a
+/// 256-input circuit the size class of the MCNC `des` benchmark.
+///
+/// # Panics
+///
+/// Panics if `rounds == 0`.
+pub fn rounds(count: usize) -> Network {
+    assert!(count > 0, "need at least one round");
+    let mut b = NetworkBuilder::new(format!("des{count}"));
+    let mut l = b.inputs("l", 32);
+    let mut r = b.inputs("r", 32);
+    let keys: Vec<Vec<NodeId>> = (0..count)
+        .map(|round| b.inputs(&format!("k{round}_"), 48))
+        .collect();
+    for key in &keys {
+        let (nl, nr) = round_into(&mut b, &l, &r, key);
+        l = nl;
+        r = nr;
+    }
+    for (i, o) in l.iter().enumerate() {
+        b.output(format!("l{i}"), *o);
+    }
+    for (i, o) in r.iter().enumerate() {
+        b.output(format!("r{i}"), *o);
+    }
+    b.finish()
+}
+
+/// Builds one round in an existing builder, returning `(L', R')`.
+pub fn round_into(
+    b: &mut NetworkBuilder,
+    l: &[NodeId],
+    r: &[NodeId],
+    k: &[NodeId],
+) -> (Vec<NodeId>, Vec<NodeId>) {
+    assert_eq!(l.len(), 32);
+    assert_eq!(r.len(), 32);
+    assert_eq!(k.len(), 48);
+    // Expansion + key mixing.
+    let mixed: Vec<NodeId> = E
+        .iter()
+        .zip(k)
+        .map(|(&src, &key)| b.xor(r[src - 1], key))
+        .collect();
+    // Eight S-boxes, 6 bits in / 4 bits out each.
+    let mut substituted = Vec::with_capacity(32);
+    for sbox in 0..8 {
+        let group = &mixed[sbox * 6..sbox * 6 + 6];
+        let sel = [group[0], group[1], group[2], group[3], group[4], group[5]];
+        // S-box output bit 3 is the DES MSB; emit DES bit order (MSB
+        // first) to match the software reference.
+        for out_bit in (0..4).rev() {
+            substituted.push(sbox_bit(b, &sel, sbox, out_bit));
+        }
+    }
+    // Permutation P and XOR with L.
+    let nr: Vec<NodeId> = P
+        .iter()
+        .zip(l)
+        .map(|(&src, &left)| b.xor(substituted[src - 1], left))
+        .collect();
+    (r.to_vec(), nr)
+}
+
+/// Software reference of one round, mirroring the circuit's bit
+/// conventions exactly (wire `i` = DES bit `i + 1`).
+pub fn round_reference(l: &[bool; 32], r: &[bool; 32], k: &[bool; 48]) -> ([bool; 32], [bool; 32]) {
+    let mut mixed = [false; 48];
+    for (i, &src) in E.iter().enumerate() {
+        mixed[i] = r[src - 1] ^ k[i];
+    }
+    let mut substituted = [false; 32];
+    for sbox in 0..8 {
+        let mut idx = 0u8;
+        for bit in 0..6 {
+            if mixed[sbox * 6 + bit] {
+                idx |= 1 << bit;
+            }
+        }
+        let value = sbox_lookup(sbox, idx);
+        for (pos, out_bit) in (0..4).rev().enumerate() {
+            substituted[sbox * 4 + pos] = value >> out_bit & 1 == 1;
+        }
+    }
+    let mut nr = [false; 32];
+    for (i, &src) in P.iter().enumerate() {
+        nr[i] = substituted[src - 1] ^ l[i];
+    }
+    (*r, nr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn sbox_tables_have_valid_entries() {
+        for sbox in &S_BOX {
+            assert!(sbox.iter().all(|&v| v < 16));
+            // Every row of a DES S-box is a permutation of 0..16.
+            for row in 0..4 {
+                let mut seen = [false; 16];
+                for col in 0..16 {
+                    seen[sbox[row * 16 + col] as usize] = true;
+                }
+                assert!(seen.iter().all(|&s| s));
+            }
+        }
+    }
+
+    #[test]
+    fn round_circuit_matches_reference() {
+        let n = round();
+        let mut rng = SmallRng::seed_from_u64(2001);
+        for _ in 0..20 {
+            let l: [bool; 32] = std::array::from_fn(|_| rng.gen());
+            let r: [bool; 32] = std::array::from_fn(|_| rng.gen());
+            let k: [bool; 48] = std::array::from_fn(|_| rng.gen());
+            let mut v = Vec::new();
+            v.extend_from_slice(&l);
+            v.extend_from_slice(&r);
+            v.extend_from_slice(&k);
+            let out = n.simulate(&v).unwrap();
+            let (nl, nr) = round_reference(&l, &r, &k);
+            assert_eq!(&out[..32], &nl[..]);
+            assert_eq!(&out[32..], &nr[..]);
+        }
+    }
+
+    #[test]
+    fn four_rounds_match_iterated_reference() {
+        let n = rounds(2);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let l: [bool; 32] = std::array::from_fn(|_| rng.gen());
+        let r: [bool; 32] = std::array::from_fn(|_| rng.gen());
+        let k1: [bool; 48] = std::array::from_fn(|_| rng.gen());
+        let k2: [bool; 48] = std::array::from_fn(|_| rng.gen());
+        let mut v = Vec::new();
+        v.extend_from_slice(&l);
+        v.extend_from_slice(&r);
+        v.extend_from_slice(&k1);
+        v.extend_from_slice(&k2);
+        let out = n.simulate(&v).unwrap();
+        let (l1, r1) = round_reference(&l, &r, &k1);
+        let (l2, r2) = round_reference(&l1, &r1, &k2);
+        assert_eq!(&out[..32], &l2[..]);
+        assert_eq!(&out[32..], &r2[..]);
+    }
+
+    #[test]
+    fn four_round_version_has_des_scale_inputs() {
+        let n = rounds(4);
+        assert_eq!(n.inputs().len(), 256);
+        assert_eq!(n.outputs().len(), 64);
+        assert!(n.stats().binary_gates > 1500, "{}", n.stats());
+    }
+}

@@ -1,0 +1,194 @@
+//! Hamming single-error-correcting codes — the functional family of the
+//! ISCAS `c499`/`c1355` (32-bit SEC) and `c1908` (16-bit SEC/DED)
+//! benchmarks.
+
+use soi_netlist::{builder::NetworkBuilder, Network, NodeId};
+
+/// Number of check bits needed to protect `data_bits` of payload.
+pub fn check_bits(data_bits: usize) -> usize {
+    let mut r = 1;
+    while (1usize << r) < data_bits + r + 1 {
+        r += 1;
+    }
+    r
+}
+
+/// Positions (1-based, as in the classic construction) covered by check bit
+/// `k` in a codeword of `total` bits.
+fn covered(k: usize, total: usize) -> impl Iterator<Item = usize> {
+    let mask = 1usize << k;
+    (1..=total).filter(move |pos| pos & mask != 0 && !pos.is_power_of_two())
+}
+
+/// Maps data-bit index → codeword position (1-based non-power-of-two
+/// positions in order).
+fn data_positions(data_bits: usize) -> Vec<usize> {
+    (1..)
+        .filter(|p: &usize| !p.is_power_of_two())
+        .take(data_bits)
+        .collect()
+}
+
+/// A Hamming SEC encoder: inputs `d0..`, outputs the check bits `c0..`.
+///
+/// # Panics
+///
+/// Panics if `data_bits == 0`.
+///
+/// # Example
+///
+/// ```rust
+/// use soi_circuits::code::hamming;
+/// let n = hamming::sec_encoder(4);
+/// assert_eq!(n.outputs().len(), hamming::check_bits(4));
+/// ```
+pub fn sec_encoder(data_bits: usize) -> Network {
+    assert!(data_bits > 0, "data width must be positive");
+    let r = check_bits(data_bits);
+    let total = data_bits + r;
+    let mut b = NetworkBuilder::new(format!("hamenc{data_bits}"));
+    let data = b.inputs("d", data_bits);
+    let dpos = data_positions(data_bits);
+    for k in 0..r {
+        let terms: Vec<NodeId> = covered(k, total)
+            .filter_map(|pos| dpos.iter().position(|&p| p == pos).map(|i| data[i]))
+            .collect();
+        let c = b.xor_all(&terms);
+        b.output(format!("c{k}"), c);
+    }
+    b.finish()
+}
+
+/// A Hamming SEC decoder: inputs are the received data `d0..` and check
+/// bits `c0..`; outputs are the corrected data bits `o0..` plus an `err`
+/// flag (nonzero syndrome).
+///
+/// # Panics
+///
+/// Panics if `data_bits == 0`.
+pub fn sec_decoder(data_bits: usize) -> Network {
+    assert!(data_bits > 0, "data width must be positive");
+    let r = check_bits(data_bits);
+    let total = data_bits + r;
+    let mut b = NetworkBuilder::new(format!("hamdec{data_bits}"));
+    let data = b.inputs("d", data_bits);
+    let checks = b.inputs("c", r);
+    let dpos = data_positions(data_bits);
+
+    // Syndrome bit k: received check XOR recomputed parity.
+    let mut syndrome = Vec::with_capacity(r);
+    for (k, &check) in checks.iter().enumerate() {
+        let mut terms: Vec<NodeId> = covered(k, total)
+            .filter_map(|pos| dpos.iter().position(|&p| p == pos).map(|i| data[i]))
+            .collect();
+        terms.push(check);
+        syndrome.push(b.xor_all(&terms));
+    }
+    let err = b.or_all(&syndrome);
+
+    // Correct data bit i when the syndrome equals its position.
+    for (i, &pos) in dpos.iter().enumerate() {
+        let match_terms: Vec<NodeId> = (0..r)
+            .map(|k| {
+                if pos >> k & 1 == 1 {
+                    syndrome[k]
+                } else {
+                    b.inv(syndrome[k])
+                }
+            })
+            .collect();
+        let flip = b.and_all(&match_terms);
+        let corrected = b.xor(data[i], flip);
+        b.output(format!("o{i}"), corrected);
+    }
+    b.output("err", err);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn encode_sw(data: u32, data_bits: usize) -> Vec<bool> {
+        let r = check_bits(data_bits);
+        let total = data_bits + r;
+        let dpos = data_positions(data_bits);
+        let mut checks = vec![false; r];
+        for (k, check) in checks.iter_mut().enumerate() {
+            let mut p = false;
+            for pos in covered(k, total) {
+                if let Some(i) = dpos.iter().position(|&q| q == pos) {
+                    p ^= data >> i & 1 == 1;
+                }
+            }
+            *check = p;
+        }
+        checks
+    }
+
+    #[test]
+    fn check_bit_counts() {
+        assert_eq!(check_bits(4), 3);
+        assert_eq!(check_bits(11), 4);
+        assert_eq!(check_bits(16), 5);
+        assert_eq!(check_bits(32), 6);
+    }
+
+    #[test]
+    fn encoder_matches_reference() {
+        let n = sec_encoder(8);
+        for data in [0u32, 0x5A, 0xFF, 0x13] {
+            let v: Vec<bool> = (0..8).map(|i| data >> i & 1 == 1).collect();
+            assert_eq!(n.simulate(&v).unwrap(), encode_sw(data, 8), "data {data:#x}");
+        }
+    }
+
+    #[test]
+    fn decoder_passes_clean_words() {
+        let n = sec_decoder(8);
+        for data in [0u32, 0xA5, 0x0F] {
+            let mut v: Vec<bool> = (0..8).map(|i| data >> i & 1 == 1).collect();
+            v.extend(encode_sw(data, 8));
+            let out = n.simulate(&v).unwrap();
+            for i in 0..8 {
+                assert_eq!(out[i], data >> i & 1 == 1);
+            }
+            assert!(!out[8], "no error flagged");
+        }
+    }
+
+    #[test]
+    fn decoder_corrects_any_single_data_error() {
+        let n = sec_decoder(8);
+        let data = 0x6Cu32;
+        let checks = encode_sw(data, 8);
+        for flip in 0..8 {
+            let mut v: Vec<bool> = (0..8).map(|i| data >> i & 1 == 1).collect();
+            v[flip] = !v[flip];
+            v.extend(checks.clone());
+            let out = n.simulate(&v).unwrap();
+            for i in 0..8 {
+                assert_eq!(out[i], data >> i & 1 == 1, "bit {i} after flip {flip}");
+            }
+            assert!(out[8], "error flagged");
+        }
+    }
+
+    #[test]
+    fn decoder_flags_check_bit_errors_without_corrupting() {
+        let n = sec_decoder(8);
+        let data = 0x3Au32;
+        let checks = encode_sw(data, 8);
+        for flip in 0..checks.len() {
+            let mut v: Vec<bool> = (0..8).map(|i| data >> i & 1 == 1).collect();
+            let mut c = checks.clone();
+            c[flip] = !c[flip];
+            v.extend(c);
+            let out = n.simulate(&v).unwrap();
+            for i in 0..8 {
+                assert_eq!(out[i], data >> i & 1 == 1, "bit {i} after check flip {flip}");
+            }
+            assert!(out[8]);
+        }
+    }
+}

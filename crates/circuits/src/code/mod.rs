@@ -1,0 +1,6 @@
+//! Coding circuits: parity trees, Hamming single-error correction, and a
+//! DES round function.
+
+pub mod des;
+pub mod hamming;
+pub mod parity;

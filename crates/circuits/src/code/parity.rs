@@ -1,0 +1,67 @@
+//! Parity trees and chains.
+
+use soi_netlist::{builder::NetworkBuilder, Network};
+
+/// An n-input odd-parity function as a balanced XOR tree.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+///
+/// # Example
+///
+/// ```rust
+/// let n = soi_circuits::code::parity::tree(5);
+/// let out = n.simulate(&[true, true, true, false, false]).unwrap();
+/// assert_eq!(out, vec![true]); // three ones → odd
+/// ```
+pub fn tree(width: usize) -> Network {
+    assert!(width > 0, "parity width must be positive");
+    let mut b = NetworkBuilder::new(format!("parity{width}"));
+    let bits = b.inputs("d", width);
+    let p = b.xor_all(&bits);
+    b.output("p", p);
+    b.finish()
+}
+
+/// The same function as a linear XOR chain — maximal depth, for exercising
+/// the depth objective (and the shape of `c1355` versus `c499`).
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+pub fn chain(width: usize) -> Network {
+    assert!(width > 0, "parity width must be positive");
+    let mut b = NetworkBuilder::new(format!("paritychain{width}"));
+    let bits = b.inputs("d", width);
+    let mut acc = bits[0];
+    for &bit in &bits[1..] {
+        acc = b.xor(acc, bit);
+    }
+    b.output("p", acc);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_matches_chain() {
+        let t = tree(9);
+        let c = chain(9);
+        assert!(soi_netlist::sim::random_equivalent(&t, &c, 8, 3).unwrap());
+    }
+
+    #[test]
+    fn chain_is_deeper() {
+        assert!(chain(16).stats().depth > tree(16).stats().depth);
+    }
+
+    #[test]
+    fn empty_input_parity_is_zero_ones() {
+        let n = tree(1);
+        assert_eq!(n.simulate(&[true]).unwrap(), vec![true]);
+        assert_eq!(n.simulate(&[false]).unwrap(), vec![false]);
+    }
+}

@@ -1,0 +1,37 @@
+//! # soi-circuits
+//!
+//! Parametric benchmark-circuit generators for the SOI domino mapping flow.
+//!
+//! The paper evaluates on ISCAS'85 and MCNC benchmark netlists, which are
+//! not distributed with this repository. Instead, this crate provides
+//! *functionally faithful* generators for the circuit families those
+//! benchmarks implement (multiplexer trees, adders, ALUs, error-correcting
+//! decoders, symmetric functions, a DES round, CORDIC stages, priority
+//! interrupt logic, barrel rotators) plus a seeded random-control-logic
+//! generator for the benchmarks whose function is unstructured. The
+//! [`registry`] maps each benchmark name used in the paper's tables to a
+//! generated circuit of comparable two-input-gate size and depth; see
+//! `DESIGN.md` §3 for the substitution rationale. Real netlists in BLIF
+//! format can be dropped in through `soi_netlist::blif` at any time.
+//!
+//! All generators are deterministic: the same parameters (and seed, where
+//! applicable) always produce the identical network.
+//!
+//! # Example
+//!
+//! ```rust
+//! use soi_circuits::{arith, registry};
+//!
+//! let adder = arith::adder::ripple(8);
+//! assert_eq!(adder.inputs().len(), 17); // 2×8 bits + carry-in
+//! assert_eq!(adder.outputs().len(), 9); // 8 sum bits + carry-out
+//!
+//! let bench = registry::benchmark("cm150").expect("known benchmark");
+//! assert!(bench.stats().binary_gates > 0);
+//! ```
+
+pub mod arith;
+pub mod code;
+pub mod misc;
+pub mod registry;
+pub mod select;

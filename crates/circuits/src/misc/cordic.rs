@@ -1,0 +1,141 @@
+//! CORDIC rotation stages — the family of the MCNC `cordic` benchmark.
+
+use soi_netlist::{builder::NetworkBuilder, Network, NodeId};
+
+use crate::arith::adder;
+
+/// `stages` CORDIC vectoring iterations on `width`-bit unsigned x/y with a
+/// per-stage direction input: stage `k` computes
+///
+/// ```text
+/// x' = d ? x + (y >> k) : x - (y >> k)
+/// y' = d ? y - (x >> k) : y + (x >> k)
+/// ```
+///
+/// Shifts are free wiring; each stage costs two adder/subtractor pairs and
+/// a mux row. Outputs `x0..`, `y0..`.
+///
+/// # Panics
+///
+/// Panics if `width == 0` or `stages == 0`.
+///
+/// # Example
+///
+/// ```rust
+/// let n = soi_circuits::misc::cordic::stages(8, 1);
+/// assert_eq!(n.inputs().len(), 8 + 8 + 1);
+/// assert_eq!(n.outputs().len(), 16);
+/// ```
+pub fn stages(width: usize, stages: usize) -> Network {
+    assert!(width > 0 && stages > 0, "width and stages must be positive");
+    let mut b = NetworkBuilder::new(format!("cordic{width}x{stages}"));
+    let mut x = b.inputs("x", width);
+    let mut y = b.inputs("y", width);
+    let dirs = b.inputs("d", stages);
+
+    for (k, &d) in dirs.iter().enumerate() {
+        let ys = shift_right(&mut b, &y, k);
+        let xs = shift_right(&mut b, &x, k);
+        let zero = b.zero();
+        let (x_add, _) = adder::ripple_into(&mut b, &x, &ys, zero);
+        let (x_sub, _) = adder::subtract_into(&mut b, &x, &ys);
+        let zero = b.zero();
+        let (y_add, _) = adder::ripple_into(&mut b, &y, &xs, zero);
+        let (y_sub, _) = adder::subtract_into(&mut b, &y, &xs);
+        x = x_add
+            .iter()
+            .zip(&x_sub)
+            .map(|(&add, &sub)| b.mux(d, sub, add))
+            .collect();
+        y = y_add
+            .iter()
+            .zip(&y_sub)
+            .map(|(&add, &sub)| b.mux(d, add, sub))
+            .collect();
+    }
+    for (i, o) in x.iter().enumerate() {
+        b.output(format!("x{i}"), *o);
+    }
+    for (i, o) in y.iter().enumerate() {
+        b.output(format!("y{i}"), *o);
+    }
+    b.finish()
+}
+
+fn shift_right(b: &mut NetworkBuilder, bits: &[NodeId], amount: usize) -> Vec<NodeId> {
+    (0..bits.len())
+        .map(|i| {
+            bits.get(i + amount)
+                .copied()
+                .unwrap_or_else(|| b.zero())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(n: &Network, x: u32, y: u32, dirs: u32, width: usize, stages: usize) -> (u32, u32) {
+        let mut v = Vec::new();
+        for i in 0..width {
+            v.push(x >> i & 1 == 1);
+        }
+        for i in 0..width {
+            v.push(y >> i & 1 == 1);
+        }
+        for i in 0..stages {
+            v.push(dirs >> i & 1 == 1);
+        }
+        let out = n.simulate(&v).unwrap();
+        let gx: u32 = out[..width]
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| u32::from(b) << i)
+            .sum();
+        let gy: u32 = out[width..]
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| u32::from(b) << i)
+            .sum();
+        (gx, gy)
+    }
+
+    fn reference(mut x: u32, mut y: u32, dirs: u32, width: usize, stages: usize) -> (u32, u32) {
+        let mask = (1u32 << width) - 1;
+        for k in 0..stages {
+            let (xs, ys) = (x >> k, y >> k);
+            if dirs >> k & 1 == 1 {
+                let nx = x.wrapping_add(ys) & mask;
+                let ny = y.wrapping_sub(xs) & mask;
+                x = nx;
+                y = ny;
+            } else {
+                let nx = x.wrapping_sub(ys) & mask;
+                let ny = y.wrapping_add(xs) & mask;
+                x = nx;
+                y = ny;
+            }
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn matches_reference_model() {
+        let n = stages(6, 3);
+        for (x, y, d) in [(5u32, 9u32, 0b101u32), (63, 1, 0b010), (17, 17, 0b111), (0, 0, 0)] {
+            let got = run(&n, x, y, d, 6, 3);
+            let want = reference(x, y, d, 6, 3);
+            assert_eq!(got, want, "x={x} y={y} d={d:03b}");
+        }
+    }
+
+    #[test]
+    fn single_stage_identity_shift() {
+        // Stage 0 shifts by 0: d=1 gives x+y, y-x.
+        let n = stages(4, 1);
+        let (gx, gy) = run(&n, 3, 2, 1, 4, 1);
+        assert_eq!(gx, 5);
+        assert_eq!(gy, (2u32.wrapping_sub(3)) & 0xF);
+    }
+}

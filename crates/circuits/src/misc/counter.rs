@@ -1,0 +1,93 @@
+//! Loadable counter increment logic — the family of the MCNC `count`
+//! benchmark.
+
+use soi_netlist::{builder::NetworkBuilder, Network};
+
+/// The combinational next-state logic of an n-bit loadable up-counter:
+/// `next = load ? din : (en ? count + 1 : count)`, plus a terminal-count
+/// output. Inputs `c0..`, `d0..`, `load`, `en`; outputs `n0..`, `tc`.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+///
+/// # Example
+///
+/// ```rust
+/// let n = soi_circuits::misc::counter::increment(3);
+/// // count = 3, enabled, not loading → 4.
+/// let v = [true, true, false,  false, false, false,  false, true];
+/// let out = n.simulate(&v).unwrap();
+/// assert_eq!(&out[..3], &[false, false, true]);
+/// ```
+pub fn increment(width: usize) -> Network {
+    assert!(width > 0, "counter width must be positive");
+    let mut b = NetworkBuilder::new(format!("count{width}"));
+    let count = b.inputs("c", width);
+    let din = b.inputs("d", width);
+    let load = b.input("load");
+    let en = b.input("en");
+
+    // Half-adder ripple: carry chain of ANDs.
+    let mut carry = en;
+    let mut next = Vec::with_capacity(width);
+    for &c in &count {
+        let sum = b.xor(c, carry);
+        carry = b.and(c, carry);
+        next.push(sum);
+    }
+    let tc = carry;
+
+    for (i, (&inc, &d)) in next.iter().zip(&din).enumerate() {
+        let o = b.mux(load, inc, d);
+        b.output(format!("n{i}"), o);
+    }
+    b.output("tc", tc);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(n: &Network, count: u32, din: u32, load: bool, en: bool, width: usize) -> (u32, bool) {
+        let mut v = Vec::new();
+        for i in 0..width {
+            v.push(count >> i & 1 == 1);
+        }
+        for i in 0..width {
+            v.push(din >> i & 1 == 1);
+        }
+        v.push(load);
+        v.push(en);
+        let out = n.simulate(&v).unwrap();
+        let next: u32 = out[..width]
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| u32::from(b) << i)
+            .sum();
+        (next, out[width])
+    }
+
+    #[test]
+    fn counts_up() {
+        let n = increment(4);
+        for c in 0..15u32 {
+            assert_eq!(run(&n, c, 0, false, true, 4), (c + 1, false));
+        }
+        // Wrap with terminal count.
+        assert_eq!(run(&n, 15, 0, false, true, 4), (0, true));
+    }
+
+    #[test]
+    fn hold_when_disabled() {
+        let n = increment(4);
+        assert_eq!(run(&n, 9, 0, false, false, 4), (9, false));
+    }
+
+    #[test]
+    fn load_overrides() {
+        let n = increment(4);
+        assert_eq!(run(&n, 9, 5, true, true, 4), (5, false));
+    }
+}

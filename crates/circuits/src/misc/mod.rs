@@ -1,0 +1,7 @@
+//! Miscellaneous generators: symmetric functions, CORDIC stages, counters,
+//! and seeded random control logic.
+
+pub mod cordic;
+pub mod counter;
+pub mod random;
+pub mod symmetric;

@@ -1,0 +1,340 @@
+//! Seeded random control-logic generator.
+//!
+//! Several MCNC benchmarks in the paper's tables (`frg1`, `b9`, `apex6`,
+//! `apex7`, `k2`, `x1`, `i6`, `c8`, `t481`, ...) are unstructured control
+//! logic whose exact netlists are not distributed here. This generator
+//! produces deterministic random networks of a requested size and I/O
+//! profile that exercise the mappers the same way: mixed AND/OR/NAND/NOR
+//! with a dash of XOR, fanout from a locality window, and everything
+//! reachable from the outputs by construction.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use soi_netlist::{builder::NetworkBuilder, Network, NodeId};
+
+/// Specification of a random control-logic network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomSpec {
+    /// Model name.
+    pub name: String,
+    /// Primary inputs.
+    pub inputs: usize,
+    /// Primary outputs.
+    pub outputs: usize,
+    /// Approximate two-input gate count (the collector trees that keep all
+    /// logic live add a few percent).
+    pub gates: usize,
+    /// Fraction of XOR/XNOR gates (binate logic that the unate conversion
+    /// must duplicate).
+    pub xor_ratio: f64,
+    /// Fraction of inverting gates (NAND/NOR) among the non-XOR gates.
+    pub invert_ratio: f64,
+    /// Operand locality window: operands are drawn from the most recent
+    /// `locality` signals with high probability, which controls depth.
+    pub locality: usize,
+    /// Probability that the second operand reuses an *internal* signal
+    /// (raising internal fanout and forcing gate boundaries in the mapper)
+    /// instead of tapping a primary input. Optimized netlists are mostly
+    /// trees over high-fanout inputs, so this defaults low.
+    pub reuse_ratio: f64,
+    /// Probability of AND/OR *alternation*: when an operand was produced by
+    /// an OR-flavoured gate, pick an AND-flavoured one (and vice versa).
+    /// Factored multi-level logic alternates heavily, which is what creates
+    /// series stacks of parallel sections — the PBE-susceptible structures
+    /// of the paper's §III-B.
+    pub alternation: f64,
+    /// Target depth in 2-input gate levels (0 = automatic). Operand picks
+    /// that would exceed it are redirected to shallower signals, keeping
+    /// the network in the depth class of the original benchmark (the
+    /// paper's Table IV `L` column).
+    pub depth_target: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RandomSpec {
+    /// A reasonable profile for control logic of a given size.
+    pub fn control(name: &str, inputs: usize, outputs: usize, gates: usize, seed: u64) -> RandomSpec {
+        RandomSpec {
+            name: name.to_string(),
+            inputs,
+            outputs,
+            gates,
+            xor_ratio: 0.06,
+            invert_ratio: 0.4,
+            locality: (gates / 8).clamp(8, 128),
+            reuse_ratio: 0.25,
+            alternation: 0.75,
+            depth_target: 0,
+            seed,
+        }
+    }
+
+    /// Sets the target gate depth.
+    #[must_use]
+    pub fn with_depth(mut self, depth_target: u32) -> RandomSpec {
+        self.depth_target = depth_target;
+        self
+    }
+
+    /// A wide, shallow two-level-flavoured profile (PLA-style benchmarks
+    /// like `i6`/`k2`).
+    pub fn two_level(name: &str, inputs: usize, outputs: usize, gates: usize, seed: u64) -> RandomSpec {
+        RandomSpec {
+            name: name.to_string(),
+            inputs,
+            outputs,
+            gates,
+            xor_ratio: 0.0,
+            invert_ratio: 0.25,
+            locality: gates.max(8),
+            reuse_ratio: 0.3,
+            alternation: 0.9,
+            depth_target: 0,
+            seed,
+        }
+    }
+}
+
+/// Generates the network described by `spec`. Deterministic in the spec.
+///
+/// Every gate is reachable from some output: leftover unconsumed signals
+/// are folded into the output collector trees.
+///
+/// # Panics
+///
+/// Panics if `inputs == 0`, `outputs == 0` or `gates == 0`.
+///
+/// # Example
+///
+/// ```rust
+/// use soi_circuits::misc::random::{generate, RandomSpec};
+///
+/// let spec = RandomSpec::control("demo", 16, 4, 120, 42);
+/// let a = generate(&spec);
+/// let b = generate(&spec);
+/// assert_eq!(a, b); // fully deterministic
+/// assert_eq!(a.outputs().len(), 4);
+/// ```
+pub fn generate(spec: &RandomSpec) -> Network {
+    assert!(spec.inputs > 0, "need at least one input");
+    assert!(spec.outputs > 0, "need at least one output");
+    assert!(spec.gates > 0, "need at least one gate");
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    let mut b = NetworkBuilder::new(spec.name.clone());
+    let inputs = b.inputs("x", spec.inputs);
+
+    let mut pool: Vec<NodeId> = inputs;
+    let mut consumed: Vec<bool> = vec![false; pool.len()];
+    let mut depths: Vec<u32> = vec![0; pool.len()];
+    let mut next_unconsumed = 0usize;
+    let depth_target = if spec.depth_target > 0 {
+        spec.depth_target
+    } else {
+        // Automatic: a few times the balanced-tree depth.
+        2 * (usize::BITS - spec.gates.leading_zeros()) + 8
+    };
+
+    while b.network().stats().binary_gates < spec.gates {
+        // Advance the sweep pointer over consumed signals and over signals
+        // already at the depth ceiling (those wait for the collector).
+        while next_unconsumed < pool.len()
+            && (consumed[next_unconsumed] || depths[next_unconsumed] + 1 > depth_target)
+        {
+            next_unconsumed += 1;
+        }
+        // First operand: sweep unconsumed signals so everything feeds
+        // forward and internal fanout stays near one. Second operand:
+        // often another fresh internal signal (merging two complex
+        // subtrees, as optimized multi-level netlists do), else a primary
+        // input, else a reused signal from the locality window.
+        let mut a_idx = if next_unconsumed < pool.len() && rng.gen_bool(0.8) {
+            next_unconsumed
+        } else {
+            rng.gen_range(0..pool.len())
+        };
+        let roll: f64 = rng.gen();
+        let second_sweep = next_unconsumed + 1;
+        let mut b_idx = if roll < 0.55
+            && second_sweep < pool.len()
+            && !consumed[second_sweep]
+            && depths[second_sweep] < depth_target
+        {
+            second_sweep
+        } else if roll < 1.0 - spec.reuse_ratio {
+            rng.gen_range(0..spec.inputs)
+        } else {
+            let lo = pool.len().saturating_sub(spec.locality);
+            rng.gen_range(lo..pool.len())
+        };
+        // Depth ceiling: redirect picks that would overshoot toward
+        // shallower signals (primary inputs as the last resort).
+        let mut tries = 0;
+        while depths[a_idx].max(depths[b_idx]) + 1 > depth_target && tries < 8 {
+            if depths[a_idx] >= depths[b_idx] {
+                a_idx = rng.gen_range(0..pool.len());
+            } else {
+                b_idx = rng.gen_range(0..pool.len());
+            }
+            tries += 1;
+        }
+        if depths[a_idx].max(depths[b_idx]) + 1 > depth_target {
+            a_idx = rng.gen_range(0..spec.inputs);
+            b_idx = rng.gen_range(0..spec.inputs);
+        }
+        let (x, y) = (pool[a_idx], pool[b_idx]);
+        // Flavour of the operands' producing gates, for alternation: an
+        // AND after ORs (and vice versa) builds the stacked
+        // parallel-section structures factored logic is full of.
+        let flavour = |id: NodeId| match b.network().node(id) {
+            soi_netlist::Node::Binary { op, .. } => match op {
+                soi_netlist::BinOp::And | soi_netlist::BinOp::Nand => Some(true),
+                soi_netlist::BinOp::Or | soi_netlist::BinOp::Nor => Some(false),
+                _ => None,
+            },
+            _ => None,
+        };
+        let want_and = match (flavour(x), flavour(y)) {
+            (Some(fx), _) if rng.gen_bool(spec.alternation) => !fx,
+            (_, Some(fy)) if rng.gen_bool(spec.alternation) => !fy,
+            _ => rng.gen_bool(0.5),
+        };
+        let gate = if rng.gen_bool(spec.xor_ratio) {
+            if rng.gen_bool(0.5) {
+                b.xor(x, y)
+            } else {
+                b.xnor(x, y)
+            }
+        } else if rng.gen_bool(spec.invert_ratio) {
+            if want_and {
+                b.nand(x, y)
+            } else {
+                b.nor(x, y)
+            }
+        } else if want_and {
+            b.and(x, y)
+        } else {
+            b.or(x, y)
+        };
+        consumed[a_idx] = true;
+        consumed[b_idx] = true;
+        pool.push(gate);
+        consumed.push(false);
+        depths.push(depths[a_idx].max(depths[b_idx]) + 1);
+    }
+
+    // Collector: fold every unconsumed signal into the outputs, round-robin.
+    let unconsumed: Vec<NodeId> = pool
+        .iter()
+        .zip(&consumed)
+        .filter(|(_, &c)| !c)
+        .map(|(&n, _)| n)
+        .collect();
+    let mut buckets: Vec<Vec<NodeId>> = vec![Vec::new(); spec.outputs];
+    for (i, sig) in unconsumed.into_iter().enumerate() {
+        buckets[i % spec.outputs].push(sig);
+    }
+    for (k, bucket) in buckets.iter_mut().enumerate() {
+        while bucket.len() < 2 {
+            bucket.push(pool[rng.gen_range(0..pool.len())]);
+        }
+        // Fold the bucket as a balanced tree of mixed OR/AND, skipping any
+        // combination that would collapse to a constant (a signal can be
+        // the complement of its partner); outputs must stay non-constant
+        // for the domino mapper, and balanced folding keeps the depth
+        // ceiling intact.
+        let one = b.one();
+        let zero = b.zero();
+        let mut layer: Vec<NodeId> = bucket.clone();
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+            for pair in layer.chunks(2) {
+                if pair.len() == 1 || pair[0] == pair[1] {
+                    next.push(pair[0]);
+                    continue;
+                }
+                let alt = if rng.gen_bool(0.7) {
+                    b.or(pair[0], pair[1])
+                } else {
+                    b.and(pair[0], pair[1])
+                };
+                if alt != one && alt != zero {
+                    next.push(alt);
+                } else {
+                    // Complement pair: keep one side, orphan the other.
+                    next.push(pair[0]);
+                }
+            }
+            layer = next;
+        }
+        let mut acc = layer[0];
+        if acc == one || acc == zero {
+            acc = pool[spec.inputs - 1];
+        }
+        b.output(format!("y{k}"), acc);
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_netlist::topo;
+
+    #[test]
+    fn deterministic() {
+        let spec = RandomSpec::control("d", 10, 3, 80, 7);
+        assert_eq!(generate(&spec), generate(&spec));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&RandomSpec::control("d", 10, 3, 80, 7));
+        let b = generate(&RandomSpec::control("d", 10, 3, 80, 8));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn almost_everything_is_live_and_outputs_are_not_constant() {
+        for seed in [3u64, 4, 5] {
+            let n = generate(&RandomSpec::control("d", 12, 4, 150, seed));
+            let live = topo::live_nodes(&n).len();
+            // The complement-skipping collector may orphan the odd node.
+            assert!(n.len() - live <= 3, "{} dead nodes", n.len() - live);
+            for port in n.outputs() {
+                assert!(
+                    !matches!(n.node(port.driver), soi_netlist::Node::Const { .. }),
+                    "constant output {}",
+                    port.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gate_count_close_to_target() {
+        for target in [50usize, 200, 800] {
+            let n = generate(&RandomSpec::control("d", 16, 5, target, 11));
+            let gates = n.stats().binary_gates;
+            assert!(
+                gates >= target && gates <= target + target / 3 + 16,
+                "target {target}, got {gates}"
+            );
+        }
+    }
+
+    #[test]
+    fn two_level_profile_is_shallower() {
+        let deep = generate(&RandomSpec::control("d", 16, 4, 300, 5));
+        let flat = generate(&RandomSpec::two_level("f", 64, 16, 300, 5));
+        assert!(flat.stats().gate_depth <= deep.stats().gate_depth);
+    }
+
+    #[test]
+    fn io_profile_respected() {
+        let n = generate(&RandomSpec::control("d", 23, 7, 60, 1));
+        assert_eq!(n.inputs().len(), 23);
+        assert_eq!(n.outputs().len(), 7);
+        n.validate().unwrap();
+    }
+}

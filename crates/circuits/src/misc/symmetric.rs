@@ -1,0 +1,145 @@
+//! Totally symmetric functions — the family of `9symml` (output high iff
+//! the number of high inputs lies in a given range).
+
+use soi_netlist::{builder::NetworkBuilder, Network, NodeId};
+
+use crate::arith::adder;
+
+/// An n-input symmetric threshold-band function: output is high iff the
+/// population count of the inputs is within `lo..=hi`. `9symml` is
+/// `count_range(9, 3, 6)`.
+///
+/// Built as an adder-tree popcount followed by two magnitude comparisons.
+///
+/// # Panics
+///
+/// Panics if `width == 0` or `lo > hi`.
+///
+/// # Example
+///
+/// ```rust
+/// let n = soi_circuits::misc::symmetric::count_range(9, 3, 6);
+/// let four_ones = [true, true, true, true, false, false, false, false, false];
+/// assert_eq!(n.simulate(&four_ones).unwrap(), vec![true]);
+/// ```
+pub fn count_range(width: usize, lo: u32, hi: u32) -> Network {
+    assert!(width > 0, "width must be positive");
+    assert!(lo <= hi, "empty range");
+    let mut b = NetworkBuilder::new(format!("sym{width}_{lo}_{hi}"));
+    let bits = b.inputs("x", width);
+    let count = popcount(&mut b, &bits);
+    let in_range = range_check(&mut b, &count, lo, hi);
+    b.output("f", in_range);
+    b.finish()
+}
+
+/// Builds a popcount over the given signals (LSB-first result) using a
+/// tree of ripple adders.
+pub fn popcount(b: &mut NetworkBuilder, bits: &[NodeId]) -> Vec<NodeId> {
+    let mut groups: Vec<Vec<NodeId>> = bits.iter().map(|&x| vec![x]).collect();
+    while groups.len() > 1 {
+        let mut next = Vec::with_capacity(groups.len().div_ceil(2));
+        let mut iter = groups.into_iter();
+        while let Some(mut a) = iter.next() {
+            match iter.next() {
+                Some(mut bb) => {
+                    // Pad to equal width and add.
+                    while a.len() < bb.len() {
+                        a.push(b.zero());
+                    }
+                    while bb.len() < a.len() {
+                        bb.push(b.zero());
+                    }
+                    let zero = b.zero();
+                    let (mut sum, carry) = adder::ripple_into(b, &a, &bb, zero);
+                    sum.push(carry);
+                    next.push(sum);
+                }
+                None => next.push(a),
+            }
+        }
+        groups = next;
+    }
+    groups.pop().unwrap_or_default()
+}
+
+/// `lo <= value <= hi` over an unsigned LSB-first bit vector, with the
+/// bounds as constants baked into the logic.
+fn range_check(b: &mut NetworkBuilder, value: &[NodeId], lo: u32, hi: u32) -> NodeId {
+    let ge_lo = ge_const(b, value, lo);
+    let gt_hi = ge_const(b, value, hi + 1);
+    let le_hi = b.inv(gt_hi);
+    b.and(ge_lo, le_hi)
+}
+
+/// `value >= bound` for a constant bound.
+fn ge_const(b: &mut NetworkBuilder, value: &[NodeId], bound: u32) -> NodeId {
+    if bound == 0 {
+        return b.one();
+    }
+    if bound >> value.len() != 0 {
+        return b.zero();
+    }
+    // Fold LSB→MSB so the most significant bit binds outermost:
+    // ge = bound_bit ? (v & ge_lower) : (v | ge_lower).
+    let mut acc = b.one(); // all-equal means >=.
+    for (i, &v) in value.iter().enumerate() {
+        let bound_bit = bound >> i & 1 == 1;
+        acc = if bound_bit {
+            // Need v high to stay >=; if v high, defer to lower bits.
+            b.and(v, acc)
+        } else {
+            // v high makes us strictly greater; otherwise defer.
+            b.or(v, acc)
+        };
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_sym_exhaustive() {
+        let n = count_range(9, 3, 6);
+        for bits in 0..512u32 {
+            let v: Vec<bool> = (0..9).map(|i| bits >> i & 1 == 1).collect();
+            let ones = bits.count_ones();
+            let expect = (3..=6).contains(&ones);
+            assert_eq!(n.simulate(&v).unwrap(), vec![expect], "{bits:09b}");
+        }
+    }
+
+    #[test]
+    fn exact_threshold() {
+        let n = count_range(5, 2, 2);
+        for bits in 0..32u32 {
+            let v: Vec<bool> = (0..5).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(
+                n.simulate(&v).unwrap(),
+                vec![bits.count_ones() == 2],
+                "{bits:05b}"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_all_range() {
+        let n = count_range(4, 0, 4);
+        for bits in 0..16u32 {
+            let v: Vec<bool> = (0..4).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(n.simulate(&v).unwrap(), vec![true]);
+        }
+    }
+
+    #[test]
+    fn popcount_widths() {
+        let mut b = NetworkBuilder::new("pc");
+        let bits = b.inputs("x", 9);
+        let count = popcount(&mut b, &bits);
+        // The adder tree may carry one redundant top bit beyond the
+        // minimal ceil(log2(n+1)) = 4.
+        assert!(count.len() == 4 || count.len() == 5, "{}", count.len());
+    }
+}

@@ -1,0 +1,77 @@
+//! Binary decoders.
+
+use soi_netlist::{builder::NetworkBuilder, Network, NodeId};
+
+/// An n-to-2^n decoder with enable: output `o{k}` is high iff the select
+/// value equals `k` and `en` is high.
+///
+/// # Panics
+///
+/// Panics if `bits == 0`.
+///
+/// # Example
+///
+/// ```rust
+/// let n = soi_circuits::select::decoder::binary(2);
+/// // sel = 2, enabled → o2 only.
+/// let out = n.simulate(&[false, true, true]).unwrap();
+/// assert_eq!(out, vec![false, false, true, false]);
+/// ```
+pub fn binary(bits: usize) -> Network {
+    assert!(bits > 0, "decoder bits must be positive");
+    let mut b = NetworkBuilder::new(format!("dec{bits}"));
+    let sel = b.inputs("s", bits);
+    let en = b.input("en");
+    let outs = binary_into(&mut b, &sel, Some(en));
+    for (k, o) in outs.iter().enumerate() {
+        b.output(format!("o{k}"), *o);
+    }
+    b.finish()
+}
+
+/// Builds decoder logic in an existing builder; with `enable`, every output
+/// is gated by it.
+pub fn binary_into(
+    b: &mut NetworkBuilder,
+    sel: &[NodeId],
+    enable: Option<NodeId>,
+) -> Vec<NodeId> {
+    let inv: Vec<NodeId> = sel.iter().map(|&s| b.inv(s)).collect();
+    (0..(1usize << sel.len()))
+        .map(|k| {
+            let mut lits: Vec<NodeId> = sel
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| if k >> i & 1 == 1 { s } else { inv[i] })
+                .collect();
+            if let Some(en) = enable {
+                lits.push(en);
+            }
+            b.and_all(&lits)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_hot_property() {
+        let n = binary(3);
+        for k in 0..8usize {
+            let mut v: Vec<bool> = (0..3).map(|i| k >> i & 1 == 1).collect();
+            v.push(true);
+            let out = n.simulate(&v).unwrap();
+            assert_eq!(out.iter().filter(|&&b| b).count(), 1);
+            assert!(out[k], "select {k}");
+        }
+    }
+
+    #[test]
+    fn disabled_is_all_zero() {
+        let n = binary(2);
+        let out = n.simulate(&[true, true, false]).unwrap();
+        assert!(out.iter().all(|&b| !b));
+    }
+}

@@ -1,0 +1,7 @@
+//! Selection and steering logic: multiplexers, decoders, priority encoders
+//! and barrel rotators.
+
+pub mod decoder;
+pub mod mux;
+pub mod priority;
+pub mod rotate;

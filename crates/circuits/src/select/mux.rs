@@ -1,0 +1,115 @@
+//! Multiplexer trees — the functional content of the MCNC `cm150a` and
+//! `mux` benchmarks (both 16-to-1 multiplexers).
+
+use soi_netlist::{builder::NetworkBuilder, Network, NodeId};
+
+/// A `2^select_bits`-to-1 multiplexer built as a binary tree of 2:1 muxes,
+/// with an active-high enable. Inputs `d0..`, `s0..` (LSB first), `en`;
+/// output `y`.
+///
+/// # Panics
+///
+/// Panics if `select_bits == 0`.
+///
+/// # Example
+///
+/// ```rust
+/// let n = soi_circuits::select::mux::tree(2);
+/// // d = [a,b,c,d], select 2, enabled → d2.
+/// let out = n
+///     .simulate(&[false, false, true, false, false, true, true])
+///     .unwrap();
+/// assert_eq!(out, vec![true]);
+/// ```
+pub fn tree(select_bits: usize) -> Network {
+    assert!(select_bits > 0, "select_bits must be positive");
+    let mut b = NetworkBuilder::new(format!("mux{}", 1 << select_bits));
+    let data = b.inputs("d", 1 << select_bits);
+    let sel = b.inputs("s", select_bits);
+    let en = b.input("en");
+    let y = tree_into(&mut b, &data, &sel);
+    let gated = b.and(y, en);
+    b.output("y", gated);
+    b.finish()
+}
+
+/// Builds a mux tree in an existing builder; `data.len()` must equal
+/// `2^sel.len()`.
+///
+/// # Panics
+///
+/// Panics on a width mismatch.
+pub fn tree_into(b: &mut NetworkBuilder, data: &[NodeId], sel: &[NodeId]) -> NodeId {
+    assert_eq!(data.len(), 1 << sel.len(), "data width != 2^select bits");
+    let mut level: Vec<NodeId> = data.to_vec();
+    for &s in sel {
+        let mut next = Vec::with_capacity(level.len() / 2);
+        for pair in level.chunks(2) {
+            next.push(b.mux(s, pair[0], pair[1]));
+        }
+        level = next;
+    }
+    level[0]
+}
+
+/// A 16-to-1 multiplexer built *flat* (two-level AND-OR over a 4-to-16
+/// decode) rather than as a tree — functionally identical to [`tree`]`(4)`
+/// but with a very different structure for the mapper to chew on (this is
+/// the `mux` to `cm150a`'s tree).
+pub fn flat16() -> Network {
+    let mut b = NetworkBuilder::new("mux16flat");
+    let data = b.inputs("d", 16);
+    let sel = b.inputs("s", 4);
+    let en = b.input("en");
+    let mut terms = Vec::with_capacity(16);
+    for (i, &d) in data.iter().enumerate() {
+        let mut lits = vec![d];
+        for (k, &s) in sel.iter().enumerate() {
+            lits.push(if i >> k & 1 == 1 { s } else { b.inv(s) });
+        }
+        terms.push(b.and_all(&lits));
+    }
+    let y = b.or_all(&terms);
+    let gated = b.and(y, en);
+    b.output("y", gated);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn select(n: &Network, data: u32, sel: usize, bits: usize, en: bool) -> bool {
+        let mut v = Vec::new();
+        for i in 0..(1 << bits) {
+            v.push(data >> i & 1 == 1);
+        }
+        for i in 0..bits {
+            v.push(sel >> i & 1 == 1);
+        }
+        v.push(en);
+        n.simulate(&v).unwrap()[0]
+    }
+
+    #[test]
+    fn tree_selects_each_lane() {
+        let n = tree(3);
+        for lane in 0..8 {
+            assert!(select(&n, 1 << lane, lane, 3, true), "lane {lane}");
+            assert!(!select(&n, !(1u32 << lane), lane, 3, true));
+        }
+    }
+
+    #[test]
+    fn enable_gates_output() {
+        let n = tree(2);
+        assert!(!select(&n, 0xF, 2, 2, false));
+    }
+
+    #[test]
+    fn flat_matches_tree() {
+        let t = tree(4);
+        let f = flat16();
+        assert!(soi_netlist::sim::random_equivalent(&t, &f, 16, 5).unwrap());
+    }
+}

@@ -1,0 +1,149 @@
+//! Priority logic — the functional family of `c432` (a 27-channel
+//! interrupt controller).
+
+use soi_netlist::{builder::NetworkBuilder, Network, NodeId};
+
+/// An n-channel priority encoder: outputs the binary index of the
+/// highest-priority (lowest-index) active request plus a `valid` flag.
+///
+/// # Panics
+///
+/// Panics if `channels < 2`.
+///
+/// # Example
+///
+/// ```rust
+/// let n = soi_circuits::select::priority::encoder(4);
+/// // requests 2 and 3 active → index 2 (10 LSB first), valid.
+/// let out = n.simulate(&[false, false, true, true]).unwrap();
+/// assert_eq!(out, vec![false, true, true]);
+/// ```
+pub fn encoder(channels: usize) -> Network {
+    assert!(channels >= 2, "need at least two channels");
+    let mut b = NetworkBuilder::new(format!("prio{channels}"));
+    let reqs = b.inputs("r", channels);
+    let bits = usize::BITS as usize - (channels - 1).leading_zeros() as usize;
+
+    // grant[i] = r[i] & !r[0..i]
+    let mut blocked = b.zero();
+    let mut grants = Vec::with_capacity(channels);
+    for &r in &reqs {
+        let nb = b.inv(blocked);
+        grants.push(b.and(r, nb));
+        blocked = b.or(blocked, r);
+    }
+    let valid = blocked;
+    for bit in 0..bits {
+        let contributors: Vec<NodeId> = grants
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i >> bit & 1 == 1)
+            .map(|(_, &g)| g)
+            .collect();
+        let o = b.or_all(&contributors);
+        b.output(format!("i{bit}"), o);
+    }
+    b.output("valid", valid);
+    b.finish()
+}
+
+/// A masked interrupt controller in the style of `c432`: `channels`
+/// request lines gated by per-group mask lines (one mask per group of
+/// `group` channels), feeding a priority encoder, with per-group "any
+/// request" outputs.
+///
+/// # Panics
+///
+/// Panics if `channels < 2`, `group == 0`, or `group` does not divide
+/// `channels`.
+pub fn interrupt_controller(channels: usize, group: usize) -> Network {
+    assert!(channels >= 2, "need at least two channels");
+    assert!(group > 0 && channels.is_multiple_of(group), "group must divide channels");
+    let mut b = NetworkBuilder::new(format!("intctl{channels}x{group}"));
+    let reqs = b.inputs("r", channels);
+    let masks = b.inputs("m", channels / group);
+
+    let gated: Vec<NodeId> = reqs
+        .iter()
+        .enumerate()
+        .map(|(i, &r)| b.and(r, masks[i / group]))
+        .collect();
+
+    // Priority chain over gated requests.
+    let mut blocked = b.zero();
+    let mut grants = Vec::with_capacity(channels);
+    for &g in &gated {
+        let nb = b.inv(blocked);
+        grants.push(b.and(g, nb));
+        blocked = b.or(blocked, g);
+    }
+    let bits = usize::BITS as usize - (channels - 1).leading_zeros() as usize;
+    for bit in 0..bits {
+        let contributors: Vec<NodeId> = grants
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i >> bit & 1 == 1)
+            .map(|(_, &g)| g)
+            .collect();
+        let o = b.or_all(&contributors);
+        b.output(format!("i{bit}"), o);
+    }
+    b.output("valid", blocked);
+    for (g, chunk) in gated.chunks(group).enumerate() {
+        let any = b.or_all(chunk);
+        b.output(format!("grp{g}"), any);
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoder_prefers_lowest_index() {
+        let n = encoder(8);
+        for first in 0..8usize {
+            let mut v = vec![false; 8];
+            for k in first..8 {
+                v[k] = true;
+            }
+            let out = n.simulate(&v).unwrap();
+            let idx: usize = out[..3]
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| usize::from(b) << i)
+                .sum();
+            assert_eq!(idx, first);
+            assert!(out[3], "valid");
+        }
+    }
+
+    #[test]
+    fn encoder_invalid_when_quiet() {
+        let n = encoder(4);
+        let out = n.simulate(&[false; 4]).unwrap();
+        assert!(!out[2]);
+    }
+
+    #[test]
+    fn controller_masks_requests() {
+        let n = interrupt_controller(9, 3);
+        // Request 0 active but group 0 masked off; request 4 active with
+        // group 1 enabled → grant 4.
+        let mut v = vec![false; 9];
+        v[0] = true;
+        v[4] = true;
+        v.extend([false, true, false]); // masks
+        let out = n.simulate(&v).unwrap();
+        let idx: usize = out[..4]
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| usize::from(b) << i)
+            .sum();
+        assert_eq!(idx, 4);
+        assert!(out[4], "valid");
+        // Group outputs: only group 1.
+        assert_eq!(&out[5..], &[false, true, false]);
+    }
+}

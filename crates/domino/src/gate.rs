@@ -1,0 +1,218 @@
+use std::fmt;
+
+use crate::{JunctionRef, Pdn};
+
+/// A domino gate: a pull-down network plus its peripheral transistors.
+///
+/// Peripheral devices and their transistor cost:
+///
+/// * precharge p-clock transistor — 1,
+/// * output inverter — 2,
+/// * keeper pmos — 1,
+/// * foot n-clock transistor — 1 if the gate is *footed* (required when any
+///   PDN transistor is driven by a primary input, which may be high during
+///   precharge; gates fed exclusively by other domino gates may be footless),
+/// * one pmos pre-discharge transistor per entry in `discharge`.
+///
+/// # Example
+///
+/// ```rust
+/// use soi_domino_ir::{DominoGate, Pdn, Signal};
+///
+/// let pdn = Pdn::series(vec![
+///     Pdn::transistor(Signal::input(0)),
+///     Pdn::transistor(Signal::input(1)),
+/// ]);
+/// let gate = DominoGate::footed(pdn);
+/// assert_eq!(gate.overhead_transistors(), 5);
+/// assert_eq!(gate.logic_transistors(), 7);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DominoGate {
+    pdn: Pdn,
+    footed: bool,
+    discharge: Vec<JunctionRef>,
+}
+
+impl DominoGate {
+    /// Creates a footed gate (with an n-clock transistor) with no discharge
+    /// transistors.
+    pub fn footed(pdn: Pdn) -> DominoGate {
+        DominoGate {
+            pdn,
+            footed: true,
+            discharge: Vec::new(),
+        }
+    }
+
+    /// Creates a footless gate (no n-clock transistor) with no discharge
+    /// transistors.
+    pub fn footless(pdn: Pdn) -> DominoGate {
+        DominoGate {
+            pdn,
+            footed: false,
+            discharge: Vec::new(),
+        }
+    }
+
+    /// Creates a gate, choosing footedness by whether the PDN touches a
+    /// primary input (the paper's Listing 2 rule).
+    pub fn footed_if_primary(pdn: Pdn) -> DominoGate {
+        let footed = pdn.touches_primary_input();
+        DominoGate {
+            pdn,
+            footed,
+            discharge: Vec::new(),
+        }
+    }
+
+    /// The pull-down network.
+    pub fn pdn(&self) -> &Pdn {
+        &self.pdn
+    }
+
+    /// Whether the gate has a foot n-clock transistor.
+    pub fn is_footed(&self) -> bool {
+        self.footed
+    }
+
+    /// The junctions carrying pmos pre-discharge transistors.
+    pub fn discharge(&self) -> &[JunctionRef] {
+        &self.discharge
+    }
+
+    /// Attaches a pre-discharge transistor at the given junction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the junction does not exist in this gate's PDN, or if it
+    /// already carries a discharge transistor (the paper adds at most one
+    /// per node).
+    pub fn add_discharge(&mut self, junction: JunctionRef) {
+        assert!(
+            self.pdn.flatten().junction_net(&junction).is_some(),
+            "junction {junction} does not exist in this PDN"
+        );
+        assert!(
+            !self.discharge.contains(&junction),
+            "junction {junction} already has a discharge transistor"
+        );
+        self.discharge.push(junction);
+    }
+
+    /// Replaces the discharge set wholesale (used by analysis passes that
+    /// compute the complete set at once).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any junction does not exist or appears twice.
+    pub fn set_discharge(&mut self, junctions: Vec<JunctionRef>) {
+        let graph = self.pdn.flatten();
+        for (i, j) in junctions.iter().enumerate() {
+            assert!(
+                graph.junction_net(j).is_some(),
+                "junction {j} does not exist in this PDN"
+            );
+            assert!(
+                !junctions[..i].contains(j),
+                "junction {j} listed twice in discharge set"
+            );
+        }
+        self.discharge = junctions;
+    }
+
+    /// Number of transistors beyond the PDN: p-clock + inverter (2) +
+    /// keeper + n-clock when footed.
+    pub fn overhead_transistors(&self) -> u32 {
+        4 + u32::from(self.footed)
+    }
+
+    /// `T_logic` contribution: PDN transistors plus overhead (everything
+    /// except pre-discharge transistors).
+    pub fn logic_transistors(&self) -> u32 {
+        self.pdn.transistor_count() + self.overhead_transistors()
+    }
+
+    /// Number of pre-discharge transistors (`T_disch` contribution).
+    pub fn discharge_transistors(&self) -> u32 {
+        self.discharge.len() as u32
+    }
+
+    /// Clock-connected transistors: p-clock, the n-clock when footed, and
+    /// all pre-discharge transistors (the paper's `T_clock` accounting).
+    pub fn clock_transistors(&self) -> u32 {
+        1 + u32::from(self.footed) + self.discharge_transistors()
+    }
+}
+
+impl fmt::Display for DominoGate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "domino{}[{}] disch={}",
+            if self.footed { "(footed)" } else { "" },
+            self.pdn,
+            self.discharge.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Signal;
+
+    fn two_high_pdn() -> Pdn {
+        Pdn::series(vec![
+            Pdn::transistor(Signal::input(0)),
+            Pdn::transistor(Signal::input(1)),
+        ])
+    }
+
+    #[test]
+    fn footed_counts() {
+        let g = DominoGate::footed(two_high_pdn());
+        assert_eq!(g.logic_transistors(), 7);
+        assert_eq!(g.clock_transistors(), 2);
+        assert_eq!(g.discharge_transistors(), 0);
+    }
+
+    #[test]
+    fn footless_counts() {
+        let g = DominoGate::footless(two_high_pdn());
+        assert_eq!(g.logic_transistors(), 6);
+        assert_eq!(g.clock_transistors(), 1);
+    }
+
+    #[test]
+    fn footed_if_primary_detects_gate_inputs() {
+        let gate_fed = Pdn::transistor(Signal::Gate(crate::GateId::from_index(3)));
+        assert!(!DominoGate::footed_if_primary(gate_fed).is_footed());
+        assert!(DominoGate::footed_if_primary(two_high_pdn()).is_footed());
+    }
+
+    #[test]
+    fn discharge_accounting() {
+        let mut g = DominoGate::footed(two_high_pdn());
+        g.add_discharge(JunctionRef::new(vec![], 0));
+        assert_eq!(g.discharge_transistors(), 1);
+        assert_eq!(g.clock_transistors(), 3);
+        // logic count unchanged by discharge.
+        assert_eq!(g.logic_transistors(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist")]
+    fn discharge_requires_real_junction() {
+        let mut g = DominoGate::footed(two_high_pdn());
+        g.add_discharge(JunctionRef::new(vec![9], 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "already has")]
+    fn duplicate_discharge_rejected() {
+        let mut g = DominoGate::footed(two_high_pdn());
+        g.add_discharge(JunctionRef::new(vec![], 0));
+        g.add_discharge(JunctionRef::new(vec![], 0));
+    }
+}

@@ -1,0 +1,56 @@
+//! # soi-domino-ir
+//!
+//! Transistor-level model of domino logic circuits — the output
+//! representation of the technology mappers and the unit of measurement for
+//! every table in the paper.
+//!
+//! The central types are:
+//!
+//! * [`Pdn`] — a pull-down network: a series/parallel tree of nmos
+//!   transistors, each driven by a [`Signal`] (a primary-input literal or
+//!   another gate's output);
+//! * [`DominoGate`] — a PDN plus its peripheral transistors (precharge
+//!   p-clock, optional foot n-clock, keeper, output inverter) and the pmos
+//!   pre-discharge transistors attached to internal nets;
+//! * [`DominoCircuit`] — a network of domino gates with named primary
+//!   outputs;
+//! * [`TransistorCounts`] — the `T_logic` / `T_disch` / `T_total` /
+//!   `T_clock` / `#G` / `L` accounting used throughout the paper's
+//!   evaluation.
+//!
+//! # Example
+//!
+//! Build the paper's running example `(A + B + C) * D` (Fig. 2a) by hand:
+//!
+//! ```rust
+//! use soi_domino_ir::{DominoCircuit, DominoGate, Pdn, Signal};
+//!
+//! let mut c = DominoCircuit::new(vec!["a".into(), "b".into(), "c".into(), "d".into()]);
+//! let pdn = Pdn::series(vec![
+//!     Pdn::parallel(vec![
+//!         Pdn::transistor(Signal::input(0)),
+//!         Pdn::transistor(Signal::input(1)),
+//!         Pdn::transistor(Signal::input(2)),
+//!     ]),
+//!     Pdn::transistor(Signal::input(3)),
+//! ]);
+//! let g = c.add_gate(DominoGate::footed(pdn));
+//! c.add_output("f", g);
+//! let counts = c.counts();
+//! assert_eq!(counts.logic, 4 + 5); // 4 pdn transistors + 5 overhead
+//! assert_eq!(counts.gates, 1);
+//! ```
+
+mod circuit;
+mod count;
+mod error;
+pub mod export;
+mod gate;
+mod pdn;
+pub mod timing;
+
+pub use circuit::{DominoCircuit, GateId, OutputBinding};
+pub use count::TransistorCounts;
+pub use error::DominoError;
+pub use gate::DominoGate;
+pub use pdn::{JunctionRef, NetId, Pdn, PdnGraph, PdnTransistor, Phase, Signal};

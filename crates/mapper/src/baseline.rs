@@ -1,0 +1,265 @@
+//! The `Domino_Map` baseline: the Zhao–Sapatnekar ICCAD'98 dynamic program
+//! over `{W, H, cost}` tuples, blind to the parasitic bipolar effect.
+//!
+//! Each unate node accumulates the cheapest cost for every feasible
+//! pull-down shape `(W, H)`; AND stacks combine as
+//! `{max(W1,W2), H1+H2}` and OR stacks as `{W1+W2, max(H1,H2)}` (§IV,
+//! Listing 1). Stack order inside an AND follows
+//! [`MapConfig::baseline_order`] — by default the bulk-CMOS-typical
+//! parallel-toward-the-dynamic-node orientation of the paper's §III-B,
+//! which is exactly what excites the PBE. The consequences are somebody
+//! else's problem, namely `soi_pbe::postprocess` (and `soi_pbe::rearrange`
+//! for `RS_Map`).
+
+use std::collections::HashMap;
+
+use soi_unate::{UNode, UnateNetwork};
+
+use crate::dp;
+use crate::tuple::{Cand, CandRef, Form, NodeSol, TupleKey};
+use crate::{Algorithm, CostModel, MapConfig, MapError};
+
+/// Runs the baseline DP, producing one [`NodeSol`] per unate node.
+pub(crate) fn solve(
+    unate: &UnateNetwork,
+    config: &MapConfig,
+) -> Result<Vec<NodeSol>, MapError> {
+    let model = CostModel::new(config, Algorithm::DominoMap);
+    let fanouts = dp::fanouts(unate);
+    let mut sols: Vec<NodeSol> = Vec::with_capacity(unate.len());
+
+    for (id, node) in unate.iter() {
+        let sol = match node {
+            UNode::Lit(l) => dp::literal_sol(id, l, config, &model),
+            UNode::And(a, b) | UNode::Or(a, b) => {
+                let is_and = matches!(node, UNode::And(..));
+                // Best candidate per shape.
+                let mut bare: HashMap<TupleKey, Cand> = HashMap::new();
+                for (ra, ca) in sols[a.index()].exported_refs(a) {
+                    for (rb, cb) in sols[b.index()].exported_refs(b) {
+                        let key = if is_and { ra.key.and(rb.key) } else { ra.key.or(rb.key) };
+                        if !key.fits(config.w_max, config.h_max) {
+                            continue;
+                        }
+                        let cand = combine(config.baseline_order, is_and, ra, ca, rb, cb);
+                        match bare.get(&key) {
+                            Some(existing) if !model.better(&cand.g, &existing.g) => {}
+                            _ => {
+                                bare.insert(key, cand);
+                            }
+                        }
+                    }
+                }
+                if bare.is_empty() {
+                    return Err(MapError::Unmappable {
+                        what: format!(
+                            "node {id} has no (W ≤ {}, H ≤ {}) combination",
+                            config.w_max, config.h_max
+                        ),
+                    });
+                }
+                let bare_vec: Vec<(TupleKey, Cand)> =
+                    bare.iter().map(|(k, c)| (*k, c.clone())).collect();
+                let mut sol = NodeSol::default();
+                sol.gate = dp::form_gate(&sol, config, &model, &bare_vec);
+                let gate = sol.gate.as_ref().expect("nonempty bare set");
+                let gate_cand = dp::exported_gate_cand(id, gate, fanouts[id.index()], config);
+                if fanouts[id.index()] <= 1 || config.allow_duplication {
+                    for (key, cand) in bare {
+                        sol.exported.insert(key, vec![cand]);
+                    }
+                }
+                sol.exported
+                    .entry(TupleKey::UNIT)
+                    .or_default()
+                    .push(gate_cand);
+                sol
+            }
+        };
+        sols.push(sol);
+    }
+    Ok(sols)
+}
+
+/// PBE-blind combination. Potential-point bookkeeping (`p_dis`, `par_b`)
+/// is still tracked — not to influence the cost, which stays pure logic,
+/// but to drive the bulk-typical stack orientation.
+fn combine(
+    order: crate::AndOrder,
+    is_and: bool,
+    ra: CandRef,
+    ca: &Cand,
+    rb: CandRef,
+    cb: &Cand,
+) -> Cand {
+    let g = ca.g.combine(cb.g);
+    let touches_pi = ca.touches_pi || cb.touches_pi;
+    if !is_and {
+        return Cand {
+            g,
+            u: g,
+            p_spine: 0,
+            p_branch: ca.p_dis() + cb.p_dis(),
+            par_b: true,
+            touches_pi,
+            form: Form::Or { a: ra, b: rb },
+        };
+    }
+    let a_on_top = match order {
+        // Bulk practice: the parallel-bearing, junction-rich operand goes
+        // toward the dynamic node (§III-B "typical configuration").
+        crate::AndOrder::BulkTypical => {
+            ca.p_branch + u32::from(ca.par_b) >= cb.p_branch + u32::from(cb.par_b)
+        }
+        _ => true,
+    };
+    let (rt, ct, rbm, cbm) = if a_on_top {
+        (ra, ca, rb, cb)
+    } else {
+        (rb, cb, ra, ca)
+    };
+    Cand {
+        g,
+        u: g,
+        p_spine: cbm.p_spine + ct.p_spine + u32::from(!ct.par_b),
+        p_branch: cbm.p_branch,
+        par_b: cbm.par_b,
+        touches_pi,
+        form: Form::And { top: rt, bottom: rbm },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_unate::{Literal, Phase, USignal};
+
+    /// The paper's Fig. 3 network: two 2-input ANDs feeding an OR,
+    /// `W_max = H_max = 4`.
+    fn fig3_unate() -> UnateNetwork {
+        let mut u = UnateNetwork::new((0..4).map(|i| format!("i{i}")).collect());
+        let lits: Vec<_> = (0..4)
+            .map(|i| {
+                u.add_literal(Literal {
+                    input: i,
+                    phase: Phase::Pos,
+                })
+            })
+            .collect();
+        let and1 = u.add_and(lits[0], lits[1]);
+        let and2 = u.add_and(lits[2], lits[3]);
+        let or = u.add_or(and1, and2);
+        u.add_output("f", USignal::Node(or), false);
+        u
+    }
+
+    fn fig3_config() -> MapConfig {
+        MapConfig {
+            w_max: 4,
+            h_max: 4,
+            ..MapConfig::default()
+        }
+    }
+
+    #[test]
+    fn fig3_and_node_tuples() {
+        let u = fig3_unate();
+        let sols = solve(&u, &fig3_config()).unwrap();
+        // AND node (index 4): bare {1,2} with cost 2, gate cost 7.
+        let and_sol = &sols[4];
+        let bare = &and_sol.exported[&TupleKey { w: 1, h: 2 }];
+        assert_eq!(bare[0].g.tx, 2);
+        let gate = and_sol.gate.as_ref().unwrap();
+        assert_eq!(gate.cost.tx, 7); // 2 + 5 (footed: PIs)
+        // Exported gate tuple carries cost 8 = 7 + the driven transistor.
+        let unit = &and_sol.exported[&TupleKey::UNIT];
+        assert_eq!(unit[0].g.tx, 8);
+    }
+
+    #[test]
+    fn fig3_or_node_selects_cost_4_and_gate_cost_9() {
+        let u = fig3_unate();
+        let sols = solve(&u, &fig3_config()).unwrap();
+        let or_sol = &sols[6];
+        // {2,2}: both ANDs absorbed, cost 4.
+        let best = &or_sol.exported[&TupleKey { w: 2, h: 2 }];
+        assert_eq!(best[0].g.tx, 4);
+        // {2,1}: both as gates, cost 16.
+        let gates = &or_sol.exported[&TupleKey { w: 2, h: 1 }];
+        assert_eq!(gates[0].g.tx, 16);
+        // Final gate: 4 + 5 = 9 (the paper's result).
+        assert_eq!(or_sol.gate.as_ref().unwrap().cost.tx, 9);
+    }
+
+    #[test]
+    fn fig3_mixed_combination_cost_10() {
+        // gate + bare = {2,2} cost 10, dominated by the 4.
+        // Verify by re-running with H_max = 2 blocking... the {2,2}
+        // all-bare solution needs H=2, which fits; instead check the mixed
+        // entry loses: the kept {2,2} candidate must cost 4, not 10.
+        let u = fig3_unate();
+        let sols = solve(&u, &fig3_config()).unwrap();
+        let or_sol = &sols[6];
+        assert_eq!(or_sol.exported[&TupleKey { w: 2, h: 2 }][0].g.tx, 4);
+    }
+
+    #[test]
+    fn shallow_limits_force_gate_boundaries() {
+        let u = fig3_unate();
+        let config = MapConfig {
+            w_max: 2,
+            h_max: 1,
+            ..MapConfig::default()
+        };
+        // H_max = 1 forbids the bare AND stack; ANDs must form gates...
+        // but an AND of two {1,1} literals needs H = 2, so the AND node
+        // itself is unmappable.
+        assert!(matches!(
+            solve(&u, &config),
+            Err(MapError::Unmappable { .. })
+        ));
+    }
+
+    #[test]
+    fn multi_fanout_node_exports_only_gate() {
+        let mut u = UnateNetwork::new((0..3).map(|i| format!("i{i}")).collect());
+        let a = u.add_literal(Literal {
+            input: 0,
+            phase: Phase::Pos,
+        });
+        let b = u.add_literal(Literal {
+            input: 1,
+            phase: Phase::Pos,
+        });
+        let c = u.add_literal(Literal {
+            input: 2,
+            phase: Phase::Pos,
+        });
+        let shared = u.add_and(a, b);
+        let f1 = u.add_or(shared, c);
+        let f2 = u.add_and(shared, c);
+        u.add_output("f1", USignal::Node(f1), false);
+        u.add_output("f2", USignal::Node(f2), false);
+        let sols = solve(&u, &MapConfig::default()).unwrap();
+        let shared_sol = &sols[3];
+        assert_eq!(shared_sol.exported.len(), 1);
+        let unit = &shared_sol.exported[&TupleKey::UNIT];
+        assert_eq!(unit.len(), 1);
+        // Shared: consumers see only the driven transistor.
+        assert_eq!(unit[0].g.tx, 1);
+    }
+
+    #[test]
+    fn depth_objective_prefers_flat_structures() {
+        let u = fig3_unate();
+        let config = MapConfig {
+            objective: crate::Objective::Depth,
+            w_max: 4,
+            h_max: 4,
+            ..MapConfig::default()
+        };
+        let sols = solve(&u, &config).unwrap();
+        // Single-gate solution: level 1.
+        assert_eq!(sols[6].gate.as_ref().unwrap().cost.level, 1);
+    }
+}

@@ -1,0 +1,205 @@
+use soi_unate::OutputPhase;
+
+/// Which mapping algorithm a [`Mapper`](crate::Mapper) runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// `Domino_Map`: the ICCAD'98 PBE-blind DP; discharge transistors are
+    /// added by post-processing.
+    DominoMap,
+    /// `RS_Map`: `Domino_Map` plus series-stack rearrangement before the
+    /// discharge post-processing.
+    RsMap,
+    /// `SOI_Domino_Map`: the paper's PBE-aware DP.
+    SoiDominoMap,
+}
+
+impl Algorithm {
+    /// The name used in the paper's tables.
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            Algorithm::DominoMap => "Domino_Map",
+            Algorithm::RsMap => "RS_Map",
+            Algorithm::SoiDominoMap => "SOI_Domino_Map",
+        }
+    }
+}
+
+/// Mapping objective (the DP cost function).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Objective {
+    /// Minimize transistors (Tables I–III).
+    #[default]
+    Area,
+    /// Minimize domino-gate levels; the SOI variant folds the discharge
+    /// count into the cost as §VI-D describes (Table IV).
+    Depth,
+}
+
+/// When domino gates receive a foot n-clock transistor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Footing {
+    /// Foot only gates whose PDN is driven by a primary input (the paper's
+    /// Listing 2; inputs may be high during precharge, internal domino
+    /// outputs are guaranteed low).
+    #[default]
+    AtPrimaryInputs,
+    /// Foot every gate (conservative bulk-CMOS style).
+    Always,
+}
+
+/// How the AND combination orders its two operands in the series stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AndOrder {
+    /// The paper's heuristic: a parallel-bottomed operand goes to the
+    /// bottom; if both qualify, the one with more potential discharge
+    /// points. Used by `SOI_Domino_Map`.
+    #[default]
+    PaperHeuristic,
+    /// Explore both orders inside the DP (strictly subsumes the heuristic;
+    /// ablation A2 in DESIGN.md).
+    Exhaustive,
+    /// Always put the first operand on top (a neutral PBE-blind order).
+    FirstOnTop,
+    /// Parallel stacks toward the dynamic node — "a typical configuration
+    /// in bulk CMOS" (§III-B): wide sections at the top minimize the
+    /// internal diffusion capacitance exposed to charge sharing in bulk,
+    /// and are exactly what excites the PBE in SOI. This is what the
+    /// PBE-blind `Domino_Map` baseline uses.
+    BulkTypical,
+}
+
+/// Full mapper configuration.
+///
+/// The defaults reproduce the paper's experimental setup: `W_max = 5`,
+/// `H_max = 8`, area objective, unweighted clock transistors, footing at
+/// primary inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MapConfig {
+    /// Maximum pull-down-network width (parallel transistors).
+    pub w_max: u32,
+    /// Maximum pull-down-network height (series transistors).
+    pub h_max: u32,
+    /// DP objective.
+    pub objective: Objective,
+    /// Cost multiplier `k` for clock-connected transistors (p-clock,
+    /// n-clock and pre-discharge). `1` = plain transistor counting
+    /// (Tables I/II); Table III uses `2`.
+    pub clock_weight: u32,
+    /// Weight of one gate level against one discharge transistor under the
+    /// depth objective (`SOI_Domino_Map` only): the DP accepts one extra
+    /// level if it saves more than this many discharge transistors.
+    pub depth_level_weight: u32,
+    /// Foot n-clock policy.
+    pub footing: Footing,
+    /// AND stack-order policy for `SOI_Domino_Map`.
+    pub and_order: AndOrder,
+    /// AND stack-order policy for the PBE-blind `Domino_Map`/`RS_Map`
+    /// baselines (default [`AndOrder::BulkTypical`]).
+    pub baseline_order: AndOrder,
+    /// Maximum Pareto candidates kept per `(W, H)` tuple in the SOI DP.
+    pub max_candidates: usize,
+    /// Output-phase policy of the unate conversion front end.
+    pub output_phase: OutputPhase,
+    /// Allow the DP to *duplicate* multi-fanout logic into its consumers
+    /// when that is cheaper than forming a shared gate (each consumer pays
+    /// the full subtree cost). The paper's mapper never duplicates beyond
+    /// the unate conversion — this is the replication idea of its §III-C
+    /// item 3, exposed as an extension and studied in ablation A5.
+    pub allow_duplication: bool,
+}
+
+impl Default for MapConfig {
+    fn default() -> MapConfig {
+        MapConfig {
+            w_max: 5,
+            h_max: 8,
+            objective: Objective::Area,
+            clock_weight: 1,
+            depth_level_weight: 4,
+            footing: Footing::AtPrimaryInputs,
+            and_order: AndOrder::PaperHeuristic,
+            baseline_order: AndOrder::BulkTypical,
+            max_candidates: 4,
+            output_phase: OutputPhase::Positive,
+            allow_duplication: false,
+        }
+    }
+}
+
+impl MapConfig {
+    /// The paper's depth-objective configuration.
+    pub fn depth() -> MapConfig {
+        MapConfig {
+            objective: Objective::Depth,
+            ..MapConfig::default()
+        }
+    }
+
+    /// The paper's Table III configuration with clock weight `k`.
+    pub fn with_clock_weight(k: u32) -> MapConfig {
+        MapConfig {
+            clock_weight: k,
+            ..MapConfig::default()
+        }
+    }
+
+    /// Validates the configuration bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError::InvalidConfig`](crate::MapError::InvalidConfig)
+    /// if a limit is zero or the candidate cap is zero.
+    pub fn validate(&self) -> Result<(), crate::MapError> {
+        if self.w_max == 0 || self.h_max == 0 {
+            return Err(crate::MapError::InvalidConfig {
+                what: "w_max and h_max must be at least 1".into(),
+            });
+        }
+        if self.max_candidates == 0 {
+            return Err(crate::MapError::InvalidConfig {
+                what: "max_candidates must be at least 1".into(),
+            });
+        }
+        if self.clock_weight == 0 {
+            return Err(crate::MapError::InvalidConfig {
+                what: "clock_weight must be at least 1".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = MapConfig::default();
+        assert_eq!(c.w_max, 5);
+        assert_eq!(c.h_max, 8);
+        assert_eq!(c.objective, Objective::Area);
+        assert_eq!(c.clock_weight, 1);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = MapConfig::default();
+        c.w_max = 0;
+        assert!(c.validate().is_err());
+        let mut c = MapConfig::default();
+        c.max_candidates = 0;
+        assert!(c.validate().is_err());
+        let mut c = MapConfig::default();
+        c.clock_weight = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn paper_names() {
+        assert_eq!(Algorithm::DominoMap.paper_name(), "Domino_Map");
+        assert_eq!(Algorithm::RsMap.paper_name(), "RS_Map");
+        assert_eq!(Algorithm::SoiDominoMap.paper_name(), "SOI_Domino_Map");
+    }
+}

@@ -1,0 +1,207 @@
+//! Shared pieces of the two tuple DPs.
+
+use soi_unate::{Literal, UId, UnateNetwork};
+
+use crate::tuple::{Cand, Form, GateSol, NodeSol, TupleKey};
+use crate::{Cost, CostModel, Footing, MapConfig};
+
+/// Gate-periphery cost: p-clock + output inverter (2) + keeper, plus the
+/// foot n-clock when required. Clock-connected devices weigh
+/// `config.clock_weight`.
+pub(crate) fn gate_overhead(touches_pi: bool, config: &MapConfig) -> (Cost, bool) {
+    let footed = matches!(config.footing, Footing::Always) || touches_pi;
+    let k = config.clock_weight;
+    let cost = Cost {
+        tx: 4 + u32::from(footed),
+        wtx: k + 2 + 1 + if footed { k } else { 0 },
+        disch: 0,
+        level: 0,
+    };
+    (cost, footed)
+}
+
+/// Picks the cheapest bare tuple (by the model's grounded key, ties broken
+/// toward fewer potential discharge points, then smaller shape) and wraps it
+/// into a formed-gate solution.
+pub(crate) fn form_gate(
+    sol: &NodeSol,
+    config: &MapConfig,
+    model: &CostModel,
+    bare: &[(TupleKey, Cand)],
+) -> Option<GateSol> {
+    let _ = sol;
+    let mut best: Option<(Cost, u32, TupleKey, &Cand)> = None;
+    for (key, cand) in bare {
+        let (overhead, _) = gate_overhead(cand.touches_pi, config);
+        let mut cost = cand.g.combine(overhead);
+        cost.level = cand.g.level + 1;
+        let better = match &best {
+            None => true,
+            Some((bcost, bp, bkey, _)) => {
+                let (ka, kb) = (model.key(&cost), model.key(bcost));
+                ka < kb
+                    || (ka == kb
+                        && (cand.p_dis() < *bp
+                            || (cand.p_dis() == *bp && (key.w, key.h) < (bkey.w, bkey.h))))
+            }
+        };
+        if better {
+            best = Some((cost, cand.p_dis(), *key, cand));
+        }
+    }
+    best.map(|(cost, _, shape, cand)| {
+        let (_, footed) = gate_overhead(cand.touches_pi, config);
+        GateSol {
+            cost,
+            footed,
+            form: cand.form.clone(),
+            shape,
+        }
+    })
+}
+
+/// The gate-as-input candidate a node exports to its consumers: a single
+/// transistor at `{1,1}` driven by the node's formed gate. A fanout-1 node
+/// carries the gate's whole cost (it is paid exactly once, here); shared
+/// nodes charge their gate cost globally and expose only the transistor —
+/// unless duplication is allowed, in which case each consumer sees an
+/// *amortized* share so that replicating the logic can compete fairly
+/// (final counts are always recomputed from the materialized circuit).
+pub(crate) fn exported_gate_cand(
+    node: UId,
+    gate: &GateSol,
+    fanout: u32,
+    config: &MapConfig,
+) -> Cand {
+    let g = if fanout <= 1 {
+        gate.cost.combine(Cost::transistors(1))
+    } else if config.allow_duplication {
+        Cost {
+            tx: gate.cost.tx.div_ceil(fanout) + 1,
+            wtx: gate.cost.wtx.div_ceil(fanout) + 1,
+            disch: gate.cost.disch.div_ceil(fanout),
+            level: gate.cost.level,
+        }
+    } else {
+        Cost {
+            tx: 1,
+            wtx: 1,
+            disch: 0,
+            level: gate.cost.level,
+        }
+    };
+    Cand {
+        g,
+        u: g,
+        p_spine: 0,
+        p_branch: 0,
+        par_b: false,
+        touches_pi: false,
+        form: Form::ChildGate(node),
+    }
+}
+
+/// The single candidate of a literal leaf: one transistor driven by a
+/// primary input.
+pub(crate) fn literal_cand(literal: Literal) -> Cand {
+    let g = Cost::transistors(1);
+    Cand {
+        g,
+        u: g,
+        p_spine: 0,
+        p_branch: 0,
+        par_b: false,
+        touches_pi: true,
+        form: Form::Lit(literal),
+    }
+}
+
+/// Builds the literal node's solution (exported literal tuple plus a
+/// buffer-style gate for the rare case a literal drives a primary output).
+pub(crate) fn literal_sol(
+    _node: UId,
+    literal: Literal,
+    config: &MapConfig,
+    model: &CostModel,
+) -> NodeSol {
+    let mut sol = NodeSol::default();
+    let cand = literal_cand(literal);
+    let bare = vec![(TupleKey::UNIT, cand.clone())];
+    sol.gate = form_gate(&sol, config, model, &bare);
+    sol.exported.insert(TupleKey::UNIT, vec![cand]);
+    sol
+}
+
+/// Fanout counts of every node, where primary outputs count as consumers.
+pub(crate) fn fanouts(unate: &UnateNetwork) -> Vec<u32> {
+    unate.fanout_counts()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Algorithm;
+    use soi_unate::Phase;
+
+    fn lit() -> Literal {
+        Literal {
+            input: 0,
+            phase: Phase::Pos,
+        }
+    }
+
+    #[test]
+    fn overhead_footed_vs_footless() {
+        let config = MapConfig::default();
+        let (c, footed) = gate_overhead(true, &config);
+        assert!(footed);
+        assert_eq!(c.tx, 5);
+        let (c, footed) = gate_overhead(false, &config);
+        assert!(!footed);
+        assert_eq!(c.tx, 4);
+    }
+
+    #[test]
+    fn overhead_clock_weighting() {
+        let config = MapConfig::with_clock_weight(3);
+        let (c, _) = gate_overhead(true, &config);
+        assert_eq!(c.tx, 5);
+        assert_eq!(c.wtx, 3 + 2 + 1 + 3);
+    }
+
+    #[test]
+    fn always_footed_policy() {
+        let config = MapConfig {
+            footing: Footing::Always,
+            ..MapConfig::default()
+        };
+        let (c, footed) = gate_overhead(false, &config);
+        assert!(footed);
+        assert_eq!(c.tx, 5);
+    }
+
+    #[test]
+    fn literal_gate_is_buffer() {
+        let config = MapConfig::default();
+        let model = CostModel::new(&config, Algorithm::DominoMap);
+        let sol = literal_sol(UId::from_index(0), lit(), &config, &model);
+        let gate = sol.gate.expect("literal has a gate");
+        // 1 transistor + 5 overhead (touches a PI), level 1.
+        assert_eq!(gate.cost.tx, 6);
+        assert_eq!(gate.cost.level, 1);
+        assert!(gate.footed);
+    }
+
+    #[test]
+    fn shared_gate_exports_unit_cost() {
+        let config = MapConfig::default();
+        let model = CostModel::new(&config, Algorithm::DominoMap);
+        let sol = literal_sol(UId::from_index(0), lit(), &config, &model);
+        let gate = sol.gate.as_ref().unwrap();
+        let shared = exported_gate_cand(UId::from_index(0), gate, 3, &config);
+        assert_eq!(shared.g.tx, 1);
+        assert_eq!(shared.g.level, gate.cost.level);
+        let exclusive = exported_gate_cand(UId::from_index(0), gate, 1, &config);
+        assert_eq!(exclusive.g.tx, gate.cost.tx + 1);
+    }
+}

@@ -1,0 +1,78 @@
+use std::error::Error;
+use std::fmt;
+
+use soi_unate::UnateError;
+
+/// Errors produced by the technology mappers.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum MapError {
+    /// The configuration is out of bounds.
+    InvalidConfig {
+        /// Description of the violated constraint.
+        what: String,
+    },
+    /// The unate conversion front end failed.
+    Unate {
+        /// The underlying error.
+        source: UnateError,
+    },
+    /// An output folded to a constant during unate conversion; domino gates
+    /// cannot drive constants.
+    ConstantOutput {
+        /// The output's name.
+        name: String,
+    },
+    /// A node admits no tuple within the `(W_max, H_max)` limits.
+    Unmappable {
+        /// Description of the node.
+        what: String,
+    },
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
+            MapError::Unate { source } => write!(f, "unate conversion failed: {source}"),
+            MapError::ConstantOutput { name } => {
+                write!(f, "output `{name}` is constant and cannot be mapped to domino")
+            }
+            MapError::Unmappable { what } => write!(f, "no feasible tuple: {what}"),
+        }
+    }
+}
+
+impl Error for MapError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MapError::Unate { source } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<UnateError> for MapError {
+    fn from(source: UnateError) -> MapError {
+        MapError::Unate { source }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = MapError::ConstantOutput { name: "f".into() };
+        assert!(e.to_string().contains("constant"));
+        let e = MapError::InvalidConfig { what: "w".into() };
+        assert!(e.to_string().contains("configuration"));
+    }
+
+    #[test]
+    fn traits() {
+        fn assert_err<T: Error + Send + Sync>() {}
+        assert_err::<MapError>();
+    }
+}

@@ -1,0 +1,67 @@
+//! # soi-mapper
+//!
+//! Library-free technology mapping of unate logic networks into domino
+//! circuits — the paper's core contribution and both baselines it compares
+//! against:
+//!
+//! * **`Domino_Map`** ([`Mapper::baseline`]) — the Zhao–Sapatnekar
+//!   (ICCAD'98) dynamic program over `{W, H, cost}` tuples, blind to the
+//!   parasitic bipolar effect; pre-discharge transistors are inserted by a
+//!   post-processing pass.
+//! * **`RS_Map`** ([`Mapper::rearrange_stacks`]) — `Domino_Map` followed by
+//!   series-stack rearrangement before discharge insertion (§VI-A).
+//! * **`SOI_Domino_Map`** ([`Mapper::soi`]) — the paper's algorithm: tuples
+//!   are extended with the potential-discharge-point count `p_dis`, the
+//!   parallel-bottom flag `par_b`, and grounded/ungrounded costs, so the DP
+//!   minimizes implementation cost *including* the discharge transistors it
+//!   will need (§V).
+//!
+//! The mapping pipeline is [`Mapper::run`]: binate network → unate
+//! conversion (`soi-unate`) → tuple DP → gate materialization → (baselines
+//! only) discharge post-processing. Every mapped circuit is PBE-safe by
+//! construction; `soi-pbe`'s hazard checker and body simulator validate
+//! this in the test suite.
+//!
+//! # Example
+//!
+//! ```rust
+//! use soi_netlist::Network;
+//! use soi_mapper::{MapConfig, Mapper};
+//!
+//! # fn main() -> Result<(), soi_mapper::MapError> {
+//! // The paper's Fig. 2(a) function: f = (a + b + c) * d.
+//! let mut n = Network::new("fig2a");
+//! let a = n.add_input("a");
+//! let b = n.add_input("b");
+//! let c = n.add_input("c");
+//! let d = n.add_input("d");
+//! let ab = n.or2(a, b);
+//! let abc = n.or2(ab, c);
+//! let f = n.and2(abc, d);
+//! n.add_output("f", f);
+//!
+//! let baseline = Mapper::baseline(MapConfig::default()).run(&n)?;
+//! let soi = Mapper::soi(MapConfig::default()).run(&n)?;
+//! // The SOI mapper never needs more total transistors than the baseline.
+//! assert!(soi.counts.total <= baseline.counts.total);
+//! # Ok(())
+//! # }
+//! ```
+
+mod baseline;
+mod config;
+mod cost;
+mod dp;
+mod error;
+mod map;
+mod reconstruct;
+mod report;
+mod soi;
+mod tuple;
+
+pub use config::{Algorithm, AndOrder, Footing, MapConfig, Objective};
+pub use cost::{Cost, CostModel};
+pub use error::MapError;
+pub use map::Mapper;
+pub use report::MappingResult;
+pub use tuple::TupleKey;

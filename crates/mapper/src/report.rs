@@ -1,0 +1,67 @@
+use std::fmt;
+
+use soi_domino_ir::{DominoCircuit, TransistorCounts};
+
+use crate::Algorithm;
+
+/// The product of a mapping run: the circuit plus its accounting.
+#[derive(Debug, Clone)]
+pub struct MappingResult {
+    /// Which algorithm produced the circuit.
+    pub algorithm: Algorithm,
+    /// The mapped, PBE-protected domino circuit.
+    pub circuit: DominoCircuit,
+    /// The transistor accounting (`T_logic`, `T_disch`, ...).
+    pub counts: TransistorCounts,
+    /// Gate count of the unate network that was mapped (diagnostics).
+    pub unate_gates: usize,
+    /// Depth of the unate network in 2-input gate levels (the paper's
+    /// Table IV second column).
+    pub unate_depth: u32,
+}
+
+impl fmt::Display for MappingResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} (from {} unate gates, depth {})",
+            self.algorithm.paper_name(),
+            self.counts,
+            self.unate_gates,
+            self.unate_depth
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MapConfig, Mapper};
+    use soi_netlist::Network;
+
+    fn tiny_result() -> MappingResult {
+        let mut n = Network::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g = n.and2(a, b);
+        n.add_output("f", g);
+        Mapper::soi(MapConfig::default()).run(&n).expect("maps")
+    }
+
+    #[test]
+    fn display_names_the_algorithm_and_counts() {
+        let r = tiny_result();
+        let text = r.to_string();
+        assert!(text.contains("SOI_Domino_Map"));
+        assert!(text.contains("T_logic"));
+        assert!(text.contains("unate gates"));
+    }
+
+    #[test]
+    fn result_fields_are_consistent() {
+        let r = tiny_result();
+        assert_eq!(r.counts, r.circuit.counts());
+        assert_eq!(r.unate_gates, 1);
+        assert_eq!(r.unate_depth, 1);
+    }
+}

@@ -1,0 +1,398 @@
+//! `SOI_Domino_Map`: the paper's PBE-aware dynamic program (§V).
+//!
+//! Tuples carry, beyond shape and cost, the potential-discharge-point
+//! counts (split into series-*spine* and parallel-*branch* points, see
+//! [`Cand`]), the parallel-bottom flag `par_b`, and *two* costs — grounded
+//! (`g`) and on-top (`u = g + k·(p_branch + par_b)`). Combination rules:
+//!
+//! ```text
+//! OR(a, b):          g = g_a + g_b
+//!                    branch = p_dis_a + p_dis_b     spine = 0   par_b = true
+//! AND(top, bottom):  g = u_top + g_bottom                       par_b = par_b_bottom
+//!                    spine  = spine_bottom + spine_top + (par_b_top ? 0 : 1)
+//!                    branch = branch_bottom
+//! ```
+//!
+//! The AND rule charges the top structure's on-top cost — its branch points
+//! can never be grounded, and the junction under a parallel bottom commits —
+//! exactly reproducing the paper's Fig. 4(b) and Fig. 5 worked examples
+//! (see this module's tests). The spine/branch split formalizes the paper's
+//! "conditionally increment" remark and its Fig. 4(a) note that a series
+//! junction combined further in series never needs a discharge device.
+//!
+//! Per `(W, H)` shape we keep a small Pareto set over `(g, u, par_b)`
+//! instead of the paper's "two costs"; this keeps the tree DP exact while
+//! staying tiny in practice (see DESIGN.md §2.2).
+
+use std::collections::HashMap;
+
+use soi_unate::{UNode, UnateNetwork};
+
+use crate::dp;
+use crate::tuple::{Cand, CandRef, Form, NodeSol, TupleKey};
+use crate::{Algorithm, AndOrder, Cost, CostModel, MapConfig, MapError};
+
+/// Runs the SOI DP, producing one [`NodeSol`] per unate node.
+pub(crate) fn solve(
+    unate: &UnateNetwork,
+    config: &MapConfig,
+) -> Result<Vec<NodeSol>, MapError> {
+    let model = CostModel::new(config, Algorithm::SoiDominoMap);
+    let fanouts = dp::fanouts(unate);
+    let mut sols: Vec<NodeSol> = Vec::with_capacity(unate.len());
+
+    for (id, node) in unate.iter() {
+        let sol = match node {
+            UNode::Lit(l) => dp::literal_sol(id, l, config, &model),
+            UNode::And(a, b) | UNode::Or(a, b) => {
+                let is_and = matches!(node, UNode::And(..));
+                let mut bare: HashMap<TupleKey, Vec<Cand>> = HashMap::new();
+                for (ra, ca) in sols[a.index()].exported_refs(a) {
+                    for (rb, cb) in sols[b.index()].exported_refs(b) {
+                        if is_and {
+                            for (rt, ct, rbm, cbm) in
+                                and_orders(config.and_order, ra, ca, rb, cb)
+                            {
+                                let key = rt.key.and(rbm.key);
+                                if !key.fits(config.w_max, config.h_max) {
+                                    continue;
+                                }
+                                let cand = combine_and(config, rt, ct, rbm, cbm);
+                                bare.entry(key).or_default().push(cand);
+                            }
+                        } else {
+                            let key = ra.key.or(rb.key);
+                            if !key.fits(config.w_max, config.h_max) {
+                                continue;
+                            }
+                            let cand = combine_or(config, ra, ca, rb, cb);
+                            bare.entry(key).or_default().push(cand);
+                        }
+                    }
+                }
+                if bare.is_empty() {
+                    return Err(MapError::Unmappable {
+                        what: format!(
+                            "node {id} has no (W ≤ {}, H ≤ {}) combination",
+                            config.w_max, config.h_max
+                        ),
+                    });
+                }
+                for cands in bare.values_mut() {
+                    prune(cands, &model, config.max_candidates);
+                }
+                let bare_vec: Vec<(TupleKey, Cand)> = bare
+                    .iter()
+                    .flat_map(|(k, cs)| cs.iter().map(move |c| (*k, c.clone())))
+                    .collect();
+                let mut sol = NodeSol::default();
+                sol.gate = dp::form_gate(&sol, config, &model, &bare_vec);
+                let gate = sol.gate.as_ref().expect("nonempty bare set");
+                let gate_cand = dp::exported_gate_cand(id, gate, fanouts[id.index()], config);
+                if fanouts[id.index()] <= 1 || config.allow_duplication {
+                    sol.exported = bare;
+                }
+                sol.exported
+                    .entry(TupleKey::UNIT)
+                    .or_default()
+                    .push(gate_cand);
+                sol
+            }
+        };
+        sols.push(sol);
+    }
+    Ok(sols)
+}
+
+/// The paper's `combine_or`: bottoms merge and the shared bottom becomes a
+/// parallel-stack bottom. Every potential point of either branch — spine
+/// junctions included — now sits inside a parallel branch of the result.
+fn combine_or(config: &MapConfig, ra: CandRef, ca: &Cand, rb: CandRef, cb: &Cand) -> Cand {
+    Cand {
+        g: ca.g.combine(cb.g),
+        u: Cost::default(),
+        p_spine: 0,
+        p_branch: ca.p_dis() + cb.p_dis(),
+        par_b: true,
+        touches_pi: ca.touches_pi || cb.touches_pi,
+        form: Form::Or { a: ra, b: rb },
+    }
+    .derive_ungrounded(config.clock_weight)
+}
+
+/// The paper's `combine_and` with a fixed (top, bottom) orientation: the
+/// top's branch points (and its parallel bottom, which becomes the new
+/// junction) commit now — that is `cost_u(top)`; the top's spine junctions
+/// and the new junction (when the top is spine-like) extend the result's
+/// spine and stay potential.
+fn combine_and(
+    config: &MapConfig,
+    rt: CandRef,
+    ct: &Cand,
+    rb: CandRef,
+    cb: &Cand,
+) -> Cand {
+    Cand {
+        g: ct.u.combine(cb.g),
+        u: Cost::default(),
+        p_spine: cb.p_spine + ct.p_spine + u32::from(!ct.par_b),
+        p_branch: cb.p_branch,
+        par_b: cb.par_b,
+        touches_pi: ct.touches_pi || cb.touches_pi,
+        form: Form::And { top: rt, bottom: rb },
+    }
+    .derive_ungrounded(config.clock_weight)
+}
+
+/// Grounding benefit of placing a candidate at the bottom of a stack: the
+/// branch points and parallel bottom that would otherwise commit. Spine
+/// junctions are absolved by the gate's grounded chain either way.
+fn score(c: &Cand) -> u32 {
+    c.p_branch + u32::from(c.par_b)
+}
+
+type Orientation<'c> = (CandRef, &'c Cand, CandRef, &'c Cand);
+
+/// Yields the (top, bottom) orientations to try for an AND combination.
+fn and_orders<'c>(
+    order: AndOrder,
+    ra: CandRef,
+    ca: &'c Cand,
+    rb: CandRef,
+    cb: &'c Cand,
+) -> Vec<Orientation<'c>> {
+    match order {
+        AndOrder::FirstOnTop => vec![(ra, ca, rb, cb)],
+        AndOrder::Exhaustive => vec![(ra, ca, rb, cb), (rb, cb, ra, ca)],
+        AndOrder::BulkTypical => {
+            // The adversarial bulk orientation, available to the SOI DP for
+            // ablation studies.
+            let a_top = score(ca) >= score(cb);
+            if a_top {
+                vec![(ra, ca, rb, cb)]
+            } else {
+                vec![(rb, cb, ra, ca)]
+            }
+        }
+        AndOrder::PaperHeuristic => {
+            // The operand with a parallel bottom — or, between two such
+            // operands, the one with more potential points — goes to the
+            // bottom, in the hope it will eventually be grounded.
+            let a_bottom = score(ca) >= score(cb);
+            if a_bottom {
+                vec![(rb, cb, ra, ca)]
+            } else {
+                vec![(ra, ca, rb, cb)]
+            }
+        }
+    }
+}
+
+/// Pareto pruning over `(g, u, par_b)` with component-wise cost dominance
+/// (safe for every monotone composition the DP performs), then a cap at
+/// `max` candidates ordered by the model's grounded key.
+fn prune(cands: &mut Vec<Cand>, model: &CostModel, max: usize) {
+    let dominates = |x: &Cand, y: &Cand| -> bool {
+        // x dominates y: no worse on every coordinate that can influence
+        // any future cost — including `touches_pi`, which decides whether
+        // the eventual gate needs a foot n-clock — and at least as good a
+        // par_b.
+        x.g.tx <= y.g.tx
+            && x.g.wtx <= y.g.wtx
+            && x.g.disch <= y.g.disch
+            && x.g.level <= y.g.level
+            && x.u.tx <= y.u.tx
+            && x.u.wtx <= y.u.wtx
+            && x.u.disch <= y.u.disch
+            && x.u.level <= y.u.level
+            && x.p_spine <= y.p_spine
+            && x.p_branch <= y.p_branch
+            && (x.par_b || !y.par_b)
+            && (!x.touches_pi || y.touches_pi)
+    };
+    let mut kept: Vec<Cand> = Vec::new();
+    // Stable insertion order keeps earlier (already-sorted-ish) candidates.
+    for cand in cands.drain(..) {
+        if kept.iter().any(|k| dominates(k, &cand)) {
+            continue;
+        }
+        kept.retain(|k| !dominates(&cand, k));
+        kept.push(cand);
+    }
+    kept.sort_by_key(|c| model.key(&c.g));
+    kept.truncate(max);
+    *cands = kept;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_unate::{Literal, Phase, USignal};
+
+    fn lit(u: &mut UnateNetwork, i: usize) -> soi_unate::UId {
+        u.add_literal(Literal {
+            input: i,
+            phase: Phase::Pos,
+        })
+    }
+
+    fn cfg() -> MapConfig {
+        MapConfig::default()
+    }
+
+    /// Fig. 4(a): building `A*B + C` yields one potential point, `par_b`.
+    #[test]
+    fn fig4a_tuple_values() {
+        let mut u = UnateNetwork::new((0..3).map(|i| format!("i{i}")).collect());
+        let a = lit(&mut u, 0);
+        let b = lit(&mut u, 1);
+        let c = lit(&mut u, 2);
+        let ab = u.add_and(a, b);
+        let f = u.add_or(ab, c);
+        u.add_output("f", USignal::Node(f), false);
+        let sols = solve(&u, &cfg()).unwrap();
+        let or_sol = &sols[4];
+        let cands = &or_sol.exported[&TupleKey { w: 2, h: 2 }];
+        let best = &cands[0];
+        assert_eq!(best.p_dis(), 1);
+        assert!(best.par_b);
+        assert_eq!(best.g.tx, 3);
+        assert_eq!(best.g.disch, 0);
+        // Ungrounded: both the internal junction and the stack bottom.
+        assert_eq!(best.u.tx, 5);
+    }
+
+    /// Fig. 4(b): `(A*B + C) * (D*E + F)` commits two discharge
+    /// transistors; one point stays potential on the grounded side.
+    #[test]
+    fn fig4b_committed_discharges() {
+        let mut u = UnateNetwork::new((0..6).map(|i| format!("i{i}")).collect());
+        let lits: Vec<_> = (0..6).map(|i| lit(&mut u, i)).collect();
+        let ab = u.add_and(lits[0], lits[1]);
+        let abc = u.add_or(ab, lits[2]);
+        let de = u.add_and(lits[3], lits[4]);
+        let def = u.add_or(de, lits[5]);
+        let f = u.add_and(abc, def);
+        u.add_output("f", USignal::Node(f), false);
+        let sols = solve(&u, &cfg()).unwrap();
+        let and_sol = &sols[10];
+        let cands = &and_sol.exported[&TupleKey { w: 2, h: 4 }];
+        let best = cands
+            .iter()
+            .min_by_key(|c| (c.g.tx, c.p_dis()))
+            .unwrap();
+        // 6 logic transistors + 2 committed discharges.
+        assert_eq!(best.g.tx, 8);
+        assert_eq!(best.g.disch, 2);
+        assert_eq!(best.p_dis(), 1);
+        assert!(best.par_b);
+    }
+
+    /// Fig. 5: ANDing `(A*B + C)` with `E` puts the parallel stack at the
+    /// bottom — no committed discharge, two potential points.
+    #[test]
+    fn fig5_heuristic_orders_stack_to_ground() {
+        let mut u = UnateNetwork::new((0..4).map(|i| format!("i{i}")).collect());
+        let a = lit(&mut u, 0);
+        let b = lit(&mut u, 1);
+        let c = lit(&mut u, 2);
+        let e = lit(&mut u, 3);
+        let ab = u.add_and(a, b);
+        let abc = u.add_or(ab, c);
+        let f = u.add_and(abc, e);
+        u.add_output("f", USignal::Node(f), false);
+        let sols = solve(&u, &cfg()).unwrap();
+        let and_sol = &sols[6];
+        let cands = &and_sol.exported[&TupleKey { w: 2, h: 3 }];
+        let best = cands.iter().min_by_key(|c| (c.g.tx, c.p_dis())).unwrap();
+        assert_eq!(best.g.disch, 0, "no committed discharge");
+        assert_eq!(best.p_dis(), 2, "two potential points");
+        assert!(best.par_b);
+        assert_eq!(best.g.tx, 4);
+        // The wrong order would cost 2 discharges:
+        if let Form::And { top, bottom } = &best.form {
+            // top must be the plain literal E (a {1,1} tuple).
+            assert_eq!(top.key, TupleKey::UNIT);
+            assert_eq!(bottom.key, TupleKey { w: 2, h: 2 });
+        } else {
+            panic!("expected an AND form");
+        }
+    }
+
+    /// Exhaustive ordering can never do worse than the heuristic.
+    #[test]
+    fn exhaustive_at_least_as_good() {
+        let mut u = UnateNetwork::new((0..6).map(|i| format!("i{i}")).collect());
+        let lits: Vec<_> = (0..6).map(|i| lit(&mut u, i)).collect();
+        let ab = u.add_and(lits[0], lits[1]);
+        let abc = u.add_or(ab, lits[2]);
+        let de = u.add_and(lits[3], lits[4]);
+        let def = u.add_or(de, lits[5]);
+        let f = u.add_and(abc, def);
+        u.add_output("f", USignal::Node(f), false);
+
+        let heuristic = solve(&u, &cfg()).unwrap();
+        let exhaustive = solve(
+            &u,
+            &MapConfig {
+                and_order: AndOrder::Exhaustive,
+                ..cfg()
+            },
+        )
+        .unwrap();
+        let hg = heuristic[10].gate.as_ref().unwrap().cost;
+        let eg = exhaustive[10].gate.as_ref().unwrap().cost;
+        assert!(eg.tx <= hg.tx);
+    }
+
+    /// Pruning keeps non-dominated candidates and respects the cap.
+    #[test]
+    fn prune_respects_dominance_and_cap() {
+        let config = cfg();
+        let model = CostModel::new(&config, Algorithm::SoiDominoMap);
+        let mk = |gtx: u32, utx: u32, par_b: bool| Cand {
+            g: Cost::transistors(gtx),
+            u: Cost::transistors(utx),
+            p_spine: 0,
+            p_branch: utx - gtx,
+            par_b,
+            touches_pi: false,
+            form: Form::Lit(Literal {
+                input: 0,
+                phase: Phase::Pos,
+            }),
+        };
+        // (10, 10, T) dominates (10, 10, F) and (11, 12, F).
+        let mut cands = vec![mk(10, 10, true), mk(10, 10, false), mk(11, 12, false), mk(8, 13, false)];
+        prune(&mut cands, &model, 4);
+        assert_eq!(cands.len(), 2);
+        // The cheap-g/expensive-u candidate survives.
+        assert!(cands.iter().any(|c| c.g.tx == 8));
+        assert!(cands.iter().any(|c| c.g.tx == 10 && c.par_b));
+
+        let mut many: Vec<Cand> = (0..10).map(|i| mk(10 + i, 40 - i, false)).collect();
+        prune(&mut many, &model, 3);
+        assert_eq!(many.len(), 3);
+        // Cap keeps the best grounded costs.
+        assert!(many.iter().all(|c| c.g.tx <= 12));
+    }
+
+    /// The SOI gate for Fig. 2(a)'s function picks the discharge-free
+    /// structure (stack at the bottom).
+    #[test]
+    fn fig2a_gate_has_no_discharge() {
+        let mut u = UnateNetwork::new((0..4).map(|i| format!("i{i}")).collect());
+        let a = lit(&mut u, 0);
+        let b = lit(&mut u, 1);
+        let c = lit(&mut u, 2);
+        let d = lit(&mut u, 3);
+        let ab = u.add_or(a, b);
+        let abc = u.add_or(ab, c);
+        let f = u.add_and(abc, d);
+        u.add_output("f", USignal::Node(f), false);
+        let sols = solve(&u, &cfg()).unwrap();
+        let gate = sols[6].gate.as_ref().unwrap();
+        assert_eq!(gate.cost.disch, 0);
+        assert_eq!(gate.cost.tx, 4 + 5);
+    }
+}

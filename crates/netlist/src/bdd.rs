@@ -1,0 +1,470 @@
+//! Reduced ordered binary decision diagrams, for *exact* equivalence
+//! checking.
+//!
+//! Random-vector simulation (the default verification in this workspace)
+//! can in principle miss a discrepancy; this small ROBDD package closes
+//! that gap for circuits whose BDDs stay tractable. Variables are the
+//! network's primary inputs in declaration order; nodes are hash-consed, so
+//! two functions are equal iff their root references are equal.
+//!
+//! The implementation is deliberately compact: no complement edges, no
+//! dynamic reordering, a plain `ite` with memoization, and an explicit node
+//! budget that turns blow-ups into a clean [`BddOverflow`] instead of an
+//! OOM.
+//!
+//! # Example
+//!
+//! ```rust
+//! use soi_netlist::{bdd, Network};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut a = Network::new("xor");
+//! let (x, y) = (a.add_input("x"), a.add_input("y"));
+//! let g = a.xor2(x, y);
+//! a.add_output("f", g);
+//!
+//! let mut b = Network::new("xor2");
+//! let (x, y) = (b.add_input("x"), b.add_input("y"));
+//! let nx = b.inv(x);
+//! let ny = b.inv(y);
+//! let t1 = b.and2(x, ny);
+//! let t2 = b.and2(nx, y);
+//! let g = b.or2(t1, t2);
+//! b.add_output("f", g);
+//!
+//! assert!(bdd::equivalent(&a, &b, 1 << 20)?);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::{Network, Node};
+
+/// A reference to a BDD node (or a terminal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ref(u32);
+
+impl Ref {
+    /// The constant-false terminal.
+    pub const FALSE: Ref = Ref(0);
+    /// The constant-true terminal.
+    pub const TRUE: Ref = Ref(1);
+
+    /// Whether this is one of the two terminals.
+    pub fn is_terminal(self) -> bool {
+        self.0 < 2
+    }
+}
+
+/// The node budget was exceeded while building a BDD.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BddOverflow {
+    /// The configured limit.
+    pub limit: usize,
+}
+
+impl fmt::Display for BddOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bdd node limit of {} exceeded", self.limit)
+    }
+}
+
+impl Error for BddOverflow {}
+
+#[derive(Debug, Clone, Copy)]
+struct BddNode {
+    var: u32,
+    lo: Ref,
+    hi: Ref,
+}
+
+/// A hash-consed BDD manager over variables `0..n`.
+#[derive(Debug, Clone)]
+pub struct Bdd {
+    nodes: Vec<BddNode>,
+    unique: HashMap<(u32, Ref, Ref), Ref>,
+    ite_cache: HashMap<(Ref, Ref, Ref), Ref>,
+    limit: usize,
+}
+
+impl Bdd {
+    /// Creates a manager with the given node budget.
+    pub fn new(limit: usize) -> Bdd {
+        Bdd {
+            // Slots 0/1 are placeholders for the terminals.
+            nodes: vec![
+                BddNode {
+                    var: u32::MAX,
+                    lo: Ref::FALSE,
+                    hi: Ref::FALSE,
+                },
+                BddNode {
+                    var: u32::MAX,
+                    lo: Ref::TRUE,
+                    hi: Ref::TRUE,
+                },
+            ],
+            unique: HashMap::new(),
+            ite_cache: HashMap::new(),
+            limit,
+        }
+    }
+
+    /// Number of live nodes (terminals included).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether only the terminals exist.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 2
+    }
+
+    fn level(&self, r: Ref) -> u32 {
+        if r.is_terminal() {
+            u32::MAX
+        } else {
+            self.nodes[r.0 as usize].var
+        }
+    }
+
+    fn cofactors(&self, r: Ref, var: u32) -> (Ref, Ref) {
+        if self.level(r) == var {
+            let n = self.nodes[r.0 as usize];
+            (n.lo, n.hi)
+        } else {
+            (r, r)
+        }
+    }
+
+    fn mk(&mut self, var: u32, lo: Ref, hi: Ref) -> Result<Ref, BddOverflow> {
+        if lo == hi {
+            return Ok(lo);
+        }
+        if let Some(&r) = self.unique.get(&(var, lo, hi)) {
+            return Ok(r);
+        }
+        if self.nodes.len() >= self.limit {
+            return Err(BddOverflow { limit: self.limit });
+        }
+        let r = Ref(self.nodes.len() as u32);
+        self.nodes.push(BddNode { var, lo, hi });
+        self.unique.insert((var, lo, hi), r);
+        Ok(r)
+    }
+
+    /// The single-variable function `v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddOverflow`] if the node budget is exhausted.
+    pub fn var(&mut self, v: u32) -> Result<Ref, BddOverflow> {
+        self.mk(v, Ref::FALSE, Ref::TRUE)
+    }
+
+    /// If-then-else: `f ? g : h` — the universal connective.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddOverflow`] if the node budget is exhausted.
+    pub fn ite(&mut self, f: Ref, g: Ref, h: Ref) -> Result<Ref, BddOverflow> {
+        // Terminal cases.
+        if f == Ref::TRUE {
+            return Ok(g);
+        }
+        if f == Ref::FALSE {
+            return Ok(h);
+        }
+        if g == h {
+            return Ok(g);
+        }
+        if g == Ref::TRUE && h == Ref::FALSE {
+            return Ok(f);
+        }
+        if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
+            return Ok(r);
+        }
+        let top = self.level(f).min(self.level(g)).min(self.level(h));
+        let (f0, f1) = self.cofactors(f, top);
+        let (g0, g1) = self.cofactors(g, top);
+        let (h0, h1) = self.cofactors(h, top);
+        let lo = self.ite(f0, g0, h0)?;
+        let hi = self.ite(f1, g1, h1)?;
+        let r = self.mk(top, lo, hi)?;
+        self.ite_cache.insert((f, g, h), r);
+        Ok(r)
+    }
+
+    /// Logical AND.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddOverflow`] if the node budget is exhausted.
+    pub fn and(&mut self, a: Ref, b: Ref) -> Result<Ref, BddOverflow> {
+        self.ite(a, b, Ref::FALSE)
+    }
+
+    /// Logical OR.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddOverflow`] if the node budget is exhausted.
+    pub fn or(&mut self, a: Ref, b: Ref) -> Result<Ref, BddOverflow> {
+        self.ite(a, Ref::TRUE, b)
+    }
+
+    /// Logical NOT.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddOverflow`] if the node budget is exhausted.
+    pub fn not(&mut self, a: Ref) -> Result<Ref, BddOverflow> {
+        self.ite(a, Ref::FALSE, Ref::TRUE)
+    }
+
+    /// Logical XOR.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddOverflow`] if the node budget is exhausted.
+    pub fn xor(&mut self, a: Ref, b: Ref) -> Result<Ref, BddOverflow> {
+        let nb = self.not(b)?;
+        self.ite(a, nb, b)
+    }
+
+    /// Builds the BDDs of every output of a network (inputs are variables
+    /// in declaration order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddOverflow`] if the node budget is exhausted.
+    pub fn build(&mut self, network: &Network) -> Result<Vec<Ref>, BddOverflow> {
+        let mut refs: Vec<Ref> = Vec::with_capacity(network.len());
+        let mut next_input = 0u32;
+        for (_, node) in network.iter() {
+            let r = match node {
+                Node::Input { .. } => {
+                    let v = self.var(next_input)?;
+                    next_input += 1;
+                    v
+                }
+                Node::Const { value } => {
+                    if *value {
+                        Ref::TRUE
+                    } else {
+                        Ref::FALSE
+                    }
+                }
+                Node::Unary { op, a } => {
+                    let a = refs[a.index()];
+                    match op {
+                        crate::UnOp::Inv => self.not(a)?,
+                        crate::UnOp::Buf => a,
+                    }
+                }
+                Node::Binary { op, a, b } => {
+                    let (a, b) = (refs[a.index()], refs[b.index()]);
+                    match op {
+                        crate::BinOp::And => self.and(a, b)?,
+                        crate::BinOp::Or => self.or(a, b)?,
+                        crate::BinOp::Xor => self.xor(a, b)?,
+                        crate::BinOp::Nand => {
+                            let t = self.and(a, b)?;
+                            self.not(t)?
+                        }
+                        crate::BinOp::Nor => {
+                            let t = self.or(a, b)?;
+                            self.not(t)?
+                        }
+                        crate::BinOp::Xnor => {
+                            let t = self.xor(a, b)?;
+                            self.not(t)?
+                        }
+                    }
+                }
+            };
+            refs.push(r);
+        }
+        Ok(network
+            .outputs()
+            .iter()
+            .map(|p| refs[p.driver.index()])
+            .collect())
+    }
+
+    /// Counts the satisfying assignments of `f` over `nvars` variables.
+    pub fn sat_count(&self, f: Ref, nvars: u32) -> f64 {
+        fn walk(bdd: &Bdd, r: Ref, memo: &mut HashMap<Ref, f64>, nvars: u32) -> f64 {
+            if r == Ref::FALSE {
+                return 0.0;
+            }
+            if r == Ref::TRUE {
+                return 1.0;
+            }
+            if let Some(&c) = memo.get(&r) {
+                return c;
+            }
+            let n = bdd.nodes[r.0 as usize];
+            let lo = walk(bdd, n.lo, memo, nvars);
+            let hi = walk(bdd, n.hi, memo, nvars);
+            let skip_lo = bdd.level(n.lo).min(nvars) - n.var - 1;
+            let skip_hi = bdd.level(n.hi).min(nvars) - n.var - 1;
+            let c = lo * 2f64.powi(skip_lo as i32) + hi * 2f64.powi(skip_hi as i32);
+            memo.insert(r, c);
+            c
+        }
+        let mut memo = HashMap::new();
+        let scaled = walk(self, f, &mut memo, nvars);
+        scaled * 2f64.powi((self.level(f).min(nvars)) as i32)
+    }
+}
+
+/// Exact equivalence of two networks (matched positionally on inputs and
+/// outputs), within a node budget.
+///
+/// # Errors
+///
+/// Returns [`BddOverflow`] when the functions are too large for the budget
+/// — fall back to [`sim::random_equivalent`](crate::sim::random_equivalent)
+/// in that case.
+pub fn equivalent(a: &Network, b: &Network, limit: usize) -> Result<bool, BddOverflow> {
+    if a.inputs().len() != b.inputs().len() || a.outputs().len() != b.outputs().len() {
+        return Ok(false);
+    }
+    let mut bdd = Bdd::new(limit);
+    let fa = bdd.build(a)?;
+    let fb = bdd.build(b)?;
+    Ok(fa == fb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminals_and_vars() {
+        let mut bdd = Bdd::new(1000);
+        let x = bdd.var(0).unwrap();
+        let y = bdd.var(1).unwrap();
+        assert_ne!(x, y);
+        assert_eq!(bdd.var(0).unwrap(), x, "hash-consing");
+        let nx = bdd.not(x).unwrap();
+        let nnx = bdd.not(nx).unwrap();
+        assert_eq!(nnx, x);
+    }
+
+    #[test]
+    fn boolean_identities() {
+        let mut bdd = Bdd::new(10_000);
+        let x = bdd.var(0).unwrap();
+        let y = bdd.var(1).unwrap();
+        let xy = bdd.and(x, y).unwrap();
+        let yx = bdd.and(y, x).unwrap();
+        assert_eq!(xy, yx, "commutativity is canonical");
+        let nx = bdd.not(x).unwrap();
+        let contradiction = bdd.and(x, nx).unwrap();
+        assert_eq!(contradiction, Ref::FALSE);
+        let tautology = bdd.or(x, nx).unwrap();
+        assert_eq!(tautology, Ref::TRUE);
+        // De Morgan.
+        let lhs = {
+            let t = bdd.and(x, y).unwrap();
+            bdd.not(t).unwrap()
+        };
+        let rhs = {
+            let ny = bdd.not(y).unwrap();
+            bdd.or(nx, ny).unwrap()
+        };
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn equivalence_of_adder_forms() {
+        use crate::sim;
+        // Cross-check against the random-sim oracle on structurally
+        // different equivalent networks.
+        let mut a = Network::new("a");
+        let xs: Vec<_> = (0..4).map(|i| a.add_input(format!("i{i}"))).collect();
+        let t1 = a.and2(xs[0], xs[1]);
+        let t2 = a.and2(xs[2], xs[3]);
+        let f = a.or2(t1, t2);
+        a.add_output("f", f);
+
+        let mut b = Network::new("b");
+        let ys: Vec<_> = (0..4).map(|i| b.add_input(format!("i{i}"))).collect();
+        let n1 = b.nand2(ys[0], ys[1]);
+        let n2 = b.nand2(ys[2], ys[3]);
+        let f = b.nand2(n1, n2);
+        b.add_output("f", f);
+
+        assert!(equivalent(&a, &b, 100_000).unwrap());
+        assert!(sim::random_equivalent(&a, &b, 4, 0).unwrap());
+    }
+
+    #[test]
+    fn detects_subtle_inequivalence() {
+        // Differ on exactly one of 2^6 assignments — random sim with few
+        // rounds could miss it; the BDD cannot.
+        let mut a = Network::new("a");
+        let xs: Vec<_> = (0..6).map(|i| a.add_input(format!("i{i}"))).collect();
+        let all = a.and_tree(&xs);
+        a.add_output("f", all);
+
+        let mut b = Network::new("b");
+        let ys: Vec<_> = (0..6).map(|i| b.add_input(format!("i{i}"))).collect();
+        let zero = b.add_const(false);
+        let _ = ys;
+        b.add_output("f", zero);
+
+        assert!(!equivalent(&a, &b, 100_000).unwrap());
+    }
+
+    #[test]
+    fn overflow_is_reported() {
+        let mut n = Network::new("big");
+        let xs: Vec<_> = (0..24).map(|i| n.add_input(format!("i{i}"))).collect();
+        // A function with a large BDD under the natural order: a multiplier
+        // row pattern via xor/and mixing.
+        let mut acc = xs[0];
+        for w in xs.windows(3) {
+            let t = n.and2(w[1], w[2]);
+            acc = n.xor2(acc, t);
+            let u = n.and2(acc, w[0]);
+            acc = n.or2(u, acc);
+        }
+        n.add_output("f", acc);
+        let mut tiny = Bdd::new(8);
+        assert!(matches!(tiny.build(&n), Err(BddOverflow { limit: 8 })));
+    }
+
+    #[test]
+    fn sat_count_of_majority() {
+        let mut bdd = Bdd::new(10_000);
+        let x = bdd.var(0).unwrap();
+        let y = bdd.var(1).unwrap();
+        let z = bdd.var(2).unwrap();
+        let xy = bdd.and(x, y).unwrap();
+        let yz = bdd.and(y, z).unwrap();
+        let xz = bdd.and(x, z).unwrap();
+        let t = bdd.or(xy, yz).unwrap();
+        let maj = bdd.or(t, xz).unwrap();
+        assert_eq!(bdd.sat_count(maj, 3), 4.0);
+        assert_eq!(bdd.sat_count(Ref::TRUE, 3), 8.0);
+        assert_eq!(bdd.sat_count(Ref::FALSE, 3), 0.0);
+    }
+
+    #[test]
+    fn mismatched_interfaces_are_inequivalent() {
+        let mut a = Network::new("a");
+        let x = a.add_input("x");
+        a.add_output("f", x);
+        let mut b = Network::new("b");
+        let x = b.add_input("x");
+        let _ = b.add_input("y");
+        b.add_output("f", x);
+        assert!(!equivalent(&a, &b, 1000).unwrap());
+    }
+}

@@ -1,0 +1,441 @@
+//! BLIF-subset reader and writer.
+//!
+//! Supports the combinational core of Berkeley Logic Interchange Format:
+//! `.model`, `.inputs`, `.outputs`, `.names` (sum-of-products covers) and
+//! `.end`, with `\` line continuation and `#` comments. Latches and
+//! subcircuits are not supported — the mapping flow is purely combinational,
+//! as in the paper.
+//!
+//! Reading a `.names` cover produces AND/OR/INV logic: each cube row becomes
+//! an AND of literals, rows are ORed, and an off-set cover (output column
+//! `0`) is inverted. This lets the real ISCAS'85 / MCNC benchmark files be
+//! dropped into the flow when they are available.
+
+use std::collections::HashMap;
+
+use crate::{builder::NetworkBuilder, Network, NetworkError, Node, NodeId};
+
+/// Parses a BLIF-subset document into a [`Network`].
+///
+/// # Errors
+///
+/// Returns [`NetworkError::Parse`] describing the first offending line on
+/// malformed input (unknown directives, covers with inconsistent arity,
+/// signals that are never defined, ...).
+///
+/// # Example
+///
+/// ```rust
+/// use soi_netlist::blif;
+///
+/// # fn main() -> Result<(), soi_netlist::NetworkError> {
+/// let text = "\
+/// .model and_or
+/// .inputs a b c
+/// .outputs f
+/// .names a b t
+/// 11 1
+/// .names t c f
+/// 1- 1
+/// -1 1
+/// .end
+/// ";
+/// let net = blif::parse(text)?;
+/// assert_eq!(net.inputs().len(), 3);
+/// assert_eq!(net.simulate(&[true, true, false])?, vec![true]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse(text: &str) -> Result<Network, NetworkError> {
+    let mut model_name = String::from("blif");
+    let mut input_names: Vec<String> = Vec::new();
+    let mut output_names: Vec<String> = Vec::new();
+    // (line_no, signal names ending with the defined output, cube rows)
+    type Cover = (usize, Vec<String>, Vec<(String, char)>);
+    let mut covers: Vec<Cover> = Vec::new();
+
+    let mut logical_lines: Vec<(usize, String)> = Vec::new();
+    {
+        let mut pending: Option<(usize, String)> = None;
+        for (i, raw) in text.lines().enumerate() {
+            let line_no = i + 1;
+            let uncommented = match raw.find('#') {
+                Some(pos) => &raw[..pos],
+                None => raw,
+            };
+            let trimmed = uncommented.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            if let Some(stripped) = trimmed.strip_suffix('\\') {
+                match &mut pending {
+                    Some((_, buf)) => {
+                        buf.push(' ');
+                        buf.push_str(stripped.trim());
+                    }
+                    None => pending = Some((line_no, stripped.trim().to_string())),
+                }
+            } else if let Some((start, mut buf)) = pending.take() {
+                buf.push(' ');
+                buf.push_str(trimmed);
+                logical_lines.push((start, buf));
+            } else {
+                logical_lines.push((line_no, trimmed.to_string()));
+            }
+        }
+        if let Some((line, _)) = pending {
+            return Err(NetworkError::Parse {
+                line,
+                message: "dangling line continuation".into(),
+            });
+        }
+    }
+
+    let mut current_cover: Option<usize> = None;
+    for (line, content) in logical_lines {
+        let mut tokens = content.split_whitespace();
+        let head = tokens.next().expect("non-empty line");
+        match head {
+            ".model" => {
+                model_name = tokens.next().unwrap_or("blif").to_string();
+                current_cover = None;
+            }
+            ".inputs" => {
+                input_names.extend(tokens.map(str::to_string));
+                current_cover = None;
+            }
+            ".outputs" => {
+                output_names.extend(tokens.map(str::to_string));
+                current_cover = None;
+            }
+            ".names" => {
+                let names: Vec<String> = tokens.map(str::to_string).collect();
+                if names.is_empty() {
+                    return Err(NetworkError::Parse {
+                        line,
+                        message: ".names requires at least an output signal".into(),
+                    });
+                }
+                covers.push((line, names, Vec::new()));
+                current_cover = Some(covers.len() - 1);
+            }
+            ".end" => break,
+            ".latch" | ".subckt" | ".gate" => {
+                return Err(NetworkError::Parse {
+                    line,
+                    message: format!("unsupported directive `{head}` (combinational subset only)"),
+                })
+            }
+            _ if head.starts_with('.') => {
+                return Err(NetworkError::Parse {
+                    line,
+                    message: format!("unknown directive `{head}`"),
+                })
+            }
+            _ => {
+                // A cube row of the current cover.
+                let Some(idx) = current_cover else {
+                    return Err(NetworkError::Parse {
+                        line,
+                        message: "cube row outside of a .names block".into(),
+                    });
+                };
+                let (_, names, rows) = &mut covers[idx];
+                let fanin_count = names.len() - 1;
+                let (mask, value) = if fanin_count == 0 {
+                    // Constant: single column row.
+                    (String::new(), head)
+                } else {
+                    let value = tokens.next().ok_or_else(|| NetworkError::Parse {
+                        line,
+                        message: "cube row missing output value".into(),
+                    })?;
+                    (head.to_string(), value)
+                };
+                if mask.len() != fanin_count {
+                    return Err(NetworkError::Parse {
+                        line,
+                        message: format!(
+                            "cube width {} does not match {} fanins",
+                            mask.len(),
+                            fanin_count
+                        ),
+                    });
+                }
+                let value_char = value.chars().next().unwrap_or('1');
+                if value_char != '0' && value_char != '1' {
+                    return Err(NetworkError::Parse {
+                        line,
+                        message: format!("invalid output value `{value}`"),
+                    });
+                }
+                rows.push((mask, value_char));
+            }
+        }
+    }
+
+    // Build the network: inputs first, then covers in dependency order.
+    let mut b = NetworkBuilder::new(model_name);
+    let mut signals: HashMap<String, NodeId> = HashMap::new();
+    for name in &input_names {
+        let id = b.input(name.clone());
+        signals.insert(name.clone(), id);
+    }
+
+    // Iteratively resolve covers whose fanins are all known (BLIF files are
+    // not required to be topologically sorted).
+    let mut remaining: Vec<usize> = (0..covers.len()).collect();
+    while !remaining.is_empty() {
+        let mut progressed = false;
+        remaining.retain(|&idx| {
+            let (line, names, rows) = &covers[idx];
+            let fanins = &names[..names.len() - 1];
+            if fanins.iter().all(|f| signals.contains_key(f)) {
+                let output = names.last().expect("nonempty names").clone();
+                let node = build_cover(&mut b, fanins, rows, &signals, *line);
+                match node {
+                    Ok(id) => {
+                        signals.insert(output, id);
+                        progressed = true;
+                        false
+                    }
+                    Err(_) => true, // keep; error reported below via sentinel
+                }
+            } else {
+                true
+            }
+        });
+        if !progressed {
+            let (line, names, _) = &covers[remaining[0]];
+            let missing = names[..names.len() - 1]
+                .iter()
+                .find(|f| !signals.contains_key(*f))
+                .cloned()
+                .unwrap_or_else(|| "?".to_string());
+            return Err(NetworkError::Parse {
+                line: *line,
+                message: format!("signal `{missing}` is never defined (or covers form a cycle)"),
+            });
+        }
+    }
+
+    for name in &output_names {
+        let driver = signals.get(name).ok_or_else(|| NetworkError::Parse {
+            line: 0,
+            message: format!("output `{name}` is never defined"),
+        })?;
+        b.output(name.clone(), *driver);
+    }
+    let network = b.finish();
+    network.validate()?;
+    Ok(network)
+}
+
+fn build_cover(
+    b: &mut NetworkBuilder,
+    fanins: &[String],
+    rows: &[(String, char)],
+    signals: &HashMap<String, NodeId>,
+    line: usize,
+) -> Result<NodeId, NetworkError> {
+    if rows.is_empty() {
+        // Empty cover is constant zero.
+        return Ok(b.zero());
+    }
+    let polarity = rows[0].1;
+    if rows.iter().any(|(_, v)| *v != polarity) {
+        return Err(NetworkError::Parse {
+            line,
+            message: "mixed on-set/off-set covers are not supported".into(),
+        });
+    }
+    let mut terms = Vec::with_capacity(rows.len());
+    for (mask, _) in rows {
+        let mut literals = Vec::new();
+        for (pos, ch) in mask.chars().enumerate() {
+            let sig = signals[&fanins[pos]];
+            match ch {
+                '1' => literals.push(sig),
+                '0' => {
+                    let n = b.inv(sig);
+                    literals.push(n);
+                }
+                '-' => {}
+                other => {
+                    return Err(NetworkError::Parse {
+                        line,
+                        message: format!("invalid cube character `{other}`"),
+                    })
+                }
+            }
+        }
+        terms.push(b.and_all(&literals));
+    }
+    let sum = b.or_all(&terms);
+    Ok(if polarity == '1' { sum } else { b.inv(sum) })
+}
+
+/// Serializes a network to BLIF. Gates are emitted as `.names` covers; node
+/// signal names are synthesized as `n<id>` unless the node is a named input.
+pub fn write(network: &Network) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(".model {}\n", network.name()));
+    out.push_str(".inputs");
+    for id in network.inputs() {
+        if let Node::Input { name } = network.node(*id) {
+            out.push(' ');
+            out.push_str(name);
+        }
+    }
+    out.push('\n');
+    out.push_str(".outputs");
+    for port in network.outputs() {
+        out.push(' ');
+        out.push_str(&port.name);
+    }
+    out.push('\n');
+
+    let signal = |id: NodeId| -> String {
+        match network.node(id) {
+            Node::Input { name } => name.clone(),
+            _ => format!("n{}", id.index()),
+        }
+    };
+
+    for (id, node) in network.iter() {
+        match node {
+            Node::Input { .. } => {}
+            Node::Const { value } => {
+                out.push_str(&format!(".names {}\n", signal(id)));
+                if *value {
+                    out.push_str("1\n");
+                }
+            }
+            Node::Unary { op, a } => {
+                out.push_str(&format!(".names {} {}\n", signal(*a), signal(id)));
+                out.push_str(match op {
+                    crate::UnOp::Inv => "0 1\n",
+                    crate::UnOp::Buf => "1 1\n",
+                });
+            }
+            Node::Binary { op, a, b } => {
+                out.push_str(&format!(
+                    ".names {} {} {}\n",
+                    signal(*a),
+                    signal(*b),
+                    signal(id)
+                ));
+                out.push_str(match op {
+                    crate::BinOp::And => "11 1\n",
+                    crate::BinOp::Or => "1- 1\n-1 1\n",
+                    crate::BinOp::Nand => "0- 1\n-0 1\n",
+                    crate::BinOp::Nor => "00 1\n",
+                    crate::BinOp::Xor => "10 1\n01 1\n",
+                    crate::BinOp::Xnor => "11 1\n00 1\n",
+                });
+            }
+        }
+    }
+    // Alias outputs onto their drivers with buffers where names differ.
+    for port in network.outputs() {
+        let drv = signal(port.driver);
+        if drv != port.name {
+            out.push_str(&format!(".names {} {}\n1 1\n", drv, port.name));
+        }
+    }
+    out.push_str(".end\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim;
+
+    #[test]
+    fn roundtrip_preserves_function() {
+        let mut n = Network::new("rt");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        let g1 = n.xor2(a, b);
+        let g2 = n.nand2(g1, c);
+        let g3 = n.nor2(g1, a);
+        n.add_output("x", g2);
+        n.add_output("y", g3);
+        let text = write(&n);
+        let back = parse(&text).unwrap();
+        assert!(sim::random_equivalent(&n, &back, 8, 11).unwrap());
+    }
+
+    #[test]
+    fn parses_offset_cover() {
+        let text = ".model t\n.inputs a b\n.outputs f\n.names a b f\n11 0\n.end\n";
+        let n = parse(text).unwrap();
+        // f = !(a & b)
+        assert_eq!(n.simulate(&[true, true]).unwrap(), vec![false]);
+        assert_eq!(n.simulate(&[true, false]).unwrap(), vec![true]);
+    }
+
+    #[test]
+    fn parses_constant_cover() {
+        let text = ".model t\n.inputs a\n.outputs f\n.names f\n1\n.end\n";
+        let n = parse(text).unwrap();
+        assert_eq!(n.simulate(&[false]).unwrap(), vec![true]);
+    }
+
+    #[test]
+    fn out_of_order_covers_resolve() {
+        let text = "\
+.model t
+.inputs a b
+.outputs f
+.names t1 b f
+11 1
+.names a b t1
+1- 1
+.end
+";
+        let n = parse(text).unwrap();
+        assert_eq!(n.simulate(&[true, true]).unwrap(), vec![true]);
+        assert_eq!(n.simulate(&[true, false]).unwrap(), vec![false]);
+    }
+
+    #[test]
+    fn undefined_signal_is_reported() {
+        let text = ".model t\n.inputs a\n.outputs f\n.names a ghost f\n11 1\n.end\n";
+        let err = parse(text).unwrap_err();
+        assert!(err.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn latch_is_rejected() {
+        let text = ".model t\n.inputs a\n.outputs f\n.latch a f re clk 0\n.end\n";
+        assert!(matches!(
+            parse(text),
+            Err(NetworkError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn comments_and_continuations() {
+        let text = "\
+.model t # model line
+.inputs a \\
+ b
+.outputs f
+.names a b f # and gate
+11 1
+.end
+";
+        let n = parse(text).unwrap();
+        assert_eq!(n.inputs().len(), 2);
+        assert_eq!(n.simulate(&[true, true]).unwrap(), vec![true]);
+    }
+
+    #[test]
+    fn cube_width_mismatch_is_reported() {
+        let text = ".model t\n.inputs a b\n.outputs f\n.names a b f\n111 1\n.end\n";
+        assert!(parse(text).is_err());
+    }
+}

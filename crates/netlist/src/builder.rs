@@ -1,0 +1,407 @@
+//! Structurally-hashed network construction.
+//!
+//! [`NetworkBuilder`] wraps a [`Network`] and deduplicates gates: asking for
+//! `and(a, b)` twice returns the same node, as does `and(b, a)` for the
+//! commutative operations. Constant folding and trivial-identity rewrites
+//! (`a & a = a`, `a & 1 = a`, `a ^ a = 0`, double inversion, ...) are applied
+//! on the fly, which keeps generated benchmark circuits free of redundant
+//! logic.
+
+use std::collections::HashMap;
+
+use crate::{BinOp, Network, NodeId, UnOp};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Key {
+    Un(UnOp, NodeId),
+    Bin(BinOp, NodeId, NodeId),
+}
+
+/// A deduplicating, lightly-simplifying wrapper over [`Network`].
+///
+/// # Example
+///
+/// ```rust
+/// use soi_netlist::builder::NetworkBuilder;
+///
+/// let mut b = NetworkBuilder::new("t");
+/// let x = b.input("x");
+/// let y = b.input("y");
+/// let g1 = b.and(x, y);
+/// let g2 = b.and(y, x); // commuted: same node
+/// assert_eq!(g1, g2);
+/// let nx = b.inv(x);
+/// let back = b.inv(nx); // double inversion folds away
+/// assert_eq!(back, x);
+/// b.output("o", g1);
+/// let net = b.finish();
+/// assert_eq!(net.stats().binary_gates, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetworkBuilder {
+    network: Network,
+    cache: HashMap<Key, NodeId>,
+    const_false: Option<NodeId>,
+    const_true: Option<NodeId>,
+    /// Inverse edges we know about: `inv_of[x] = y` when `y = !x`.
+    inv_of: HashMap<NodeId, NodeId>,
+}
+
+impl NetworkBuilder {
+    /// Creates a builder for a new network with the given model name.
+    pub fn new(name: impl Into<String>) -> NetworkBuilder {
+        NetworkBuilder {
+            network: Network::new(name),
+            cache: HashMap::new(),
+            const_false: None,
+            const_true: None,
+            inv_of: HashMap::new(),
+        }
+    }
+
+    /// Declares a primary input.
+    pub fn input(&mut self, name: impl Into<String>) -> NodeId {
+        self.network.add_input(name)
+    }
+
+    /// Declares `count` inputs named `prefix0..prefixN`.
+    pub fn inputs(&mut self, prefix: &str, count: usize) -> Vec<NodeId> {
+        (0..count)
+            .map(|i| self.network.add_input(format!("{prefix}{i}")))
+            .collect()
+    }
+
+    /// The constant-zero node (created on first use).
+    pub fn zero(&mut self) -> NodeId {
+        if let Some(id) = self.const_false {
+            id
+        } else {
+            let id = self.network.add_const(false);
+            self.const_false = Some(id);
+            id
+        }
+    }
+
+    /// The constant-one node (created on first use).
+    pub fn one(&mut self) -> NodeId {
+        if let Some(id) = self.const_true {
+            id
+        } else {
+            let id = self.network.add_const(true);
+            self.const_true = Some(id);
+            id
+        }
+    }
+
+    fn is_zero(&self, id: NodeId) -> bool {
+        self.const_false == Some(id)
+    }
+
+    fn is_one(&self, id: NodeId) -> bool {
+        self.const_true == Some(id)
+    }
+
+    /// An inverter over `a`, with double-inversion and constant folding.
+    pub fn inv(&mut self, a: NodeId) -> NodeId {
+        if self.is_zero(a) {
+            return self.one();
+        }
+        if self.is_one(a) {
+            return self.zero();
+        }
+        if let Some(&orig) = self.inv_of.get(&a) {
+            return orig;
+        }
+        let key = Key::Un(UnOp::Inv, a);
+        if let Some(&id) = self.cache.get(&key) {
+            return id;
+        }
+        let id = self.network.inv(a);
+        self.cache.insert(key, id);
+        self.inv_of.insert(id, a);
+        self.inv_of.insert(a, id);
+        id
+    }
+
+    fn binary(&mut self, op: BinOp, a: NodeId, b: NodeId) -> NodeId {
+        // Canonicalize commutative operand order.
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        if let Some(folded) = self.fold(op, a, b) {
+            return folded;
+        }
+        let key = Key::Bin(op, a, b);
+        if let Some(&id) = self.cache.get(&key) {
+            return id;
+        }
+        let id = self.network.binary(op, a, b);
+        self.cache.insert(key, id);
+        id
+    }
+
+    fn fold(&mut self, op: BinOp, a: NodeId, b: NodeId) -> Option<NodeId> {
+        let complement = self.inv_of.get(&a) == Some(&b);
+        match op {
+            BinOp::And => {
+                if a == b {
+                    Some(a)
+                } else if self.is_zero(a) || self.is_zero(b) {
+                    Some(self.zero())
+                } else if self.is_one(a) {
+                    Some(b)
+                } else if self.is_one(b) {
+                    Some(a)
+                } else if complement {
+                    Some(self.zero())
+                } else {
+                    None
+                }
+            }
+            BinOp::Or => {
+                if a == b {
+                    Some(a)
+                } else if self.is_one(a) || self.is_one(b) {
+                    Some(self.one())
+                } else if self.is_zero(a) {
+                    Some(b)
+                } else if self.is_zero(b) {
+                    Some(a)
+                } else if complement {
+                    Some(self.one())
+                } else {
+                    None
+                }
+            }
+            BinOp::Xor => {
+                if a == b {
+                    Some(self.zero())
+                } else if self.is_zero(a) {
+                    Some(b)
+                } else if self.is_zero(b) {
+                    Some(a)
+                } else if self.is_one(a) {
+                    Some(self.inv(b))
+                } else if self.is_one(b) {
+                    Some(self.inv(a))
+                } else if complement {
+                    Some(self.one())
+                } else {
+                    None
+                }
+            }
+            BinOp::Nand | BinOp::Nor | BinOp::Xnor => {
+                let base = match op {
+                    BinOp::Nand => BinOp::And,
+                    BinOp::Nor => BinOp::Or,
+                    _ => BinOp::Xor,
+                };
+                let inner = self.binary(base, a, b);
+                Some(self.inv(inner))
+            }
+        }
+    }
+
+    /// A two-input AND (hashed, folded).
+    pub fn and(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.binary(BinOp::And, a, b)
+    }
+
+    /// A two-input OR (hashed, folded).
+    pub fn or(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.binary(BinOp::Or, a, b)
+    }
+
+    /// A two-input XOR (hashed, folded).
+    pub fn xor(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.binary(BinOp::Xor, a, b)
+    }
+
+    /// A two-input NAND, expressed as AND + INV so downstream passes see a
+    /// homogeneous gate set.
+    pub fn nand(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.binary(BinOp::Nand, a, b)
+    }
+
+    /// A two-input NOR, expressed as OR + INV.
+    pub fn nor(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.binary(BinOp::Nor, a, b)
+    }
+
+    /// A two-input XNOR, expressed as XOR + INV.
+    pub fn xnor(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.binary(BinOp::Xnor, a, b)
+    }
+
+    /// AND over an arbitrary signal list (balanced tree; returns constant one
+    /// for an empty list).
+    pub fn and_all(&mut self, signals: &[NodeId]) -> NodeId {
+        match signals {
+            [] => self.one(),
+            _ => self.tree(BinOp::And, signals),
+        }
+    }
+
+    /// OR over an arbitrary signal list (balanced tree; returns constant zero
+    /// for an empty list).
+    pub fn or_all(&mut self, signals: &[NodeId]) -> NodeId {
+        match signals {
+            [] => self.zero(),
+            _ => self.tree(BinOp::Or, signals),
+        }
+    }
+
+    /// XOR over an arbitrary signal list.
+    pub fn xor_all(&mut self, signals: &[NodeId]) -> NodeId {
+        match signals {
+            [] => self.zero(),
+            _ => self.tree(BinOp::Xor, signals),
+        }
+    }
+
+    fn tree(&mut self, op: BinOp, signals: &[NodeId]) -> NodeId {
+        let mut level = signals.to_vec();
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(2));
+            for pair in level.chunks(2) {
+                next.push(if pair.len() == 2 {
+                    self.binary(op, pair[0], pair[1])
+                } else {
+                    pair[0]
+                });
+            }
+            level = next;
+        }
+        level[0]
+    }
+
+    /// 2:1 multiplexer `sel ? hi : lo`.
+    pub fn mux(&mut self, sel: NodeId, lo: NodeId, hi: NodeId) -> NodeId {
+        let nsel = self.inv(sel);
+        let th = self.and(sel, hi);
+        let tl = self.and(nsel, lo);
+        self.or(th, tl)
+    }
+
+    /// Full-adder sum and carry of `(a, b, cin)`.
+    pub fn full_adder(&mut self, a: NodeId, b: NodeId, cin: NodeId) -> (NodeId, NodeId) {
+        let axb = self.xor(a, b);
+        let sum = self.xor(axb, cin);
+        let t1 = self.and(a, b);
+        let t2 = self.and(axb, cin);
+        let carry = self.or(t1, t2);
+        (sum, carry)
+    }
+
+    /// Declares a primary output.
+    pub fn output(&mut self, name: impl Into<String>, driver: NodeId) {
+        self.network.add_output(name, driver);
+    }
+
+    /// Consumes the builder and returns the constructed network.
+    pub fn finish(self) -> Network {
+        self.network
+    }
+
+    /// Read-only view of the network under construction.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_folding() {
+        let mut b = NetworkBuilder::new("t");
+        let x = b.input("x");
+        let one = b.one();
+        let zero = b.zero();
+        assert_eq!(b.and(x, one), x);
+        assert_eq!(b.and(x, zero), zero);
+        assert_eq!(b.or(x, zero), x);
+        assert_eq!(b.or(x, one), one);
+        assert_eq!(b.xor(x, zero), x);
+    }
+
+    #[test]
+    fn xor_with_one_is_inversion() {
+        let mut b = NetworkBuilder::new("t");
+        let x = b.input("x");
+        let one = b.one();
+        let nx = b.inv(x);
+        assert_eq!(b.xor(x, one), nx);
+    }
+
+    #[test]
+    fn complements_fold() {
+        let mut b = NetworkBuilder::new("t");
+        let x = b.input("x");
+        let nx = b.inv(x);
+        let zero = b.zero();
+        let one = b.one();
+        assert_eq!(b.and(x, nx), zero);
+        assert_eq!(b.or(x, nx), one);
+        assert_eq!(b.xor(x, nx), one);
+    }
+
+    #[test]
+    fn idempotence() {
+        let mut b = NetworkBuilder::new("t");
+        let x = b.input("x");
+        let zero = b.zero();
+        assert_eq!(b.and(x, x), x);
+        assert_eq!(b.or(x, x), x);
+        assert_eq!(b.xor(x, x), zero);
+    }
+
+    #[test]
+    fn nand_decomposes_to_and_inv() {
+        let mut b = NetworkBuilder::new("t");
+        let x = b.input("x");
+        let y = b.input("y");
+        let g = b.nand(x, y);
+        b.output("o", g);
+        let n = b.finish();
+        let s = n.stats();
+        assert_eq!(s.binary_gates, 1);
+        assert_eq!(s.inverters, 1);
+        assert_eq!(n.simulate(&[true, true]).unwrap(), vec![false]);
+        assert_eq!(n.simulate(&[true, false]).unwrap(), vec![true]);
+    }
+
+    #[test]
+    fn full_adder_truth_table() {
+        let mut b = NetworkBuilder::new("fa");
+        let a = b.input("a");
+        let x = b.input("b");
+        let c = b.input("c");
+        let (s, co) = b.full_adder(a, x, c);
+        b.output("s", s);
+        b.output("co", co);
+        let n = b.finish();
+        for bits in 0..8u8 {
+            let v = [bits & 1 == 1, bits & 2 == 2, bits & 4 == 4];
+            let total = u8::from(v[0]) + u8::from(v[1]) + u8::from(v[2]);
+            let out = n.simulate(&v).unwrap();
+            assert_eq!(out[0], total & 1 == 1, "sum for {bits:03b}");
+            assert_eq!(out[1], total >= 2, "carry for {bits:03b}");
+        }
+    }
+
+    #[test]
+    fn or_all_empty_is_zero() {
+        let mut b = NetworkBuilder::new("t");
+        let zero = b.zero();
+        assert_eq!(b.or_all(&[]), zero);
+    }
+
+    #[test]
+    fn hashing_shares_structure() {
+        let mut b = NetworkBuilder::new("t");
+        let xs = b.inputs("x", 4);
+        let t1 = b.and_all(&xs);
+        let t2 = b.and_all(&xs);
+        assert_eq!(t1, t2);
+    }
+}

@@ -1,0 +1,147 @@
+//! Logic-cone extraction.
+//!
+//! Extracts the transitive fanin cone of a set of outputs into a fresh,
+//! self-contained [`Network`]. Used to slice large benchmark circuits into
+//! single-output experiments and to build reduced test cases.
+
+use std::collections::HashMap;
+
+use crate::{Network, Node, NodeId};
+
+/// Extracts the cone feeding the named outputs into a new network.
+///
+/// Primary inputs that do not reach any requested output are dropped; node
+/// ids are re-densified. Output names not present in `network` are ignored;
+/// use [`extract_all`] to keep every output.
+///
+/// # Example
+///
+/// ```rust
+/// use soi_netlist::{cone, Network};
+///
+/// let mut n = Network::new("two");
+/// let a = n.add_input("a");
+/// let b = n.add_input("b");
+/// let g1 = n.and2(a, b);
+/// let g2 = n.or2(a, b);
+/// n.add_output("x", g1);
+/// n.add_output("y", g2);
+///
+/// let sliced = cone::extract(&n, &["x"]);
+/// assert_eq!(sliced.outputs().len(), 1);
+/// assert_eq!(sliced.stats().binary_gates, 1);
+/// ```
+pub fn extract(network: &Network, output_names: &[&str]) -> Network {
+    let wanted: Vec<&crate::OutputPort> = network
+        .outputs()
+        .iter()
+        .filter(|p| output_names.contains(&p.name.as_str()))
+        .collect();
+    extract_ports(network, &wanted, false)
+}
+
+/// Copies the live portion of the network (all outputs), dropping dead logic
+/// and unused inputs.
+pub fn extract_all(network: &Network) -> Network {
+    let wanted: Vec<&crate::OutputPort> = network.outputs().iter().collect();
+    extract_ports(network, &wanted, false)
+}
+
+/// Like [`extract_all`], but preserves every primary input even when dead —
+/// an *interface-preserving* dead-logic sweep, used by rewrites that must
+/// keep networks positionally comparable.
+pub fn sweep(network: &Network) -> Network {
+    let wanted: Vec<&crate::OutputPort> = network.outputs().iter().collect();
+    extract_ports(network, &wanted, true)
+}
+
+fn extract_ports(
+    network: &Network,
+    ports: &[&crate::OutputPort],
+    keep_inputs: bool,
+) -> Network {
+    let mut live = vec![false; network.len()];
+    let mut stack: Vec<NodeId> = ports.iter().map(|p| p.driver).collect();
+    if keep_inputs {
+        stack.extend(network.inputs().iter().copied());
+    }
+    while let Some(id) = stack.pop() {
+        if live[id.index()] {
+            continue;
+        }
+        live[id.index()] = true;
+        for fanin in network.node(id).fanins() {
+            stack.push(fanin);
+        }
+    }
+
+    let mut out = Network::new(format!("{}_cone", network.name()));
+    let mut remap: HashMap<NodeId, NodeId> = HashMap::new();
+    for (id, node) in network.iter() {
+        if !live[id.index()] {
+            continue;
+        }
+        let new_id = match node {
+            Node::Input { name } => out.add_input(name.clone()),
+            Node::Const { value } => out.add_const(*value),
+            Node::Unary { op, a } => out.unary(*op, remap[a]),
+            Node::Binary { op, a, b } => out.binary(*op, remap[a], remap[b]),
+        };
+        remap.insert(id, new_id);
+    }
+    for port in ports {
+        out.add_output(port.name.clone(), remap[&port.driver]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim;
+
+    fn two_output() -> Network {
+        let mut n = Network::new("two");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        let g1 = n.and2(a, b);
+        let g2 = n.or2(b, c);
+        n.add_output("x", g1);
+        n.add_output("y", g2);
+        n
+    }
+
+    #[test]
+    fn extract_drops_unrelated_input() {
+        let n = two_output();
+        let x = extract(&n, &["x"]);
+        assert_eq!(x.inputs().len(), 2); // c is gone
+        assert_eq!(x.outputs().len(), 1);
+        x.validate().unwrap();
+    }
+
+    #[test]
+    fn extract_all_preserves_function() {
+        let n = two_output();
+        let copy = extract_all(&n);
+        assert!(sim::random_equivalent(&n, &copy, 4, 3).unwrap());
+    }
+
+    #[test]
+    fn extract_unknown_name_is_empty() {
+        let n = two_output();
+        let e = extract(&n, &["zzz"]);
+        assert!(e.outputs().is_empty());
+    }
+
+    #[test]
+    fn extract_removes_dead_logic() {
+        let mut n = two_output();
+        let a = n.inputs()[0];
+        let b = n.inputs()[1];
+        let _dead = n.xor2(a, b);
+        let live = extract_all(&n);
+        assert_eq!(live.stats().binary_gates, 2);
+    }
+}

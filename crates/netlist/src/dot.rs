@@ -1,0 +1,89 @@
+//! GraphViz DOT export for debugging and documentation.
+
+use std::fmt::Write as _;
+
+use crate::{Network, Node};
+
+/// Renders the network as a GraphViz `digraph`.
+///
+/// Inputs are drawn as boxes, outputs as double circles, gates as ellipses
+/// labelled with their operation.
+///
+/// # Example
+///
+/// ```rust
+/// use soi_netlist::{dot, Network};
+///
+/// let mut n = Network::new("t");
+/// let a = n.add_input("a");
+/// let b = n.add_input("b");
+/// let g = n.and2(a, b);
+/// n.add_output("o", g);
+/// let text = dot::render(&n);
+/// assert!(text.contains("digraph"));
+/// assert!(text.contains("and"));
+/// ```
+pub fn render(network: &Network) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", network.name());
+    let _ = writeln!(out, "  rankdir=LR;");
+    for (id, node) in network.iter() {
+        match node {
+            Node::Input { name } => {
+                let _ = writeln!(out, "  {id} [shape=box,label=\"{name}\"];");
+            }
+            Node::Const { value } => {
+                let v = i32::from(*value);
+                let _ = writeln!(out, "  {id} [shape=box,style=dashed,label=\"{v}\"];");
+            }
+            Node::Unary { op, a } => {
+                let _ = writeln!(out, "  {id} [label=\"{op}\"];");
+                let _ = writeln!(out, "  {a} -> {id};");
+            }
+            Node::Binary { op, a, b } => {
+                let _ = writeln!(out, "  {id} [label=\"{op}\"];");
+                let _ = writeln!(out, "  {a} -> {id};");
+                let _ = writeln!(out, "  {b} -> {id};");
+            }
+        }
+    }
+    for (i, port) in network.outputs().iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  out{i} [shape=doublecircle,label=\"{}\"];",
+            port.name
+        );
+        let _ = writeln!(out, "  {} -> out{i};", port.driver);
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_contains_all_edges() {
+        let mut n = Network::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g = n.xor2(a, b);
+        let i = n.inv(g);
+        n.add_output("o", i);
+        let text = render(&n);
+        assert!(text.contains("n0 -> n2"));
+        assert!(text.contains("n1 -> n2"));
+        assert!(text.contains("n2 -> n3"));
+        assert!(text.contains("n3 -> out0"));
+        assert!(text.contains("xor"));
+        assert!(text.contains("inv"));
+    }
+
+    #[test]
+    fn render_is_balanced() {
+        let n = Network::new("empty");
+        let text = render(&n);
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
+    }
+}

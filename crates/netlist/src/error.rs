@@ -1,0 +1,101 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::NodeId;
+
+/// Errors produced when constructing, validating or evaluating a
+/// [`Network`](crate::Network).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetworkError {
+    /// A node refers to a fanin that does not exist.
+    DanglingFanin {
+        /// The node with the bad reference.
+        node: NodeId,
+        /// The missing fanin id.
+        fanin: NodeId,
+    },
+    /// A node refers to a fanin that appears later in the node array,
+    /// breaking the insertion-order-is-topological invariant.
+    ForwardFanin {
+        /// The node with the bad reference.
+        node: NodeId,
+        /// The forward fanin id.
+        fanin: NodeId,
+    },
+    /// An output port refers to a node that does not exist.
+    DanglingOutput {
+        /// Name of the output port.
+        name: String,
+        /// The missing driver id.
+        driver: NodeId,
+    },
+    /// Two ports (inputs or outputs) share the same name.
+    DuplicateName {
+        /// The offending name.
+        name: String,
+    },
+    /// A simulation vector had the wrong number of entries.
+    InputArity {
+        /// Number of primary inputs of the network.
+        expected: usize,
+        /// Number of values supplied.
+        got: usize,
+    },
+    /// The network has no outputs, so the requested operation is meaningless.
+    NoOutputs,
+    /// A parse error in a BLIF file.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::DanglingFanin { node, fanin } => {
+                write!(f, "node {node} refers to nonexistent fanin {fanin}")
+            }
+            NetworkError::ForwardFanin { node, fanin } => {
+                write!(f, "node {node} refers to forward fanin {fanin}")
+            }
+            NetworkError::DanglingOutput { name, driver } => {
+                write!(f, "output `{name}` refers to nonexistent node {driver}")
+            }
+            NetworkError::DuplicateName { name } => {
+                write!(f, "duplicate port name `{name}`")
+            }
+            NetworkError::InputArity { expected, got } => {
+                write!(f, "expected {expected} input values, got {got}")
+            }
+            NetworkError::NoOutputs => write!(f, "network has no outputs"),
+            NetworkError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for NetworkError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = NetworkError::DuplicateName { name: "x".into() };
+        let s = e.to_string();
+        assert!(s.contains('x'));
+        assert!(s.starts_with("duplicate"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetworkError>();
+    }
+}

@@ -1,0 +1,61 @@
+use std::fmt;
+
+/// Identifier of a node inside a [`Network`](crate::Network).
+///
+/// `NodeId`s are dense indices handed out by the network in insertion order;
+/// they are only meaningful with respect to the network that created them.
+///
+/// # Example
+///
+/// ```rust
+/// use soi_netlist::Network;
+///
+/// let mut n = Network::new("t");
+/// let a = n.add_input("a");
+/// assert_eq!(a.index(), 0);
+/// assert_eq!(format!("{a}"), "n0");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Creates a node id from a raw index.
+    ///
+    /// This is mainly useful for tooling that serializes networks; ids built
+    /// this way are only valid if the index refers to an existing node.
+    pub fn from_index(index: usize) -> NodeId {
+        NodeId(u32::try_from(index).expect("node index exceeds u32 range"))
+    }
+
+    /// Returns the dense index of this node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        let id = NodeId::from_index(42);
+        assert_eq!(id.index(), 42);
+    }
+
+    #[test]
+    fn display_is_prefixed() {
+        assert_eq!(NodeId::from_index(7).to_string(), "n7");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId::from_index(1) < NodeId::from_index(2));
+    }
+}

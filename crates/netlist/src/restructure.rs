@@ -1,0 +1,282 @@
+//! Structure-perturbing rewrites.
+//!
+//! Textbook circuit generators produce very regular trees; netlists that
+//! went through multi-level logic optimization (as the paper's MCNC/ISCAS
+//! benchmarks did, via SIS) are messier — in particular they contain ANDs
+//! of OR-terminated operands, the structures that *force* pre-discharge
+//! transistors in SOI domino mapping no matter how stacks are ordered.
+//! This module perturbs a network without changing its function:
+//!
+//! * [`reassociate`] rebuilds maximal same-operation trees with a randomly
+//!   chosen association order;
+//! * [`distribute`] applies the distributive law `a + b·c →
+//!   (a+b)·(a+c)` to a random subset of OR nodes, creating exactly those
+//!   AND-of-ORs shapes (at a modest gate-count cost, like flattening steps
+//!   in a real synthesis flow).
+//!
+//! Both are deterministic in the seed, and both preserve functional
+//! equivalence (property-tested).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{BinOp, Network, Node, NodeId};
+
+/// Rebuilds every maximal AND/OR/XOR tree with a random association order.
+///
+/// Only single-fanout internal edges are gathered, so sharing is
+/// preserved. The result computes the same functions.
+///
+/// # Example
+///
+/// ```rust
+/// use soi_netlist::{restructure, sim, Network};
+///
+/// let mut n = Network::new("t");
+/// let sigs: Vec<_> = (0..6).map(|i| n.add_input(format!("i{i}"))).collect();
+/// let root = n.and_tree(&sigs);
+/// n.add_output("o", root);
+/// let shuffled = restructure::reassociate(&n, 7);
+/// assert!(sim::random_equivalent(&n, &shuffled, 8, 1).unwrap());
+/// ```
+pub fn reassociate(network: &Network, seed: u64) -> Network {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5ca1_ab1e);
+    let fanouts = network.fanout_counts();
+    let mut out = Network::new(network.name());
+    let mut mapped: Vec<Option<NodeId>> = vec![None; network.len()];
+
+    for (id, node) in network.iter() {
+        let new_id = match node {
+            Node::Input { name } => out.add_input(name.clone()),
+            Node::Const { value } => out.add_const(*value),
+            Node::Unary { op, a } => out.unary(*op, mapped[a.index()].expect("topo order")),
+            Node::Binary { op, .. } => {
+                if matches!(op, BinOp::And | BinOp::Or | BinOp::Xor) {
+                    // Gather the maximal tree of this op rooted here.
+                    let mut leaves = Vec::new();
+                    gather(network, &fanouts, id, *op, &mut leaves);
+                    let mut leaf_ids: Vec<NodeId> = leaves
+                        .iter()
+                        .map(|l| mapped[l.index()].expect("topo order"))
+                        .collect();
+                    // Random association: repeatedly combine two random
+                    // entries.
+                    while leaf_ids.len() > 1 {
+                        let i = rng.gen_range(0..leaf_ids.len());
+                        let x = leaf_ids.swap_remove(i);
+                        let j = rng.gen_range(0..leaf_ids.len());
+                        let y = leaf_ids.swap_remove(j);
+                        leaf_ids.push(out.binary(*op, x, y));
+                    }
+                    leaf_ids[0]
+                } else {
+                    let (a, b) = match node {
+                        Node::Binary { a, b, .. } => (*a, *b),
+                        _ => unreachable!(),
+                    };
+                    out.binary(
+                        *op,
+                        mapped[a.index()].expect("topo order"),
+                        mapped[b.index()].expect("topo order"),
+                    )
+                }
+            }
+        };
+        mapped[id.index()] = Some(new_id);
+    }
+    for port in network.outputs() {
+        out.add_output(
+            port.name.clone(),
+            mapped[port.driver.index()].expect("topo order"),
+        );
+    }
+    crate::cone::sweep(&out)
+}
+
+/// Collects the leaves of the maximal `op` tree rooted at `id`, descending
+/// only through single-fanout same-op children.
+fn gather(network: &Network, fanouts: &[u32], id: NodeId, op: BinOp, leaves: &mut Vec<NodeId>) {
+    match network.node(id) {
+        Node::Binary { op: child_op, a, b } if *child_op == op => {
+            for &f in &[*a, *b] {
+                let expandable = matches!(
+                    network.node(f),
+                    Node::Binary { op: fo, .. } if *fo == op
+                ) && fanouts[f.index()] == 1;
+                if expandable {
+                    gather(network, fanouts, f, op, leaves);
+                } else {
+                    leaves.push(f);
+                }
+            }
+        }
+        _ => leaves.push(id),
+    }
+}
+
+/// Applies `x + y·z → (x+y)·(x+z)` to each eligible OR node with the given
+/// probability (an OR with a single-fanout AND operand). This is the
+/// rewrite that creates AND-of-ORs — the PBE-hostile shape — while
+/// preserving the function.
+///
+/// # Panics
+///
+/// Panics if `probability` is not within `0.0..=1.0`.
+pub fn distribute(network: &Network, probability: f64, seed: u64) -> Network {
+    assert!(
+        (0.0..=1.0).contains(&probability),
+        "probability must be in 0..=1"
+    );
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xd157_0000);
+    let fanouts = network.fanout_counts();
+    let mut out = Network::new(network.name());
+    let mut mapped: Vec<Option<NodeId>> = vec![None; network.len()];
+
+    for (id, node) in network.iter() {
+        let new_id = match node {
+            Node::Input { name } => out.add_input(name.clone()),
+            Node::Const { value } => out.add_const(*value),
+            Node::Unary { op, a } => out.unary(*op, mapped[a.index()].expect("topo order")),
+            Node::Binary { op: BinOp::Or, a, b } => {
+                let (a, b) = (*a, *b);
+                let and_side = |n: NodeId| {
+                    matches!(network.node(n), Node::Binary { op: BinOp::And, .. })
+                        && fanouts[n.index()] == 1
+                };
+                let pick = if and_side(b) {
+                    Some((a, b))
+                } else if and_side(a) {
+                    Some((b, a))
+                } else {
+                    None
+                };
+                match pick {
+                    Some((x, and_node)) if rng.gen_bool(probability) => {
+                        let (y, z) = match network.node(and_node) {
+                            Node::Binary { a, b, .. } => (*a, *b),
+                            _ => unreachable!("checked above"),
+                        };
+                        let mx = mapped[x.index()].expect("topo order");
+                        let my = mapped[y.index()].expect("topo order");
+                        let mz = mapped[z.index()].expect("topo order");
+                        let left = out.or2(mx, my);
+                        let right = out.or2(mx, mz);
+                        out.and2(left, right)
+                    }
+                    _ => out.or2(
+                        mapped[a.index()].expect("topo order"),
+                        mapped[b.index()].expect("topo order"),
+                    ),
+                }
+            }
+            Node::Binary { op, a, b } => out.binary(
+                *op,
+                mapped[a.index()].expect("topo order"),
+                mapped[b.index()].expect("topo order"),
+            ),
+        };
+        mapped[id.index()] = Some(new_id);
+    }
+    for port in network.outputs() {
+        out.add_output(
+            port.name.clone(),
+            mapped[port.driver.index()].expect("topo order"),
+        );
+    }
+    crate::cone::sweep(&out)
+}
+
+/// Convenience: reassociation followed by distribution — the "make it look
+/// synthesized" pass used by the benchmark registry.
+pub fn synthesize_like(network: &Network, distribute_probability: f64, seed: u64) -> Network {
+    let shuffled = reassociate(network, seed);
+    distribute(&shuffled, distribute_probability, seed.rotate_left(17))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim;
+
+    fn sample() -> Network {
+        let mut n = Network::new("s");
+        let sigs: Vec<_> = (0..8).map(|i| n.add_input(format!("i{i}"))).collect();
+        let t1 = n.and_tree(&sigs[..4]);
+        let t2 = n.or_tree(&sigs[4..]);
+        let t3 = n.and2(t1, t2);
+        let t4 = n.xor2(t3, sigs[0]);
+        let or_of_and = {
+            let inner = n.and2(sigs[1], sigs[2]);
+            n.or2(sigs[5], inner)
+        };
+        n.add_output("a", t4);
+        n.add_output("b", or_of_and);
+        n
+    }
+
+    #[test]
+    fn reassociate_preserves_function() {
+        let n = sample();
+        for seed in 0..6 {
+            let r = reassociate(&n, seed);
+            assert!(sim::random_equivalent(&n, &r, 8, seed).unwrap(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn reassociate_changes_structure() {
+        let n = sample();
+        let shapes: std::collections::HashSet<usize> = (0..8)
+            .map(|seed| {
+                let r = reassociate(&n, seed);
+                soi_shape_hash(&r)
+            })
+            .collect();
+        assert!(shapes.len() > 1, "every seed produced the same structure");
+    }
+
+    fn soi_shape_hash(n: &Network) -> usize {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        for (_, node) in n.iter() {
+            node.hash(&mut h);
+        }
+        h.finish() as usize
+    }
+
+    #[test]
+    fn distribute_preserves_function_and_grows() {
+        let n = sample();
+        let d = distribute(&n, 1.0, 3);
+        assert!(sim::random_equivalent(&n, &d, 8, 9).unwrap());
+        assert!(d.stats().binary_gates >= n.stats().binary_gates);
+    }
+
+    #[test]
+    fn distribute_zero_probability_is_identity_shape() {
+        let n = sample();
+        let d = distribute(&n, 0.0, 3);
+        assert_eq!(d.stats().binary_gates, n.stats().binary_gates);
+    }
+
+    #[test]
+    fn synthesize_like_pipeline() {
+        let n = sample();
+        let s = synthesize_like(&n, 0.5, 11);
+        assert!(sim::random_equivalent(&n, &s, 8, 2).unwrap());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let n = sample();
+        assert_eq!(reassociate(&n, 5), reassociate(&n, 5));
+        assert_eq!(distribute(&n, 0.7, 5), distribute(&n, 0.7, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bad_probability_panics() {
+        let _ = distribute(&sample(), 1.5, 0);
+    }
+}

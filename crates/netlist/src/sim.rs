@@ -1,0 +1,232 @@
+//! Bit-parallel simulation.
+//!
+//! [`SimBatch`] evaluates 64 input vectors at a time, one bit lane per
+//! vector. It is the workhorse behind equivalence checking in `soi-unate`
+//! and the random-vector validation of mapped domino circuits.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Network, NetworkError, Node};
+
+/// A batch of up to 64 input vectors for bit-parallel simulation.
+///
+/// Lane `k` (bit `k` of every word) holds the `k`-th vector.
+///
+/// # Example
+///
+/// ```rust
+/// use soi_netlist::{sim::SimBatch, Network};
+///
+/// # fn main() -> Result<(), soi_netlist::NetworkError> {
+/// let mut n = Network::new("t");
+/// let a = n.add_input("a");
+/// let b = n.add_input("b");
+/// let g = n.and2(a, b);
+/// n.add_output("o", g);
+///
+/// // lane 0: a=1,b=1; lane 1: a=1,b=0
+/// let batch = SimBatch::new(vec![0b11, 0b01]);
+/// let out = batch.run(&n)?;
+/// assert_eq!(out[0] & 0b11, 0b01);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimBatch {
+    words: Vec<u64>,
+}
+
+impl SimBatch {
+    /// Creates a batch from one 64-lane word per primary input.
+    pub fn new(words: Vec<u64>) -> SimBatch {
+        SimBatch { words }
+    }
+
+    /// Creates a uniformly random batch for `inputs` primary inputs.
+    pub fn random(inputs: usize, rng: &mut SmallRng) -> SimBatch {
+        SimBatch {
+            words: (0..inputs).map(|_| rng.gen()).collect(),
+        }
+    }
+
+    /// Creates the batch enumerating all assignments of up to 6 inputs in
+    /// lanes `0..2^inputs` (an exhaustive truth-table sweep per call).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs > 6` (more than 64 assignments do not fit a word).
+    pub fn exhaustive(inputs: usize) -> SimBatch {
+        assert!(inputs <= 6, "exhaustive batch supports at most 6 inputs");
+        // Input i toggles with period 2^(i+1): the classic truth-table columns.
+        const COLS: [u64; 6] = [
+            0xAAAA_AAAA_AAAA_AAAA,
+            0xCCCC_CCCC_CCCC_CCCC,
+            0xF0F0_F0F0_F0F0_F0F0,
+            0xFF00_FF00_FF00_FF00,
+            0xFFFF_0000_FFFF_0000,
+            0xFFFF_FFFF_0000_0000,
+        ];
+        SimBatch {
+            words: COLS[..inputs].to_vec(),
+        }
+    }
+
+    /// The per-input lane words.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Evaluates the network on all 64 lanes at once, returning one word per
+    /// primary output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::InputArity`] if the batch width does not match
+    /// the network's primary input count.
+    pub fn run(&self, network: &Network) -> Result<Vec<u64>, NetworkError> {
+        if self.words.len() != network.inputs().len() {
+            return Err(NetworkError::InputArity {
+                expected: network.inputs().len(),
+                got: self.words.len(),
+            });
+        }
+        let mut state = vec![0u64; network.len()];
+        let mut next_input = 0;
+        for (id, node) in network.iter() {
+            state[id.index()] = match node {
+                Node::Input { .. } => {
+                    let w = self.words[next_input];
+                    next_input += 1;
+                    w
+                }
+                Node::Const { value } => {
+                    if *value {
+                        u64::MAX
+                    } else {
+                        0
+                    }
+                }
+                Node::Unary { op, a } => op.eval_word(state[a.index()]),
+                Node::Binary { op, a, b } => op.eval_word(state[a.index()], state[b.index()]),
+            };
+        }
+        Ok(network
+            .outputs()
+            .iter()
+            .map(|p| state[p.driver.index()])
+            .collect())
+    }
+}
+
+/// Compares two networks on `rounds * 64` random vectors (plus the all-zeros
+/// and all-ones vectors) and returns `true` if every output agreed on every
+/// vector.
+///
+/// The networks must have the same numbers of inputs and outputs; inputs are
+/// matched positionally.
+///
+/// # Errors
+///
+/// Returns [`NetworkError::InputArity`] if the two networks have different
+/// primary-input counts.
+pub fn random_equivalent(
+    a: &Network,
+    b: &Network,
+    rounds: usize,
+    seed: u64,
+) -> Result<bool, NetworkError> {
+    if a.inputs().len() != b.inputs().len() {
+        return Err(NetworkError::InputArity {
+            expected: a.inputs().len(),
+            got: b.inputs().len(),
+        });
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let corner_lo = SimBatch::new(vec![0; a.inputs().len()]);
+    let corner_hi = SimBatch::new(vec![u64::MAX; a.inputs().len()]);
+    for batch in std::iter::once(corner_lo)
+        .chain(std::iter::once(corner_hi))
+        .chain((0..rounds).map(|_| SimBatch::random(a.inputs().len(), &mut rng)))
+    {
+        if batch.run(a)? != batch.run(b)? {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_net() -> Network {
+        let mut n = Network::new("x");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g = n.xor2(a, b);
+        n.add_output("o", g);
+        n
+    }
+
+    fn xor_as_aoi() -> Network {
+        let mut n = Network::new("x2");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let na = n.inv(a);
+        let nb = n.inv(b);
+        let t1 = n.and2(a, nb);
+        let t2 = n.and2(na, b);
+        let g = n.or2(t1, t2);
+        n.add_output("o", g);
+        n
+    }
+
+    #[test]
+    fn exhaustive_matches_scalar() {
+        let n = xor_net();
+        let batch = SimBatch::exhaustive(2);
+        let out = batch.run(&n).unwrap()[0];
+        for lane in 0..4u64 {
+            let a = lane & 1 == 1;
+            let b = lane & 2 == 2;
+            let scalar = n.simulate(&[a, b]).unwrap()[0];
+            assert_eq!((out >> lane) & 1 == 1, scalar, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn equivalence_of_xor_forms() {
+        assert!(random_equivalent(&xor_net(), &xor_as_aoi(), 8, 1).unwrap());
+    }
+
+    #[test]
+    fn inequivalence_detected() {
+        let mut n = Network::new("and");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g = n.and2(a, b);
+        n.add_output("o", g);
+        assert!(!random_equivalent(&xor_net(), &n, 8, 1).unwrap());
+    }
+
+    #[test]
+    fn mismatched_inputs_error() {
+        let mut n = Network::new("one");
+        let a = n.add_input("a");
+        n.add_output("o", a);
+        assert!(random_equivalent(&xor_net(), &n, 1, 0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 6")]
+    fn exhaustive_limit() {
+        let _ = SimBatch::exhaustive(7);
+    }
+
+    #[test]
+    fn random_batch_width() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        assert_eq!(SimBatch::random(5, &mut rng).words().len(), 5);
+    }
+}

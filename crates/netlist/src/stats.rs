@@ -1,0 +1,122 @@
+//! Structural statistics of a network.
+
+use std::fmt;
+
+use crate::{Network, Node};
+
+/// Summary statistics of a [`Network`], as produced by [`Network::stats`].
+///
+/// # Example
+///
+/// ```rust
+/// use soi_netlist::Network;
+///
+/// let mut n = Network::new("t");
+/// let a = n.add_input("a");
+/// let b = n.add_input("b");
+/// let g = n.nand2(a, b);
+/// n.add_output("o", g);
+/// let s = n.stats();
+/// assert_eq!(s.inputs, 2);
+/// assert_eq!(s.binary_gates, 1);
+/// assert_eq!(s.depth, 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetworkStats {
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of primary outputs.
+    pub outputs: usize,
+    /// Number of two-input gates.
+    pub binary_gates: usize,
+    /// Number of inverters.
+    pub inverters: usize,
+    /// Number of buffers.
+    pub buffers: usize,
+    /// Number of constant nodes.
+    pub constants: usize,
+    /// Depth in all-gate levels (inverters count).
+    pub depth: u32,
+    /// Depth in two-input-gate levels (inverters free); the paper's `L` for
+    /// the original network.
+    pub gate_depth: u32,
+    /// Maximum fanout over all nodes.
+    pub max_fanout: u32,
+}
+
+impl fmt::Display for NetworkStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} PI, {} PO, {} gates (+{} inv, {} buf), depth {} ({} gate levels), max fanout {}",
+            self.inputs,
+            self.outputs,
+            self.binary_gates,
+            self.inverters,
+            self.buffers,
+            self.depth,
+            self.gate_depth,
+            self.max_fanout
+        )
+    }
+}
+
+pub(crate) fn collect(network: &Network) -> NetworkStats {
+    let mut stats = NetworkStats {
+        inputs: network.inputs().len(),
+        outputs: network.outputs().len(),
+        depth: crate::topo::depth(network),
+        gate_depth: crate::topo::gate_depth(network),
+        max_fanout: network.fanout_counts().into_iter().max().unwrap_or(0),
+        ..NetworkStats::default()
+    };
+    for (_, node) in network.iter() {
+        match node {
+            Node::Input { .. } => {}
+            Node::Const { .. } => stats.constants += 1,
+            Node::Unary { op, .. } => match op {
+                crate::UnOp::Inv => stats.inverters += 1,
+                crate::UnOp::Buf => stats.buffers += 1,
+            },
+            Node::Binary { .. } => stats.binary_gates += 1,
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Network;
+
+    #[test]
+    fn counts_every_category() {
+        let mut n = Network::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_const(true);
+        let i = n.inv(a);
+        let bf = n.buf(b);
+        let g1 = n.and2(i, bf);
+        let g2 = n.or2(g1, c);
+        n.add_output("o", g2);
+        let s = n.stats();
+        assert_eq!(s.inputs, 2);
+        assert_eq!(s.outputs, 1);
+        assert_eq!(s.binary_gates, 2);
+        assert_eq!(s.inverters, 1);
+        assert_eq!(s.buffers, 1);
+        assert_eq!(s.constants, 1);
+        assert_eq!(s.depth, 3);
+        assert_eq!(s.gate_depth, 2);
+    }
+
+    #[test]
+    fn display_mentions_all_counts() {
+        let mut n = Network::new("t");
+        let a = n.add_input("a");
+        n.add_output("o", a);
+        let text = n.stats().to_string();
+        assert!(text.contains("1 PI"));
+        assert!(text.contains("1 PO"));
+    }
+}

@@ -1,0 +1,162 @@
+//! Topological traversal utilities.
+//!
+//! A [`Network`] stores nodes in topological order by
+//! construction, so forward iteration is already a topological sweep. This
+//! module provides the derived orders that the mapping flow needs: the set of
+//! *live* nodes (reachable from an output) and per-node logic levels.
+
+use crate::{Network, Node, NodeId};
+
+/// Returns the ids of all nodes reachable from at least one primary output,
+/// in topological (fanin-before-fanout) order.
+///
+/// Dead logic — nodes that drive nothing — is skipped. Primary inputs are
+/// included only when live.
+///
+/// # Example
+///
+/// ```rust
+/// use soi_netlist::{topo, Network};
+///
+/// let mut n = Network::new("t");
+/// let a = n.add_input("a");
+/// let b = n.add_input("b");
+/// let live = n.and2(a, b);
+/// let _dead = n.or2(a, b);
+/// n.add_output("o", live);
+/// assert_eq!(topo::live_nodes(&n).len(), 3); // a, b, and2
+/// ```
+pub fn live_nodes(network: &Network) -> Vec<NodeId> {
+    let mut live = vec![false; network.len()];
+    let mut stack: Vec<NodeId> = network.outputs().iter().map(|p| p.driver).collect();
+    while let Some(id) = stack.pop() {
+        if live[id.index()] {
+            continue;
+        }
+        live[id.index()] = true;
+        for fanin in network.node(id).fanins() {
+            if !live[fanin.index()] {
+                stack.push(fanin);
+            }
+        }
+    }
+    (0..network.len())
+        .filter(|&i| live[i])
+        .map(NodeId::from_index)
+        .collect()
+}
+
+/// Logic level of every node: inputs and constants are level 0; a gate is one
+/// more than its deepest fanin.
+pub fn levels(network: &Network) -> Vec<u32> {
+    let mut levels = vec![0u32; network.len()];
+    for (id, node) in network.iter() {
+        let mut level = 0;
+        for fanin in node.fanins() {
+            level = level.max(levels[fanin.index()] + 1);
+        }
+        levels[id.index()] = level;
+    }
+    levels
+}
+
+/// The depth of the network: the maximum level over all output drivers.
+///
+/// Returns 0 for a network whose outputs are driven directly by inputs, and
+/// for a network without outputs.
+pub fn depth(network: &Network) -> u32 {
+    let levels = levels(network);
+    network
+        .outputs()
+        .iter()
+        .map(|p| levels[p.driver.index()])
+        .max()
+        .unwrap_or(0)
+}
+
+/// Depth counting only two-input gates (inverters and buffers are free).
+///
+/// This is the metric the paper's Table IV reports in its second column: "the
+/// maximum number of 2-input AND/OR gates in the original network that a
+/// signal passes through".
+pub fn gate_depth(network: &Network) -> u32 {
+    let mut levels = vec![0u32; network.len()];
+    for (id, node) in network.iter() {
+        let own = u32::from(matches!(node, Node::Binary { .. }));
+        let mut level = 0;
+        for fanin in node.fanins() {
+            level = level.max(levels[fanin.index()]);
+        }
+        levels[id.index()] = level + own;
+    }
+    network
+        .outputs()
+        .iter()
+        .map(|p| levels[p.driver.index()])
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(len: usize) -> Network {
+        let mut n = Network::new("chain");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let mut cur = n.and2(a, b);
+        for _ in 1..len {
+            cur = n.and2(cur, b);
+        }
+        n.add_output("o", cur);
+        n
+    }
+
+    #[test]
+    fn depth_of_chain() {
+        assert_eq!(depth(&chain(4)), 4);
+        assert_eq!(gate_depth(&chain(4)), 4);
+    }
+
+    #[test]
+    fn inverters_do_not_count_in_gate_depth() {
+        let mut n = Network::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let i = n.inv(a);
+        let g = n.and2(i, b);
+        let i2 = n.inv(g);
+        n.add_output("o", i2);
+        assert_eq!(depth(&n), 3);
+        assert_eq!(gate_depth(&n), 1);
+    }
+
+    #[test]
+    fn live_excludes_dead_inputs() {
+        let mut n = Network::new("t");
+        let a = n.add_input("a");
+        let _unused = n.add_input("b");
+        let g = n.buf(a);
+        n.add_output("o", g);
+        let live = live_nodes(&n);
+        assert_eq!(live.len(), 2);
+        assert_eq!(live[0], a);
+    }
+
+    #[test]
+    fn live_nodes_are_topologically_ordered() {
+        let n = chain(8);
+        let live = live_nodes(&n);
+        for window in live.windows(2) {
+            assert!(window[0] < window[1]);
+        }
+    }
+
+    #[test]
+    fn empty_network_depth_is_zero() {
+        let n = Network::new("e");
+        assert_eq!(depth(&n), 0);
+        assert!(live_nodes(&n).is_empty());
+    }
+}

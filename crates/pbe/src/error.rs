@@ -1,0 +1,43 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by PBE analysis and simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PbeError {
+    /// A simulation vector had the wrong number of entries.
+    InputArity {
+        /// Number of primary inputs of the circuit.
+        expected: usize,
+        /// Number of values supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for PbeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PbeError::InputArity { expected, got } => {
+                write!(f, "expected {expected} input values, got {got}")
+            }
+        }
+    }
+}
+
+impl Error for PbeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_traits() {
+        fn assert_err<T: Error + Send + Sync>() {}
+        assert_err::<PbeError>();
+        let e = PbeError::InputArity {
+            expected: 3,
+            got: 1,
+        };
+        assert!(e.to_string().contains('3'));
+    }
+}

@@ -1,0 +1,87 @@
+//! Equivalence checking between a network and its unate conversion.
+
+use soi_netlist::{sim, Network};
+
+use crate::{UnateError, UnateNetwork};
+
+/// Checks a unate network against the original on `rounds * 64` random
+/// vectors plus the all-zeros/all-ones corners.
+///
+/// Returns `true` when every output agreed on every vector. Inputs are
+/// matched positionally; boundary inverters recorded on the unate outputs
+/// are honoured.
+///
+/// # Errors
+///
+/// Returns [`UnateError::Simulation`] if the two sides disagree on input
+/// arity (a structural bug, not a functional mismatch).
+///
+/// # Example
+///
+/// ```rust
+/// use soi_netlist::Network;
+/// use soi_unate::{convert, verify, Options};
+///
+/// # fn main() -> Result<(), soi_unate::UnateError> {
+/// let mut n = Network::new("t");
+/// let a = n.add_input("a");
+/// let b = n.add_input("b");
+/// let g = n.nor2(a, b);
+/// n.add_output("f", g);
+/// let u = convert(&n, &Options::default())?;
+/// assert!(verify::equivalent(&n, &u, 8, 1)?);
+/// # Ok(())
+/// # }
+/// ```
+pub fn equivalent(
+    original: &Network,
+    unate: &UnateNetwork,
+    rounds: usize,
+    seed: u64,
+) -> Result<bool, UnateError> {
+    let lowered = unate.to_network();
+    sim::random_equivalent(original, &lowered, rounds, seed)
+        .map_err(|source| UnateError::Simulation { source })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Literal, Phase, USignal};
+
+    #[test]
+    fn detects_mismatch() {
+        let mut n = Network::new("and");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g = n.and2(a, b);
+        n.add_output("f", g);
+
+        // A wrong "conversion": an OR instead of an AND.
+        let mut u = UnateNetwork::new(vec!["a".into(), "b".into()]);
+        let la = u.add_literal(Literal {
+            input: 0,
+            phase: Phase::Pos,
+        });
+        let lb = u.add_literal(Literal {
+            input: 1,
+            phase: Phase::Pos,
+        });
+        let o = u.add_or(la, lb);
+        u.add_output("f", USignal::Node(o), false);
+
+        assert!(!equivalent(&n, &u, 4, 9).unwrap());
+    }
+
+    #[test]
+    fn arity_mismatch_is_error() {
+        let mut n = Network::new("t");
+        let a = n.add_input("a");
+        n.add_output("f", a);
+        let u = UnateNetwork::new(vec!["a".into(), "b".into()]);
+        assert!(matches!(
+            equivalent(&n, &u, 1, 0),
+            Err(UnateError::Simulation { .. })
+        ));
+    }
+}

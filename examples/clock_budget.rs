@@ -1,0 +1,42 @@
+//! Sweeps the clock-transistor weight `k` (the paper's Table III knob) on a
+//! benchmark and prints the clock-load / total-transistor tradeoff,
+//! optionally with logic duplication enabled.
+//!
+//! Run with `cargo run --release --example clock_budget [circuit]`.
+
+use soi_domino::circuits::registry;
+use soi_domino::mapper::{MapConfig, Mapper};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "9symml".to_string());
+    let network = registry::benchmark(&name)
+        .ok_or_else(|| format!("unknown benchmark `{name}`"))?;
+    println!("{name}: {}\n", network.stats());
+    println!(
+        "{:>3} {:>12} | {:>8} {:>8} {:>8} {:>6} {:>8}",
+        "k", "duplication", "T_logic", "T_disch", "T_total", "#G", "T_clock"
+    );
+    for allow_duplication in [false, true] {
+        for k in [1u32, 2, 4, 8] {
+            let config = MapConfig {
+                clock_weight: k,
+                allow_duplication,
+                ..MapConfig::default()
+            };
+            let result = Mapper::soi(config).run(&network)?;
+            let c = result.counts;
+            println!(
+                "{k:>3} {:>12} | {:>8} {:>8} {:>8} {:>6} {:>8}",
+                if allow_duplication { "on" } else { "off" },
+                c.logic,
+                c.discharge,
+                c.total,
+                c.gates,
+                c.clock
+            );
+        }
+    }
+    println!("\nHigher k trades total transistors for a lighter clock network;");
+    println!("duplication gives the trade more room by dissolving shared gates.");
+    Ok(())
+}

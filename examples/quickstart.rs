@@ -1,0 +1,25 @@
+//! Quickstart: map one benchmark with all three algorithms and compare.
+//!
+//! Run with `cargo run --release --example quickstart [circuit]`.
+
+use soi_domino::circuits::registry;
+use soi_domino::mapper::{MapConfig, Mapper};
+use soi_domino::pbe::hazard;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "b9".to_string());
+    let network = registry::benchmark(&name)
+        .ok_or_else(|| format!("unknown benchmark `{name}`; see soi_circuits::registry"))?;
+    println!("{name}: {}", network.stats());
+
+    for mapper in [
+        Mapper::baseline(MapConfig::default()),
+        Mapper::rearrange_stacks(MapConfig::default()),
+        Mapper::soi(MapConfig::default()),
+    ] {
+        let result = mapper.run(&network)?;
+        let safe = hazard::is_safe(&result.circuit);
+        println!("  {result}  pbe-safe={safe}");
+    }
+    Ok(())
+}

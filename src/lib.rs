@@ -1,0 +1,44 @@
+//! # soi-domino
+//!
+//! A reproduction of *"Technology Mapping for SOI Domino Logic Incorporating
+//! Solutions for the Parasitic Bipolar Effect"* (Karandikar & Sapatnekar,
+//! DAC 2001) as a Rust workspace. This facade crate re-exports the public
+//! API of every subsystem:
+//!
+//! * [`netlist`] — gate-level logic networks (the mapper's input),
+//! * [`circuits`] — parametric benchmark circuit generators,
+//! * [`unate`] — binate-to-unate conversion by bubble pushing,
+//! * [`domino`] — the transistor-level domino circuit model,
+//! * [`pbe`] — parasitic-bipolar-effect analysis and body-state simulation,
+//! * [`mapper`] — the `Domino_Map`, `RS_Map` and `SOI_Domino_Map` algorithms.
+//!
+//! # Quickstart
+//!
+//! ```rust
+//! use soi_domino::netlist::Network;
+//! use soi_domino::mapper::{MapConfig, Mapper};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // f = (a + b + c) * d — the paper's running example.
+//! let mut n = Network::new("example");
+//! let a = n.add_input("a");
+//! let b = n.add_input("b");
+//! let c = n.add_input("c");
+//! let d = n.add_input("d");
+//! let t1 = n.or2(a, b);
+//! let t2 = n.or2(t1, c);
+//! let f = n.and2(t2, d);
+//! n.add_output("f", f);
+//!
+//! let soi = Mapper::soi(MapConfig::default()).run(&n)?;
+//! assert!(soi.circuit.counts().total >= 1);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use soi_circuits as circuits;
+pub use soi_domino_ir as domino;
+pub use soi_mapper as mapper;
+pub use soi_netlist as netlist;
+pub use soi_pbe as pbe;
+pub use soi_unate as unate;

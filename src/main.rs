@@ -1,0 +1,216 @@
+//! The `soi-domino` command-line tool: map BLIF netlists or built-in
+//! benchmarks to SOI domino logic, inspect the result, and stress-test it
+//! on the floating-body simulator.
+//!
+//! ```text
+//! soi-domino list
+//! soi-domino map <circuit> [--algorithm soi|rs|domino] [--objective area|depth]
+//!                          [--clock-weight K] [--duplicate] [--emit counts|netlist|dot|timing]
+//! soi-domino compare <circuit>
+//! soi-domino stress <circuit> [--cycles N] [--strip]
+//! ```
+//!
+//! `<circuit>` is either a registered benchmark name (see `list`) or a path
+//! to a BLIF file.
+
+use std::error::Error;
+use std::process::ExitCode;
+
+use soi_domino::circuits::registry;
+use soi_domino::domino::timing::{analyze, TechParams};
+use soi_domino::domino::{export, GateId};
+use soi_domino::mapper::{Algorithm, MapConfig, Mapper, Objective};
+use soi_domino::netlist::{blif, dot, Network};
+use soi_domino::pbe::bodysim::{BodySimConfig, BodySimulator};
+use soi_domino::pbe::hazard;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  soi-domino list
+  soi-domino map <circuit> [--algorithm soi|rs|domino] [--objective area|depth]
+                           [--clock-weight K] [--duplicate]
+                           [--emit counts|netlist|dot|timing]
+  soi-domino compare <circuit>
+  soi-domino stress <circuit> [--cycles N] [--strip]
+
+<circuit> is a registered benchmark name (see `list`) or a BLIF file path.";
+
+fn run(args: &[String]) -> Result<(), Box<dyn Error>> {
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            for name in registry::names() {
+                let n = registry::benchmark(name).expect("registered");
+                println!("{name:8} {}", n.stats());
+            }
+            Ok(())
+        }
+        Some("map") => cmd_map(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..]),
+        Some("stress") => cmd_stress(&args[1..]),
+        _ => Err("missing or unknown subcommand".into()),
+    }
+}
+
+fn load_circuit(spec: &str) -> Result<Network, Box<dyn Error>> {
+    if let Some(network) = registry::benchmark(spec) {
+        return Ok(network);
+    }
+    let path = std::path::Path::new(spec);
+    if path.exists() {
+        let text = std::fs::read_to_string(path)?;
+        return Ok(blif::parse(&text)?);
+    }
+    Err(format!("`{spec}` is neither a registered benchmark nor a readable file").into())
+}
+
+struct Flags {
+    algorithm: Algorithm,
+    config: MapConfig,
+    emit: String,
+    cycles: usize,
+    strip: bool,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, Box<dyn Error>> {
+    let mut flags = Flags {
+        algorithm: Algorithm::SoiDominoMap,
+        config: MapConfig::default(),
+        emit: "counts".to_string(),
+        cycles: 64,
+        strip: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, Box<dyn Error>> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value").into())
+        };
+        match arg.as_str() {
+            "--algorithm" => {
+                flags.algorithm = match value("--algorithm")?.as_str() {
+                    "soi" => Algorithm::SoiDominoMap,
+                    "rs" => Algorithm::RsMap,
+                    "domino" => Algorithm::DominoMap,
+                    other => return Err(format!("unknown algorithm `{other}`").into()),
+                }
+            }
+            "--objective" => {
+                flags.config.objective = match value("--objective")?.as_str() {
+                    "area" => Objective::Area,
+                    "depth" => Objective::Depth,
+                    other => return Err(format!("unknown objective `{other}`").into()),
+                }
+            }
+            "--clock-weight" => flags.config.clock_weight = value("--clock-weight")?.parse()?,
+            "--duplicate" => flags.config.allow_duplication = true,
+            "--emit" => flags.emit = value("--emit")?,
+            "--cycles" => flags.cycles = value("--cycles")?.parse()?,
+            "--strip" => flags.strip = true,
+            other => return Err(format!("unknown flag `{other}`").into()),
+        }
+    }
+    Ok(flags)
+}
+
+fn mapper_for(flags: &Flags) -> Mapper {
+    match flags.algorithm {
+        Algorithm::SoiDominoMap => Mapper::soi(flags.config),
+        Algorithm::RsMap => Mapper::rearrange_stacks(flags.config),
+        Algorithm::DominoMap => Mapper::baseline(flags.config),
+    }
+}
+
+fn cmd_map(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let spec = args.first().ok_or("map needs a circuit")?;
+    let flags = parse_flags(&args[1..])?;
+    let network = load_circuit(spec)?;
+    let result = mapper_for(&flags).run(&network)?;
+    match flags.emit.as_str() {
+        "counts" => {
+            println!("{result}");
+            println!("pbe-safe: {}", hazard::is_safe(&result.circuit));
+        }
+        "netlist" => print!("{}", export::netlist(&result.circuit)),
+        "dot" => print!("{}", dot::render(&network)),
+        "timing" => {
+            let report = analyze(&result.circuit, &TechParams::soi());
+            println!("{result}");
+            println!("critical path (SOI params): {:.1}", report.critical);
+            println!(
+                "critical path (bulk params): {:.1}",
+                analyze(&result.circuit, &TechParams::bulk()).critical
+            );
+        }
+        other => return Err(format!("unknown emit mode `{other}`").into()),
+    }
+    Ok(())
+}
+
+fn cmd_compare(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let spec = args.first().ok_or("compare needs a circuit")?;
+    let network = load_circuit(spec)?;
+    println!("{}: {}", network.name(), network.stats());
+    for mapper in [
+        Mapper::baseline(MapConfig::default()),
+        Mapper::rearrange_stacks(MapConfig::default()),
+        Mapper::soi(MapConfig::default()),
+    ] {
+        let result = mapper.run(&network)?;
+        let timing = analyze(&result.circuit, &TechParams::soi());
+        println!("  {result}  delay={:.1}", timing.critical);
+    }
+    Ok(())
+}
+
+fn cmd_stress(args: &[String]) -> Result<(), Box<dyn Error>> {
+    let spec = args.first().ok_or("stress needs a circuit")?;
+    let flags = parse_flags(&args[1..])?;
+    let network = load_circuit(spec)?;
+    let mut result = mapper_for(&flags).run(&network)?;
+    if flags.strip {
+        for idx in 0..result.circuit.gate_count() {
+            result
+                .circuit
+                .gate_mut(GateId::from_index(idx))
+                .set_discharge(Vec::new());
+        }
+        println!("(protection stripped)");
+    }
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = SmallRng::seed_from_u64(0xCAFE);
+    let mut sim = BodySimulator::new(&result.circuit, BodySimConfig::default());
+    let inputs = result.circuit.input_names().len();
+    let mut events = 0usize;
+    let mut bad_cycles = 0usize;
+    let mut held: Vec<bool> = vec![false; inputs];
+    for cycle in 0..flags.cycles {
+        if cycle % 5 == 0 {
+            held = (0..inputs).map(|_| rng.gen_bool(0.4)).collect();
+        }
+        let report = sim.step(&held)?;
+        events += report.pbe_events.len();
+        bad_cycles += usize::from(report.misevaluated());
+    }
+    println!(
+        "{} cycles: {} bipolar events, {} mis-evaluated cycles, hysteresis exposure {}",
+        flags.cycles,
+        events,
+        bad_cycles,
+        sim.hysteresis_exposure()
+    );
+    Ok(())
+}

@@ -1,0 +1,113 @@
+//! Exact (BDD-based) verification of the flow on the benchmarks whose
+//! functions stay tractable — a stronger statement than the random-vector
+//! checks used elsewhere.
+
+use soi_domino::domino::{DominoCircuit, Signal};
+use soi_domino::circuits::registry;
+use soi_domino::mapper::{MapConfig, Mapper};
+use soi_domino::netlist::{bdd, Network};
+use soi_domino::unate::{convert, Options};
+
+/// Lowers a mapped domino circuit back into a plain logic network so its
+/// BDD can be compared against the source's.
+fn circuit_to_network(circuit: &DominoCircuit) -> Network {
+    let mut n = Network::new("lowered");
+    let inputs: Vec<_> = circuit
+        .input_names()
+        .iter()
+        .map(|name| n.add_input(name.clone()))
+        .collect();
+    let mut neg: Vec<Option<soi_domino::netlist::NodeId>> = vec![None; inputs.len()];
+    let mut gate_out = Vec::with_capacity(circuit.gate_count());
+    for (_, gate) in circuit.iter() {
+        let root = lower_pdn(gate.pdn(), &mut n, &inputs, &mut neg, &gate_out);
+        gate_out.push(root);
+    }
+    for binding in circuit.outputs() {
+        let driver = gate_out[binding.gate.index()];
+        let driver = if binding.inverted { n.inv(driver) } else { driver };
+        n.add_output(binding.name.clone(), driver);
+    }
+    n
+}
+
+fn lower_pdn(
+    pdn: &soi_domino::domino::Pdn,
+    n: &mut Network,
+    inputs: &[soi_domino::netlist::NodeId],
+    neg: &mut Vec<Option<soi_domino::netlist::NodeId>>,
+    gate_out: &[soi_domino::netlist::NodeId],
+) -> soi_domino::netlist::NodeId {
+    use soi_domino::domino::{Pdn, Phase};
+    match pdn {
+        Pdn::Transistor(sig) => match *sig {
+            Signal::Input { index, phase } => match phase {
+                Phase::Pos => inputs[index],
+                Phase::Neg => *neg[index].get_or_insert_with(|| n.inv(inputs[index])),
+            },
+            Signal::Gate(g) => gate_out[g.index()],
+        },
+        Pdn::Series(children) => {
+            let parts: Vec<_> = children
+                .iter()
+                .map(|c| lower_pdn(c, n, inputs, neg, gate_out))
+                .collect();
+            n.and_tree(&parts)
+        }
+        Pdn::Parallel(children) => {
+            let parts: Vec<_> = children
+                .iter()
+                .map(|c| lower_pdn(c, n, inputs, neg, gate_out))
+                .collect();
+            n.or_tree(&parts)
+        }
+    }
+}
+
+#[test]
+fn unate_conversion_is_exactly_equivalent() {
+    for name in ["cm150", "mux", "z4ml", "9symml", "frg1", "c432"] {
+        let network = registry::benchmark(name).expect("registered");
+        let unate = convert(&network, &Options::default()).expect("converts");
+        let lowered = unate.to_network();
+        match bdd::equivalent(&network, &lowered, 1 << 21) {
+            Ok(eq) => assert!(eq, "{name}: unate conversion changed the function"),
+            Err(overflow) => panic!("{name}: unexpected BDD overflow ({overflow})"),
+        }
+    }
+}
+
+#[test]
+fn mapped_circuits_are_exactly_equivalent() {
+    for name in ["cm150", "z4ml", "9symml", "c432"] {
+        let network = registry::benchmark(name).expect("registered");
+        for mapper in [
+            Mapper::baseline(MapConfig::default()),
+            Mapper::rearrange_stacks(MapConfig::default()),
+            Mapper::soi(MapConfig::default()),
+        ] {
+            let result = mapper.run(&network).expect("maps");
+            let lowered = circuit_to_network(&result.circuit);
+            match bdd::equivalent(&network, &lowered, 1 << 21) {
+                Ok(eq) => assert!(
+                    eq,
+                    "{name}: {:?} mapping changed the function",
+                    mapper.algorithm()
+                ),
+                Err(overflow) => panic!("{name}: unexpected BDD overflow ({overflow})"),
+            }
+        }
+    }
+}
+
+#[test]
+fn duplication_is_exactly_equivalent() {
+    let network = registry::benchmark("cm150").expect("registered");
+    let config = MapConfig {
+        allow_duplication: true,
+        ..MapConfig::default()
+    };
+    let result = Mapper::soi(config).run(&network).expect("maps");
+    let lowered = circuit_to_network(&result.circuit);
+    assert!(bdd::equivalent(&network, &lowered, 1 << 21).expect("tractable"));
+}

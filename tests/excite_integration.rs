@@ -1,0 +1,83 @@
+//! Excitability pruning (the §VII future-work extension) applied to fully
+//! mapped benchmark circuits.
+
+use soi_domino::circuits::registry;
+use soi_domino::mapper::{MapConfig, Mapper};
+use soi_domino::pbe::excite::{prune_discharge, verify_safe, ExciteConfig, InputConstraints};
+
+#[test]
+fn tied_off_enable_prunes_everything_behind_it() {
+    // cm150 is a 16:1 mux with an enable pin. If the design guarantees
+    // `en` stays low (a disabled sub-block), no path from the dynamic node
+    // through the enable can ever charge an internal junction of the
+    // gated cone.
+    let network = registry::benchmark("cm150").expect("registered");
+    let mapped = Mapper::baseline(MapConfig::default()).run(&network).unwrap();
+    let mut circuit = mapped.circuit;
+    let before = circuit.counts().discharge;
+    assert!(before > 0, "baseline cm150 should need protection");
+
+    let en_index = circuit
+        .input_names()
+        .iter()
+        .position(|n| n == "en")
+        .expect("cm150 has an enable input");
+    let constraints = InputConstraints::none().with_fixed(en_index, false);
+    let config = ExciteConfig::default();
+    let removed = prune_discharge(&mut circuit, &constraints, &config);
+    let after = circuit.counts().discharge;
+    assert_eq!(after, before - removed);
+    assert!(verify_safe(&circuit, &constraints, &config));
+}
+
+#[test]
+fn unconstrained_pruning_never_removes_needed_protection() {
+    for name in ["cm150", "z4ml", "frg1", "c432"] {
+        let network = registry::benchmark(name).expect("registered");
+        for mapper in [
+            Mapper::baseline(MapConfig::default()),
+            Mapper::soi(MapConfig::default()),
+        ] {
+            let mapped = mapper.run(&network).unwrap();
+            let mut circuit = mapped.circuit;
+            let before = circuit.counts().discharge;
+            let removed = prune_discharge(
+                &mut circuit,
+                &InputConstraints::none(),
+                &ExciteConfig::default(),
+            );
+            // Worst-case committed points are excitable by construction;
+            // pruning without knowledge must be a no-op.
+            assert_eq!(removed, 0, "{name}: pruned {removed} of {before}");
+        }
+    }
+}
+
+#[test]
+fn pruned_circuit_still_computes_the_function() {
+    let network = registry::benchmark("cm150").expect("registered");
+    let mapped = Mapper::baseline(MapConfig::default()).run(&network).unwrap();
+    let mut circuit = mapped.circuit;
+    let en_index = circuit
+        .input_names()
+        .iter()
+        .position(|n| n == "en")
+        .expect("enable input");
+    prune_discharge(
+        &mut circuit,
+        &InputConstraints::none().with_fixed(en_index, false),
+        &ExciteConfig::default(),
+    );
+    circuit.validate().unwrap();
+    // Discharge devices never affect the boolean function.
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = SmallRng::seed_from_u64(404);
+    for _ in 0..32 {
+        let v: Vec<bool> = (0..network.inputs().len()).map(|_| rng.gen()).collect();
+        assert_eq!(
+            circuit.evaluate(&v).unwrap(),
+            network.simulate(&v).unwrap()
+        );
+    }
+}

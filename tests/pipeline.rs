@@ -1,0 +1,180 @@
+//! End-to-end pipeline tests: network → unate conversion → mapping →
+//! functional equivalence, PBE safety, and accounting consistency, across
+//! all three algorithms and a spread of benchmark circuits.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use soi_domino::circuits::registry;
+use soi_domino::mapper::{Algorithm, MapConfig, Mapper};
+use soi_domino::netlist::Network;
+use soi_domino::pbe::hazard;
+
+fn mappers() -> [Mapper; 3] {
+    [
+        Mapper::baseline(MapConfig::default()),
+        Mapper::rearrange_stacks(MapConfig::default()),
+        Mapper::soi(MapConfig::default()),
+    ]
+}
+
+/// Random-vector equivalence between a source network and its mapped
+/// domino circuit.
+fn check_equivalent(network: &Network, mapper: &Mapper, vectors: usize, seed: u64) {
+    let result = mapper.run(network).expect("mapping succeeds");
+    result.circuit.validate().expect("valid circuit");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let inputs = network.inputs().len();
+    for round in 0..vectors {
+        let v: Vec<bool> = (0..inputs).map(|_| rng.gen()).collect();
+        let want = network.simulate(&v).expect("source simulates");
+        let got = result.circuit.evaluate(&v).expect("circuit evaluates");
+        assert_eq!(
+            got,
+            want,
+            "{:?} on {} mismatches at round {round}",
+            mapper.algorithm(),
+            network.name()
+        );
+    }
+}
+
+#[test]
+fn small_benchmarks_map_equivalently_under_all_algorithms() {
+    for name in ["cm150", "mux", "z4ml", "cordic", "frg1", "b9", "9symml", "c432"] {
+        let network = registry::benchmark(name).expect("registered");
+        for mapper in mappers() {
+            check_equivalent(&network, &mapper, 40, 0xE0 + name.len() as u64);
+        }
+    }
+}
+
+#[test]
+fn medium_benchmarks_map_equivalently_under_soi() {
+    for name in ["c880", "c1355", "count", "f51m", "rot"] {
+        let network = registry::benchmark(name).expect("registered");
+        check_equivalent(&network, &Mapper::soi(MapConfig::default()), 20, 0x5E5);
+    }
+}
+
+#[test]
+fn every_algorithm_produces_pbe_safe_circuits() {
+    for name in ["cm150", "z4ml", "frg1", "b9", "c432", "9symml", "cordic"] {
+        let network = registry::benchmark(name).expect("registered");
+        for mapper in mappers() {
+            let result = mapper.run(&network).expect("maps");
+            let hazards = hazard::check(&result.circuit);
+            assert!(
+                hazards.is_empty(),
+                "{:?} on {name}: {} hazards, first: {}",
+                mapper.algorithm(),
+                hazards.len(),
+                hazards[0]
+            );
+        }
+    }
+}
+
+#[test]
+fn soi_never_overprotects() {
+    for name in ["cm150", "b9", "c432", "frg1"] {
+        let network = registry::benchmark(name).expect("registered");
+        let result = Mapper::soi(MapConfig::default()).run(&network).expect("maps");
+        assert!(
+            hazard::redundant_discharge(&result.circuit).is_empty(),
+            "{name}: SOI attached unnecessary discharge transistors"
+        );
+    }
+}
+
+#[test]
+fn counts_are_internally_consistent() {
+    for name in ["cm150", "b9", "c880"] {
+        let network = registry::benchmark(name).expect("registered");
+        for mapper in mappers() {
+            let result = mapper.run(&network).expect("maps");
+            let counts = result.counts;
+            assert_eq!(counts.total, counts.logic + counts.discharge);
+            assert_eq!(counts.gates as usize, result.circuit.gate_count());
+            assert_eq!(counts.levels, result.circuit.levels());
+            // Recount from the circuit itself.
+            assert_eq!(counts, result.circuit.counts());
+        }
+    }
+}
+
+#[test]
+fn ordering_of_algorithms_on_discharge() {
+    for name in ["cm150", "z4ml", "frg1", "b9", "apex7", "c432"] {
+        let network = registry::benchmark(name).expect("registered");
+        let base = Mapper::baseline(MapConfig::default()).run(&network).unwrap();
+        let rs = Mapper::rearrange_stacks(MapConfig::default())
+            .run(&network)
+            .unwrap();
+        let soi = Mapper::soi(MapConfig::default()).run(&network).unwrap();
+        assert!(
+            rs.counts.discharge <= base.counts.discharge,
+            "{name}: RS should not add discharge transistors"
+        );
+        assert!(
+            soi.counts.total <= base.counts.total,
+            "{name}: SOI total must not exceed the blind baseline"
+        );
+        assert_eq!(base.algorithm, Algorithm::DominoMap);
+        assert_eq!(rs.algorithm, Algorithm::RsMap);
+        assert_eq!(soi.algorithm, Algorithm::SoiDominoMap);
+    }
+}
+
+#[test]
+fn depth_objective_levels_do_not_exceed_area_levels_much() {
+    for name in ["cm150", "b9", "c432"] {
+        let network = registry::benchmark(name).expect("registered");
+        let area = Mapper::soi(MapConfig::default()).run(&network).unwrap();
+        let depth = Mapper::soi(MapConfig::depth()).run(&network).unwrap();
+        assert!(
+            depth.counts.levels <= area.counts.levels,
+            "{name}: depth objective produced more levels ({}) than area ({})",
+            depth.counts.levels,
+            area.counts.levels
+        );
+    }
+}
+
+#[test]
+fn clock_weighting_only_reduces_clock_transistors() {
+    for name in ["b9", "c432", "9symml"] {
+        let network = registry::benchmark(name).expect("registered");
+        let k1 = Mapper::soi(MapConfig::with_clock_weight(1))
+            .run(&network)
+            .unwrap();
+        let k4 = Mapper::soi(MapConfig::with_clock_weight(4))
+            .run(&network)
+            .unwrap();
+        assert!(
+            k4.counts.clock <= k1.counts.clock,
+            "{name}: heavier clock weight increased T_clock ({} > {})",
+            k4.counts.clock,
+            k1.counts.clock
+        );
+    }
+}
+
+#[test]
+fn blif_roundtrip_through_the_full_flow() {
+    // The BLIF writer expands XOR gates into covers that the reader
+    // re-synthesizes as AND/OR/INV logic, so the parsed network is
+    // structurally different (but equivalent); it must still map to a
+    // functionally identical, PBE-safe circuit of comparable size.
+    let network = registry::benchmark("z4ml").expect("registered");
+    let text = soi_domino::netlist::blif::write(&network);
+    let parsed = soi_domino::netlist::blif::parse(&text).expect("parses");
+    assert!(
+        soi_domino::netlist::sim::random_equivalent(&network, &parsed, 16, 5).unwrap()
+    );
+    let via_blif = Mapper::soi(MapConfig::default()).run(&parsed).unwrap();
+    assert!(hazard::is_safe(&via_blif.circuit));
+    check_equivalent(&parsed, &Mapper::soi(MapConfig::default()), 32, 0xB11F);
+    let direct = Mapper::soi(MapConfig::default()).run(&network).unwrap();
+    let (a, b) = (direct.counts.total as f64, via_blif.counts.total as f64);
+    assert!((a - b).abs() / a < 0.5, "sizes diverged: {a} vs {b}");
+}

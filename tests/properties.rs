@@ -1,0 +1,289 @@
+//! Property-based tests over the whole flow: random networks are converted,
+//! mapped and verified; random pull-down structures obey the
+//! discharge-point algebra's invariants.
+
+use proptest::prelude::*;
+use soi_domino::domino::{Pdn, Signal};
+use soi_domino::mapper::{AndOrder, MapConfig, Mapper};
+use soi_domino::netlist::{BinOp, Network, NodeId};
+use soi_domino::pbe::{hazard, points, rearrange};
+use soi_domino::unate::{convert, verify, Options};
+
+/// A recipe for one random gate: operation selector and two fanin picks.
+#[derive(Debug, Clone)]
+struct GateRecipe {
+    op: u8,
+    a: prop::sample::Index,
+    b: prop::sample::Index,
+}
+
+fn gate_recipe() -> impl Strategy<Value = GateRecipe> {
+    (0u8..7, any::<prop::sample::Index>(), any::<prop::sample::Index>())
+        .prop_map(|(op, a, b)| GateRecipe { op, a, b })
+}
+
+fn build_network(inputs: usize, recipes: &[GateRecipe], outputs: usize) -> Network {
+    let mut n = Network::new("prop");
+    let mut pool: Vec<NodeId> = (0..inputs).map(|i| n.add_input(format!("i{i}"))).collect();
+    for r in recipes {
+        let a = pool[r.a.index(pool.len())];
+        let b = pool[r.b.index(pool.len())];
+        let id = match r.op {
+            0 => n.binary(BinOp::And, a, b),
+            1 => n.binary(BinOp::Or, a, b),
+            2 => n.binary(BinOp::Nand, a, b),
+            3 => n.binary(BinOp::Nor, a, b),
+            4 => n.binary(BinOp::Xor, a, b),
+            5 => n.binary(BinOp::Xnor, a, b),
+            _ => n.inv(a),
+        };
+        pool.push(id);
+    }
+    for k in 0..outputs {
+        let driver = pool[pool.len() - 1 - (k * 3) % pool.len().min(17)];
+        n.add_output(format!("o{k}"), driver);
+    }
+    n
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The unate conversion is always inverter-free and functionally
+    /// equivalent to the source network.
+    #[test]
+    fn unate_conversion_is_sound(
+        recipes in prop::collection::vec(gate_recipe(), 1..60),
+        inputs in 2usize..8,
+        outputs in 1usize..4,
+    ) {
+        let n = build_network(inputs, &recipes, outputs);
+        let u = convert(&n, &Options::default()).expect("converts");
+        prop_assert!(u.is_inverter_free());
+        prop_assert!(verify::equivalent(&n, &u, 4, 99).expect("simulates"));
+    }
+
+    /// Every mapper produces a PBE-safe circuit that computes the same
+    /// function as the source network.
+    #[test]
+    fn mapping_is_sound(
+        recipes in prop::collection::vec(gate_recipe(), 1..40),
+        inputs in 2usize..7,
+        algorithm in 0u8..3,
+        seed in any::<u64>(),
+    ) {
+        let n = build_network(inputs, &recipes, 2);
+        let mapper = match algorithm {
+            0 => Mapper::baseline(MapConfig::default()),
+            1 => Mapper::rearrange_stacks(MapConfig::default()),
+            _ => Mapper::soi(MapConfig::default()),
+        };
+        let result = mapper.run(&n).expect("maps");
+        prop_assert!(hazard::is_safe(&result.circuit));
+        result.circuit.validate().expect("valid");
+
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        for _ in 0..16 {
+            let v: Vec<bool> = (0..inputs).map(|_| rng.gen()).collect();
+            prop_assert_eq!(
+                result.circuit.evaluate(&v).expect("evaluates"),
+                n.simulate(&v).expect("simulates")
+            );
+        }
+    }
+
+    /// With an uncapped Pareto set, the exhaustive AND order never does
+    /// worse than the paper heuristic (its candidate sets are supersets at
+    /// every node; a finite cap can break this, which is why the cap is an
+    /// ablation knob).
+    #[test]
+    fn exhaustive_order_dominates_heuristic(
+        recipes in prop::collection::vec(gate_recipe(), 1..30),
+        inputs in 2usize..6,
+    ) {
+        let n = build_network(inputs, &recipes, 1);
+        let roomy = MapConfig {
+            max_candidates: usize::MAX,
+            ..MapConfig::default()
+        };
+        let heuristic = Mapper::soi(roomy).run(&n).expect("maps");
+        let exhaustive = Mapper::soi(MapConfig {
+            and_order: AndOrder::Exhaustive,
+            ..roomy
+        })
+        .run(&n)
+        .expect("maps");
+        prop_assert!(exhaustive.counts.total <= heuristic.counts.total);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The BDD equivalence oracle and the bit-parallel simulator agree on
+    /// random network pairs (identical pairs and perturbed pairs).
+    #[test]
+    fn bdd_agrees_with_simulation(
+        recipes in prop::collection::vec(gate_recipe(), 1..40),
+        inputs in 2usize..6,
+        flip in any::<bool>(),
+    ) {
+        use soi_domino::netlist::{bdd, sim};
+        let a = build_network(inputs, &recipes, 1);
+        let b = if flip {
+            // Perturb: same structure with the output inverted. Dead
+            // inputs are preserved by rebuilding rather than cone
+            // extraction, keeping the interfaces aligned.
+            let mut n = build_network(inputs, &recipes, 1);
+            let driver = n.outputs()[0].driver;
+            let inverted = n.inv(driver);
+            let mut flipped = Network::new("flipped");
+            let mut mapped = Vec::with_capacity(n.len());
+            for (_, node) in n.iter() {
+                use soi_domino::netlist::Node;
+                let id = match node {
+                    Node::Input { name } => flipped.add_input(name.clone()),
+                    Node::Const { value } => flipped.add_const(*value),
+                    Node::Unary { op, a } => flipped.unary(*op, mapped[a.index()]),
+                    Node::Binary { op, a, b } => {
+                        flipped.binary(*op, mapped[a.index()], mapped[b.index()])
+                    }
+                };
+                mapped.push(id);
+            }
+            flipped.add_output("o0", mapped[inverted.index()]);
+            flipped
+        } else {
+            build_network(inputs, &recipes, 1)
+        };
+        if a.outputs().len() == b.outputs().len() {
+            let exact = bdd::equivalent(&a, &b, 1 << 18);
+            if let Ok(exact) = exact {
+                let sampled = sim::random_equivalent(&a, &b, 8, 42).expect("same arity");
+                if exact {
+                    prop_assert!(sampled, "BDD says equal, simulation disagrees");
+                } else if sampled {
+                    // Random sampling may miss a discrepancy; exhaustively
+                    // confirm the BDD on small input counts.
+                    let mut diff = false;
+                    for bits in 0..(1u32 << inputs) {
+                        let v: Vec<bool> = (0..inputs).map(|k| bits >> k & 1 == 1).collect();
+                        if a.simulate(&v).unwrap() != b.simulate(&v).unwrap() {
+                            diff = true;
+                            break;
+                        }
+                    }
+                    prop_assert!(diff, "BDD says different, exhaustive sim agrees");
+                }
+            }
+        }
+    }
+
+    /// Restructuring rewrites preserve the function on random networks.
+    #[test]
+    fn restructure_preserves_function(
+        recipes in prop::collection::vec(gate_recipe(), 1..50),
+        inputs in 2usize..7,
+        seed in any::<u64>(),
+        probability in 0.0f64..1.0,
+    ) {
+        use soi_domino::netlist::{restructure, sim};
+        let n = build_network(inputs, &recipes, 2);
+        let r = restructure::reassociate(&n, seed);
+        prop_assert!(sim::random_equivalent(&n, &r, 4, seed).expect("arity"));
+        let d = restructure::distribute(&n, probability, seed);
+        prop_assert!(sim::random_equivalent(&n, &d, 4, seed ^ 1).expect("arity"));
+        let s = restructure::synthesize_like(&n, probability, seed);
+        prop_assert!(sim::random_equivalent(&n, &s, 4, seed ^ 2).expect("arity"));
+    }
+}
+
+/// Strategy for random pull-down trees.
+fn pdn_strategy() -> impl Strategy<Value = Pdn> {
+    let leaf = (0usize..6).prop_map(|i| Pdn::transistor(Signal::input(i)));
+    leaf.prop_recursive(4, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Pdn::series),
+            prop::collection::vec(inner, 2..4).prop_map(Pdn::parallel),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Committed and potential points always partition the internal
+    /// junction nets of a PDN.
+    #[test]
+    fn discharge_points_partition_junctions(pdn in pdn_strategy()) {
+        let analysis = points::analyze(&pdn);
+        let graph = pdn.flatten();
+        let junctions = graph.junctions().count();
+        prop_assert_eq!(
+            analysis.committed.len() + analysis.potential.len(),
+            junctions
+        );
+        for j in analysis.committed.iter().chain(&analysis.potential) {
+            prop_assert!(graph.junction_net(j).is_some());
+        }
+    }
+
+    /// Stack rearrangement never increases the grounded discharge count
+    /// and preserves the boolean function.
+    #[test]
+    fn rearrange_is_sound(pdn in pdn_strategy(), bits in 0u64..64) {
+        let before = points::analyze(&pdn).grounded_count();
+        let better = rearrange::rearrange_pdn(&pdn, true);
+        let after = points::analyze(&better).grounded_count();
+        prop_assert!(after <= before);
+
+        let value = |s: Signal| match s {
+            Signal::Input { index, phase } => phase.apply(bits & (1 << index) != 0),
+            Signal::Gate(_) => unreachable!(),
+        };
+        prop_assert_eq!(pdn.conducts(&value), better.conducts(&value));
+    }
+
+    /// Width, height and transistor count are invariant under
+    /// rearrangement.
+    #[test]
+    fn rearrange_preserves_shape_metrics(pdn in pdn_strategy()) {
+        let better = rearrange::rearrange_pdn(&pdn, true);
+        prop_assert_eq!(pdn.transistor_count(), better.transistor_count());
+        prop_assert_eq!(pdn.width(), better.width());
+        prop_assert_eq!(pdn.height(), better.height());
+    }
+
+    /// `conducts` on the tree agrees with path connectivity on the
+    /// flattened graph.
+    #[test]
+    fn flatten_preserves_conduction(pdn in pdn_strategy(), bits in 0u64..64) {
+        let value = |s: Signal| match s {
+            Signal::Input { index, phase } => phase.apply(bits & (1 << index) != 0),
+            Signal::Gate(_) => unreachable!(),
+        };
+        let tree = pdn.conducts(&value);
+
+        // Union-find over conducting devices on the flattened graph.
+        let graph = pdn.flatten();
+        let nets = graph.net_count();
+        let mut parent: Vec<usize> = (0..nets).collect();
+        fn find(p: &mut Vec<usize>, mut x: usize) -> usize {
+            while p[x] != x {
+                p[x] = p[p[x]];
+                x = p[x];
+            }
+            x
+        }
+        for t in &graph.transistors {
+            if value(t.signal) {
+                let a = find(&mut parent, t.upper.index());
+                let b = find(&mut parent, t.lower.index());
+                parent[a.max(b)] = a.min(b);
+            }
+        }
+        let connected = find(&mut parent, 0) == find(&mut parent, 1);
+        prop_assert_eq!(tree, connected);
+    }
+}

@@ -1,0 +1,71 @@
+//! Post-mapping timing checks: the Elmore model must agree with the
+//! paper's qualitative delay arguments across whole mapped circuits.
+
+use soi_domino::circuits::registry;
+use soi_domino::domino::timing::{analyze, TechParams};
+use soi_domino::mapper::{MapConfig, Mapper};
+
+#[test]
+fn soi_parameters_make_mapped_circuits_faster_than_bulk() {
+    for name in ["cm150", "b9", "c432"] {
+        let network = registry::benchmark(name).expect("registered");
+        let mapped = Mapper::soi(MapConfig::default()).run(&network).unwrap();
+        let soi = analyze(&mapped.circuit, &TechParams::soi()).critical;
+        let bulk = analyze(&mapped.circuit, &TechParams::bulk()).critical;
+        assert!(
+            soi < bulk,
+            "{name}: SOI junction caps must shorten the critical path ({soi} !< {bulk})"
+        );
+    }
+}
+
+#[test]
+fn depth_objective_shortens_the_critical_path() {
+    for name in ["b9", "frg1", "apex7"] {
+        let network = registry::benchmark(name).expect("registered");
+        let area = Mapper::soi(MapConfig::default()).run(&network).unwrap();
+        let depth = Mapper::soi(MapConfig::depth()).run(&network).unwrap();
+        let t_area = analyze(&area.circuit, &TechParams::soi()).critical;
+        let t_depth = analyze(&depth.circuit, &TechParams::soi()).critical;
+        // Level minimization is a proxy; it should not *hurt* by more than
+        // a small factor and usually helps.
+        assert!(
+            t_depth <= t_area * 1.15,
+            "{name}: depth mapping slower than area mapping ({t_depth} vs {t_area})"
+        );
+    }
+}
+
+#[test]
+fn fewer_discharge_devices_means_less_delay_at_equal_structure() {
+    // Baseline and RS_Map share gate structures up to stack order; the
+    // discharge savings of RS must show up as (weakly) shorter delays.
+    for name in ["cm150", "frg1", "c432"] {
+        let network = registry::benchmark(name).expect("registered");
+        let base = Mapper::baseline(MapConfig::default()).run(&network).unwrap();
+        let rs = Mapper::rearrange_stacks(MapConfig::default())
+            .run(&network)
+            .unwrap();
+        assert!(rs.counts.discharge <= base.counts.discharge);
+        let t_base = analyze(&base.circuit, &TechParams::soi()).critical;
+        let t_rs = analyze(&rs.circuit, &TechParams::soi()).critical;
+        assert!(
+            t_rs <= t_base * 1.05,
+            "{name}: RS mapping slower despite fewer discharge devices ({t_rs} vs {t_base})"
+        );
+    }
+}
+
+#[test]
+fn report_is_complete_and_positive() {
+    let network = registry::benchmark("z4ml").expect("registered");
+    let mapped = Mapper::soi(MapConfig::default()).run(&network).unwrap();
+    let report = analyze(&mapped.circuit, &TechParams::soi());
+    assert_eq!(report.gate_delay.len(), mapped.circuit.gate_count());
+    assert!(report.gate_delay.iter().all(|&d| d > 0.0));
+    assert!(report.critical > 0.0);
+    // Arrival is monotone along the topological order's dependencies.
+    for (i, arrival) in report.arrival.iter().enumerate() {
+        assert!(*arrival >= report.gate_delay[i]);
+    }
+}
