@@ -17,11 +17,9 @@ fn bench_algorithms(c: &mut Criterion) {
             ("rs", Mapper::rearrange_stacks(MapConfig::default())),
             ("soi", Mapper::soi(MapConfig::default())),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(alg, name),
-                &network,
-                |b, network| b.iter(|| mapper.run(network).expect("maps")),
-            );
+            group.bench_with_input(BenchmarkId::new(alg, name), &network, |b, network| {
+                b.iter(|| mapper.run(network).expect("maps"))
+            });
         }
     }
     group.finish();
@@ -70,12 +68,19 @@ fn bench_bodysim(c: &mut Criterion) {
         .expect("maps");
     let inputs = mapped.circuit.input_names().len();
     group.bench_function("b9_cycle", |b| {
-        let mut sim = BodySimulator::new(&mapped.circuit, BodySimConfig::default());
+        let mut sim =
+            BodySimulator::new(&mapped.circuit, BodySimConfig::default()).expect("valid circuit");
         let vector = vec![true; inputs];
         b.iter(|| sim.step(&vector).expect("arity"))
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_algorithms, bench_scaling, bench_frontend, bench_bodysim);
+criterion_group!(
+    benches,
+    bench_algorithms,
+    bench_scaling,
+    bench_frontend,
+    bench_bodysim
+);
 criterion_main!(benches);

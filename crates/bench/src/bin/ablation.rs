@@ -15,7 +15,9 @@ use soi_circuits::registry;
 use soi_domino_ir::timing::{analyze, TechParams};
 use soi_mapper::{AndOrder, Footing, MapConfig, Mapper};
 
-const CIRCUITS: &[&str] = &["cm150", "z4ml", "cordic", "frg1", "b9", "9symml", "c432", "c880"];
+const CIRCUITS: &[&str] = &[
+    "cm150", "z4ml", "cordic", "frg1", "b9", "9symml", "c432", "c880",
+];
 
 fn main() {
     println!("Ablation studies over {:?}\n", CIRCUITS);
@@ -85,7 +87,10 @@ fn main() {
     }
 
     println!("\nA5 — logic duplication (SOI, area): total / gates");
-    println!("{:<8} {:>16} {:>16}", "circuit", "shared-only", "may-duplicate");
+    println!(
+        "{:<8} {:>16} {:>16}",
+        "circuit", "shared-only", "may-duplicate"
+    );
     for &name in CIRCUITS {
         let network = registry::benchmark(name).expect("registered");
         let mut cells = Vec::new();
@@ -130,7 +135,9 @@ fn main() {
         let base = Mapper::baseline(MapConfig::default())
             .run(&network)
             .expect("maps");
-        let area = Mapper::soi(MapConfig::default()).run(&network).expect("maps");
+        let area = Mapper::soi(MapConfig::default())
+            .run(&network)
+            .expect("maps");
         let depth = Mapper::soi(MapConfig::depth()).run(&network).expect("maps");
         println!(
             "{:<8} {:>10.1} {:>10.1} {:>10.1} {:>12.1}",

@@ -36,7 +36,9 @@ pub fn run_table1() -> Vec<Table1Row> {
         .iter()
         .map(|&name| {
             let network = registry::benchmark(name).expect("registered benchmark");
-            let base = Mapper::baseline(config).run(&network).expect("baseline maps");
+            let base = Mapper::baseline(config)
+                .run(&network)
+                .expect("baseline maps");
             let rs = Mapper::rearrange_stacks(config)
                 .run(&network)
                 .expect("rs maps");
@@ -73,7 +75,9 @@ pub fn run_table2() -> Vec<Table2Row> {
         .iter()
         .map(|&name| {
             let network = registry::benchmark(name).expect("registered benchmark");
-            let base = Mapper::baseline(config).run(&network).expect("baseline maps");
+            let base = Mapper::baseline(config)
+                .run(&network)
+                .expect("baseline maps");
             let soi = Mapper::soi(config).run(&network).expect("soi maps");
             eprintln!("  {name}: base {} / soi {}", base.counts, soi.counts);
             Table2Row {
@@ -147,7 +151,9 @@ pub fn run_table4() -> Vec<Table4Row> {
         .iter()
         .map(|&name| {
             let network = registry::benchmark(name).expect("registered benchmark");
-            let base = Mapper::baseline(config).run(&network).expect("baseline maps");
+            let base = Mapper::baseline(config)
+                .run(&network)
+                .expect("baseline maps");
             let soi = Mapper::soi(config).run(&network).expect("soi maps");
             eprintln!("  {name}: base {} / soi {}", base.counts, soi.counts);
             Table4Row {
@@ -189,12 +195,7 @@ pub fn render_table1(rows: &[Table1Row]) -> String {
         total_sum += dt;
         let paper = paper::TABLE1.iter().find(|p| p.name == row.name);
         let paper_txt = paper
-            .map(|p| {
-                format!(
-                    "{}+{} → {}+{}",
-                    p.base.0, p.base.1, p.rs.0, p.rs.1
-                )
-            })
+            .map(|p| format!("{}+{} → {}+{}", p.base.0, p.base.1, p.rs.0, p.rs.1))
             .unwrap_or_default();
         let _ = writeln!(
             out,
@@ -280,7 +281,8 @@ pub fn render_table3(rows: &[Table3Row]) -> String {
         out,
         "Table III — SOI_Domino_Map under clock-transistor weights k=1 / k=2"
     );
-    let _ = writeln!(
+    let _ =
+        writeln!(
         out,
         "{:<8} | {:>6} {:>6} {:>6} {:>4} {:>6} | {:>6} {:>6} {:>6} {:>4} {:>6} | {:>8} | paper%",
         "circuit", "Tlog", "Tdis", "Ttot", "#G", "Tclk", "Tlog", "Tdis", "Ttot", "#G", "Tclk",
@@ -291,7 +293,8 @@ pub fn render_table3(rows: &[Table3Row]) -> String {
         let imp = pct(row.k1.clock, row.k2.clock);
         imp_sum += imp;
         let paper = paper::TABLE3.iter().find(|p| p.name == row.name);
-        let _ = writeln!(
+        let _ =
+            writeln!(
             out,
             "{:<8} | {:>6} {:>6} {:>6} {:>4} {:>6} | {:>6} {:>6} {:>6} {:>4} {:>6} | {:>8.2} | {}",
             row.name,
@@ -366,6 +369,51 @@ pub fn render_table4(rows: &[Table4Row]) -> String {
         paper::TABLE4_AVG.1
     );
     out
+}
+
+/// One audited benchmark mapping: the counts plus proof the cross-stage
+/// audit passed.
+#[derive(Debug, Clone)]
+pub struct AuditedRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Measured counts of the audited mapping.
+    pub counts: TransistorCounts,
+    /// Whether the run needed graceful degradation.
+    pub degraded: bool,
+    /// What the audit exercised.
+    pub audit: soi_guard::AuditReport,
+}
+
+/// Runs a benchmark list through the hardened [`soi_guard::Pipeline`] —
+/// every mapping is validated, checked for PBE hazards, and audited
+/// end-to-end against the source network before its counts are trusted.
+///
+/// Unlike the `run_table*` functions this never panics on a mapping
+/// failure: the typed [`soi_guard::StageError`] is returned instead, naming
+/// the stage and circuit that broke.
+///
+/// # Errors
+///
+/// Returns the first [`soi_guard::StageError`] a circuit produces.
+pub fn run_audited(
+    names: &[&'static str],
+    mapper: Mapper,
+) -> Result<Vec<AuditedRow>, soi_guard::StageError> {
+    let pipeline = soi_guard::Pipeline::new(mapper);
+    names
+        .iter()
+        .map(|&name| {
+            let network = registry::benchmark(name).expect("registered benchmark");
+            let report = pipeline.run(&network)?;
+            Ok(AuditedRow {
+                name,
+                counts: report.result.counts,
+                degraded: report.degraded,
+                audit: report.audit.expect("pipeline audit is enabled"),
+            })
+        })
+        .collect()
 }
 
 /// Average discharge-reduction percentage of a measured Table II run —
@@ -443,6 +491,20 @@ mod tests {
         assert!(text.contains("cm150"));
         assert!(text.contains("100.00"));
         assert!(text.contains("paper 25.41"));
+    }
+
+    #[test]
+    fn audited_rows_match_unaudited_counts() {
+        let config = MapConfig::default();
+        let rows = run_audited(&["cm150", "mux"], Mapper::soi(config)).expect("audit passes");
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            let network = registry::benchmark(row.name).unwrap();
+            let plain = Mapper::soi(config).run(&network).unwrap();
+            assert_eq!(row.counts, plain.counts, "{}", row.name);
+            assert!(!row.degraded);
+            assert!(row.audit.vectors_checked > 0);
+        }
     }
 
     #[test]

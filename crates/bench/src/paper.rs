@@ -18,24 +18,96 @@ pub struct Table1Paper {
 /// Table I data (18 circuits; paper averages: 25.41% discharge reduction,
 /// 3.44% total reduction).
 pub const TABLE1: &[Table1Paper] = &[
-    Table1Paper { name: "cm150", base: (73, 19), rs: (73, 15) },
-    Table1Paper { name: "mux", base: (73, 21), rs: (73, 18) },
-    Table1Paper { name: "z4ml", base: (127, 16), rs: (127, 12) },
-    Table1Paper { name: "cordic", base: (199, 38), rs: (202, 23) },
-    Table1Paper { name: "frg1", base: (244, 78), rs: (239, 43) },
-    Table1Paper { name: "b9", base: (365, 87), rs: (367, 57) },
-    Table1Paper { name: "apex7", base: (663, 124), rs: (662, 106) },
-    Table1Paper { name: "c432", base: (655, 167), rs: (675, 128) },
-    Table1Paper { name: "c880", base: (1163, 198), rs: (1182, 153) },
-    Table1Paper { name: "t481", base: (1448, 232), rs: (1458, 193) },
-    Table1Paper { name: "c1355", base: (1856, 130), rs: (1856, 86) },
-    Table1Paper { name: "apex6", base: (1889, 319), rs: (1896, 275) },
-    Table1Paper { name: "c1908", base: (1924, 208), rs: (1924, 171) },
-    Table1Paper { name: "k2", base: (2425, 345), rs: (2441, 278) },
-    Table1Paper { name: "c2670", base: (2467, 422), rs: (2481, 341) },
-    Table1Paper { name: "c5315", base: (5498, 830), rs: (5510, 603) },
-    Table1Paper { name: "c7552", base: (8088, 1082), rs: (8138, 760) },
-    Table1Paper { name: "des", base: (9069, 1416), rs: (9097, 929) },
+    Table1Paper {
+        name: "cm150",
+        base: (73, 19),
+        rs: (73, 15),
+    },
+    Table1Paper {
+        name: "mux",
+        base: (73, 21),
+        rs: (73, 18),
+    },
+    Table1Paper {
+        name: "z4ml",
+        base: (127, 16),
+        rs: (127, 12),
+    },
+    Table1Paper {
+        name: "cordic",
+        base: (199, 38),
+        rs: (202, 23),
+    },
+    Table1Paper {
+        name: "frg1",
+        base: (244, 78),
+        rs: (239, 43),
+    },
+    Table1Paper {
+        name: "b9",
+        base: (365, 87),
+        rs: (367, 57),
+    },
+    Table1Paper {
+        name: "apex7",
+        base: (663, 124),
+        rs: (662, 106),
+    },
+    Table1Paper {
+        name: "c432",
+        base: (655, 167),
+        rs: (675, 128),
+    },
+    Table1Paper {
+        name: "c880",
+        base: (1163, 198),
+        rs: (1182, 153),
+    },
+    Table1Paper {
+        name: "t481",
+        base: (1448, 232),
+        rs: (1458, 193),
+    },
+    Table1Paper {
+        name: "c1355",
+        base: (1856, 130),
+        rs: (1856, 86),
+    },
+    Table1Paper {
+        name: "apex6",
+        base: (1889, 319),
+        rs: (1896, 275),
+    },
+    Table1Paper {
+        name: "c1908",
+        base: (1924, 208),
+        rs: (1924, 171),
+    },
+    Table1Paper {
+        name: "k2",
+        base: (2425, 345),
+        rs: (2441, 278),
+    },
+    Table1Paper {
+        name: "c2670",
+        base: (2467, 422),
+        rs: (2481, 341),
+    },
+    Table1Paper {
+        name: "c5315",
+        base: (5498, 830),
+        rs: (5510, 603),
+    },
+    Table1Paper {
+        name: "c7552",
+        base: (8088, 1082),
+        rs: (8138, 760),
+    },
+    Table1Paper {
+        name: "des",
+        base: (9069, 1416),
+        rs: (9097, 929),
+    },
 ];
 
 /// Paper averages for Table I: (Δ`T_disch` %, Δ`T_total` %).
@@ -54,27 +126,111 @@ pub struct Table2Paper {
 /// Table II data (21 circuits; paper averages: 53.00% discharge reduction,
 /// 6.29% total reduction).
 pub const TABLE2: &[Table2Paper] = &[
-    Table2Paper { name: "cm150", base: (73, 19), soi: (73, 15) },
-    Table2Paper { name: "mux", base: (73, 21), soi: (73, 15) },
-    Table2Paper { name: "z4ml", base: (127, 16), soi: (127, 12) },
-    Table2Paper { name: "cordic", base: (199, 38), soi: (206, 18) },
-    Table2Paper { name: "frg1", base: (244, 78), soi: (245, 20) },
-    Table2Paper { name: "f51m", base: (297, 71), soi: (309, 31) },
-    Table2Paper { name: "count", base: (333, 71), soi: (365, 22) },
-    Table2Paper { name: "b9", base: (365, 87), soi: (367, 29) },
-    Table2Paper { name: "9symml", base: (424, 107), soi: (440, 39) },
-    Table2Paper { name: "apex7", base: (663, 124), soi: (667, 59) },
-    Table2Paper { name: "c432", base: (655, 167), soi: (706, 99) },
-    Table2Paper { name: "c880", base: (1163, 198), soi: (1223, 81) },
-    Table2Paper { name: "t481", base: (1448, 232), soi: (1495, 54) },
-    Table2Paper { name: "c1355", base: (1856, 130), soi: (1856, 46) },
-    Table2Paper { name: "apex6", base: (1889, 319), soi: (1928, 183) },
-    Table2Paper { name: "c1908", base: (1924, 208), soi: (1949, 109) },
-    Table2Paper { name: "k2", base: (2446, 348), soi: (2527, 114) },
-    Table2Paper { name: "c2670", base: (2467, 422), soi: (2498, 244) },
-    Table2Paper { name: "c5315", base: (5498, 830), soi: (5510, 474) },
-    Table2Paper { name: "c7552", base: (8088, 1082), soi: (8164, 637) },
-    Table2Paper { name: "des", base: (9069, 1416), soi: (9122, 581) },
+    Table2Paper {
+        name: "cm150",
+        base: (73, 19),
+        soi: (73, 15),
+    },
+    Table2Paper {
+        name: "mux",
+        base: (73, 21),
+        soi: (73, 15),
+    },
+    Table2Paper {
+        name: "z4ml",
+        base: (127, 16),
+        soi: (127, 12),
+    },
+    Table2Paper {
+        name: "cordic",
+        base: (199, 38),
+        soi: (206, 18),
+    },
+    Table2Paper {
+        name: "frg1",
+        base: (244, 78),
+        soi: (245, 20),
+    },
+    Table2Paper {
+        name: "f51m",
+        base: (297, 71),
+        soi: (309, 31),
+    },
+    Table2Paper {
+        name: "count",
+        base: (333, 71),
+        soi: (365, 22),
+    },
+    Table2Paper {
+        name: "b9",
+        base: (365, 87),
+        soi: (367, 29),
+    },
+    Table2Paper {
+        name: "9symml",
+        base: (424, 107),
+        soi: (440, 39),
+    },
+    Table2Paper {
+        name: "apex7",
+        base: (663, 124),
+        soi: (667, 59),
+    },
+    Table2Paper {
+        name: "c432",
+        base: (655, 167),
+        soi: (706, 99),
+    },
+    Table2Paper {
+        name: "c880",
+        base: (1163, 198),
+        soi: (1223, 81),
+    },
+    Table2Paper {
+        name: "t481",
+        base: (1448, 232),
+        soi: (1495, 54),
+    },
+    Table2Paper {
+        name: "c1355",
+        base: (1856, 130),
+        soi: (1856, 46),
+    },
+    Table2Paper {
+        name: "apex6",
+        base: (1889, 319),
+        soi: (1928, 183),
+    },
+    Table2Paper {
+        name: "c1908",
+        base: (1924, 208),
+        soi: (1949, 109),
+    },
+    Table2Paper {
+        name: "k2",
+        base: (2446, 348),
+        soi: (2527, 114),
+    },
+    Table2Paper {
+        name: "c2670",
+        base: (2467, 422),
+        soi: (2498, 244),
+    },
+    Table2Paper {
+        name: "c5315",
+        base: (5498, 830),
+        soi: (5510, 474),
+    },
+    Table2Paper {
+        name: "c7552",
+        base: (8088, 1082),
+        soi: (8164, 637),
+    },
+    Table2Paper {
+        name: "des",
+        base: (9069, 1416),
+        soi: (9122, 581),
+    },
 ];
 
 /// Paper averages for Table II: (Δ`T_disch` %, Δ`T_total` %).
@@ -98,33 +254,168 @@ pub struct Table3Paper {
 
 /// Table III data (27 circuits; paper average improvement 3.82%).
 pub const TABLE3: &[Table3Paper] = &[
-    Table3Paper { name: "cm150", k1: (73, 15, 88, 3, 21), k2: (73, 15, 88, 3, 21), improvement: 0.00 },
-    Table3Paper { name: "mux", k1: (73, 15, 88, 3, 21), k2: (73, 15, 88, 3, 21), improvement: 0.00 },
-    Table3Paper { name: "z4ml", k1: (134, 13, 147, 9, 39), k2: (134, 13, 147, 9, 39), improvement: 0.00 },
-    Table3Paper { name: "cordic", k1: (222, 19, 241, 14, 52), k2: (217, 19, 236, 13, 51), improvement: 1.92 },
-    Table3Paper { name: "frg1", k1: (283, 20, 303, 19, 58), k2: (277, 21, 298, 18, 57), improvement: 1.72 },
-    Table3Paper { name: "count", k1: (374, 22, 396, 28, 77), k2: (374, 22, 396, 28, 77), improvement: 0.00 },
-    Table3Paper { name: "b9", k1: (367, 29, 396, 29, 87), k2: (373, 26, 399, 30, 86), improvement: 0.11 },
-    Table3Paper { name: "c8", k1: (331, 42, 373, 26, 94), k2: (325, 42, 367, 25, 92), improvement: 2.12 },
-    Table3Paper { name: "f51m", k1: (405, 42, 447, 27, 104), k2: (391, 38, 429, 26, 98), improvement: 5.76 },
-    Table3Paper { name: "9symml", k1: (571, 57, 628, 34, 132), k2: (482, 36, 518, 33, 106), improvement: 19.69 },
-    Table3Paper { name: "apex7", k1: (739, 67, 806, 54, 175), k2: (733, 67, 800, 53, 173), improvement: 1.14 },
-    Table3Paper { name: "x1", k1: (825, 63, 888, 65, 193), k2: (816, 60, 876, 64, 188), improvement: 2.59 },
-    Table3Paper { name: "c432", k1: (799, 93, 892, 52, 197), k2: (804, 89, 893, 53, 194), improvement: 1.52 },
-    Table3Paper { name: "i6", k1: (1155, 67, 1222, 67, 201), k2: (1155, 67, 1222, 67, 201), improvement: 0.00 },
-    Table3Paper { name: "c1908", k1: (992, 117, 1109, 77, 259), k2: (957, 111, 1068, 78, 254), improvement: 1.93 },
-    Table3Paper { name: "t481", k1: (1916, 77, 1993, 132, 325), k2: (1927, 70, 1997, 135, 316), improvement: 2.77 },
-    Table3Paper { name: "c499", k1: (2016, 46, 2062, 130, 440), k2: (2016, 46, 2062, 130, 440), improvement: 0.00 },
-    Table3Paper { name: "c1355", k1: (2016, 46, 2062, 130, 440), k2: (2016, 46, 2062, 130, 440), improvement: 0.00 },
-    Table3Paper { name: "dalu", k1: (2073, 182, 2255, 158, 446), k2: (2065, 177, 2242, 158, 441), improvement: 1.12 },
-    Table3Paper { name: "k2", k1: (3127, 109, 3236, 195, 481), k2: (3142, 107, 3249, 195, 475), improvement: 1.24 },
-    Table3Paper { name: "apex6", k1: (2418, 206, 2624, 158, 520), k2: (2516, 185, 2701, 160, 504), improvement: 3.07 },
-    Table3Paper { name: "rot", k1: (2520, 290, 2810, 174, 627), k2: (2449, 262, 2711, 172, 595), improvement: 5.10 },
-    Table3Paper { name: "c2670", k1: (2608, 247, 2855, 162, 642), k2: (2614, 244, 2858, 163, 641), improvement: 0.15 },
-    Table3Paper { name: "c5315", k1: (5755, 535, 6290, 433, 1501), k2: (5754, 515, 6269, 439, 1491), improvement: 0.66 },
-    Table3Paper { name: "c3540", k1: (6659, 634, 7293, 427, 1501), k2: (6377, 552, 6929, 412, 1393), improvement: 7.93 },
-    Table3Paper { name: "des", k1: (9818, 600, 10418, 594, 1581), k2: (9390, 493, 9883, 586, 1453), improvement: 8.09 },
-    Table3Paper { name: "c7552", k1: (7519, 584, 8103, 582, 1853), k2: (7376, 508, 7884, 580, 1759), improvement: 5.07 },
+    Table3Paper {
+        name: "cm150",
+        k1: (73, 15, 88, 3, 21),
+        k2: (73, 15, 88, 3, 21),
+        improvement: 0.00,
+    },
+    Table3Paper {
+        name: "mux",
+        k1: (73, 15, 88, 3, 21),
+        k2: (73, 15, 88, 3, 21),
+        improvement: 0.00,
+    },
+    Table3Paper {
+        name: "z4ml",
+        k1: (134, 13, 147, 9, 39),
+        k2: (134, 13, 147, 9, 39),
+        improvement: 0.00,
+    },
+    Table3Paper {
+        name: "cordic",
+        k1: (222, 19, 241, 14, 52),
+        k2: (217, 19, 236, 13, 51),
+        improvement: 1.92,
+    },
+    Table3Paper {
+        name: "frg1",
+        k1: (283, 20, 303, 19, 58),
+        k2: (277, 21, 298, 18, 57),
+        improvement: 1.72,
+    },
+    Table3Paper {
+        name: "count",
+        k1: (374, 22, 396, 28, 77),
+        k2: (374, 22, 396, 28, 77),
+        improvement: 0.00,
+    },
+    Table3Paper {
+        name: "b9",
+        k1: (367, 29, 396, 29, 87),
+        k2: (373, 26, 399, 30, 86),
+        improvement: 0.11,
+    },
+    Table3Paper {
+        name: "c8",
+        k1: (331, 42, 373, 26, 94),
+        k2: (325, 42, 367, 25, 92),
+        improvement: 2.12,
+    },
+    Table3Paper {
+        name: "f51m",
+        k1: (405, 42, 447, 27, 104),
+        k2: (391, 38, 429, 26, 98),
+        improvement: 5.76,
+    },
+    Table3Paper {
+        name: "9symml",
+        k1: (571, 57, 628, 34, 132),
+        k2: (482, 36, 518, 33, 106),
+        improvement: 19.69,
+    },
+    Table3Paper {
+        name: "apex7",
+        k1: (739, 67, 806, 54, 175),
+        k2: (733, 67, 800, 53, 173),
+        improvement: 1.14,
+    },
+    Table3Paper {
+        name: "x1",
+        k1: (825, 63, 888, 65, 193),
+        k2: (816, 60, 876, 64, 188),
+        improvement: 2.59,
+    },
+    Table3Paper {
+        name: "c432",
+        k1: (799, 93, 892, 52, 197),
+        k2: (804, 89, 893, 53, 194),
+        improvement: 1.52,
+    },
+    Table3Paper {
+        name: "i6",
+        k1: (1155, 67, 1222, 67, 201),
+        k2: (1155, 67, 1222, 67, 201),
+        improvement: 0.00,
+    },
+    Table3Paper {
+        name: "c1908",
+        k1: (992, 117, 1109, 77, 259),
+        k2: (957, 111, 1068, 78, 254),
+        improvement: 1.93,
+    },
+    Table3Paper {
+        name: "t481",
+        k1: (1916, 77, 1993, 132, 325),
+        k2: (1927, 70, 1997, 135, 316),
+        improvement: 2.77,
+    },
+    Table3Paper {
+        name: "c499",
+        k1: (2016, 46, 2062, 130, 440),
+        k2: (2016, 46, 2062, 130, 440),
+        improvement: 0.00,
+    },
+    Table3Paper {
+        name: "c1355",
+        k1: (2016, 46, 2062, 130, 440),
+        k2: (2016, 46, 2062, 130, 440),
+        improvement: 0.00,
+    },
+    Table3Paper {
+        name: "dalu",
+        k1: (2073, 182, 2255, 158, 446),
+        k2: (2065, 177, 2242, 158, 441),
+        improvement: 1.12,
+    },
+    Table3Paper {
+        name: "k2",
+        k1: (3127, 109, 3236, 195, 481),
+        k2: (3142, 107, 3249, 195, 475),
+        improvement: 1.24,
+    },
+    Table3Paper {
+        name: "apex6",
+        k1: (2418, 206, 2624, 158, 520),
+        k2: (2516, 185, 2701, 160, 504),
+        improvement: 3.07,
+    },
+    Table3Paper {
+        name: "rot",
+        k1: (2520, 290, 2810, 174, 627),
+        k2: (2449, 262, 2711, 172, 595),
+        improvement: 5.10,
+    },
+    Table3Paper {
+        name: "c2670",
+        k1: (2608, 247, 2855, 162, 642),
+        k2: (2614, 244, 2858, 163, 641),
+        improvement: 0.15,
+    },
+    Table3Paper {
+        name: "c5315",
+        k1: (5755, 535, 6290, 433, 1501),
+        k2: (5754, 515, 6269, 439, 1491),
+        improvement: 0.66,
+    },
+    Table3Paper {
+        name: "c3540",
+        k1: (6659, 634, 7293, 427, 1501),
+        k2: (6377, 552, 6929, 412, 1393),
+        improvement: 7.93,
+    },
+    Table3Paper {
+        name: "des",
+        k1: (9818, 600, 10418, 594, 1581),
+        k2: (9390, 493, 9883, 586, 1453),
+        improvement: 8.09,
+    },
+    Table3Paper {
+        name: "c7552",
+        k1: (7519, 584, 8103, 582, 1853),
+        k2: (7376, 508, 7884, 580, 1759),
+        improvement: 5.07,
+    },
 ];
 
 /// Paper average `T_clock` improvement for Table III (%).
@@ -149,32 +440,162 @@ pub struct Table4Paper {
 /// Table IV data (26 circuits; paper averages: 49.76% discharge reduction,
 /// 6.36% level reduction).
 pub const TABLE4: &[Table4Paper] = &[
-    Table4Paper { name: "z4ml", network_depth: 16, base: (182, 22, 204, 7), soi: (176, 12, 188, 6) },
-    Table4Paper { name: "cm150", network_depth: 10, base: (268, 35, 303, 9), soi: (193, 20, 213, 7) },
-    Table4Paper { name: "mux", network_depth: 10, base: (268, 35, 303, 9), soi: (193, 19, 212, 7) },
-    Table4Paper { name: "cordic", network_depth: 12, base: (373, 40, 413, 9), soi: (310, 19, 329, 8) },
-    Table4Paper { name: "f51m", network_depth: 30, base: (534, 75, 609, 25), soi: (598, 49, 647, 20) },
-    Table4Paper { name: "c8", network_depth: 11, base: (591, 80, 671, 6), soi: (564, 44, 608, 6) },
-    Table4Paper { name: "frg1", network_depth: 14, base: (607, 102, 709, 12), soi: (503, 52, 555, 11) },
-    Table4Paper { name: "b9", network_depth: 10, base: (659, 106, 765, 9), soi: (537, 47, 584, 6) },
-    Table4Paper { name: "count", network_depth: 21, base: (741, 76, 817, 7), soi: (672, 56, 728, 9) },
-    Table4Paper { name: "c432", network_depth: 34, base: (981, 125, 1106, 26), soi: (1229, 107, 1336, 25) },
-    Table4Paper { name: "apex7", network_depth: 17, base: (974, 139, 1113, 11), soi: (1111, 82, 1193, 7) },
-    Table4Paper { name: "9symml", network_depth: 21, base: (1038, 174, 1212, 14), soi: (800, 70, 870, 12) },
-    Table4Paper { name: "c1908", network_depth: 32, base: (1292, 251, 1543, 16), soi: (1625, 167, 1792, 14) },
-    Table4Paper { name: "x1", network_depth: 12, base: (1490, 233, 1723, 9), soi: (1364, 106, 1470, 8) },
-    Table4Paper { name: "i6", network_depth: 6, base: (2109, 237, 2346, 4), soi: (2143, 133, 2276, 4) },
-    Table4Paper { name: "c1355", network_depth: 20, base: (2640, 244, 2884, 7), soi: (2456, 44, 2500, 7) },
-    Table4Paper { name: "t481", network_depth: 23, base: (2794, 196, 2990, 17), soi: (3301, 97, 3398, 16) },
-    Table4Paper { name: "rot", network_depth: 27, base: (2768, 514, 3282, 11), soi: (3259, 320, 3579, 14) },
-    Table4Paper { name: "apex6", network_depth: 21, base: (3816, 584, 4400, 15), soi: (4222, 315, 4537, 12) },
-    Table4Paper { name: "k2", network_depth: 21, base: (4181, 324, 4505, 13), soi: (3847, 143, 3990, 12) },
-    Table4Paper { name: "c2670", network_depth: 31, base: (4052, 521, 4573, 16), soi: (4207, 281, 4488, 14) },
-    Table4Paper { name: "dalu", network_depth: 23, base: (3795, 786, 4581, 10), soi: (2747, 249, 2996, 12) },
-    Table4Paper { name: "c3540", network_depth: 42, base: (7675, 1341, 9016, 19), soi: (9021, 601, 9622, 20) },
-    Table4Paper { name: "c5315", network_depth: 36, base: (8216, 1074, 9290, 17), soi: (9409, 493, 9902, 17) },
-    Table4Paper { name: "c7552", network_depth: 42, base: (10374, 1172, 11546, 29), soi: (10747, 501, 11248, 22) },
-    Table4Paper { name: "des", network_depth: 26, base: (14068, 2653, 16721, 14), soi: (21313, 944, 22257, 14) },
+    Table4Paper {
+        name: "z4ml",
+        network_depth: 16,
+        base: (182, 22, 204, 7),
+        soi: (176, 12, 188, 6),
+    },
+    Table4Paper {
+        name: "cm150",
+        network_depth: 10,
+        base: (268, 35, 303, 9),
+        soi: (193, 20, 213, 7),
+    },
+    Table4Paper {
+        name: "mux",
+        network_depth: 10,
+        base: (268, 35, 303, 9),
+        soi: (193, 19, 212, 7),
+    },
+    Table4Paper {
+        name: "cordic",
+        network_depth: 12,
+        base: (373, 40, 413, 9),
+        soi: (310, 19, 329, 8),
+    },
+    Table4Paper {
+        name: "f51m",
+        network_depth: 30,
+        base: (534, 75, 609, 25),
+        soi: (598, 49, 647, 20),
+    },
+    Table4Paper {
+        name: "c8",
+        network_depth: 11,
+        base: (591, 80, 671, 6),
+        soi: (564, 44, 608, 6),
+    },
+    Table4Paper {
+        name: "frg1",
+        network_depth: 14,
+        base: (607, 102, 709, 12),
+        soi: (503, 52, 555, 11),
+    },
+    Table4Paper {
+        name: "b9",
+        network_depth: 10,
+        base: (659, 106, 765, 9),
+        soi: (537, 47, 584, 6),
+    },
+    Table4Paper {
+        name: "count",
+        network_depth: 21,
+        base: (741, 76, 817, 7),
+        soi: (672, 56, 728, 9),
+    },
+    Table4Paper {
+        name: "c432",
+        network_depth: 34,
+        base: (981, 125, 1106, 26),
+        soi: (1229, 107, 1336, 25),
+    },
+    Table4Paper {
+        name: "apex7",
+        network_depth: 17,
+        base: (974, 139, 1113, 11),
+        soi: (1111, 82, 1193, 7),
+    },
+    Table4Paper {
+        name: "9symml",
+        network_depth: 21,
+        base: (1038, 174, 1212, 14),
+        soi: (800, 70, 870, 12),
+    },
+    Table4Paper {
+        name: "c1908",
+        network_depth: 32,
+        base: (1292, 251, 1543, 16),
+        soi: (1625, 167, 1792, 14),
+    },
+    Table4Paper {
+        name: "x1",
+        network_depth: 12,
+        base: (1490, 233, 1723, 9),
+        soi: (1364, 106, 1470, 8),
+    },
+    Table4Paper {
+        name: "i6",
+        network_depth: 6,
+        base: (2109, 237, 2346, 4),
+        soi: (2143, 133, 2276, 4),
+    },
+    Table4Paper {
+        name: "c1355",
+        network_depth: 20,
+        base: (2640, 244, 2884, 7),
+        soi: (2456, 44, 2500, 7),
+    },
+    Table4Paper {
+        name: "t481",
+        network_depth: 23,
+        base: (2794, 196, 2990, 17),
+        soi: (3301, 97, 3398, 16),
+    },
+    Table4Paper {
+        name: "rot",
+        network_depth: 27,
+        base: (2768, 514, 3282, 11),
+        soi: (3259, 320, 3579, 14),
+    },
+    Table4Paper {
+        name: "apex6",
+        network_depth: 21,
+        base: (3816, 584, 4400, 15),
+        soi: (4222, 315, 4537, 12),
+    },
+    Table4Paper {
+        name: "k2",
+        network_depth: 21,
+        base: (4181, 324, 4505, 13),
+        soi: (3847, 143, 3990, 12),
+    },
+    Table4Paper {
+        name: "c2670",
+        network_depth: 31,
+        base: (4052, 521, 4573, 16),
+        soi: (4207, 281, 4488, 14),
+    },
+    Table4Paper {
+        name: "dalu",
+        network_depth: 23,
+        base: (3795, 786, 4581, 10),
+        soi: (2747, 249, 2996, 12),
+    },
+    Table4Paper {
+        name: "c3540",
+        network_depth: 42,
+        base: (7675, 1341, 9016, 19),
+        soi: (9021, 601, 9622, 20),
+    },
+    Table4Paper {
+        name: "c5315",
+        network_depth: 36,
+        base: (8216, 1074, 9290, 17),
+        soi: (9409, 493, 9902, 17),
+    },
+    Table4Paper {
+        name: "c7552",
+        network_depth: 42,
+        base: (10374, 1172, 11546, 29),
+        soi: (10747, 501, 11248, 22),
+    },
+    Table4Paper {
+        name: "des",
+        network_depth: 26,
+        base: (14068, 2653, 16721, 14),
+        soi: (21313, 944, 22257, 14),
+    },
 ];
 
 /// Paper averages for Table IV: (Δ`T_disch` %, Δ`L` %).

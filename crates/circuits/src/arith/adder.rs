@@ -66,11 +66,7 @@ pub fn ripple_into(
 /// Two's-complement subtractor built from the ripple adder
 /// (`a - b = a + !b + 1`), returning difference bits and the borrow-free
 /// carry.
-pub fn subtract_into(
-    b: &mut NetworkBuilder,
-    a: &[NodeId],
-    bb: &[NodeId],
-) -> (Vec<NodeId>, NodeId) {
+pub fn subtract_into(b: &mut NetworkBuilder, a: &[NodeId], bb: &[NodeId]) -> (Vec<NodeId>, NodeId) {
     let inverted: Vec<NodeId> = bb.iter().map(|&x| b.inv(x)).collect();
     let one = b.one();
     ripple_into(b, a, &inverted, one)
@@ -123,7 +119,11 @@ mod tests {
 
     fn check_adder(n: &Network, width: usize) {
         for (a, b, c) in [(0u64, 0u64, 0u64), (3, 5, 0), (7, 9, 1), (u64::MAX, 1, 0)] {
-            let mask = if width == 64 { u64::MAX } else { (1 << width) - 1 };
+            let mask = if width == 64 {
+                u64::MAX
+            } else {
+                (1 << width) - 1
+            };
             let (a, b) = (a & mask, b & mask);
             let mut v = Vec::new();
             for i in 0..width {

@@ -34,9 +34,21 @@ pub fn alu(width: usize) -> Network {
     let zero = b.zero();
     let (add, add_c) = adder::ripple_into(&mut b, &a_bits, &b_bits, zero);
     let (sub, sub_c) = adder::subtract_into(&mut b, &a_bits, &b_bits);
-    let ands: Vec<NodeId> = a_bits.iter().zip(&b_bits).map(|(&x, &y)| b.and(x, y)).collect();
-    let ors: Vec<NodeId> = a_bits.iter().zip(&b_bits).map(|(&x, &y)| b.or(x, y)).collect();
-    let xors: Vec<NodeId> = a_bits.iter().zip(&b_bits).map(|(&x, &y)| b.xor(x, y)).collect();
+    let ands: Vec<NodeId> = a_bits
+        .iter()
+        .zip(&b_bits)
+        .map(|(&x, &y)| b.and(x, y))
+        .collect();
+    let ors: Vec<NodeId> = a_bits
+        .iter()
+        .zip(&b_bits)
+        .map(|(&x, &y)| b.or(x, y))
+        .collect();
+    let xors: Vec<NodeId> = a_bits
+        .iter()
+        .zip(&b_bits)
+        .map(|(&x, &y)| b.xor(x, y))
+        .collect();
     let nands: Vec<NodeId> = ands.iter().map(|&x| b.inv(x)).collect();
 
     let mut results = Vec::with_capacity(width);

@@ -139,7 +139,11 @@ mod tests {
         let n = sec_encoder(8);
         for data in [0u32, 0x5A, 0xFF, 0x13] {
             let v: Vec<bool> = (0..8).map(|i| data >> i & 1 == 1).collect();
-            assert_eq!(n.simulate(&v).unwrap(), encode_sw(data, 8), "data {data:#x}");
+            assert_eq!(
+                n.simulate(&v).unwrap(),
+                encode_sw(data, 8),
+                "data {data:#x}"
+            );
         }
     }
 
@@ -150,8 +154,8 @@ mod tests {
             let mut v: Vec<bool> = (0..8).map(|i| data >> i & 1 == 1).collect();
             v.extend(encode_sw(data, 8));
             let out = n.simulate(&v).unwrap();
-            for i in 0..8 {
-                assert_eq!(out[i], data >> i & 1 == 1);
+            for (i, &bit) in out.iter().take(8).enumerate() {
+                assert_eq!(bit, data >> i & 1 == 1);
             }
             assert!(!out[8], "no error flagged");
         }
@@ -167,8 +171,8 @@ mod tests {
             v[flip] = !v[flip];
             v.extend(checks.clone());
             let out = n.simulate(&v).unwrap();
-            for i in 0..8 {
-                assert_eq!(out[i], data >> i & 1 == 1, "bit {i} after flip {flip}");
+            for (i, &bit) in out.iter().take(8).enumerate() {
+                assert_eq!(bit, data >> i & 1 == 1, "bit {i} after flip {flip}");
             }
             assert!(out[8], "error flagged");
         }
@@ -185,8 +189,8 @@ mod tests {
             c[flip] = !c[flip];
             v.extend(c);
             let out = n.simulate(&v).unwrap();
-            for i in 0..8 {
-                assert_eq!(out[i], data >> i & 1 == 1, "bit {i} after check flip {flip}");
+            for (i, &bit) in out.iter().take(8).enumerate() {
+                assert_eq!(bit, data >> i & 1 == 1, "bit {i} after check flip {flip}");
             }
             assert!(out[8]);
         }

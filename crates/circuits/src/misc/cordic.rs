@@ -64,11 +64,7 @@ pub fn stages(width: usize, stages: usize) -> Network {
 
 fn shift_right(b: &mut NetworkBuilder, bits: &[NodeId], amount: usize) -> Vec<NodeId> {
     (0..bits.len())
-        .map(|i| {
-            bits.get(i + amount)
-                .copied()
-                .unwrap_or_else(|| b.zero())
-        })
+        .map(|i| bits.get(i + amount).copied().unwrap_or_else(|| b.zero()))
         .collect()
 }
 
@@ -123,7 +119,12 @@ mod tests {
     #[test]
     fn matches_reference_model() {
         let n = stages(6, 3);
-        for (x, y, d) in [(5u32, 9u32, 0b101u32), (63, 1, 0b010), (17, 17, 0b111), (0, 0, 0)] {
+        for (x, y, d) in [
+            (5u32, 9u32, 0b101u32),
+            (63, 1, 0b010),
+            (17, 17, 0b111),
+            (0, 0, 0),
+        ] {
             let got = run(&n, x, y, d, 6, 3);
             let want = reference(x, y, d, 6, 3);
             assert_eq!(got, want, "x={x} y={y} d={d:03b}");

@@ -28,16 +28,16 @@ pub const TABLE2: &[&str] = &[
 
 /// Circuits of Table III (clock-weight sweep).
 pub const TABLE3: &[&str] = &[
-    "cm150", "mux", "z4ml", "cordic", "frg1", "count", "b9", "c8", "f51m", "9symml", "apex7",
-    "x1", "c432", "i6", "c1908", "t481", "c499", "c1355", "dalu", "k2", "apex6", "rot", "c2670",
-    "c5315", "c3540", "des", "c7552",
+    "cm150", "mux", "z4ml", "cordic", "frg1", "count", "b9", "c8", "f51m", "9symml", "apex7", "x1",
+    "c432", "i6", "c1908", "t481", "c499", "c1355", "dalu", "k2", "apex6", "rot", "c2670", "c5315",
+    "c3540", "des", "c7552",
 ];
 
 /// Circuits of Table IV (depth objective).
 pub const TABLE4: &[&str] = &[
     "z4ml", "cm150", "mux", "cordic", "f51m", "c8", "frg1", "b9", "count", "c432", "apex7",
-    "9symml", "c1908", "x1", "i6", "c1355", "t481", "rot", "apex6", "k2", "c2670", "dalu",
-    "c3540", "c5315", "c7552", "des",
+    "9symml", "c1908", "x1", "i6", "c1355", "t481", "rot", "apex6", "k2", "c2670", "dalu", "c3540",
+    "c5315", "c7552", "des",
 ];
 
 /// Every registered benchmark name, sorted.
@@ -145,7 +145,10 @@ mod tests {
 
     #[test]
     fn c499_equals_c1355_functionally() {
-        assert_eq!(benchmark("c499").map(|n| n.stats()), benchmark("c1355").map(|n| n.stats()));
+        assert_eq!(
+            benchmark("c499").map(|n| n.stats()),
+            benchmark("c1355").map(|n| n.stats())
+        );
     }
 
     #[test]

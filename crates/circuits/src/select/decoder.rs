@@ -31,11 +31,7 @@ pub fn binary(bits: usize) -> Network {
 
 /// Builds decoder logic in an existing builder; with `enable`, every output
 /// is gated by it.
-pub fn binary_into(
-    b: &mut NetworkBuilder,
-    sel: &[NodeId],
-    enable: Option<NodeId>,
-) -> Vec<NodeId> {
+pub fn binary_into(b: &mut NetworkBuilder, sel: &[NodeId], enable: Option<NodeId>) -> Vec<NodeId> {
     let inv: Vec<NodeId> = sel.iter().map(|&s| b.inv(s)).collect();
     (0..(1usize << sel.len()))
         .map(|k| {

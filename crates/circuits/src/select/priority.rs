@@ -58,7 +58,10 @@ pub fn encoder(channels: usize) -> Network {
 /// `channels`.
 pub fn interrupt_controller(channels: usize, group: usize) -> Network {
     assert!(channels >= 2, "need at least two channels");
-    assert!(group > 0 && channels.is_multiple_of(group), "group must divide channels");
+    assert!(
+        group > 0 && channels.is_multiple_of(group),
+        "group must divide channels"
+    );
     let mut b = NetworkBuilder::new(format!("intctl{channels}x{group}"));
     let reqs = b.inputs("r", channels);
     let masks = b.inputs("m", channels / group);
@@ -105,8 +108,8 @@ mod tests {
         let n = encoder(8);
         for first in 0..8usize {
             let mut v = vec![false; 8];
-            for k in first..8 {
-                v[k] = true;
+            for slot in v.iter_mut().skip(first) {
+                *slot = true;
             }
             let out = n.simulate(&v).unwrap();
             let idx: usize = out[..3]

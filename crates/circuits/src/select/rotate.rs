@@ -20,7 +20,10 @@ use soi_netlist::{builder::NetworkBuilder, Network, NodeId};
 /// assert_eq!(out, vec![false, true, false, false]);
 /// ```
 pub fn barrel(width: usize, shift_bits: usize) -> Network {
-    assert!(width > 0 && shift_bits > 0, "width and shift_bits must be positive");
+    assert!(
+        width > 0 && shift_bits > 0,
+        "width and shift_bits must be positive"
+    );
     let mut b = NetworkBuilder::new(format!("rot{width}x{shift_bits}"));
     let data = b.inputs("d", width);
     let shift = b.inputs("s", shift_bits);

@@ -144,6 +144,19 @@ impl DominoCircuit {
         });
     }
 
+    /// Retargets an output binding's gate with no range checking.
+    ///
+    /// Fault-injection hook for `soi-guard::inject`: the target may dangle.
+    /// A circuit touched by this method is untrusted until
+    /// [`DominoCircuit::validate`] says otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if `port` is not an existing output-binding index.
+    pub fn set_output_gate_unchecked(&mut self, port: usize, gate: GateId) {
+        self.outputs[port].gate = gate;
+    }
+
     /// Logic level of every gate: 1 for gates fed only by primary inputs,
     /// otherwise one more than the deepest feeding gate.
     pub fn gate_levels(&self) -> Vec<u32> {

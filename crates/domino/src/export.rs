@@ -94,7 +94,11 @@ pub fn netlist(circuit: &DominoCircuit) -> String {
     }
     for binding in circuit.outputs() {
         let inv = if binding.inverted { " (inverted)" } else { "" };
-        let _ = writeln!(out, "* output {} <- out{}{}", binding.name, binding.gate, inv);
+        let _ = writeln!(
+            out,
+            "* output {} <- out{}{}",
+            binding.name, binding.gate, inv
+        );
     }
     out
 }
@@ -137,10 +141,7 @@ mod tests {
 
     #[test]
     fn negative_literal_uses_complement_rail() {
-        let c = DominoCircuit::single_gate(
-            vec!["a".into()],
-            Pdn::transistor(Signal::input_neg(0)),
-        );
+        let c = DominoCircuit::single_gate(vec!["a".into()], Pdn::transistor(Signal::input_neg(0)));
         assert!(netlist(&c).contains("a_b"));
     }
 }

@@ -121,6 +121,25 @@ impl DominoGate {
         self.discharge = junctions;
     }
 
+    /// Replaces the discharge set with no junction-resolution checking.
+    ///
+    /// Fault-injection hook for `soi-guard::inject`: the junctions may
+    /// dangle or repeat. A gate touched by this method is untrusted until
+    /// [`DominoCircuit::validate`](crate::DominoCircuit::validate) says
+    /// otherwise.
+    pub fn set_discharge_unchecked(&mut self, junctions: Vec<JunctionRef>) {
+        self.discharge = junctions;
+    }
+
+    /// Replaces the pull-down network, keeping the existing discharge set
+    /// and footing — which may no longer make sense for the new PDN.
+    ///
+    /// Fault-injection hook for `soi-guard::inject`; see
+    /// [`DominoGate::set_discharge_unchecked`].
+    pub fn set_pdn_unchecked(&mut self, pdn: Pdn) {
+        self.pdn = pdn;
+    }
+
     /// Number of transistors beyond the PDN: p-clock + inverter (2) +
     /// keeper + n-clock when footed.
     pub fn overhead_transistors(&self) -> u32 {

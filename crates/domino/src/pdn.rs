@@ -375,13 +375,7 @@ impl PdnGraph {
     }
 }
 
-fn flatten_into(
-    pdn: &Pdn,
-    top: NetId,
-    bottom: NetId,
-    graph: &mut PdnGraph,
-    path: &mut Vec<u32>,
-) {
+fn flatten_into(pdn: &Pdn, top: NetId, bottom: NetId, graph: &mut PdnGraph, path: &mut Vec<u32>) {
     match pdn {
         Pdn::Transistor(signal) => graph.transistors.push(PdnTransistor {
             signal: *signal,
@@ -427,10 +421,7 @@ mod tests {
 
     /// `(A + B + C) * D` — the paper's Fig. 2(a) example.
     fn fig2a() -> Pdn {
-        Pdn::series(vec![
-            Pdn::parallel(vec![sig(0), sig(1), sig(2)]),
-            sig(3),
-        ])
+        Pdn::series(vec![Pdn::parallel(vec![sig(0), sig(1), sig(2)]), sig(3)])
     }
 
     #[test]

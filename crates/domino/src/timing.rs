@@ -239,17 +239,17 @@ mod tests {
     #[test]
     fn wider_parallel_adds_only_capacitance() {
         let tech = TechParams::soi();
-        let narrow = DominoGate::footed(Pdn::series(vec![
-            Pdn::parallel(vec![t(0), t(1)]),
-            t(4),
-        ]));
+        let narrow = DominoGate::footed(Pdn::series(vec![Pdn::parallel(vec![t(0), t(1)]), t(4)]));
         let wide = DominoGate::footed(Pdn::series(vec![
             Pdn::parallel(vec![t(0), t(1), t(2), t(3)]),
             t(4),
         ]));
         let dn = gate_delay(&narrow, 1, &tech);
         let dw = gate_delay(&wide, 1, &tech);
-        assert!(dw > dn, "junction cap of extra fingers must show: {dw} !> {dn}");
+        assert!(
+            dw > dn,
+            "junction cap of extra fingers must show: {dw} !> {dn}"
+        );
         // ... but far less than doubling the height would.
         let tall = DominoGate::footed(Pdn::series(vec![
             Pdn::parallel(vec![t(0), t(1)]),
@@ -317,9 +317,7 @@ mod tests {
         assert_eq!(report.gate_delay.len(), 2);
         assert!(report.arrival[1] > report.arrival[0]);
         assert!((report.critical - report.arrival[1]).abs() < 1e-9);
-        assert!(
-            (report.arrival[1] - report.arrival[0] - report.gate_delay[1]).abs() < 1e-9
-        );
+        assert!((report.arrival[1] - report.arrival[0] - report.gate_delay[1]).abs() < 1e-9);
     }
 
     #[test]

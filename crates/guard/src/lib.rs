@@ -1,0 +1,50 @@
+//! # soi-guard
+//!
+//! Hardening layer for the SOI domino technology-mapping flow: everything
+//! needed to *trust* a mapping, and to prove that corrupted inputs cannot
+//! slip through it silently.
+//!
+//! Three pieces:
+//!
+//! * [`pipeline`] — a staged runner (`netlist-validate → unate-convert →
+//!   map → discharge-protect → audit`) whose failures all surface as one
+//!   typed [`StageError`], naming the stage and wrapping the underlying
+//!   crate error. Optional graceful degradation retries an `Unmappable`
+//!   mapping with forced gate boundaries.
+//! * [`audit`] — the cross-stage consistency check [`check_pipeline`]:
+//!   unate-network equivalence to the source netlist, circuit structural
+//!   validity, PBE-safety, transistor-accounting consistency, and a
+//!   differential functional check of the mapped circuit against the
+//!   source network.
+//! * [`inject`] — a seeded fault-injection harness: deterministic mutators
+//!   that corrupt each intermediate representation (netlist graphs, BLIF
+//!   bytes, domino circuits) so the test suite can assert that every
+//!   corruption is caught by a typed error or by the audit — never by a
+//!   panic, and never silently.
+//!
+//! # Example
+//!
+//! ```rust
+//! use soi_guard::{Pipeline, StageError};
+//! use soi_mapper::{MapConfig, Mapper};
+//! use soi_netlist::Network;
+//!
+//! # fn main() -> Result<(), StageError> {
+//! let mut n = Network::new("t");
+//! let a = n.add_input("a");
+//! let b = n.add_input("b");
+//! let g = n.nand2(a, b);
+//! n.add_output("f", g);
+//!
+//! let report = Pipeline::new(Mapper::soi(MapConfig::default())).run(&n)?;
+//! assert!(report.audit.is_some()); // the audit ran and passed
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod audit;
+pub mod inject;
+pub mod pipeline;
+
+pub use audit::{check_pipeline, AuditConfig, AuditError, AuditReport};
+pub use pipeline::{Pipeline, PipelineReport, Stage, StageError, StageFailure};

@@ -1,0 +1,357 @@
+//! The staged pipeline runner with unified, typed stage errors.
+//!
+//! [`Pipeline::run`] executes the full flow — `netlist-validate` →
+//! `unate-convert` → `map` → `discharge-protect` → `audit` — and converts
+//! every failure into a [`StageError`] that names the [`Stage`] and wraps
+//! the underlying crate error, so a caller can always tell *where* the flow
+//! broke and *why*, without any stage being able to panic its way out.
+
+use std::error::Error;
+use std::fmt;
+
+use soi_domino_ir::DominoError;
+use soi_mapper::{Algorithm, MapError, Mapper, MappingResult};
+use soi_netlist::{Network, NetworkError};
+use soi_pbe::{hazard, PbeError};
+use soi_unate::{convert, Options, UnateError, UnateNetwork};
+
+use crate::audit::{self, AuditConfig, AuditError, AuditReport};
+
+/// The named stages of the hardened flow, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Structural validation of the input [`Network`].
+    NetlistValidate,
+    /// Binate-to-unate conversion.
+    UnateConvert,
+    /// The tuple-DP technology mapping.
+    Map,
+    /// Verification that the mapped circuit is structurally valid and that
+    /// its pre-discharge set covers every PBE-susceptible junction.
+    DischargeProtect,
+    /// The cross-stage consistency audit ([`crate::audit::check_pipeline`]).
+    Audit,
+}
+
+impl Stage {
+    /// The stage's kebab-case display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::NetlistValidate => "netlist-validate",
+            Stage::UnateConvert => "unate-convert",
+            Stage::Map => "map",
+            Stage::DischargeProtect => "discharge-protect",
+            Stage::Audit => "audit",
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The underlying cause of a stage failure: one wrapper per layer of the
+/// flow, so no information is lost crossing the stage boundary.
+#[derive(Debug)]
+pub enum StageFailure {
+    /// A [`NetworkError`] from the netlist layer.
+    Network(NetworkError),
+    /// A [`UnateError`] from the unate-conversion layer.
+    Unate(UnateError),
+    /// A [`MapError`] from the mapper.
+    Map(MapError),
+    /// A [`DominoError`] from the circuit layer.
+    Domino(DominoError),
+    /// A [`PbeError`] from the PBE analysis layer.
+    Pbe(PbeError),
+    /// The discharge set left PBE-susceptible junctions uncovered.
+    Hazards {
+        /// Number of unprotected committed discharge points.
+        count: usize,
+        /// `gate/junction` description of the first one.
+        first: String,
+    },
+    /// The cross-stage audit failed.
+    Audit(AuditError),
+}
+
+impl fmt::Display for StageFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StageFailure::Network(e) => write!(f, "{e}"),
+            StageFailure::Unate(e) => write!(f, "{e}"),
+            StageFailure::Map(e) => write!(f, "{e}"),
+            StageFailure::Domino(e) => write!(f, "{e}"),
+            StageFailure::Pbe(e) => write!(f, "{e}"),
+            StageFailure::Hazards { count, first } => {
+                write!(
+                    f,
+                    "{count} unprotected discharge point(s), first at {first}"
+                )
+            }
+            StageFailure::Audit(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// A failure of one named pipeline stage.
+#[derive(Debug)]
+pub struct StageError {
+    /// The stage that failed.
+    pub stage: Stage,
+    /// What the stage was working on (network name, typically).
+    pub context: String,
+    /// The wrapped cause.
+    pub failure: StageFailure,
+}
+
+impl fmt::Display for StageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "stage {} failed on `{}`: {}",
+            self.stage, self.context, self.failure
+        )
+    }
+}
+
+impl Error for StageError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match &self.failure {
+            StageFailure::Network(e) => Some(e),
+            StageFailure::Unate(e) => Some(e),
+            StageFailure::Map(e) => Some(e),
+            StageFailure::Domino(e) => Some(e),
+            StageFailure::Pbe(e) => Some(e),
+            StageFailure::Audit(e) => Some(e),
+            StageFailure::Hazards { .. } => None,
+        }
+    }
+}
+
+/// Everything a successful pipeline run produces.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// The unate network the mapper consumed (kept for re-auditing).
+    pub unate: UnateNetwork,
+    /// The mapping itself.
+    pub result: MappingResult,
+    /// Whether the run needed the graceful-degradation retry (or the
+    /// mapper's own in-config degradation fired).
+    pub degraded: bool,
+    /// The audit report, when auditing was enabled.
+    pub audit: Option<AuditReport>,
+}
+
+/// The hardened flow runner. Build one around a [`Mapper`] and feed it
+/// networks; see the crate-level example.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    mapper: Mapper,
+    unate_options: Options,
+    degrade_on_unmappable: bool,
+    audit: Option<AuditConfig>,
+}
+
+impl Pipeline {
+    /// Creates a pipeline around a mapper, with default unate-conversion
+    /// options, auditing enabled at [`AuditConfig::default`], and no
+    /// degradation retry.
+    pub fn new(mapper: Mapper) -> Pipeline {
+        Pipeline {
+            mapper,
+            unate_options: Options::default(),
+            degrade_on_unmappable: false,
+            audit: Some(AuditConfig::default()),
+        }
+    }
+
+    /// Replaces the unate-conversion options.
+    pub fn with_unate_options(mut self, options: Options) -> Pipeline {
+        self.unate_options = options;
+        self
+    }
+
+    /// Enables or disables the graceful-degradation retry: when the map
+    /// stage fails with [`MapError::Unmappable`], rerun it with
+    /// [`degrade_unmappable`](soi_mapper::MapConfig::degrade_unmappable)
+    /// set, forcing gate boundaries at
+    /// the offending nodes instead of failing the flow.
+    pub fn with_degradation(mut self, enabled: bool) -> Pipeline {
+        self.degrade_on_unmappable = enabled;
+        self
+    }
+
+    /// Sets the audit configuration; `None` disables the audit stage.
+    pub fn with_audit(mut self, audit: Option<AuditConfig>) -> Pipeline {
+        self.audit = audit;
+        self
+    }
+
+    /// Runs the full flow on `network`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`StageError`], naming the stage that rejected the
+    /// input and wrapping the layer's own typed error.
+    pub fn run(&self, network: &Network) -> Result<PipelineReport, StageError> {
+        let ctx = |stage: Stage, failure: StageFailure| StageError {
+            stage,
+            context: network.name().to_string(),
+            failure,
+        };
+
+        // Stage 1: netlist-validate.
+        network
+            .validate()
+            .map_err(|e| ctx(Stage::NetlistValidate, StageFailure::Network(e)))?;
+
+        // Stage 2: unate-convert.
+        let unate = convert(network, &self.unate_options)
+            .map_err(|e| ctx(Stage::UnateConvert, StageFailure::Unate(e)))?;
+
+        // Stage 3: map, with the optional degradation retry.
+        let (result, retried) = match self.mapper.run_unate(&unate) {
+            Ok(result) => (result, false),
+            Err(MapError::Unmappable { .. })
+                if self.degrade_on_unmappable && !self.mapper.config().degrade_unmappable =>
+            {
+                let mut config = *self.mapper.config();
+                config.degrade_unmappable = true;
+                let retry = match self.mapper.algorithm() {
+                    Algorithm::DominoMap => Mapper::baseline(config),
+                    Algorithm::RsMap => Mapper::rearrange_stacks(config),
+                    Algorithm::SoiDominoMap => Mapper::soi(config),
+                };
+                let result = retry
+                    .run_unate(&unate)
+                    .map_err(|e| ctx(Stage::Map, StageFailure::Map(e)))?;
+                (result, true)
+            }
+            Err(e) => return Err(ctx(Stage::Map, StageFailure::Map(e))),
+        };
+
+        // Stage 4: discharge-protect — the circuit must be structurally
+        // sound and every committed discharge point covered.
+        result
+            .circuit
+            .validate()
+            .map_err(|e| ctx(Stage::DischargeProtect, StageFailure::Domino(e)))?;
+        let hazards = hazard::check(&result.circuit);
+        if !hazards.is_empty() {
+            let h = &hazards[0];
+            return Err(ctx(
+                Stage::DischargeProtect,
+                StageFailure::Hazards {
+                    count: hazards.len(),
+                    first: format!("gate {} junction {}", h.gate, h.junction),
+                },
+            ));
+        }
+
+        // Stage 5: audit.
+        let audit_report = match &self.audit {
+            Some(cfg) => Some(
+                audit::check_pipeline(network, &unate, &result, cfg)
+                    .map_err(|e| ctx(Stage::Audit, StageFailure::Audit(e)))?,
+            ),
+            None => None,
+        };
+
+        let degraded = retried || result.is_degraded();
+        Ok(PipelineReport {
+            unate,
+            result,
+            degraded,
+            audit: audit_report,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_mapper::MapConfig;
+    use soi_netlist::NodeId;
+
+    fn nand_or() -> Network {
+        let mut n = Network::new("nand-or");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        let g = n.nand2(a, b);
+        let f = n.or2(g, c);
+        n.add_output("f", f);
+        n
+    }
+
+    #[test]
+    fn healthy_network_passes_all_stages() {
+        let report = Pipeline::new(Mapper::soi(MapConfig::default()))
+            .run(&nand_or())
+            .expect("pipeline passes");
+        assert!(!report.degraded);
+        let audit = report.audit.expect("audit ran");
+        assert!(audit.vectors_checked > 0);
+    }
+
+    #[test]
+    fn corrupt_network_fails_at_validate_stage() {
+        let mut n = nand_or();
+        n.set_output_driver_unchecked(0, NodeId::from_index(999));
+        let err = Pipeline::new(Mapper::soi(MapConfig::default()))
+            .run(&n)
+            .expect_err("must fail");
+        assert_eq!(err.stage, Stage::NetlistValidate);
+        assert!(matches!(
+            err.failure,
+            StageFailure::Network(NetworkError::DanglingOutput { .. })
+        ));
+        assert!(err.to_string().contains("netlist-validate"));
+    }
+
+    #[test]
+    fn unmappable_fails_map_stage_then_degrades_when_asked() {
+        let config = MapConfig {
+            w_max: 1,
+            h_max: 1,
+            ..MapConfig::default()
+        };
+        let strict = Pipeline::new(Mapper::soi(config));
+        let err = strict.run(&nand_or()).expect_err("h_max 1 is unmappable");
+        assert_eq!(err.stage, Stage::Map);
+        assert!(matches!(
+            err.failure,
+            StageFailure::Map(MapError::Unmappable { .. })
+        ));
+
+        let report = strict
+            .with_degradation(true)
+            .run(&nand_or())
+            .expect("degradation recovers the flow");
+        assert!(report.degraded);
+        assert!(report.result.is_degraded());
+        assert!(report.audit.is_some());
+    }
+
+    #[test]
+    fn stage_error_exposes_source() {
+        let mut n = nand_or();
+        n.set_output_driver_unchecked(0, NodeId::from_index(999));
+        let err = Pipeline::new(Mapper::soi(MapConfig::default()))
+            .run(&n)
+            .unwrap_err();
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn audit_can_be_disabled() {
+        let report = Pipeline::new(Mapper::baseline(MapConfig::default()))
+            .with_audit(None)
+            .run(&nand_or())
+            .expect("pipeline passes");
+        assert!(report.audit.is_none());
+    }
+}

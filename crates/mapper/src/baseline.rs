@@ -20,12 +20,12 @@ use crate::tuple::{Cand, CandRef, Form, NodeSol, TupleKey};
 use crate::{Algorithm, CostModel, MapConfig, MapError};
 
 /// Runs the baseline DP, producing one [`NodeSol`] per unate node.
-pub(crate) fn solve(
-    unate: &UnateNetwork,
-    config: &MapConfig,
-) -> Result<Vec<NodeSol>, MapError> {
+pub(crate) fn solve(unate: &UnateNetwork, config: &MapConfig) -> Result<dp::Solution, MapError> {
+    dp::check_gate_budget(unate, config)?;
     let model = CostModel::new(config, Algorithm::DominoMap);
     let fanouts = dp::fanouts(unate);
+    let mut budget = dp::Budget::new(config);
+    let mut degraded: Vec<soi_unate::UId> = Vec::new();
     let mut sols: Vec<NodeSol> = Vec::with_capacity(unate.len());
 
     for (id, node) in unate.iter() {
@@ -37,7 +37,12 @@ pub(crate) fn solve(
                 let mut bare: HashMap<TupleKey, Cand> = HashMap::new();
                 for (ra, ca) in sols[a.index()].exported_refs(a) {
                     for (rb, cb) in sols[b.index()].exported_refs(b) {
-                        let key = if is_and { ra.key.and(rb.key) } else { ra.key.or(rb.key) };
+                        budget.charge(id)?;
+                        let key = if is_and {
+                            ra.key.and(rb.key)
+                        } else {
+                            ra.key.or(rb.key)
+                        };
                         if !key.fits(config.w_max, config.h_max) {
                             continue;
                         }
@@ -50,6 +55,35 @@ pub(crate) fn solve(
                         }
                     }
                 }
+                if bare.is_empty() && config.degrade_unmappable {
+                    // Forced gate boundary: combine the children's single-
+                    // gate `{1,1}` candidates, accepting the out-of-limits
+                    // shape, and record the node as degraded.
+                    for (ra, ca) in sols[a.index()].exported_refs(a) {
+                        if ra.key != TupleKey::UNIT {
+                            continue;
+                        }
+                        for (rb, cb) in sols[b.index()].exported_refs(b) {
+                            if rb.key != TupleKey::UNIT {
+                                continue;
+                            }
+                            budget.charge(id)?;
+                            let key = if is_and {
+                                ra.key.and(rb.key)
+                            } else {
+                                ra.key.or(rb.key)
+                            };
+                            let cand = combine(config.baseline_order, is_and, ra, ca, rb, cb);
+                            match bare.get(&key) {
+                                Some(existing) if !model.better(&cand.g, &existing.g) => {}
+                                _ => {
+                                    bare.insert(key, cand);
+                                }
+                            }
+                        }
+                    }
+                    degraded.push(id);
+                }
                 if bare.is_empty() {
                     return Err(MapError::Unmappable {
                         what: format!(
@@ -57,6 +91,15 @@ pub(crate) fn solve(
                             config.w_max, config.h_max
                         ),
                     });
+                }
+                if bare.len() > config.limits.max_tuples_per_node {
+                    // The baseline keeps one candidate per shape, so the
+                    // tuple cap is a shape cap here: keep the cheapest.
+                    let mut shapes: Vec<TupleKey> = bare.keys().copied().collect();
+                    shapes.sort_by_key(|k| (model.key(&bare[k].g), k.w, k.h));
+                    for k in shapes.split_off(config.limits.max_tuples_per_node) {
+                        bare.remove(&k);
+                    }
                 }
                 let bare_vec: Vec<(TupleKey, Cand)> =
                     bare.iter().map(|(k, c)| (*k, c.clone())).collect();
@@ -78,7 +121,7 @@ pub(crate) fn solve(
         };
         sols.push(sol);
     }
-    Ok(sols)
+    Ok(dp::Solution { sols, degraded })
 }
 
 /// PBE-blind combination. Potential-point bookkeeping (`p_dis`, `par_b`)
@@ -125,7 +168,10 @@ fn combine(
         p_branch: cbm.p_branch,
         par_b: cbm.par_b,
         touches_pi,
-        form: Form::And { top: rt, bottom: rbm },
+        form: Form::And {
+            top: rt,
+            bottom: rbm,
+        },
     }
 }
 
@@ -164,14 +210,14 @@ mod tests {
     #[test]
     fn fig3_and_node_tuples() {
         let u = fig3_unate();
-        let sols = solve(&u, &fig3_config()).unwrap();
+        let sols = solve(&u, &fig3_config()).unwrap().sols;
         // AND node (index 4): bare {1,2} with cost 2, gate cost 7.
         let and_sol = &sols[4];
         let bare = &and_sol.exported[&TupleKey { w: 1, h: 2 }];
         assert_eq!(bare[0].g.tx, 2);
         let gate = and_sol.gate.as_ref().unwrap();
         assert_eq!(gate.cost.tx, 7); // 2 + 5 (footed: PIs)
-        // Exported gate tuple carries cost 8 = 7 + the driven transistor.
+                                     // Exported gate tuple carries cost 8 = 7 + the driven transistor.
         let unit = &and_sol.exported[&TupleKey::UNIT];
         assert_eq!(unit[0].g.tx, 8);
     }
@@ -179,7 +225,7 @@ mod tests {
     #[test]
     fn fig3_or_node_selects_cost_4_and_gate_cost_9() {
         let u = fig3_unate();
-        let sols = solve(&u, &fig3_config()).unwrap();
+        let sols = solve(&u, &fig3_config()).unwrap().sols;
         let or_sol = &sols[6];
         // {2,2}: both ANDs absorbed, cost 4.
         let best = &or_sol.exported[&TupleKey { w: 2, h: 2 }];
@@ -198,7 +244,7 @@ mod tests {
         // all-bare solution needs H=2, which fits; instead check the mixed
         // entry loses: the kept {2,2} candidate must cost 4, not 10.
         let u = fig3_unate();
-        let sols = solve(&u, &fig3_config()).unwrap();
+        let sols = solve(&u, &fig3_config()).unwrap().sols;
         let or_sol = &sols[6];
         assert_eq!(or_sol.exported[&TupleKey { w: 2, h: 2 }][0].g.tx, 4);
     }
@@ -240,7 +286,7 @@ mod tests {
         let f2 = u.add_and(shared, c);
         u.add_output("f1", USignal::Node(f1), false);
         u.add_output("f2", USignal::Node(f2), false);
-        let sols = solve(&u, &MapConfig::default()).unwrap();
+        let sols = solve(&u, &MapConfig::default()).unwrap().sols;
         let shared_sol = &sols[3];
         assert_eq!(shared_sol.exported.len(), 1);
         let unit = &shared_sol.exported[&TupleKey::UNIT];
@@ -258,7 +304,7 @@ mod tests {
             h_max: 4,
             ..MapConfig::default()
         };
-        let sols = solve(&u, &config).unwrap();
+        let sols = solve(&u, &config).unwrap().sols;
         // Single-gate solution: level 1.
         assert_eq!(sols[6].gate.as_ref().unwrap().cost.level, 1);
     }

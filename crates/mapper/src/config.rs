@@ -68,6 +68,57 @@ pub enum AndOrder {
     BulkTypical,
 }
 
+/// Deterministic resource budget for one mapping run.
+///
+/// Untrusted or adversarial networks can blow up the tuple DP — wide
+/// fanin cones multiply candidate sets, and a hostile shape mix makes the
+/// per-node combination loop quadratic in them. The limits below turn
+/// "the mapper hangs" into either a typed
+/// [`MapError::BudgetExceeded`](crate::MapError::BudgetExceeded) (hard
+/// budgets) or a documented precision loss (the per-node tuple cap, which
+/// falls back to tighter Pareto capping instead of failing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Limits {
+    /// Maximum number of unate nodes the DP will accept. Exceeding it
+    /// fails fast with `BudgetExceeded` before any DP work happens.
+    pub max_gates: usize,
+    /// Cap on the *total* exported candidates of a single node, across all
+    /// `(W, H)` shapes. Exceeding it is not an error: the node's sets are
+    /// re-pruned with a tighter per-shape Pareto cap (and, if the shape
+    /// count alone exceeds the cap, only the cheapest shapes survive).
+    pub max_tuples_per_node: usize,
+    /// Maximum number of candidate-combination steps summed over the whole
+    /// run. Exceeding it aborts with `BudgetExceeded`.
+    pub max_combine_steps: u64,
+}
+
+impl Default for Limits {
+    fn default() -> Limits {
+        Limits {
+            max_gates: 1_000_000,
+            max_tuples_per_node: 1024,
+            max_combine_steps: 100_000_000,
+        }
+    }
+}
+
+impl Limits {
+    /// Validates the budget bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError::InvalidConfig`](crate::MapError::InvalidConfig)
+    /// if any budget is zero.
+    pub fn validate(&self) -> Result<(), crate::MapError> {
+        if self.max_gates == 0 || self.max_tuples_per_node == 0 || self.max_combine_steps == 0 {
+            return Err(crate::MapError::InvalidConfig {
+                what: "limits must all be at least 1".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
 /// Full mapper configuration.
 ///
 /// The defaults reproduce the paper's experimental setup: `W_max = 5`,
@@ -106,6 +157,16 @@ pub struct MapConfig {
     /// the unate conversion — this is the replication idea of its §III-C
     /// item 3, exposed as an extension and studied in ablation A5.
     pub allow_duplication: bool,
+    /// Deterministic resource budget the DP is charged against.
+    pub limits: Limits,
+    /// When a node has no `(W ≤ w_max, H ≤ h_max)` combination, force a
+    /// gate boundary there by combining the children's single-gate
+    /// candidates even though the resulting shape violates the limits, and
+    /// record the node as degraded in the
+    /// [`MappingResult`](crate::MappingResult) instead of failing with
+    /// [`MapError::Unmappable`](crate::MapError::Unmappable). Off by
+    /// default: the strict behaviour is the error.
+    pub degrade_unmappable: bool,
 }
 
 impl Default for MapConfig {
@@ -122,6 +183,8 @@ impl Default for MapConfig {
             max_candidates: 4,
             output_phase: OutputPhase::Positive,
             allow_duplication: false,
+            limits: Limits::default(),
+            degrade_unmappable: false,
         }
     }
 }
@@ -165,7 +228,7 @@ impl MapConfig {
                 what: "clock_weight must be at least 1".into(),
             });
         }
-        Ok(())
+        self.limits.validate()
     }
 }
 
@@ -185,15 +248,37 @@ mod tests {
 
     #[test]
     fn invalid_configs_rejected() {
-        let mut c = MapConfig::default();
-        c.w_max = 0;
+        let c = MapConfig {
+            w_max: 0,
+            ..MapConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = MapConfig::default();
-        c.max_candidates = 0;
+        let c = MapConfig {
+            max_candidates: 0,
+            ..MapConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = MapConfig::default();
-        c.clock_weight = 0;
+        let c = MapConfig {
+            clock_weight: 0,
+            ..MapConfig::default()
+        };
         assert!(c.validate().is_err());
+        let c = MapConfig {
+            limits: Limits {
+                max_combine_steps: 0,
+                ..Limits::default()
+            },
+            ..MapConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn default_limits_are_generous_and_valid() {
+        let l = Limits::default();
+        assert!(l.validate().is_ok());
+        assert!(l.max_gates >= 100_000);
+        assert!(l.max_tuples_per_node >= 64);
     }
 
     #[test]

@@ -97,8 +97,7 @@ impl CostModel {
                 (u64::from(cost.level), u64::from(cost.tx), 0)
             }
             (Objective::Depth, Algorithm::SoiDominoMap) => (
-                u64::from(cost.level) * u64::from(self.depth_level_weight)
-                    + u64::from(cost.disch),
+                u64::from(cost.level) * u64::from(self.depth_level_weight) + u64::from(cost.disch),
                 u64::from(cost.wtx),
                 u64::from(cost.tx),
             ),

@@ -3,7 +3,60 @@
 use soi_unate::{Literal, UId, UnateNetwork};
 
 use crate::tuple::{Cand, Form, GateSol, NodeSol, TupleKey};
-use crate::{Cost, CostModel, Footing, MapConfig};
+use crate::{Cost, CostModel, Footing, MapConfig, MapError};
+
+/// The product of one DP run over a unate network.
+pub(crate) struct Solution {
+    /// One solution per unate node.
+    pub(crate) sols: Vec<NodeSol>,
+    /// Nodes where the degradation fallback forced a gate boundary (empty
+    /// unless [`MapConfig::degrade_unmappable`] is set and triggered).
+    pub(crate) degraded: Vec<UId>,
+}
+
+/// Running charge against the per-run combine-step budget
+/// ([`crate::Limits::max_combine_steps`]).
+pub(crate) struct Budget {
+    steps: u64,
+    max_steps: u64,
+}
+
+impl Budget {
+    pub(crate) fn new(config: &MapConfig) -> Budget {
+        Budget {
+            steps: 0,
+            max_steps: config.limits.max_combine_steps,
+        }
+    }
+
+    /// Charges one candidate-combination step at `node`.
+    pub(crate) fn charge(&mut self, node: UId) -> Result<(), MapError> {
+        self.steps += 1;
+        if self.steps > self.max_steps {
+            return Err(MapError::BudgetExceeded {
+                what: format!(
+                    "combine-step budget of {} exhausted at node {node}",
+                    self.max_steps
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Rejects networks larger than the gate budget before any DP work.
+pub(crate) fn check_gate_budget(unate: &UnateNetwork, config: &MapConfig) -> Result<(), MapError> {
+    if unate.len() > config.limits.max_gates {
+        return Err(MapError::BudgetExceeded {
+            what: format!(
+                "network has {} unate nodes, budget allows {}",
+                unate.len(),
+                config.limits.max_gates
+            ),
+        });
+    }
+    Ok(())
+}
 
 /// Gate-periphery cost: p-clock + output inverter (2) + keeper, plus the
 /// foot n-clock when required. Clock-connected devices weigh
@@ -190,6 +243,19 @@ mod tests {
         assert_eq!(gate.cost.tx, 6);
         assert_eq!(gate.cost.level, 1);
         assert!(gate.footed);
+    }
+
+    #[test]
+    fn budget_charges_and_trips() {
+        let mut config = MapConfig::default();
+        config.limits.max_combine_steps = 2;
+        let mut b = Budget::new(&config);
+        assert!(b.charge(UId::from_index(0)).is_ok());
+        assert!(b.charge(UId::from_index(0)).is_ok());
+        assert!(matches!(
+            b.charge(UId::from_index(0)),
+            Err(MapError::BudgetExceeded { .. })
+        ));
     }
 
     #[test]

@@ -28,6 +28,12 @@ pub enum MapError {
         /// Description of the node.
         what: String,
     },
+    /// A deterministic resource budget from
+    /// [`Limits`](crate::Limits) was exhausted.
+    BudgetExceeded {
+        /// Description of the exhausted budget.
+        what: String,
+    },
 }
 
 impl fmt::Display for MapError {
@@ -36,9 +42,13 @@ impl fmt::Display for MapError {
             MapError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
             MapError::Unate { source } => write!(f, "unate conversion failed: {source}"),
             MapError::ConstantOutput { name } => {
-                write!(f, "output `{name}` is constant and cannot be mapped to domino")
+                write!(
+                    f,
+                    "output `{name}` is constant and cannot be mapped to domino"
+                )
             }
             MapError::Unmappable { what } => write!(f, "no feasible tuple: {what}"),
+            MapError::BudgetExceeded { what } => write!(f, "resource budget exceeded: {what}"),
         }
     }
 }
@@ -68,6 +78,10 @@ mod tests {
         assert!(e.to_string().contains("constant"));
         let e = MapError::InvalidConfig { what: "w".into() };
         assert!(e.to_string().contains("configuration"));
+        let e = MapError::BudgetExceeded {
+            what: "combine steps".into(),
+        };
+        assert!(e.to_string().contains("budget"));
     }
 
     #[test]

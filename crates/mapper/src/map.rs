@@ -98,21 +98,13 @@ impl Mapper {
     /// As for [`Mapper::run`], minus the unate-conversion failures.
     pub fn run_unate(&self, unate: &UnateNetwork) -> Result<MappingResult, MapError> {
         self.config.validate()?;
-        if self.config.w_max < 2 || self.config.h_max < 2 {
-            return Err(MapError::InvalidConfig {
-                what: "w_max and h_max must be at least 2 to combine tuples".into(),
-            });
-        }
-        let mut circuit = match self.algorithm {
-            Algorithm::DominoMap | Algorithm::RsMap => {
-                let sols = baseline::solve(unate, &self.config)?;
-                reconstruct::materialize(unate, &sols, &self.config, false)?
-            }
-            Algorithm::SoiDominoMap => {
-                let sols = soi::solve(unate, &self.config)?;
-                reconstruct::materialize(unate, &sols, &self.config, true)?
-            }
+        let solution = match self.algorithm {
+            Algorithm::DominoMap | Algorithm::RsMap => baseline::solve(unate, &self.config)?,
+            Algorithm::SoiDominoMap => soi::solve(unate, &self.config)?,
         };
+        let attach_discharge = matches!(self.algorithm, Algorithm::SoiDominoMap);
+        let mut circuit =
+            reconstruct::materialize(unate, &solution.sols, &self.config, attach_discharge)?;
         match self.algorithm {
             Algorithm::DominoMap => {
                 soi_pbe::postprocess::insert_discharge(&mut circuit);
@@ -131,6 +123,7 @@ impl Mapper {
             counts,
             unate_gates: ustats.gates(),
             unate_depth: ustats.depth,
+            degraded_nodes: solution.degraded.iter().map(|id| id.index()).collect(),
         })
     }
 }
@@ -175,7 +168,9 @@ mod tests {
     fn fig2a_discharge_counts_per_algorithm() {
         let n = fig2a_network();
         let base = Mapper::baseline(MapConfig::default()).run(&n).unwrap();
-        let rs = Mapper::rearrange_stacks(MapConfig::default()).run(&n).unwrap();
+        let rs = Mapper::rearrange_stacks(MapConfig::default())
+            .run(&n)
+            .unwrap();
         let soi = Mapper::soi(MapConfig::default()).run(&n).unwrap();
         // The baseline puts the OR stack on top (first operand), needing a
         // discharge transistor; RS and SOI reorder it away.
@@ -224,17 +219,98 @@ mod tests {
     }
 
     #[test]
-    fn tiny_limits_error() {
+    fn tiny_limits_are_unmappable() {
         let n = fig2a_network();
         let config = MapConfig {
             w_max: 1,
             h_max: 1,
             ..MapConfig::default()
         };
+        for mapper in [Mapper::baseline(config), Mapper::soi(config)] {
+            assert!(matches!(mapper.run(&n), Err(MapError::Unmappable { .. })));
+        }
+    }
+
+    #[test]
+    fn zero_limits_are_invalid_config() {
+        let n = fig2a_network();
+        let config = MapConfig {
+            w_max: 0,
+            ..MapConfig::default()
+        };
         assert!(matches!(
             Mapper::soi(config).run(&n),
             Err(MapError::InvalidConfig { .. })
         ));
+    }
+
+    #[test]
+    fn degradation_recovers_unmappable_networks() {
+        let n = fig2a_network();
+        let strict = MapConfig {
+            w_max: 1,
+            h_max: 1,
+            ..MapConfig::default()
+        };
+        let degrade = MapConfig {
+            degrade_unmappable: true,
+            ..strict
+        };
+        for (make, _name) in [
+            (Mapper::baseline as fn(MapConfig) -> Mapper, "baseline"),
+            (Mapper::soi as fn(MapConfig) -> Mapper, "soi"),
+        ] {
+            assert!(matches!(
+                make(strict).run(&n),
+                Err(MapError::Unmappable { .. })
+            ));
+            let result = make(degrade).run(&n).unwrap();
+            assert!(result.is_degraded());
+            assert!(!result.degraded_nodes.is_empty());
+            result.circuit.validate().unwrap();
+            assert!(hazard::is_safe(&result.circuit));
+            // The degraded circuit still computes the function.
+            for bits in 0..16u32 {
+                let v: Vec<bool> = (0..4).map(|k| bits & (1 << k) != 0).collect();
+                assert_eq!(
+                    result.circuit.evaluate(&v).unwrap(),
+                    n.simulate(&v).unwrap(),
+                    "bits {bits:04b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn default_limits_leave_results_unchanged() {
+        let n = fig2a_network();
+        let result = Mapper::soi(MapConfig::default()).run(&n).unwrap();
+        assert!(!result.is_degraded());
+        assert!(result.degraded_nodes.is_empty());
+    }
+
+    #[test]
+    fn gate_budget_rejects_oversized_networks() {
+        let n = fig2a_network();
+        let mut config = MapConfig::default();
+        config.limits.max_gates = 2;
+        assert!(matches!(
+            Mapper::soi(config).run(&n),
+            Err(MapError::BudgetExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn combine_budget_trips_on_small_allowance() {
+        let n = fig2a_network();
+        let mut config = MapConfig::default();
+        config.limits.max_combine_steps = 3;
+        for mapper in [Mapper::baseline(config), Mapper::soi(config)] {
+            assert!(matches!(
+                mapper.run(&n),
+                Err(MapError::BudgetExceeded { .. })
+            ));
+        }
     }
 
     #[test]
@@ -306,5 +382,21 @@ mod tests {
         // shared AND forms its own gate, plus one per output = 3.
         assert_eq!(result.counts.gates, 3);
         assert_eq!(result.counts.levels, 2);
+    }
+
+    #[test]
+    fn constant_output_is_a_typed_error() {
+        let mut n = Network::new("stuck");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let one = n.add_const(true);
+        let f = n.and2(a, b);
+        n.add_output("f", f); // a real function, maps fine on its own
+        n.add_output("g", one); // stuck-at-1: must be refused, not mapped
+        let err = Mapper::soi(MapConfig::default()).run(&n).unwrap_err();
+        assert!(
+            matches!(err, MapError::ConstantOutput { ref name } if name == "g"),
+            "{err}"
+        );
     }
 }

@@ -36,7 +36,8 @@ pub(crate) fn materialize(
             }
             USignal::Node(id) => {
                 let gate = ctx.build_gate(id);
-                ctx.circuit.bind_output(out.name.clone(), gate, out.inverted);
+                ctx.circuit
+                    .bind_output(out.name.clone(), gate, out.inverted);
             }
         }
     }

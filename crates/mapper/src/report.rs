@@ -18,6 +18,20 @@ pub struct MappingResult {
     /// Depth of the unate network in 2-input gate levels (the paper's
     /// Table IV second column).
     pub unate_depth: u32,
+    /// Unate-node indices where the mapper fell back to a forced gate
+    /// boundary because no `(W ≤ W_max, H ≤ H_max)` combination existed
+    /// (only when [`MapConfig::degrade_unmappable`] is set; those gates
+    /// exceed the shape limits).
+    ///
+    /// [`MapConfig::degrade_unmappable`]: crate::MapConfig::degrade_unmappable
+    pub degraded_nodes: Vec<usize>,
+}
+
+impl MappingResult {
+    /// Whether the mapper had to relax the shape limits anywhere.
+    pub fn is_degraded(&self) -> bool {
+        !self.degraded_nodes.is_empty()
+    }
 }
 
 impl fmt::Display for MappingResult {
@@ -29,7 +43,11 @@ impl fmt::Display for MappingResult {
             self.counts,
             self.unate_gates,
             self.unate_depth
-        )
+        )?;
+        if self.is_degraded() {
+            write!(f, " [degraded at {} nodes]", self.degraded_nodes.len())?;
+        }
+        Ok(())
     }
 }
 

@@ -33,12 +33,12 @@ use crate::tuple::{Cand, CandRef, Form, NodeSol, TupleKey};
 use crate::{Algorithm, AndOrder, Cost, CostModel, MapConfig, MapError};
 
 /// Runs the SOI DP, producing one [`NodeSol`] per unate node.
-pub(crate) fn solve(
-    unate: &UnateNetwork,
-    config: &MapConfig,
-) -> Result<Vec<NodeSol>, MapError> {
+pub(crate) fn solve(unate: &UnateNetwork, config: &MapConfig) -> Result<dp::Solution, MapError> {
+    dp::check_gate_budget(unate, config)?;
     let model = CostModel::new(config, Algorithm::SoiDominoMap);
     let fanouts = dp::fanouts(unate);
+    let mut budget = dp::Budget::new(config);
+    let mut degraded: Vec<soi_unate::UId> = Vec::new();
     let mut sols: Vec<NodeSol> = Vec::with_capacity(unate.len());
 
     for (id, node) in unate.iter() {
@@ -49,10 +49,9 @@ pub(crate) fn solve(
                 let mut bare: HashMap<TupleKey, Vec<Cand>> = HashMap::new();
                 for (ra, ca) in sols[a.index()].exported_refs(a) {
                     for (rb, cb) in sols[b.index()].exported_refs(b) {
+                        budget.charge(id)?;
                         if is_and {
-                            for (rt, ct, rbm, cbm) in
-                                and_orders(config.and_order, ra, ca, rb, cb)
-                            {
+                            for (rt, ct, rbm, cbm) in and_orders(config.and_order, ra, ca, rb, cb) {
                                 let key = rt.key.and(rbm.key);
                                 if !key.fits(config.w_max, config.h_max) {
                                     continue;
@@ -70,6 +69,33 @@ pub(crate) fn solve(
                         }
                     }
                 }
+                if bare.is_empty() && config.degrade_unmappable {
+                    // Forced gate boundary: reduce both children to their
+                    // single-gate `{1,1}` candidates and combine those,
+                    // accepting the out-of-limits shape. The gate formed
+                    // here exceeds `(W_max, H_max)`; the node is recorded
+                    // as degraded.
+                    for (ra, ca) in sols[a.index()].exported_refs(a) {
+                        if ra.key != TupleKey::UNIT {
+                            continue;
+                        }
+                        for (rb, cb) in sols[b.index()].exported_refs(b) {
+                            if rb.key != TupleKey::UNIT {
+                                continue;
+                            }
+                            budget.charge(id)?;
+                            let (key, cand) = if is_and {
+                                let key = ra.key.and(rb.key);
+                                (key, combine_and(config, ra, ca, rb, cb))
+                            } else {
+                                let key = ra.key.or(rb.key);
+                                (key, combine_or(config, ra, ca, rb, cb))
+                            };
+                            bare.entry(key).or_default().push(cand);
+                        }
+                    }
+                    degraded.push(id);
+                }
                 if bare.is_empty() {
                     return Err(MapError::Unmappable {
                         what: format!(
@@ -81,6 +107,7 @@ pub(crate) fn solve(
                 for cands in bare.values_mut() {
                     prune(cands, &model, config.max_candidates);
                 }
+                enforce_tuple_cap(&mut bare, &model, config.limits.max_tuples_per_node);
                 let bare_vec: Vec<(TupleKey, Cand)> = bare
                     .iter()
                     .flat_map(|(k, cs)| cs.iter().map(move |c| (*k, c.clone())))
@@ -101,7 +128,32 @@ pub(crate) fn solve(
         };
         sols.push(sol);
     }
-    Ok(sols)
+    Ok(dp::Solution { sols, degraded })
+}
+
+/// Enforces [`crate::Limits::max_tuples_per_node`]: when a node's total
+/// candidate count (across all shapes) exceeds the cap, fall back to a
+/// tighter per-shape Pareto cap; when the shape count alone exceeds it,
+/// keep only the cheapest shapes. Never an error — precision degrades, the
+/// run continues.
+fn enforce_tuple_cap(bare: &mut HashMap<TupleKey, Vec<Cand>>, model: &CostModel, cap: usize) {
+    let total: usize = bare.values().map(Vec::len).sum();
+    if total <= cap {
+        return;
+    }
+    // `prune` left each shape's set sorted by the model's grounded key, so
+    // truncation keeps the best candidates.
+    let per_shape = (cap / bare.len()).max(1);
+    for cands in bare.values_mut() {
+        cands.truncate(per_shape);
+    }
+    if bare.len() > cap {
+        let mut shapes: Vec<TupleKey> = bare.keys().copied().collect();
+        shapes.sort_by_key(|k| (model.key(&bare[k][0].g), k.w, k.h));
+        for k in shapes.split_off(cap) {
+            bare.remove(&k);
+        }
+    }
 }
 
 /// The paper's `combine_or`: bottoms merge and the shared bottom becomes a
@@ -125,13 +177,7 @@ fn combine_or(config: &MapConfig, ra: CandRef, ca: &Cand, rb: CandRef, cb: &Cand
 /// junction) commit now — that is `cost_u(top)`; the top's spine junctions
 /// and the new junction (when the top is spine-like) extend the result's
 /// spine and stay potential.
-fn combine_and(
-    config: &MapConfig,
-    rt: CandRef,
-    ct: &Cand,
-    rb: CandRef,
-    cb: &Cand,
-) -> Cand {
+fn combine_and(config: &MapConfig, rt: CandRef, ct: &Cand, rb: CandRef, cb: &Cand) -> Cand {
     Cand {
         g: ct.u.combine(cb.g),
         u: Cost::default(),
@@ -139,7 +185,10 @@ fn combine_and(
         p_branch: cb.p_branch,
         par_b: cb.par_b,
         touches_pi: ct.touches_pi || cb.touches_pi,
-        form: Form::And { top: rt, bottom: rb },
+        form: Form::And {
+            top: rt,
+            bottom: rb,
+        },
     }
     .derive_ungrounded(config.clock_weight)
 }
@@ -250,7 +299,7 @@ mod tests {
         let ab = u.add_and(a, b);
         let f = u.add_or(ab, c);
         u.add_output("f", USignal::Node(f), false);
-        let sols = solve(&u, &cfg()).unwrap();
+        let sols = solve(&u, &cfg()).unwrap().sols;
         let or_sol = &sols[4];
         let cands = &or_sol.exported[&TupleKey { w: 2, h: 2 }];
         let best = &cands[0];
@@ -274,13 +323,10 @@ mod tests {
         let def = u.add_or(de, lits[5]);
         let f = u.add_and(abc, def);
         u.add_output("f", USignal::Node(f), false);
-        let sols = solve(&u, &cfg()).unwrap();
+        let sols = solve(&u, &cfg()).unwrap().sols;
         let and_sol = &sols[10];
         let cands = &and_sol.exported[&TupleKey { w: 2, h: 4 }];
-        let best = cands
-            .iter()
-            .min_by_key(|c| (c.g.tx, c.p_dis()))
-            .unwrap();
+        let best = cands.iter().min_by_key(|c| (c.g.tx, c.p_dis())).unwrap();
         // 6 logic transistors + 2 committed discharges.
         assert_eq!(best.g.tx, 8);
         assert_eq!(best.g.disch, 2);
@@ -301,7 +347,7 @@ mod tests {
         let abc = u.add_or(ab, c);
         let f = u.add_and(abc, e);
         u.add_output("f", USignal::Node(f), false);
-        let sols = solve(&u, &cfg()).unwrap();
+        let sols = solve(&u, &cfg()).unwrap().sols;
         let and_sol = &sols[6];
         let cands = &and_sol.exported[&TupleKey { w: 2, h: 3 }];
         let best = cands.iter().min_by_key(|c| (c.g.tx, c.p_dis())).unwrap();
@@ -331,7 +377,7 @@ mod tests {
         let f = u.add_and(abc, def);
         u.add_output("f", USignal::Node(f), false);
 
-        let heuristic = solve(&u, &cfg()).unwrap();
+        let heuristic = solve(&u, &cfg()).unwrap().sols;
         let exhaustive = solve(
             &u,
             &MapConfig {
@@ -339,7 +385,8 @@ mod tests {
                 ..cfg()
             },
         )
-        .unwrap();
+        .unwrap()
+        .sols;
         let hg = heuristic[10].gate.as_ref().unwrap().cost;
         let eg = exhaustive[10].gate.as_ref().unwrap().cost;
         assert!(eg.tx <= hg.tx);
@@ -363,7 +410,12 @@ mod tests {
             }),
         };
         // (10, 10, T) dominates (10, 10, F) and (11, 12, F).
-        let mut cands = vec![mk(10, 10, true), mk(10, 10, false), mk(11, 12, false), mk(8, 13, false)];
+        let mut cands = vec![
+            mk(10, 10, true),
+            mk(10, 10, false),
+            mk(11, 12, false),
+            mk(8, 13, false),
+        ];
         prune(&mut cands, &model, 4);
         assert_eq!(cands.len(), 2);
         // The cheap-g/expensive-u candidate survives.
@@ -390,7 +442,7 @@ mod tests {
         let abc = u.add_or(ab, c);
         let f = u.add_and(abc, d);
         u.add_output("f", USignal::Node(f), false);
-        let sols = solve(&u, &cfg()).unwrap();
+        let sols = solve(&u, &cfg()).unwrap().sols;
         let gate = sols[6].gate.as_ref().unwrap();
         assert_eq!(gate.cost.disch, 0);
         assert_eq!(gate.cost.tx, 4 + 5);

@@ -113,7 +113,9 @@ impl Cand {
     /// the parallel bottom commit when the structure sits on top; spine
     /// points join the outer spine for free.
     pub fn derive_ungrounded(mut self, k: u32) -> Cand {
-        self.u = self.g.with_discharge(self.p_branch + u32::from(self.par_b), k);
+        self.u = self
+            .g
+            .with_discharge(self.p_branch + u32::from(self.par_b), k);
         self
     }
 }

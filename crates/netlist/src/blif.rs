@@ -94,7 +94,14 @@ pub fn parse(text: &str) -> Result<Network, NetworkError> {
     let mut current_cover: Option<usize> = None;
     for (line, content) in logical_lines {
         let mut tokens = content.split_whitespace();
-        let head = tokens.next().expect("non-empty line");
+        // Lines are trimmed and non-empty by construction, but a typed
+        // error beats a panic if that invariant ever breaks.
+        let Some(head) = tokens.next() else {
+            return Err(NetworkError::Parse {
+                line,
+                message: "empty logical line".into(),
+            });
+        };
         match head {
             ".model" => {
                 model_name = tokens.next().unwrap_or("blif").to_string();
@@ -152,21 +159,29 @@ pub fn parse(text: &str) -> Result<Network, NetworkError> {
                     })?;
                     (head.to_string(), value)
                 };
-                if mask.len() != fanin_count {
+                let mask_width = mask.chars().count();
+                if mask_width != fanin_count {
                     return Err(NetworkError::Parse {
                         line,
                         message: format!(
-                            "cube width {} does not match {} fanins",
-                            mask.len(),
-                            fanin_count
+                            "cube width {mask_width} does not match {fanin_count} fanins"
                         ),
                     });
                 }
-                let value_char = value.chars().next().unwrap_or('1');
-                if value_char != '0' && value_char != '1' {
+                let value_char = match value {
+                    "0" => '0',
+                    "1" => '1',
+                    other => {
+                        return Err(NetworkError::Parse {
+                            line,
+                            message: format!("invalid output value `{other}`"),
+                        })
+                    }
+                };
+                if let Some(extra) = tokens.next() {
                     return Err(NetworkError::Parse {
                         line,
-                        message: format!("invalid output value `{value}`"),
+                        message: format!("trailing token `{extra}` after cube row"),
                     });
                 }
                 rows.push((mask, value_char));
@@ -187,24 +202,40 @@ pub fn parse(text: &str) -> Result<Network, NetworkError> {
     let mut remaining: Vec<usize> = (0..covers.len()).collect();
     while !remaining.is_empty() {
         let mut progressed = false;
+        let mut build_error: Option<NetworkError> = None;
         remaining.retain(|&idx| {
+            if build_error.is_some() {
+                return true;
+            }
             let (line, names, rows) = &covers[idx];
             let fanins = &names[..names.len() - 1];
             if fanins.iter().all(|f| signals.contains_key(f)) {
-                let output = names.last().expect("nonempty names").clone();
-                let node = build_cover(&mut b, fanins, rows, &signals, *line);
-                match node {
+                // `names` is checked non-empty when the cover is collected.
+                let Some(output) = names.last().cloned() else {
+                    build_error = Some(NetworkError::Parse {
+                        line: *line,
+                        message: ".names cover lost its output signal".into(),
+                    });
+                    return true;
+                };
+                match build_cover(&mut b, fanins, rows, &signals, *line) {
                     Ok(id) => {
                         signals.insert(output, id);
                         progressed = true;
                         false
                     }
-                    Err(_) => true, // keep; error reported below via sentinel
+                    Err(e) => {
+                        build_error = Some(e);
+                        true
+                    }
                 }
             } else {
                 true
             }
         });
+        if let Some(e) = build_error {
+            return Err(e);
+        }
         if !progressed {
             let (line, names, _) = &covers[remaining[0]];
             let missing = names[..names.len() - 1]
@@ -411,10 +442,7 @@ mod tests {
     #[test]
     fn latch_is_rejected() {
         let text = ".model t\n.inputs a\n.outputs f\n.latch a f re clk 0\n.end\n";
-        assert!(matches!(
-            parse(text),
-            Err(NetworkError::Parse { .. })
-        ));
+        assert!(matches!(parse(text), Err(NetworkError::Parse { .. })));
     }
 
     #[test]
@@ -437,5 +465,48 @@ mod tests {
     fn cube_width_mismatch_is_reported() {
         let text = ".model t\n.inputs a b\n.outputs f\n.names a b f\n111 1\n.end\n";
         assert!(parse(text).is_err());
+    }
+
+    #[test]
+    fn garbled_output_value_is_reported() {
+        for value in ["1x", "x", "2", "10"] {
+            let text =
+                format!(".model t\n.inputs a b\n.outputs f\n.names a b f\n11 {value}\n.end\n");
+            let err = parse(&text).unwrap_err();
+            assert!(
+                matches!(err, NetworkError::Parse { line: 5, .. }),
+                "value {value}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_cube_tokens_are_reported() {
+        let text = ".model t\n.inputs a b\n.outputs f\n.names a b f\n11 1 junk\n.end\n";
+        let err = parse(text).unwrap_err();
+        assert!(err.to_string().contains("junk"), "{err}");
+    }
+
+    #[test]
+    fn dangling_continuation_is_reported() {
+        let text = ".model t\n.inputs a \\";
+        let err = parse(text).unwrap_err();
+        assert!(err.to_string().contains("continuation"), "{err}");
+    }
+
+    #[test]
+    fn bad_cube_character_is_reported_not_misattributed() {
+        // The cover's fanins all resolve, but the cube body is invalid; the
+        // parser must surface the cube error, not a bogus "never defined".
+        let text = ".model t\n.inputs a b\n.outputs f\n.names a b f\n1z 1\n.end\n";
+        let err = parse(text).unwrap_err();
+        assert!(err.to_string().contains("invalid cube character"), "{err}");
+    }
+
+    #[test]
+    fn multibyte_cube_characters_do_not_panic() {
+        let text = ".model t\n.inputs a b\n.outputs f\n.names a b f\n1¬ 1\n.end\n";
+        let err = parse(text).unwrap_err();
+        assert!(matches!(err, NetworkError::Parse { .. }), "{err}");
     }
 }

@@ -55,11 +55,7 @@ pub fn sweep(network: &Network) -> Network {
     extract_ports(network, &wanted, true)
 }
 
-fn extract_ports(
-    network: &Network,
-    ports: &[&crate::OutputPort],
-    keep_inputs: bool,
-) -> Network {
+fn extract_ports(network: &Network, ports: &[&crate::OutputPort], keep_inputs: bool) -> Network {
     let mut live = vec![false; network.len()];
     let mut stack: Vec<NodeId> = ports.iter().map(|p| p.driver).collect();
     if keep_inputs {

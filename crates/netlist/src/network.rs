@@ -252,6 +252,51 @@ impl Network {
         id
     }
 
+    // ---- Fault-injection hooks -------------------------------------------
+    //
+    // The `_unchecked` mutators below deliberately bypass the invariants
+    // that every other constructor maintains. They exist so that
+    // `soi-guard::inject` can manufacture *corrupted* networks and prove the
+    // pipeline rejects them. A network touched by any of these methods is
+    // untrusted until [`Network::validate`] says otherwise.
+
+    /// Replaces a node wholesale, with no invariant checking.
+    ///
+    /// Fault-injection hook: the new node may reference dangling or forward
+    /// fanins, or rename a primary input into a name collision. Run
+    /// [`Network::validate`] before trusting the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if `id` itself is out of range (there is no slot to
+    /// overwrite).
+    pub fn set_node_unchecked(&mut self, id: NodeId, node: Node) {
+        self.nodes[id.index()] = node;
+    }
+
+    /// Redirects an output port's driver, with no range checking.
+    ///
+    /// Fault-injection hook; see [`Network::set_node_unchecked`].
+    ///
+    /// # Panics
+    ///
+    /// Panics only if `port` is not an existing output-port index.
+    pub fn set_output_driver_unchecked(&mut self, port: usize, driver: NodeId) {
+        self.outputs[port].driver = driver;
+    }
+
+    /// Swaps two node slots without fixing up any fanin references —
+    /// typically breaking the topological order.
+    ///
+    /// Fault-injection hook; see [`Network::set_node_unchecked`].
+    ///
+    /// # Panics
+    ///
+    /// Panics only if either id is out of range.
+    pub fn swap_nodes_unchecked(&mut self, i: NodeId, j: NodeId) {
+        self.nodes.swap(i.index(), j.index());
+    }
+
     /// Number of fanout edges of each node (output ports count as one each).
     pub fn fanout_counts(&self) -> Vec<u32> {
         let mut counts = vec![0u32; self.nodes.len()];

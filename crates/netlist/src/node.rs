@@ -154,9 +154,18 @@ impl Node {
     /// The fanin nodes of this node (empty for inputs and constants).
     pub fn fanins(&self) -> FaninIter {
         match *self {
-            Node::Input { .. } | Node::Const { .. } => FaninIter { items: [None, None], at: 0 },
-            Node::Unary { a, .. } => FaninIter { items: [Some(a), None], at: 0 },
-            Node::Binary { a, b, .. } => FaninIter { items: [Some(a), Some(b)], at: 0 },
+            Node::Input { .. } | Node::Const { .. } => FaninIter {
+                items: [None, None],
+                at: 0,
+            },
+            Node::Unary { a, .. } => FaninIter {
+                items: [Some(a), None],
+                at: 0,
+            },
+            Node::Binary { a, b, .. } => FaninIter {
+                items: [Some(a), Some(b)],
+                at: 0,
+            },
         }
     }
 
@@ -254,7 +263,11 @@ mod tests {
         assert_eq!(Node::Input { name: "x".into() }.fanins().count(), 0);
         assert_eq!(Node::Const { value: true }.fanins().count(), 0);
         assert_eq!(Node::Unary { op: UnOp::Inv, a }.fanins().count(), 1);
-        let bin = Node::Binary { op: BinOp::And, a, b };
+        let bin = Node::Binary {
+            op: BinOp::And,
+            a,
+            b,
+        };
         assert_eq!(bin.fanins().collect::<Vec<_>>(), vec![a, b]);
     }
 }

@@ -137,7 +137,11 @@ pub fn distribute(network: &Network, probability: f64, seed: u64) -> Network {
             Node::Input { name } => out.add_input(name.clone()),
             Node::Const { value } => out.add_const(*value),
             Node::Unary { op, a } => out.unary(*op, mapped[a.index()].expect("topo order")),
-            Node::Binary { op: BinOp::Or, a, b } => {
+            Node::Binary {
+                op: BinOp::Or,
+                a,
+                b,
+            } => {
                 let (a, b) = (*a, *b);
                 let and_side = |n: NodeId| {
                     matches!(network.node(n), Node::Binary { op: BinOp::And, .. })
@@ -219,7 +223,10 @@ mod tests {
         let n = sample();
         for seed in 0..6 {
             let r = reassociate(&n, seed);
-            assert!(sim::random_equivalent(&n, &r, 8, seed).unwrap(), "seed {seed}");
+            assert!(
+                sim::random_equivalent(&n, &r, 8, seed).unwrap(),
+                "seed {seed}"
+            );
         }
     }
 

@@ -147,7 +147,7 @@ struct GateState {
 ///         Pdn::transistor(Signal::input(3)),
 ///     ]),
 /// );
-/// let mut sim = BodySimulator::new(&c, BodySimConfig::default());
+/// let mut sim = BodySimulator::new(&c, BodySimConfig::default())?;
 /// // Hold A=1, D=0: node 1 charges high, bodies of B and C charge.
 /// for _ in 0..3 {
 ///     sim.step(&[true, false, false, false])?;
@@ -172,39 +172,52 @@ pub struct BodySimulator<'c> {
 impl<'c> BodySimulator<'c> {
     /// Creates a simulator over the circuit. All nets start low and all
     /// bodies discharged (a cold power-up).
-    pub fn new(circuit: &'c DominoCircuit, cfg: BodySimConfig) -> BodySimulator<'c> {
-        let gates = circuit
-            .iter()
-            .map(|(_, gate)| {
-                let graph = gate.pdn().flatten();
-                let discharge_nets = gate
-                    .discharge()
-                    .iter()
-                    .map(|j| graph.junction_net(j).expect("validated junction"))
-                    .collect();
-                let nets = graph.net_count();
-                let devices = graph.transistors.len();
-                GateState {
-                    graph,
-                    discharge_nets,
-                    footed: gate.is_footed(),
-                    net_high: vec![false; nets],
-                    net_driven: vec![false; nets],
-                    body_count: vec![0; devices],
-                    body_charged: vec![false; devices],
-                    prev_on: vec![false; devices],
-                    output: false,
-                    ideal_output: false,
-                }
-            })
-            .collect();
-        BodySimulator {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PbeError::BadDischargeJunction`] when a gate's
+    /// pre-discharge transistor references a junction that does not exist in
+    /// its pull-down network (a malformed circuit must not panic the
+    /// simulator).
+    pub fn new(
+        circuit: &'c DominoCircuit,
+        cfg: BodySimConfig,
+    ) -> Result<BodySimulator<'c>, PbeError> {
+        let mut gates = Vec::new();
+        for (id, gate) in circuit.iter() {
+            let graph = gate.pdn().flatten();
+            let mut discharge_nets = Vec::with_capacity(gate.discharge().len());
+            for j in gate.discharge() {
+                let net = graph
+                    .junction_net(j)
+                    .ok_or_else(|| PbeError::BadDischargeJunction {
+                        gate: id.index(),
+                        junction: format!("{j:?}"),
+                    })?;
+                discharge_nets.push(net);
+            }
+            let nets = graph.net_count();
+            let devices = graph.transistors.len();
+            gates.push(GateState {
+                graph,
+                discharge_nets,
+                footed: gate.is_footed(),
+                net_high: vec![false; nets],
+                net_driven: vec![false; nets],
+                body_count: vec![0; devices],
+                body_charged: vec![false; devices],
+                prev_on: vec![false; devices],
+                output: false,
+                ideal_output: false,
+            });
+        }
+        Ok(BodySimulator {
             circuit,
             cfg,
             gates,
             cycle: 0,
             charged_phase_total: 0,
-        }
+        })
     }
 
     /// Runs one full clock cycle (precharge then evaluate) with the given
@@ -535,7 +548,7 @@ mod tests {
     #[test]
     fn unprotected_gate_misevaluates() {
         let c = fig2a_circuit();
-        let mut sim = BodySimulator::new(&c, BodySimConfig::default());
+        let mut sim = BodySimulator::new(&c, BodySimConfig::default()).expect("valid circuit");
         let report = paper_scenario(&mut sim);
         assert!(!report.pbe_events.is_empty());
         assert!(report.misevaluated());
@@ -545,11 +558,27 @@ mod tests {
     }
 
     #[test]
+    fn dangling_discharge_junction_is_a_typed_error() {
+        let mut c = fig2a_circuit();
+        // Inject a pre-discharge transistor aimed at a junction path that
+        // does not exist in the pull-down network.
+        c.gate_mut(GateId::from_index(0))
+            .set_discharge_unchecked(vec![JunctionRef::new(vec![7, 7], 3)]);
+        let Err(err) = BodySimulator::new(&c, BodySimConfig::default()) else {
+            panic!("a dangling discharge junction must be rejected");
+        };
+        match err {
+            PbeError::BadDischargeJunction { gate, .. } => assert_eq!(gate, 0),
+            other => panic!("expected BadDischargeJunction, got {other}"),
+        }
+    }
+
+    #[test]
     fn discharge_transistor_prevents_failure() {
         let mut c = fig2a_circuit();
         c.gate_mut(GateId::from_index(0))
             .add_discharge(JunctionRef::new(vec![], 0));
-        let mut sim = BodySimulator::new(&c, BodySimConfig::default());
+        let mut sim = BodySimulator::new(&c, BodySimConfig::default()).expect("valid circuit");
         let report = paper_scenario(&mut sim);
         assert!(report.pbe_events.is_empty());
         assert!(!report.misevaluated());
@@ -562,7 +591,7 @@ mod tests {
             vec!["a".into(), "b".into(), "c".into(), "d".into()],
             Pdn::series(vec![t(3), Pdn::parallel(vec![t(0), t(1), t(2)])]),
         );
-        let mut sim = BodySimulator::new(&c, BodySimConfig::default());
+        let mut sim = BodySimulator::new(&c, BodySimConfig::default()).expect("valid circuit");
         let report = paper_scenario(&mut sim);
         assert!(report.pbe_events.is_empty());
         assert!(!report.misevaluated());
@@ -577,7 +606,8 @@ mod tests {
                 model_bipolar: false,
                 ..BodySimConfig::default()
             },
-        );
+        )
+        .expect("valid circuit");
         let report = paper_scenario(&mut sim);
         assert!(report.pbe_events.is_empty());
         assert!(!report.misevaluated());
@@ -586,12 +616,12 @@ mod tests {
     #[test]
     fn bodies_charge_then_reset_on_switching() {
         let c = fig2a_circuit();
-        let mut sim = BodySimulator::new(&c, BodySimConfig::default());
+        let mut sim = BodySimulator::new(&c, BodySimConfig::default()).expect("valid circuit");
         for _ in 0..3 {
             sim.step(&[true, false, false, false]).unwrap();
         }
         assert!(sim.charged_bodies() >= 2); // B and C
-        // Toggling B's input resets its body.
+                                            // Toggling B's input resets its body.
         sim.step(&[true, true, false, false]).unwrap();
         sim.step(&[true, false, false, false]).unwrap();
         // B was reset; C may remain charged.
@@ -602,7 +632,7 @@ mod tests {
     fn normal_operation_matches_ideal() {
         // Exercise the gate with benign vectors: no stale-high scenarios.
         let c = fig2a_circuit();
-        let mut sim = BodySimulator::new(&c, BodySimConfig::default());
+        let mut sim = BodySimulator::new(&c, BodySimConfig::default()).expect("valid circuit");
         let seq = [
             [false, false, false, false],
             [true, false, false, true],
@@ -620,8 +650,7 @@ mod tests {
     #[test]
     fn misevaluation_propagates_downstream() {
         // Gate 0 = (A+B+C)*D unprotected; gate 1 = gate0 * E.
-        let mut c =
-            DominoCircuit::new(["a", "b", "c", "d", "e"].map(String::from).to_vec());
+        let mut c = DominoCircuit::new(["a", "b", "c", "d", "e"].map(String::from).to_vec());
         let g0 = c.add_gate(soi_domino_ir::DominoGate::footed(Pdn::series(vec![
             Pdn::parallel(vec![t(0), t(1), t(2)]),
             t(3),
@@ -631,7 +660,7 @@ mod tests {
             Pdn::transistor(Signal::Gate(g0)),
         ])));
         c.add_output("f", g1);
-        let mut sim = BodySimulator::new(&c, BodySimConfig::default());
+        let mut sim = BodySimulator::new(&c, BodySimConfig::default()).expect("valid circuit");
         for _ in 0..3 {
             sim.step(&[true, false, false, false, true]).unwrap();
         }
@@ -644,7 +673,7 @@ mod tests {
     #[test]
     fn arity_error() {
         let c = fig2a_circuit();
-        let mut sim = BodySimulator::new(&c, BodySimConfig::default());
+        let mut sim = BodySimulator::new(&c, BodySimConfig::default()).expect("valid circuit");
         assert!(matches!(
             sim.step(&[true]),
             Err(PbeError::InputArity { .. })
@@ -665,7 +694,7 @@ mod tests {
             Signal::Gate(g0),
         )));
         c.add_output("f", g1);
-        let mut sim = BodySimulator::new(&c, BodySimConfig::default());
+        let mut sim = BodySimulator::new(&c, BodySimConfig::default()).expect("valid circuit");
         for (a, b) in [(false, false), (true, false), (false, true), (true, true)] {
             let r = sim.step(&[a, b]).unwrap();
             assert_eq!(r.outputs, vec![a || b]);
@@ -676,7 +705,7 @@ mod tests {
     #[test]
     fn hysteresis_exposure_accumulates_and_only_then() {
         let c = fig2a_circuit();
-        let mut sim = BodySimulator::new(&c, BodySimConfig::default());
+        let mut sim = BodySimulator::new(&c, BodySimConfig::default()).expect("valid circuit");
         // Benign toggling: nothing should charge.
         for i in 0..6 {
             sim.step(&[i % 2 == 0, false, false, true]).unwrap();
@@ -697,7 +726,7 @@ mod tests {
         let mut c = fig2a_circuit();
         c.gate_mut(GateId::from_index(0))
             .add_discharge(JunctionRef::new(vec![], 0));
-        let mut sim = BodySimulator::new(&c, BodySimConfig::default());
+        let mut sim = BodySimulator::new(&c, BodySimConfig::default()).expect("valid circuit");
         let r = sim.step(&[true, false, false, false]).unwrap();
         assert!(r.contentions > 0);
         // With A low there is no contention.

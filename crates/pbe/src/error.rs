@@ -12,6 +12,14 @@ pub enum PbeError {
         /// Number of values supplied.
         got: usize,
     },
+    /// A pre-discharge transistor references a junction that does not exist
+    /// in its gate's pull-down network.
+    BadDischargeJunction {
+        /// Index of the offending gate.
+        gate: usize,
+        /// Rendering of the unresolvable junction reference.
+        junction: String,
+    },
 }
 
 impl fmt::Display for PbeError {
@@ -19,6 +27,12 @@ impl fmt::Display for PbeError {
         match self {
             PbeError::InputArity { expected, got } => {
                 write!(f, "expected {expected} input values, got {got}")
+            }
+            PbeError::BadDischargeJunction { gate, junction } => {
+                write!(
+                    f,
+                    "gate {gate}: discharge junction {junction} does not resolve in the PDN"
+                )
             }
         }
     }

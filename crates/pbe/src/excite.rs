@@ -25,7 +25,9 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use soi_domino_ir::{DominoCircuit, DominoGate, GateId, JunctionRef, NetId, PdnGraph, Phase, Signal};
+use soi_domino_ir::{
+    DominoCircuit, DominoGate, GateId, JunctionRef, NetId, PdnGraph, Phase, Signal,
+};
 
 /// Declared knowledge about the circuit's inputs.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -303,8 +305,7 @@ pub fn prune_discharge(
             .discharge()
             .iter()
             .filter(|j| {
-                let verdict =
-                    junction_excitability(circuit.gate(id), j, constraints, config);
+                let verdict = junction_excitability(circuit.gate(id), j, constraints, config);
                 verdict != Excitability::ProvenSafe
             })
             .cloned()
@@ -429,11 +430,7 @@ mod tests {
             ]),
         );
         postprocess::insert_discharge(&mut c);
-        let removed = prune_discharge(
-            &mut c,
-            &InputConstraints::none(),
-            &ExciteConfig::default(),
-        );
+        let removed = prune_discharge(&mut c, &InputConstraints::none(), &ExciteConfig::default());
         assert_eq!(removed, 0);
     }
 
@@ -454,7 +451,11 @@ mod tests {
         // The worst-case checker now (rightly) complains.
         assert!(!crate::hazard::is_safe(&c));
         // And the unconstrained excitability checker does too.
-        assert!(!verify_safe(&c, &InputConstraints::none(), &ExciteConfig::default()));
+        assert!(!verify_safe(
+            &c,
+            &InputConstraints::none(),
+            &ExciteConfig::default()
+        ));
     }
 
     /// Gate-output variables stay unconstrained even when constraints

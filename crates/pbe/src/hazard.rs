@@ -24,7 +24,11 @@ pub struct Hazard {
 
 impl fmt::Display for Hazard {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "gate {}: unprotected junction {}", self.gate, self.junction)
+        write!(
+            f,
+            "gate {}: unprotected junction {}",
+            self.gate, self.junction
+        )
     }
 }
 

@@ -83,7 +83,10 @@ mod tests {
     fn insertion_is_idempotent() {
         let mut c = DominoCircuit::single_gate(
             (0..4).map(|i| format!("i{i}")).collect(),
-            Pdn::series(vec![Pdn::parallel(vec![t(0), t(1)]), Pdn::parallel(vec![t(2), t(3)])]),
+            Pdn::series(vec![
+                Pdn::parallel(vec![t(0), t(1)]),
+                Pdn::parallel(vec![t(2), t(3)]),
+            ]),
         );
         let first = insert_discharge(&mut c);
         let second = insert_discharge(&mut c);

@@ -154,7 +154,10 @@ mod tests {
     fn never_worse() {
         let shapes = vec![
             Pdn::series(vec![t(0), t(1), t(2)]),
-            Pdn::series(vec![Pdn::parallel(vec![t(0), t(1)]), Pdn::parallel(vec![t(2), t(3)])]),
+            Pdn::series(vec![
+                Pdn::parallel(vec![t(0), t(1)]),
+                Pdn::parallel(vec![t(2), t(3)]),
+            ]),
             Pdn::series(vec![
                 Pdn::parallel(vec![Pdn::series(vec![t(0), t(1)]), t(2)]),
                 Pdn::parallel(vec![t(3), t(4)]),

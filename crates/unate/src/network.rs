@@ -260,9 +260,10 @@ impl UnateNetwork {
     /// construction; checks that every node is a literal, AND or OR, and
     /// that every gate's fanins precede it.
     pub fn is_inverter_free(&self) -> bool {
-        self.nodes.iter().enumerate().all(|(i, n)| {
-            n.fanins().all(|f| f.index() < i)
-        })
+        self.nodes
+            .iter()
+            .enumerate()
+            .all(|(i, n)| n.fanins().all(|f| f.index() < i))
     }
 
     /// Number of fanout edges per node (outputs count as one each).
@@ -363,8 +364,9 @@ impl UnateNetwork {
             let id = match node {
                 UNode::Lit(l) => match l.phase {
                     Phase::Pos => inputs[l.input],
-                    Phase::Neg => *neg_inputs[l.input]
-                        .get_or_insert_with(|| n.inv(inputs[l.input])),
+                    Phase::Neg => {
+                        *neg_inputs[l.input].get_or_insert_with(|| n.inv(inputs[l.input]))
+                    }
                 },
                 UNode::And(a, b) => n.and2(mapped[a.index()], mapped[b.index()]),
                 UNode::Or(a, b) => n.or2(mapped[a.index()], mapped[b.index()]),

@@ -50,11 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         None => BUILTIN.to_string(),
     };
     let network = blif::parse(&text)?;
-    println!(
-        "parsed `{}`: {}\n",
-        network.name(),
-        network.stats()
-    );
+    println!("parsed `{}`: {}\n", network.name(), network.stats());
 
     let mut best = None;
     for mapper in [
@@ -73,7 +69,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let best = best.expect("three mappers ran");
-    println!("\ntransistor netlist of the {} result:", best.algorithm.paper_name());
+    println!(
+        "\ntransistor netlist of the {} result:",
+        best.algorithm.paper_name()
+    );
     print!("{}", export::netlist(&best.circuit));
     Ok(())
 }

@@ -8,9 +8,11 @@ use soi_domino::circuits::registry;
 use soi_domino::mapper::{MapConfig, Mapper};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "9symml".to_string());
-    let network = registry::benchmark(&name)
-        .ok_or_else(|| format!("unknown benchmark `{name}`"))?;
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "9symml".to_string());
+    let network =
+        registry::benchmark(&name).ok_or_else(|| format!("unknown benchmark `{name}`"))?;
     println!("{name}: {}\n", network.stats());
     println!(
         "{:>3} {:>12} | {:>8} {:>8} {:>8} {:>6} {:>8}",

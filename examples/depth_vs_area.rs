@@ -11,9 +11,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:<8} | {:>22} | {:>22} | {:>22}",
         "circuit", "area obj (tot/dis/L)", "depth obj (tot/dis/L)", "depth+dup (tot/dis/L)"
     );
-    for name in ["cm150", "z4ml", "cordic", "frg1", "b9", "9symml", "c432", "c880"] {
-        let network = registry::benchmark(name)
-            .ok_or_else(|| format!("unknown benchmark `{name}`"))?;
+    for name in [
+        "cm150", "z4ml", "cordic", "frg1", "b9", "9symml", "c432", "c880",
+    ] {
+        let network =
+            registry::benchmark(name).ok_or_else(|| format!("unknown benchmark `{name}`"))?;
         let mut cells = Vec::new();
         for config in [
             MapConfig::default(),

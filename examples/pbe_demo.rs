@@ -21,15 +21,12 @@ fn fig2a(stack_on_top: bool) -> DominoCircuit {
     } else {
         Pdn::series(vec![d, stack])
     };
-    DominoCircuit::single_gate(
-        vec!["a".into(), "b".into(), "c".into(), "d".into()],
-        pdn,
-    )
+    DominoCircuit::single_gate(vec!["a".into(), "b".into(), "c".into(), "d".into()], pdn)
 }
 
 fn drive(name: &str, circuit: &DominoCircuit) {
     println!("--- {name} ---");
-    let mut sim = BodySimulator::new(circuit, BodySimConfig::default());
+    let mut sim = BodySimulator::new(circuit, BodySimConfig::default()).expect("valid circuit");
     // The §III-B sequence: hold A=1 with D=0 (node 1 charges, the bodies
     // of B and C float up), release A, then fire D alone.
     let script: &[(&str, [bool; 4])] = &[
@@ -64,7 +61,10 @@ fn main() {
 
     // 1. The bulk-CMOS-typical structure, unprotected.
     let unprotected = fig2a(true);
-    drive("parallel stack on top, NO discharge transistor", &unprotected);
+    drive(
+        "parallel stack on top, NO discharge transistor",
+        &unprotected,
+    );
 
     // 2. Same structure with the pre-discharge transistor of Fig. 2(c).
     let mut protected = fig2a(true);

@@ -40,7 +40,11 @@ fn main() {
     let before = circuit.counts();
     println!("worst-case protected: {before}");
     for (id, gate) in circuit.iter() {
-        println!("  gate {id}: {} with {} discharge devices", gate.pdn(), gate.discharge().len());
+        println!(
+            "  gate {id}: {} with {} discharge devices",
+            gate.pdn(),
+            gate.discharge().len()
+        );
     }
 
     // What the designer knows: `test` is tied low in mission mode. The
@@ -53,7 +57,11 @@ fn main() {
 
     println!("\ndeclared: test ≡ 0");
     println!("pruned {removed} discharge transistor(s): {after}");
-    assert!(verify_safe(&circuit, &constraints, &ExciteConfig::default()));
+    assert!(verify_safe(
+        &circuit,
+        &constraints,
+        &ExciteConfig::default()
+    ));
     println!("excitability check under the declared constraints: safe");
     println!(
         "\nclock-connected devices: {} -> {} ({} fewer loads on the clock tree)",

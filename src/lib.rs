@@ -10,7 +10,9 @@
 //! * [`unate`] — binate-to-unate conversion by bubble pushing,
 //! * [`domino`] — the transistor-level domino circuit model,
 //! * [`pbe`] — parasitic-bipolar-effect analysis and body-state simulation,
-//! * [`mapper`] — the `Domino_Map`, `RS_Map` and `SOI_Domino_Map` algorithms.
+//! * [`mapper`] — the `Domino_Map`, `RS_Map` and `SOI_Domino_Map` algorithms,
+//! * [`guard`] — the hardened staged pipeline, cross-stage audit, and
+//!   fault-injection harness.
 //!
 //! # Quickstart
 //!
@@ -38,6 +40,7 @@
 
 pub use soi_circuits as circuits;
 pub use soi_domino_ir as domino;
+pub use soi_guard as guard;
 pub use soi_mapper as mapper;
 pub use soi_netlist as netlist;
 pub use soi_pbe as pbe;

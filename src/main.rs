@@ -192,7 +192,7 @@ fn cmd_stress(args: &[String]) -> Result<(), Box<dyn Error>> {
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
     let mut rng = SmallRng::seed_from_u64(0xCAFE);
-    let mut sim = BodySimulator::new(&result.circuit, BodySimConfig::default());
+    let mut sim = BodySimulator::new(&result.circuit, BodySimConfig::default())?;
     let inputs = result.circuit.input_names().len();
     let mut events = 0usize;
     let mut bad_cycles = 0usize;

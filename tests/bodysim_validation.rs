@@ -25,7 +25,7 @@ fn strip_protection(circuit: &DominoCircuit) -> DominoCircuit {
 /// several cycles (letting bodies charge), drop everything low, then fire
 /// a fresh vector. Returns whether any cycle mis-evaluated.
 fn stress(circuit: &DominoCircuit, seed: u64, rounds: usize) -> (bool, usize) {
-    let mut sim = BodySimulator::new(circuit, BodySimConfig::default());
+    let mut sim = BodySimulator::new(circuit, BodySimConfig::default()).expect("valid circuit");
     let inputs = circuit.input_names().len();
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut misevaluated = false;
@@ -66,7 +66,10 @@ fn unprotected_baseline_fails_somewhere() {
         total_events += events;
         any_misevaluation |= bad;
     }
-    assert!(total_events > 0, "no bipolar events on any stripped circuit");
+    assert!(
+        total_events > 0,
+        "no bipolar events on any stripped circuit"
+    );
     assert!(
         any_misevaluation,
         "bipolar events fired but never corrupted an output"
@@ -105,7 +108,7 @@ fn protection_reduces_hysteresis_exposure() {
     let stripped = strip_protection(&mapped.circuit);
 
     let exposure = |circuit: &DominoCircuit| -> u64 {
-        let mut sim = BodySimulator::new(circuit, BodySimConfig::default());
+        let mut sim = BodySimulator::new(circuit, BodySimConfig::default()).expect("valid circuit");
         let mut rng = SmallRng::seed_from_u64(77);
         let inputs = circuit.input_names().len();
         for _ in 0..30 {
@@ -130,7 +133,9 @@ fn fewer_discharge_transistors_same_protection() {
     // The SOI mapping protects with far fewer clock-loading devices; the
     // simulator confirms the protection is equivalent under stress.
     let network = registry::benchmark("b9").expect("registered");
-    let base = Mapper::baseline(MapConfig::default()).run(&network).unwrap();
+    let base = Mapper::baseline(MapConfig::default())
+        .run(&network)
+        .unwrap();
     let soi = Mapper::soi(MapConfig::default()).run(&network).unwrap();
     assert!(soi.counts.discharge < base.counts.discharge);
     let (bad_base, ev_base) = stress(&base.circuit, 31, 10);

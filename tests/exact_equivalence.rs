@@ -2,8 +2,8 @@
 //! functions stay tractable — a stronger statement than the random-vector
 //! checks used elsewhere.
 
-use soi_domino::domino::{DominoCircuit, Signal};
 use soi_domino::circuits::registry;
+use soi_domino::domino::{DominoCircuit, Signal};
 use soi_domino::mapper::{MapConfig, Mapper};
 use soi_domino::netlist::{bdd, Network};
 use soi_domino::unate::{convert, Options};
@@ -25,7 +25,11 @@ fn circuit_to_network(circuit: &DominoCircuit) -> Network {
     }
     for binding in circuit.outputs() {
         let driver = gate_out[binding.gate.index()];
-        let driver = if binding.inverted { n.inv(driver) } else { driver };
+        let driver = if binding.inverted {
+            n.inv(driver)
+        } else {
+            driver
+        };
         n.add_output(binding.name.clone(), driver);
     }
     n

@@ -12,7 +12,9 @@ fn tied_off_enable_prunes_everything_behind_it() {
     // through the enable can ever charge an internal junction of the
     // gated cone.
     let network = registry::benchmark("cm150").expect("registered");
-    let mapped = Mapper::baseline(MapConfig::default()).run(&network).unwrap();
+    let mapped = Mapper::baseline(MapConfig::default())
+        .run(&network)
+        .unwrap();
     let mut circuit = mapped.circuit;
     let before = circuit.counts().discharge;
     assert!(before > 0, "baseline cm150 should need protection");
@@ -56,7 +58,9 @@ fn unconstrained_pruning_never_removes_needed_protection() {
 #[test]
 fn pruned_circuit_still_computes_the_function() {
     let network = registry::benchmark("cm150").expect("registered");
-    let mapped = Mapper::baseline(MapConfig::default()).run(&network).unwrap();
+    let mapped = Mapper::baseline(MapConfig::default())
+        .run(&network)
+        .unwrap();
     let mut circuit = mapped.circuit;
     let en_index = circuit
         .input_names()
@@ -75,9 +79,6 @@ fn pruned_circuit_still_computes_the_function() {
     let mut rng = SmallRng::seed_from_u64(404);
     for _ in 0..32 {
         let v: Vec<bool> = (0..network.inputs().len()).map(|_| rng.gen()).collect();
-        assert_eq!(
-            circuit.evaluate(&v).unwrap(),
-            network.simulate(&v).unwrap()
-        );
+        assert_eq!(circuit.evaluate(&v).unwrap(), network.simulate(&v).unwrap());
     }
 }

@@ -40,7 +40,9 @@ fn check_equivalent(network: &Network, mapper: &Mapper, vectors: usize, seed: u6
 
 #[test]
 fn small_benchmarks_map_equivalently_under_all_algorithms() {
-    for name in ["cm150", "mux", "z4ml", "cordic", "frg1", "b9", "9symml", "c432"] {
+    for name in [
+        "cm150", "mux", "z4ml", "cordic", "frg1", "b9", "9symml", "c432",
+    ] {
         let network = registry::benchmark(name).expect("registered");
         for mapper in mappers() {
             check_equivalent(&network, &mapper, 40, 0xE0 + name.len() as u64);
@@ -78,7 +80,9 @@ fn every_algorithm_produces_pbe_safe_circuits() {
 fn soi_never_overprotects() {
     for name in ["cm150", "b9", "c432", "frg1"] {
         let network = registry::benchmark(name).expect("registered");
-        let result = Mapper::soi(MapConfig::default()).run(&network).expect("maps");
+        let result = Mapper::soi(MapConfig::default())
+            .run(&network)
+            .expect("maps");
         assert!(
             hazard::redundant_discharge(&result.circuit).is_empty(),
             "{name}: SOI attached unnecessary discharge transistors"
@@ -106,7 +110,9 @@ fn counts_are_internally_consistent() {
 fn ordering_of_algorithms_on_discharge() {
     for name in ["cm150", "z4ml", "frg1", "b9", "apex7", "c432"] {
         let network = registry::benchmark(name).expect("registered");
-        let base = Mapper::baseline(MapConfig::default()).run(&network).unwrap();
+        let base = Mapper::baseline(MapConfig::default())
+            .run(&network)
+            .unwrap();
         let rs = Mapper::rearrange_stacks(MapConfig::default())
             .run(&network)
             .unwrap();
@@ -168,9 +174,7 @@ fn blif_roundtrip_through_the_full_flow() {
     let network = registry::benchmark("z4ml").expect("registered");
     let text = soi_domino::netlist::blif::write(&network);
     let parsed = soi_domino::netlist::blif::parse(&text).expect("parses");
-    assert!(
-        soi_domino::netlist::sim::random_equivalent(&network, &parsed, 16, 5).unwrap()
-    );
+    assert!(soi_domino::netlist::sim::random_equivalent(&network, &parsed, 16, 5).unwrap());
     let via_blif = Mapper::soi(MapConfig::default()).run(&parsed).unwrap();
     assert!(hazard::is_safe(&via_blif.circuit));
     check_equivalent(&parsed, &Mapper::soi(MapConfig::default()), 32, 0xB11F);

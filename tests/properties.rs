@@ -18,7 +18,11 @@ struct GateRecipe {
 }
 
 fn gate_recipe() -> impl Strategy<Value = GateRecipe> {
-    (0u8..7, any::<prop::sample::Index>(), any::<prop::sample::Index>())
+    (
+        0u8..7,
+        any::<prop::sample::Index>(),
+        any::<prop::sample::Index>(),
+    )
         .prop_map(|(op, a, b)| GateRecipe { op, a, b })
 }
 
@@ -269,7 +273,7 @@ proptest! {
         let graph = pdn.flatten();
         let nets = graph.net_count();
         let mut parent: Vec<usize> = (0..nets).collect();
-        fn find(p: &mut Vec<usize>, mut x: usize) -> usize {
+        fn find(p: &mut [usize], mut x: usize) -> usize {
             while p[x] != x {
                 p[x] = p[p[x]];
                 x = p[x];
@@ -285,5 +289,42 @@ proptest! {
         }
         let connected = find(&mut parent, 0) == find(&mut parent, 1);
         prop_assert_eq!(tree, connected);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Seeded byte- and line-level mutations of a well-formed BLIF file
+    /// never panic the parser, and whenever the parser still says `Ok`,
+    /// the network it hands back passes validation. (The same mutators are
+    /// exercised deterministically in `tests/guard_injection.rs`; here the
+    /// *inputs* are also randomized.)
+    #[test]
+    fn blif_parser_survives_mutation(
+        inputs in 2usize..6,
+        recipes in prop::collection::vec(gate_recipe(), 1..24),
+        seed in any::<u64>(),
+        mode in 0u8..4,
+    ) {
+        use soi_domino::guard::inject;
+        use soi_domino::netlist::blif;
+
+        let n = build_network(inputs, &recipes, 2);
+        let bytes = blif::write(&n).into_bytes();
+        let mutated = match mode {
+            0 => inject::truncate_blif(&bytes, seed),
+            1 => inject::garble_blif(&bytes, seed),
+            2 => inject::drop_blif_line(&bytes, seed),
+            _ => inject::swap_blif_lines(&bytes, seed),
+        };
+        if let Some(m) = mutated {
+            prop_assert_ne!(&m, &bytes, "a mutator must change the bytes");
+            let text = String::from_utf8_lossy(&m);
+            if let Ok(parsed) = blif::parse(&text) {
+                prop_assert!(parsed.validate().is_ok(),
+                    "an Ok parse must be a valid network");
+            }
+        }
     }
 }

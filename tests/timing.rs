@@ -42,7 +42,9 @@ fn fewer_discharge_devices_means_less_delay_at_equal_structure() {
     // discharge savings of RS must show up as (weakly) shorter delays.
     for name in ["cm150", "frg1", "c432"] {
         let network = registry::benchmark(name).expect("registered");
-        let base = Mapper::baseline(MapConfig::default()).run(&network).unwrap();
+        let base = Mapper::baseline(MapConfig::default())
+            .run(&network)
+            .unwrap();
         let rs = Mapper::rearrange_stacks(MapConfig::default())
             .run(&network)
             .unwrap();
