@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bodysim_validation-e205f9c70155ab7b.d: tests/bodysim_validation.rs
+
+/root/repo/target/debug/deps/bodysim_validation-e205f9c70155ab7b: tests/bodysim_validation.rs
+
+tests/bodysim_validation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exact_equivalence-35120ed1e6e56236.d: tests/exact_equivalence.rs
+
+/root/repo/target/debug/deps/exact_equivalence-35120ed1e6e56236: tests/exact_equivalence.rs
+
+tests/exact_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/excite_integration-86b5bb4f18ff1b7d.d: tests/excite_integration.rs
+
+/root/repo/target/debug/deps/excite_integration-86b5bb4f18ff1b7d: tests/excite_integration.rs
+
+tests/excite_integration.rs:

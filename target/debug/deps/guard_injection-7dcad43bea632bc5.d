@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/guard_injection-7dcad43bea632bc5.d: tests/guard_injection.rs
+
+/root/repo/target/debug/deps/guard_injection-7dcad43bea632bc5: tests/guard_injection.rs
+
+tests/guard_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-1e963724d960822b.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-1e963724d960822b: tests/pipeline.rs
+
+tests/pipeline.rs:

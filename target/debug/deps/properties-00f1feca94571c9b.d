@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-00f1feca94571c9b.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-00f1feca94571c9b: tests/properties.rs
+
+tests/properties.rs:

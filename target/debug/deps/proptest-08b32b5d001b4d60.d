@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-08b32b5d001b4d60.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-08b32b5d001b4d60.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-08b32b5d001b4d60.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-7361e184d77f168e.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-7361e184d77f168e.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-7361e184d77f168e.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

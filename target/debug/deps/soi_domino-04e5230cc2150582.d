@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/soi_domino-04e5230cc2150582.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsoi_domino-04e5230cc2150582.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsoi_domino-04e5230cc2150582.rmeta: src/lib.rs
+
+src/lib.rs:

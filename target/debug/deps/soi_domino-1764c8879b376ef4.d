@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/soi_domino-1764c8879b376ef4.d: src/main.rs
+
+/root/repo/target/debug/deps/soi_domino-1764c8879b376ef4: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/soi_domino-5632979792b0c901.d: src/lib.rs
+
+/root/repo/target/debug/deps/soi_domino-5632979792b0c901: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/soi_domino-95c37ada56b114c0.d: src/main.rs
+
+/root/repo/target/debug/deps/soi_domino-95c37ada56b114c0: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/soi_domino_ir-bc8299902fe4ef53.d: crates/domino/src/lib.rs crates/domino/src/circuit.rs crates/domino/src/count.rs crates/domino/src/error.rs crates/domino/src/export.rs crates/domino/src/gate.rs crates/domino/src/pdn.rs crates/domino/src/timing.rs
+
+/root/repo/target/debug/deps/libsoi_domino_ir-bc8299902fe4ef53.rlib: crates/domino/src/lib.rs crates/domino/src/circuit.rs crates/domino/src/count.rs crates/domino/src/error.rs crates/domino/src/export.rs crates/domino/src/gate.rs crates/domino/src/pdn.rs crates/domino/src/timing.rs
+
+/root/repo/target/debug/deps/libsoi_domino_ir-bc8299902fe4ef53.rmeta: crates/domino/src/lib.rs crates/domino/src/circuit.rs crates/domino/src/count.rs crates/domino/src/error.rs crates/domino/src/export.rs crates/domino/src/gate.rs crates/domino/src/pdn.rs crates/domino/src/timing.rs
+
+crates/domino/src/lib.rs:
+crates/domino/src/circuit.rs:
+crates/domino/src/count.rs:
+crates/domino/src/error.rs:
+crates/domino/src/export.rs:
+crates/domino/src/gate.rs:
+crates/domino/src/pdn.rs:
+crates/domino/src/timing.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/soi_guard-e696dcefcbd9cc6d.d: crates/guard/src/lib.rs crates/guard/src/audit.rs crates/guard/src/inject.rs crates/guard/src/pipeline.rs
+
+/root/repo/target/debug/deps/libsoi_guard-e696dcefcbd9cc6d.rlib: crates/guard/src/lib.rs crates/guard/src/audit.rs crates/guard/src/inject.rs crates/guard/src/pipeline.rs
+
+/root/repo/target/debug/deps/libsoi_guard-e696dcefcbd9cc6d.rmeta: crates/guard/src/lib.rs crates/guard/src/audit.rs crates/guard/src/inject.rs crates/guard/src/pipeline.rs
+
+crates/guard/src/lib.rs:
+crates/guard/src/audit.rs:
+crates/guard/src/inject.rs:
+crates/guard/src/pipeline.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/soi_mapper-f2ebdefbbf54bbe9.d: crates/mapper/src/lib.rs crates/mapper/src/baseline.rs crates/mapper/src/config.rs crates/mapper/src/cost.rs crates/mapper/src/dp.rs crates/mapper/src/error.rs crates/mapper/src/map.rs crates/mapper/src/reconstruct.rs crates/mapper/src/report.rs crates/mapper/src/soi.rs crates/mapper/src/tuple.rs
+
+/root/repo/target/debug/deps/libsoi_mapper-f2ebdefbbf54bbe9.rlib: crates/mapper/src/lib.rs crates/mapper/src/baseline.rs crates/mapper/src/config.rs crates/mapper/src/cost.rs crates/mapper/src/dp.rs crates/mapper/src/error.rs crates/mapper/src/map.rs crates/mapper/src/reconstruct.rs crates/mapper/src/report.rs crates/mapper/src/soi.rs crates/mapper/src/tuple.rs
+
+/root/repo/target/debug/deps/libsoi_mapper-f2ebdefbbf54bbe9.rmeta: crates/mapper/src/lib.rs crates/mapper/src/baseline.rs crates/mapper/src/config.rs crates/mapper/src/cost.rs crates/mapper/src/dp.rs crates/mapper/src/error.rs crates/mapper/src/map.rs crates/mapper/src/reconstruct.rs crates/mapper/src/report.rs crates/mapper/src/soi.rs crates/mapper/src/tuple.rs
+
+crates/mapper/src/lib.rs:
+crates/mapper/src/baseline.rs:
+crates/mapper/src/config.rs:
+crates/mapper/src/cost.rs:
+crates/mapper/src/dp.rs:
+crates/mapper/src/error.rs:
+crates/mapper/src/map.rs:
+crates/mapper/src/reconstruct.rs:
+crates/mapper/src/report.rs:
+crates/mapper/src/soi.rs:
+crates/mapper/src/tuple.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/soi_netlist-1f307077245acc37.d: crates/netlist/src/lib.rs crates/netlist/src/bdd.rs crates/netlist/src/blif.rs crates/netlist/src/builder.rs crates/netlist/src/cone.rs crates/netlist/src/dot.rs crates/netlist/src/error.rs crates/netlist/src/id.rs crates/netlist/src/network.rs crates/netlist/src/node.rs crates/netlist/src/restructure.rs crates/netlist/src/sim.rs crates/netlist/src/stats.rs crates/netlist/src/topo.rs
+
+/root/repo/target/debug/deps/libsoi_netlist-1f307077245acc37.rlib: crates/netlist/src/lib.rs crates/netlist/src/bdd.rs crates/netlist/src/blif.rs crates/netlist/src/builder.rs crates/netlist/src/cone.rs crates/netlist/src/dot.rs crates/netlist/src/error.rs crates/netlist/src/id.rs crates/netlist/src/network.rs crates/netlist/src/node.rs crates/netlist/src/restructure.rs crates/netlist/src/sim.rs crates/netlist/src/stats.rs crates/netlist/src/topo.rs
+
+/root/repo/target/debug/deps/libsoi_netlist-1f307077245acc37.rmeta: crates/netlist/src/lib.rs crates/netlist/src/bdd.rs crates/netlist/src/blif.rs crates/netlist/src/builder.rs crates/netlist/src/cone.rs crates/netlist/src/dot.rs crates/netlist/src/error.rs crates/netlist/src/id.rs crates/netlist/src/network.rs crates/netlist/src/node.rs crates/netlist/src/restructure.rs crates/netlist/src/sim.rs crates/netlist/src/stats.rs crates/netlist/src/topo.rs
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/bdd.rs:
+crates/netlist/src/blif.rs:
+crates/netlist/src/builder.rs:
+crates/netlist/src/cone.rs:
+crates/netlist/src/dot.rs:
+crates/netlist/src/error.rs:
+crates/netlist/src/id.rs:
+crates/netlist/src/network.rs:
+crates/netlist/src/node.rs:
+crates/netlist/src/restructure.rs:
+crates/netlist/src/sim.rs:
+crates/netlist/src/stats.rs:
+crates/netlist/src/topo.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/soi_pbe-389c15b205e3d023.d: crates/pbe/src/lib.rs crates/pbe/src/bodysim.rs crates/pbe/src/error.rs crates/pbe/src/excite.rs crates/pbe/src/hazard.rs crates/pbe/src/points.rs crates/pbe/src/postprocess.rs crates/pbe/src/rearrange.rs
+
+/root/repo/target/debug/deps/libsoi_pbe-389c15b205e3d023.rlib: crates/pbe/src/lib.rs crates/pbe/src/bodysim.rs crates/pbe/src/error.rs crates/pbe/src/excite.rs crates/pbe/src/hazard.rs crates/pbe/src/points.rs crates/pbe/src/postprocess.rs crates/pbe/src/rearrange.rs
+
+/root/repo/target/debug/deps/libsoi_pbe-389c15b205e3d023.rmeta: crates/pbe/src/lib.rs crates/pbe/src/bodysim.rs crates/pbe/src/error.rs crates/pbe/src/excite.rs crates/pbe/src/hazard.rs crates/pbe/src/points.rs crates/pbe/src/postprocess.rs crates/pbe/src/rearrange.rs
+
+crates/pbe/src/lib.rs:
+crates/pbe/src/bodysim.rs:
+crates/pbe/src/error.rs:
+crates/pbe/src/excite.rs:
+crates/pbe/src/hazard.rs:
+crates/pbe/src/points.rs:
+crates/pbe/src/postprocess.rs:
+crates/pbe/src/rearrange.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/soi_unate-250bd34a0ef541d6.d: crates/unate/src/lib.rs crates/unate/src/convert.rs crates/unate/src/error.rs crates/unate/src/network.rs crates/unate/src/verify.rs
+
+/root/repo/target/debug/deps/libsoi_unate-250bd34a0ef541d6.rlib: crates/unate/src/lib.rs crates/unate/src/convert.rs crates/unate/src/error.rs crates/unate/src/network.rs crates/unate/src/verify.rs
+
+/root/repo/target/debug/deps/libsoi_unate-250bd34a0ef541d6.rmeta: crates/unate/src/lib.rs crates/unate/src/convert.rs crates/unate/src/error.rs crates/unate/src/network.rs crates/unate/src/verify.rs
+
+crates/unate/src/lib.rs:
+crates/unate/src/convert.rs:
+crates/unate/src/error.rs:
+crates/unate/src/network.rs:
+crates/unate/src/verify.rs:

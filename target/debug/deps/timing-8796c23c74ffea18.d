@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/timing-8796c23c74ffea18.d: tests/timing.rs
+
+/root/repo/target/debug/deps/timing-8796c23c74ffea18: tests/timing.rs
+
+tests/timing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/blif_flow-662254ee8c1f2e41.d: examples/blif_flow.rs
+
+/root/repo/target/debug/examples/blif_flow-662254ee8c1f2e41: examples/blif_flow.rs
+
+examples/blif_flow.rs:

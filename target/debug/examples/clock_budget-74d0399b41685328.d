@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/clock_budget-74d0399b41685328.d: examples/clock_budget.rs
+
+/root/repo/target/debug/examples/clock_budget-74d0399b41685328: examples/clock_budget.rs
+
+examples/clock_budget.rs:

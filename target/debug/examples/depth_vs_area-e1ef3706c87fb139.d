@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/depth_vs_area-e1ef3706c87fb139.d: examples/depth_vs_area.rs
+
+/root/repo/target/debug/examples/depth_vs_area-e1ef3706c87fb139: examples/depth_vs_area.rs
+
+examples/depth_vs_area.rs:

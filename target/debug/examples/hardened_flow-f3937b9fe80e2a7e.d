@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hardened_flow-f3937b9fe80e2a7e.d: examples/hardened_flow.rs
+
+/root/repo/target/debug/examples/hardened_flow-f3937b9fe80e2a7e: examples/hardened_flow.rs
+
+examples/hardened_flow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pbe_demo-33ac2bdb1ecf066d.d: examples/pbe_demo.rs
+
+/root/repo/target/debug/examples/pbe_demo-33ac2bdb1ecf066d: examples/pbe_demo.rs
+
+examples/pbe_demo.rs:

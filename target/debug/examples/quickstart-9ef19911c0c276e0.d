@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-9ef19911c0c276e0.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-9ef19911c0c276e0: examples/quickstart.rs
+
+examples/quickstart.rs:

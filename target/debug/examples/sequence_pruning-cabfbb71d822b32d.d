@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sequence_pruning-cabfbb71d822b32d.d: examples/sequence_pruning.rs
+
+/root/repo/target/debug/examples/sequence_pruning-cabfbb71d822b32d: examples/sequence_pruning.rs
+
+examples/sequence_pruning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-2e7ce6c611667cce.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-2e7ce6c611667cce: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

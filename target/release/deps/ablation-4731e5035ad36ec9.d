@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-4731e5035ad36ec9.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-4731e5035ad36ec9: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

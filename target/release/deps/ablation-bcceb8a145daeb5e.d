@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-bcceb8a145daeb5e.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-bcceb8a145daeb5e: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

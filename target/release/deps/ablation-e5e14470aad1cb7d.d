@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-e5e14470aad1cb7d.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-e5e14470aad1cb7d: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bodysim_validation-6f782d1e989ad60b.d: tests/bodysim_validation.rs
+
+/root/repo/target/release/deps/bodysim_validation-6f782d1e989ad60b: tests/bodysim_validation.rs
+
+tests/bodysim_validation.rs:

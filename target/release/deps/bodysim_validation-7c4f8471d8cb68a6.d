@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bodysim_validation-7c4f8471d8cb68a6.d: tests/bodysim_validation.rs Cargo.toml
+
+/root/repo/target/release/deps/libbodysim_validation-7c4f8471d8cb68a6.rmeta: tests/bodysim_validation.rs Cargo.toml
+
+tests/bodysim_validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bodysim_validation-f782b47d11defc80.d: tests/bodysim_validation.rs
+
+/root/repo/target/release/deps/bodysim_validation-f782b47d11defc80: tests/bodysim_validation.rs
+
+tests/bodysim_validation.rs:

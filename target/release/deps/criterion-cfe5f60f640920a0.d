@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/criterion-cfe5f60f640920a0.d: vendor/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libcriterion-cfe5f60f640920a0.rmeta: vendor/criterion/src/lib.rs Cargo.toml
+
+vendor/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exact_equivalence-03a8c22d94a211b3.d: tests/exact_equivalence.rs
+
+/root/repo/target/release/deps/exact_equivalence-03a8c22d94a211b3: tests/exact_equivalence.rs
+
+tests/exact_equivalence.rs:

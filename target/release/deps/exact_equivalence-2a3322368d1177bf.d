@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/exact_equivalence-2a3322368d1177bf.d: tests/exact_equivalence.rs Cargo.toml
+
+/root/repo/target/release/deps/libexact_equivalence-2a3322368d1177bf.rmeta: tests/exact_equivalence.rs Cargo.toml
+
+tests/exact_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exact_equivalence-fa0ea385f32e7173.d: tests/exact_equivalence.rs
+
+/root/repo/target/release/deps/exact_equivalence-fa0ea385f32e7173: tests/exact_equivalence.rs
+
+tests/exact_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/excite_integration-04f47140d74f9b37.d: tests/excite_integration.rs
+
+/root/repo/target/release/deps/excite_integration-04f47140d74f9b37: tests/excite_integration.rs
+
+tests/excite_integration.rs:

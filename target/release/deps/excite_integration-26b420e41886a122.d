@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/excite_integration-26b420e41886a122.d: tests/excite_integration.rs Cargo.toml
+
+/root/repo/target/release/deps/libexcite_integration-26b420e41886a122.rmeta: tests/excite_integration.rs Cargo.toml
+
+tests/excite_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/excite_integration-fe20c3f81223c6cb.d: tests/excite_integration.rs
+
+/root/repo/target/release/deps/excite_integration-fe20c3f81223c6cb: tests/excite_integration.rs
+
+tests/excite_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/guard_injection-b99f27355ece7b90.d: tests/guard_injection.rs
+
+/root/repo/target/release/deps/guard_injection-b99f27355ece7b90: tests/guard_injection.rs
+
+tests/guard_injection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/guard_injection-dcb2832c2d45a89e.d: tests/guard_injection.rs Cargo.toml
+
+/root/repo/target/release/deps/libguard_injection-dcb2832c2d45a89e.rmeta: tests/guard_injection.rs Cargo.toml
+
+tests/guard_injection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

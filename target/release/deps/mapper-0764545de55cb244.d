@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/mapper-0764545de55cb244.d: crates/bench/benches/mapper.rs Cargo.toml
+
+/root/repo/target/release/deps/libmapper-0764545de55cb244.rmeta: crates/bench/benches/mapper.rs Cargo.toml
+
+crates/bench/benches/mapper.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/pipeline-393e832a4cdde452.d: tests/pipeline.rs Cargo.toml
+
+/root/repo/target/release/deps/libpipeline-393e832a4cdde452.rmeta: tests/pipeline.rs Cargo.toml
+
+tests/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

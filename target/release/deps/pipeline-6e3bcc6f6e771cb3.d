@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipeline-6e3bcc6f6e771cb3.d: tests/pipeline.rs
+
+/root/repo/target/release/deps/pipeline-6e3bcc6f6e771cb3: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipeline-f1d192a2382eb3a5.d: tests/pipeline.rs
+
+/root/repo/target/release/deps/pipeline-f1d192a2382eb3a5: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/properties-2a0c87dfb5cb8a28.d: tests/properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperties-2a0c87dfb5cb8a28.rmeta: tests/properties.rs Cargo.toml
+
+tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

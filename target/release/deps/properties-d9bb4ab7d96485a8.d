@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-d9bb4ab7d96485a8.d: tests/properties.rs
+
+/root/repo/target/release/deps/properties-d9bb4ab7d96485a8: tests/properties.rs
+
+tests/properties.rs:

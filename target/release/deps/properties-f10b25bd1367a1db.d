@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-f10b25bd1367a1db.d: tests/properties.rs
+
+/root/repo/target/release/deps/properties-f10b25bd1367a1db: tests/properties.rs
+
+tests/properties.rs:

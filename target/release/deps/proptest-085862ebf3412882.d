@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-085862ebf3412882.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-085862ebf3412882.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-085862ebf3412882.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-da81ba752817d665.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-da81ba752817d665: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

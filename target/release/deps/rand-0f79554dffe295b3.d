@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rand-0f79554dffe295b3.d: vendor/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/librand-0f79554dffe295b3.rmeta: vendor/rand/src/lib.rs Cargo.toml
+
+vendor/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

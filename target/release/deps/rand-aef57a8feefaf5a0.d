@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-aef57a8feefaf5a0.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-aef57a8feefaf5a0: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rand-e8334af4ca2e9d67.d: vendor/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/librand-e8334af4ca2e9d67.rmeta: vendor/rand/src/lib.rs Cargo.toml
+
+vendor/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/soi_bench-1477bf1ab4800183.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/paper.rs
+
+/root/repo/target/release/deps/soi_bench-1477bf1ab4800183: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/paper.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/paper.rs:

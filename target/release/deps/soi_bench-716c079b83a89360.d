@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/soi_bench-716c079b83a89360.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/paper.rs Cargo.toml
+
+/root/repo/target/release/deps/libsoi_bench-716c079b83a89360.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/paper.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/paper.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

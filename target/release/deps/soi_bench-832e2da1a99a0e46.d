@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/soi_bench-832e2da1a99a0e46.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/paper.rs
+
+/root/repo/target/release/deps/libsoi_bench-832e2da1a99a0e46.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/paper.rs
+
+/root/repo/target/release/deps/libsoi_bench-832e2da1a99a0e46.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/paper.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/paper.rs:

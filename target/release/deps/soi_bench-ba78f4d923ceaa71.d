@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/soi_bench-ba78f4d923ceaa71.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/paper.rs
+
+/root/repo/target/release/deps/libsoi_bench-ba78f4d923ceaa71.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/paper.rs
+
+/root/repo/target/release/deps/libsoi_bench-ba78f4d923ceaa71.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/paper.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/paper.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/soi_bench-eb59f912103e6657.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/paper.rs
+
+/root/repo/target/release/deps/soi_bench-eb59f912103e6657: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/paper.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/paper.rs:

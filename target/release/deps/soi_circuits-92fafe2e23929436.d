@@ -1,0 +1,29 @@
+/root/repo/target/release/deps/soi_circuits-92fafe2e23929436.d: crates/circuits/src/lib.rs crates/circuits/src/arith/mod.rs crates/circuits/src/arith/adder.rs crates/circuits/src/arith/alu.rs crates/circuits/src/arith/comparator.rs crates/circuits/src/arith/multiplier.rs crates/circuits/src/code/mod.rs crates/circuits/src/code/des.rs crates/circuits/src/code/hamming.rs crates/circuits/src/code/parity.rs crates/circuits/src/misc/mod.rs crates/circuits/src/misc/cordic.rs crates/circuits/src/misc/counter.rs crates/circuits/src/misc/random.rs crates/circuits/src/misc/symmetric.rs crates/circuits/src/registry.rs crates/circuits/src/select/mod.rs crates/circuits/src/select/decoder.rs crates/circuits/src/select/mux.rs crates/circuits/src/select/priority.rs crates/circuits/src/select/rotate.rs Cargo.toml
+
+/root/repo/target/release/deps/libsoi_circuits-92fafe2e23929436.rmeta: crates/circuits/src/lib.rs crates/circuits/src/arith/mod.rs crates/circuits/src/arith/adder.rs crates/circuits/src/arith/alu.rs crates/circuits/src/arith/comparator.rs crates/circuits/src/arith/multiplier.rs crates/circuits/src/code/mod.rs crates/circuits/src/code/des.rs crates/circuits/src/code/hamming.rs crates/circuits/src/code/parity.rs crates/circuits/src/misc/mod.rs crates/circuits/src/misc/cordic.rs crates/circuits/src/misc/counter.rs crates/circuits/src/misc/random.rs crates/circuits/src/misc/symmetric.rs crates/circuits/src/registry.rs crates/circuits/src/select/mod.rs crates/circuits/src/select/decoder.rs crates/circuits/src/select/mux.rs crates/circuits/src/select/priority.rs crates/circuits/src/select/rotate.rs Cargo.toml
+
+crates/circuits/src/lib.rs:
+crates/circuits/src/arith/mod.rs:
+crates/circuits/src/arith/adder.rs:
+crates/circuits/src/arith/alu.rs:
+crates/circuits/src/arith/comparator.rs:
+crates/circuits/src/arith/multiplier.rs:
+crates/circuits/src/code/mod.rs:
+crates/circuits/src/code/des.rs:
+crates/circuits/src/code/hamming.rs:
+crates/circuits/src/code/parity.rs:
+crates/circuits/src/misc/mod.rs:
+crates/circuits/src/misc/cordic.rs:
+crates/circuits/src/misc/counter.rs:
+crates/circuits/src/misc/random.rs:
+crates/circuits/src/misc/symmetric.rs:
+crates/circuits/src/registry.rs:
+crates/circuits/src/select/mod.rs:
+crates/circuits/src/select/decoder.rs:
+crates/circuits/src/select/mux.rs:
+crates/circuits/src/select/priority.rs:
+crates/circuits/src/select/rotate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

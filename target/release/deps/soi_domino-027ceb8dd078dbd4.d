@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/soi_domino-027ceb8dd078dbd4.d: src/lib.rs
+
+/root/repo/target/release/deps/soi_domino-027ceb8dd078dbd4: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/soi_domino-0aecfd9432e94430.d: src/main.rs Cargo.toml
+
+/root/repo/target/release/deps/libsoi_domino-0aecfd9432e94430.rmeta: src/main.rs Cargo.toml
+
+src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

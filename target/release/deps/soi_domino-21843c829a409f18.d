@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/soi_domino-21843c829a409f18.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libsoi_domino-21843c829a409f18.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

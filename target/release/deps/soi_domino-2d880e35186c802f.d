@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/soi_domino-2d880e35186c802f.d: src/main.rs Cargo.toml
+
+/root/repo/target/release/deps/libsoi_domino-2d880e35186c802f.rmeta: src/main.rs Cargo.toml
+
+src/main.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

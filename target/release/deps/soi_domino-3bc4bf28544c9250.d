@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/soi_domino-3bc4bf28544c9250.d: src/main.rs
+
+/root/repo/target/release/deps/soi_domino-3bc4bf28544c9250: src/main.rs
+
+src/main.rs:

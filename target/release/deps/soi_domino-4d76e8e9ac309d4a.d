@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/soi_domino-4d76e8e9ac309d4a.d: src/main.rs
+
+/root/repo/target/release/deps/soi_domino-4d76e8e9ac309d4a: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/soi_domino-93e63cbc5bb670fa.d: src/main.rs
+
+/root/repo/target/release/deps/soi_domino-93e63cbc5bb670fa: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/soi_domino-b2e00fc5ef21ad50.d: src/lib.rs
+
+/root/repo/target/release/deps/libsoi_domino-b2e00fc5ef21ad50.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libsoi_domino-b2e00fc5ef21ad50.rmeta: src/lib.rs
+
+src/lib.rs:

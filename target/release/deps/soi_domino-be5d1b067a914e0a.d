@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/soi_domino-be5d1b067a914e0a.d: src/lib.rs
+
+/root/repo/target/release/deps/soi_domino-be5d1b067a914e0a: src/lib.rs
+
+src/lib.rs:

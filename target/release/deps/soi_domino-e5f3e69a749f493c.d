@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/soi_domino-e5f3e69a749f493c.d: src/main.rs
+
+/root/repo/target/release/deps/soi_domino-e5f3e69a749f493c: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/soi_domino-ed5b5b0705257f5f.d: src/lib.rs
+
+/root/repo/target/release/deps/libsoi_domino-ed5b5b0705257f5f.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libsoi_domino-ed5b5b0705257f5f.rmeta: src/lib.rs
+
+src/lib.rs:

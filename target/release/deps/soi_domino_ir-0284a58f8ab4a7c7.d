@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/soi_domino_ir-0284a58f8ab4a7c7.d: crates/domino/src/lib.rs crates/domino/src/circuit.rs crates/domino/src/count.rs crates/domino/src/error.rs crates/domino/src/export.rs crates/domino/src/gate.rs crates/domino/src/pdn.rs crates/domino/src/timing.rs
+
+/root/repo/target/release/deps/soi_domino_ir-0284a58f8ab4a7c7: crates/domino/src/lib.rs crates/domino/src/circuit.rs crates/domino/src/count.rs crates/domino/src/error.rs crates/domino/src/export.rs crates/domino/src/gate.rs crates/domino/src/pdn.rs crates/domino/src/timing.rs
+
+crates/domino/src/lib.rs:
+crates/domino/src/circuit.rs:
+crates/domino/src/count.rs:
+crates/domino/src/error.rs:
+crates/domino/src/export.rs:
+crates/domino/src/gate.rs:
+crates/domino/src/pdn.rs:
+crates/domino/src/timing.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/soi_domino_ir-8b39f8915888df6f.d: crates/domino/src/lib.rs crates/domino/src/circuit.rs crates/domino/src/count.rs crates/domino/src/error.rs crates/domino/src/export.rs crates/domino/src/gate.rs crates/domino/src/pdn.rs crates/domino/src/timing.rs Cargo.toml
+
+/root/repo/target/release/deps/libsoi_domino_ir-8b39f8915888df6f.rmeta: crates/domino/src/lib.rs crates/domino/src/circuit.rs crates/domino/src/count.rs crates/domino/src/error.rs crates/domino/src/export.rs crates/domino/src/gate.rs crates/domino/src/pdn.rs crates/domino/src/timing.rs Cargo.toml
+
+crates/domino/src/lib.rs:
+crates/domino/src/circuit.rs:
+crates/domino/src/count.rs:
+crates/domino/src/error.rs:
+crates/domino/src/export.rs:
+crates/domino/src/gate.rs:
+crates/domino/src/pdn.rs:
+crates/domino/src/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/soi_domino_ir-c88a7f0a9ef9503f.d: crates/domino/src/lib.rs crates/domino/src/circuit.rs crates/domino/src/count.rs crates/domino/src/error.rs crates/domino/src/export.rs crates/domino/src/gate.rs crates/domino/src/pdn.rs crates/domino/src/timing.rs Cargo.toml
+
+/root/repo/target/release/deps/libsoi_domino_ir-c88a7f0a9ef9503f.rmeta: crates/domino/src/lib.rs crates/domino/src/circuit.rs crates/domino/src/count.rs crates/domino/src/error.rs crates/domino/src/export.rs crates/domino/src/gate.rs crates/domino/src/pdn.rs crates/domino/src/timing.rs Cargo.toml
+
+crates/domino/src/lib.rs:
+crates/domino/src/circuit.rs:
+crates/domino/src/count.rs:
+crates/domino/src/error.rs:
+crates/domino/src/export.rs:
+crates/domino/src/gate.rs:
+crates/domino/src/pdn.rs:
+crates/domino/src/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/soi_domino_ir-ca146eba05d13fe2.d: crates/domino/src/lib.rs crates/domino/src/circuit.rs crates/domino/src/count.rs crates/domino/src/error.rs crates/domino/src/export.rs crates/domino/src/gate.rs crates/domino/src/pdn.rs crates/domino/src/timing.rs
+
+/root/repo/target/release/deps/libsoi_domino_ir-ca146eba05d13fe2.rlib: crates/domino/src/lib.rs crates/domino/src/circuit.rs crates/domino/src/count.rs crates/domino/src/error.rs crates/domino/src/export.rs crates/domino/src/gate.rs crates/domino/src/pdn.rs crates/domino/src/timing.rs
+
+/root/repo/target/release/deps/libsoi_domino_ir-ca146eba05d13fe2.rmeta: crates/domino/src/lib.rs crates/domino/src/circuit.rs crates/domino/src/count.rs crates/domino/src/error.rs crates/domino/src/export.rs crates/domino/src/gate.rs crates/domino/src/pdn.rs crates/domino/src/timing.rs
+
+crates/domino/src/lib.rs:
+crates/domino/src/circuit.rs:
+crates/domino/src/count.rs:
+crates/domino/src/error.rs:
+crates/domino/src/export.rs:
+crates/domino/src/gate.rs:
+crates/domino/src/pdn.rs:
+crates/domino/src/timing.rs:

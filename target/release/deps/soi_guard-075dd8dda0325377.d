@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/soi_guard-075dd8dda0325377.d: crates/guard/src/lib.rs crates/guard/src/audit.rs crates/guard/src/inject.rs crates/guard/src/pipeline.rs
+
+/root/repo/target/release/deps/soi_guard-075dd8dda0325377: crates/guard/src/lib.rs crates/guard/src/audit.rs crates/guard/src/inject.rs crates/guard/src/pipeline.rs
+
+crates/guard/src/lib.rs:
+crates/guard/src/audit.rs:
+crates/guard/src/inject.rs:
+crates/guard/src/pipeline.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/soi_guard-34511a699fd5684e.d: crates/guard/src/lib.rs crates/guard/src/audit.rs crates/guard/src/inject.rs crates/guard/src/pipeline.rs Cargo.toml
+
+/root/repo/target/release/deps/libsoi_guard-34511a699fd5684e.rmeta: crates/guard/src/lib.rs crates/guard/src/audit.rs crates/guard/src/inject.rs crates/guard/src/pipeline.rs Cargo.toml
+
+crates/guard/src/lib.rs:
+crates/guard/src/audit.rs:
+crates/guard/src/inject.rs:
+crates/guard/src/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

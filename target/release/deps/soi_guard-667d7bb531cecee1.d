@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/soi_guard-667d7bb531cecee1.d: crates/guard/src/lib.rs crates/guard/src/audit.rs crates/guard/src/inject.rs crates/guard/src/pipeline.rs
+
+/root/repo/target/release/deps/libsoi_guard-667d7bb531cecee1.rlib: crates/guard/src/lib.rs crates/guard/src/audit.rs crates/guard/src/inject.rs crates/guard/src/pipeline.rs
+
+/root/repo/target/release/deps/libsoi_guard-667d7bb531cecee1.rmeta: crates/guard/src/lib.rs crates/guard/src/audit.rs crates/guard/src/inject.rs crates/guard/src/pipeline.rs
+
+crates/guard/src/lib.rs:
+crates/guard/src/audit.rs:
+crates/guard/src/inject.rs:
+crates/guard/src/pipeline.rs:

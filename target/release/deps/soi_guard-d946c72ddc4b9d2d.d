@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/soi_guard-d946c72ddc4b9d2d.d: crates/guard/src/lib.rs crates/guard/src/audit.rs crates/guard/src/inject.rs crates/guard/src/pipeline.rs Cargo.toml
+
+/root/repo/target/release/deps/libsoi_guard-d946c72ddc4b9d2d.rmeta: crates/guard/src/lib.rs crates/guard/src/audit.rs crates/guard/src/inject.rs crates/guard/src/pipeline.rs Cargo.toml
+
+crates/guard/src/lib.rs:
+crates/guard/src/audit.rs:
+crates/guard/src/inject.rs:
+crates/guard/src/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/soi_mapper-1a8872c0f514322a.d: crates/mapper/src/lib.rs crates/mapper/src/baseline.rs crates/mapper/src/config.rs crates/mapper/src/cost.rs crates/mapper/src/dp.rs crates/mapper/src/error.rs crates/mapper/src/map.rs crates/mapper/src/reconstruct.rs crates/mapper/src/report.rs crates/mapper/src/soi.rs crates/mapper/src/tuple.rs
+
+/root/repo/target/release/deps/soi_mapper-1a8872c0f514322a: crates/mapper/src/lib.rs crates/mapper/src/baseline.rs crates/mapper/src/config.rs crates/mapper/src/cost.rs crates/mapper/src/dp.rs crates/mapper/src/error.rs crates/mapper/src/map.rs crates/mapper/src/reconstruct.rs crates/mapper/src/report.rs crates/mapper/src/soi.rs crates/mapper/src/tuple.rs
+
+crates/mapper/src/lib.rs:
+crates/mapper/src/baseline.rs:
+crates/mapper/src/config.rs:
+crates/mapper/src/cost.rs:
+crates/mapper/src/dp.rs:
+crates/mapper/src/error.rs:
+crates/mapper/src/map.rs:
+crates/mapper/src/reconstruct.rs:
+crates/mapper/src/report.rs:
+crates/mapper/src/soi.rs:
+crates/mapper/src/tuple.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/soi_mapper-45a8686f6e881230.d: crates/mapper/src/lib.rs crates/mapper/src/baseline.rs crates/mapper/src/config.rs crates/mapper/src/cost.rs crates/mapper/src/dp.rs crates/mapper/src/error.rs crates/mapper/src/map.rs crates/mapper/src/reconstruct.rs crates/mapper/src/report.rs crates/mapper/src/soi.rs crates/mapper/src/tuple.rs
+
+/root/repo/target/release/deps/libsoi_mapper-45a8686f6e881230.rlib: crates/mapper/src/lib.rs crates/mapper/src/baseline.rs crates/mapper/src/config.rs crates/mapper/src/cost.rs crates/mapper/src/dp.rs crates/mapper/src/error.rs crates/mapper/src/map.rs crates/mapper/src/reconstruct.rs crates/mapper/src/report.rs crates/mapper/src/soi.rs crates/mapper/src/tuple.rs
+
+/root/repo/target/release/deps/libsoi_mapper-45a8686f6e881230.rmeta: crates/mapper/src/lib.rs crates/mapper/src/baseline.rs crates/mapper/src/config.rs crates/mapper/src/cost.rs crates/mapper/src/dp.rs crates/mapper/src/error.rs crates/mapper/src/map.rs crates/mapper/src/reconstruct.rs crates/mapper/src/report.rs crates/mapper/src/soi.rs crates/mapper/src/tuple.rs
+
+crates/mapper/src/lib.rs:
+crates/mapper/src/baseline.rs:
+crates/mapper/src/config.rs:
+crates/mapper/src/cost.rs:
+crates/mapper/src/dp.rs:
+crates/mapper/src/error.rs:
+crates/mapper/src/map.rs:
+crates/mapper/src/reconstruct.rs:
+crates/mapper/src/report.rs:
+crates/mapper/src/soi.rs:
+crates/mapper/src/tuple.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/soi_mapper-b3f8b68f0d465c58.d: crates/mapper/src/lib.rs crates/mapper/src/baseline.rs crates/mapper/src/config.rs crates/mapper/src/cost.rs crates/mapper/src/dp.rs crates/mapper/src/error.rs crates/mapper/src/map.rs crates/mapper/src/reconstruct.rs crates/mapper/src/report.rs crates/mapper/src/soi.rs crates/mapper/src/tuple.rs Cargo.toml
+
+/root/repo/target/release/deps/libsoi_mapper-b3f8b68f0d465c58.rmeta: crates/mapper/src/lib.rs crates/mapper/src/baseline.rs crates/mapper/src/config.rs crates/mapper/src/cost.rs crates/mapper/src/dp.rs crates/mapper/src/error.rs crates/mapper/src/map.rs crates/mapper/src/reconstruct.rs crates/mapper/src/report.rs crates/mapper/src/soi.rs crates/mapper/src/tuple.rs Cargo.toml
+
+crates/mapper/src/lib.rs:
+crates/mapper/src/baseline.rs:
+crates/mapper/src/config.rs:
+crates/mapper/src/cost.rs:
+crates/mapper/src/dp.rs:
+crates/mapper/src/error.rs:
+crates/mapper/src/map.rs:
+crates/mapper/src/reconstruct.rs:
+crates/mapper/src/report.rs:
+crates/mapper/src/soi.rs:
+crates/mapper/src/tuple.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

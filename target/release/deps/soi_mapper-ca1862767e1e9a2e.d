@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/soi_mapper-ca1862767e1e9a2e.d: crates/mapper/src/lib.rs crates/mapper/src/baseline.rs crates/mapper/src/config.rs crates/mapper/src/cost.rs crates/mapper/src/dp.rs crates/mapper/src/error.rs crates/mapper/src/map.rs crates/mapper/src/reconstruct.rs crates/mapper/src/report.rs crates/mapper/src/soi.rs crates/mapper/src/tuple.rs Cargo.toml
+
+/root/repo/target/release/deps/libsoi_mapper-ca1862767e1e9a2e.rmeta: crates/mapper/src/lib.rs crates/mapper/src/baseline.rs crates/mapper/src/config.rs crates/mapper/src/cost.rs crates/mapper/src/dp.rs crates/mapper/src/error.rs crates/mapper/src/map.rs crates/mapper/src/reconstruct.rs crates/mapper/src/report.rs crates/mapper/src/soi.rs crates/mapper/src/tuple.rs Cargo.toml
+
+crates/mapper/src/lib.rs:
+crates/mapper/src/baseline.rs:
+crates/mapper/src/config.rs:
+crates/mapper/src/cost.rs:
+crates/mapper/src/dp.rs:
+crates/mapper/src/error.rs:
+crates/mapper/src/map.rs:
+crates/mapper/src/reconstruct.rs:
+crates/mapper/src/report.rs:
+crates/mapper/src/soi.rs:
+crates/mapper/src/tuple.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

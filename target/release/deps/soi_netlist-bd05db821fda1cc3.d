@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/soi_netlist-bd05db821fda1cc3.d: crates/netlist/src/lib.rs crates/netlist/src/bdd.rs crates/netlist/src/blif.rs crates/netlist/src/builder.rs crates/netlist/src/cone.rs crates/netlist/src/dot.rs crates/netlist/src/error.rs crates/netlist/src/id.rs crates/netlist/src/network.rs crates/netlist/src/node.rs crates/netlist/src/restructure.rs crates/netlist/src/sim.rs crates/netlist/src/stats.rs crates/netlist/src/topo.rs
+
+/root/repo/target/release/deps/soi_netlist-bd05db821fda1cc3: crates/netlist/src/lib.rs crates/netlist/src/bdd.rs crates/netlist/src/blif.rs crates/netlist/src/builder.rs crates/netlist/src/cone.rs crates/netlist/src/dot.rs crates/netlist/src/error.rs crates/netlist/src/id.rs crates/netlist/src/network.rs crates/netlist/src/node.rs crates/netlist/src/restructure.rs crates/netlist/src/sim.rs crates/netlist/src/stats.rs crates/netlist/src/topo.rs
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/bdd.rs:
+crates/netlist/src/blif.rs:
+crates/netlist/src/builder.rs:
+crates/netlist/src/cone.rs:
+crates/netlist/src/dot.rs:
+crates/netlist/src/error.rs:
+crates/netlist/src/id.rs:
+crates/netlist/src/network.rs:
+crates/netlist/src/node.rs:
+crates/netlist/src/restructure.rs:
+crates/netlist/src/sim.rs:
+crates/netlist/src/stats.rs:
+crates/netlist/src/topo.rs:

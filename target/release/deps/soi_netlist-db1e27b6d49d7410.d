@@ -1,0 +1,22 @@
+/root/repo/target/release/deps/soi_netlist-db1e27b6d49d7410.d: crates/netlist/src/lib.rs crates/netlist/src/bdd.rs crates/netlist/src/blif.rs crates/netlist/src/builder.rs crates/netlist/src/cone.rs crates/netlist/src/dot.rs crates/netlist/src/error.rs crates/netlist/src/id.rs crates/netlist/src/network.rs crates/netlist/src/node.rs crates/netlist/src/restructure.rs crates/netlist/src/sim.rs crates/netlist/src/stats.rs crates/netlist/src/topo.rs Cargo.toml
+
+/root/repo/target/release/deps/libsoi_netlist-db1e27b6d49d7410.rmeta: crates/netlist/src/lib.rs crates/netlist/src/bdd.rs crates/netlist/src/blif.rs crates/netlist/src/builder.rs crates/netlist/src/cone.rs crates/netlist/src/dot.rs crates/netlist/src/error.rs crates/netlist/src/id.rs crates/netlist/src/network.rs crates/netlist/src/node.rs crates/netlist/src/restructure.rs crates/netlist/src/sim.rs crates/netlist/src/stats.rs crates/netlist/src/topo.rs Cargo.toml
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/bdd.rs:
+crates/netlist/src/blif.rs:
+crates/netlist/src/builder.rs:
+crates/netlist/src/cone.rs:
+crates/netlist/src/dot.rs:
+crates/netlist/src/error.rs:
+crates/netlist/src/id.rs:
+crates/netlist/src/network.rs:
+crates/netlist/src/node.rs:
+crates/netlist/src/restructure.rs:
+crates/netlist/src/sim.rs:
+crates/netlist/src/stats.rs:
+crates/netlist/src/topo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

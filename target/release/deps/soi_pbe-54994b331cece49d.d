@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/soi_pbe-54994b331cece49d.d: crates/pbe/src/lib.rs crates/pbe/src/bodysim.rs crates/pbe/src/error.rs crates/pbe/src/excite.rs crates/pbe/src/hazard.rs crates/pbe/src/points.rs crates/pbe/src/postprocess.rs crates/pbe/src/rearrange.rs
+
+/root/repo/target/release/deps/libsoi_pbe-54994b331cece49d.rlib: crates/pbe/src/lib.rs crates/pbe/src/bodysim.rs crates/pbe/src/error.rs crates/pbe/src/excite.rs crates/pbe/src/hazard.rs crates/pbe/src/points.rs crates/pbe/src/postprocess.rs crates/pbe/src/rearrange.rs
+
+/root/repo/target/release/deps/libsoi_pbe-54994b331cece49d.rmeta: crates/pbe/src/lib.rs crates/pbe/src/bodysim.rs crates/pbe/src/error.rs crates/pbe/src/excite.rs crates/pbe/src/hazard.rs crates/pbe/src/points.rs crates/pbe/src/postprocess.rs crates/pbe/src/rearrange.rs
+
+crates/pbe/src/lib.rs:
+crates/pbe/src/bodysim.rs:
+crates/pbe/src/error.rs:
+crates/pbe/src/excite.rs:
+crates/pbe/src/hazard.rs:
+crates/pbe/src/points.rs:
+crates/pbe/src/postprocess.rs:
+crates/pbe/src/rearrange.rs:

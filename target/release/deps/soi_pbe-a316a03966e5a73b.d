@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/soi_pbe-a316a03966e5a73b.d: crates/pbe/src/lib.rs crates/pbe/src/bodysim.rs crates/pbe/src/error.rs crates/pbe/src/excite.rs crates/pbe/src/hazard.rs crates/pbe/src/points.rs crates/pbe/src/postprocess.rs crates/pbe/src/rearrange.rs
+
+/root/repo/target/release/deps/soi_pbe-a316a03966e5a73b: crates/pbe/src/lib.rs crates/pbe/src/bodysim.rs crates/pbe/src/error.rs crates/pbe/src/excite.rs crates/pbe/src/hazard.rs crates/pbe/src/points.rs crates/pbe/src/postprocess.rs crates/pbe/src/rearrange.rs
+
+crates/pbe/src/lib.rs:
+crates/pbe/src/bodysim.rs:
+crates/pbe/src/error.rs:
+crates/pbe/src/excite.rs:
+crates/pbe/src/hazard.rs:
+crates/pbe/src/points.rs:
+crates/pbe/src/postprocess.rs:
+crates/pbe/src/rearrange.rs:

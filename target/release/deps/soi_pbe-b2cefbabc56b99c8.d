@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/soi_pbe-b2cefbabc56b99c8.d: crates/pbe/src/lib.rs crates/pbe/src/bodysim.rs crates/pbe/src/error.rs crates/pbe/src/excite.rs crates/pbe/src/hazard.rs crates/pbe/src/points.rs crates/pbe/src/postprocess.rs crates/pbe/src/rearrange.rs Cargo.toml
+
+/root/repo/target/release/deps/libsoi_pbe-b2cefbabc56b99c8.rmeta: crates/pbe/src/lib.rs crates/pbe/src/bodysim.rs crates/pbe/src/error.rs crates/pbe/src/excite.rs crates/pbe/src/hazard.rs crates/pbe/src/points.rs crates/pbe/src/postprocess.rs crates/pbe/src/rearrange.rs Cargo.toml
+
+crates/pbe/src/lib.rs:
+crates/pbe/src/bodysim.rs:
+crates/pbe/src/error.rs:
+crates/pbe/src/excite.rs:
+crates/pbe/src/hazard.rs:
+crates/pbe/src/points.rs:
+crates/pbe/src/postprocess.rs:
+crates/pbe/src/rearrange.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/soi_unate-a40dba9d5302bfef.d: crates/unate/src/lib.rs crates/unate/src/convert.rs crates/unate/src/error.rs crates/unate/src/network.rs crates/unate/src/verify.rs Cargo.toml
+
+/root/repo/target/release/deps/libsoi_unate-a40dba9d5302bfef.rmeta: crates/unate/src/lib.rs crates/unate/src/convert.rs crates/unate/src/error.rs crates/unate/src/network.rs crates/unate/src/verify.rs Cargo.toml
+
+crates/unate/src/lib.rs:
+crates/unate/src/convert.rs:
+crates/unate/src/error.rs:
+crates/unate/src/network.rs:
+crates/unate/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/soi_unate-af569047e04381e1.d: crates/unate/src/lib.rs crates/unate/src/convert.rs crates/unate/src/error.rs crates/unate/src/network.rs crates/unate/src/verify.rs
+
+/root/repo/target/release/deps/soi_unate-af569047e04381e1: crates/unate/src/lib.rs crates/unate/src/convert.rs crates/unate/src/error.rs crates/unate/src/network.rs crates/unate/src/verify.rs
+
+crates/unate/src/lib.rs:
+crates/unate/src/convert.rs:
+crates/unate/src/error.rs:
+crates/unate/src/network.rs:
+crates/unate/src/verify.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/soi_unate-dc9ac9ff05d7cd0c.d: crates/unate/src/lib.rs crates/unate/src/convert.rs crates/unate/src/error.rs crates/unate/src/network.rs crates/unate/src/verify.rs
+
+/root/repo/target/release/deps/libsoi_unate-dc9ac9ff05d7cd0c.rlib: crates/unate/src/lib.rs crates/unate/src/convert.rs crates/unate/src/error.rs crates/unate/src/network.rs crates/unate/src/verify.rs
+
+/root/repo/target/release/deps/libsoi_unate-dc9ac9ff05d7cd0c.rmeta: crates/unate/src/lib.rs crates/unate/src/convert.rs crates/unate/src/error.rs crates/unate/src/network.rs crates/unate/src/verify.rs
+
+crates/unate/src/lib.rs:
+crates/unate/src/convert.rs:
+crates/unate/src/error.rs:
+crates/unate/src/network.rs:
+crates/unate/src/verify.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-129dae08141d2cb4.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-129dae08141d2cb4: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-34a950ca55404596.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-34a950ca55404596: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table1-5d84dd8fb177dd55.d: crates/bench/src/bin/table1.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable1-5d84dd8fb177dd55.rmeta: crates/bench/src/bin/table1.rs Cargo.toml
+
+crates/bench/src/bin/table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

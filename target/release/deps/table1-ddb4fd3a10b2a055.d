@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-ddb4fd3a10b2a055.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-ddb4fd3a10b2a055: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-e1044975fa4642bc.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-e1044975fa4642bc: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

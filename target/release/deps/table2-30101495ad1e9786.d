@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-30101495ad1e9786.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-30101495ad1e9786: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-5b9dc9884351c9a2.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-5b9dc9884351c9a2: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-6030c20a7ab8cb87.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-6030c20a7ab8cb87: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

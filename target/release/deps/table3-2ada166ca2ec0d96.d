@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-2ada166ca2ec0d96.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-2ada166ca2ec0d96: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-3b55a71ff99d33c3.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-3b55a71ff99d33c3: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table3-69edff86f1e1769a.d: crates/bench/src/bin/table3.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable3-69edff86f1e1769a.rmeta: crates/bench/src/bin/table3.rs Cargo.toml
+
+crates/bench/src/bin/table3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

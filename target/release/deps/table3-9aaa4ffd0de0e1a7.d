@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-9aaa4ffd0de0e1a7.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-9aaa4ffd0de0e1a7: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

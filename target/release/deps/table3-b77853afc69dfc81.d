@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-b77853afc69dfc81.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-b77853afc69dfc81: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

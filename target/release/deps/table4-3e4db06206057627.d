@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table4-3e4db06206057627.d: crates/bench/src/bin/table4.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable4-3e4db06206057627.rmeta: crates/bench/src/bin/table4.rs Cargo.toml
+
+crates/bench/src/bin/table4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-ad3e86c49448da72.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-ad3e86c49448da72: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table4-ad93ff4c958d3edf.d: crates/bench/src/bin/table4.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable4-ad93ff4c958d3edf.rmeta: crates/bench/src/bin/table4.rs Cargo.toml
+
+crates/bench/src/bin/table4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-e821eefc4ec500c8.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-e821eefc4ec500c8: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-fbea58c00a6d1e49.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-fbea58c00a6d1e49: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/timing-9dd8f2e8fce52061.d: tests/timing.rs
+
+/root/repo/target/release/deps/timing-9dd8f2e8fce52061: tests/timing.rs
+
+tests/timing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/timing-db6f3712886cfa75.d: tests/timing.rs
+
+/root/repo/target/release/deps/timing-db6f3712886cfa75: tests/timing.rs
+
+tests/timing.rs:

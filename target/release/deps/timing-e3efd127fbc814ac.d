@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/timing-e3efd127fbc814ac.d: tests/timing.rs Cargo.toml
+
+/root/repo/target/release/deps/libtiming-e3efd127fbc814ac.rmeta: tests/timing.rs Cargo.toml
+
+tests/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

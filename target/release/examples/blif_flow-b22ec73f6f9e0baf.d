@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/blif_flow-b22ec73f6f9e0baf.d: examples/blif_flow.rs Cargo.toml
+
+/root/repo/target/release/examples/libblif_flow-b22ec73f6f9e0baf.rmeta: examples/blif_flow.rs Cargo.toml
+
+examples/blif_flow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

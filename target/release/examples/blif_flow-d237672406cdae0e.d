@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/blif_flow-d237672406cdae0e.d: examples/blif_flow.rs
+
+/root/repo/target/release/examples/blif_flow-d237672406cdae0e: examples/blif_flow.rs
+
+examples/blif_flow.rs:

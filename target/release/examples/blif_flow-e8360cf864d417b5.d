@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/blif_flow-e8360cf864d417b5.d: examples/blif_flow.rs
+
+/root/repo/target/release/examples/blif_flow-e8360cf864d417b5: examples/blif_flow.rs
+
+examples/blif_flow.rs:

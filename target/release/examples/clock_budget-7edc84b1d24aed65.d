@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/clock_budget-7edc84b1d24aed65.d: examples/clock_budget.rs Cargo.toml
+
+/root/repo/target/release/examples/libclock_budget-7edc84b1d24aed65.rmeta: examples/clock_budget.rs Cargo.toml
+
+examples/clock_budget.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

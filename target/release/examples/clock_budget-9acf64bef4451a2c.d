@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/clock_budget-9acf64bef4451a2c.d: examples/clock_budget.rs
+
+/root/repo/target/release/examples/clock_budget-9acf64bef4451a2c: examples/clock_budget.rs
+
+examples/clock_budget.rs:

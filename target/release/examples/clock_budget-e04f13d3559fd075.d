@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/clock_budget-e04f13d3559fd075.d: examples/clock_budget.rs
+
+/root/repo/target/release/examples/clock_budget-e04f13d3559fd075: examples/clock_budget.rs
+
+examples/clock_budget.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/depth_vs_area-52f23341493fe8e9.d: examples/depth_vs_area.rs Cargo.toml
+
+/root/repo/target/release/examples/libdepth_vs_area-52f23341493fe8e9.rmeta: examples/depth_vs_area.rs Cargo.toml
+
+examples/depth_vs_area.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/depth_vs_area-ed780399e81632c7.d: examples/depth_vs_area.rs
+
+/root/repo/target/release/examples/depth_vs_area-ed780399e81632c7: examples/depth_vs_area.rs
+
+examples/depth_vs_area.rs:

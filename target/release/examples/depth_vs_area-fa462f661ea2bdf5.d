@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/depth_vs_area-fa462f661ea2bdf5.d: examples/depth_vs_area.rs
+
+/root/repo/target/release/examples/depth_vs_area-fa462f661ea2bdf5: examples/depth_vs_area.rs
+
+examples/depth_vs_area.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/hardened_flow-44524ec3c94be7b4.d: examples/hardened_flow.rs
+
+/root/repo/target/release/examples/hardened_flow-44524ec3c94be7b4: examples/hardened_flow.rs
+
+examples/hardened_flow.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/hardened_flow-7163d21a48a87bbe.d: examples/hardened_flow.rs Cargo.toml
+
+/root/repo/target/release/examples/libhardened_flow-7163d21a48a87bbe.rmeta: examples/hardened_flow.rs Cargo.toml
+
+examples/hardened_flow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

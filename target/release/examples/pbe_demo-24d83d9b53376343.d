@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/pbe_demo-24d83d9b53376343.d: examples/pbe_demo.rs
+
+/root/repo/target/release/examples/pbe_demo-24d83d9b53376343: examples/pbe_demo.rs
+
+examples/pbe_demo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/pbe_demo-3852ad3e98f3c7a1.d: examples/pbe_demo.rs
+
+/root/repo/target/release/examples/pbe_demo-3852ad3e98f3c7a1: examples/pbe_demo.rs
+
+examples/pbe_demo.rs:

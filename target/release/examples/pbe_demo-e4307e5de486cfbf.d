@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/pbe_demo-e4307e5de486cfbf.d: examples/pbe_demo.rs Cargo.toml
+
+/root/repo/target/release/examples/libpbe_demo-e4307e5de486cfbf.rmeta: examples/pbe_demo.rs Cargo.toml
+
+examples/pbe_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-6b70e113dde9fc02.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-6b70e113dde9fc02: examples/quickstart.rs
+
+examples/quickstart.rs:

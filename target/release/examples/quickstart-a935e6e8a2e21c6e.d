@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/quickstart-a935e6e8a2e21c6e.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/release/examples/libquickstart-a935e6e8a2e21c6e.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

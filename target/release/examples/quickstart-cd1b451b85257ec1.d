@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-cd1b451b85257ec1.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-cd1b451b85257ec1: examples/quickstart.rs
+
+examples/quickstart.rs:

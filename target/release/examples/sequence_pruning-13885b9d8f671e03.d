@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/sequence_pruning-13885b9d8f671e03.d: examples/sequence_pruning.rs Cargo.toml
+
+/root/repo/target/release/examples/libsequence_pruning-13885b9d8f671e03.rmeta: examples/sequence_pruning.rs Cargo.toml
+
+examples/sequence_pruning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/sequence_pruning-2b1ff26efca547e6.d: examples/sequence_pruning.rs
+
+/root/repo/target/release/examples/sequence_pruning-2b1ff26efca547e6: examples/sequence_pruning.rs
+
+examples/sequence_pruning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/sequence_pruning-94a3e397fce282ed.d: examples/sequence_pruning.rs
+
+/root/repo/target/release/examples/sequence_pruning-94a3e397fce282ed: examples/sequence_pruning.rs
+
+examples/sequence_pruning.rs:

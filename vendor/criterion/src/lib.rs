@@ -1,0 +1,220 @@
+//! Offline shim for the subset of the `criterion` 0.5 API this workspace
+//! uses.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors a minimal timing harness with the same call surface:
+//! `criterion_group!`/`criterion_main!`, benchmark groups,
+//! `bench_function`/`bench_with_input`, `BenchmarkId` and `Bencher::iter`.
+//! There is no statistical analysis — each benchmark is warmed up once and
+//! then timed over a fixed batch, printing mean wall-clock time per
+//! iteration. Under `cargo test` (which runs `harness = false` bench
+//! targets with `--test`) each benchmark body executes exactly once, so
+//! benches double as smoke tests.
+
+use std::fmt;
+use std::time::Instant;
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id: `function_name/parameter`.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> BenchmarkId {
+        BenchmarkId {
+            label: label.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> BenchmarkId {
+        BenchmarkId { label }
+    }
+}
+
+/// Drives the timed closure of one benchmark.
+pub struct Bencher {
+    iters: u64,
+    /// Mean nanoseconds per iteration of the last `iter` call.
+    last_ns: f64,
+}
+
+impl Bencher {
+    /// Times `f`, running it `iters` times after one warm-up call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std::hint::black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        let elapsed = start.elapsed();
+        self.last_ns = elapsed.as_nanos() as f64 / self.iters.max(1) as f64;
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark iteration count (accepted for API
+    /// compatibility; the shim uses it directly as the batch size).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `f` with an explicit input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let iters = self.iters();
+        let mut bencher = Bencher {
+            iters,
+            last_ns: 0.0,
+        };
+        f(&mut bencher, input);
+        self.report(&id.label, &bencher);
+        self
+    }
+
+    /// Benchmarks `f`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let id = id.into();
+        let iters = self.iters();
+        let mut bencher = Bencher {
+            iters,
+            last_ns: 0.0,
+        };
+        f(&mut bencher);
+        self.report(&id.label, &bencher);
+        self
+    }
+
+    /// Ends the group (no-op beyond API compatibility).
+    pub fn finish(self) {}
+
+    fn iters(&self) -> u64 {
+        if self.criterion.test_mode {
+            1
+        } else {
+            self.sample_size.max(1) as u64
+        }
+    }
+
+    fn report(&self, label: &str, bencher: &Bencher) {
+        if self.criterion.test_mode {
+            println!("test {}/{label} ... ok", self.name);
+        } else {
+            println!(
+                "{}/{label}: {:.1} ns/iter ({} iters)",
+                self.name, bencher.last_ns, bencher.iters
+            );
+        }
+    }
+}
+
+/// The benchmark manager handed to `criterion_group!` functions.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // Cargo runs `harness = false` bench targets with `--test` under
+        // `cargo test`; run each body once there and skip timing noise.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// Declares a function that runs each listed benchmark with a fresh
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_api_round_trips() {
+        let mut c = Criterion { test_mode: true };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut ran = 0;
+        group.bench_function("plain", |b| b.iter(|| ran += 1));
+        let input = 21u32;
+        group.bench_with_input(BenchmarkId::new("with_input", 21), &input, |b, &i| {
+            b.iter(|| assert_eq!(i * 2, 42))
+        });
+        group.finish();
+        assert!(ran >= 1);
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::new("alg", "c880").to_string(), "alg/c880");
+        assert_eq!(BenchmarkId::from_parameter(400).to_string(), "400");
+    }
+}

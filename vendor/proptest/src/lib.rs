@@ -1,0 +1,561 @@
+//! Offline shim for the subset of the `proptest` 1.x API this workspace
+//! uses.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors a deterministic stand-in: strategies are plain
+//! seeded generators (no shrinking), and the `proptest!` macro runs the
+//! configured number of cases with a fixed per-case seed, reporting the
+//! generated input on failure. The supported surface is exactly what the
+//! repo's tests exercise: integer/float range strategies, tuples,
+//! `prop_map`, `prop_recursive`, `prop_oneof!`, `prop::collection::vec`,
+//! `prop::sample::Index`, `any`, `ProptestConfig::with_cases`, and the
+//! `prop_assert!`/`prop_assert_eq!` assertions.
+
+pub mod strategy {
+    //! Strategy trait and combinators.
+
+    use std::rc::Rc;
+
+    use crate::test_runner::TestRng;
+
+    /// A generator of values of type [`Strategy::Value`].
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Builds a recursive strategy: `self` generates the leaves and
+        /// `recurse` wraps an inner strategy into a branch strategy.
+        /// `depth` bounds the recursion; the size hints are accepted for
+        /// API compatibility and ignored.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let leaf = self.boxed();
+            let mut current = leaf.clone();
+            for _ in 0..depth {
+                let branch = recurse(current).boxed();
+                let leaf = leaf.clone();
+                current = FnStrategy(Rc::new(move |rng: &mut TestRng| {
+                    // Each level flips between recursing and bottoming out,
+                    // so generated trees have varied depth up to the bound.
+                    if rng.next_u64() & 1 == 0 {
+                        branch.generate(rng)
+                    } else {
+                        leaf.generate(rng)
+                    }
+                }))
+                .boxed();
+            }
+            current
+        }
+
+        /// Erases the strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(move |rng: &mut TestRng| self.generate(rng)))
+        }
+    }
+
+    /// A cheaply clonable, type-erased strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> BoxedStrategy<T> {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> std::fmt::Debug for BoxedStrategy<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("BoxedStrategy")
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Closure-backed strategy used internally.
+    pub struct FnStrategy<T>(pub(crate) Rc<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Clone for FnStrategy<T> {
+        fn clone(&self) -> FnStrategy<T> {
+            FnStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for FnStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// The [`Strategy::prop_map`] combinator.
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice among alternatives (the `prop_oneof!` backend).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union over `options`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `options` is empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let pick = (rng.next_u64() % self.options.len() as u64) as usize;
+            self.options[pick].generate(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    let hi = ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64;
+                    (self.start as u64).wrapping_add(hi) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    if start as u64 == 0 && end as u64 == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                    let hi = ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64;
+                    (start as u64).wrapping_add(hi) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            self.start + unit * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for core::ops::Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "empty range strategy");
+            let unit = (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32);
+            self.start + unit * (self.end - self.start)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+
+    /// Types with a canonical strategy, reachable through [`any`].
+    pub trait Arbitrary: Sized {
+        /// The canonical strategy for the type.
+        fn arbitrary() -> BoxedStrategy<Self>;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary() -> BoxedStrategy<bool> {
+            FnStrategy(Rc::new(|rng: &mut TestRng| rng.next_u64() & 1 == 1)).boxed()
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary() -> BoxedStrategy<$t> {
+                    FnStrategy(Rc::new(|rng: &mut TestRng| rng.next_u64() as $t)).boxed()
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// The canonical strategy for `A`.
+    pub fn any<A: Arbitrary>() -> BoxedStrategy<A> {
+        A::arbitrary()
+    }
+}
+
+pub mod test_runner {
+    //! The case runner behind the `proptest!` macro.
+
+    use rand::rngs::SmallRng;
+    use rand::{RngCore, SeedableRng};
+
+    use crate::strategy::Strategy;
+
+    /// The RNG handed to strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(SmallRng);
+
+    impl TestRng {
+        /// Seeds a case RNG.
+        pub fn seed_from_u64(seed: u64) -> TestRng {
+            TestRng(SmallRng::seed_from_u64(seed))
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    /// Runner configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases each `proptest!` test runs.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Runs `f` on `config.cases` generated inputs. On panic, reports the
+    /// case number, seed and generated input, then re-raises.
+    pub fn run<S, F>(config: &ProptestConfig, strategy: &S, mut f: F)
+    where
+        S: Strategy,
+        S::Value: std::fmt::Debug,
+        F: FnMut(S::Value),
+    {
+        for case in 0..config.cases {
+            // A fixed, seed-stable stream keeps failures reproducible.
+            let seed = 0x5EED_0000_0000_0000u64 ^ u64::from(case).wrapping_mul(0x9E37_79B9);
+            let mut rng = TestRng::seed_from_u64(seed);
+            let value = strategy.generate(&mut rng);
+            let header = format!("proptest case {case} (seed {seed:#x}): {value:?}");
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(value)));
+            if let Err(panic) = result {
+                eprintln!("failing {header}");
+                std::panic::resume_unwind(panic);
+            }
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use std::rc::Rc;
+
+    use crate::strategy::{BoxedStrategy, FnStrategy, Strategy};
+    use crate::test_runner::TestRng;
+
+    /// Size specifications accepted by [`vec`].
+    pub trait SizeRange {
+        /// Draws a length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for core::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty size range");
+            self.start + (rng.next_u64() % (self.end - self.start) as u64) as usize
+        }
+    }
+
+    impl SizeRange for core::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start() <= self.end(), "empty size range");
+            let span = self.end() - self.start() + 1;
+            self.start() + (rng.next_u64() % span as u64) as usize
+        }
+    }
+
+    /// A strategy for `Vec`s whose elements come from `element` and whose
+    /// length comes from `size`.
+    pub fn vec<S, Z>(element: S, size: Z) -> BoxedStrategy<Vec<S::Value>>
+    where
+        S: Strategy + 'static,
+        Z: SizeRange + 'static,
+    {
+        FnStrategy(Rc::new(move |rng: &mut TestRng| {
+            let len = size.pick(rng);
+            (0..len).map(|_| element.generate(rng)).collect()
+        }))
+        .boxed()
+    }
+}
+
+pub mod sample {
+    //! Sampling helpers.
+
+    use std::rc::Rc;
+
+    use crate::strategy::{Arbitrary, BoxedStrategy, FnStrategy, Strategy};
+    use crate::test_runner::TestRng;
+
+    /// A deferred index into a collection of then-unknown length.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Resolves against a collection of length `len`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `len` is zero.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "cannot index an empty collection");
+            ((u128::from(self.0) * len as u128) >> 64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary() -> BoxedStrategy<Index> {
+            FnStrategy(Rc::new(|rng: &mut TestRng| Index(rng.next_u64()))).boxed()
+        }
+    }
+}
+
+/// The `prop::` namespace (`prop::collection`, `prop::sample`, ...).
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+pub mod prelude {
+    //! The usual imports: `use proptest::prelude::*;`.
+
+    pub use crate::prop;
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Uniform choice among strategies of a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// The test-definition macro: each `fn name(pat in strategy, ...)` body
+/// runs over generated inputs under the optional block-level
+/// `#![proptest_config(...)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default())
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($config:expr) ) => {};
+    ( ($config:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($pat:pat in $strategy:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let strategy = ($($strategy,)+);
+            $crate::test_runner::run(&config, &strategy, |($($pat,)+)| $body);
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::seed_from_u64(1);
+        let strat = (0u8..7, 2usize..8, 0.0f64..1.0);
+        for _ in 0..200 {
+            let (a, b, c) = strat.generate(&mut rng);
+            assert!(a < 7);
+            assert!((2..8).contains(&b));
+            assert!((0.0..1.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn vec_and_index_compose() {
+        let mut rng = crate::test_runner::TestRng::seed_from_u64(2);
+        let strat = prop::collection::vec(any::<prop::sample::Index>(), 1..10);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((1..10).contains(&v.len()));
+            for ix in &v {
+                assert!(ix.index(13) < 13);
+            }
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(c) => 1 + c.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = (0u8..16)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(4, 24, 3, |inner| {
+                prop::collection::vec(inner, 2..4).prop_map(Tree::Node)
+            });
+        let mut rng = crate::test_runner::TestRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let t = strat.generate(&mut rng);
+            assert!(depth(&t) <= 5, "depth bound violated: {t:?}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro wires patterns, strategies and assertions together.
+        #[test]
+        fn macro_roundtrip(x in 0u64..100, flag in any::<bool>(), v in prop::collection::vec(0u8..4, 1..5)) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(flag, flag);
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assert!(v.iter().all(|&e| e < 4));
+        }
+
+        #[test]
+        fn oneof_picks_every_arm(x in prop_oneof![0u32..10, 100u32..110]) {
+            prop_assert!(x < 10 || (100..110).contains(&x));
+        }
+    }
+}
