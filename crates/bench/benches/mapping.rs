@@ -1,0 +1,55 @@
+//! PR 2 perf baseline: the SOI mapping hot path on registry circuits at
+//! two `(W_max, H_max)` settings, with the DP forced serial and forced
+//! parallel. Pairs with the `bench` binary, which emits the same matrix as
+//! `BENCH_pr2.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use soi_circuits::registry;
+use soi_mapper::{MapConfig, Mapper, Parallelism};
+
+/// A spread of registry sizes: two small muxes, an adder slice, and three
+/// of the larger MCNC/ISCAS stand-ins.
+const CIRCUITS: &[&str] = &["cm150", "mux", "z4ml", "b9", "frg1", "c880"];
+
+fn config(w_max: u32, h_max: u32, parallelism: Parallelism) -> MapConfig {
+    MapConfig {
+        w_max,
+        h_max,
+        // The tighter setting makes a few nodes unmappable; degrade
+        // instead of erroring so both settings cover every circuit.
+        degrade_unmappable: true,
+        parallelism,
+        ..MapConfig::default()
+    }
+}
+
+fn bench_setting(c: &mut Criterion, group_name: &str, w_max: u32, h_max: u32) {
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    for &name in CIRCUITS {
+        let network = registry::benchmark(name).expect("registered");
+        for (mode, parallelism) in [
+            ("serial", Parallelism::Serial),
+            ("parallel", Parallelism::Threads(4)),
+        ] {
+            let mapper = Mapper::soi(config(w_max, h_max, parallelism));
+            group.bench_with_input(BenchmarkId::new(mode, name), &network, |b, network| {
+                b.iter(|| mapper.run(network).expect("maps"))
+            });
+        }
+    }
+    group.finish();
+}
+
+/// The paper's shape limits (Tables I–III).
+fn bench_w5h8(c: &mut Criterion) {
+    bench_setting(c, "map_w5h8", 5, 8);
+}
+
+/// A tighter limit: more pruning pressure, smaller tuple space.
+fn bench_w4h6(c: &mut Criterion) {
+    bench_setting(c, "map_w4h6", 4, 6);
+}
+
+criterion_group!(benches, bench_w5h8, bench_w4h6);
+criterion_main!(benches);

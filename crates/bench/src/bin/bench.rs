@@ -1,0 +1,157 @@
+//! Wall-clock baseline for the mapping hot path.
+//!
+//! Maps the union of the Table I and Table II benchmark lists with
+//! `SOI_Domino_Map` twice — DP forced serial, then DP forced parallel —
+//! and writes `BENCH_pr2.json` with per-circuit timings, the
+//! candidate-memory high-water mark, and a serial-vs-parallel equality
+//! check (the parallel schedule must be bit-identical).
+//!
+//! Usage: `cargo run --release -p soi-bench --bin bench [OUT.json]`
+//! (default output: `BENCH_pr2.json` in the working directory).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use soi_circuits::registry;
+use soi_mapper::{MapConfig, Mapper, MappingResult, Parallelism};
+use soi_netlist::Network;
+
+/// Timing repetitions per circuit and mode; the minimum is reported.
+const REPS: u32 = 3;
+
+struct Entry {
+    name: &'static str,
+    tables: &'static str,
+    serial_ms: f64,
+    parallel_ms: f64,
+    peak_candidates: usize,
+    total_transistors: u32,
+    counts_match: bool,
+}
+
+/// Best-of-`REPS` wall-clock time in milliseconds, plus the last result.
+fn best_ms(mapper: &Mapper, network: &Network) -> (f64, MappingResult) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let result = mapper.run(network).expect("registry circuit maps");
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        out = Some(result);
+    }
+    (best, out.expect("REPS > 0"))
+}
+
+fn membership(name: &str) -> &'static str {
+    match (
+        registry::TABLE1.contains(&name),
+        registry::TABLE2.contains(&name),
+    ) {
+        (true, true) => "I+II",
+        (true, false) => "I",
+        _ => "II",
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pr2.json".into());
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // Force at least two workers so the parallel scheduler is really
+    // exercised even on a single-core host.
+    let parallel_threads = host_threads.max(2);
+
+    let mut names: Vec<&'static str> = registry::TABLE2.to_vec();
+    for name in registry::TABLE1 {
+        if !names.contains(name) {
+            names.push(name);
+        }
+    }
+
+    eprintln!(
+        "timing {} circuits, serial vs {parallel_threads}-thread DP (best of {REPS})...",
+        names.len()
+    );
+    let wall = Instant::now();
+    let mut entries = Vec::new();
+    for name in names {
+        let network = registry::benchmark(name).expect("registered benchmark");
+        let serial = Mapper::soi(MapConfig {
+            parallelism: Parallelism::Serial,
+            ..MapConfig::default()
+        });
+        let parallel = Mapper::soi(MapConfig {
+            parallelism: Parallelism::Threads(parallel_threads),
+            ..MapConfig::default()
+        });
+        let (serial_ms, s) = best_ms(&serial, &network);
+        let (parallel_ms, p) = best_ms(&parallel, &network);
+        let counts_match = s.counts == p.counts && s.peak_candidates == p.peak_candidates;
+        eprintln!(
+            "  {name}: serial {serial_ms:.2} ms / parallel {parallel_ms:.2} ms / peak {} cands{}",
+            s.peak_candidates,
+            if counts_match { "" } else { "  ** MISMATCH **" }
+        );
+        entries.push(Entry {
+            name,
+            tables: membership(name),
+            serial_ms,
+            parallel_ms,
+            peak_candidates: s.peak_candidates,
+            total_transistors: s.counts.total,
+            counts_match,
+        });
+    }
+    let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+
+    let total_serial: f64 = entries.iter().map(|e| e.serial_ms).sum();
+    let total_parallel: f64 = entries.iter().map(|e| e.parallel_ms).sum();
+    let all_match = entries.iter().all(|e| e.counts_match);
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(
+        json,
+        "  \"description\": \"SOI_Domino_Map wall-clock: serial vs parallel DP over the Table I+II registry (best of {REPS} runs, W<=5 H<=8)\","
+    );
+    let _ = writeln!(json, "  \"host_threads\": {host_threads},");
+    let _ = writeln!(json, "  \"parallel_threads\": {parallel_threads},");
+    let _ = writeln!(json, "  \"circuits\": [");
+    let last = entries.len().saturating_sub(1);
+    for (i, e) in entries.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"tables\": \"{}\", \"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, \"speedup\": {:.3}, \"peak_candidates\": {}, \"total_transistors\": {}, \"counts_match\": {}}}{}",
+            e.name,
+            e.tables,
+            e.serial_ms,
+            e.parallel_ms,
+            e.serial_ms / e.parallel_ms.max(1e-9),
+            e.peak_candidates,
+            e.total_transistors,
+            e.counts_match,
+            if i == last { "" } else { "," }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"total_serial_ms\": {total_serial:.3},");
+    let _ = writeln!(json, "  \"total_parallel_ms\": {total_parallel:.3},");
+    let _ = writeln!(
+        json,
+        "  \"overall_speedup\": {:.3},",
+        total_serial / total_parallel.max(1e-9)
+    );
+    let _ = writeln!(json, "  \"all_counts_match\": {all_match},");
+    let _ = writeln!(json, "  \"wall_clock_ms\": {wall_ms:.1}");
+    let _ = writeln!(json, "}}");
+
+    std::fs::write(&out_path, json).expect("write benchmark json");
+    eprintln!(
+        "wrote {out_path}: overall speedup {:.2}x, counts match: {all_match}",
+        total_serial / total_parallel.max(1e-9)
+    );
+    assert!(all_match, "parallel DP diverged from serial counts");
+}

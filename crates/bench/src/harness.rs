@@ -4,14 +4,128 @@
 //! the paper's configuration and returns per-circuit rows pairing measured
 //! counts with the published ones; the `render_*` functions format them the
 //! way the paper prints them, followed by a paper-vs-measured summary.
+//!
+//! Mapping failures never panic the harness: every table cell is a
+//! [`RowResult`] carrying either the measured counts or the typed
+//! [`MapError`], and a circuit that trips the shape limits is retried with
+//! [`MapConfig::degrade_unmappable`] before its error is recorded. By
+//! default the benchmark list is fanned out across scoped threads
+//! ([`HarnessMode::Parallel`]); [`HarnessMode::Serial`] pins everything —
+//! harness and inner DP — to one thread. Both modes produce bit-identical
+//! rows in the same order.
 
 use std::fmt::Write as _;
 
 use soi_circuits::registry;
 use soi_domino_ir::TransistorCounts;
-use soi_mapper::{MapConfig, Mapper};
+use soi_mapper::{MapConfig, MapError, Mapper, Parallelism};
+use soi_netlist::Network;
 
 use crate::paper;
+
+/// How a `run_table*` call schedules its work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HarnessMode {
+    /// One circuit at a time, inner DP forced serial. The reference
+    /// schedule for determinism checks and single-thread timing.
+    Serial,
+    /// Circuits fan out across scoped threads and the inner DP keeps its
+    /// configured [`Parallelism`]. The default.
+    #[default]
+    Parallel,
+}
+
+impl HarnessMode {
+    /// Applies the mode to a mapper configuration.
+    fn apply(self, mut config: MapConfig) -> MapConfig {
+        if self == HarnessMode::Serial {
+            config.parallelism = Parallelism::Serial;
+        }
+        config
+    }
+}
+
+/// One successful mapping inside a table row.
+#[derive(Debug, Clone)]
+pub struct RowMeasure {
+    /// The transistor accounting.
+    pub counts: TransistorCounts,
+    /// Whether the mapper had to relax the shape limits to finish (see
+    /// `MapConfig::degrade_unmappable`).
+    pub degraded: bool,
+    /// Depth of the unate 2-input network (the paper's `L` column in
+    /// Table IV).
+    pub depth: u32,
+}
+
+/// A table cell: the measured counts, or the typed error that stopped the
+/// circuit. Errors are rendered in place and excluded from averages.
+pub type RowResult = Result<RowMeasure, MapError>;
+
+/// Maps one network, retrying with graceful degradation if the strict
+/// shape limits make it unmappable.
+fn map_one(make: impl Fn(MapConfig) -> Mapper, config: MapConfig, network: &Network) -> RowResult {
+    let first = make(config).run(network);
+    let result = match first {
+        Err(MapError::Unmappable { .. }) if !config.degrade_unmappable => {
+            let relaxed = MapConfig {
+                degrade_unmappable: true,
+                ..config
+            };
+            make(relaxed).run(network)
+        }
+        other => other,
+    };
+    result.map(|r| RowMeasure {
+        counts: r.counts,
+        degraded: r.is_degraded(),
+        depth: r.unate_depth,
+    })
+}
+
+/// Runs `f` over every name, either in order on this thread or fanned out
+/// over scoped threads in contiguous chunks. Results keep input order.
+fn run_rows<R: Send>(
+    mode: HarnessMode,
+    names: &[&'static str],
+    f: impl Fn(&'static str) -> R + Sync,
+) -> Vec<R> {
+    let threads = match mode {
+        HarnessMode::Serial => 1,
+        HarnessMode::Parallel => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(names.len())
+            .max(1),
+    };
+    if threads <= 1 {
+        return names.iter().map(|&n| f(n)).collect();
+    }
+    let mut out: Vec<Option<R>> = Vec::new();
+    out.resize_with(names.len(), || None);
+    let chunk = names.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (slots, chunk_names) in out.chunks_mut(chunk).zip(names.chunks(chunk)) {
+            let f = &f;
+            scope.spawn(move || {
+                for (slot, &name) in slots.iter_mut().zip(chunk_names) {
+                    *slot = Some(f(name));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("worker filled every slot"))
+        .collect()
+}
+
+fn describe(cell: &RowResult) -> String {
+    match cell {
+        Ok(m) if m.degraded => format!("{} [degraded]", m.counts),
+        Ok(m) => m.counts.to_string(),
+        Err(e) => format!("error: {e}"),
+    }
+}
 
 /// A measured Table I row.
 #[derive(Debug, Clone)]
@@ -19,37 +133,27 @@ pub struct Table1Row {
     /// Benchmark name.
     pub name: &'static str,
     /// Measured `Domino_Map` counts.
-    pub base: TransistorCounts,
+    pub base: RowResult,
     /// Measured `RS_Map` counts.
-    pub rs: TransistorCounts,
+    pub rs: RowResult,
 }
 
-/// Maps the Table I benchmark list with `Domino_Map` and `RS_Map`.
-///
-/// # Panics
-///
-/// Panics if a registered benchmark fails to map — that is a bug, and the
-/// harness is the place to find out.
+/// Maps the Table I benchmark list with `Domino_Map` and `RS_Map` using
+/// the default (parallel) schedule.
 pub fn run_table1() -> Vec<Table1Row> {
-    let config = MapConfig::default();
-    registry::TABLE1
-        .iter()
-        .map(|&name| {
-            let network = registry::benchmark(name).expect("registered benchmark");
-            let base = Mapper::baseline(config)
-                .run(&network)
-                .expect("baseline maps");
-            let rs = Mapper::rearrange_stacks(config)
-                .run(&network)
-                .expect("rs maps");
-            eprintln!("  {name}: base {} / rs {}", base.counts, rs.counts);
-            Table1Row {
-                name,
-                base: base.counts,
-                rs: rs.counts,
-            }
-        })
-        .collect()
+    run_table1_with(HarnessMode::default())
+}
+
+/// [`run_table1`] under an explicit [`HarnessMode`].
+pub fn run_table1_with(mode: HarnessMode) -> Vec<Table1Row> {
+    let config = mode.apply(MapConfig::default());
+    run_rows(mode, registry::TABLE1, |name| {
+        let network = registry::benchmark(name).expect("registered benchmark");
+        let base = map_one(Mapper::baseline, config, &network);
+        let rs = map_one(Mapper::rearrange_stacks, config, &network);
+        eprintln!("  {name}: base {} / rs {}", describe(&base), describe(&rs));
+        Table1Row { name, base, rs }
+    })
 }
 
 /// A measured Table II row.
@@ -58,35 +162,31 @@ pub struct Table2Row {
     /// Benchmark name.
     pub name: &'static str,
     /// Measured `Domino_Map` counts.
-    pub base: TransistorCounts,
+    pub base: RowResult,
     /// Measured `SOI_Domino_Map` counts.
-    pub soi: TransistorCounts,
+    pub soi: RowResult,
 }
 
 /// Maps the Table II benchmark list with `Domino_Map` and
-/// `SOI_Domino_Map`.
-///
-/// # Panics
-///
-/// Panics if a registered benchmark fails to map.
+/// `SOI_Domino_Map` using the default (parallel) schedule.
 pub fn run_table2() -> Vec<Table2Row> {
-    let config = MapConfig::default();
-    registry::TABLE2
-        .iter()
-        .map(|&name| {
-            let network = registry::benchmark(name).expect("registered benchmark");
-            let base = Mapper::baseline(config)
-                .run(&network)
-                .expect("baseline maps");
-            let soi = Mapper::soi(config).run(&network).expect("soi maps");
-            eprintln!("  {name}: base {} / soi {}", base.counts, soi.counts);
-            Table2Row {
-                name,
-                base: base.counts,
-                soi: soi.counts,
-            }
-        })
-        .collect()
+    run_table2_with(HarnessMode::default())
+}
+
+/// [`run_table2`] under an explicit [`HarnessMode`].
+pub fn run_table2_with(mode: HarnessMode) -> Vec<Table2Row> {
+    let config = mode.apply(MapConfig::default());
+    run_rows(mode, registry::TABLE2, |name| {
+        let network = registry::benchmark(name).expect("registered benchmark");
+        let base = map_one(Mapper::baseline, config, &network);
+        let soi = map_one(Mapper::soi, config, &network);
+        eprintln!(
+            "  {name}: base {} / soi {}",
+            describe(&base),
+            describe(&soi)
+        );
+        Table2Row { name, base, soi }
+    })
 }
 
 /// A measured Table III row.
@@ -95,36 +195,34 @@ pub struct Table3Row {
     /// Benchmark name.
     pub name: &'static str,
     /// Measured counts at `k = 1`.
-    pub k1: TransistorCounts,
+    pub k1: RowResult,
     /// Measured counts at `k = 2`.
-    pub k2: TransistorCounts,
+    pub k2: RowResult,
 }
 
 /// Maps the Table III benchmark list with `SOI_Domino_Map` at clock
-/// weights 1 and 2.
-///
-/// # Panics
-///
-/// Panics if a registered benchmark fails to map.
+/// weights 1 and 2 using the default (parallel) schedule.
 pub fn run_table3() -> Vec<Table3Row> {
-    registry::TABLE3
-        .iter()
-        .map(|&name| {
-            let network = registry::benchmark(name).expect("registered benchmark");
-            let k1 = Mapper::soi(MapConfig::with_clock_weight(1))
-                .run(&network)
-                .expect("k=1 maps");
-            let k2 = Mapper::soi(MapConfig::with_clock_weight(2))
-                .run(&network)
-                .expect("k=2 maps");
-            eprintln!("  {name}: k1 {} / k2 {}", k1.counts, k2.counts);
-            Table3Row {
-                name,
-                k1: k1.counts,
-                k2: k2.counts,
-            }
-        })
-        .collect()
+    run_table3_with(HarnessMode::default())
+}
+
+/// [`run_table3`] under an explicit [`HarnessMode`].
+pub fn run_table3_with(mode: HarnessMode) -> Vec<Table3Row> {
+    run_rows(mode, registry::TABLE3, |name| {
+        let network = registry::benchmark(name).expect("registered benchmark");
+        let k1 = map_one(
+            Mapper::soi,
+            mode.apply(MapConfig::with_clock_weight(1)),
+            &network,
+        );
+        let k2 = map_one(
+            Mapper::soi,
+            mode.apply(MapConfig::with_clock_weight(2)),
+            &network,
+        );
+        eprintln!("  {name}: k1 {} / k2 {}", describe(&k1), describe(&k2));
+        Table3Row { name, k1, k2 }
+    })
 }
 
 /// A measured Table IV row.
@@ -132,38 +230,33 @@ pub fn run_table3() -> Vec<Table3Row> {
 pub struct Table4Row {
     /// Benchmark name.
     pub name: &'static str,
-    /// Depth of the unate 2-input network (the paper's `L` column).
-    pub network_depth: u32,
-    /// Measured `Domino_Map` counts under the depth objective.
-    pub base: TransistorCounts,
+    /// Measured `Domino_Map` counts under the depth objective (its
+    /// [`RowMeasure::depth`] is the paper's `L` column).
+    pub base: RowResult,
     /// Measured `SOI_Domino_Map` counts under the depth objective.
-    pub soi: TransistorCounts,
+    pub soi: RowResult,
 }
 
-/// Maps the Table IV benchmark list under the depth objective.
-///
-/// # Panics
-///
-/// Panics if a registered benchmark fails to map.
+/// Maps the Table IV benchmark list under the depth objective using the
+/// default (parallel) schedule.
 pub fn run_table4() -> Vec<Table4Row> {
-    let config = MapConfig::depth();
-    registry::TABLE4
-        .iter()
-        .map(|&name| {
-            let network = registry::benchmark(name).expect("registered benchmark");
-            let base = Mapper::baseline(config)
-                .run(&network)
-                .expect("baseline maps");
-            let soi = Mapper::soi(config).run(&network).expect("soi maps");
-            eprintln!("  {name}: base {} / soi {}", base.counts, soi.counts);
-            Table4Row {
-                name,
-                network_depth: base.unate_depth,
-                base: base.counts,
-                soi: soi.counts,
-            }
-        })
-        .collect()
+    run_table4_with(HarnessMode::default())
+}
+
+/// [`run_table4`] under an explicit [`HarnessMode`].
+pub fn run_table4_with(mode: HarnessMode) -> Vec<Table4Row> {
+    let config = mode.apply(MapConfig::depth());
+    run_rows(mode, registry::TABLE4, |name| {
+        let network = registry::benchmark(name).expect("registered benchmark");
+        let base = map_one(Mapper::baseline, config, &network);
+        let soi = map_one(Mapper::soi, config, &network);
+        eprintln!(
+            "  {name}: base {} / soi {}",
+            describe(&base),
+            describe(&soi)
+        );
+        Table4Row { name, base, soi }
+    })
 }
 
 fn pct(old: u32, new: u32) -> f64 {
@@ -172,6 +265,16 @@ fn pct(old: u32, new: u32) -> f64 {
     } else {
         100.0 * (f64::from(old) - f64::from(new)) / f64::from(old)
     }
+}
+
+/// Writes the standard error line for a row whose mapping failed.
+fn render_error_row(out: &mut String, name: &str, row: &RowResult, other: &RowResult) {
+    let msg = match (row, other) {
+        (Err(e), _) => e.to_string(),
+        (_, Err(e)) => e.to_string(),
+        _ => unreachable!("render_error_row called on an all-Ok row"),
+    };
+    let _ = writeln!(out, "{name:<8} | unmapped: {msg}");
 }
 
 /// Formats Table I with the paper's columns and a comparison footer.
@@ -188,11 +291,20 @@ pub fn render_table1(rows: &[Table1Row]) -> String {
     );
     let mut disch_sum = 0.0;
     let mut total_sum = 0.0;
+    let mut ok_rows = 0usize;
     for row in rows {
-        let dd = pct(row.base.discharge, row.rs.discharge);
-        let dt = pct(row.base.total, row.rs.total);
+        let (base, rs) = match (&row.base, &row.rs) {
+            (Ok(base), Ok(rs)) => (base, rs),
+            _ => {
+                render_error_row(&mut out, row.name, &row.base, &row.rs);
+                continue;
+            }
+        };
+        let dd = pct(base.counts.discharge, rs.counts.discharge);
+        let dt = pct(base.counts.total, rs.counts.total);
         disch_sum += dd;
         total_sum += dt;
+        ok_rows += 1;
         let paper = paper::TABLE1.iter().find(|p| p.name == row.name);
         let paper_txt = paper
             .map(|p| format!("{}+{} → {}+{}", p.base.0, p.base.1, p.rs.0, p.rs.1))
@@ -201,18 +313,18 @@ pub fn render_table1(rows: &[Table1Row]) -> String {
             out,
             "{:<8} | {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7} | {:>8.2} {:>8.2} | {}",
             row.name,
-            row.base.logic,
-            row.base.discharge,
-            row.base.total,
-            row.rs.logic,
-            row.rs.discharge,
-            row.rs.total,
+            base.counts.logic,
+            base.counts.discharge,
+            base.counts.total,
+            rs.counts.logic,
+            rs.counts.discharge,
+            rs.counts.total,
             dd,
             dt,
             paper_txt
         );
     }
-    let n = rows.len() as f64;
+    let n = ok_rows.max(1) as f64;
     let _ = writeln!(
         out,
         "Average: dDisch {:.2}% (paper {:.2}%), dTotal {:.2}% (paper {:.2}%)",
@@ -238,11 +350,20 @@ pub fn render_table2(rows: &[Table2Row]) -> String {
     );
     let mut disch_sum = 0.0;
     let mut total_sum = 0.0;
+    let mut ok_rows = 0usize;
     for row in rows {
-        let dd = pct(row.base.discharge, row.soi.discharge);
-        let dt = pct(row.base.total, row.soi.total);
+        let (base, soi) = match (&row.base, &row.soi) {
+            (Ok(base), Ok(soi)) => (base, soi),
+            _ => {
+                render_error_row(&mut out, row.name, &row.base, &row.soi);
+                continue;
+            }
+        };
+        let dd = pct(base.counts.discharge, soi.counts.discharge);
+        let dt = pct(base.counts.total, soi.counts.total);
         disch_sum += dd;
         total_sum += dt;
+        ok_rows += 1;
         let paper = paper::TABLE2.iter().find(|p| p.name == row.name);
         let paper_txt = paper
             .map(|p| format!("{}+{} → {}+{}", p.base.0, p.base.1, p.soi.0, p.soi.1))
@@ -251,18 +372,18 @@ pub fn render_table2(rows: &[Table2Row]) -> String {
             out,
             "{:<8} | {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7} | {:>8.2} {:>8.2} | {}",
             row.name,
-            row.base.logic,
-            row.base.discharge,
-            row.base.total,
-            row.soi.logic,
-            row.soi.discharge,
-            row.soi.total,
+            base.counts.logic,
+            base.counts.discharge,
+            base.counts.total,
+            soi.counts.logic,
+            soi.counts.discharge,
+            soi.counts.total,
             dd,
             dt,
             paper_txt
         );
     }
-    let n = rows.len() as f64;
+    let n = ok_rows.max(1) as f64;
     let _ = writeln!(
         out,
         "Average: dDisch {:.2}% (paper {:.2}%), dTotal {:.2}% (paper {:.2}%)",
@@ -289,30 +410,39 @@ pub fn render_table3(rows: &[Table3Row]) -> String {
         "dTclk%"
     );
     let mut imp_sum = 0.0;
+    let mut ok_rows = 0usize;
     for row in rows {
-        let imp = pct(row.k1.clock, row.k2.clock);
+        let (k1, k2) = match (&row.k1, &row.k2) {
+            (Ok(k1), Ok(k2)) => (k1, k2),
+            _ => {
+                render_error_row(&mut out, row.name, &row.k1, &row.k2);
+                continue;
+            }
+        };
+        let imp = pct(k1.counts.clock, k2.counts.clock);
         imp_sum += imp;
+        ok_rows += 1;
         let paper = paper::TABLE3.iter().find(|p| p.name == row.name);
         let _ =
             writeln!(
             out,
             "{:<8} | {:>6} {:>6} {:>6} {:>4} {:>6} | {:>6} {:>6} {:>6} {:>4} {:>6} | {:>8.2} | {}",
             row.name,
-            row.k1.logic,
-            row.k1.discharge,
-            row.k1.total,
-            row.k1.gates,
-            row.k1.clock,
-            row.k2.logic,
-            row.k2.discharge,
-            row.k2.total,
-            row.k2.gates,
-            row.k2.clock,
+            k1.counts.logic,
+            k1.counts.discharge,
+            k1.counts.total,
+            k1.counts.gates,
+            k1.counts.clock,
+            k2.counts.logic,
+            k2.counts.discharge,
+            k2.counts.total,
+            k2.counts.gates,
+            k2.counts.clock,
             imp,
             paper.map(|p| format!("{:.2}", p.improvement)).unwrap_or_default()
         );
     }
-    let n = rows.len() as f64;
+    let n = ok_rows.max(1) as f64;
     let _ = writeln!(
         out,
         "Average T_clock improvement: {:.2}% (paper {:.2}%)",
@@ -333,25 +463,34 @@ pub fn render_table4(rows: &[Table4Row]) -> String {
     );
     let mut disch_sum = 0.0;
     let mut level_sum = 0.0;
+    let mut ok_rows = 0usize;
     for row in rows {
-        let dd = pct(row.base.discharge, row.soi.discharge);
-        let dl = pct(row.base.levels, row.soi.levels);
+        let (base, soi) = match (&row.base, &row.soi) {
+            (Ok(base), Ok(soi)) => (base, soi),
+            _ => {
+                render_error_row(&mut out, row.name, &row.base, &row.soi);
+                continue;
+            }
+        };
+        let dd = pct(base.counts.discharge, soi.counts.discharge);
+        let dl = pct(base.counts.levels, soi.counts.levels);
         disch_sum += dd;
         level_sum += dl;
+        ok_rows += 1;
         let paper = paper::TABLE4.iter().find(|p| p.name == row.name);
         let _ = writeln!(
             out,
             "{:<8} {:>4} | {:>6} {:>6} {:>6} {:>3} | {:>6} {:>6} {:>6} {:>3} | {:>8.2} {:>7.2} | {}",
             row.name,
-            row.network_depth,
-            row.base.logic,
-            row.base.discharge,
-            row.base.total,
-            row.base.levels,
-            row.soi.logic,
-            row.soi.discharge,
-            row.soi.total,
-            row.soi.levels,
+            base.depth,
+            base.counts.logic,
+            base.counts.discharge,
+            base.counts.total,
+            base.counts.levels,
+            soi.counts.logic,
+            soi.counts.discharge,
+            soi.counts.total,
+            soi.counts.levels,
             dd,
             dl,
             paper
@@ -359,7 +498,7 @@ pub fn render_table4(rows: &[Table4Row]) -> String {
                 .unwrap_or_default()
         );
     }
-    let n = rows.len() as f64;
+    let n = ok_rows.max(1) as f64;
     let _ = writeln!(
         out,
         "Average: dDisch {:.2}% (paper {:.2}%), dL {:.2}% (paper {:.2}%)",
@@ -389,7 +528,7 @@ pub struct AuditedRow {
 /// every mapping is validated, checked for PBE hazards, and audited
 /// end-to-end against the source network before its counts are trusted.
 ///
-/// Unlike the `run_table*` functions this never panics on a mapping
+/// Like the `run_table*` functions this never panics on a mapping
 /// failure: the typed [`soi_guard::StageError`] is returned instead, naming
 /// the stage and circuit that broke.
 ///
@@ -417,27 +556,44 @@ pub fn run_audited(
 }
 
 /// Average discharge-reduction percentage of a measured Table II run —
-/// the paper's headline number (53%).
+/// the paper's headline number (53%). Rows that failed to map are
+/// excluded.
 pub fn table2_average_discharge_reduction(rows: &[Table2Row]) -> f64 {
-    rows.iter()
-        .map(|r| pct(r.base.discharge, r.soi.discharge))
-        .sum::<f64>()
-        / rows.len() as f64
+    let oks: Vec<f64> = rows
+        .iter()
+        .filter_map(|r| match (&r.base, &r.soi) {
+            (Ok(base), Ok(soi)) => Some(pct(base.counts.discharge, soi.counts.discharge)),
+            _ => None,
+        })
+        .collect();
+    oks.iter().sum::<f64>() / (oks.len().max(1) as f64)
 }
 
 /// Average discharge-reduction percentage of a measured Table I run (the
-/// paper reports 25.4%).
+/// paper reports 25.4%). Rows that failed to map are excluded.
 pub fn table1_average_discharge_reduction(rows: &[Table1Row]) -> f64 {
-    rows.iter()
-        .map(|r| pct(r.base.discharge, r.rs.discharge))
-        .sum::<f64>()
-        / rows.len() as f64
+    let oks: Vec<f64> = rows
+        .iter()
+        .filter_map(|r| match (&r.base, &r.rs) {
+            (Ok(base), Ok(rs)) => Some(pct(base.counts.discharge, rs.counts.discharge)),
+            _ => None,
+        })
+        .collect();
+    oks.iter().sum::<f64>() / (oks.len().max(1) as f64)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use soi_mapper::Algorithm;
+
+    fn measure(counts: TransistorCounts) -> RowResult {
+        Ok(RowMeasure {
+            counts,
+            degraded: false,
+            depth: 2,
+        })
+    }
 
     /// A miniature version of the table pipeline on the three smallest
     /// benchmarks, checking the qualitative shape without the cost of a
@@ -470,27 +626,99 @@ mod tests {
     fn renderers_include_every_circuit() {
         let rows = vec![Table1Row {
             name: "cm150",
-            base: TransistorCounts {
+            base: measure(TransistorCounts {
                 logic: 76,
                 discharge: 31,
                 total: 107,
                 clock: 41,
                 gates: 5,
                 levels: 2,
-            },
-            rs: TransistorCounts {
+            }),
+            rs: measure(TransistorCounts {
                 logic: 76,
                 discharge: 0,
                 total: 76,
                 clock: 10,
                 gates: 5,
                 levels: 2,
-            },
+            }),
         }];
         let text = render_table1(&rows);
         assert!(text.contains("cm150"));
         assert!(text.contains("100.00"));
         assert!(text.contains("paper 25.41"));
+    }
+
+    #[test]
+    fn renderers_survive_and_mark_error_rows() {
+        let ok_counts = TransistorCounts {
+            logic: 10,
+            discharge: 4,
+            total: 14,
+            clock: 3,
+            gates: 2,
+            levels: 1,
+        };
+        let rows = vec![
+            Table2Row {
+                name: "good",
+                base: measure(ok_counts),
+                soi: measure(ok_counts),
+            },
+            Table2Row {
+                name: "bad",
+                base: measure(ok_counts),
+                soi: Err(MapError::Unmappable {
+                    what: "node 7 exceeds H_max".into(),
+                }),
+            },
+        ];
+        let text = render_table2(&rows);
+        assert!(text.contains("good"));
+        assert!(text.contains("bad"));
+        assert!(text.contains("unmapped: no feasible tuple"));
+        // The failed row contributes nothing to the average (0% change on
+        // the identical good row).
+        assert_eq!(table2_average_discharge_reduction(&rows), 0.0);
+    }
+
+    #[test]
+    fn averages_of_all_error_rows_are_zero_not_nan() {
+        let rows = vec![Table1Row {
+            name: "bad",
+            base: Err(MapError::InvalidConfig { what: "w".into() }),
+            rs: Err(MapError::InvalidConfig { what: "w".into() }),
+        }];
+        assert_eq!(table1_average_discharge_reduction(&rows), 0.0);
+        let text = render_table1(&rows);
+        assert!(text.contains("unmapped"));
+        assert!(!text.contains("NaN"));
+    }
+
+    #[test]
+    fn serial_and_parallel_row_runners_agree() {
+        let names: &[&'static str] = &["cm150", "mux", "z4ml", "b9"];
+        let serial = run_rows(HarnessMode::Serial, names, |n| n.len());
+        let parallel = run_rows(HarnessMode::Parallel, names, |n| n.len());
+        assert_eq!(serial, parallel);
+        assert_eq!(serial, vec![5, 3, 4, 2]);
+    }
+
+    #[test]
+    fn map_one_retries_unmappable_with_degradation() {
+        // No 2-input node fits W≤1, H≤1; the harness must come back with
+        // a degraded measurement instead of an error.
+        let network = registry::benchmark("mux").unwrap();
+        let config = MapConfig {
+            w_max: 1,
+            h_max: 1,
+            ..MapConfig::default()
+        };
+        let row = map_one(Mapper::soi, config, &network);
+        match row {
+            Ok(m) => assert!(m.degraded, "expected the degraded retry to be recorded"),
+            Err(e) => panic!("expected degraded success, got {e}"),
+        }
     }
 
     #[test]

@@ -12,7 +12,9 @@
 //! * `table3` — `SOI_Domino_Map` under clock-transistor weights `k = 1`
 //!   and `k = 2` (Table III),
 //! * `table4` — depth objective (Table IV),
-//! * `ablation` — the design-choice studies indexed in `DESIGN.md`.
+//! * `ablation` — the design-choice studies indexed in `DESIGN.md`,
+//! * `bench` — wall-clock serial-vs-parallel baseline, written to
+//!   `BENCH_pr2.json`.
 //!
 //! Criterion benches in `benches/` measure mapper throughput.
 
@@ -20,5 +22,7 @@ pub mod harness;
 pub mod paper;
 
 pub use harness::{
-    run_table1, run_table2, run_table3, run_table4, Table1Row, Table2Row, Table3Row, Table4Row,
+    run_table1, run_table1_with, run_table2, run_table2_with, run_table3, run_table3_with,
+    run_table4, run_table4_with, HarnessMode, RowMeasure, RowResult, Table1Row, Table2Row,
+    Table3Row, Table4Row,
 };

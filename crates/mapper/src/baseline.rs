@@ -11,117 +11,118 @@
 //! else's problem, namely `soi_pbe::postprocess` (and `soi_pbe::rearrange`
 //! for `RS_Map`).
 
-use std::collections::HashMap;
+use soi_unate::{UId, UNode, UnateNetwork};
 
-use soi_unate::{UNode, UnateNetwork};
-
-use crate::dp;
-use crate::tuple::{Cand, CandRef, Form, NodeSol, TupleKey};
-use crate::{Algorithm, CostModel, MapConfig, MapError};
+use crate::dp::{self, NodeCtx, NodeOutcome, Scratch, SolView};
+use crate::tuple::{Cand, CandRef, ExportMap, Form, NodeSol, TupleKey};
+use crate::{Algorithm, MapConfig, MapError};
 
 /// Runs the baseline DP, producing one [`NodeSol`] per unate node.
 pub(crate) fn solve(unate: &UnateNetwork, config: &MapConfig) -> Result<dp::Solution, MapError> {
-    dp::check_gate_budget(unate, config)?;
-    let model = CostModel::new(config, Algorithm::DominoMap);
-    let fanouts = dp::fanouts(unate);
-    let mut budget = dp::Budget::new(config);
-    let mut degraded: Vec<soi_unate::UId> = Vec::new();
-    let mut sols: Vec<NodeSol> = Vec::with_capacity(unate.len());
+    dp::run_dp(unate, config, Algorithm::DominoMap, solve_node)
+}
 
-    for (id, node) in unate.iter() {
-        let sol = match node {
-            UNode::Lit(l) => dp::literal_sol(id, l, config, &model),
-            UNode::And(a, b) | UNode::Or(a, b) => {
-                let is_and = matches!(node, UNode::And(..));
-                // Best candidate per shape.
-                let mut bare: HashMap<TupleKey, Cand> = HashMap::new();
-                for (ra, ca) in sols[a.index()].exported_refs(a) {
-                    for (rb, cb) in sols[b.index()].exported_refs(b) {
-                        budget.charge(id)?;
-                        let key = if is_and {
-                            ra.key.and(rb.key)
-                        } else {
-                            ra.key.or(rb.key)
-                        };
-                        if !key.fits(config.w_max, config.h_max) {
-                            continue;
-                        }
-                        let cand = combine(config.baseline_order, is_and, ra, ca, rb, cb);
-                        match bare.get(&key) {
-                            Some(existing) if !model.better(&cand.g, &existing.g) => {}
-                            _ => {
-                                bare.insert(key, cand);
-                            }
-                        }
-                    }
-                }
-                if bare.is_empty() && config.degrade_unmappable {
-                    // Forced gate boundary: combine the children's single-
-                    // gate `{1,1}` candidates, accepting the out-of-limits
-                    // shape, and record the node as degraded.
-                    for (ra, ca) in sols[a.index()].exported_refs(a) {
-                        if ra.key != TupleKey::UNIT {
-                            continue;
-                        }
-                        for (rb, cb) in sols[b.index()].exported_refs(b) {
-                            if rb.key != TupleKey::UNIT {
-                                continue;
-                            }
-                            budget.charge(id)?;
-                            let key = if is_and {
-                                ra.key.and(rb.key)
-                            } else {
-                                ra.key.or(rb.key)
-                            };
-                            let cand = combine(config.baseline_order, is_and, ra, ca, rb, cb);
-                            match bare.get(&key) {
-                                Some(existing) if !model.better(&cand.g, &existing.g) => {}
-                                _ => {
-                                    bare.insert(key, cand);
-                                }
-                            }
-                        }
-                    }
-                    degraded.push(id);
-                }
-                if bare.is_empty() {
-                    return Err(MapError::Unmappable {
-                        what: format!(
-                            "node {id} has no (W ≤ {}, H ≤ {}) combination",
-                            config.w_max, config.h_max
-                        ),
-                    });
-                }
-                if bare.len() > config.limits.max_tuples_per_node {
-                    // The baseline keeps one candidate per shape, so the
-                    // tuple cap is a shape cap here: keep the cheapest.
-                    let mut shapes: Vec<TupleKey> = bare.keys().copied().collect();
-                    shapes.sort_by_key(|k| (model.key(&bare[k].g), k.w, k.h));
-                    for k in shapes.split_off(config.limits.max_tuples_per_node) {
-                        bare.remove(&k);
-                    }
-                }
-                let bare_vec: Vec<(TupleKey, Cand)> =
-                    bare.iter().map(|(k, c)| (*k, c.clone())).collect();
-                let mut sol = NodeSol::default();
-                sol.gate = dp::form_gate(&sol, config, &model, &bare_vec);
-                let gate = sol.gate.as_ref().expect("nonempty bare set");
-                let gate_cand = dp::exported_gate_cand(id, gate, fanouts[id.index()], config);
-                if fanouts[id.index()] <= 1 || config.allow_duplication {
-                    for (key, cand) in bare {
-                        sol.exported.insert(key, vec![cand]);
-                    }
-                }
-                sol.exported
-                    .entry(TupleKey::UNIT)
-                    .or_default()
-                    .push(gate_cand);
-                sol
+/// Solves one unate node: keep the single best candidate per shape.
+fn solve_node(
+    ctx: &NodeCtx<'_>,
+    view: &SolView<'_>,
+    scratch: &mut Scratch,
+    id: UId,
+    node: UNode,
+) -> Result<NodeOutcome, MapError> {
+    let config = ctx.config;
+    let model = ctx.model;
+    let (a, b, is_and) = match node {
+        UNode::Lit(l) => return Ok((dp::literal_sol(id, l, config, model), false)),
+        UNode::And(a, b) => (a, b, true),
+        UNode::Or(a, b) => (a, b, false),
+    };
+    let (sol_a, sol_b) = (view.get(a), view.get(b));
+    // Best candidate per shape, accumulated in the reused scratch arena.
+    let bare = &mut scratch.best;
+    bare.clear();
+    for (ra, ca) in sol_a.exported_refs(a) {
+        for (rb, cb) in sol_b.exported_refs(b) {
+            ctx.budget.charge(id)?;
+            let key = if is_and {
+                ra.key.and(rb.key)
+            } else {
+                ra.key.or(rb.key)
+            };
+            if !key.fits(config.w_max, config.h_max) {
+                continue;
             }
-        };
-        sols.push(sol);
+            let cand = combine(config.baseline_order, is_and, ra, ca, rb, cb);
+            match bare.get(&key) {
+                Some(existing) if !model.better(&cand.g, &existing.g) => {}
+                _ => {
+                    bare.insert(key, cand);
+                }
+            }
+        }
     }
-    Ok(dp::Solution { sols, degraded })
+    let mut degraded = false;
+    if bare.is_empty() && config.degrade_unmappable {
+        // Forced gate boundary: combine the children's single-gate `{1,1}`
+        // candidates, accepting the out-of-limits shape, and record the
+        // node as degraded.
+        for (ra, ca) in sol_a.exported_refs(a) {
+            if ra.key != TupleKey::UNIT {
+                continue;
+            }
+            for (rb, cb) in sol_b.exported_refs(b) {
+                if rb.key != TupleKey::UNIT {
+                    continue;
+                }
+                ctx.budget.charge(id)?;
+                let key = if is_and {
+                    ra.key.and(rb.key)
+                } else {
+                    ra.key.or(rb.key)
+                };
+                let cand = combine(config.baseline_order, is_and, ra, ca, rb, cb);
+                match bare.get(&key) {
+                    Some(existing) if !model.better(&cand.g, &existing.g) => {}
+                    _ => {
+                        bare.insert(key, cand);
+                    }
+                }
+            }
+        }
+        degraded = true;
+    }
+    if bare.is_empty() {
+        return Err(MapError::Unmappable {
+            what: format!(
+                "node {id} has no (W ≤ {}, H ≤ {}) combination",
+                config.w_max, config.h_max
+            ),
+        });
+    }
+    if bare.len() > config.limits.max_tuples_per_node {
+        // The baseline keeps one candidate per shape, so the tuple cap is
+        // a shape cap here: keep the cheapest.
+        let mut shapes: Vec<TupleKey> = bare.keys().copied().collect();
+        shapes.sort_by_key(|k| (model.key(&bare[k].g), k.w, k.h));
+        for k in shapes.split_off(config.limits.max_tuples_per_node) {
+            bare.remove(&k);
+        }
+    }
+    let mut exported = ExportMap::default();
+    for (key, cand) in bare.drain() {
+        exported.push(key, cand);
+    }
+    let mut sol = NodeSol {
+        gate: dp::form_gate(config, model, exported.flat()),
+        ..NodeSol::default()
+    };
+    let gate = sol.gate.as_ref().expect("nonempty bare set");
+    let gate_cand = dp::exported_gate_cand(id, gate, ctx.fanouts[id.index()], config);
+    if ctx.fanouts[id.index()] <= 1 || config.allow_duplication {
+        sol.exported = exported;
+    }
+    sol.exported.push(TupleKey::UNIT, gate_cand);
+    Ok((sol, degraded))
 }
 
 /// PBE-blind combination. Potential-point bookkeeping (`p_dis`, `par_b`)

@@ -68,6 +68,51 @@ pub enum AndOrder {
     BulkTypical,
 }
 
+/// How the DP schedules its work across threads.
+///
+/// The parallel schedule partitions the unate network into fanout-free
+/// cone units and solves independent units on scoped threads, joining at
+/// multi-fanout boundaries. Results are bit-identical across all modes:
+/// every per-node computation is a pure function of its fanins' solutions
+/// and candidate enumeration order is deterministic, so the only thing
+/// parallelism changes is wall-clock time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Use all available hardware threads, falling back to serial for
+    /// networks too small to amortize thread spawning.
+    #[default]
+    Auto,
+    /// Single-threaded topological walk (the reference schedule).
+    Serial,
+    /// Exactly this many worker threads per scheduling level, regardless
+    /// of network size (values are clamped to at least 1).
+    Threads(usize),
+}
+
+impl Parallelism {
+    /// Networks below this node count run serially under
+    /// [`Parallelism::Auto`]: per-level thread spawning costs more than
+    /// the DP itself on tiny inputs.
+    pub const AUTO_SERIAL_THRESHOLD: usize = 128;
+
+    /// The worker-thread count to use for a network of `nodes` nodes.
+    pub(crate) fn threads(self, nodes: usize) -> usize {
+        match self {
+            Parallelism::Serial => 1,
+            Parallelism::Threads(n) => n.max(1),
+            Parallelism::Auto => {
+                if nodes < Self::AUTO_SERIAL_THRESHOLD {
+                    1
+                } else {
+                    std::thread::available_parallelism()
+                        .map(std::num::NonZeroUsize::get)
+                        .unwrap_or(1)
+                }
+            }
+        }
+    }
+}
+
 /// Deterministic resource budget for one mapping run.
 ///
 /// Untrusted or adversarial networks can blow up the tuple DP — wide
@@ -159,6 +204,8 @@ pub struct MapConfig {
     pub allow_duplication: bool,
     /// Deterministic resource budget the DP is charged against.
     pub limits: Limits,
+    /// Thread schedule of the DP (results are identical in every mode).
+    pub parallelism: Parallelism,
     /// When a node has no `(W ≤ w_max, H ≤ h_max)` combination, force a
     /// gate boundary there by combining the children's single-gate
     /// candidates even though the resulting shape violates the limits, and
@@ -184,6 +231,7 @@ impl Default for MapConfig {
             output_phase: OutputPhase::Positive,
             allow_duplication: false,
             limits: Limits::default(),
+            parallelism: Parallelism::default(),
             degrade_unmappable: false,
         }
     }

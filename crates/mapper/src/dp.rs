@@ -1,9 +1,14 @@
-//! Shared pieces of the two tuple DPs.
+//! Shared pieces of the two tuple DPs, including the driver that walks a
+//! unate network — serially or across independent fanout-free cones on
+//! scoped threads — and hands each node to an algorithm-specific solver.
 
-use soi_unate::{Literal, UId, UnateNetwork};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use soi_unate::{ConePartition, Literal, UId, UNode, UnateNetwork};
 
 use crate::tuple::{Cand, Form, GateSol, NodeSol, TupleKey};
-use crate::{Cost, CostModel, Footing, MapConfig, MapError};
+use crate::{Algorithm, Cost, CostModel, Footing, MapConfig, MapError};
 
 /// The product of one DP run over a unate network.
 pub(crate) struct Solution {
@@ -12,27 +17,38 @@ pub(crate) struct Solution {
     /// Nodes where the degradation fallback forced a gate boundary (empty
     /// unless [`MapConfig::degrade_unmappable`] is set and triggered).
     pub(crate) degraded: Vec<UId>,
+    /// Largest exported-candidate count any single node reached — the
+    /// memory high-water mark of the DP (diagnostics; deterministic).
+    pub(crate) peak_candidates: usize,
 }
 
 /// Running charge against the per-run combine-step budget
 /// ([`crate::Limits::max_combine_steps`]).
+///
+/// The counter is a shared atomic so cone workers running on different
+/// threads charge the same global allowance: the budget stays a single
+/// deterministic limit on the *total* amount of combination work, not a
+/// per-thread one. Whether a run trips the budget is therefore identical
+/// between serial and parallel execution (the same combinations are
+/// performed either way); only which node reports the exhaustion first may
+/// differ under contention.
 pub(crate) struct Budget {
-    steps: u64,
+    steps: AtomicU64,
     max_steps: u64,
 }
 
 impl Budget {
     pub(crate) fn new(config: &MapConfig) -> Budget {
         Budget {
-            steps: 0,
+            steps: AtomicU64::new(0),
             max_steps: config.limits.max_combine_steps,
         }
     }
 
     /// Charges one candidate-combination step at `node`.
-    pub(crate) fn charge(&mut self, node: UId) -> Result<(), MapError> {
-        self.steps += 1;
-        if self.steps > self.max_steps {
+    pub(crate) fn charge(&self, node: UId) -> Result<(), MapError> {
+        let steps = self.steps.fetch_add(1, Ordering::Relaxed) + 1;
+        if steps > self.max_steps {
             return Err(MapError::BudgetExceeded {
                 what: format!(
                     "combine-step budget of {} exhausted at node {node}",
@@ -58,6 +74,221 @@ pub(crate) fn check_gate_budget(unate: &UnateNetwork, config: &MapConfig) -> Res
     Ok(())
 }
 
+/// Read-only context shared by every per-node solver invocation.
+pub(crate) struct NodeCtx<'a> {
+    pub config: &'a MapConfig,
+    pub model: &'a CostModel,
+    pub fanouts: &'a [u32],
+    pub budget: &'a Budget,
+}
+
+/// Per-worker scratch arenas, reused across nodes so the per-node
+/// accumulation maps and pruning buffers are allocated once per worker
+/// instead of once per node.
+#[derive(Default)]
+pub(crate) struct Scratch {
+    /// SOI accumulation: all surviving candidates per shape.
+    pub bare: HashMap<TupleKey, Vec<Cand>>,
+    /// Baseline accumulation: the single best candidate per shape.
+    pub best: HashMap<TupleKey, Cand>,
+    /// Pareto-pruning keep buffer.
+    pub kept: Vec<Cand>,
+}
+
+/// View of the already-solved nodes a solver may read: the globally
+/// published solutions of earlier scheduling levels plus the solutions the
+/// current worker produced in this level (not yet published).
+pub(crate) struct SolView<'a> {
+    global: &'a [Option<NodeSol>],
+    local: &'a [(usize, NodeSol)],
+}
+
+impl SolView<'_> {
+    /// The solution of fanin `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` has not been solved — a scheduling bug.
+    pub fn get(&self, id: UId) -> &NodeSol {
+        let index = id.index();
+        if let Some(sol) = self.global[index].as_ref() {
+            return sol;
+        }
+        // Within a cone, fanins are usually the most recently solved
+        // nodes; scan the worker-local overlay from the back.
+        self.local
+            .iter()
+            .rev()
+            .find(|(i, _)| *i == index)
+            .map(|(_, sol)| sol)
+            .expect("fanin solved before its consumer")
+    }
+}
+
+/// What a per-node solver returns: the node's solution plus whether the
+/// degradation fallback fired.
+pub(crate) type NodeOutcome = (NodeSol, bool);
+
+/// A per-node DP step: solves `node` given the solutions of its fanins.
+pub(crate) trait NodeSolver: Sync {
+    fn solve_node(
+        &self,
+        ctx: &NodeCtx<'_>,
+        view: &SolView<'_>,
+        scratch: &mut Scratch,
+        id: UId,
+        node: UNode,
+    ) -> Result<NodeOutcome, MapError>;
+}
+
+impl<F> NodeSolver for F
+where
+    F: Fn(&NodeCtx<'_>, &SolView<'_>, &mut Scratch, UId, UNode) -> Result<NodeOutcome, MapError>
+        + Sync,
+{
+    fn solve_node(
+        &self,
+        ctx: &NodeCtx<'_>,
+        view: &SolView<'_>,
+        scratch: &mut Scratch,
+        id: UId,
+        node: UNode,
+    ) -> Result<NodeOutcome, MapError> {
+        self(ctx, view, scratch, id, node)
+    }
+}
+
+/// Runs a per-node solver over the whole network, serially or in parallel
+/// according to [`MapConfig::parallelism`].
+///
+/// The parallel path partitions the topological order into fanout-free
+/// cone units ([`UnateNetwork::cone_partition`]) and processes each
+/// dependency level of that partition with `std::thread::scope`, joining
+/// only at multi-fanout boundaries. Because every per-node computation is
+/// a pure function of its fanins' solutions — and the sorted
+/// [`crate::tuple::ExportMap`] makes candidate enumeration order
+/// deterministic — the parallel result is bit-identical to the serial one.
+pub(crate) fn run_dp<S: NodeSolver>(
+    unate: &UnateNetwork,
+    config: &MapConfig,
+    algorithm: Algorithm,
+    solver: S,
+) -> Result<Solution, MapError> {
+    check_gate_budget(unate, config)?;
+    let model = CostModel::new(config, algorithm);
+    let fanouts = fanouts(unate);
+    let budget = Budget::new(config);
+    let ctx = NodeCtx {
+        config,
+        model: &model,
+        fanouts: &fanouts,
+        budget: &budget,
+    };
+    let threads = config.parallelism.threads(unate.len());
+    let mut sols: Vec<Option<NodeSol>> = (0..unate.len()).map(|_| None).collect();
+    let mut degraded: Vec<UId> = Vec::new();
+    let mut peak_candidates = 0usize;
+
+    if threads <= 1 {
+        let mut scratch = Scratch::default();
+        for (id, node) in unate.iter() {
+            let (sol, deg) = {
+                let view = SolView {
+                    global: &sols,
+                    local: &[],
+                };
+                solver.solve_node(&ctx, &view, &mut scratch, id, node)?
+            };
+            peak_candidates = peak_candidates.max(sol.exported.total_candidates());
+            if deg {
+                degraded.push(id);
+            }
+            sols[id.index()] = Some(sol);
+        }
+    } else {
+        let partition = unate.cone_partition();
+        for level in partition.levels() {
+            let chunk_size = level.len().div_ceil(threads.min(level.len()).max(1));
+            let outcomes: Vec<Result<UnitBatch, MapError>> = std::thread::scope(|s| {
+                let handles: Vec<_> = level
+                    .chunks(chunk_size)
+                    .map(|units| {
+                        let sols = &sols;
+                        let ctx = &ctx;
+                        let partition = &partition;
+                        let solver = &solver;
+                        s.spawn(move || solve_units(ctx, sols, partition, unate, solver, units))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("DP worker panicked"))
+                    .collect()
+            });
+            for outcome in outcomes {
+                let batch = outcome?;
+                peak_candidates = peak_candidates.max(batch.peak_candidates);
+                degraded.extend(batch.degraded);
+                for (index, sol) in batch.sols {
+                    sols[index] = Some(sol);
+                }
+            }
+        }
+        // Workers report degradations in unit order; restore the global
+        // topological order the serial path produces.
+        degraded.sort_unstable();
+    }
+
+    Ok(Solution {
+        sols: sols
+            .into_iter()
+            .map(|s| s.expect("every node solved"))
+            .collect(),
+        degraded,
+        peak_candidates,
+    })
+}
+
+/// Output of one worker's pass over a slice of cone units.
+struct UnitBatch {
+    sols: Vec<(usize, NodeSol)>,
+    degraded: Vec<UId>,
+    peak_candidates: usize,
+}
+
+fn solve_units<S: NodeSolver>(
+    ctx: &NodeCtx<'_>,
+    global: &[Option<NodeSol>],
+    partition: &ConePartition,
+    unate: &UnateNetwork,
+    solver: &S,
+    units: &[usize],
+) -> Result<UnitBatch, MapError> {
+    let mut scratch = Scratch::default();
+    let mut batch = UnitBatch {
+        sols: Vec::new(),
+        degraded: Vec::new(),
+        peak_candidates: 0,
+    };
+    for &unit in units {
+        for &id in partition.unit(unit).nodes() {
+            let (sol, deg) = {
+                let view = SolView {
+                    global,
+                    local: &batch.sols,
+                };
+                solver.solve_node(ctx, &view, &mut scratch, id, unate.node(id))?
+            };
+            batch.peak_candidates = batch.peak_candidates.max(sol.exported.total_candidates());
+            if deg {
+                batch.degraded.push(id);
+            }
+            batch.sols.push((id.index(), sol));
+        }
+    }
+    Ok(batch)
+}
+
 /// Gate-periphery cost: p-clock + output inverter (2) + keeper, plus the
 /// foot n-clock when required. Clock-connected devices weigh
 /// `config.clock_weight`.
@@ -75,14 +306,13 @@ pub(crate) fn gate_overhead(touches_pi: bool, config: &MapConfig) -> (Cost, bool
 
 /// Picks the cheapest bare tuple (by the model's grounded key, ties broken
 /// toward fewer potential discharge points, then smaller shape) and wraps it
-/// into a formed-gate solution.
-pub(crate) fn form_gate(
-    sol: &NodeSol,
+/// into a formed-gate solution. Iterates the candidates in place — no
+/// flattened copy of the bare sets is ever built.
+pub(crate) fn form_gate<'a>(
     config: &MapConfig,
     model: &CostModel,
-    bare: &[(TupleKey, Cand)],
+    bare: impl IntoIterator<Item = (TupleKey, &'a Cand)>,
 ) -> Option<GateSol> {
-    let _ = sol;
     let mut best: Option<(Cost, u32, TupleKey, &Cand)> = None;
     for (key, cand) in bare {
         let (overhead, _) = gate_overhead(cand.touches_pi, config);
@@ -99,7 +329,7 @@ pub(crate) fn form_gate(
             }
         };
         if better {
-            best = Some((cost, cand.p_dis(), *key, cand));
+            best = Some((cost, cand.p_dis(), key, cand));
         }
     }
     best.map(|(cost, _, shape, cand)| {
@@ -107,7 +337,7 @@ pub(crate) fn form_gate(
         GateSol {
             cost,
             footed,
-            form: cand.form.clone(),
+            form: cand.form,
             shape,
         }
     })
@@ -179,9 +409,8 @@ pub(crate) fn literal_sol(
 ) -> NodeSol {
     let mut sol = NodeSol::default();
     let cand = literal_cand(literal);
-    let bare = vec![(TupleKey::UNIT, cand.clone())];
-    sol.gate = form_gate(&sol, config, model, &bare);
-    sol.exported.insert(TupleKey::UNIT, vec![cand]);
+    sol.gate = form_gate(config, model, [(TupleKey::UNIT, &cand)]);
+    sol.exported.push(TupleKey::UNIT, cand);
     sol
 }
 
@@ -249,13 +478,35 @@ mod tests {
     fn budget_charges_and_trips() {
         let mut config = MapConfig::default();
         config.limits.max_combine_steps = 2;
-        let mut b = Budget::new(&config);
+        let b = Budget::new(&config);
         assert!(b.charge(UId::from_index(0)).is_ok());
         assert!(b.charge(UId::from_index(0)).is_ok());
         assert!(matches!(
             b.charge(UId::from_index(0)),
             Err(MapError::BudgetExceeded { .. })
         ));
+    }
+
+    #[test]
+    fn budget_is_shareable_across_threads() {
+        let mut config = MapConfig::default();
+        config.limits.max_combine_steps = 100;
+        let b = Budget::new(&config);
+        let trips: usize = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(|| {
+                        (0..50)
+                            .filter(|_| b.charge(UId::from_index(0)).is_err())
+                            .count()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        // 200 charges against a budget of 100: exactly 100 must fail,
+        // regardless of interleaving.
+        assert_eq!(trips, 100);
     }
 
     #[test]

@@ -4,7 +4,7 @@ use std::fmt;
 use soi_unate::UnateError;
 
 /// Errors produced by the technology mappers.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 #[non_exhaustive]
 pub enum MapError {
     /// The configuration is out of bounds.

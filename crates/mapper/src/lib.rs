@@ -59,7 +59,7 @@ mod report;
 mod soi;
 mod tuple;
 
-pub use config::{Algorithm, AndOrder, Footing, Limits, MapConfig, Objective};
+pub use config::{Algorithm, AndOrder, Footing, Limits, MapConfig, Objective, Parallelism};
 pub use cost::{Cost, CostModel};
 pub use error::MapError;
 pub use map::Mapper;

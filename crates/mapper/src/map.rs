@@ -124,6 +124,7 @@ impl Mapper {
             unate_gates: ustats.gates(),
             unate_depth: ustats.depth,
             degraded_nodes: solution.degraded.iter().map(|id| id.index()).collect(),
+            peak_candidates: solution.peak_candidates,
         })
     }
 }

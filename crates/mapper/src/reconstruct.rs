@@ -118,9 +118,7 @@ impl Ctx<'_> {
     }
 
     fn build_ref(&mut self, cand: &CandRef) -> Pdn {
-        let form = self.sols[cand.node.index()].exported[&cand.key][cand.idx]
-            .form
-            .clone();
+        let form = self.sols[cand.node.index()].exported[&cand.key][cand.idx].form;
         let _ = self.unate; // structure comes entirely from the back-pointers
         self.build_pdn(&form)
     }

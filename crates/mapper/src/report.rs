@@ -25,6 +25,10 @@ pub struct MappingResult {
     ///
     /// [`MapConfig::degrade_unmappable`]: crate::MapConfig::degrade_unmappable
     pub degraded_nodes: Vec<usize>,
+    /// Largest exported-candidate count any single unate node reached
+    /// during the DP — the run's memory high-water mark (deterministic,
+    /// identical between serial and parallel schedules).
+    pub peak_candidates: usize,
 }
 
 impl MappingResult {

@@ -26,109 +26,109 @@
 
 use std::collections::HashMap;
 
-use soi_unate::{UNode, UnateNetwork};
+use soi_unate::{UId, UNode, UnateNetwork};
 
-use crate::dp;
-use crate::tuple::{Cand, CandRef, Form, NodeSol, TupleKey};
+use crate::dp::{self, NodeCtx, NodeOutcome, Scratch, SolView};
+use crate::tuple::{Cand, CandRef, ExportMap, Form, NodeSol, TupleKey};
 use crate::{Algorithm, AndOrder, Cost, CostModel, MapConfig, MapError};
 
 /// Runs the SOI DP, producing one [`NodeSol`] per unate node.
 pub(crate) fn solve(unate: &UnateNetwork, config: &MapConfig) -> Result<dp::Solution, MapError> {
-    dp::check_gate_budget(unate, config)?;
-    let model = CostModel::new(config, Algorithm::SoiDominoMap);
-    let fanouts = dp::fanouts(unate);
-    let mut budget = dp::Budget::new(config);
-    let mut degraded: Vec<soi_unate::UId> = Vec::new();
-    let mut sols: Vec<NodeSol> = Vec::with_capacity(unate.len());
+    dp::run_dp(unate, config, Algorithm::SoiDominoMap, solve_node)
+}
 
-    for (id, node) in unate.iter() {
-        let sol = match node {
-            UNode::Lit(l) => dp::literal_sol(id, l, config, &model),
-            UNode::And(a, b) | UNode::Or(a, b) => {
-                let is_and = matches!(node, UNode::And(..));
-                let mut bare: HashMap<TupleKey, Vec<Cand>> = HashMap::new();
-                for (ra, ca) in sols[a.index()].exported_refs(a) {
-                    for (rb, cb) in sols[b.index()].exported_refs(b) {
-                        budget.charge(id)?;
-                        if is_and {
-                            for (rt, ct, rbm, cbm) in and_orders(config.and_order, ra, ca, rb, cb) {
-                                let key = rt.key.and(rbm.key);
-                                if !key.fits(config.w_max, config.h_max) {
-                                    continue;
-                                }
-                                let cand = combine_and(config, rt, ct, rbm, cbm);
-                                bare.entry(key).or_default().push(cand);
-                            }
-                        } else {
-                            let key = ra.key.or(rb.key);
-                            if !key.fits(config.w_max, config.h_max) {
-                                continue;
-                            }
-                            let cand = combine_or(config, ra, ca, rb, cb);
-                            bare.entry(key).or_default().push(cand);
-                        }
+/// Solves one unate node given its fanins' solutions: accumulate all
+/// in-limit combinations into the scratch arena, Pareto-prune per shape,
+/// then form the node's gate and export set.
+fn solve_node(
+    ctx: &NodeCtx<'_>,
+    view: &SolView<'_>,
+    scratch: &mut Scratch,
+    id: UId,
+    node: UNode,
+) -> Result<NodeOutcome, MapError> {
+    let config = ctx.config;
+    let (a, b, is_and) = match node {
+        UNode::Lit(l) => return Ok((dp::literal_sol(id, l, config, ctx.model), false)),
+        UNode::And(a, b) => (a, b, true),
+        UNode::Or(a, b) => (a, b, false),
+    };
+    let (sol_a, sol_b) = (view.get(a), view.get(b));
+    let bare = &mut scratch.bare;
+    bare.clear();
+    for (ra, ca) in sol_a.exported_refs(a) {
+        for (rb, cb) in sol_b.exported_refs(b) {
+            ctx.budget.charge(id)?;
+            if is_and {
+                for (rt, ct, rbm, cbm) in and_orders(config.and_order, ra, ca, rb, cb) {
+                    let key = rt.key.and(rbm.key);
+                    if !key.fits(config.w_max, config.h_max) {
+                        continue;
                     }
+                    let cand = combine_and(config, rt, ct, rbm, cbm);
+                    bare.entry(key).or_default().push(cand);
                 }
-                if bare.is_empty() && config.degrade_unmappable {
-                    // Forced gate boundary: reduce both children to their
-                    // single-gate `{1,1}` candidates and combine those,
-                    // accepting the out-of-limits shape. The gate formed
-                    // here exceeds `(W_max, H_max)`; the node is recorded
-                    // as degraded.
-                    for (ra, ca) in sols[a.index()].exported_refs(a) {
-                        if ra.key != TupleKey::UNIT {
-                            continue;
-                        }
-                        for (rb, cb) in sols[b.index()].exported_refs(b) {
-                            if rb.key != TupleKey::UNIT {
-                                continue;
-                            }
-                            budget.charge(id)?;
-                            let (key, cand) = if is_and {
-                                let key = ra.key.and(rb.key);
-                                (key, combine_and(config, ra, ca, rb, cb))
-                            } else {
-                                let key = ra.key.or(rb.key);
-                                (key, combine_or(config, ra, ca, rb, cb))
-                            };
-                            bare.entry(key).or_default().push(cand);
-                        }
-                    }
-                    degraded.push(id);
+            } else {
+                let key = ra.key.or(rb.key);
+                if !key.fits(config.w_max, config.h_max) {
+                    continue;
                 }
-                if bare.is_empty() {
-                    return Err(MapError::Unmappable {
-                        what: format!(
-                            "node {id} has no (W ≤ {}, H ≤ {}) combination",
-                            config.w_max, config.h_max
-                        ),
-                    });
-                }
-                for cands in bare.values_mut() {
-                    prune(cands, &model, config.max_candidates);
-                }
-                enforce_tuple_cap(&mut bare, &model, config.limits.max_tuples_per_node);
-                let bare_vec: Vec<(TupleKey, Cand)> = bare
-                    .iter()
-                    .flat_map(|(k, cs)| cs.iter().map(move |c| (*k, c.clone())))
-                    .collect();
-                let mut sol = NodeSol::default();
-                sol.gate = dp::form_gate(&sol, config, &model, &bare_vec);
-                let gate = sol.gate.as_ref().expect("nonempty bare set");
-                let gate_cand = dp::exported_gate_cand(id, gate, fanouts[id.index()], config);
-                if fanouts[id.index()] <= 1 || config.allow_duplication {
-                    sol.exported = bare;
-                }
-                sol.exported
-                    .entry(TupleKey::UNIT)
-                    .or_default()
-                    .push(gate_cand);
-                sol
+                let cand = combine_or(config, ra, ca, rb, cb);
+                bare.entry(key).or_default().push(cand);
             }
-        };
-        sols.push(sol);
+        }
     }
-    Ok(dp::Solution { sols, degraded })
+    let mut degraded = false;
+    if bare.is_empty() && config.degrade_unmappable {
+        // Forced gate boundary: reduce both children to their single-gate
+        // `{1,1}` candidates and combine those, accepting the
+        // out-of-limits shape. The gate formed here exceeds
+        // `(W_max, H_max)`; the node is recorded as degraded.
+        for (ra, ca) in sol_a.exported_refs(a) {
+            if ra.key != TupleKey::UNIT {
+                continue;
+            }
+            for (rb, cb) in sol_b.exported_refs(b) {
+                if rb.key != TupleKey::UNIT {
+                    continue;
+                }
+                ctx.budget.charge(id)?;
+                let (key, cand) = if is_and {
+                    let key = ra.key.and(rb.key);
+                    (key, combine_and(config, ra, ca, rb, cb))
+                } else {
+                    let key = ra.key.or(rb.key);
+                    (key, combine_or(config, ra, ca, rb, cb))
+                };
+                bare.entry(key).or_default().push(cand);
+            }
+        }
+        degraded = true;
+    }
+    if bare.is_empty() {
+        return Err(MapError::Unmappable {
+            what: format!(
+                "node {id} has no (W ≤ {}, H ≤ {}) combination",
+                config.w_max, config.h_max
+            ),
+        });
+    }
+    for cands in bare.values_mut() {
+        prune(cands, &mut scratch.kept, ctx.model, config.max_candidates);
+    }
+    enforce_tuple_cap(bare, ctx.model, config.limits.max_tuples_per_node);
+    let exported = ExportMap::from_scratch(bare);
+    let mut sol = NodeSol {
+        gate: dp::form_gate(config, ctx.model, exported.flat()),
+        ..NodeSol::default()
+    };
+    let gate = sol.gate.as_ref().expect("nonempty bare set");
+    let gate_cand = dp::exported_gate_cand(id, gate, ctx.fanouts[id.index()], config);
+    if ctx.fanouts[id.index()] <= 1 || config.allow_duplication {
+        sol.exported = exported;
+    }
+    sol.exported.push(TupleKey::UNIT, gate_cand);
+    Ok((sol, degraded))
 }
 
 /// Enforces [`crate::Limits::max_tuples_per_node`]: when a node's total
@@ -239,8 +239,9 @@ fn and_orders<'c>(
 
 /// Pareto pruning over `(g, u, par_b)` with component-wise cost dominance
 /// (safe for every monotone composition the DP performs), then a cap at
-/// `max` candidates ordered by the model's grounded key.
-fn prune(cands: &mut Vec<Cand>, model: &CostModel, max: usize) {
+/// `max` candidates ordered by the model's grounded key. `kept` is a
+/// reusable scratch buffer; on return it holds the discarded storage.
+fn prune(cands: &mut Vec<Cand>, kept: &mut Vec<Cand>, model: &CostModel, max: usize) {
     let dominates = |x: &Cand, y: &Cand| -> bool {
         // x dominates y: no worse on every coordinate that can influence
         // any future cost — including `touches_pi`, which decides whether
@@ -259,7 +260,7 @@ fn prune(cands: &mut Vec<Cand>, model: &CostModel, max: usize) {
             && (x.par_b || !y.par_b)
             && (!x.touches_pi || y.touches_pi)
     };
-    let mut kept: Vec<Cand> = Vec::new();
+    kept.clear();
     // Stable insertion order keeps earlier (already-sorted-ish) candidates.
     for cand in cands.drain(..) {
         if kept.iter().any(|k| dominates(k, &cand)) {
@@ -270,7 +271,7 @@ fn prune(cands: &mut Vec<Cand>, model: &CostModel, max: usize) {
     }
     kept.sort_by_key(|c| model.key(&c.g));
     kept.truncate(max);
-    *cands = kept;
+    std::mem::swap(cands, kept);
 }
 
 #[cfg(test)]
@@ -410,20 +411,21 @@ mod tests {
             }),
         };
         // (10, 10, T) dominates (10, 10, F) and (11, 12, F).
+        let mut scratch = Vec::new();
         let mut cands = vec![
             mk(10, 10, true),
             mk(10, 10, false),
             mk(11, 12, false),
             mk(8, 13, false),
         ];
-        prune(&mut cands, &model, 4);
+        prune(&mut cands, &mut scratch, &model, 4);
         assert_eq!(cands.len(), 2);
         // The cheap-g/expensive-u candidate survives.
         assert!(cands.iter().any(|c| c.g.tx == 8));
         assert!(cands.iter().any(|c| c.g.tx == 10 && c.par_b));
 
         let mut many: Vec<Cand> = (0..10).map(|i| mk(10 + i, 40 - i, false)).collect();
-        prune(&mut many, &model, 3);
+        prune(&mut many, &mut scratch, &model, 3);
         assert_eq!(many.len(), 3);
         // Cap keeps the best grounded costs.
         assert!(many.iter().all(|c| c.g.tx <= 12));

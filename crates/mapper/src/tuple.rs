@@ -1,5 +1,6 @@
 use std::collections::HashMap;
 use std::fmt;
+use std::ops::Index;
 
 use soi_unate::{Literal, UId};
 
@@ -58,7 +59,12 @@ pub(crate) struct CandRef {
 
 /// How a candidate structure was formed — the DP back-pointer used to
 /// materialize the pull-down network.
-#[derive(Debug, Clone)]
+///
+/// Forms are flat: combinations store [`CandRef`] back-pointers into the
+/// children's exported sets, never owned subtrees, so a `Form` (and with it
+/// a whole [`Cand`]) is `Copy` — candidate pruning and gate formation move
+/// plain words instead of cloning heap structures.
+#[derive(Debug, Clone, Copy)]
 pub(crate) enum Form {
     /// A single transistor driven by a primary-input literal.
     Lit(Literal),
@@ -84,7 +90,7 @@ pub(crate) enum Form {
 /// * **branch** points sit inside parallel branches. They are absolved
 ///   only by grounding *this* structure's bottom; on top of a stack they
 ///   must be discharged.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub(crate) struct Cand {
     /// Cost if the structure's bottom is eventually grounded.
     pub g: Cost,
@@ -133,24 +139,91 @@ pub(crate) struct GateSol {
     pub shape: TupleKey,
 }
 
+/// A node's exported candidate sets, keyed by shape.
+///
+/// Entries are kept sorted by [`TupleKey`], so iteration order is
+/// deterministic — a requirement for the parallel DP to be bit-identical
+/// to the serial one (a per-node `HashMap` would enumerate candidates in
+/// seed-dependent order and let hash order decide cost ties). Lookup is a
+/// binary search over a handful of shapes, and the flat layout spares the
+/// per-node hash-table allocation the old representation paid.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ExportMap {
+    entries: Vec<(TupleKey, Vec<Cand>)>,
+}
+
+impl ExportMap {
+    /// Drains a scratch accumulation map into a sorted export set. The
+    /// scratch map keeps its capacity for the next node.
+    pub fn from_scratch(scratch: &mut HashMap<TupleKey, Vec<Cand>>) -> ExportMap {
+        let mut entries: Vec<(TupleKey, Vec<Cand>)> = scratch.drain().collect();
+        entries.sort_unstable_by_key(|(k, _)| *k);
+        ExportMap { entries }
+    }
+
+    /// The candidates exported under `key`, if any.
+    pub fn get(&self, key: &TupleKey) -> Option<&[Cand]> {
+        self.entries
+            .binary_search_by_key(key, |(k, _)| *k)
+            .ok()
+            .map(|i| self.entries[i].1.as_slice())
+    }
+
+    /// Appends a candidate under `key`, creating the entry when missing.
+    pub fn push(&mut self, key: TupleKey, cand: Cand) {
+        match self.entries.binary_search_by_key(&key, |(k, _)| *k) {
+            Ok(i) => self.entries[i].1.push(cand),
+            Err(i) => self.entries.insert(i, (key, vec![cand])),
+        }
+    }
+
+    /// Number of distinct shapes (exercised by tests; the DP itself only
+    /// needs the flat iteration and totals).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total candidate count across all shapes.
+    pub fn total_candidates(&self) -> usize {
+        self.entries.iter().map(|(_, cs)| cs.len()).sum()
+    }
+
+    /// Iterator over `(shape, candidate)` pairs in shape order.
+    pub fn flat(&self) -> impl Iterator<Item = (TupleKey, &Cand)> + '_ {
+        self.entries
+            .iter()
+            .flat_map(|(k, cs)| cs.iter().map(move |c| (*k, c)))
+    }
+}
+
+impl Index<&TupleKey> for ExportMap {
+    type Output = [Cand];
+
+    fn index(&self, key: &TupleKey) -> &[Cand] {
+        self.get(key).expect("no candidates exported for shape")
+    }
+}
+
 /// Per-node DP state.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct NodeSol {
     /// Candidates visible to consumers (bare tuples for fanout-1 nodes,
     /// plus the gate-as-input tuple).
-    pub exported: HashMap<TupleKey, Vec<Cand>>,
+    pub exported: ExportMap,
     /// The formed-gate solution (every node has one; it is only
     /// materialized when referenced).
     pub gate: Option<GateSol>,
 }
 
 impl NodeSol {
-    /// Flat iterator over all exported candidates with their references.
+    /// Flat iterator over all exported candidates with their references,
+    /// in deterministic shape order.
     pub fn exported_refs<'a>(
         &'a self,
         node: UId,
     ) -> impl Iterator<Item = (CandRef, &'a Cand)> + 'a {
-        self.exported.iter().flat_map(move |(key, cands)| {
+        self.exported.entries.iter().flat_map(move |(key, cands)| {
             cands.iter().enumerate().map(move |(idx, c)| {
                 (
                     CandRef {

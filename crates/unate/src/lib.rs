@@ -42,4 +42,7 @@ pub mod verify;
 
 pub use convert::{convert, Options, OutputPhase};
 pub use error::UnateError;
-pub use network::{Literal, Phase, UId, UNode, USignal, UnateNetwork, UnateOutput, UnateStats};
+pub use network::{
+    ConePartition, ConeUnit, Literal, Phase, UId, UNode, USignal, UnateNetwork, UnateOutput,
+    UnateStats,
+};

@@ -140,6 +140,60 @@ impl UnateStats {
     }
 }
 
+/// One fanout-free cone of a [`ConePartition`]: a maximal set of nodes in
+/// which every non-root node feeds exactly one consumer, itself in the
+/// same unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConeUnit {
+    nodes: Vec<UId>,
+    deps: Vec<usize>,
+}
+
+impl ConeUnit {
+    /// The unit's nodes in topological order (the root is last).
+    pub fn nodes(&self) -> &[UId] {
+        &self.nodes
+    }
+
+    /// Indices of the units whose roots this unit reads (sorted, deduped).
+    /// Always strictly smaller than this unit's own index.
+    pub fn deps(&self) -> &[usize] {
+        &self.deps
+    }
+
+    /// The unit's root: its only node visible outside the unit.
+    pub fn root(&self) -> UId {
+        *self.nodes.last().expect("a unit is never empty")
+    }
+}
+
+/// A partition of a network's topological order into fanout-free cone
+/// units plus a dependency-level schedule — see
+/// [`UnateNetwork::cone_partition`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConePartition {
+    units: Vec<ConeUnit>,
+    levels: Vec<Vec<usize>>,
+}
+
+impl ConePartition {
+    /// All units, ordered by their root's topological index.
+    pub fn units(&self) -> &[ConeUnit] {
+        &self.units
+    }
+
+    /// The unit with the given index.
+    pub fn unit(&self, index: usize) -> &ConeUnit {
+        &self.units[index]
+    }
+
+    /// Unit indices grouped by schedule level: units within one level are
+    /// mutually independent, and depend only on units of earlier levels.
+    pub fn levels(&self) -> &[Vec<usize>] {
+        &self.levels
+    }
+}
+
 /// An inverter-free network of 2-input AND/OR gates over primary-input
 /// literals — the mapper's input representation.
 ///
@@ -348,6 +402,89 @@ impl UnateNetwork {
             .collect())
     }
 
+    /// Partitions the topological order into fanout-free cone work units.
+    ///
+    /// Every node belongs to exactly one unit. A node whose single fanout
+    /// edge goes to a gate joins that consumer's unit; nodes with multiple
+    /// fanouts (or none, or whose only consumer is a primary output) root
+    /// their own unit. Units therefore only depend on each other across
+    /// multi-fanout boundaries, which makes each unit an independently
+    /// solvable tree for any DP that joins at those boundaries.
+    ///
+    /// The returned partition also carries a level schedule: units in the
+    /// same level have no dependencies among themselves and can be
+    /// processed concurrently once all earlier levels are done.
+    pub fn cone_partition(&self) -> ConePartition {
+        let n = self.nodes.len();
+        let fanout = self.fanout_counts();
+        // The gate consuming each node, if any (last writer wins; only
+        // consulted when the node has exactly one fanout edge, in which
+        // case the writer is unique and is that edge).
+        let mut gate_consumer: Vec<Option<UId>> = vec![None; n];
+        for (id, node) in self.iter() {
+            for fanin in node.fanins() {
+                gate_consumer[fanin.index()] = Some(id);
+            }
+        }
+        // Assign units in reverse topological order so a fanout-free node
+        // can inherit its consumer's unit.
+        let mut unit_of = vec![usize::MAX; n];
+        let mut roots = 0usize;
+        for i in (0..n).rev() {
+            unit_of[i] = match gate_consumer[i] {
+                Some(c) if fanout[i] == 1 => unit_of[c.index()],
+                _ => {
+                    roots += 1;
+                    roots - 1
+                }
+            };
+        }
+        // Reverse discovery order numbered roots from the outputs down;
+        // flip so unit ids ascend with their root's topological index.
+        for u in &mut unit_of {
+            *u = roots - 1 - *u;
+        }
+        let mut units: Vec<ConeUnit> = (0..roots)
+            .map(|_| ConeUnit {
+                nodes: Vec::new(),
+                deps: Vec::new(),
+            })
+            .collect();
+        for i in 0..n {
+            units[unit_of[i]].nodes.push(UId::from_index(i));
+        }
+        for (id, node) in self.iter() {
+            let u = unit_of[id.index()];
+            for fanin in node.fanins() {
+                let d = unit_of[fanin.index()];
+                if d != u {
+                    units[u].deps.push(d);
+                }
+            }
+        }
+        // A unit's dependencies are roots of earlier units, so dep < unit
+        // always holds and levels can be computed in one forward pass.
+        let mut level_of = vec![0usize; roots];
+        let mut depth = 0usize;
+        for (u, unit) in units.iter_mut().enumerate() {
+            unit.deps.sort_unstable();
+            unit.deps.dedup();
+            let level = unit
+                .deps
+                .iter()
+                .map(|&d| level_of[d] + 1)
+                .max()
+                .unwrap_or(0);
+            level_of[u] = level;
+            depth = depth.max(level + 1);
+        }
+        let mut levels: Vec<Vec<usize>> = vec![Vec::new(); depth];
+        for (u, &level) in level_of.iter().enumerate() {
+            levels[level].push(u);
+        }
+        ConePartition { units, levels }
+    }
+
     /// Lowers the unate network back into a gate-level [`Network`] (literals
     /// become input-side inverters, boundary inversions become output-side
     /// inverters) for equivalence checking against the original.
@@ -471,6 +608,115 @@ mod tests {
         let counts = u.fanout_counts();
         assert_eq!(counts[3], 1); // or feeds and
         assert_eq!(counts[4], 1); // and feeds output
+    }
+
+    /// Checks the structural invariants every partition must satisfy.
+    fn check_partition(u: &UnateNetwork) {
+        let p = u.cone_partition();
+        // Every node in exactly one unit, units in topo order.
+        let mut seen = vec![false; u.len()];
+        for unit in p.units() {
+            let mut last = None;
+            for &id in unit.nodes() {
+                assert!(!seen[id.index()], "{id} in two units");
+                seen[id.index()] = true;
+                assert!(last.is_none_or(|l| l < id.index()));
+                last = Some(id.index());
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "node missing from partition");
+        // Deps point strictly backwards and land on unit roots.
+        for (i, unit) in p.units().iter().enumerate() {
+            for &d in unit.deps() {
+                assert!(d < i, "unit {i} depends forward on {d}");
+            }
+        }
+        // Levels cover all units; deps live in earlier levels.
+        let mut level_of = vec![usize::MAX; p.units().len()];
+        for (l, units) in p.levels().iter().enumerate() {
+            for &un in units {
+                level_of[un] = l;
+            }
+        }
+        for (i, unit) in p.units().iter().enumerate() {
+            assert_ne!(level_of[i], usize::MAX);
+            for &d in unit.deps() {
+                assert!(level_of[d] < level_of[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn cone_partition_of_tree_is_one_unit() {
+        // `small` is a pure tree: every node has fanout 1 into a gate,
+        // except the output root.
+        let u = small();
+        let p = u.cone_partition();
+        check_partition(&u);
+        assert_eq!(p.units().len(), 1);
+        assert_eq!(p.unit(0).nodes().len(), 5);
+        assert_eq!(p.unit(0).root(), UId::from_index(4));
+        assert_eq!(p.levels().len(), 1);
+    }
+
+    #[test]
+    fn cone_partition_splits_at_multi_fanout() {
+        // shared = a & b feeds two consumers: three units, two levels.
+        let mut u = UnateNetwork::new(vec!["a".into(), "b".into(), "c".into()]);
+        let a = u.add_literal(Literal {
+            input: 0,
+            phase: Phase::Pos,
+        });
+        let b = u.add_literal(Literal {
+            input: 1,
+            phase: Phase::Pos,
+        });
+        let c = u.add_literal(Literal {
+            input: 2,
+            phase: Phase::Pos,
+        });
+        let shared = u.add_and(a, b);
+        let f1 = u.add_or(shared, c);
+        let f2 = u.add_and(shared, c);
+        u.add_output("f1", USignal::Node(f1), false);
+        u.add_output("f2", USignal::Node(f2), false);
+        check_partition(&u);
+        let p = u.cone_partition();
+        // Units: {a, b, shared}, {c} (two consumers), {f1}, {f2}.
+        assert_eq!(p.units().len(), 4);
+        assert_eq!(p.levels().len(), 2);
+        assert_eq!(p.levels()[1].len(), 2, "f1 and f2 run concurrently");
+        let shared_unit = p
+            .units()
+            .iter()
+            .find(|un| un.root() == shared)
+            .expect("shared roots a unit");
+        assert_eq!(shared_unit.nodes(), &[a, b, shared]);
+    }
+
+    #[test]
+    fn cone_partition_output_consumer_is_a_root() {
+        // A node driving only a primary output roots its own unit even
+        // with fanout 1.
+        let u = small();
+        let p = u.cone_partition();
+        assert_eq!(p.unit(p.units().len() - 1).root(), UId::from_index(4));
+    }
+
+    #[test]
+    fn cone_partition_duplicate_fanin_is_a_boundary() {
+        // And(a, a): a has two fanout edges, so it must root its own unit.
+        let mut u = UnateNetwork::new(vec!["a".into()]);
+        let a = u.add_literal(Literal {
+            input: 0,
+            phase: Phase::Pos,
+        });
+        let f = u.add_and(a, a);
+        u.add_output("f", USignal::Node(f), false);
+        check_partition(&u);
+        let p = u.cone_partition();
+        assert_eq!(p.units().len(), 2);
+        assert_eq!(p.unit(0).nodes(), &[a]);
     }
 
     #[test]

@@ -1,0 +1,153 @@
+//! PR 2 guarantees, checked end to end:
+//!
+//! * the parallel DP schedule is **bit-identical** to the serial one —
+//!   same counts, same degraded-node list, same candidate high-water mark
+//!   — on seeded random networks and on registry benchmarks;
+//! * with `allow_duplication`, the amortized gate export
+//!   (`exported_gate_cand` materializing a shared child gate once while
+//!   many consumers reference it) never makes the reported
+//!   `TransistorCounts` disagree with an independent recount of the
+//!   reconstructed circuit.
+
+use proptest::prelude::*;
+use soi_domino::circuits::misc::random::{generate, RandomSpec};
+use soi_domino::circuits::registry;
+use soi_domino::domino::{DominoCircuit, TransistorCounts};
+use soi_domino::mapper::{MapConfig, Mapper, Parallelism};
+
+/// The three mapper constructors under test.
+const MAPPERS: [fn(MapConfig) -> Mapper; 3] =
+    [Mapper::baseline, Mapper::rearrange_stacks, Mapper::soi];
+
+fn spec(seed: u64) -> RandomSpec {
+    RandomSpec::control(&format!("pd{seed}"), 14, 6, 90, seed)
+}
+
+fn with_parallelism(parallelism: Parallelism, base: MapConfig) -> MapConfig {
+    MapConfig {
+        parallelism,
+        ..base
+    }
+}
+
+/// Recounts transistors straight off the reconstructed circuit, without
+/// going through `TransistorCounts::collect`'s per-gate helpers: PDN
+/// transistors are counted by enumerating their signals.
+fn recount(circuit: &DominoCircuit) -> TransistorCounts {
+    let mut counts = TransistorCounts {
+        gates: circuit.gate_count() as u32,
+        levels: circuit.levels(),
+        ..TransistorCounts::default()
+    };
+    for (_, gate) in circuit.iter() {
+        let pdn_tx = gate.pdn().signals().len() as u32;
+        let overhead = 4 + u32::from(gate.is_footed());
+        counts.logic += pdn_tx + overhead;
+        counts.discharge += gate.discharge().len() as u32;
+        counts.clock += 1 + u32::from(gate.is_footed()) + gate.discharge().len() as u32;
+    }
+    counts.logic += 2 * circuit.outputs().iter().filter(|o| o.inverted).count() as u32;
+    counts.total = counts.logic + counts.discharge;
+    counts
+}
+
+fn assert_schedules_agree(network: &soi_domino::netlist::Network, base: MapConfig, what: &str) {
+    for make in MAPPERS {
+        let serial = make(with_parallelism(Parallelism::Serial, base))
+            .run(network)
+            .expect("serial maps");
+        for threads in [2, 4] {
+            let parallel = make(with_parallelism(Parallelism::Threads(threads), base))
+                .run(network)
+                .expect("parallel maps");
+            assert_eq!(
+                serial.counts, parallel.counts,
+                "{what}: counts diverge at {threads} threads"
+            );
+            assert_eq!(
+                serial.degraded_nodes, parallel.degraded_nodes,
+                "{what}: degraded nodes diverge at {threads} threads"
+            );
+            assert_eq!(
+                serial.peak_candidates, parallel.peak_candidates,
+                "{what}: peak candidates diverge at {threads} threads"
+            );
+        }
+    }
+}
+
+/// Twenty seeded random networks: every mapper, serial vs 2- and
+/// 4-thread schedules.
+#[test]
+fn parallel_solve_matches_serial_on_seeded_networks() {
+    for seed in 0..20u64 {
+        let network = generate(&spec(seed));
+        assert_schedules_agree(&network, MapConfig::default(), &format!("seed {seed}"));
+    }
+}
+
+/// The same bit-identity on real registry circuits, including one past
+/// the `Parallelism::Auto` size threshold, under both objectives.
+#[test]
+fn parallel_solve_matches_serial_on_registry_circuits() {
+    for name in ["cm150", "frg1", "b9", "c880"] {
+        let network = registry::benchmark(name).expect("registered");
+        assert_schedules_agree(&network, MapConfig::default(), name);
+        assert_schedules_agree(&network, MapConfig::depth(), &format!("{name} (depth)"));
+    }
+}
+
+/// With duplication on, the amortized export keeps the final accounting
+/// honest for all three mappers across twenty seeds.
+#[test]
+fn duplication_export_counts_match_reconstruction() {
+    let config = MapConfig {
+        allow_duplication: true,
+        ..MapConfig::default()
+    };
+    for seed in 0..20u64 {
+        let network = generate(&spec(seed));
+        for make in MAPPERS {
+            let result = make(config).run(&network).expect("maps");
+            assert_eq!(
+                result.counts,
+                recount(&result.circuit),
+                "seed {seed}: reported counts disagree with circuit recount"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Randomized sweep over network size, seed and shape limits: serial
+    /// and parallel SOI mapping stay bit-identical, and the duplication
+    /// recount holds, including under degraded (relaxed-limit) mappings.
+    #[test]
+    fn prop_parallel_and_duplication_invariants(
+        seed in 0u64..10_000,
+        gates in 20usize..140,
+        w_max in 3u32..6,
+        h_max in 4u32..9,
+    ) {
+        let network = generate(&RandomSpec::control("prop", 12, 4, gates, seed));
+        let config = MapConfig {
+            w_max,
+            h_max,
+            degrade_unmappable: true,
+            allow_duplication: true,
+            ..MapConfig::default()
+        };
+        let serial = Mapper::soi(with_parallelism(Parallelism::Serial, config))
+            .run(&network)
+            .expect("serial maps");
+        let parallel = Mapper::soi(with_parallelism(Parallelism::Threads(3), config))
+            .run(&network)
+            .expect("parallel maps");
+        prop_assert_eq!(serial.counts, parallel.counts);
+        prop_assert_eq!(&serial.degraded_nodes, &parallel.degraded_nodes);
+        prop_assert_eq!(serial.peak_candidates, parallel.peak_candidates);
+        prop_assert_eq!(serial.counts, recount(&serial.circuit));
+    }
+}
