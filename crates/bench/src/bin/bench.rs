@@ -1,13 +1,21 @@
 //! Wall-clock baseline for the mapping hot path.
 //!
 //! Maps the union of the Table I and Table II benchmark lists with
-//! `SOI_Domino_Map` twice — DP forced serial, then DP forced parallel —
-//! and writes `BENCH_pr2.json` with per-circuit timings, the
-//! candidate-memory high-water mark, and a serial-vs-parallel equality
-//! check (the parallel schedule must be bit-identical).
+//! `SOI_Domino_Map` three ways — DP forced serial with the cone cache off
+//! (the PR 2 baseline configuration), `Parallelism::Auto` with the cache
+//! off (the cost-model cutoff must never lose to serial), and the shipped
+//! default (`Auto` + cone cache) — and writes `BENCH_pr4.json` with
+//! per-circuit timings, the thread count each mode actually used, the
+//! cone-cache hit rate, and cross-mode equality checks (every mode must be
+//! bit-identical).
 //!
-//! Usage: `cargo run --release -p soi-bench --bin bench [OUT.json]`
-//! (default output: `BENCH_pr2.json` in the working directory).
+//! Usage:
+//!   cargo run --release -p soi-bench --bin bench [OUT.json]
+//!     (default output: `BENCH_pr4.json` in the working directory)
+//!   cargo run --release -p soi-bench --bin bench -- --smoke
+//!     CI gate: maps three small circuits serial vs forced 2-thread DP
+//!     (best of 5) and fails if the scheduler loses by more than 1.5x on
+//!     the largest — the PR 2 spawn-per-level regression must stay dead.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -17,29 +25,58 @@ use soi_mapper::{MapConfig, Mapper, MappingResult, Parallelism};
 use soi_netlist::Network;
 
 /// Timing repetitions per circuit and mode; the minimum is reported.
-const REPS: u32 = 3;
+const REPS: u32 = 7;
+
+/// Repetitions in `--smoke` mode (cheap circuits, noisy CI hosts).
+const SMOKE_REPS: u32 = 5;
+
+/// The `--smoke` circuits, smallest first; the gate applies to the last.
+const SMOKE_CIRCUITS: [&str; 3] = ["cm150", "b9", "c880"];
+
+/// Largest tolerated parallel/serial ratio on the last smoke circuit.
+const SMOKE_MAX_RATIO: f64 = 1.5;
 
 struct Entry {
     name: &'static str,
     tables: &'static str,
     serial_ms: f64,
     parallel_ms: f64,
+    cached_ms: f64,
+    parallel_threads: usize,
+    cache_hits: u64,
+    cache_misses: u64,
     peak_candidates: usize,
     total_transistors: u32,
     counts_match: bool,
 }
 
-/// Best-of-`REPS` wall-clock time in milliseconds, plus the last result.
-fn best_ms(mapper: &Mapper, network: &Network) -> (f64, MappingResult) {
-    let mut best = f64::INFINITY;
-    let mut out = None;
-    for _ in 0..REPS {
-        let start = Instant::now();
-        let result = mapper.run(network).expect("registry circuit maps");
-        best = best.min(start.elapsed().as_secs_f64() * 1e3);
-        out = Some(result);
+/// One timed run in milliseconds.
+fn time_once(mapper: &Mapper, network: &Network) -> (f64, MappingResult) {
+    let start = Instant::now();
+    let result = mapper.run(network).expect("registry circuit maps");
+    (start.elapsed().as_secs_f64() * 1e3, result)
+}
+
+/// Best-of-`reps` for several modes at once, interleaved round-robin so a
+/// host-load or frequency drift hits every mode equally instead of biasing
+/// whichever mode happened to run in the quiet window.
+fn best_ms_interleaved<const N: usize>(
+    mappers: [&Mapper; N],
+    network: &Network,
+    reps: u32,
+) -> [(f64, MappingResult); N] {
+    let mut out = mappers.map(|m| time_once(m, network));
+    for _ in 1..reps {
+        for (i, m) in mappers.iter().enumerate() {
+            let (ms, result) = time_once(m, network);
+            if ms < out[i].0 {
+                out[i] = (ms, result);
+            } else {
+                out[i].1 = result;
+            }
+        }
     }
-    (best, out.expect("REPS > 0"))
+    out
 }
 
 fn membership(name: &str) -> &'static str {
@@ -53,16 +90,65 @@ fn membership(name: &str) -> &'static str {
     }
 }
 
+fn soi_mapper(parallelism: Parallelism, cone_cache: bool) -> Mapper {
+    Mapper::soi(MapConfig {
+        parallelism,
+        cone_cache,
+        ..MapConfig::default()
+    })
+}
+
+fn same_outcome(a: &MappingResult, b: &MappingResult) -> bool {
+    a.counts == b.counts
+        && a.peak_candidates == b.peak_candidates
+        && a.degraded_nodes == b.degraded_nodes
+}
+
+/// CI gate: the work-stealing scheduler must not lose badly to serial on
+/// small circuits even when forced to multithread on a small host.
+fn smoke(host_threads: usize) {
+    let serial = soi_mapper(Parallelism::Serial, false);
+    let forced = soi_mapper(Parallelism::Threads(2), false);
+    let mut last_ratio = 0.0;
+    for name in SMOKE_CIRCUITS {
+        let network = registry::benchmark(name).expect("registered benchmark");
+        let [(serial_ms, s), (parallel_ms, p)] =
+            best_ms_interleaved([&serial, &forced], &network, SMOKE_REPS);
+        assert!(
+            same_outcome(&s, &p),
+            "{name}: 2-thread DP diverged from serial"
+        );
+        last_ratio = parallel_ms / serial_ms.max(1e-9);
+        eprintln!(
+            "  {name}: serial {serial_ms:.3} ms / 2-thread {parallel_ms:.3} ms (ratio {last_ratio:.2})"
+        );
+    }
+    let largest = SMOKE_CIRCUITS[SMOKE_CIRCUITS.len() - 1];
+    assert!(
+        last_ratio <= SMOKE_MAX_RATIO,
+        "scheduler overhead regression: forced 2-thread DP is {last_ratio:.2}x serial on \
+         {largest} (limit {SMOKE_MAX_RATIO}x, host_threads {host_threads})"
+    );
+    eprintln!(
+        "smoke ok: 2-thread/serial ratio on {largest} is {last_ratio:.2}x <= {SMOKE_MAX_RATIO}x"
+    );
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_pr2.json".into());
+    // The one honest source for the host's thread count: every report row
+    // derives from this call (PR 2 recorded `host_threads: 1` while timing
+    // a 2-thread schedule).
     let host_threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    // Force at least two workers so the parallel scheduler is really
-    // exercised even on a single-core host.
-    let parallel_threads = host_threads.max(2);
+
+    let mut args = std::env::args().skip(1);
+    let first = args.next();
+    if first.as_deref() == Some("--smoke") {
+        smoke(host_threads);
+        return;
+    }
+    let out_path = first.unwrap_or_else(|| "BENCH_pr4.json".into());
 
     let mut names: Vec<&'static str> = registry::TABLE2.to_vec();
     for name in registry::TABLE1 {
@@ -72,27 +158,26 @@ fn main() {
     }
 
     eprintln!(
-        "timing {} circuits, serial vs {parallel_threads}-thread DP (best of {REPS})...",
+        "timing {} circuits on a {host_threads}-thread host: serial/uncached vs Auto/uncached vs \
+         Auto/cached (best of {REPS})...",
         names.len()
     );
     let wall = Instant::now();
+    let serial = soi_mapper(Parallelism::Serial, false);
+    let auto = soi_mapper(Parallelism::Auto, false);
+    let cached = soi_mapper(Parallelism::Auto, true);
     let mut entries = Vec::new();
     for name in names {
         let network = registry::benchmark(name).expect("registered benchmark");
-        let serial = Mapper::soi(MapConfig {
-            parallelism: Parallelism::Serial,
-            ..MapConfig::default()
-        });
-        let parallel = Mapper::soi(MapConfig {
-            parallelism: Parallelism::Threads(parallel_threads),
-            ..MapConfig::default()
-        });
-        let (serial_ms, s) = best_ms(&serial, &network);
-        let (parallel_ms, p) = best_ms(&parallel, &network);
-        let counts_match = s.counts == p.counts && s.peak_candidates == p.peak_candidates;
+        let [(serial_ms, s), (parallel_ms, p), (cached_ms, c)] =
+            best_ms_interleaved([&serial, &auto, &cached], &network, REPS);
+        let counts_match = same_outcome(&s, &p) && same_outcome(&s, &c);
+        let hit_rate = c.cone_cache_hit_rate().unwrap_or(0.0);
         eprintln!(
-            "  {name}: serial {serial_ms:.2} ms / parallel {parallel_ms:.2} ms / peak {} cands{}",
-            s.peak_candidates,
+            "  {name}: serial {serial_ms:.2} ms / auto({}t) {parallel_ms:.2} ms / cached \
+             {cached_ms:.2} ms, hit rate {:.0}%{}",
+            p.threads_used,
+            hit_rate * 100.0,
             if counts_match { "" } else { "  ** MISMATCH **" }
         );
         entries.push(Entry {
@@ -100,6 +185,10 @@ fn main() {
             tables: membership(name),
             serial_ms,
             parallel_ms,
+            cached_ms,
+            parallel_threads: p.threads_used,
+            cache_hits: c.cone_cache_hits,
+            cache_misses: c.cone_cache_misses,
             peak_candidates: s.peak_candidates,
             total_transistors: s.counts.total,
             counts_match,
@@ -109,27 +198,51 @@ fn main() {
 
     let total_serial: f64 = entries.iter().map(|e| e.serial_ms).sum();
     let total_parallel: f64 = entries.iter().map(|e| e.parallel_ms).sum();
+    let total_cached: f64 = entries.iter().map(|e| e.cached_ms).sum();
     let all_match = entries.iter().all(|e| e.counts_match);
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(
         json,
-        "  \"description\": \"SOI_Domino_Map wall-clock: serial vs parallel DP over the Table I+II registry (best of {REPS} runs, W<=5 H<=8)\","
+        "  \"description\": \"SOI_Domino_Map wall-clock over the Table I+II registry (best of \
+         {REPS} runs, W<=5 H<=8): serial/uncached baseline vs Parallelism::Auto uncached vs the \
+         shipped default (Auto + cone cache)\","
     );
     let _ = writeln!(json, "  \"host_threads\": {host_threads},");
-    let _ = writeln!(json, "  \"parallel_threads\": {parallel_threads},");
+    let _ = writeln!(
+        json,
+        "  \"modes\": {{\"serial\": \"Parallelism::Serial, cone_cache off\", \"parallel\": \
+         \"Parallelism::Auto, cone_cache off\", \"cached\": \"Parallelism::Auto, cone_cache on \
+         (default config)\"}},"
+    );
     let _ = writeln!(json, "  \"circuits\": [");
     let last = entries.len().saturating_sub(1);
     for (i, e) in entries.iter().enumerate() {
+        let total = e.cache_hits + e.cache_misses;
+        let hit_rate = if total > 0 {
+            e.cache_hits as f64 / total as f64
+        } else {
+            0.0
+        };
         let _ = writeln!(
             json,
-            "    {{\"name\": \"{}\", \"tables\": \"{}\", \"serial_ms\": {:.3}, \"parallel_ms\": {:.3}, \"speedup\": {:.3}, \"peak_candidates\": {}, \"total_transistors\": {}, \"counts_match\": {}}}{}",
+            "    {{\"name\": \"{}\", \"tables\": \"{}\", \"serial_ms\": {:.3}, \"parallel_ms\": \
+             {:.3}, \"cached_ms\": {:.3}, \"parallel_threads_used\": {}, \"speedup_parallel\": \
+             {:.3}, \"speedup_cached\": {:.3}, \"cache_hits\": {}, \"cache_misses\": {}, \
+             \"cache_hit_rate\": {:.3}, \"peak_candidates\": {}, \"total_transistors\": {}, \
+             \"counts_match\": {}}}{}",
             e.name,
             e.tables,
             e.serial_ms,
             e.parallel_ms,
+            e.cached_ms,
+            e.parallel_threads,
             e.serial_ms / e.parallel_ms.max(1e-9),
+            e.serial_ms / e.cached_ms.max(1e-9),
+            e.cache_hits,
+            e.cache_misses,
+            hit_rate,
             e.peak_candidates,
             e.total_transistors,
             e.counts_match,
@@ -139,10 +252,16 @@ fn main() {
     let _ = writeln!(json, "  ],");
     let _ = writeln!(json, "  \"total_serial_ms\": {total_serial:.3},");
     let _ = writeln!(json, "  \"total_parallel_ms\": {total_parallel:.3},");
+    let _ = writeln!(json, "  \"total_cached_ms\": {total_cached:.3},");
+    let _ = writeln!(
+        json,
+        "  \"overall_parallel_speedup\": {:.3},",
+        total_serial / total_parallel.max(1e-9)
+    );
     let _ = writeln!(
         json,
         "  \"overall_speedup\": {:.3},",
-        total_serial / total_parallel.max(1e-9)
+        total_serial / total_cached.max(1e-9)
     );
     let _ = writeln!(json, "  \"all_counts_match\": {all_match},");
     let _ = writeln!(json, "  \"wall_clock_ms\": {wall_ms:.1}");
@@ -150,8 +269,10 @@ fn main() {
 
     std::fs::write(&out_path, json).expect("write benchmark json");
     eprintln!(
-        "wrote {out_path}: overall speedup {:.2}x, counts match: {all_match}",
+        "wrote {out_path}: default-config speedup {:.2}x (parallel-only {:.2}x), counts match: \
+         {all_match}",
+        total_serial / total_cached.max(1e-9),
         total_serial / total_parallel.max(1e-9)
     );
-    assert!(all_match, "parallel DP diverged from serial counts");
+    assert!(all_match, "parallel/cached DP diverged from serial counts");
 }

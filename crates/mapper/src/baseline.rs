@@ -15,11 +15,29 @@ use soi_unate::{UId, UNode, UnateNetwork};
 
 use crate::dp::{self, NodeCtx, NodeOutcome, Scratch, SolView};
 use crate::tuple::{Cand, CandRef, ExportMap, Form, NodeSol, TupleKey};
-use crate::{Algorithm, MapConfig, MapError};
+use crate::{Algorithm, ConeCache, CostModel, MapConfig, MapError};
 
 /// Runs the baseline DP, producing one [`NodeSol`] per unate node.
-pub(crate) fn solve(unate: &UnateNetwork, config: &MapConfig) -> Result<dp::Solution, MapError> {
-    dp::run_dp(unate, config, Algorithm::DominoMap, solve_node)
+pub(crate) fn solve(
+    unate: &UnateNetwork,
+    config: &MapConfig,
+    cache: Option<&ConeCache>,
+) -> Result<dp::Solution, MapError> {
+    dp::run_dp(unate, config, Algorithm::DominoMap, solve_node, cache)
+}
+
+/// Records `cand` in the key-sorted best-per-shape list, keeping the
+/// cheaper of it and any incumbent (first seen wins ties, as the model's
+/// strict `better` demands).
+fn consider(best: &mut Vec<(TupleKey, Cand)>, model: &CostModel, key: TupleKey, cand: Cand) {
+    match best.binary_search_by_key(&key, |&(k, _)| k) {
+        Ok(i) => {
+            if model.better(&cand.g, &best[i].1.g) {
+                best[i].1 = cand;
+            }
+        }
+        Err(i) => best.insert(i, (key, cand)),
+    }
 }
 
 /// Solves one unate node: keep the single best candidate per shape.
@@ -38,12 +56,19 @@ fn solve_node(
         UNode::Or(a, b) => (a, b, false),
     };
     let (sol_a, sol_b) = (view.get(a), view.get(b));
-    // Best candidate per shape, accumulated in the reused scratch arena.
-    let bare = &mut scratch.best;
+    // Best candidate per shape, accumulated key-sorted in the reused
+    // scratch arena (a handful of shapes — binary search + insert beats
+    // hashing at this size, and the order is deterministic for free).
+    let Scratch {
+        pairs: bare,
+        shapes,
+        staged,
+        ..
+    } = scratch;
     bare.clear();
     for (ra, ca) in sol_a.exported_refs(a) {
         for (rb, cb) in sol_b.exported_refs(b) {
-            ctx.budget.charge(id)?;
+            ctx.charge(id)?;
             let key = if is_and {
                 ra.key.and(rb.key)
             } else {
@@ -53,12 +78,7 @@ fn solve_node(
                 continue;
             }
             let cand = combine(config.baseline_order, is_and, ra, ca, rb, cb);
-            match bare.get(&key) {
-                Some(existing) if !model.better(&cand.g, &existing.g) => {}
-                _ => {
-                    bare.insert(key, cand);
-                }
-            }
+            consider(bare, model, key, cand);
         }
     }
     let mut degraded = false;
@@ -74,19 +94,14 @@ fn solve_node(
                 if rb.key != TupleKey::UNIT {
                     continue;
                 }
-                ctx.budget.charge(id)?;
+                ctx.charge(id)?;
                 let key = if is_and {
                     ra.key.and(rb.key)
                 } else {
                     ra.key.or(rb.key)
                 };
                 let cand = combine(config.baseline_order, is_and, ra, ca, rb, cb);
-                match bare.get(&key) {
-                    Some(existing) if !model.better(&cand.g, &existing.g) => {}
-                    _ => {
-                        bare.insert(key, cand);
-                    }
-                }
+                consider(bare, model, key, cand);
             }
         }
         degraded = true;
@@ -99,19 +114,16 @@ fn solve_node(
             ),
         });
     }
-    if bare.len() > config.limits.max_tuples_per_node {
-        // The baseline keeps one candidate per shape, so the tuple cap is
-        // a shape cap here: keep the cheapest.
-        let mut shapes: Vec<TupleKey> = bare.keys().copied().collect();
-        shapes.sort_by_key(|k| (model.key(&bare[k].g), k.w, k.h));
-        for k in shapes.split_off(config.limits.max_tuples_per_node) {
-            bare.remove(&k);
-        }
+    // The baseline keeps one candidate per shape, so the tuple cap is a
+    // shape cap: `enforce_tuple_cap` keeps the cheapest shapes.
+    shapes.clear();
+    staged.clear();
+    for (i, &(key, cand)) in bare.iter().enumerate() {
+        staged.push(cand);
+        shapes.push((key, i as u32, 1));
     }
-    let mut exported = ExportMap::default();
-    for (key, cand) in bare.drain() {
-        exported.push(key, cand);
-    }
+    crate::soi::enforce_tuple_cap(shapes, staged, model, config.limits.max_tuples_per_node);
+    let exported = ExportMap::from_runs(shapes, staged);
     let mut sol = NodeSol {
         gate: dp::form_gate(config, model, exported.flat()),
         ..NodeSol::default()
@@ -211,7 +223,7 @@ mod tests {
     #[test]
     fn fig3_and_node_tuples() {
         let u = fig3_unate();
-        let sols = solve(&u, &fig3_config()).unwrap().sols;
+        let sols = solve(&u, &fig3_config(), None).unwrap().sols;
         // AND node (index 4): bare {1,2} with cost 2, gate cost 7.
         let and_sol = &sols[4];
         let bare = &and_sol.exported[&TupleKey { w: 1, h: 2 }];
@@ -226,7 +238,7 @@ mod tests {
     #[test]
     fn fig3_or_node_selects_cost_4_and_gate_cost_9() {
         let u = fig3_unate();
-        let sols = solve(&u, &fig3_config()).unwrap().sols;
+        let sols = solve(&u, &fig3_config(), None).unwrap().sols;
         let or_sol = &sols[6];
         // {2,2}: both ANDs absorbed, cost 4.
         let best = &or_sol.exported[&TupleKey { w: 2, h: 2 }];
@@ -245,7 +257,7 @@ mod tests {
         // all-bare solution needs H=2, which fits; instead check the mixed
         // entry loses: the kept {2,2} candidate must cost 4, not 10.
         let u = fig3_unate();
-        let sols = solve(&u, &fig3_config()).unwrap().sols;
+        let sols = solve(&u, &fig3_config(), None).unwrap().sols;
         let or_sol = &sols[6];
         assert_eq!(or_sol.exported[&TupleKey { w: 2, h: 2 }][0].g.tx, 4);
     }
@@ -262,7 +274,7 @@ mod tests {
         // but an AND of two {1,1} literals needs H = 2, so the AND node
         // itself is unmappable.
         assert!(matches!(
-            solve(&u, &config),
+            solve(&u, &config, None),
             Err(MapError::Unmappable { .. })
         ));
     }
@@ -287,7 +299,7 @@ mod tests {
         let f2 = u.add_and(shared, c);
         u.add_output("f1", USignal::Node(f1), false);
         u.add_output("f2", USignal::Node(f2), false);
-        let sols = solve(&u, &MapConfig::default()).unwrap().sols;
+        let sols = solve(&u, &MapConfig::default(), None).unwrap().sols;
         let shared_sol = &sols[3];
         assert_eq!(shared_sol.exported.len(), 1);
         let unit = &shared_sol.exported[&TupleKey::UNIT];
@@ -305,7 +317,7 @@ mod tests {
             h_max: 4,
             ..MapConfig::default()
         };
-        let sols = solve(&u, &config).unwrap().sols;
+        let sols = solve(&u, &config, None).unwrap().sols;
         // Single-gate solution: level 1.
         assert_eq!(sols[6].gate.as_ref().unwrap().cost.level, 1);
     }

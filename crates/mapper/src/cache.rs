@@ -1,0 +1,709 @@
+//! Structural cone memoization for the tuple DP.
+//!
+//! Real netlists are repetitive: adders, array multipliers and cipher
+//! rounds instantiate the same few cells hundreds of times, so after the
+//! fanout-free cone partition most cones are structurally isomorphic to
+//! one another. The DP result for a cone depends only on
+//!
+//! 1. the cone's tree *shape* ([`soi_unate::ConeShape`]) — literal
+//!    identities and phases do not affect costs, only the back-pointer
+//!    forms, which rebinding fixes up;
+//! 2. the exported cost profiles of its boundary fanins (gate candidates
+//!    carry levels and amortized shares that flow into the cone's costs);
+//! 3. the root's fanout (it shapes the exported gate candidate);
+//! 4. the [`MapConfig`] fields and [`Algorithm`] that parameterize the
+//!    cost model.
+//!
+//! A [`ConeCache`] keys entries on a 128-bit hash of exactly those four
+//! ingredients. Levels are hashed *relative to the cone's minimum
+//! boundary level*: levels only combine by `max`/`+1` and only compare
+//! inside the DP, so a uniform shift of every boundary level shifts the
+//! solution's levels by the same constant and changes nothing else —
+//! letting a cone hit an isomorphic cone from a different logic depth
+//! (the offset is re-added at rebind; cones with interior literal leaves
+//! pin level 0 and key on absolute levels instead).
+//!
+//! On a hit, the DP deep-copies the cached per-node solutions and
+//! rewrites every [`Form`] back-pointer from the old cone's node ids to
+//! the new cone's (literal leaves pick up the new cone's literals,
+//! boundary references map through the occurrence bijection) — a few
+//! memcpys instead of re-running the candidate-combination loops.
+//!
+//! A second, **node-granular tier** ([`NodeEntry`]) catches the
+//! repetition the cone tier can't see: a gate probes on (kind, fanout,
+//! its two fanins' exported profiles) — the exact inputs of one DP step —
+//! with levels normalized per gate, so a gate reuses the solution of any
+//! structurally equal gate anywhere in the netlist, at any depth. The
+//! node tier serves single-gate units directly (they would not amortize a
+//! cone-tier shape walk, see [`MIN_CACHED_UNIT_GATES`]) and fills in the
+//! gates of cones whose whole-cone probe missed. Each gate solve is
+//! counted in the hit/miss statistics exactly once: as part of a
+//! gate-weighted cone hit, or as its own node-tier hit or miss.
+//!
+//! Cached runs are **bit-identical** to uncached runs, including budget
+//! accounting: a hit bulk-charges the combination steps the entry
+//! originally cost (see [`crate::dp::Budget::charge_many`]).
+//!
+//! The cache is internally synchronized: workers of a parallel run probe
+//! and fill it concurrently, and a cache can be shared across runs (see
+//! [`Mapper::with_cone_cache`](crate::Mapper::with_cone_cache)) so later
+//! runs of a family of circuits start warm.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use soi_unate::{ConeShape, UId, UNode, UnateNetwork};
+
+use crate::dp::{SolTable, UnitAcc};
+use crate::tuple::{CandRef, ExportMap, Form, NodeSol};
+use crate::{Algorithm, MapConfig};
+
+/// Cones larger than this many nodes are solved without consulting the
+/// cache: the miss-side capture clones the whole cone's solutions, and
+/// giant cones are both expensive to clone and unlikely to repeat.
+pub(crate) const MAX_CACHED_UNIT_NODES: usize = 512;
+
+/// Gates whose estimated combination work (product of the two fanins'
+/// exported candidate counts) falls below this skip the node tier
+/// entirely (no probe, no capture, not counted). At 1 every gate with
+/// viable fanins participates — raising it trades cache coverage for
+/// lower per-gate overhead.
+pub(crate) const NODE_TIER_MIN_COMBINATIONS: usize = 1;
+
+/// Units with fewer gates than this skip the cone tier: a lone gate (or a
+/// bare literal root) has nothing to amortize the canonical shape walk
+/// and whole-cone snapshot over, and the node tier memoizes single gates
+/// without ever computing a shape.
+pub(crate) const MIN_CACHED_UNIT_GATES: usize = 2;
+
+/// 128-bit cache key: structural signature ⊕ boundary profiles ⊕ root
+/// fanout ⊕ config fingerprint, as two independently seeded 64-bit hashes.
+pub(crate) type CacheKey = [u64; 2];
+
+/// A concurrent memo table of solved fanout-free cones, shareable across
+/// mapping runs (and across threads of one run).
+///
+/// Constructed implicitly per run when [`MapConfig::cone_cache`] is set,
+/// or explicitly via [`ConeCache::new`] and attached with
+/// [`Mapper::with_cone_cache`](crate::Mapper::with_cone_cache) to keep it
+/// warm across runs. The [`hits`](ConeCache::hits) /
+/// [`misses`](ConeCache::misses) counters accumulate over the cache's
+/// lifetime; per-run counts are reported on
+/// [`MappingResult`](crate::MappingResult).
+#[derive(Default)]
+pub struct ConeCache {
+    entries: Mutex<HashMap<CacheKey, Arc<ConeEntry>>>,
+    nodes: Mutex<HashMap<CacheKey, Arc<NodeEntry>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ConeCache {
+    /// An empty cache.
+    pub fn new() -> ConeCache {
+        ConeCache::default()
+    }
+
+    /// Number of distinct memo entries stored (cone tier + node tier).
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("cache poisoned").len()
+            + self.nodes.lock().expect("cache poisoned").len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime hit count (across every run that used this cache).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+impl fmt::Debug for ConeCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ConeCache")
+            .field("entries", &self.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+/// A [`ConeCache`] bound to one run's config fingerprint.
+pub(crate) struct RunCache<'a> {
+    cache: &'a ConeCache,
+    fingerprint: u64,
+}
+
+impl<'a> RunCache<'a> {
+    pub(crate) fn new(
+        cache: &'a ConeCache,
+        config: &MapConfig,
+        algorithm: Algorithm,
+    ) -> RunCache<'a> {
+        RunCache {
+            cache,
+            fingerprint: fingerprint(config, algorithm),
+        }
+    }
+
+    /// Computes the cache key for a cone and looks it up. Returns the key
+    /// (for a later [`insert`](RunCache::insert) on miss), the cone's
+    /// level-normalization base, and the matching entry, if any. Entries
+    /// whose recorded structure disagrees with the shape (a 128-bit
+    /// collision, i.e. never in practice) are treated as misses.
+    pub(crate) fn probe(
+        &self,
+        shape: &ConeShape,
+        root_fanout: u32,
+        table: &SolTable,
+        unate: &UnateNetwork,
+    ) -> (CacheKey, u32, Option<Arc<ConeEntry>>) {
+        let (key, base) = self.key(shape, root_fanout, table, unate);
+        let found = self
+            .entries()
+            .get(&key)
+            .cloned()
+            .filter(|e| e.matches(shape, unate));
+        (key, base, found)
+    }
+
+    /// Computes the node-tier key for one gate and looks it up: a gate's
+    /// solution is a pure function of its kind, its fanout, and its two
+    /// fanins' exported profiles (level-normalized like the cone tier; a
+    /// literal fanin's level-0 candidates pin the base to 0 by
+    /// themselves). This tier serves single-gate units outright and fills
+    /// in the gates of cones whose whole-cone probe missed, so a gate
+    /// reuses work from any other cone that contained the same
+    /// gate-over-profiles.
+    pub(crate) fn probe_node(
+        &self,
+        node: UNode,
+        fanout: u32,
+        table: &SolTable,
+    ) -> (CacheKey, u32, Option<Arc<NodeEntry>>) {
+        let (kind, a, b) = match node {
+            UNode::And(a, b) => (1u8, a, b),
+            UNode::Or(a, b) => (2u8, a, b),
+            UNode::Lit(_) => unreachable!("literal nodes are solved directly, never node-cached"),
+        };
+        let base = table.get(a).profile.1.min(table.get(b).profile.1);
+        let mut h1 = Mix(0x6e6f_6465_7469_6572); // node-tier domain seeds
+        let mut h2 = Mix(0x7265_6974_6564_6f6e);
+        for h in [&mut h1, &mut h2] {
+            h.word(self.fingerprint);
+            h.word(u64::from(kind) << 40 | u64::from(fanout) << 8 | u64::from(a == b));
+        }
+        for f in [a, b] {
+            let (d, m) = table.get(f).profile;
+            for h in [&mut h1, &mut h2] {
+                h.word(d);
+                h.word(u64::from(m - base));
+            }
+        }
+        let key = [h1.0, h2.0];
+        let found = self
+            .node_entries()
+            .get(&key)
+            .cloned()
+            .filter(|e| e.kind == kind);
+        (key, base, found)
+    }
+
+    /// Stores a freshly captured entry. Two workers missing on the same
+    /// key concurrently both capture (identical) entries; last write wins.
+    pub(crate) fn insert(&self, key: CacheKey, entry: ConeEntry) {
+        self.entries().insert(key, Arc::new(entry));
+    }
+
+    /// Node-tier counterpart of [`insert`](RunCache::insert).
+    pub(crate) fn insert_node(&self, key: CacheKey, entry: NodeEntry) {
+        self.node_entries().insert(key, Arc::new(entry));
+    }
+
+    /// Adds `n` hits to the cache's lifetime counters.
+    pub(crate) fn record_hits(&self, n: u64) {
+        self.cache.hits.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds `n` misses to the cache's lifetime counters.
+    pub(crate) fn record_misses(&self, n: u64) {
+        self.cache.misses.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn entries(&self) -> std::sync::MutexGuard<'_, HashMap<CacheKey, Arc<ConeEntry>>> {
+        self.cache.entries.lock().expect("cache poisoned")
+    }
+
+    fn node_entries(&self) -> std::sync::MutexGuard<'_, HashMap<CacheKey, Arc<NodeEntry>>> {
+        self.cache.nodes.lock().expect("cache poisoned")
+    }
+
+    fn key(
+        &self,
+        shape: &ConeShape,
+        root_fanout: u32,
+        table: &SolTable,
+        unate: &UnateNetwork,
+    ) -> (CacheKey, u32) {
+        let mut h1 = Mix(0x636f_6e65_7469_6572); // cone-tier domain seeds
+        let mut h2 = Mix(0x7265_6974_656e_6f63);
+        for h in [&mut h1, &mut h2] {
+            h.word(self.fingerprint);
+            h.word(shape.sig[0]);
+            h.word(shape.sig[1]);
+            h.word(u64::from(root_fanout));
+        }
+        let base = level_base(shape, table, unate);
+        // Boundary fanins contribute everything the solver can read from
+        // them: their exported cost profiles in candidate order, with
+        // levels normalized to the cone's base. (Their forms are
+        // irrelevant — combinations reference boundary candidates by
+        // `(shape, index)`, resolved against the live boundary solution at
+        // materialization.)
+        for &b in &shape.boundary {
+            let (d, m) = table.get(b).profile;
+            for h in [&mut h1, &mut h2] {
+                h.word(d);
+                h.word(u64::from(m - base));
+            }
+        }
+        ([h1.0, h2.0], base)
+    }
+}
+
+/// The cone's level-normalization base: the smallest level any boundary
+/// candidate carries, or 0 when the cone contains interior literal leaves.
+///
+/// Levels only ever combine by `max` and `+1` and only ever *compare*
+/// inside the DP, so shifting every boundary level by a constant shifts
+/// every solution level by that constant and changes nothing else. Keying
+/// on base-relative levels therefore lets a cone hit an isomorphic cone
+/// from a different logic depth — the common case in arrays and ripple
+/// chains — with the offset re-added at rebind. Interior literals pin
+/// level 0 *inside* the cone and break the uniform-shift argument, so
+/// such cones key on absolute levels (base 0).
+fn level_base(shape: &ConeShape, table: &SolTable, unate: &UnateNetwork) -> u32 {
+    let has_lit = shape
+        .canon
+        .iter()
+        .any(|&id| matches!(unate.node(id), UNode::Lit(_)));
+    if has_lit {
+        return 0;
+    }
+    shape
+        .boundary
+        .iter()
+        .map(|&b| table.get(b).profile.1)
+        .min()
+        .unwrap_or(0)
+}
+
+/// Computes a node's memoized cache profile: an order-sensitive digest of
+/// its full exported candidate list with every level taken relative to
+/// the list's minimum level, plus that minimum. The digest half is
+/// invariant under uniform level shifts, so probes can compare two nodes
+/// at different logic depths by hashing `(digest, min - base)` per fanin
+/// instead of re-walking every candidate on every probe.
+pub(crate) fn profile(exported: &ExportMap) -> (u64, u32) {
+    let mut min = u32::MAX;
+    for (_, c) in exported.flat() {
+        min = min.min(c.g.level).min(c.u.level);
+    }
+    let min = if min == u32::MAX { 0 } else { min };
+    // This digest runs once per solved node per cached run — hot enough
+    // that SipHash with one write per field shows up in the mapping
+    // wall-clock. A chained multiply-xorshift over packed words is an
+    // order-sensitive 64-bit mixer at a fraction of the cost; the result
+    // only ever feeds the 128-bit probe keys.
+    let mut h = Mix(0x517c_c1b7_2722_0994);
+    for (key, c) in exported.flat() {
+        h.word(u64::from(key.w) << 32 | u64::from(key.h));
+        for cost in [c.g, c.u] {
+            h.word(u64::from(cost.tx) << 32 | u64::from(cost.wtx));
+            h.word(u64::from(cost.disch) << 32 | u64::from(cost.level - min));
+        }
+        h.word(u64::from(c.p_spine) << 32 | u64::from(c.p_branch));
+        h.word(u64::from(c.par_b) << 1 | u64::from(c.touches_pi));
+    }
+    (h.0, min)
+}
+
+/// Chained multiply-xorshift accumulator (xor in, multiply by the golden
+/// ratio, shift-mix) — order-sensitive, and strong enough for hash-key
+/// discrimination where equality is re-verified structurally or the key
+/// space is 128 bits.
+struct Mix(u64);
+
+impl Mix {
+    #[inline]
+    fn word(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        self.0 ^= self.0 >> 29;
+    }
+}
+
+/// Everything [`MapConfig`] + [`Algorithm`] contribute to DP results.
+/// `parallelism` and `cone_cache` are deliberately excluded — they change
+/// scheduling, never solutions — so serial/parallel/cached runs share
+/// entries.
+fn fingerprint(config: &MapConfig, algorithm: Algorithm) -> u64 {
+    let mut h = DefaultHasher::new();
+    algorithm.hash(&mut h);
+    config.w_max.hash(&mut h);
+    config.h_max.hash(&mut h);
+    config.objective.hash(&mut h);
+    config.clock_weight.hash(&mut h);
+    config.depth_level_weight.hash(&mut h);
+    config.footing.hash(&mut h);
+    config.and_order.hash(&mut h);
+    config.baseline_order.hash(&mut h);
+    config.max_candidates.hash(&mut h);
+    config.output_phase.hash(&mut h);
+    config.allow_duplication.hash(&mut h);
+    config.degrade_unmappable.hash(&mut h);
+    config.limits.hash(&mut h);
+    h.finish()
+}
+
+/// One cached cone: the per-node solutions in canonical order plus the
+/// id maps needed to rebind them onto any isomorphic cone.
+pub(crate) struct ConeEntry {
+    /// Solutions aligned with [`ConeShape::canon`].
+    sols: Vec<NodeSol>,
+    /// Node kinds (0 = literal, 1 = AND, 2 = OR) in canonical order — the
+    /// structural sanity check backing [`ConeEntry::matches`].
+    kinds: Vec<u8>,
+    /// `(old node index, canonical position)`, sorted by index.
+    canon_pos: Vec<(u32, u32)>,
+    /// `(old boundary node index, first-occurrence class)`, sorted by
+    /// index. Classes index [`ConeShape::boundary`].
+    bnd_class: Vec<(u32, u32)>,
+    /// Canonical positions of nodes the degradation fallback fired on.
+    degraded_pos: Vec<u32>,
+    /// Combination steps the capture run charged for this cone.
+    steps: u64,
+    /// The cone's own exported-candidate high-water mark.
+    peak_candidates: usize,
+    /// Level-normalization base of the capture cone (see [`level_base`]);
+    /// rebinding onto a cone with base `b` shifts every stored level by
+    /// `b - level_base`.
+    level_base: u32,
+}
+
+impl ConeEntry {
+    /// Snapshots a just-solved cone from the solution table.
+    /// `degraded` is the slice of this unit's degraded node ids.
+    pub(crate) fn capture(
+        shape: &ConeShape,
+        table: &SolTable,
+        degraded: &[UId],
+        steps: u64,
+        level_base: u32,
+    ) -> ConeEntry {
+        let sols: Vec<NodeSol> = shape
+            .canon
+            .iter()
+            .map(|&id| table.get(id).clone())
+            .collect();
+        let mut canon_pos: Vec<(u32, u32)> = shape
+            .canon
+            .iter()
+            .enumerate()
+            .map(|(pos, &id)| (id.index() as u32, pos as u32))
+            .collect();
+        canon_pos.sort_unstable();
+        let mut bnd_class: Vec<(u32, u32)> = Vec::new();
+        for (occ, &b) in shape.boundary.iter().enumerate() {
+            let idx = b.index() as u32;
+            if !bnd_class.iter().any(|&(i, _)| i == idx) {
+                bnd_class.push((idx, occ as u32));
+            }
+        }
+        bnd_class.sort_unstable();
+        let pos_of = |id: UId| -> u32 {
+            let idx = id.index() as u32;
+            let at = canon_pos
+                .binary_search_by_key(&idx, |&(i, _)| i)
+                .expect("degraded node inside its own unit");
+            canon_pos[at].1
+        };
+        let degraded_pos = degraded.iter().map(|&id| pos_of(id)).collect();
+        ConeEntry {
+            peak_candidates: sols
+                .iter()
+                .map(|s| s.exported.total_candidates())
+                .max()
+                .unwrap_or(0),
+            kinds: Vec::new(), // filled below from the capture network
+            sols,
+            canon_pos,
+            bnd_class,
+            degraded_pos,
+            steps,
+            level_base,
+        }
+    }
+
+    /// Records the node kinds of the capture cone (split from `capture`
+    /// only because the network isn't threaded through the table).
+    pub(crate) fn with_kinds(mut self, shape: &ConeShape, unate: &UnateNetwork) -> ConeEntry {
+        self.kinds = shape.canon.iter().map(|&id| kind(unate.node(id))).collect();
+        self
+    }
+
+    /// The combination steps the capture run charged.
+    pub(crate) fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Structural sanity check: the entry fits the shape node-for-node.
+    fn matches(&self, shape: &ConeShape, unate: &UnateNetwork) -> bool {
+        self.sols.len() == shape.canon.len()
+            && self.bnd_class.len() == {
+                let mut uniq: Vec<UId> = shape.boundary.clone();
+                uniq.sort_unstable();
+                uniq.dedup();
+                uniq.len()
+            }
+            && self
+                .kinds
+                .iter()
+                .zip(&shape.canon)
+                .all(|(&k, &id)| k == kind(unate.node(id)))
+    }
+
+    /// Deep-copies the cached solutions onto the new cone, rewriting every
+    /// back-pointer — literal forms pick up the new cone's literals,
+    /// interior references translate by canonical position, boundary
+    /// references through the occurrence bijection — and shifting every
+    /// level by the difference between the new cone's normalization base
+    /// and the capture cone's.
+    pub(crate) fn rebind(
+        &self,
+        shape: &ConeShape,
+        unate: &UnateNetwork,
+        table: &SolTable,
+        acc: &mut UnitAcc,
+        new_base: u32,
+    ) {
+        let translate = |old: UId| -> UId {
+            let idx = old.index() as u32;
+            if let Ok(at) = self.canon_pos.binary_search_by_key(&idx, |&(i, _)| i) {
+                return shape.canon[self.canon_pos[at].1 as usize];
+            }
+            let at = self
+                .bnd_class
+                .binary_search_by_key(&idx, |&(i, _)| i)
+                .expect("back-pointer escapes the cone and its boundary");
+            shape.boundary[self.bnd_class[at].1 as usize]
+        };
+        // Every stored level is >= level_base (levels never sink below the
+        // smallest boundary level they combined from), so the shift stays
+        // in range.
+        let shift = |level: u32| -> u32 { level - self.level_base + new_base };
+        for (pos, cached) in self.sols.iter().enumerate() {
+            let new_id = shape.canon[pos];
+            let node = unate.node(new_id);
+            let mut sol = cached.clone();
+            for cand in sol.exported.cands_mut() {
+                cand.form = rebind_form(cand.form, node, &translate);
+                cand.g.level = shift(cand.g.level);
+                cand.u.level = shift(cand.u.level);
+            }
+            if let Some(gate) = &mut sol.gate {
+                gate.form = rebind_form(gate.form, node, &translate);
+                gate.cost.level = shift(gate.cost.level);
+            }
+            // The profile digest is shift-invariant; only its min moves.
+            // An empty candidate list keeps min 0 (see `profile`).
+            if sol.exported.total_candidates() > 0 {
+                sol.profile.1 = shift(sol.profile.1);
+            }
+            table.set(new_id, sol);
+        }
+        acc.peak_candidates = acc.peak_candidates.max(self.peak_candidates);
+        for &pos in &self.degraded_pos {
+            acc.degraded.push(shape.canon[pos as usize]);
+        }
+    }
+}
+
+/// One cached gate solution (the node tier): everything needed to replay
+/// a single gate's DP step onto another gate with the same kind, fanout
+/// and fanin profiles.
+pub(crate) struct NodeEntry {
+    sol: NodeSol,
+    /// 1 = AND, 2 = OR (sanity check mirroring [`ConeEntry::matches`]).
+    kind: u8,
+    /// Capture-time index of the gate itself (its exported gate candidate
+    /// carries a `ChildGate(self)` back-pointer).
+    old_self: u32,
+    /// Capture-time fanin node indices, in operand order.
+    fanins: (u32, u32),
+    /// Whether the degradation fallback fired on this gate.
+    degraded: bool,
+    /// Combination steps the capture solve charged.
+    steps: u64,
+    /// Level-normalization base at capture (see [`level_base`]).
+    level_base: u32,
+}
+
+impl NodeEntry {
+    /// Snapshots a just-solved gate.
+    pub(crate) fn capture(
+        id: UId,
+        node: UNode,
+        sol: &NodeSol,
+        degraded: bool,
+        steps: u64,
+        level_base: u32,
+    ) -> NodeEntry {
+        let (kind, a, b) = match node {
+            UNode::And(a, b) => (1u8, a, b),
+            UNode::Or(a, b) => (2u8, a, b),
+            UNode::Lit(_) => unreachable!("literal nodes are solved directly, never node-cached"),
+        };
+        NodeEntry {
+            sol: sol.clone(),
+            kind,
+            old_self: id.index() as u32,
+            fanins: (a.index() as u32, b.index() as u32),
+            degraded,
+            steps,
+            level_base,
+        }
+    }
+
+    /// The combination steps the capture solve charged.
+    pub(crate) fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Deep-copies the cached solution onto gate `node`, translating the
+    /// two fanin back-pointers and re-basing levels. Returns the solution
+    /// and whether the capture gate had degraded.
+    pub(crate) fn rebind(&self, id: UId, node: UNode, new_base: u32) -> (NodeSol, bool) {
+        let (a, b) = match node {
+            UNode::And(a, b) | UNode::Or(a, b) => (a, b),
+            UNode::Lit(_) => unreachable!("literal nodes are solved directly, never node-cached"),
+        };
+        let translate = |old: UId| -> UId {
+            let idx = old.index() as u32;
+            if idx == self.old_self {
+                id
+            } else if idx == self.fanins.0 {
+                a
+            } else if idx == self.fanins.1 {
+                b
+            } else {
+                unreachable!("gate back-pointer escapes the gate and its fanins")
+            }
+        };
+        let shift = |level: u32| -> u32 { level - self.level_base + new_base };
+        let mut sol = self.sol.clone();
+        for cand in sol.exported.cands_mut() {
+            cand.form = rebind_form(cand.form, node, &translate);
+            cand.g.level = shift(cand.g.level);
+            cand.u.level = shift(cand.u.level);
+        }
+        if let Some(gate) = &mut sol.gate {
+            gate.form = rebind_form(gate.form, node, &translate);
+            gate.cost.level = shift(gate.cost.level);
+        }
+        if sol.exported.total_candidates() > 0 {
+            sol.profile.1 = shift(sol.profile.1);
+        }
+        (sol, self.degraded)
+    }
+}
+
+fn kind(node: UNode) -> u8 {
+    match node {
+        UNode::Lit(_) => 0,
+        UNode::And(..) => 1,
+        UNode::Or(..) => 2,
+    }
+}
+
+fn rebind_form(form: Form, owner: UNode, translate: &impl Fn(UId) -> UId) -> Form {
+    let rebind_ref = |mut r: CandRef| -> CandRef {
+        r.node = translate(r.node);
+        r
+    };
+    match form {
+        // A literal form only ever lives in the literal node's own
+        // solution, and `matches` checked the kinds align.
+        Form::Lit(_) => match owner {
+            UNode::Lit(l) => Form::Lit(l),
+            _ => unreachable!("literal form on a gate node"),
+        },
+        Form::ChildGate(id) => Form::ChildGate(translate(id)),
+        Form::And { top, bottom } => Form::And {
+            top: rebind_ref(top),
+            bottom: rebind_ref(bottom),
+        },
+        Form::Or { a, b } => Form::Or {
+            a: rebind_ref(a),
+            b: rebind_ref(b),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Objective;
+
+    #[test]
+    fn fingerprint_tracks_semantic_config_changes() {
+        let base = MapConfig::default();
+        let f = fingerprint(&base, Algorithm::SoiDominoMap);
+        assert_eq!(f, fingerprint(&base, Algorithm::SoiDominoMap));
+        assert_ne!(f, fingerprint(&base, Algorithm::DominoMap));
+        let depth = MapConfig {
+            objective: Objective::Depth,
+            ..base
+        };
+        assert_ne!(f, fingerprint(&depth, Algorithm::SoiDominoMap));
+        let narrow = MapConfig { w_max: 3, ..base };
+        assert_ne!(f, fingerprint(&narrow, Algorithm::SoiDominoMap));
+    }
+
+    #[test]
+    fn fingerprint_ignores_scheduling_knobs() {
+        let base = MapConfig::default();
+        let f = fingerprint(&base, Algorithm::SoiDominoMap);
+        let parallel = MapConfig {
+            parallelism: crate::Parallelism::Threads(7),
+            ..base
+        };
+        assert_eq!(f, fingerprint(&parallel, Algorithm::SoiDominoMap));
+        let uncached = MapConfig {
+            cone_cache: false,
+            ..base
+        };
+        assert_eq!(f, fingerprint(&uncached, Algorithm::SoiDominoMap));
+    }
+
+    #[test]
+    fn empty_cache_reports_empty() {
+        let c = ConeCache::new();
+        assert!(c.is_empty());
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.hits(), 0);
+        assert_eq!(c.misses(), 0);
+        assert!(format!("{c:?}").contains("entries"));
+    }
+}

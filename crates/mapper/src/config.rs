@@ -1,7 +1,7 @@
 use soi_unate::OutputPhase;
 
 /// Which mapping algorithm a [`Mapper`](crate::Mapper) runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Algorithm {
     /// `Domino_Map`: the ICCAD'98 PBE-blind DP; discharge transistors are
     /// added by post-processing.
@@ -25,7 +25,7 @@ impl Algorithm {
 }
 
 /// Mapping objective (the DP cost function).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Objective {
     /// Minimize transistors (Tables I–III).
     #[default]
@@ -36,7 +36,7 @@ pub enum Objective {
 }
 
 /// When domino gates receive a foot n-clock transistor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Footing {
     /// Foot only gates whose PDN is driven by a primary input (the paper's
     /// Listing 2; inputs may be high during precharge, internal domino
@@ -48,7 +48,7 @@ pub enum Footing {
 }
 
 /// How the AND combination orders its two operands in the series stack.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum AndOrder {
     /// The paper's heuristic: a parallel-bottomed operand goes to the
     /// bottom; if both qualify, the one with more potential discharge
@@ -71,42 +71,60 @@ pub enum AndOrder {
 /// How the DP schedules its work across threads.
 ///
 /// The parallel schedule partitions the unate network into fanout-free
-/// cone units and solves independent units on scoped threads, joining at
-/// multi-fanout boundaries. Results are bit-identical across all modes:
-/// every per-node computation is a pure function of its fanins' solutions
-/// and candidate enumeration order is deterministic, so the only thing
-/// parallelism changes is wall-clock time.
+/// cone units and solves them on a persistent work-stealing worker pool
+/// driven by per-cone dependency counters, joining only at multi-fanout
+/// boundaries. Results are bit-identical across all modes: every per-node
+/// computation is a pure function of its fanins' solutions and candidate
+/// enumeration order is deterministic, so the only thing parallelism
+/// changes is wall-clock time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Parallelism {
-    /// Use all available hardware threads, falling back to serial for
-    /// networks too small to amortize thread spawning.
+    /// Use the hardware threads when the estimated DP work is above the
+    /// threading break-even; stay serial below it. The cutoff is a cost
+    /// model over the gate count (per-gate DP work dwarfs per-unit
+    /// scheduling overhead only once the network is big enough) and the
+    /// cone-unit count (each worker needs a few units to itself for
+    /// stealing to pay).
     #[default]
     Auto,
     /// Single-threaded topological walk (the reference schedule).
     Serial,
-    /// Exactly this many worker threads per scheduling level, regardless
-    /// of network size (values are clamped to at least 1).
+    /// Exactly this many worker threads, regardless of network size
+    /// (values are clamped to at least 1).
     Threads(usize),
 }
 
 impl Parallelism {
-    /// Networks below this node count run serially under
-    /// [`Parallelism::Auto`]: per-level thread spawning costs more than
-    /// the DP itself on tiny inputs.
-    pub const AUTO_SERIAL_THRESHOLD: usize = 128;
+    /// Networks with fewer 2-input gates than this run serially under
+    /// [`Parallelism::Auto`]. The break-even comes from the pool's fixed
+    /// costs — thread spawning (tens of microseconds each) plus per-unit
+    /// queue traffic — against per-gate DP work in the hundreds of
+    /// nanoseconds: below roughly a thousand gates the whole DP finishes
+    /// in well under a millisecond and threads cannot pay for themselves.
+    pub const AUTO_MIN_PARALLEL_GATES: usize = 1024;
 
-    /// The worker-thread count to use for a network of `nodes` nodes.
-    pub(crate) fn threads(self, nodes: usize) -> usize {
+    /// Under [`Parallelism::Auto`], each worker must have at least this
+    /// many cone units on average; otherwise the schedule has too little
+    /// independent work for stealing to beat the queue traffic.
+    pub const AUTO_UNITS_PER_THREAD: usize = 4;
+
+    /// The worker-thread count for a network of `gates` 2-input gates
+    /// partitioned into `units` cone units, on a machine with `hw`
+    /// hardware threads. Pure so the cutoff is unit-testable; the DP
+    /// passes `std::thread::available_parallelism` for `hw`.
+    pub fn resolved_threads(self, hw: usize, gates: usize, units: usize) -> usize {
         match self {
             Parallelism::Serial => 1,
             Parallelism::Threads(n) => n.max(1),
             Parallelism::Auto => {
-                if nodes < Self::AUTO_SERIAL_THRESHOLD {
+                if hw <= 1 || gates < Self::AUTO_MIN_PARALLEL_GATES {
+                    return 1;
+                }
+                let t = hw.min(units / Self::AUTO_UNITS_PER_THREAD);
+                if t < 2 {
                     1
                 } else {
-                    std::thread::available_parallelism()
-                        .map(std::num::NonZeroUsize::get)
-                        .unwrap_or(1)
+                    t
                 }
             }
         }
@@ -122,7 +140,7 @@ impl Parallelism {
 /// [`MapError::BudgetExceeded`](crate::MapError::BudgetExceeded) (hard
 /// budgets) or a documented precision loss (the per-node tuple cap, which
 /// falls back to tighter Pareto capping instead of failing).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Limits {
     /// Maximum number of unate nodes the DP will accept. Exceeding it
     /// fails fast with `BudgetExceeded` before any DP work happens.
@@ -206,6 +224,13 @@ pub struct MapConfig {
     pub limits: Limits,
     /// Thread schedule of the DP (results are identical in every mode).
     pub parallelism: Parallelism,
+    /// Memoize structurally isomorphic fanout-free cones in a
+    /// [`ConeCache`](crate::ConeCache) during the DP, rebinding the cached
+    /// solution instead of re-running the per-node solver. Results are
+    /// bit-identical with the cache on or off; on repetitive circuits
+    /// (adders, multipliers, crypto rounds) most cones are cache hits.
+    /// On by default.
+    pub cone_cache: bool,
     /// When a node has no `(W ≤ w_max, H ≤ h_max)` combination, force a
     /// gate boundary there by combining the children's single-gate
     /// candidates even though the resulting shape violates the limits, and
@@ -232,6 +257,7 @@ impl Default for MapConfig {
             allow_duplication: false,
             limits: Limits::default(),
             parallelism: Parallelism::default(),
+            cone_cache: true,
             degrade_unmappable: false,
         }
     }
@@ -292,6 +318,35 @@ mod tests {
         assert_eq!(c.objective, Objective::Area);
         assert_eq!(c.clock_weight, 1);
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn auto_parallelism_stays_serial_below_break_even() {
+        let auto = MapConfig::default().parallelism;
+        assert_eq!(auto, Parallelism::Auto);
+        // Small networks resolve to 1 thread no matter the hardware.
+        assert_eq!(auto.resolved_threads(8, 90, 40), 1);
+        assert_eq!(auto.resolved_threads(64, 1023, 4096), 1);
+        // One hardware thread is always serial.
+        assert_eq!(auto.resolved_threads(1, 1_000_000, 100_000), 1);
+        // Too few units per worker is serial even past the gate cutoff.
+        assert_eq!(auto.resolved_threads(8, 5000, 7), 1);
+    }
+
+    #[test]
+    fn auto_parallelism_scales_with_hardware_and_units() {
+        let auto = Parallelism::Auto;
+        assert_eq!(auto.resolved_threads(8, 5000, 400), 8);
+        // Unit-starved schedules get fewer workers than the hardware has.
+        assert_eq!(auto.resolved_threads(8, 5000, 12), 3);
+        assert_eq!(Parallelism::Serial.resolved_threads(8, 5000, 400), 1);
+        assert_eq!(Parallelism::Threads(3).resolved_threads(8, 10, 1), 3);
+        assert_eq!(Parallelism::Threads(0).resolved_threads(8, 10, 1), 1);
+    }
+
+    #[test]
+    fn cone_cache_is_on_by_default() {
+        assert!(MapConfig::default().cone_cache);
     }
 
     #[test]

@@ -1,14 +1,17 @@
 //! Shared pieces of the two tuple DPs, including the driver that walks a
-//! unate network — serially or across independent fanout-free cones on
-//! scoped threads — and hands each node to an algorithm-specific solver.
+//! unate network — serially, or across independent fanout-free cones on a
+//! persistent work-stealing worker pool — and hands each node to an
+//! algorithm-specific solver, memoizing structurally isomorphic cones in
+//! a [`ConeCache`](crate::ConeCache) along the way.
 
-use std::collections::HashMap;
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use soi_unate::{ConePartition, Literal, UId, UNode, UnateNetwork};
+use soi_unate::{ConeUnit, Literal, ShapeScratch, UId, UNode, UnateNetwork};
 
+use crate::cache::{self, RunCache};
 use crate::tuple::{Cand, Form, GateSol, NodeSol, TupleKey};
-use crate::{Algorithm, Cost, CostModel, Footing, MapConfig, MapError};
+use crate::{Algorithm, ConeCache, Cost, CostModel, Footing, MapConfig, MapError};
 
 /// The product of one DP run over a unate network.
 pub(crate) struct Solution {
@@ -20,6 +23,11 @@ pub(crate) struct Solution {
     /// Largest exported-candidate count any single node reached — the
     /// memory high-water mark of the DP (diagnostics; deterministic).
     pub(crate) peak_candidates: usize,
+    /// Worker threads the schedule actually used.
+    pub(crate) threads_used: usize,
+    /// Cone-cache hits and misses of this run (both 0 with the cache off).
+    pub(crate) cache_hits: u64,
+    pub(crate) cache_misses: u64,
 }
 
 /// Running charge against the per-run combine-step budget
@@ -29,8 +37,9 @@ pub(crate) struct Solution {
 /// threads charge the same global allowance: the budget stays a single
 /// deterministic limit on the *total* amount of combination work, not a
 /// per-thread one. Whether a run trips the budget is therefore identical
-/// between serial and parallel execution (the same combinations are
-/// performed either way); only which node reports the exhaustion first may
+/// between serial and parallel execution, and between cached and uncached
+/// execution (a cache hit charges the exact step count the solver would
+/// have performed); only which node reports the exhaustion first may
 /// differ under contention.
 pub(crate) struct Budget {
     steps: AtomicU64,
@@ -47,7 +56,15 @@ impl Budget {
 
     /// Charges one candidate-combination step at `node`.
     pub(crate) fn charge(&self, node: UId) -> Result<(), MapError> {
-        let steps = self.steps.fetch_add(1, Ordering::Relaxed) + 1;
+        self.charge_many(1, node)
+    }
+
+    /// Charges `n` steps at once — how a cone-cache hit pays for the
+    /// combination work its cached solution originally cost, keeping the
+    /// cumulative total (and with it budget-trip behaviour) identical to
+    /// an uncached run.
+    pub(crate) fn charge_many(&self, n: u64, node: UId) -> Result<(), MapError> {
+        let steps = self.steps.fetch_add(n, Ordering::Relaxed) + n;
         if steps > self.max_steps {
             return Err(MapError::BudgetExceeded {
                 what: format!(
@@ -74,33 +91,131 @@ pub(crate) fn check_gate_budget(unate: &UnateNetwork, config: &MapConfig) -> Res
     Ok(())
 }
 
-/// Read-only context shared by every per-node solver invocation.
+/// Per-worker context for solver invocations: the shared read-only run
+/// state plus this worker's running step count (used to price cone-cache
+/// entries).
 pub(crate) struct NodeCtx<'a> {
     pub config: &'a MapConfig,
     pub model: &'a CostModel,
     pub fanouts: &'a [u32],
-    pub budget: &'a Budget,
+    budget: &'a Budget,
+    steps: Cell<u64>,
 }
 
-/// Per-worker scratch arenas, reused across nodes so the per-node
-/// accumulation maps and pruning buffers are allocated once per worker
-/// instead of once per node.
+impl<'a> NodeCtx<'a> {
+    pub(crate) fn new(
+        config: &'a MapConfig,
+        model: &'a CostModel,
+        fanouts: &'a [u32],
+        budget: &'a Budget,
+    ) -> NodeCtx<'a> {
+        NodeCtx {
+            config,
+            model,
+            fanouts,
+            budget,
+            steps: Cell::new(0),
+        }
+    }
+
+    /// Charges one combination step at `node` against the global budget,
+    /// and counts it toward the worker's local tally.
+    pub fn charge(&self, node: UId) -> Result<(), MapError> {
+        self.steps.set(self.steps.get() + 1);
+        self.budget.charge(node)
+    }
+
+    /// Bulk-charges `n` steps at `node` (cache hits paying for the work
+    /// their cached solution originally cost), keeping the worker tally in
+    /// step with the global budget so enclosing cone captures price
+    /// correctly.
+    fn charge_many(&self, n: u64, node: UId) -> Result<(), MapError> {
+        self.steps.set(self.steps.get() + n);
+        self.budget.charge_many(n, node)
+    }
+
+    fn steps_so_far(&self) -> u64 {
+        self.steps.get()
+    }
+}
+
+/// Per-worker scratch arenas, reused across nodes so per-node accumulation
+/// and pruning never allocate in steady state. One flat pair list replaces
+/// the per-shape `HashMap<TupleKey, Vec<Cand>>` the solvers used to fill:
+/// candidates accumulate into `pairs`, a stable sort groups them by shape
+/// (preserving insertion order within each shape), and the per-shape
+/// survivors are staged in `staged` with their runs described by `shapes`.
 #[derive(Default)]
 pub(crate) struct Scratch {
-    /// SOI accumulation: all surviving candidates per shape.
-    pub bare: HashMap<TupleKey, Vec<Cand>>,
-    /// Baseline accumulation: the single best candidate per shape.
-    pub best: HashMap<TupleKey, Cand>,
-    /// Pareto-pruning keep buffer.
+    /// Flat `(shape, candidate)` accumulation arena.
+    pub pairs: Vec<(TupleKey, Cand)>,
+    /// Pareto-pruning keep buffer for one shape run.
     pub kept: Vec<Cand>,
+    /// Per-shape survivor runs: `(key, start, len)` into `staged`.
+    pub shapes: Vec<(TupleKey, u32, u32)>,
+    /// Survivor staging arena.
+    pub staged: Vec<Cand>,
 }
 
-/// View of the already-solved nodes a solver may read: the globally
-/// published solutions of earlier scheduling levels plus the solutions the
-/// current worker produced in this level (not yet published).
+/// The published per-node solutions of one DP run.
+///
+/// Slots are written exactly once — by the single worker that solves (or
+/// cache-rebinds) the owning cone — and only read by workers whose cone
+/// depends on that one, after the scheduler has established a
+/// happens-before edge (dependency-counter release/acquire plus the queue
+/// mutex). That write-once/read-after discipline is what makes the
+/// `UnsafeCell` sound and buys the O(1) fanin lookup that replaced the
+/// old worker-local overlay scan.
+pub(crate) struct SolTable {
+    slots: Box<[std::cell::UnsafeCell<Option<NodeSol>>]>,
+}
+
+// SAFETY: see the type docs — each slot has exactly one writer, and every
+// reader is ordered after that write by the scheduler's synchronization.
+unsafe impl Sync for SolTable {}
+
+impl SolTable {
+    pub(crate) fn new(nodes: usize) -> SolTable {
+        SolTable {
+            slots: (0..nodes)
+                .map(|_| std::cell::UnsafeCell::new(None))
+                .collect(),
+        }
+    }
+
+    /// Publishes the solution of `id`. Must be called at most once per id,
+    /// by the worker owning the containing cone.
+    pub(crate) fn set(&self, id: UId, sol: NodeSol) {
+        // SAFETY: single writer per slot (scheduler invariant).
+        unsafe { *self.slots[id.index()].get() = Some(sol) };
+    }
+
+    /// The solution of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` has not been solved — a scheduling bug.
+    pub(crate) fn get(&self, id: UId) -> &NodeSol {
+        // SAFETY: readers run strictly after the slot's unique write.
+        unsafe { &*self.slots[id.index()].get() }
+            .as_ref()
+            .expect("fanin solved before its consumer")
+    }
+
+    /// Unwraps the table after a fully successful run.
+    fn into_sols(self) -> Vec<NodeSol> {
+        self.slots
+            .into_vec()
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every node solved"))
+            .collect()
+    }
+}
+
+/// View of the already-solved nodes a solver may read. A thin wrapper over
+/// [`SolTable`] — fanin lookup is a direct indexed read.
 pub(crate) struct SolView<'a> {
-    global: &'a [Option<NodeSol>],
-    local: &'a [(usize, NodeSol)],
+    table: &'a SolTable,
 }
 
 impl SolView<'_> {
@@ -110,18 +225,7 @@ impl SolView<'_> {
     ///
     /// Panics if `id` has not been solved — a scheduling bug.
     pub fn get(&self, id: UId) -> &NodeSol {
-        let index = id.index();
-        if let Some(sol) = self.global[index].as_ref() {
-            return sol;
-        }
-        // Within a cone, fanins are usually the most recently solved
-        // nodes; scan the worker-local overlay from the back.
-        self.local
-            .iter()
-            .rev()
-            .find(|(i, _)| *i == index)
-            .map(|(_, sol)| sol)
-            .expect("fanin solved before its consumer")
+        self.table.get(id)
     }
 }
 
@@ -158,135 +262,271 @@ where
     }
 }
 
-/// Runs a per-node solver over the whole network, serially or in parallel
-/// according to [`MapConfig::parallelism`].
+/// Per-worker accumulator merged into the [`Solution`] at the end.
+#[derive(Default)]
+pub(crate) struct UnitAcc {
+    pub degraded: Vec<UId>,
+    pub peak_candidates: usize,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+}
+
+/// A worker's mutable state: scratch arenas plus the accumulator.
+#[derive(Default)]
+pub(crate) struct WorkerState {
+    pub scratch: Scratch,
+    pub acc: UnitAcc,
+    /// Reused cone-shape buffers for cached runs (one shape per unit).
+    pub shapes: ShapeScratch,
+}
+
+/// Solves the given nodes in order, publishing each solution. With a
+/// cache, each gate goes through the node tier: probe on (kind, fanout,
+/// fanin profiles), rebind on a hit, solve and capture on a miss.
+/// Literals are always solved directly (they cost less than a probe).
+fn solve_nodes<S: NodeSolver>(
+    ctx: &NodeCtx<'_>,
+    table: &SolTable,
+    unate: &UnateNetwork,
+    solver: &S,
+    nodes: &[UId],
+    state: &mut WorkerState,
+    run_cache: Option<&RunCache<'_>>,
+) -> Result<(), MapError> {
+    for &id in nodes {
+        let node = unate.node(id);
+        let node_cache = run_cache.filter(|_| match node {
+            UNode::And(a, b) | UNode::Or(a, b) => {
+                table.get(a).exported.total_candidates() * table.get(b).exported.total_candidates()
+                    >= cache::NODE_TIER_MIN_COMBINATIONS
+            }
+            UNode::Lit(_) => false,
+        });
+        let (sol, deg) = if let Some(rc) = node_cache {
+            let fanout = ctx.fanouts[id.index()];
+            let (key, level_base, hit) = rc.probe_node(node, fanout, table);
+            if let Some(entry) = hit {
+                rc.record_hits(1);
+                state.acc.cache_hits += 1;
+                ctx.charge_many(entry.steps(), id)?;
+                entry.rebind(id, node, level_base)
+            } else {
+                rc.record_misses(1);
+                state.acc.cache_misses += 1;
+                let steps_before = ctx.steps_so_far();
+                let (mut sol, deg) = {
+                    let view = SolView { table };
+                    solver.solve_node(ctx, &view, &mut state.scratch, id, node)?
+                };
+                sol.profile = cache::profile(&sol.exported);
+                let steps = ctx.steps_so_far() - steps_before;
+                rc.insert_node(
+                    key,
+                    cache::NodeEntry::capture(id, node, &sol, deg, steps, level_base),
+                );
+                (sol, deg)
+            }
+        } else {
+            let view = SolView { table };
+            let (mut sol, deg) = solver.solve_node(ctx, &view, &mut state.scratch, id, node)?;
+            if run_cache.is_some() {
+                // Literal solutions feed gate probes: they need profiles
+                // too (all-level-0 candidates, so the min pins base 0).
+                sol.profile = cache::profile(&sol.exported);
+            }
+            (sol, deg)
+        };
+        state.acc.peak_candidates = state
+            .acc
+            .peak_candidates
+            .max(sol.exported.total_candidates());
+        if deg {
+            state.acc.degraded.push(id);
+        }
+        table.set(id, sol);
+    }
+    Ok(())
+}
+
+/// Solves one cone unit, going through the cone cache when enabled: probe
+/// by structural signature + boundary profile, rebind on a hit, solve and
+/// capture on a miss.
+fn solve_unit<S: NodeSolver>(
+    ctx: &NodeCtx<'_>,
+    table: &SolTable,
+    unate: &UnateNetwork,
+    unit: &ConeUnit,
+    solver: &S,
+    run_cache: Option<&RunCache<'_>>,
+    state: &mut WorkerState,
+) -> Result<(), MapError> {
+    let Some(rc) = run_cache else {
+        return solve_nodes(ctx, table, unate, solver, unit.nodes(), state, None);
+    };
+    let gates = unit
+        .nodes()
+        .iter()
+        .filter(|&&id| unate.node(id).is_gate())
+        .count();
+    if unit.nodes().len() > cache::MAX_CACHED_UNIT_NODES || gates < cache::MIN_CACHED_UNIT_GATES {
+        // Too big to snapshot as one entry (the capture clones every
+        // solution in the cone), or too small to amortize the shape
+        // computation; every gate still goes through the node tier.
+        return solve_nodes(ctx, table, unate, solver, unit.nodes(), state, Some(rc));
+    }
+    // Borrow dance: the shape buffers move out of `state` so `state` stays
+    // free for `solve_nodes`/`rebind`; they move back on the success paths
+    // (an error aborts the whole run, so losing them there is harmless).
+    let mut shapes = std::mem::take(&mut state.shapes);
+    unate.cone_shape_into(unit, &mut shapes);
+    let shape = &shapes.shape;
+    let root = unit.root();
+    // The root's fanout shapes its exported gate candidate (duplication
+    // amortization, shared-vs-exclusive cost), so gate-rooted cones keyed
+    // on it; literal solutions are fanout-independent.
+    let root_fanout = if unate.node(root).is_gate() {
+        ctx.fanouts[root.index()]
+    } else {
+        0
+    };
+    let (key, level_base, hit) = rc.probe(shape, root_fanout, table, unate);
+    let gates = gates as u64;
+    if let Some(entry) = hit {
+        // One cone probe stands in for every gate solve in the unit, so
+        // it weighs as many hits; pay the combination steps the cached
+        // solution originally cost, so budget accounting is identical to
+        // an uncached run.
+        rc.record_hits(gates);
+        state.acc.cache_hits += gates;
+        ctx.charge_many(entry.steps(), root)?;
+        entry.rebind(shape, unate, table, &mut state.acc, level_base);
+        state.shapes = shapes;
+        return Ok(());
+    }
+    // On a cone miss no miss is recorded here: the fill-in solve sends
+    // every gate through the node tier, which counts each gate's outcome
+    // individually — so each gate solve is counted exactly once, as a
+    // cone-tier hit or a node-tier hit/miss.
+    let degraded_start = state.acc.degraded.len();
+    let steps_before = ctx.steps_so_far();
+    solve_nodes(ctx, table, unate, solver, unit.nodes(), state, Some(rc))?;
+    let steps = ctx.steps_so_far() - steps_before;
+    rc.insert(
+        key,
+        cache::ConeEntry::capture(
+            shape,
+            table,
+            &state.acc.degraded[degraded_start..],
+            steps,
+            level_base,
+        )
+        .with_kinds(shape, unate),
+    );
+    state.shapes = shapes;
+    Ok(())
+}
+
+/// Runs a per-node solver over the whole network, serially or on the
+/// work-stealing pool according to [`MapConfig::parallelism`], with
+/// optional cone memoization.
 ///
-/// The parallel path partitions the topological order into fanout-free
-/// cone units ([`UnateNetwork::cone_partition`]) and processes each
-/// dependency level of that partition with `std::thread::scope`, joining
-/// only at multi-fanout boundaries. Because every per-node computation is
-/// a pure function of its fanins' solutions — and the sorted
-/// [`crate::tuple::ExportMap`] makes candidate enumeration order
-/// deterministic — the parallel result is bit-identical to the serial one.
+/// Both paths iterate cone units ([`UnateNetwork::cone_partition`]); the
+/// serial path walks them in index order (a valid topological order), the
+/// parallel path lets [`crate::sched`] schedule them as their dependencies
+/// resolve. Because every per-node computation is a pure function of its
+/// fanins' solutions — and the sorted [`crate::tuple::ExportMap`] makes
+/// candidate enumeration order deterministic — the result is bit-identical
+/// across all schedules, and (see [`crate::cache`]) with the cone cache on
+/// or off.
 pub(crate) fn run_dp<S: NodeSolver>(
     unate: &UnateNetwork,
     config: &MapConfig,
     algorithm: Algorithm,
     solver: S,
+    cone_cache: Option<&ConeCache>,
 ) -> Result<Solution, MapError> {
     check_gate_budget(unate, config)?;
     let model = CostModel::new(config, algorithm);
     let fanouts = fanouts(unate);
     let budget = Budget::new(config);
-    let ctx = NodeCtx {
-        config,
-        model: &model,
-        fanouts: &fanouts,
-        budget: &budget,
+    let partition = unate.cone_partition();
+    let gates = unate.iter().filter(|(_, n)| n.is_gate()).count();
+    let hw = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let threads = config
+        .parallelism
+        .resolved_threads(hw, gates, partition.units().len())
+        .clamp(1, partition.units().len().max(1));
+    let table = SolTable::new(unate.len());
+    let run_cache = cone_cache.map(|c| RunCache::new(c, config, algorithm));
+
+    let accs: Vec<UnitAcc> = if threads <= 1 {
+        let ctx = NodeCtx::new(config, &model, &fanouts, &budget);
+        let mut state = WorkerState::default();
+        for unit in partition.units() {
+            solve_unit(
+                &ctx,
+                &table,
+                unate,
+                unit,
+                &solver,
+                run_cache.as_ref(),
+                &mut state,
+            )?;
+        }
+        vec![state.acc]
+    } else {
+        let table = &table;
+        let partition_ref = &partition;
+        let run_cache = run_cache.as_ref();
+        let solver = &solver;
+        let workers = crate::sched::run_units(
+            &partition,
+            threads,
+            |_| {
+                (
+                    NodeCtx::new(config, &model, &fanouts, &budget),
+                    WorkerState::default(),
+                )
+            },
+            |(ctx, state): &mut (NodeCtx<'_>, WorkerState), u: usize| {
+                solve_unit(
+                    ctx,
+                    table,
+                    unate,
+                    partition_ref.unit(u),
+                    solver,
+                    run_cache,
+                    state,
+                )
+            },
+        )?;
+        workers.into_iter().map(|(_, state)| state.acc).collect()
     };
-    let threads = config.parallelism.threads(unate.len());
-    let mut sols: Vec<Option<NodeSol>> = (0..unate.len()).map(|_| None).collect();
+
     let mut degraded: Vec<UId> = Vec::new();
     let mut peak_candidates = 0usize;
-
-    if threads <= 1 {
-        let mut scratch = Scratch::default();
-        for (id, node) in unate.iter() {
-            let (sol, deg) = {
-                let view = SolView {
-                    global: &sols,
-                    local: &[],
-                };
-                solver.solve_node(&ctx, &view, &mut scratch, id, node)?
-            };
-            peak_candidates = peak_candidates.max(sol.exported.total_candidates());
-            if deg {
-                degraded.push(id);
-            }
-            sols[id.index()] = Some(sol);
-        }
-    } else {
-        let partition = unate.cone_partition();
-        for level in partition.levels() {
-            let chunk_size = level.len().div_ceil(threads.min(level.len()).max(1));
-            let outcomes: Vec<Result<UnitBatch, MapError>> = std::thread::scope(|s| {
-                let handles: Vec<_> = level
-                    .chunks(chunk_size)
-                    .map(|units| {
-                        let sols = &sols;
-                        let ctx = &ctx;
-                        let partition = &partition;
-                        let solver = &solver;
-                        s.spawn(move || solve_units(ctx, sols, partition, unate, solver, units))
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("DP worker panicked"))
-                    .collect()
-            });
-            for outcome in outcomes {
-                let batch = outcome?;
-                peak_candidates = peak_candidates.max(batch.peak_candidates);
-                degraded.extend(batch.degraded);
-                for (index, sol) in batch.sols {
-                    sols[index] = Some(sol);
-                }
-            }
-        }
-        // Workers report degradations in unit order; restore the global
-        // topological order the serial path produces.
-        degraded.sort_unstable();
+    let mut cache_hits = 0u64;
+    let mut cache_misses = 0u64;
+    for acc in accs {
+        degraded.extend(acc.degraded);
+        peak_candidates = peak_candidates.max(acc.peak_candidates);
+        cache_hits += acc.cache_hits;
+        cache_misses += acc.cache_misses;
     }
+    // Workers report degradations in unit-completion order; restore the
+    // global topological order (what a cache-off serial walk produces).
+    degraded.sort_unstable();
 
     Ok(Solution {
-        sols: sols
-            .into_iter()
-            .map(|s| s.expect("every node solved"))
-            .collect(),
+        sols: table.into_sols(),
         degraded,
         peak_candidates,
+        threads_used: threads,
+        cache_hits,
+        cache_misses,
     })
-}
-
-/// Output of one worker's pass over a slice of cone units.
-struct UnitBatch {
-    sols: Vec<(usize, NodeSol)>,
-    degraded: Vec<UId>,
-    peak_candidates: usize,
-}
-
-fn solve_units<S: NodeSolver>(
-    ctx: &NodeCtx<'_>,
-    global: &[Option<NodeSol>],
-    partition: &ConePartition,
-    unate: &UnateNetwork,
-    solver: &S,
-    units: &[usize],
-) -> Result<UnitBatch, MapError> {
-    let mut scratch = Scratch::default();
-    let mut batch = UnitBatch {
-        sols: Vec::new(),
-        degraded: Vec::new(),
-        peak_candidates: 0,
-    };
-    for &unit in units {
-        for &id in partition.unit(unit).nodes() {
-            let (sol, deg) = {
-                let view = SolView {
-                    global,
-                    local: &batch.sols,
-                };
-                solver.solve_node(ctx, &view, &mut scratch, id, unate.node(id))?
-            };
-            batch.peak_candidates = batch.peak_candidates.max(sol.exported.total_candidates());
-            if deg {
-                batch.degraded.push(id);
-            }
-            batch.sols.push((id.index(), sol));
-        }
-    }
-    Ok(batch)
 }
 
 /// Gate-periphery cost: p-clock + output inverter (2) + keeper, plus the
@@ -488,6 +728,23 @@ mod tests {
     }
 
     #[test]
+    fn budget_charge_many_matches_singles() {
+        let mut config = MapConfig::default();
+        config.limits.max_combine_steps = 10;
+        let singles = Budget::new(&config);
+        let bulk = Budget::new(&config);
+        for _ in 0..7 {
+            singles.charge(UId::from_index(0)).unwrap();
+        }
+        bulk.charge_many(7, UId::from_index(0)).unwrap();
+        // Both have 3 steps left: a 4-step bulk charge trips either.
+        assert!(singles.charge_many(3, UId::from_index(1)).is_ok());
+        assert!(bulk.charge_many(3, UId::from_index(1)).is_ok());
+        assert!(singles.charge_many(1, UId::from_index(2)).is_err());
+        assert!(bulk.charge(UId::from_index(2)).is_err());
+    }
+
+    #[test]
     fn budget_is_shareable_across_threads() {
         let mut config = MapConfig::default();
         config.limits.max_combine_steps = 100;
@@ -520,5 +777,18 @@ mod tests {
         assert_eq!(shared.g.level, gate.cost.level);
         let exclusive = exported_gate_cand(UId::from_index(0), gate, 1, &config);
         assert_eq!(exclusive.g.tx, gate.cost.tx + 1);
+    }
+
+    #[test]
+    fn sol_table_round_trips() {
+        let table = SolTable::new(2);
+        let config = MapConfig::default();
+        let model = CostModel::new(&config, Algorithm::DominoMap);
+        table.set(
+            UId::from_index(1),
+            literal_sol(UId::from_index(1), lit(), &config, &model),
+        );
+        let view = SolView { table: &table };
+        assert_eq!(view.get(UId::from_index(1)).exported.total_candidates(), 1);
     }
 }

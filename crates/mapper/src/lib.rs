@@ -22,6 +22,15 @@
 //! construction; `soi-pbe`'s hazard checker and body simulator validate
 //! this in the test suite.
 //!
+//! The DP itself runs over the network's fanout-free cone partition — on a
+//! persistent work-stealing worker pool when [`MapConfig::parallelism`]
+//! resolves to more than one thread, and through a structural [`ConeCache`]
+//! (on by default, [`MapConfig::cone_cache`]) that memoizes isomorphic
+//! cones so repetitive netlists solve each distinct cone once. Both are
+//! pure scheduling concerns: results are bit-identical across thread
+//! counts and with the cache on or off. A cache can be shared across runs
+//! with [`Mapper::with_cone_cache`].
+//!
 //! # Example
 //!
 //! ```rust
@@ -49,6 +58,7 @@
 //! ```
 
 mod baseline;
+mod cache;
 mod config;
 mod cost;
 mod dp;
@@ -56,9 +66,11 @@ mod error;
 mod map;
 mod reconstruct;
 mod report;
+mod sched;
 mod soi;
 mod tuple;
 
+pub use cache::ConeCache;
 pub use config::{Algorithm, AndOrder, Footing, Limits, MapConfig, Objective, Parallelism};
 pub use cost::{Cost, CostModel};
 pub use error::MapError;

@@ -1,7 +1,9 @@
+use std::sync::Arc;
+
 use soi_netlist::Network;
 use soi_unate::{convert, Options, UnateNetwork};
 
-use crate::{baseline, reconstruct, soi, Algorithm, MapConfig, MapError, MappingResult};
+use crate::{baseline, reconstruct, soi, Algorithm, ConeCache, MapConfig, MapError, MappingResult};
 
 /// A configured technology mapper.
 ///
@@ -34,6 +36,9 @@ use crate::{baseline, reconstruct, soi, Algorithm, MapConfig, MapError, MappingR
 pub struct Mapper {
     algorithm: Algorithm,
     config: MapConfig,
+    /// Cone cache shared across runs, when attached. `None` means each run
+    /// builds (and drops) its own, per [`MapConfig::cone_cache`].
+    cache: Option<Arc<ConeCache>>,
 }
 
 impl Mapper {
@@ -42,6 +47,7 @@ impl Mapper {
         Mapper {
             algorithm: Algorithm::DominoMap,
             config,
+            cache: None,
         }
     }
 
@@ -51,6 +57,7 @@ impl Mapper {
         Mapper {
             algorithm: Algorithm::RsMap,
             config,
+            cache: None,
         }
     }
 
@@ -59,7 +66,18 @@ impl Mapper {
         Mapper {
             algorithm: Algorithm::SoiDominoMap,
             config,
+            cache: None,
         }
+    }
+
+    /// Attaches a [`ConeCache`] shared across this mapper's runs (and with
+    /// any other mapper holding the same `Arc`): later runs of structurally
+    /// similar networks start warm. Results are unaffected — the cache only
+    /// skips recomputation. Overrides [`MapConfig::cone_cache`] being
+    /// `false`.
+    pub fn with_cone_cache(mut self, cache: Arc<ConeCache>) -> Mapper {
+        self.cache = Some(cache);
+        self
     }
 
     /// The configured algorithm.
@@ -98,9 +116,18 @@ impl Mapper {
     /// As for [`Mapper::run`], minus the unate-conversion failures.
     pub fn run_unate(&self, unate: &UnateNetwork) -> Result<MappingResult, MapError> {
         self.config.validate()?;
+        // An attached cache always wins; otherwise build a per-run cache
+        // when the config asks for one (it still pays off within a single
+        // run — repetitive circuits solve each distinct cone once).
+        let own_cache = match &self.cache {
+            Some(_) => None,
+            None if self.config.cone_cache => Some(ConeCache::new()),
+            None => None,
+        };
+        let cache = self.cache.as_deref().or(own_cache.as_ref());
         let solution = match self.algorithm {
-            Algorithm::DominoMap | Algorithm::RsMap => baseline::solve(unate, &self.config)?,
-            Algorithm::SoiDominoMap => soi::solve(unate, &self.config)?,
+            Algorithm::DominoMap | Algorithm::RsMap => baseline::solve(unate, &self.config, cache)?,
+            Algorithm::SoiDominoMap => soi::solve(unate, &self.config, cache)?,
         };
         let attach_discharge = matches!(self.algorithm, Algorithm::SoiDominoMap);
         let mut circuit =
@@ -125,6 +152,9 @@ impl Mapper {
             unate_depth: ustats.depth,
             degraded_nodes: solution.degraded.iter().map(|id| id.index()).collect(),
             peak_candidates: solution.peak_candidates,
+            threads_used: solution.threads_used,
+            cone_cache_hits: solution.cache_hits,
+            cone_cache_misses: solution.cache_misses,
         })
     }
 }

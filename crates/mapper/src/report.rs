@@ -29,12 +29,29 @@ pub struct MappingResult {
     /// during the DP — the run's memory high-water mark (deterministic,
     /// identical between serial and parallel schedules).
     pub peak_candidates: usize,
+    /// Worker threads the DP schedule actually used (1 for a serial run;
+    /// see [`crate::Parallelism`]).
+    pub threads_used: usize,
+    /// Cone-cache hits of this run: cones whose solution was rebound from
+    /// a memoized isomorphic cone instead of re-solved. 0 when the cache
+    /// is disabled.
+    pub cone_cache_hits: u64,
+    /// Cone-cache misses of this run (cones solved and captured). 0 when
+    /// the cache is disabled.
+    pub cone_cache_misses: u64,
 }
 
 impl MappingResult {
     /// Whether the mapper had to relax the shape limits anywhere.
     pub fn is_degraded(&self) -> bool {
         !self.degraded_nodes.is_empty()
+    }
+
+    /// Fraction of cone units served from the cone cache, in `[0, 1]`
+    /// (`None` when the cache was disabled or the network had no units).
+    pub fn cone_cache_hit_rate(&self) -> Option<f64> {
+        let total = self.cone_cache_hits + self.cone_cache_misses;
+        (total > 0).then(|| self.cone_cache_hits as f64 / total as f64)
     }
 }
 

@@ -1,0 +1,334 @@
+//! Persistent work-stealing scheduler for the cone-unit DP.
+//!
+//! PR 2 parallelized the DP with one `thread::scope` per dependency level
+//! of the cone partition: every level paid a full spawn-and-join round
+//! trip, and the level barrier idled all workers until the slowest unit of
+//! the level finished. On millisecond-scale mapping workloads those fixed
+//! costs exceeded the DP itself (BENCH_pr2.json: 0.685× overall).
+//!
+//! This module replaces that with a pool that spawns its workers **once
+//! per run** and drives them with per-unit atomic dependency counters: a
+//! unit becomes runnable the moment its last dependency finishes, with no
+//! barrier in between. Each worker owns a deque — it pushes and pops work
+//! at the back (LIFO, cache-warm) and victims steal from the front (FIFO,
+//! the oldest and therefore usually largest subtrees). Idle workers park
+//! on a condvar with a short timeout, so a quiet pool costs microseconds,
+//! not spins.
+//!
+//! The schedule remains bit-identical to the serial walk for the same
+//! reason the level schedule was: every unit computation is a pure
+//! function of its dependencies' published solutions, and the scheduler
+//! only decides *when* and *where* a unit runs, never what it reads.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use soi_unate::ConePartition;
+
+use crate::MapError;
+
+/// How long an idle worker parks before re-polling the queues. A bound on
+/// the cost of any lost wakeup; steady-state wakeups go through the
+/// condvar and never wait this long.
+const PARK_TIMEOUT: Duration = Duration::from_micros(200);
+
+/// Shared state of one pool run.
+struct Pool {
+    /// Per-worker deques: own end is the back, steals come off the front.
+    queues: Vec<Mutex<VecDeque<u32>>>,
+    /// Unfinished-dependency counters, one per unit. The worker that
+    /// decrements a counter to zero enqueues the unit.
+    deps_left: Vec<AtomicU32>,
+    /// Reverse dependency edges: `consumers[u]` lists the units waiting on
+    /// unit `u`.
+    consumers: Vec<Vec<u32>>,
+    /// Units currently sitting in some queue (a cheap "is there work?"
+    /// hint for parking decisions).
+    queued: AtomicUsize,
+    /// Units not yet completed; 0 means the run is done.
+    remaining: AtomicUsize,
+    /// Set on the first task error; workers drain out promptly.
+    abort: AtomicBool,
+    /// The first error a task returned.
+    error: Mutex<Option<MapError>>,
+    /// Workers currently parked (wakeup elision hint).
+    sleepers: AtomicUsize,
+    idle: Mutex<()>,
+    wake: Condvar,
+}
+
+impl Pool {
+    fn new(partition: &ConePartition, workers: usize) -> Pool {
+        let units = partition.units();
+        let mut consumers: Vec<Vec<u32>> = vec![Vec::new(); units.len()];
+        let mut deps_left = Vec::with_capacity(units.len());
+        for (u, unit) in units.iter().enumerate() {
+            deps_left.push(AtomicU32::new(unit.deps().len() as u32));
+            for &d in unit.deps() {
+                consumers[d].push(u as u32);
+            }
+        }
+        // Seed the initially-runnable units round-robin across workers.
+        let mut queues: Vec<VecDeque<u32>> = (0..workers).map(|_| VecDeque::new()).collect();
+        let mut seeded = 0usize;
+        for (u, unit) in units.iter().enumerate() {
+            if unit.deps().is_empty() {
+                queues[seeded % workers].push_back(u as u32);
+                seeded += 1;
+            }
+        }
+        Pool {
+            queues: queues.into_iter().map(Mutex::new).collect(),
+            deps_left,
+            consumers,
+            queued: AtomicUsize::new(seeded),
+            remaining: AtomicUsize::new(units.len()),
+            abort: AtomicBool::new(false),
+            error: Mutex::new(None),
+            sleepers: AtomicUsize::new(0),
+            idle: Mutex::new(()),
+            wake: Condvar::new(),
+        }
+    }
+
+    /// Pops from the caller's own queue, stealing from the others when it
+    /// is empty. At most one queue lock is ever held at a time — the own
+    /// pop is a standalone statement so its guard drops before stealing
+    /// (holding it across the victim locks would deadlock two workers
+    /// stealing from each other).
+    fn pop(&self, me: usize) -> Option<u32> {
+        let own = self.queues[me].lock().expect("queue poisoned").pop_back();
+        let found = own.or_else(|| {
+            (1..self.queues.len()).find_map(|i| {
+                let victim = (me + i) % self.queues.len();
+                self.queues[victim]
+                    .lock()
+                    .expect("queue poisoned")
+                    .pop_front()
+            })
+        });
+        if found.is_some() {
+            self.queued.fetch_sub(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Enqueues a newly-runnable unit on the caller's own queue.
+    fn push(&self, me: usize, unit: u32) {
+        self.queues[me]
+            .lock()
+            .expect("queue poisoned")
+            .push_back(unit);
+        self.queued.fetch_add(1, Ordering::Release);
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _guard = self.idle.lock().expect("idle lock poisoned");
+            self.wake.notify_one();
+        }
+    }
+
+    /// Parks the caller until work might exist, with a bounded timeout.
+    fn park(&self) {
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        {
+            let guard = self.idle.lock().expect("idle lock poisoned");
+            let busy = self.abort.load(Ordering::Acquire)
+                || self.remaining.load(Ordering::Acquire) == 0
+                || self.queued.load(Ordering::SeqCst) > 0;
+            if !busy {
+                let _ = self
+                    .wake
+                    .wait_timeout(guard, PARK_TIMEOUT)
+                    .expect("idle lock poisoned");
+            }
+        }
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Records the first error and drains the pool.
+    fn fail(&self, e: MapError) {
+        {
+            let mut slot = self.error.lock().expect("error lock poisoned");
+            if slot.is_none() {
+                *slot = Some(e);
+            }
+        }
+        self.abort.store(true, Ordering::Release);
+        self.wake_all();
+    }
+
+    fn wake_all(&self) {
+        let _guard = self.idle.lock().expect("idle lock poisoned");
+        self.wake.notify_all();
+    }
+}
+
+/// One worker's main loop: run units until the pool is drained or aborted.
+fn work<W>(
+    pool: &Pool,
+    me: usize,
+    state: &mut W,
+    task: &(impl Fn(&mut W, usize) -> Result<(), MapError> + Sync),
+) {
+    loop {
+        if pool.abort.load(Ordering::Acquire) || pool.remaining.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        let Some(unit) = pool.pop(me) else {
+            pool.park();
+            continue;
+        };
+        if let Err(e) = task(state, unit as usize) {
+            pool.fail(e);
+            return;
+        }
+        // Release the consumers whose last dependency this was. The
+        // `AcqRel` decrement pairs with the other producers' decrements:
+        // whichever worker reaches zero has acquired every producer's
+        // published solutions, and the queue mutex hands that visibility
+        // to whoever pops the consumer unit.
+        for &c in &pool.consumers[unit as usize] {
+            if pool.deps_left[c as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
+                pool.push(me, c);
+            }
+        }
+        if pool.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            pool.wake_all();
+        }
+    }
+}
+
+/// Runs `task` over every unit of `partition` on `threads` persistent
+/// workers (the calling thread is worker 0), respecting unit dependencies.
+/// Each worker gets its own `make_worker(index)` state. Returns the worker
+/// states for the caller to merge, or the first task error.
+pub(crate) fn run_units<W: Send>(
+    partition: &ConePartition,
+    threads: usize,
+    make_worker: impl Fn(usize) -> W,
+    task: impl Fn(&mut W, usize) -> Result<(), MapError> + Sync,
+) -> Result<Vec<W>, MapError> {
+    let threads = threads.clamp(1, partition.units().len().max(1));
+    let pool = Pool::new(partition, threads);
+    let mut states: Vec<W> = (0..threads).map(&make_worker).collect();
+    {
+        let (first, rest) = states.split_first_mut().expect("at least one worker");
+        let pool = &pool;
+        let task = &task;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = rest
+                .iter_mut()
+                .enumerate()
+                .map(|(i, state)| s.spawn(move || work(pool, i + 1, state, task)))
+                .collect();
+            work(pool, 0, first, task);
+            for h in handles {
+                h.join().expect("DP worker panicked");
+            }
+        });
+    }
+    if let Some(e) = pool.error.into_inner().expect("error lock poisoned") {
+        return Err(e);
+    }
+    debug_assert_eq!(
+        pool.remaining.load(Ordering::Relaxed),
+        0,
+        "scheduler drained without completing every unit"
+    );
+    Ok(states)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_unate::{Literal, Phase, USignal, UnateNetwork};
+
+    /// A diamond of shared nodes: enough units and cross-unit dependencies
+    /// to exercise counters, stealing and seeding.
+    fn diamond(width: usize) -> UnateNetwork {
+        let mut u = UnateNetwork::new((0..width).map(|i| format!("i{i}")).collect());
+        let lits: Vec<_> = (0..width)
+            .map(|i| {
+                u.add_literal(Literal {
+                    input: i,
+                    phase: Phase::Pos,
+                })
+            })
+            .collect();
+        // Shared pairwise ANDs (multi-fanout: each feeds two ORs).
+        let ands: Vec<_> = (0..width)
+            .map(|i| u.add_and(lits[i], lits[(i + 1) % width]))
+            .collect();
+        for i in 0..width {
+            let f = u.add_or(ands[i], ands[(i + 1) % width]);
+            u.add_output(format!("f{i}"), USignal::Node(f), false);
+        }
+        u
+    }
+
+    #[test]
+    fn pool_visits_every_unit_exactly_once_in_dependency_order() {
+        let network = diamond(16);
+        let partition = network.cone_partition();
+        let n = partition.units().len();
+        for threads in [1, 2, 4] {
+            let done: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+            let visits = AtomicUsize::new(0);
+            let states = run_units(
+                &partition,
+                threads,
+                |i| i,
+                |_, u| {
+                    for &d in partition.unit(u).deps() {
+                        assert!(
+                            done[d].load(Ordering::SeqCst),
+                            "unit {u} ran before its dependency {d}"
+                        );
+                    }
+                    assert!(!done[u].swap(true, Ordering::SeqCst), "unit {u} ran twice");
+                    visits.fetch_add(1, Ordering::SeqCst);
+                    Ok(())
+                },
+            )
+            .expect("no task errors");
+            assert_eq!(states.len(), threads.min(n));
+            assert_eq!(visits.load(Ordering::SeqCst), n, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn pool_propagates_the_first_error_and_drains() {
+        let network = diamond(12);
+        let partition = network.cone_partition();
+        let err = run_units(
+            &partition,
+            4,
+            |_| (),
+            |_, u| {
+                if u % 5 == 3 {
+                    Err(MapError::BudgetExceeded {
+                        what: format!("synthetic failure at unit {u}"),
+                    })
+                } else {
+                    Ok(())
+                }
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, MapError::BudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn pool_clamps_thread_count_to_unit_count() {
+        let mut u = UnateNetwork::new(vec!["a".into()]);
+        let a = u.add_literal(Literal {
+            input: 0,
+            phase: Phase::Pos,
+        });
+        u.add_output("f", USignal::Node(a), false);
+        let partition = u.cone_partition();
+        let states = run_units(&partition, 8, |i| i, |_, _| Ok(())).expect("runs");
+        assert_eq!(states.len(), 1);
+    }
+}

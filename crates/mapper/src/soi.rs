@@ -24,17 +24,19 @@
 //! instead of the paper's "two costs"; this keeps the tree DP exact while
 //! staying tiny in practice (see DESIGN.md §2.2).
 
-use std::collections::HashMap;
-
 use soi_unate::{UId, UNode, UnateNetwork};
 
 use crate::dp::{self, NodeCtx, NodeOutcome, Scratch, SolView};
 use crate::tuple::{Cand, CandRef, ExportMap, Form, NodeSol, TupleKey};
-use crate::{Algorithm, AndOrder, Cost, CostModel, MapConfig, MapError};
+use crate::{Algorithm, AndOrder, ConeCache, Cost, CostModel, MapConfig, MapError};
 
 /// Runs the SOI DP, producing one [`NodeSol`] per unate node.
-pub(crate) fn solve(unate: &UnateNetwork, config: &MapConfig) -> Result<dp::Solution, MapError> {
-    dp::run_dp(unate, config, Algorithm::SoiDominoMap, solve_node)
+pub(crate) fn solve(
+    unate: &UnateNetwork,
+    config: &MapConfig,
+    cache: Option<&ConeCache>,
+) -> Result<dp::Solution, MapError> {
+    dp::run_dp(unate, config, Algorithm::SoiDominoMap, solve_node, cache)
 }
 
 /// Solves one unate node given its fanins' solutions: accumulate all
@@ -54,32 +56,35 @@ fn solve_node(
         UNode::Or(a, b) => (a, b, false),
     };
     let (sol_a, sol_b) = (view.get(a), view.get(b));
-    let bare = &mut scratch.bare;
-    bare.clear();
+    let Scratch {
+        pairs,
+        kept,
+        shapes,
+        staged,
+    } = scratch;
+    pairs.clear();
     for (ra, ca) in sol_a.exported_refs(a) {
         for (rb, cb) in sol_b.exported_refs(b) {
-            ctx.budget.charge(id)?;
+            ctx.charge(id)?;
             if is_and {
                 for (rt, ct, rbm, cbm) in and_orders(config.and_order, ra, ca, rb, cb) {
                     let key = rt.key.and(rbm.key);
                     if !key.fits(config.w_max, config.h_max) {
                         continue;
                     }
-                    let cand = combine_and(config, rt, ct, rbm, cbm);
-                    bare.entry(key).or_default().push(cand);
+                    pairs.push((key, combine_and(config, rt, ct, rbm, cbm)));
                 }
             } else {
                 let key = ra.key.or(rb.key);
                 if !key.fits(config.w_max, config.h_max) {
                     continue;
                 }
-                let cand = combine_or(config, ra, ca, rb, cb);
-                bare.entry(key).or_default().push(cand);
+                pairs.push((key, combine_or(config, ra, ca, rb, cb)));
             }
         }
     }
     let mut degraded = false;
-    if bare.is_empty() && config.degrade_unmappable {
+    if pairs.is_empty() && config.degrade_unmappable {
         // Forced gate boundary: reduce both children to their single-gate
         // `{1,1}` candidates and combine those, accepting the
         // out-of-limits shape. The gate formed here exceeds
@@ -92,7 +97,7 @@ fn solve_node(
                 if rb.key != TupleKey::UNIT {
                     continue;
                 }
-                ctx.budget.charge(id)?;
+                ctx.charge(id)?;
                 let (key, cand) = if is_and {
                     let key = ra.key.and(rb.key);
                     (key, combine_and(config, ra, ca, rb, cb))
@@ -100,12 +105,12 @@ fn solve_node(
                     let key = ra.key.or(rb.key);
                     (key, combine_or(config, ra, ca, rb, cb))
                 };
-                bare.entry(key).or_default().push(cand);
+                pairs.push((key, cand));
             }
         }
         degraded = true;
     }
-    if bare.is_empty() {
+    if pairs.is_empty() {
         return Err(MapError::Unmappable {
             what: format!(
                 "node {id} has no (W ≤ {}, H ≤ {}) combination",
@@ -113,11 +118,32 @@ fn solve_node(
             ),
         });
     }
-    for cands in bare.values_mut() {
-        prune(cands, &mut scratch.kept, ctx.model, config.max_candidates);
+    // Group by shape: the stable sort preserves generation order within
+    // each shape, so pruning sees exactly the per-shape sequences the old
+    // per-shape vectors held.
+    pairs.sort_by_key(|&(key, _)| key);
+    shapes.clear();
+    staged.clear();
+    let mut i = 0;
+    while i < pairs.len() {
+        let key = pairs[i].0;
+        let mut j = i;
+        while j < pairs.len() && pairs[j].0 == key {
+            j += 1;
+        }
+        prune(
+            pairs[i..j].iter().map(|&(_, c)| c),
+            kept,
+            ctx.model,
+            config.max_candidates,
+        );
+        let start = staged.len() as u32;
+        staged.append(kept);
+        shapes.push((key, start, staged.len() as u32 - start));
+        i = j;
     }
-    enforce_tuple_cap(bare, ctx.model, config.limits.max_tuples_per_node);
-    let exported = ExportMap::from_scratch(bare);
+    enforce_tuple_cap(shapes, staged, ctx.model, config.limits.max_tuples_per_node);
+    let exported = ExportMap::from_runs(shapes, staged);
     let mut sol = NodeSol {
         gate: dp::form_gate(config, ctx.model, exported.flat()),
         ..NodeSol::default()
@@ -136,23 +162,36 @@ fn solve_node(
 /// tighter per-shape Pareto cap; when the shape count alone exceeds it,
 /// keep only the cheapest shapes. Never an error — precision degrades, the
 /// run continues.
-fn enforce_tuple_cap(bare: &mut HashMap<TupleKey, Vec<Cand>>, model: &CostModel, cap: usize) {
-    let total: usize = bare.values().map(Vec::len).sum();
+///
+/// Operates on the staged runs in place: shortening a run leaves a hole in
+/// `staged`, which [`ExportMap::from_runs`] compacts when copying out.
+pub(crate) fn enforce_tuple_cap(
+    shapes: &mut Vec<(TupleKey, u32, u32)>,
+    staged: &[Cand],
+    model: &CostModel,
+    cap: usize,
+) {
+    let total: usize = shapes.iter().map(|&(_, _, len)| len as usize).sum();
     if total <= cap {
         return;
     }
-    // `prune` left each shape's set sorted by the model's grounded key, so
+    // `prune` left each shape's run sorted by the model's grounded key, so
     // truncation keeps the best candidates.
-    let per_shape = (cap / bare.len()).max(1);
-    for cands in bare.values_mut() {
-        cands.truncate(per_shape);
+    let per_shape = (cap / shapes.len()).max(1) as u32;
+    for run in shapes.iter_mut() {
+        run.2 = run.2.min(per_shape);
     }
-    if bare.len() > cap {
-        let mut shapes: Vec<TupleKey> = bare.keys().copied().collect();
-        shapes.sort_by_key(|k| (model.key(&bare[k][0].g), k.w, k.h));
-        for k in shapes.split_off(cap) {
-            bare.remove(&k);
-        }
+    if shapes.len() > cap {
+        let mut order: Vec<usize> = (0..shapes.len()).collect();
+        order.sort_by_key(|&i| {
+            let (key, start, _) = shapes[i];
+            (model.key(&staged[start as usize].g), key.w, key.h)
+        });
+        order.truncate(cap);
+        // Restore shape order among the survivors.
+        order.sort_unstable();
+        let survivors: Vec<(TupleKey, u32, u32)> = order.iter().map(|&i| shapes[i]).collect();
+        *shapes = survivors;
     }
 }
 
@@ -239,9 +278,9 @@ fn and_orders<'c>(
 
 /// Pareto pruning over `(g, u, par_b)` with component-wise cost dominance
 /// (safe for every monotone composition the DP performs), then a cap at
-/// `max` candidates ordered by the model's grounded key. `kept` is a
-/// reusable scratch buffer; on return it holds the discarded storage.
-fn prune(cands: &mut Vec<Cand>, kept: &mut Vec<Cand>, model: &CostModel, max: usize) {
+/// `max` candidates ordered by the model's grounded key. The survivors are
+/// left in `kept` (cleared first).
+fn prune(cands: impl Iterator<Item = Cand>, kept: &mut Vec<Cand>, model: &CostModel, max: usize) {
     let dominates = |x: &Cand, y: &Cand| -> bool {
         // x dominates y: no worse on every coordinate that can influence
         // any future cost — including `touches_pi`, which decides whether
@@ -262,7 +301,7 @@ fn prune(cands: &mut Vec<Cand>, kept: &mut Vec<Cand>, model: &CostModel, max: us
     };
     kept.clear();
     // Stable insertion order keeps earlier (already-sorted-ish) candidates.
-    for cand in cands.drain(..) {
+    for cand in cands {
         if kept.iter().any(|k| dominates(k, &cand)) {
             continue;
         }
@@ -271,7 +310,6 @@ fn prune(cands: &mut Vec<Cand>, kept: &mut Vec<Cand>, model: &CostModel, max: us
     }
     kept.sort_by_key(|c| model.key(&c.g));
     kept.truncate(max);
-    std::mem::swap(cands, kept);
 }
 
 #[cfg(test)]
@@ -300,7 +338,7 @@ mod tests {
         let ab = u.add_and(a, b);
         let f = u.add_or(ab, c);
         u.add_output("f", USignal::Node(f), false);
-        let sols = solve(&u, &cfg()).unwrap().sols;
+        let sols = solve(&u, &cfg(), None).unwrap().sols;
         let or_sol = &sols[4];
         let cands = &or_sol.exported[&TupleKey { w: 2, h: 2 }];
         let best = &cands[0];
@@ -324,7 +362,7 @@ mod tests {
         let def = u.add_or(de, lits[5]);
         let f = u.add_and(abc, def);
         u.add_output("f", USignal::Node(f), false);
-        let sols = solve(&u, &cfg()).unwrap().sols;
+        let sols = solve(&u, &cfg(), None).unwrap().sols;
         let and_sol = &sols[10];
         let cands = &and_sol.exported[&TupleKey { w: 2, h: 4 }];
         let best = cands.iter().min_by_key(|c| (c.g.tx, c.p_dis())).unwrap();
@@ -348,7 +386,7 @@ mod tests {
         let abc = u.add_or(ab, c);
         let f = u.add_and(abc, e);
         u.add_output("f", USignal::Node(f), false);
-        let sols = solve(&u, &cfg()).unwrap().sols;
+        let sols = solve(&u, &cfg(), None).unwrap().sols;
         let and_sol = &sols[6];
         let cands = &and_sol.exported[&TupleKey { w: 2, h: 3 }];
         let best = cands.iter().min_by_key(|c| (c.g.tx, c.p_dis())).unwrap();
@@ -378,13 +416,14 @@ mod tests {
         let f = u.add_and(abc, def);
         u.add_output("f", USignal::Node(f), false);
 
-        let heuristic = solve(&u, &cfg()).unwrap().sols;
+        let heuristic = solve(&u, &cfg(), None).unwrap().sols;
         let exhaustive = solve(
             &u,
             &MapConfig {
                 and_order: AndOrder::Exhaustive,
                 ..cfg()
             },
+            None,
         )
         .unwrap()
         .sols;
@@ -411,24 +450,24 @@ mod tests {
             }),
         };
         // (10, 10, T) dominates (10, 10, F) and (11, 12, F).
-        let mut scratch = Vec::new();
-        let mut cands = vec![
+        let mut kept = Vec::new();
+        let cands = vec![
             mk(10, 10, true),
             mk(10, 10, false),
             mk(11, 12, false),
             mk(8, 13, false),
         ];
-        prune(&mut cands, &mut scratch, &model, 4);
-        assert_eq!(cands.len(), 2);
+        prune(cands.into_iter(), &mut kept, &model, 4);
+        assert_eq!(kept.len(), 2);
         // The cheap-g/expensive-u candidate survives.
-        assert!(cands.iter().any(|c| c.g.tx == 8));
-        assert!(cands.iter().any(|c| c.g.tx == 10 && c.par_b));
+        assert!(kept.iter().any(|c| c.g.tx == 8));
+        assert!(kept.iter().any(|c| c.g.tx == 10 && c.par_b));
 
-        let mut many: Vec<Cand> = (0..10).map(|i| mk(10 + i, 40 - i, false)).collect();
-        prune(&mut many, &mut scratch, &model, 3);
-        assert_eq!(many.len(), 3);
+        let many: Vec<Cand> = (0..10).map(|i| mk(10 + i, 40 - i, false)).collect();
+        prune(many.into_iter(), &mut kept, &model, 3);
+        assert_eq!(kept.len(), 3);
         // Cap keeps the best grounded costs.
-        assert!(many.iter().all(|c| c.g.tx <= 12));
+        assert!(kept.iter().all(|c| c.g.tx <= 12));
     }
 
     /// The SOI gate for Fig. 2(a)'s function picks the discharge-free
@@ -444,7 +483,7 @@ mod tests {
         let abc = u.add_or(ab, c);
         let f = u.add_and(abc, d);
         u.add_output("f", USignal::Node(f), false);
-        let sols = solve(&u, &cfg()).unwrap().sols;
+        let sols = solve(&u, &cfg(), None).unwrap().sols;
         let gate = sols[6].gate.as_ref().unwrap();
         assert_eq!(gate.cost.disch, 0);
         assert_eq!(gate.cost.tx, 4 + 5);

@@ -1,4 +1,3 @@
-use std::collections::HashMap;
 use std::fmt;
 use std::ops::Index;
 
@@ -139,41 +138,99 @@ pub(crate) struct GateSol {
     pub shape: TupleKey,
 }
 
+/// One shape's contiguous candidate run inside an [`ExportMap`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ShapeRun {
+    key: TupleKey,
+    start: u32,
+    len: u32,
+}
+
 /// A node's exported candidate sets, keyed by shape.
 ///
-/// Entries are kept sorted by [`TupleKey`], so iteration order is
+/// Runs are kept sorted by [`TupleKey`], so iteration order is
 /// deterministic — a requirement for the parallel DP to be bit-identical
 /// to the serial one (a per-node `HashMap` would enumerate candidates in
 /// seed-dependent order and let hash order decide cost ties). Lookup is a
-/// binary search over a handful of shapes, and the flat layout spares the
-/// per-node hash-table allocation the old representation paid.
+/// binary search over a handful of shapes.
+///
+/// All candidates live in one flat arena (`cands`), with per-shape runs
+/// described by `(start, len)` — most shapes hold fewer than eight
+/// candidates, so per-shape `Vec<Cand>` allocations would cost one heap
+/// allocation per shape per node. The flat layout makes an `ExportMap`
+/// exactly two allocations regardless of shape count.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct ExportMap {
-    entries: Vec<(TupleKey, Vec<Cand>)>,
+    runs: Vec<ShapeRun>,
+    cands: Vec<Cand>,
 }
 
 impl ExportMap {
-    /// Drains a scratch accumulation map into a sorted export set. The
-    /// scratch map keeps its capacity for the next node.
-    pub fn from_scratch(scratch: &mut HashMap<TupleKey, Vec<Cand>>) -> ExportMap {
-        let mut entries: Vec<(TupleKey, Vec<Cand>)> = scratch.drain().collect();
-        entries.sort_unstable_by_key(|(k, _)| *k);
-        ExportMap { entries }
+    /// Builds an export set from per-shape runs into a staging arena, in
+    /// run order. `shapes` must be sorted by key with no duplicates; each
+    /// `(key, start, len)` selects `staged[start..start + len]`. The runs
+    /// may leave holes in `staged` (capped shapes); the copy compacts them.
+    pub fn from_runs(shapes: &[(TupleKey, u32, u32)], staged: &[Cand]) -> ExportMap {
+        debug_assert!(shapes.windows(2).all(|w| w[0].0 < w[1].0));
+        let total: usize = shapes.iter().map(|&(_, _, len)| len as usize).sum();
+        let mut map = ExportMap {
+            runs: Vec::with_capacity(shapes.len()),
+            cands: Vec::with_capacity(total),
+        };
+        for &(key, start, len) in shapes {
+            map.runs.push(ShapeRun {
+                key,
+                start: map.cands.len() as u32,
+                len,
+            });
+            map.cands
+                .extend_from_slice(&staged[start as usize..(start + len) as usize]);
+        }
+        map
     }
 
     /// The candidates exported under `key`, if any.
     pub fn get(&self, key: &TupleKey) -> Option<&[Cand]> {
-        self.entries
-            .binary_search_by_key(key, |(k, _)| *k)
+        self.runs
+            .binary_search_by_key(key, |r| r.key)
             .ok()
-            .map(|i| self.entries[i].1.as_slice())
+            .map(|i| self.run(i))
     }
 
-    /// Appends a candidate under `key`, creating the entry when missing.
+    fn run(&self, i: usize) -> &[Cand] {
+        let r = self.runs[i];
+        &self.cands[r.start as usize..(r.start + r.len) as usize]
+    }
+
+    /// Appends a candidate under `key`, creating the run when missing.
     pub fn push(&mut self, key: TupleKey, cand: Cand) {
-        match self.entries.binary_search_by_key(&key, |(k, _)| *k) {
-            Ok(i) => self.entries[i].1.push(cand),
-            Err(i) => self.entries.insert(i, (key, vec![cand])),
+        match self.runs.binary_search_by_key(&key, |r| r.key) {
+            Ok(i) => {
+                let at = (self.runs[i].start + self.runs[i].len) as usize;
+                self.cands.insert(at, cand);
+                self.runs[i].len += 1;
+                for r in &mut self.runs[i + 1..] {
+                    r.start += 1;
+                }
+            }
+            Err(i) => {
+                let at = self
+                    .runs
+                    .get(i)
+                    .map_or(self.cands.len(), |r| r.start as usize);
+                self.cands.insert(at, cand);
+                self.runs.insert(
+                    i,
+                    ShapeRun {
+                        key,
+                        start: at as u32,
+                        len: 1,
+                    },
+                );
+                for r in &mut self.runs[i + 1..] {
+                    r.start += 1;
+                }
+            }
         }
     }
 
@@ -181,19 +238,27 @@ impl ExportMap {
     /// needs the flat iteration and totals).
     #[cfg_attr(not(test), allow(dead_code))]
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.runs.len()
     }
 
     /// Total candidate count across all shapes.
     pub fn total_candidates(&self) -> usize {
-        self.entries.iter().map(|(_, cs)| cs.len()).sum()
+        self.cands.len()
     }
 
     /// Iterator over `(shape, candidate)` pairs in shape order.
     pub fn flat(&self) -> impl Iterator<Item = (TupleKey, &Cand)> + '_ {
-        self.entries
+        self.runs
             .iter()
-            .flat_map(|(k, cs)| cs.iter().map(move |c| (*k, c)))
+            .enumerate()
+            .flat_map(|(i, r)| self.run(i).iter().map(move |c| (r.key, c)))
+    }
+
+    /// Mutable access to the whole candidate arena — used by the cone
+    /// cache to rewrite `Form` back-pointers when rebinding a cached
+    /// solution onto a new cone.
+    pub fn cands_mut(&mut self) -> &mut [Cand] {
+        &mut self.cands
     }
 }
 
@@ -214,6 +279,14 @@ pub(crate) struct NodeSol {
     /// The formed-gate solution (every node has one; it is only
     /// materialized when referenced).
     pub gate: Option<GateSol>,
+    /// Memoized cone-cache profile of `exported`: `(digest of the full
+    /// candidate list with levels taken relative to their minimum, that
+    /// minimum level)`. Computed once when the solution is published (only
+    /// in cached runs; `(0, 0)` otherwise) so cache probes hash a pair per
+    /// fanin instead of re-walking every candidate. The digest half is
+    /// invariant under uniform level shifts; rebinding shifts the minimum
+    /// along with the levels.
+    pub profile: (u64, u32),
 }
 
 impl NodeSol {
@@ -223,18 +296,26 @@ impl NodeSol {
         &'a self,
         node: UId,
     ) -> impl Iterator<Item = (CandRef, &'a Cand)> + 'a {
-        self.exported.entries.iter().flat_map(move |(key, cands)| {
-            cands.iter().enumerate().map(move |(idx, c)| {
-                (
-                    CandRef {
-                        node,
-                        key: *key,
-                        idx,
-                    },
-                    c,
-                )
+        self.exported
+            .runs
+            .iter()
+            .enumerate()
+            .flat_map(move |(i, r)| {
+                self.exported
+                    .run(i)
+                    .iter()
+                    .enumerate()
+                    .map(move |(idx, c)| {
+                        (
+                            CandRef {
+                                node,
+                                key: r.key,
+                                idx,
+                            },
+                            c,
+                        )
+                    })
             })
-        })
     }
 }
 
@@ -251,6 +332,58 @@ mod tests {
         assert!(a.fits(5, 8));
         assert!(!a.and(b).fits(5, 3));
         assert_eq!(TupleKey::UNIT.to_string(), "{1, 1}");
+    }
+
+    fn cand(tx: u32) -> Cand {
+        Cand {
+            g: Cost::transistors(tx),
+            u: Cost::transistors(tx),
+            p_spine: 0,
+            p_branch: 0,
+            par_b: false,
+            touches_pi: false,
+            form: Form::Lit(Literal {
+                input: 0,
+                phase: soi_unate::Phase::Pos,
+            }),
+        }
+    }
+
+    #[test]
+    fn export_map_push_keeps_runs_sorted_and_contiguous() {
+        let (k1, k2, k3) = (
+            TupleKey { w: 1, h: 2 },
+            TupleKey { w: 2, h: 1 },
+            TupleKey::UNIT,
+        );
+        let mut m = ExportMap::default();
+        m.push(k2, cand(20));
+        m.push(k1, cand(10));
+        m.push(k3, cand(1));
+        m.push(k1, cand(11));
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.total_candidates(), 4);
+        let keys: Vec<TupleKey> = m.flat().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![k3, k1, k1, k2], "shape order, run order");
+        assert_eq!(m.get(&k1).unwrap().len(), 2);
+        assert_eq!(m.get(&k1).unwrap()[1].g.tx, 11);
+        assert_eq!(m[&k2][0].g.tx, 20);
+    }
+
+    #[test]
+    fn export_map_from_runs_compacts_holes() {
+        // Staging arena with a capped (shortened) middle run: the copy
+        // drops the hole.
+        let staged = vec![cand(1), cand(2), cand(3), cand(4)];
+        let shapes = vec![
+            (TupleKey::UNIT, 0u32, 1u32),
+            (TupleKey { w: 1, h: 2 }, 1, 1), // run of 2, capped to 1
+            (TupleKey { w: 2, h: 2 }, 3, 1),
+        ];
+        let m = ExportMap::from_runs(&shapes, &staged);
+        assert_eq!(m.total_candidates(), 3);
+        let txs: Vec<u32> = m.flat().map(|(_, c)| c.g.tx).collect();
+        assert_eq!(txs, vec![1, 2, 4]);
     }
 
     #[test]

@@ -7,7 +7,7 @@ use soi_netlist::{BinOp, Network, Node, NodeId, UnOp};
 use crate::{Literal, Phase, UId, USignal, UnateError, UnateNetwork};
 
 /// How to choose the phase implemented for each primary output.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum OutputPhase {
     /// Always build the positive phase (no boundary inverters). This is the
     /// paper's simple bubble-pushing scheme.

@@ -1,0 +1,220 @@
+//! PR 4 guarantees, checked end to end: the structural cone cache is a
+//! pure scheduling optimization.
+//!
+//! * Mapping with the cone cache on is **bit-identical** to mapping with
+//!   it off — same transistor/discharge counts, same materialized domino
+//!   netlist, same degraded-node list, same `peak_candidates` high-water
+//!   mark — on seeded random networks, guard-mutated networks (where the
+//!   mutation still yields a mappable graph, both modes map it the same;
+//!   where it doesn't, both fail with the same error), and registry
+//!   circuits.
+//! * Repetitive circuits actually hit: the des rounds and the array
+//!   multiplier resolve more than half their cones from the cache.
+//! * A cache shared across runs via `Mapper::with_cone_cache` serves the
+//!   second identical run entirely from memory, without changing results.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use soi_domino::circuits::misc::random::{generate, RandomSpec};
+use soi_domino::circuits::registry;
+use soi_domino::guard::inject;
+use soi_domino::mapper::{ConeCache, MapConfig, Mapper, MappingResult};
+use soi_domino::netlist::Network;
+
+/// The three mapper constructors under test.
+const MAPPERS: [fn(MapConfig) -> Mapper; 3] =
+    [Mapper::baseline, Mapper::rearrange_stacks, Mapper::soi];
+
+fn spec(seed: u64) -> RandomSpec {
+    RandomSpec::control(&format!("cc{seed}"), 14, 6, 90, seed)
+}
+
+fn with_cache(cone_cache: bool, base: MapConfig) -> MapConfig {
+    MapConfig { cone_cache, ..base }
+}
+
+fn assert_same_mapping(on: &MappingResult, off: &MappingResult, what: &str) {
+    assert_eq!(on.counts, off.counts, "{what}: counts diverge");
+    assert_eq!(
+        on.circuit, off.circuit,
+        "{what}: materialized netlists diverge"
+    );
+    assert_eq!(
+        on.degraded_nodes, off.degraded_nodes,
+        "{what}: degraded nodes diverge"
+    );
+    assert_eq!(
+        on.peak_candidates, off.peak_candidates,
+        "{what}: peak candidates diverge"
+    );
+}
+
+fn assert_cache_invisible(network: &Network, base: MapConfig, what: &str) {
+    for make in MAPPERS {
+        let on = make(with_cache(true, base)).run(network);
+        let off = make(with_cache(false, base)).run(network);
+        match (on, off) {
+            (Ok(on), Ok(off)) => assert_same_mapping(&on, &off, what),
+            (Err(e_on), Err(e_off)) => assert_eq!(
+                e_on.to_string(),
+                e_off.to_string(),
+                "{what}: cache on/off fail differently"
+            ),
+            (on, off) => panic!(
+                "{what}: cache on/off disagree on mappability (on: {}, off: {})",
+                on.is_ok(),
+                off.is_ok()
+            ),
+        }
+    }
+}
+
+/// Twenty seeded random networks: every mapper, cache on vs off.
+#[test]
+fn cone_cache_is_bit_identical_on_seeded_networks() {
+    for seed in 0..20u64 {
+        let network = generate(&spec(seed));
+        assert_cache_invisible(&network, MapConfig::default(), &format!("seed {seed}"));
+    }
+}
+
+/// The same identity after guard-crate network mutators: whatever a
+/// corruption does to mappability, the cache must not change it. (Most
+/// mutants are rejected upstream of the DP — the point is that cache-on
+/// and cache-off agree on *every* outcome, not just clean ones.)
+#[test]
+fn cone_cache_is_bit_identical_on_guard_mutants() {
+    for seed in 0..20u64 {
+        let network = generate(&spec(seed));
+        let mutants = [
+            ("dangling_fanin", inject::dangling_fanin(&network, seed)),
+            ("forward_fanin", inject::forward_fanin(&network, seed)),
+            ("dangling_output", inject::dangling_output(&network, seed)),
+            ("break_topo_order", inject::break_topo_order(&network, seed)),
+            (
+                "duplicate_input_name",
+                inject::duplicate_input_name(&network, seed),
+            ),
+        ];
+        for (mutator, mutant) in mutants {
+            let Some(mutant) = mutant else { continue };
+            assert_cache_invisible(
+                &mutant,
+                MapConfig::default(),
+                &format!("seed {seed}, mutator {mutator}"),
+            );
+        }
+    }
+}
+
+/// Registry circuits under both objectives, including the repetitive ones
+/// where the cache actually fires.
+#[test]
+fn cone_cache_is_bit_identical_on_registry_circuits() {
+    for name in ["cm150", "z4ml", "f51m", "b9", "c880", "des"] {
+        let network = registry::benchmark(name).expect("registered");
+        assert_cache_invisible(&network, MapConfig::default(), name);
+        assert_cache_invisible(&network, MapConfig::depth(), &format!("{name} (depth)"));
+    }
+}
+
+/// Repetitive structure pays off: the des rounds and the 3-bit array
+/// multiplier resolve more than half their cone units from the cache.
+#[test]
+fn repetitive_circuits_hit_the_cache() {
+    for name in ["des", "f51m"] {
+        let network = registry::benchmark(name).expect("registered");
+        let result = Mapper::soi(MapConfig::default())
+            .run(&network)
+            .expect("maps");
+        let rate = result
+            .cone_cache_hit_rate()
+            .expect("cache on by default, units exist");
+        assert!(
+            rate > 0.5,
+            "{name}: cone-cache hit rate {:.1}% (hits {}, misses {})",
+            rate * 100.0,
+            result.cone_cache_hits,
+            result.cone_cache_misses
+        );
+    }
+}
+
+/// A cache shared across runs warms up: the second identical run misses
+/// nothing and still produces the identical circuit.
+#[test]
+fn shared_cache_serves_identical_rerun_entirely_from_memory() {
+    let network = registry::benchmark("z4ml").expect("registered");
+    let cache = Arc::new(ConeCache::new());
+    let mapper = Mapper::soi(MapConfig::default()).with_cone_cache(Arc::clone(&cache));
+    let first = mapper.run(&network).expect("first run maps");
+    assert!(first.cone_cache_misses > 0, "first run must fill the cache");
+    let second = mapper.run(&network).expect("second run maps");
+    assert_eq!(
+        second.cone_cache_misses, 0,
+        "identical rerun should hit on every cone (hits {})",
+        second.cone_cache_hits
+    );
+    assert_same_mapping(&second, &first, "shared-cache rerun");
+    assert!(cache.hits() >= second.cone_cache_hits);
+    assert!(!cache.is_empty());
+}
+
+/// An attached cache overrides `cone_cache: false` and stays coherent
+/// across *different* mappers sharing it (distinct config fingerprints
+/// must never cross-contaminate).
+#[test]
+fn shared_cache_isolates_config_fingerprints() {
+    let network = registry::benchmark("cm150").expect("registered");
+    let cache = Arc::new(ConeCache::new());
+    let area =
+        Mapper::soi(with_cache(false, MapConfig::default())).with_cone_cache(Arc::clone(&cache));
+    let depth =
+        Mapper::soi(with_cache(false, MapConfig::depth())).with_cone_cache(Arc::clone(&cache));
+    let area_result = area.run(&network).expect("area maps");
+    let depth_result = depth.run(&network).expect("depth maps");
+    // Attached cache overrides the disabled flag: the runs went through it.
+    assert!(area_result.cone_cache_misses > 0);
+    // The depth run may only reuse entries keyed under its own fingerprint
+    // — results must match plain uncached runs exactly.
+    let plain_depth = Mapper::soi(with_cache(false, MapConfig::depth()))
+        .run(&network)
+        .expect("plain depth maps");
+    assert_same_mapping(&depth_result, &plain_depth, "fingerprint isolation");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Randomized sweep over size, seed, shape limits and duplication:
+    /// cache on and off stay bit-identical, including under degraded
+    /// (relaxed-limit) mappings, and `peak_candidates` is invariant.
+    #[test]
+    fn prop_cone_cache_invariants(
+        seed in 0u64..10_000,
+        gates in 20usize..140,
+        w_max in 3u32..6,
+        h_max in 4u32..9,
+        allow_duplication in any::<bool>(),
+    ) {
+        let network = generate(&RandomSpec::control("ccprop", 12, 4, gates, seed));
+        let config = MapConfig {
+            w_max,
+            h_max,
+            degrade_unmappable: true,
+            allow_duplication,
+            ..MapConfig::default()
+        };
+        let on = Mapper::soi(with_cache(true, config))
+            .run(&network)
+            .expect("cached maps");
+        let off = Mapper::soi(with_cache(false, config))
+            .run(&network)
+            .expect("uncached maps");
+        prop_assert_eq!(on.counts, off.counts);
+        prop_assert_eq!(&on.circuit, &off.circuit);
+        prop_assert_eq!(&on.degraded_nodes, &off.degraded_nodes);
+        prop_assert_eq!(on.peak_candidates, off.peak_candidates);
+    }
+}
