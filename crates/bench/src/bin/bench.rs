@@ -4,14 +4,25 @@
 //! `SOI_Domino_Map` three ways — DP forced serial with the cone cache off
 //! (the PR 2 baseline configuration), `Parallelism::Auto` with the cache
 //! off (the cost-model cutoff must never lose to serial), and the shipped
-//! default (`Auto` + cone cache) — and writes `BENCH_pr4.json` with
+//! default (`Auto` + cone cache) — and writes `BENCH_pr5.json` with
 //! per-circuit timings, the thread count each mode actually used, the
 //! cone-cache hit rate, and cross-mode equality checks (every mode must be
 //! bit-identical).
 //!
+//! The timed runs are untraced (the handle costs one branch per emission
+//! site even when armed, and the numbers track the shipped configuration).
+//! After timing, each circuit gets one *traced* run per mode through a
+//! shared [`soi_trace::Recorder`]: the scheduler's steal/wakeup/park
+//! counters and per-worker unit counts, the two cache tiers' hit rates,
+//! the candidate-pruning funnel, and the discharge count land in a
+//! `metrics` block per circuit — and the traced results are asserted
+//! bit-identical to the untraced ones. The slowest circuit additionally
+//! streams a full JSON-lines event trace next to the report.
+//!
 //! Usage:
 //!   cargo run --release -p soi-bench --bin bench [OUT.json]
-//!     (default output: `BENCH_pr4.json` in the working directory)
+//!     (default output: `BENCH_pr5.json` in the working directory;
+//!      the event trace lands at `OUT.json` + `.trace.jsonl`)
 //!   cargo run --release -p soi-bench --bin bench -- --smoke
 //!     CI gate: maps three small circuits serial vs forced 2-thread DP
 //!     (best of 5) and fails if the scheduler loses by more than 1.5x on
@@ -21,8 +32,9 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use soi_circuits::registry;
-use soi_mapper::{MapConfig, Mapper, MappingResult, Parallelism};
+use soi_mapper::{MapConfig, Mapper, MappingResult, Parallelism, TraceHandle};
 use soi_netlist::Network;
+use soi_trace::{Counter, JsonLines, Recorder};
 
 /// Timing repetitions per circuit and mode; the minimum is reported.
 const REPS: u32 = 7;
@@ -48,6 +60,108 @@ struct Entry {
     peak_candidates: usize,
     total_transistors: u32,
     counts_match: bool,
+    metrics: Metrics,
+}
+
+/// Instrumentation read-out from the traced (non-timed) runs of one
+/// circuit.
+struct Metrics {
+    combine_steps: u64,
+    candidates_generated: u64,
+    candidates_pruned: u64,
+    candidates_exported: u64,
+    discharges_inserted: u64,
+    sched_steals: u64,
+    sched_wakeups: u64,
+    sched_parks: u64,
+    worker_units: Vec<u64>,
+    node_tier_probes: u64,
+    node_tier_hits: u64,
+    node_tier_misses: u64,
+    cone_tier_hits: u64,
+    cone_tier_gate_hits: u64,
+    dp_ms: f64,
+    traced_match: bool,
+}
+
+/// Runs each mode once with the shared recorder attached and reads the
+/// counters back. The traced results must be bit-identical to the untraced
+/// timing runs — tracing is observational.
+fn collect_metrics(
+    rec: &'static Recorder,
+    trace: TraceHandle,
+    network: &Network,
+    untraced_serial: &MappingResult,
+) -> Metrics {
+    let traced = |parallelism, cone_cache| {
+        Mapper::soi(MapConfig {
+            parallelism,
+            cone_cache,
+            trace,
+            ..MapConfig::default()
+        })
+    };
+
+    // Serial pass: the candidate funnel and combine-step totals.
+    rec.reset();
+    let s = traced(Parallelism::Serial, false)
+        .run(network)
+        .expect("registry circuit maps");
+    let mut traced_match = same_outcome(untraced_serial, &s);
+    let combine_steps = rec.counter(Counter::CombineSteps);
+    let candidates_generated = rec.counter(Counter::CandidatesGenerated);
+    let candidates_pruned = rec.counter(Counter::CandidatesPruned);
+    let candidates_exported = rec.counter(Counter::CandidatesExported);
+    let discharges_inserted = rec.counter(Counter::DischargesInserted);
+    let dp_ms = rec
+        .stage_nanos(soi_trace::Stage::Dp)
+        .map_or(0.0, |n| n as f64 / 1e6);
+
+    // Parallel pass: scheduler behavior.
+    rec.reset();
+    let p = traced(Parallelism::Auto, false)
+        .run(network)
+        .expect("registry circuit maps");
+    traced_match &= same_outcome(untraced_serial, &p)
+        && p.combine_steps == combine_steps
+        && rec.counter(Counter::CombineSteps) == combine_steps;
+    let sched_steals = rec.counter(Counter::SchedSteals);
+    let sched_wakeups = rec.counter(Counter::SchedWakeups);
+    let sched_parks = rec.counter(Counter::SchedParks);
+    let worker_units = rec.workers().iter().map(|w| w.units).collect();
+
+    // Cached pass: the two memo tiers.
+    rec.reset();
+    let c = traced(Parallelism::Auto, true)
+        .run(network)
+        .expect("registry circuit maps");
+    traced_match &= same_outcome(untraced_serial, &c) && c.combine_steps == combine_steps;
+    let node_tier_probes = rec.counter(Counter::NodeTierProbes);
+    let node_tier_hits = rec.counter(Counter::NodeTierHits);
+    let node_tier_misses = rec.counter(Counter::NodeTierMisses);
+    let cone_tier_hits = rec.counter(Counter::ConeTierHits);
+    let cone_tier_gate_hits = rec.counter(Counter::ConeTierGateHits);
+    traced_match &= cone_tier_gate_hits + node_tier_hits == c.cone_cache_hits
+        && node_tier_misses == c.cone_cache_misses;
+
+    Metrics {
+        combine_steps,
+        candidates_generated,
+        candidates_pruned,
+        candidates_exported,
+        discharges_inserted,
+        sched_steals,
+        sched_wakeups,
+        sched_parks,
+        worker_units,
+        node_tier_probes,
+        node_tier_hits,
+        node_tier_misses,
+        cone_tier_hits,
+        cone_tier_gate_hits,
+        dp_ms,
+        traced_match,
+    }
 }
 
 /// One timed run in milliseconds.
@@ -148,7 +262,7 @@ fn main() {
         smoke(host_threads);
         return;
     }
-    let out_path = first.unwrap_or_else(|| "BENCH_pr4.json".into());
+    let out_path = first.unwrap_or_else(|| "BENCH_pr5.json".into());
 
     let mut names: Vec<&'static str> = registry::TABLE2.to_vec();
     for name in registry::TABLE1 {
@@ -166,6 +280,7 @@ fn main() {
     let serial = soi_mapper(Parallelism::Serial, false);
     let auto = soi_mapper(Parallelism::Auto, false);
     let cached = soi_mapper(Parallelism::Auto, true);
+    let (rec, trace) = Recorder::install();
     let mut entries = Vec::new();
     for name in names {
         let network = registry::benchmark(name).expect("registered benchmark");
@@ -173,12 +288,19 @@ fn main() {
             best_ms_interleaved([&serial, &auto, &cached], &network, REPS);
         let counts_match = same_outcome(&s, &p) && same_outcome(&s, &c);
         let hit_rate = c.cone_cache_hit_rate().unwrap_or(0.0);
+        let metrics = collect_metrics(rec, trace, &network, &s);
         eprintln!(
             "  {name}: serial {serial_ms:.2} ms / auto({}t) {parallel_ms:.2} ms / cached \
-             {cached_ms:.2} ms, hit rate {:.0}%{}",
+             {cached_ms:.2} ms, hit rate {:.0}%, {} combines, {} steals{}",
             p.threads_used,
             hit_rate * 100.0,
-            if counts_match { "" } else { "  ** MISMATCH **" }
+            metrics.combine_steps,
+            metrics.sched_steals,
+            if counts_match && metrics.traced_match {
+                ""
+            } else {
+                "  ** MISMATCH **"
+            }
         );
         entries.push(Entry {
             name,
@@ -192,14 +314,36 @@ fn main() {
             peak_candidates: s.peak_candidates,
             total_transistors: s.counts.total,
             counts_match,
+            metrics,
         });
     }
     let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
 
+    // Stream a full event trace of the slowest circuit's default-config run
+    // next to the report — the JSON-lines sink exercised end to end.
+    let trace_path = format!("{out_path}.trace.jsonl");
+    if let Some(slowest) = entries
+        .iter()
+        .max_by(|a, b| a.serial_ms.total_cmp(&b.serial_ms))
+        .map(|e| e.name)
+    {
+        let file = std::fs::File::create(&trace_path).expect("create trace file");
+        let sink: &'static JsonLines<std::fs::File> = Box::leak(Box::new(JsonLines::new(file)));
+        let mapper = Mapper::soi(MapConfig {
+            trace: TraceHandle::to_sink(sink),
+            ..MapConfig::default()
+        });
+        let network = registry::benchmark(slowest).expect("registered benchmark");
+        mapper.run(&network).expect("registry circuit maps");
+        eprintln!("streamed {slowest} event trace to {trace_path}");
+    }
+
     let total_serial: f64 = entries.iter().map(|e| e.serial_ms).sum();
     let total_parallel: f64 = entries.iter().map(|e| e.parallel_ms).sum();
     let total_cached: f64 = entries.iter().map(|e| e.cached_ms).sum();
-    let all_match = entries.iter().all(|e| e.counts_match);
+    let all_match = entries
+        .iter()
+        .all(|e| e.counts_match && e.metrics.traced_match);
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
@@ -207,7 +351,8 @@ fn main() {
         json,
         "  \"description\": \"SOI_Domino_Map wall-clock over the Table I+II registry (best of \
          {REPS} runs, W<=5 H<=8): serial/uncached baseline vs Parallelism::Auto uncached vs the \
-         shipped default (Auto + cone cache)\","
+         shipped default (Auto + cone cache); per-circuit metrics from one traced run per mode \
+         (timed runs stay untraced)\","
     );
     let _ = writeln!(json, "  \"host_threads\": {host_threads},");
     let _ = writeln!(
@@ -225,13 +370,26 @@ fn main() {
         } else {
             0.0
         };
+        let m = &e.metrics;
+        let node_total = m.node_tier_hits + m.node_tier_misses;
+        let node_rate = if node_total > 0 {
+            m.node_tier_hits as f64 / node_total as f64
+        } else {
+            0.0
+        };
+        let workers = m
+            .worker_units
+            .iter()
+            .map(|u| u.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
         let _ = writeln!(
             json,
             "    {{\"name\": \"{}\", \"tables\": \"{}\", \"serial_ms\": {:.3}, \"parallel_ms\": \
              {:.3}, \"cached_ms\": {:.3}, \"parallel_threads_used\": {}, \"speedup_parallel\": \
              {:.3}, \"speedup_cached\": {:.3}, \"cache_hits\": {}, \"cache_misses\": {}, \
              \"cache_hit_rate\": {:.3}, \"peak_candidates\": {}, \"total_transistors\": {}, \
-             \"counts_match\": {}}}{}",
+             \"counts_match\": {},",
             e.name,
             e.tables,
             e.serial_ms,
@@ -246,6 +404,32 @@ fn main() {
             e.peak_candidates,
             e.total_transistors,
             e.counts_match,
+        );
+        let _ = writeln!(
+            json,
+            "     \"metrics\": {{\"combine_steps\": {}, \"candidates_generated\": {}, \
+             \"candidates_pruned\": {}, \"candidates_exported\": {}, \"discharges_inserted\": {}, \
+             \"dp_ms\": {:.3}, \"sched_steals\": {}, \"sched_wakeups\": {}, \"sched_parks\": {}, \
+             \"worker_units\": [{}], \"node_tier_probes\": {}, \"node_tier_hits\": {}, \
+             \"node_tier_misses\": {}, \"node_tier_hit_rate\": {:.3}, \"cone_tier_hits\": {}, \
+             \"cone_tier_gate_hits\": {}, \"traced_match\": {}}}}}{}",
+            m.combine_steps,
+            m.candidates_generated,
+            m.candidates_pruned,
+            m.candidates_exported,
+            m.discharges_inserted,
+            m.dp_ms,
+            m.sched_steals,
+            m.sched_wakeups,
+            m.sched_parks,
+            workers,
+            m.node_tier_probes,
+            m.node_tier_hits,
+            m.node_tier_misses,
+            node_rate,
+            m.cone_tier_hits,
+            m.cone_tier_gate_hits,
+            m.traced_match,
             if i == last { "" } else { "," }
         );
     }
@@ -274,5 +458,8 @@ fn main() {
         total_serial / total_cached.max(1e-9),
         total_serial / total_parallel.max(1e-9)
     );
-    assert!(all_match, "parallel/cached DP diverged from serial counts");
+    assert!(
+        all_match,
+        "parallel/cached/traced DP diverged from untraced serial counts"
+    );
 }

@@ -320,6 +320,50 @@ mod tests {
         assert!((report.arrival[1] - report.arrival[0] - report.gate_delay[1]).abs() < 1e-9);
     }
 
+    /// A chain of `depth` two-input gates, each feeding the next.
+    fn chain(depth: usize) -> DominoCircuit {
+        let mut c = DominoCircuit::new(vec!["a".into(), "b".into()]);
+        let mut prev = c.add_gate(DominoGate::footed(Pdn::series(vec![t(0), t(1)])));
+        for _ in 1..depth {
+            prev = c.add_gate(DominoGate::footed(Pdn::series(vec![
+                Pdn::transistor(Signal::Gate(prev)),
+                t(1),
+            ])));
+        }
+        c.add_output("f", prev);
+        c
+    }
+
+    #[test]
+    fn critical_path_is_strictly_monotone_in_depth() {
+        for tech in [TechParams::soi(), TechParams::bulk()] {
+            let mut prev = 0.0;
+            for depth in 1..=8 {
+                let report = analyze(&chain(depth), &tech);
+                assert!(
+                    report.critical > prev,
+                    "depth {depth}: critical {} did not grow past {prev}",
+                    report.critical
+                );
+                // Each added level costs at least one full gate delay.
+                assert!(report.critical >= depth as f64 * report.gate_delay[0]);
+                prev = report.critical;
+            }
+        }
+    }
+
+    #[test]
+    fn arrival_times_are_monotone_along_the_chain() {
+        let report = analyze(&chain(6), &TechParams::soi());
+        for w in report.arrival.windows(2) {
+            assert!(w[1] > w[0], "arrival must grow along the chain: {w:?}");
+        }
+        // Arrival at any gate is never before its own evaluate delay.
+        for (at, d) in report.arrival.iter().zip(&report.gate_delay) {
+            assert!(at >= d);
+        }
+    }
+
     #[test]
     fn stack_order_changes_delay() {
         // The paper's first-order approximation ignores this; the model

@@ -5,6 +5,13 @@
 //! every failure into a [`StageError`] that names the [`Stage`] and wraps
 //! the underlying crate error, so a caller can always tell *where* the flow
 //! broke and *why*, without any stage being able to panic its way out.
+//! [`Pipeline::run_blif`] prepends a `parse` stage that reads BLIF text.
+//!
+//! Each stage is wrapped in a `soi-trace` span derived from the mapper's
+//! [`MapConfig::trace`](soi_mapper::MapConfig) handle, and the audit stage
+//! reports its vector count through
+//! [`soi_trace::Counter::AuditVectors`] — attach a
+//! [`soi_trace::Recorder`] to the config to observe the flow.
 
 use std::error::Error;
 use std::fmt;
@@ -13,6 +20,7 @@ use soi_domino_ir::DominoError;
 use soi_mapper::{Algorithm, MapError, Mapper, MappingResult};
 use soi_netlist::{Network, NetworkError};
 use soi_pbe::{hazard, PbeError};
+use soi_trace::{Counter, Stage as TraceStage};
 use soi_unate::{convert, Options, UnateError, UnateNetwork};
 
 use crate::audit::{self, AuditConfig, AuditError, AuditReport};
@@ -20,6 +28,8 @@ use crate::audit::{self, AuditConfig, AuditError, AuditReport};
 /// The named stages of the hardened flow, in execution order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Stage {
+    /// BLIF text parsing (only in [`Pipeline::run_blif`] flows).
+    Parse,
     /// Structural validation of the input [`Network`].
     NetlistValidate,
     /// Binate-to-unate conversion.
@@ -37,6 +47,7 @@ impl Stage {
     /// The stage's kebab-case display name.
     pub fn name(self) -> &'static str {
         match self {
+            Stage::Parse => "parse",
             Stage::NetlistValidate => "netlist-validate",
             Stage::UnateConvert => "unate-convert",
             Stage::Map => "map",
@@ -197,6 +208,7 @@ impl Pipeline {
     /// Returns the first [`StageError`], naming the stage that rejected the
     /// input and wrapping the layer's own typed error.
     pub fn run(&self, network: &Network) -> Result<PipelineReport, StageError> {
+        let trace = self.mapper.config().trace;
         let ctx = |stage: Stage, failure: StageFailure| StageError {
             stage,
             context: network.name().to_string(),
@@ -204,15 +216,24 @@ impl Pipeline {
         };
 
         // Stage 1: netlist-validate.
-        network
-            .validate()
-            .map_err(|e| ctx(Stage::NetlistValidate, StageFailure::Network(e)))?;
+        {
+            let _span = trace.span(TraceStage::NetlistValidate);
+            network
+                .validate()
+                .map_err(|e| ctx(Stage::NetlistValidate, StageFailure::Network(e)))?;
+        }
 
         // Stage 2: unate-convert.
-        let unate = convert(network, &self.unate_options)
-            .map_err(|e| ctx(Stage::UnateConvert, StageFailure::Unate(e)))?;
+        let unate = {
+            let _span = trace.span(TraceStage::UnateConvert);
+            convert(network, &self.unate_options)
+                .map_err(|e| ctx(Stage::UnateConvert, StageFailure::Unate(e)))?
+        };
 
-        // Stage 3: map, with the optional degradation retry.
+        // Stage 3: map, with the optional degradation retry. The span
+        // covers the whole stage; the mapper opens its own `dp` /
+        // `reconstruct` / `pbe-postprocess` child spans inside it.
+        let map_span = trace.span(TraceStage::Map);
         let (result, retried) = match self.mapper.run_unate(&unate) {
             Ok(result) => (result, false),
             Err(MapError::Unmappable { .. })
@@ -232,31 +253,38 @@ impl Pipeline {
             }
             Err(e) => return Err(ctx(Stage::Map, StageFailure::Map(e))),
         };
+        map_span.finish();
 
         // Stage 4: discharge-protect — the circuit must be structurally
         // sound and every committed discharge point covered.
-        result
-            .circuit
-            .validate()
-            .map_err(|e| ctx(Stage::DischargeProtect, StageFailure::Domino(e)))?;
-        let hazards = hazard::check(&result.circuit);
-        if !hazards.is_empty() {
-            let h = &hazards[0];
-            return Err(ctx(
-                Stage::DischargeProtect,
-                StageFailure::Hazards {
-                    count: hazards.len(),
-                    first: format!("gate {} junction {}", h.gate, h.junction),
-                },
-            ));
+        {
+            let _span = trace.span(TraceStage::DischargeProtect);
+            result
+                .circuit
+                .validate()
+                .map_err(|e| ctx(Stage::DischargeProtect, StageFailure::Domino(e)))?;
+            let hazards = hazard::check(&result.circuit);
+            if !hazards.is_empty() {
+                let h = &hazards[0];
+                return Err(ctx(
+                    Stage::DischargeProtect,
+                    StageFailure::Hazards {
+                        count: hazards.len(),
+                        first: format!("gate {} junction {}", h.gate, h.junction),
+                    },
+                ));
+            }
         }
 
         // Stage 5: audit.
         let audit_report = match &self.audit {
-            Some(cfg) => Some(
-                audit::check_pipeline(network, &unate, &result, cfg)
-                    .map_err(|e| ctx(Stage::Audit, StageFailure::Audit(e)))?,
-            ),
+            Some(cfg) => {
+                let _span = trace.span(TraceStage::Audit);
+                let report = audit::check_pipeline(network, &unate, &result, cfg)
+                    .map_err(|e| ctx(Stage::Audit, StageFailure::Audit(e)))?;
+                trace.count(Counter::AuditVectors, report.vectors_checked as u64);
+                Some(report)
+            }
             None => None,
         };
 
@@ -267,6 +295,29 @@ impl Pipeline {
             degraded,
             audit: audit_report,
         })
+    }
+
+    /// Parses BLIF text and runs the full flow on the resulting network —
+    /// [`Pipeline::run`] with a leading `parse` stage, so text-driven
+    /// callers get the same typed stage errors (and a `parse` trace span)
+    /// instead of handling the parser separately.
+    ///
+    /// # Errors
+    ///
+    /// Parse failures surface as [`Stage::Parse`] with the netlist layer's
+    /// [`NetworkError`]; everything after parsing behaves exactly like
+    /// [`Pipeline::run`].
+    pub fn run_blif(&self, text: &str) -> Result<PipelineReport, StageError> {
+        let trace = self.mapper.config().trace;
+        let network = {
+            let _span = trace.span(TraceStage::Parse);
+            soi_netlist::blif::parse(text).map_err(|e| StageError {
+                stage: Stage::Parse,
+                context: "<blif>".to_string(),
+                failure: StageFailure::Network(e),
+            })?
+        };
+        self.run(&network)
     }
 }
 
@@ -344,6 +395,71 @@ mod tests {
             .run(&n)
             .unwrap_err();
         assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn traced_run_emits_stage_spans_and_audit_vectors() {
+        let (rec, trace) = soi_trace::Recorder::install();
+        let config = MapConfig {
+            trace,
+            ..MapConfig::default()
+        };
+        let report = Pipeline::new(Mapper::soi(config))
+            .run(&nand_or())
+            .expect("pipeline passes");
+        for stage in [
+            TraceStage::NetlistValidate,
+            TraceStage::UnateConvert,
+            TraceStage::Map,
+            TraceStage::Dp,
+            TraceStage::Reconstruct,
+            TraceStage::DischargeProtect,
+            TraceStage::Audit,
+        ] {
+            assert!(
+                rec.stage_nanos(stage).is_some(),
+                "missing span for {stage:?}"
+            );
+        }
+        let audit = report.audit.expect("audit ran");
+        assert_eq!(
+            rec.counter(Counter::AuditVectors),
+            audit.vectors_checked as u64
+        );
+    }
+
+    #[test]
+    fn run_blif_parses_and_spans_the_parse_stage() {
+        let (rec, trace) = soi_trace::Recorder::install();
+        let config = MapConfig {
+            trace,
+            ..MapConfig::default()
+        };
+        let text = "\
+.model blif-t
+.inputs a b c
+.outputs f
+.names a b g
+11 1
+.names g c f
+1- 1
+-1 1
+.end
+";
+        let report = Pipeline::new(Mapper::soi(config))
+            .run_blif(text)
+            .expect("blif flow passes");
+        assert!(rec.stage_nanos(TraceStage::Parse).is_some());
+        assert!(!report.degraded);
+    }
+
+    #[test]
+    fn run_blif_surfaces_parse_failures_as_the_parse_stage() {
+        let err = Pipeline::new(Mapper::soi(MapConfig::default()))
+            .run_blif(".model broken\n.names ghost f\n1 1\n.end\n")
+            .expect_err("unparsable BLIF must fail");
+        assert_eq!(err.stage, Stage::Parse);
+        assert!(err.to_string().contains("parse"));
     }
 
     #[test]

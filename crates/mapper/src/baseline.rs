@@ -28,15 +28,25 @@ pub(crate) fn solve(
 
 /// Records `cand` in the key-sorted best-per-shape list, keeping the
 /// cheaper of it and any incumbent (first seen wins ties, as the model's
-/// strict `better` demands).
-fn consider(best: &mut Vec<(TupleKey, Cand)>, model: &CostModel, key: TupleKey, cand: Cand) {
+/// strict `better` demands). Returns whether a candidate was dropped (the
+/// loser of an incumbent comparison) — candidate-balance bookkeeping.
+fn consider(
+    best: &mut Vec<(TupleKey, Cand)>,
+    model: &CostModel,
+    key: TupleKey,
+    cand: Cand,
+) -> bool {
     match best.binary_search_by_key(&key, |&(k, _)| k) {
         Ok(i) => {
             if model.better(&cand.g, &best[i].1.g) {
                 best[i].1 = cand;
             }
+            true
         }
-        Err(i) => best.insert(i, (key, cand)),
+        Err(i) => {
+            best.insert(i, (key, cand));
+            false
+        }
     }
 }
 
@@ -66,6 +76,11 @@ fn solve_node(
         ..
     } = scratch;
     bare.clear();
+    // Candidate-balance bookkeeping (`generated == pruned + exported` per
+    // solved node): every constructed candidate counts as generated, every
+    // incumbent comparison drops exactly one.
+    let mut generated = 0u64;
+    let mut pruned = 0u64;
     for (ra, ca) in sol_a.exported_refs(a) {
         for (rb, cb) in sol_b.exported_refs(b) {
             ctx.charge(id)?;
@@ -78,7 +93,8 @@ fn solve_node(
                 continue;
             }
             let cand = combine(config.baseline_order, is_and, ra, ca, rb, cb);
-            consider(bare, model, key, cand);
+            generated += 1;
+            pruned += u64::from(consider(bare, model, key, cand));
         }
     }
     let mut degraded = false;
@@ -101,7 +117,8 @@ fn solve_node(
                     ra.key.or(rb.key)
                 };
                 let cand = combine(config.baseline_order, is_and, ra, ca, rb, cb);
-                consider(bare, model, key, cand);
+                generated += 1;
+                pruned += u64::from(consider(bare, model, key, cand));
             }
         }
         degraded = true;
@@ -123,6 +140,8 @@ fn solve_node(
         shapes.push((key, i as u32, 1));
     }
     crate::soi::enforce_tuple_cap(shapes, staged, model, config.limits.max_tuples_per_node);
+    let survivors: u64 = shapes.iter().map(|&(_, _, len)| u64::from(len)).sum();
+    pruned += staged.len() as u64 - survivors;
     let exported = ExportMap::from_runs(shapes, staged);
     let mut sol = NodeSol {
         gate: dp::form_gate(config, model, exported.flat()),
@@ -130,10 +149,22 @@ fn solve_node(
     };
     let gate = sol.gate.as_ref().expect("nonempty bare set");
     let gate_cand = dp::exported_gate_cand(id, gate, ctx.fanouts[id.index()], config);
+    let mut bare_exported = exported.total_candidates() as u64;
     if ctx.fanouts[id.index()] <= 1 || config.allow_duplication {
         sol.exported = exported;
+    } else {
+        // A shared node exports only its formed gate: the bare survivors
+        // are discarded here, not exported.
+        pruned += bare_exported;
+        bare_exported = 0;
     }
     sol.exported.push(TupleKey::UNIT, gate_cand);
+    let trace = config.trace;
+    if trace.enabled() {
+        trace.count(soi_trace::Counter::CandidatesGenerated, generated);
+        trace.count(soi_trace::Counter::CandidatesPruned, pruned);
+        trace.count(soi_trace::Counter::CandidatesExported, bare_exported);
+    }
     Ok((sol, degraded))
 }
 

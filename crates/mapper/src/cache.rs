@@ -119,6 +119,16 @@ impl ConeCache {
         self.len() == 0
     }
 
+    /// Number of distinct cone-tier memo entries (whole fanout-free cones).
+    pub fn cone_entries(&self) -> usize {
+        self.entries.lock().expect("cache poisoned").len()
+    }
+
+    /// Number of distinct node-tier memo entries (single-gate solutions).
+    pub fn node_entries(&self) -> usize {
+        self.nodes.lock().expect("cache poisoned").len()
+    }
+
     /// Lifetime hit count (across every run that used this cache).
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)

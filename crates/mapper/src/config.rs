@@ -1,3 +1,4 @@
+use soi_trace::TraceHandle;
 use soi_unate::OutputPhase;
 
 /// Which mapping algorithm a [`Mapper`](crate::Mapper) runs.
@@ -239,6 +240,12 @@ pub struct MapConfig {
     /// [`MapError::Unmappable`](crate::MapError::Unmappable). Off by
     /// default: the strict behaviour is the error.
     pub degrade_unmappable: bool,
+    /// Instrumentation handle ([`soi_trace`]): stage spans, counters and
+    /// gauges flow to its sink when enabled. Purely observational — the
+    /// handle is excluded from the cone-cache config fingerprint and
+    /// results are bit-identical with tracing on or off. Off by default
+    /// (one dead branch per emission site).
+    pub trace: TraceHandle,
 }
 
 impl Default for MapConfig {
@@ -259,6 +266,7 @@ impl Default for MapConfig {
             parallelism: Parallelism::default(),
             cone_cache: true,
             degrade_unmappable: false,
+            trace: TraceHandle::off(),
         }
     }
 }

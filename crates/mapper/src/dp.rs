@@ -7,6 +7,7 @@
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use soi_trace::{Counter, Gauge, Stage};
 use soi_unate::{ConeUnit, Literal, ShapeScratch, UId, UNode, UnateNetwork};
 
 use crate::cache::{self, RunCache};
@@ -28,6 +29,10 @@ pub(crate) struct Solution {
     /// Cone-cache hits and misses of this run (both 0 with the cache off).
     pub(crate) cache_hits: u64,
     pub(crate) cache_misses: u64,
+    /// Candidate-combination steps the run charged against its budget —
+    /// identical across serial, parallel and cached schedules (cache hits
+    /// bulk-charge the step count their cached solution originally cost).
+    pub(crate) combine_steps: u64,
 }
 
 /// Running charge against the per-run combine-step budget
@@ -74,6 +79,11 @@ impl Budget {
             });
         }
         Ok(())
+    }
+
+    /// Total steps charged so far across all workers.
+    pub(crate) fn total(&self) -> u64 {
+        self.steps.load(Ordering::Relaxed)
     }
 }
 
@@ -305,12 +315,15 @@ fn solve_nodes<S: NodeSolver>(
         let (sol, deg) = if let Some(rc) = node_cache {
             let fanout = ctx.fanouts[id.index()];
             let (key, level_base, hit) = rc.probe_node(node, fanout, table);
+            ctx.config.trace.count(Counter::NodeTierProbes, 1);
             if let Some(entry) = hit {
+                ctx.config.trace.count(Counter::NodeTierHits, 1);
                 rc.record_hits(1);
                 state.acc.cache_hits += 1;
                 ctx.charge_many(entry.steps(), id)?;
                 entry.rebind(id, node, level_base)
             } else {
+                ctx.config.trace.count(Counter::NodeTierMisses, 1);
                 rc.record_misses(1);
                 state.acc.cache_misses += 1;
                 let steps_before = ctx.steps_so_far();
@@ -396,6 +409,8 @@ fn solve_unit<S: NodeSolver>(
         // it weighs as many hits; pay the combination steps the cached
         // solution originally cost, so budget accounting is identical to
         // an uncached run.
+        ctx.config.trace.count(Counter::ConeTierHits, 1);
+        ctx.config.trace.count(Counter::ConeTierGateHits, gates);
         rc.record_hits(gates);
         state.acc.cache_hits += gates;
         ctx.charge_many(entry.steps(), root)?;
@@ -446,10 +461,14 @@ pub(crate) fn run_dp<S: NodeSolver>(
     cone_cache: Option<&ConeCache>,
 ) -> Result<Solution, MapError> {
     check_gate_budget(unate, config)?;
+    let trace = config.trace;
     let model = CostModel::new(config, algorithm);
     let fanouts = fanouts(unate);
     let budget = Budget::new(config);
-    let partition = unate.cone_partition();
+    let partition = {
+        let _span = trace.span(Stage::ConePartition);
+        unate.cone_partition()
+    };
     let gates = unate.iter().filter(|(_, n)| n.is_gate()).count();
     let hw = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
@@ -501,6 +520,7 @@ pub(crate) fn run_dp<S: NodeSolver>(
                     state,
                 )
             },
+            trace,
         )?;
         workers.into_iter().map(|(_, state)| state.acc).collect()
     };
@@ -519,6 +539,14 @@ pub(crate) fn run_dp<S: NodeSolver>(
     // global topological order (what a cache-off serial walk produces).
     degraded.sort_unstable();
 
+    let combine_steps = budget.total();
+    if trace.enabled() {
+        trace.count(Counter::CombineSteps, combine_steps);
+        trace.count(Counter::DegradedNodes, degraded.len() as u64);
+        trace.gauge(Gauge::PeakCandidates, peak_candidates as u64);
+        trace.gauge(Gauge::ThreadsUsed, threads as u64);
+    }
+
     Ok(Solution {
         sols: table.into_sols(),
         degraded,
@@ -526,6 +554,7 @@ pub(crate) fn run_dp<S: NodeSolver>(
         threads_used: threads,
         cache_hits,
         cache_misses,
+        combine_steps,
     })
 }
 

@@ -31,6 +31,13 @@
 //! counts and with the cache on or off. A cache can be shared across runs
 //! with [`Mapper::with_cone_cache`].
 //!
+//! The whole pipeline is observable through `soi-trace`: attach a sink
+//! via [`MapConfig::trace`] (e.g. a [`soi_trace::Recorder`]) to receive
+//! stage spans, candidate/cache/scheduler counters and per-worker stats.
+//! Instrumentation is purely observational — results are bit-identical
+//! with tracing on or off, and a detached handle costs one branch per
+//! emission site.
+//!
 //! # Example
 //!
 //! ```rust
@@ -76,4 +83,5 @@ pub use cost::{Cost, CostModel};
 pub use error::MapError;
 pub use map::Mapper;
 pub use report::MappingResult;
+pub use soi_trace::TraceHandle;
 pub use tuple::TupleKey;

@@ -1,6 +1,7 @@
 use std::sync::Arc;
 
 use soi_netlist::Network;
+use soi_trace::Stage;
 use soi_unate::{convert, Options, UnateNetwork};
 
 use crate::{baseline, reconstruct, soi, Algorithm, ConeCache, MapConfig, MapError, MappingResult};
@@ -100,12 +101,15 @@ impl Mapper {
     /// `(W_max, H_max)` limits.
     pub fn run(&self, network: &Network) -> Result<MappingResult, MapError> {
         self.config.validate()?;
-        let unate = convert(
-            network,
-            &Options {
-                output_phase: self.config.output_phase,
-            },
-        )?;
+        let unate = {
+            let _span = self.config.trace.span(Stage::UnateConvert);
+            convert(
+                network,
+                &Options {
+                    output_phase: self.config.output_phase,
+                },
+            )?
+        };
         self.run_unate(&unate)
     }
 
@@ -125,20 +129,30 @@ impl Mapper {
             None => None,
         };
         let cache = self.cache.as_deref().or(own_cache.as_ref());
-        let solution = match self.algorithm {
-            Algorithm::DominoMap | Algorithm::RsMap => baseline::solve(unate, &self.config, cache)?,
-            Algorithm::SoiDominoMap => soi::solve(unate, &self.config, cache)?,
+        let trace = self.config.trace;
+        let solution = {
+            let _span = trace.span(Stage::Dp);
+            match self.algorithm {
+                Algorithm::DominoMap | Algorithm::RsMap => {
+                    baseline::solve(unate, &self.config, cache)?
+                }
+                Algorithm::SoiDominoMap => soi::solve(unate, &self.config, cache)?,
+            }
         };
         let attach_discharge = matches!(self.algorithm, Algorithm::SoiDominoMap);
-        let mut circuit =
-            reconstruct::materialize(unate, &solution.sols, &self.config, attach_discharge)?;
+        let mut circuit = {
+            let _span = trace.span(Stage::Reconstruct);
+            reconstruct::materialize(unate, &solution.sols, &self.config, attach_discharge)?
+        };
         match self.algorithm {
             Algorithm::DominoMap => {
-                soi_pbe::postprocess::insert_discharge(&mut circuit);
+                let _span = trace.span(Stage::PbePostprocess);
+                soi_pbe::postprocess::insert_discharge_traced(&mut circuit, trace);
             }
             Algorithm::RsMap => {
+                let _span = trace.span(Stage::PbePostprocess);
                 soi_pbe::rearrange::rearrange_stacks(&mut circuit);
-                soi_pbe::postprocess::insert_discharge(&mut circuit);
+                soi_pbe::postprocess::insert_discharge_traced(&mut circuit, trace);
             }
             Algorithm::SoiDominoMap => {}
         }
@@ -155,6 +169,7 @@ impl Mapper {
             threads_used: solution.threads_used,
             cone_cache_hits: solution.cache_hits,
             cone_cache_misses: solution.cache_misses,
+            combine_steps: solution.combine_steps,
         })
     }
 }

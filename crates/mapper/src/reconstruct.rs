@@ -84,7 +84,12 @@ impl Ctx<'_> {
         };
         if self.attach_discharge {
             let analysis = soi_pbe::points::analyze(gate.pdn());
-            gate.set_discharge(analysis.grounded_discharge());
+            let discharge = analysis.grounded_discharge();
+            self.config.trace.count(
+                soi_trace::Counter::DischargesInserted,
+                discharge.len() as u64,
+            );
+            gate.set_discharge(discharge);
         }
         let id = self.circuit.add_gate(gate);
         self.built.insert(node, id);

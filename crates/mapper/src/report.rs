@@ -39,6 +39,11 @@ pub struct MappingResult {
     /// Cone-cache misses of this run (cones solved and captured). 0 when
     /// the cache is disabled.
     pub cone_cache_misses: u64,
+    /// Total DP combine steps charged against the step budget — a
+    /// deterministic measure of mapping work that is identical across
+    /// serial, parallel, and cone-cached schedules for the same input
+    /// and configuration.
+    pub combine_steps: u64,
 }
 
 impl MappingResult {

@@ -25,6 +25,7 @@ use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::Duration;
 
+use soi_trace::{Counter, TraceHandle, WorkerStats};
 use soi_unate::ConePartition;
 
 use crate::MapError;
@@ -98,15 +99,18 @@ impl Pool {
     /// pop is a standalone statement so its guard drops before stealing
     /// (holding it across the victim locks would deadlock two workers
     /// stealing from each other).
-    fn pop(&self, me: usize) -> Option<u32> {
+    /// The popped unit is tagged with whether it was stolen from another
+    /// worker's queue (instrumentation only).
+    fn pop(&self, me: usize) -> Option<(u32, bool)> {
         let own = self.queues[me].lock().expect("queue poisoned").pop_back();
-        let found = own.or_else(|| {
+        let found = own.map(|u| (u, false)).or_else(|| {
             (1..self.queues.len()).find_map(|i| {
                 let victim = (me + i) % self.queues.len();
                 self.queues[victim]
                     .lock()
                     .expect("queue poisoned")
                     .pop_front()
+                    .map(|u| (u, true))
             })
         });
         if found.is_some() {
@@ -115,8 +119,9 @@ impl Pool {
         found
     }
 
-    /// Enqueues a newly-runnable unit on the caller's own queue.
-    fn push(&self, me: usize, unit: u32) {
+    /// Enqueues a newly-runnable unit on the caller's own queue. Returns
+    /// whether a sleeping worker was notified (instrumentation only).
+    fn push(&self, me: usize, unit: u32) -> bool {
         self.queues[me]
             .lock()
             .expect("queue poisoned")
@@ -125,7 +130,9 @@ impl Pool {
         if self.sleepers.load(Ordering::SeqCst) > 0 {
             let _guard = self.idle.lock().expect("idle lock poisoned");
             self.wake.notify_one();
+            return true;
         }
+        false
     }
 
     /// Parks the caller until work might exist, with a bounded timeout.
@@ -165,20 +172,26 @@ impl Pool {
 }
 
 /// One worker's main loop: run units until the pool is drained or aborted.
+/// Scheduling tallies (units run, steals, wakeups sent, parks) accumulate
+/// in `stats`, worker-locally — zero shared-state cost when tracing is off.
 fn work<W>(
     pool: &Pool,
     me: usize,
     state: &mut W,
+    stats: &mut WorkerStats,
     task: &(impl Fn(&mut W, usize) -> Result<(), MapError> + Sync),
 ) {
     loop {
         if pool.abort.load(Ordering::Acquire) || pool.remaining.load(Ordering::Acquire) == 0 {
             return;
         }
-        let Some(unit) = pool.pop(me) else {
+        let Some((unit, stolen)) = pool.pop(me) else {
+            stats.parks += 1;
             pool.park();
             continue;
         };
+        stats.units += 1;
+        stats.steals += u64::from(stolen);
         if let Err(e) = task(state, unit as usize) {
             pool.fail(e);
             return;
@@ -190,7 +203,7 @@ fn work<W>(
         // to whoever pops the consumer unit.
         for &c in &pool.consumers[unit as usize] {
             if pool.deps_left[c as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
-                pool.push(me, c);
+                stats.wakeups += u64::from(pool.push(me, c));
             }
         }
         if pool.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
@@ -203,26 +216,39 @@ fn work<W>(
 /// workers (the calling thread is worker 0), respecting unit dependencies.
 /// Each worker gets its own `make_worker(index)` state. Returns the worker
 /// states for the caller to merge, or the first task error.
+///
+/// With `trace` enabled, each worker's scheduling tallies are emitted as a
+/// [`WorkerStats`] event at the end of the run, plus aggregate
+/// steal/wakeup/park counters.
 pub(crate) fn run_units<W: Send>(
     partition: &ConePartition,
     threads: usize,
     make_worker: impl Fn(usize) -> W,
     task: impl Fn(&mut W, usize) -> Result<(), MapError> + Sync,
+    trace: TraceHandle,
 ) -> Result<Vec<W>, MapError> {
     let threads = threads.clamp(1, partition.units().len().max(1));
     let pool = Pool::new(partition, threads);
     let mut states: Vec<W> = (0..threads).map(&make_worker).collect();
+    let mut stats: Vec<WorkerStats> = (0..threads)
+        .map(|i| WorkerStats {
+            worker: i,
+            ..WorkerStats::default()
+        })
+        .collect();
     {
         let (first, rest) = states.split_first_mut().expect("at least one worker");
+        let (first_stats, rest_stats) = stats.split_first_mut().expect("at least one worker");
         let pool = &pool;
         let task = &task;
         std::thread::scope(|s| {
             let handles: Vec<_> = rest
                 .iter_mut()
+                .zip(rest_stats.iter_mut())
                 .enumerate()
-                .map(|(i, state)| s.spawn(move || work(pool, i + 1, state, task)))
+                .map(|(i, (state, stat))| s.spawn(move || work(pool, i + 1, state, stat, task)))
                 .collect();
-            work(pool, 0, first, task);
+            work(pool, 0, first, first_stats, task);
             for h in handles {
                 h.join().expect("DP worker panicked");
             }
@@ -230,6 +256,18 @@ pub(crate) fn run_units<W: Send>(
     }
     if let Some(e) = pool.error.into_inner().expect("error lock poisoned") {
         return Err(e);
+    }
+    if trace.enabled() {
+        let (mut steals, mut wakeups, mut parks) = (0u64, 0u64, 0u64);
+        for &s in &stats {
+            steals += s.steals;
+            wakeups += s.wakeups;
+            parks += s.parks;
+            trace.worker(s);
+        }
+        trace.count(Counter::SchedSteals, steals);
+        trace.count(Counter::SchedWakeups, wakeups);
+        trace.count(Counter::SchedParks, parks);
     }
     debug_assert_eq!(
         pool.remaining.load(Ordering::Relaxed),
@@ -290,6 +328,7 @@ mod tests {
                     visits.fetch_add(1, Ordering::SeqCst);
                     Ok(())
                 },
+                TraceHandle::off(),
             )
             .expect("no task errors");
             assert_eq!(states.len(), threads.min(n));
@@ -314,6 +353,7 @@ mod tests {
                     Ok(())
                 }
             },
+            TraceHandle::off(),
         )
         .unwrap_err();
         assert!(matches!(err, MapError::BudgetExceeded { .. }));
@@ -328,7 +368,34 @@ mod tests {
         });
         u.add_output("f", USignal::Node(a), false);
         let partition = u.cone_partition();
-        let states = run_units(&partition, 8, |i| i, |_, _| Ok(())).expect("runs");
+        let states =
+            run_units(&partition, 8, |i| i, |_, _| Ok(()), TraceHandle::off()).expect("runs");
         assert_eq!(states.len(), 1);
+    }
+
+    #[test]
+    fn worker_stats_account_for_every_unit() {
+        let network = diamond(16);
+        let partition = network.cone_partition();
+        let n = partition.units().len() as u64;
+        let (recorder, trace) = soi_trace::Recorder::install();
+        run_units(&partition, 3, |_| (), |_, _| Ok(()), trace).expect("runs");
+        let workers = recorder.workers();
+        assert_eq!(workers.len(), 3);
+        // Every unit ran on exactly one worker.
+        assert_eq!(workers.iter().map(|w| w.units).sum::<u64>(), n);
+        // The aggregate counters match the per-worker tallies.
+        assert_eq!(
+            recorder.counter(Counter::SchedSteals),
+            workers.iter().map(|w| w.steals).sum::<u64>()
+        );
+        assert_eq!(
+            recorder.counter(Counter::SchedParks),
+            workers.iter().map(|w| w.parks).sum::<u64>()
+        );
+        assert_eq!(
+            recorder.counter(Counter::SchedWakeups),
+            workers.iter().map(|w| w.wakeups).sum::<u64>()
+        );
     }
 }

@@ -118,6 +118,12 @@ fn solve_node(
             ),
         });
     }
+    // Candidate-balance bookkeeping (`generated == pruned + exported` per
+    // solved node): `generated` is everything that entered the frontier;
+    // drops are tallied independently at each site so the balance is a
+    // genuine cross-check, not an identity.
+    let generated = pairs.len() as u64;
+    let mut pruned = 0u64;
     // Group by shape: the stable sort preserves generation order within
     // each shape, so pruning sees exactly the per-shape sequences the old
     // per-shape vectors held.
@@ -137,12 +143,15 @@ fn solve_node(
             ctx.model,
             config.max_candidates,
         );
+        pruned += (j - i - kept.len()) as u64;
         let start = staged.len() as u32;
         staged.append(kept);
         shapes.push((key, start, staged.len() as u32 - start));
         i = j;
     }
     enforce_tuple_cap(shapes, staged, ctx.model, config.limits.max_tuples_per_node);
+    let survivors: u64 = shapes.iter().map(|&(_, _, len)| u64::from(len)).sum();
+    pruned += staged.len() as u64 - survivors;
     let exported = ExportMap::from_runs(shapes, staged);
     let mut sol = NodeSol {
         gate: dp::form_gate(config, ctx.model, exported.flat()),
@@ -150,10 +159,22 @@ fn solve_node(
     };
     let gate = sol.gate.as_ref().expect("nonempty bare set");
     let gate_cand = dp::exported_gate_cand(id, gate, ctx.fanouts[id.index()], config);
+    let mut bare_exported = exported.total_candidates() as u64;
     if ctx.fanouts[id.index()] <= 1 || config.allow_duplication {
         sol.exported = exported;
+    } else {
+        // A shared node exports only its formed gate: the bare survivors
+        // are discarded here, not exported.
+        pruned += bare_exported;
+        bare_exported = 0;
     }
     sol.exported.push(TupleKey::UNIT, gate_cand);
+    let trace = config.trace;
+    if trace.enabled() {
+        trace.count(soi_trace::Counter::CandidatesGenerated, generated);
+        trace.count(soi_trace::Counter::CandidatesPruned, pruned);
+        trace.count(soi_trace::Counter::CandidatesExported, bare_exported);
+    }
     Ok((sol, degraded))
 }
 

@@ -286,4 +286,98 @@ mod tests {
     fn bad_probability_panics() {
         let _ = distribute(&sample(), 1.5, 0);
     }
+
+    /// Exhaustive equivalence check over every one of the `2^inputs`
+    /// assignments (so up to 1024 for the 10-input networks below), using
+    /// 64-lane simulation words — a complete truth-table comparison, not a
+    /// sample.
+    fn exhaustive_equivalent(a: &Network, b: &Network) -> bool {
+        let inputs = a.inputs().len();
+        assert!(inputs <= 10, "exhaustive check capped at 10 inputs");
+        assert_eq!(inputs, b.inputs().len());
+        let total: u64 = 1 << inputs;
+        let mut assignment = 0u64;
+        while assignment < total {
+            let lanes = (total - assignment).min(64);
+            let words: Vec<u64> = (0..inputs)
+                .map(|i| {
+                    let mut w = 0u64;
+                    for k in 0..lanes {
+                        if (assignment + k) >> i & 1 == 1 {
+                            w |= 1 << k;
+                        }
+                    }
+                    w
+                })
+                .collect();
+            let oa = sim::SimBatch::new(words.clone()).run(a).expect("sims");
+            let ob = sim::SimBatch::new(words).run(b).expect("sims");
+            let mask = if lanes == 64 { !0u64 } else { (1 << lanes) - 1 };
+            if oa.iter().zip(&ob).any(|(x, y)| (x ^ y) & mask != 0) {
+                return false;
+            }
+            assignment += lanes;
+        }
+        true
+    }
+
+    /// A 10-input network mixing every rewrite target: AND/OR/XOR trees,
+    /// inverters, shared subterms, and OR-of-AND shapes for `distribute`.
+    fn wide_sample() -> Network {
+        let mut n = Network::new("w");
+        let sigs: Vec<_> = (0..10).map(|i| n.add_input(format!("i{i}"))).collect();
+        let t1 = n.and_tree(&sigs[..5]);
+        let t2 = n.or_tree(&sigs[5..]);
+        let t3 = n.xor2(t1, t2);
+        let inv = n.inv(sigs[9]);
+        let inner = n.and2(sigs[3], inv);
+        let shape = n.or2(sigs[0], inner);
+        let t4 = n.and2(t3, shape);
+        let shared = n.or2(sigs[1], sigs[2]);
+        let u1 = n.and2(shared, sigs[4]);
+        let u2 = n.xor2(shared, sigs[6]);
+        n.add_output("a", t4);
+        n.add_output("b", u1);
+        n.add_output("c", u2);
+        n
+    }
+
+    #[test]
+    fn reassociate_is_exhaustively_equivalent() {
+        for network in [sample(), wide_sample()] {
+            for seed in 0..5 {
+                assert!(
+                    exhaustive_equivalent(&network, &reassociate(&network, seed)),
+                    "{}: reassociate diverges at seed {seed}",
+                    network.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distribute_is_exhaustively_equivalent() {
+        for network in [sample(), wide_sample()] {
+            for seed in 0..5 {
+                assert!(
+                    exhaustive_equivalent(&network, &distribute(&network, 1.0, seed)),
+                    "{}: distribute diverges at seed {seed}",
+                    network.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn synthesize_like_is_exhaustively_equivalent() {
+        for network in [sample(), wide_sample()] {
+            for seed in 0..5 {
+                assert!(
+                    exhaustive_equivalent(&network, &synthesize_like(&network, 0.6, seed)),
+                    "{}: synthesize_like diverges at seed {seed}",
+                    network.name()
+                );
+            }
+        }
+    }
 }

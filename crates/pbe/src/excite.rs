@@ -297,6 +297,18 @@ pub fn prune_discharge(
     constraints: &InputConstraints,
     config: &ExciteConfig,
 ) -> u32 {
+    prune_discharge_traced(circuit, constraints, config, soi_trace::TraceHandle::off())
+}
+
+/// [`prune_discharge`] with an instrumentation handle: reports the number
+/// of removed devices through [`soi_trace::Counter::DischargesPruned`].
+/// With `TraceHandle::off()` this is exactly `prune_discharge`.
+pub fn prune_discharge_traced(
+    circuit: &mut DominoCircuit,
+    constraints: &InputConstraints,
+    config: &ExciteConfig,
+    trace: soi_trace::TraceHandle,
+) -> u32 {
     let mut removed = 0;
     for idx in 0..circuit.gate_count() {
         let id = GateId::from_index(idx);
@@ -313,6 +325,7 @@ pub fn prune_discharge(
         removed += (circuit.gate(id).discharge().len() - keep.len()) as u32;
         circuit.gate_mut(id).set_discharge(keep);
     }
+    trace.count(soi_trace::Counter::DischargesPruned, u64::from(removed));
     removed
 }
 
@@ -486,6 +499,23 @@ mod tests {
             &ExciteConfig::default(),
         );
         assert_eq!(verdict, Excitability::Excitable);
+    }
+
+    #[test]
+    fn traced_prune_reports_the_removed_count() {
+        let (rec, trace) = soi_trace::Recorder::install();
+        let mut c = DominoCircuit::single_gate(
+            (0..5).map(|i| format!("i{i}")).collect(),
+            Pdn::series(vec![t(0), t(1), Pdn::parallel(vec![t(2), t(3)]), t(4)]),
+        );
+        postprocess::insert_discharge(&mut c);
+        let constraints = InputConstraints::none().with_mutex(vec![0, 1]);
+        let removed = prune_discharge_traced(&mut c, &constraints, &ExciteConfig::default(), trace);
+        assert!(removed > 0);
+        assert_eq!(
+            rec.counter(soi_trace::Counter::DischargesPruned),
+            u64::from(removed)
+        );
     }
 
     #[test]

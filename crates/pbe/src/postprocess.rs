@@ -40,6 +40,14 @@ use crate::points;
 /// assert_eq!(c.counts().discharge, 1);
 /// ```
 pub fn insert_discharge(circuit: &mut DominoCircuit) -> u32 {
+    insert_discharge_traced(circuit, soi_trace::TraceHandle::off())
+}
+
+/// [`insert_discharge`] with an instrumentation handle: reports the total
+/// inserted count through [`soi_trace::Counter::DischargesInserted`] so
+/// observability tests can balance it against the circuit's accounting.
+/// With `TraceHandle::off()` this is exactly `insert_discharge`.
+pub fn insert_discharge_traced(circuit: &mut DominoCircuit, trace: soi_trace::TraceHandle) -> u32 {
     let mut added = 0;
     for idx in 0..circuit.gate_count() {
         let id = soi_domino_ir::GateId::from_index(idx);
@@ -48,6 +56,7 @@ pub fn insert_discharge(circuit: &mut DominoCircuit) -> u32 {
         added += set.len() as u32;
         circuit.gate_mut(id).set_discharge(set);
     }
+    trace.count(soi_trace::Counter::DischargesInserted, u64::from(added));
     added
 }
 
@@ -92,6 +101,24 @@ mod tests {
         let second = insert_discharge(&mut c);
         assert_eq!(first, second);
         assert_eq!(c.counts().discharge, first);
+    }
+
+    #[test]
+    fn traced_insertion_reports_the_inserted_count() {
+        let (rec, trace) = soi_trace::Recorder::install();
+        let mut c = DominoCircuit::single_gate(
+            (0..4).map(|i| format!("i{i}")).collect(),
+            Pdn::series(vec![
+                Pdn::parallel(vec![t(0), t(1)]),
+                Pdn::parallel(vec![t(2), t(3)]),
+            ]),
+        );
+        let added = insert_discharge_traced(&mut c, trace);
+        assert_eq!(
+            rec.counter(soi_trace::Counter::DischargesInserted),
+            u64::from(added)
+        );
+        assert_eq!(u64::from(c.counts().discharge), u64::from(added));
     }
 
     #[test]

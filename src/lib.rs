@@ -12,7 +12,9 @@
 //! * [`pbe`] — parasitic-bipolar-effect analysis and body-state simulation,
 //! * [`mapper`] — the `Domino_Map`, `RS_Map` and `SOI_Domino_Map` algorithms,
 //! * [`guard`] — the hardened staged pipeline, cross-stage audit, and
-//!   fault-injection harness.
+//!   fault-injection harness,
+//! * [`trace`] — zero-cost-when-disabled instrumentation: stage spans,
+//!   typed counters, per-worker scheduler stats, and pluggable sinks.
 //!
 //! # Quickstart
 //!
@@ -44,4 +46,5 @@ pub use soi_guard as guard;
 pub use soi_mapper as mapper;
 pub use soi_netlist as netlist;
 pub use soi_pbe as pbe;
+pub use soi_trace as trace;
 pub use soi_unate as unate;

@@ -1,0 +1,316 @@
+//! The observability layer's self-checking suite: every counter the
+//! instrumentation emits is an *oracle* that must balance against the
+//! mapper's own reported accounting, and attaching a recorder must never
+//! change a mapping result.
+//!
+//! For every registry benchmark and twenty seeded random networks, the SOI
+//! mapper runs four ways — untraced serial (the reference), traced serial,
+//! traced forced-2-thread, and traced 2-thread + cone cache — and the
+//! suite asserts:
+//!
+//! * **bit-identity**: counts, degraded-node lists, peak candidates and
+//!   combine steps agree across all four runs (tracing is observational,
+//!   scheduling and memoization are pure scheduling concerns);
+//! * **candidate balance**: `candidates_generated ==
+//!   candidates_pruned + candidates_exported` — the bare-tuple funnel
+//!   loses nothing silently;
+//! * **cache balance**: `node_tier_probes == node_tier_hits +
+//!   node_tier_misses`, `cone_tier_gate_hits + node_tier_hits ==
+//!   MappingResult::cone_cache_hits`, `node_tier_misses ==
+//!   MappingResult::cone_cache_misses` — every gate solve is counted
+//!   exactly once;
+//! * **scheduler conservation**: per-worker unit counts sum to the cone
+//!   partition's unit count, and the aggregate steal/wakeup/park counters
+//!   equal the per-worker sums;
+//! * **discharge accounting**: `discharges_inserted` equals the circuit's
+//!   `TransistorCounts::discharge` for all three algorithms;
+//! * **gauges**: `peak_candidates` and `threads_used` read back exactly.
+
+use soi_domino::circuits::misc::random::{generate, RandomSpec};
+use soi_domino::circuits::registry;
+use soi_domino::mapper::{MapConfig, Mapper, MappingResult, Parallelism};
+use soi_domino::netlist::Network;
+use soi_domino::trace::{Counter, Gauge, Recorder, Stage, TraceHandle};
+use soi_domino::unate;
+
+/// The three mapper constructors.
+const MAPPERS: [fn(MapConfig) -> Mapper; 3] =
+    [Mapper::baseline, Mapper::rearrange_stacks, Mapper::soi];
+
+fn base_config() -> MapConfig {
+    MapConfig {
+        parallelism: Parallelism::Serial,
+        cone_cache: false,
+        ..MapConfig::default()
+    }
+}
+
+fn assert_identical(reference: &MappingResult, got: &MappingResult, what: &str, mode: &str) {
+    assert_eq!(
+        reference.counts, got.counts,
+        "{what}: {mode} counts diverge"
+    );
+    assert_eq!(
+        reference.degraded_nodes, got.degraded_nodes,
+        "{what}: {mode} degraded nodes diverge"
+    );
+    assert_eq!(
+        reference.peak_candidates, got.peak_candidates,
+        "{what}: {mode} peak candidates diverge"
+    );
+    assert_eq!(
+        reference.combine_steps, got.combine_steps,
+        "{what}: {mode} combine steps diverge"
+    );
+}
+
+/// The per-run oracles every traced mode must satisfy.
+fn assert_run_oracles(rec: &Recorder, result: &MappingResult, what: &str, mode: &str) {
+    let generated = rec.counter(Counter::CandidatesGenerated);
+    let pruned = rec.counter(Counter::CandidatesPruned);
+    let exported = rec.counter(Counter::CandidatesExported);
+    assert_eq!(
+        generated,
+        pruned + exported,
+        "{what}: {mode} candidate funnel leaks ({generated} generated, {pruned} pruned, \
+         {exported} exported)"
+    );
+    assert_eq!(
+        rec.counter(Counter::CombineSteps),
+        result.combine_steps,
+        "{what}: {mode} combine-step counter disagrees with the result"
+    );
+    assert_eq!(
+        rec.gauge(Gauge::PeakCandidates),
+        result.peak_candidates as u64,
+        "{what}: {mode} peak-candidates gauge disagrees with the result"
+    );
+    assert_eq!(
+        rec.gauge(Gauge::ThreadsUsed),
+        result.threads_used as u64,
+        "{what}: {mode} threads-used gauge disagrees with the result"
+    );
+    assert_eq!(
+        rec.counter(Counter::DegradedNodes),
+        result.degraded_nodes.len() as u64,
+        "{what}: {mode} degraded-node counter disagrees with the result"
+    );
+    assert_eq!(
+        rec.counter(Counter::DischargesInserted),
+        u64::from(result.counts.discharge),
+        "{what}: {mode} discharge counter disagrees with the transistor accounting"
+    );
+    // Cache tiers: probes split exactly into hits and misses, and the two
+    // tiers together account for the result's hit/miss totals.
+    let probes = rec.counter(Counter::NodeTierProbes);
+    let node_hits = rec.counter(Counter::NodeTierHits);
+    let node_misses = rec.counter(Counter::NodeTierMisses);
+    assert_eq!(
+        probes,
+        node_hits + node_misses,
+        "{what}: {mode} node-tier probes don't split into hits + misses"
+    );
+    assert_eq!(
+        rec.counter(Counter::ConeTierGateHits) + node_hits,
+        result.cone_cache_hits,
+        "{what}: {mode} tier hits don't add up to the result's cache hits"
+    );
+    assert_eq!(
+        node_misses, result.cone_cache_misses,
+        "{what}: {mode} node-tier misses disagree with the result's cache misses"
+    );
+}
+
+/// Runs the four modes on one network and checks every oracle.
+fn check_network(rec: &'static Recorder, trace: TraceHandle, network: &Network, what: &str) {
+    let base = base_config();
+    let reference = Mapper::soi(base)
+        .run(network)
+        .expect("untraced serial maps");
+
+    // Traced serial: oracles + bit-identity with the untraced reference.
+    rec.reset();
+    let serial = Mapper::soi(MapConfig { trace, ..base })
+        .run(network)
+        .expect("traced serial maps");
+    assert_identical(&reference, &serial, what, "traced serial");
+    assert_run_oracles(rec, &serial, what, "traced serial");
+    assert!(
+        rec.stage_nanos(Stage::ConePartition).is_some()
+            && rec.stage_nanos(Stage::Dp).is_some()
+            && rec.stage_nanos(Stage::Reconstruct).is_some(),
+        "{what}: traced serial run is missing a pipeline span"
+    );
+    // Serial, cache off: no scheduler or cache activity may be recorded.
+    for quiet in [
+        Counter::SchedSteals,
+        Counter::SchedWakeups,
+        Counter::SchedParks,
+        Counter::NodeTierProbes,
+        Counter::ConeTierHits,
+    ] {
+        assert_eq!(
+            rec.counter(quiet),
+            0,
+            "{what}: serial uncached run recorded {quiet:?}"
+        );
+    }
+
+    // Traced forced-2-thread: scheduler conservation on top.
+    rec.reset();
+    let parallel = Mapper::soi(MapConfig {
+        trace,
+        parallelism: Parallelism::Threads(2),
+        ..base
+    })
+    .run(network)
+    .expect("traced parallel maps");
+    assert_identical(&reference, &parallel, what, "traced parallel");
+    assert_run_oracles(rec, &parallel, what, "traced parallel");
+    let workers = rec.workers();
+    if parallel.threads_used > 1 {
+        assert_eq!(
+            workers.len(),
+            parallel.threads_used,
+            "{what}: worker stats don't cover every worker"
+        );
+        let unit_count = unate::convert(network, &unate::Options::default())
+            .expect("unate converts")
+            .cone_partition()
+            .units()
+            .len() as u64;
+        assert_eq!(
+            workers.iter().map(|w| w.units).sum::<u64>(),
+            unit_count,
+            "{what}: per-worker unit counts don't sum to the cone partition"
+        );
+        for (aggregate, per_worker) in [
+            (Counter::SchedSteals, workers.iter().map(|w| w.steals).sum()),
+            (
+                Counter::SchedWakeups,
+                workers.iter().map(|w| w.wakeups).sum(),
+            ),
+            (Counter::SchedParks, workers.iter().map(|w| w.parks).sum()),
+        ] {
+            let sum: u64 = per_worker;
+            assert_eq!(
+                rec.counter(aggregate),
+                sum,
+                "{what}: aggregate {aggregate:?} disagrees with per-worker sums"
+            );
+        }
+    }
+
+    // Traced 2-thread + cone cache: the memo tiers join the balance.
+    rec.reset();
+    let cached = Mapper::soi(MapConfig {
+        trace,
+        parallelism: Parallelism::Threads(2),
+        cone_cache: true,
+        ..base
+    })
+    .run(network)
+    .expect("traced cached maps");
+    assert_identical(&reference, &cached, what, "traced cached");
+    assert_run_oracles(rec, &cached, what, "traced cached");
+}
+
+#[test]
+fn registry_circuits_satisfy_every_metric_oracle() {
+    let (rec, trace) = Recorder::install();
+    for name in registry::names() {
+        let network = registry::benchmark(name).expect("registered benchmark");
+        check_network(rec, trace, &network, name);
+    }
+}
+
+#[test]
+fn seeded_random_networks_satisfy_every_metric_oracle() {
+    let (rec, trace) = Recorder::install();
+    for seed in 0..20u64 {
+        let spec = RandomSpec::control(&format!("ti{seed}"), 14, 6, 90, seed);
+        let network = generate(&spec);
+        check_network(rec, trace, &network, &format!("seed {seed}"));
+    }
+}
+
+/// The discharge and candidate balances hold for all three algorithms —
+/// the baselines count through the PBE post-processing pass, the SOI
+/// mapper through gate materialization.
+#[test]
+fn all_algorithms_balance_candidates_and_discharges() {
+    let (rec, trace) = Recorder::install();
+    let circuits: Vec<(String, Network)> = ["cm150", "b9", "9symml", "c432"]
+        .iter()
+        .map(|&n| (n.to_string(), registry::benchmark(n).expect("registered")))
+        .chain((0..6u64).map(|seed| {
+            let spec = RandomSpec::control(&format!("alg{seed}"), 12, 4, 70, seed);
+            (format!("seed {seed}"), generate(&spec))
+        }))
+        .collect();
+    for (what, network) in &circuits {
+        for make in MAPPERS {
+            rec.reset();
+            let result = make(MapConfig {
+                trace,
+                ..base_config()
+            })
+            .run(network)
+            .expect("maps");
+            let generated = rec.counter(Counter::CandidatesGenerated);
+            let pruned = rec.counter(Counter::CandidatesPruned);
+            let exported = rec.counter(Counter::CandidatesExported);
+            assert_eq!(
+                generated,
+                pruned + exported,
+                "{what} ({:?}): candidate funnel leaks",
+                result.algorithm
+            );
+            assert_eq!(
+                rec.counter(Counter::DischargesInserted),
+                u64::from(result.counts.discharge),
+                "{what} ({:?}): discharge counter disagrees with the accounting",
+                result.algorithm
+            );
+            assert!(
+                rec.stage_nanos(Stage::Dp).is_some()
+                    && rec.stage_nanos(Stage::Reconstruct).is_some(),
+                "{what} ({:?}): missing pipeline span",
+                result.algorithm
+            );
+        }
+    }
+}
+
+/// A shared cone cache across runs keeps the balances honest when the
+/// second run is served almost entirely from the cache.
+#[test]
+fn warm_cache_reruns_keep_the_balances() {
+    let (rec, trace) = Recorder::install();
+    let network = registry::benchmark("c880").expect("registered");
+    let cache = std::sync::Arc::new(soi_domino::mapper::ConeCache::new());
+    let config = MapConfig {
+        trace,
+        parallelism: Parallelism::Serial,
+        cone_cache: true,
+        ..MapConfig::default()
+    };
+    let mut last = None;
+    for pass in 0..2 {
+        rec.reset();
+        let result = Mapper::soi(config)
+            .with_cone_cache(std::sync::Arc::clone(&cache))
+            .run(&network)
+            .expect("maps");
+        assert_run_oracles(rec, &result, "c880", &format!("warm pass {pass}"));
+        if let Some(prev) = &last {
+            assert_identical(prev, &result, "c880", "warm rerun");
+        }
+        last = Some(result);
+    }
+    let warm = last.expect("two passes ran");
+    assert!(
+        warm.cone_cache_hits > 0,
+        "second pass should hit the shared cache"
+    );
+}

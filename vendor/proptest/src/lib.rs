@@ -10,6 +10,18 @@
 //! `prop_map`, `prop_recursive`, `prop_oneof!`, `prop::collection::vec`,
 //! `prop::sample::Index`, `any`, `ProptestConfig::with_cases`, and the
 //! `prop_assert!`/`prop_assert_eq!` assertions.
+//!
+//! Like the real crate, the macro honors a `<file>.proptest-regressions`
+//! file next to the test source: each `cc <hex>` line is replayed *before*
+//! any fresh cases, and a failing fresh case appends one. Because the shim
+//! has no shrinking, a `cc` token encodes the failing case's RNG seed in
+//! its first 16 hex digits (replaying the seed regenerates the exact
+//! input) rather than a serialized shrunk value; tokens written by the
+//! real proptest are still consumed seed-wise, which keeps the replay
+//! deterministic even if it no longer reproduces the original input. The
+//! regression path resolves relative to the test binary's working
+//! directory (the package root under `cargo test`), so persistence is
+//! best-effort: an unwritable path is reported, never fatal.
 
 pub mod strategy {
     //! Strategy trait and combinators.
@@ -264,6 +276,9 @@ pub mod strategy {
 pub mod test_runner {
     //! The case runner behind the `proptest!` macro.
 
+    use std::io::Write as _;
+    use std::path::{Path, PathBuf};
+
     use rand::rngs::SmallRng;
     use rand::{RngCore, SeedableRng};
 
@@ -314,16 +329,124 @@ pub mod test_runner {
         F: FnMut(S::Value),
     {
         for case in 0..config.cases {
-            // A fixed, seed-stable stream keeps failures reproducible.
-            let seed = 0x5EED_0000_0000_0000u64 ^ u64::from(case).wrapping_mul(0x9E37_79B9);
-            let mut rng = TestRng::seed_from_u64(seed);
-            let value = strategy.generate(&mut rng);
-            let header = format!("proptest case {case} (seed {seed:#x}): {value:?}");
-            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(value)));
-            if let Err(panic) = result {
-                eprintln!("failing {header}");
-                std::panic::resume_unwind(panic);
+            run_case(
+                case_seed(case),
+                &format!("case {case}"),
+                strategy,
+                &mut f,
+                None,
+            );
+        }
+    }
+
+    /// [`run`] with regression persistence — what the `proptest!` macro
+    /// expands to. Seeds recorded in `source_file`'s paired
+    /// `.proptest-regressions` file replay before any fresh case, and a
+    /// failing fresh case appends its seed there before the panic
+    /// propagates.
+    pub fn run_persisted<S, F>(config: &ProptestConfig, strategy: &S, source_file: &str, mut f: F)
+    where
+        S: Strategy,
+        S::Value: std::fmt::Debug,
+        F: FnMut(S::Value),
+    {
+        let path = regression_path(source_file);
+        for (i, seed) in load_regression_seeds(&path).into_iter().enumerate() {
+            run_case(seed, &format!("regression {i}"), strategy, &mut f, None);
+        }
+        for case in 0..config.cases {
+            run_case(
+                case_seed(case),
+                &format!("case {case}"),
+                strategy,
+                &mut f,
+                Some(&path),
+            );
+        }
+    }
+
+    /// The fixed, seed-stable per-case stream that keeps failures
+    /// reproducible across runs and hosts.
+    fn case_seed(case: u32) -> u64 {
+        0x5EED_0000_0000_0000u64 ^ u64::from(case).wrapping_mul(0x9E37_79B9)
+    }
+
+    fn run_case<S, F>(seed: u64, label: &str, strategy: &S, f: &mut F, persist_to: Option<&Path>)
+    where
+        S: Strategy,
+        S::Value: std::fmt::Debug,
+        F: FnMut(S::Value),
+    {
+        let mut rng = TestRng::seed_from_u64(seed);
+        let value = strategy.generate(&mut rng);
+        let header = format!("proptest {label} (seed {seed:#x}): {value:?}");
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(value)));
+        if let Err(panic) = result {
+            eprintln!("failing {header}");
+            if let Some(path) = persist_to {
+                persist_regression_seed(path, seed, &header);
             }
+            std::panic::resume_unwind(panic);
+        }
+    }
+
+    /// The regression file paired with a source file — proptest's
+    /// convention: `tests/foo.rs` → `tests/foo.proptest-regressions`.
+    pub fn regression_path(source_file: &str) -> PathBuf {
+        Path::new(source_file).with_extension("proptest-regressions")
+    }
+
+    /// Parses the replay seeds out of a regression file: every `cc <hex>`
+    /// line contributes the u64 encoded by its first 16 hex digits.
+    /// Comments, blank lines and an unreadable file yield nothing.
+    pub fn load_regression_seeds(path: &Path) -> Vec<u64> {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return Vec::new();
+        };
+        let mut seeds = Vec::new();
+        for line in text.lines() {
+            let Some(rest) = line.trim_start().strip_prefix("cc ") else {
+                continue;
+            };
+            let token: String = rest
+                .trim_start()
+                .chars()
+                .take_while(char::is_ascii_hexdigit)
+                .collect();
+            if token.len() >= 16 {
+                if let Ok(seed) = u64::from_str_radix(&token[..16], 16) {
+                    seeds.push(seed);
+                }
+            }
+        }
+        seeds
+    }
+
+    fn persist_regression_seed(path: &Path, seed: u64, header: &str) {
+        let preamble = if path.exists() {
+            ""
+        } else {
+            "# Seeds for failure cases proptest has generated in the past. It is\n\
+             # automatically read and these particular cases re-run before any\n\
+             # novel cases are generated.\n\
+             #\n\
+             # It is recommended to check this file in to source control so that\n\
+             # everyone who runs the test benefits from these saved cases.\n"
+        };
+        // Pad the seed to the real crate's 64-hex-digit token width so the
+        // two formats stay interchangeable (only the first 16 digits carry
+        // replay information here).
+        let line = format!("{preamble}cc {seed:016x}{:0<48} # {header}\n", "");
+        let written = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .and_then(|mut fh| fh.write_all(line.as_bytes()));
+        if let Err(e) = written {
+            eprintln!(
+                "proptest: could not persist regression seed to {}: {e}",
+                path.display()
+            );
         }
     }
 }
@@ -481,7 +604,7 @@ macro_rules! __proptest_items {
         fn $name() {
             let config = $config;
             let strategy = ($($strategy,)+);
-            $crate::test_runner::run(&config, &strategy, |($($pat,)+)| $body);
+            $crate::test_runner::run_persisted(&config, &strategy, file!(), |($($pat,)+)| $body);
         }
         $crate::__proptest_items! { ($config) $($rest)* }
     };
@@ -539,6 +662,76 @@ mod tests {
             let t = strat.generate(&mut rng);
             assert!(depth(&t) <= 5, "depth bound violated: {t:?}");
         }
+    }
+
+    #[test]
+    fn regression_parsing_takes_the_first_16_hex_digits() {
+        use crate::test_runner::{load_regression_seeds, regression_path};
+        let path = regression_path("tests/properties.rs");
+        assert_eq!(
+            path,
+            std::path::PathBuf::from("tests/properties.proptest-regressions")
+        );
+
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/tmp");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("parse.proptest-regressions");
+        std::fs::write(
+            &file,
+            "# comment line\n\
+             \n\
+             cc 906fdeb07f0d79f084a5dca23dee6e1908fa96433e5174e56b19c000ea6c7ab9 # shrinks to x\n\
+             cc deadbeef # too short to carry a seed\n\
+             not a cc line\n\
+             cc 0000000000000010 # minimal 16-digit token\n",
+        )
+        .unwrap();
+        assert_eq!(
+            load_regression_seeds(&file),
+            vec![0x906f_deb0_7f0d_79f0, 0x10]
+        );
+        assert!(load_regression_seeds(&dir.join("absent.proptest-regressions")).is_empty());
+        std::fs::remove_file(&file).unwrap();
+    }
+
+    #[test]
+    fn failing_case_persists_its_seed_and_replays_first() {
+        use crate::test_runner::{load_regression_seeds, run_persisted, ProptestConfig};
+
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/tmp");
+        std::fs::create_dir_all(&dir).unwrap();
+        let source = dir.join("persist.rs");
+        let file = dir.join("persist.proptest-regressions");
+        let _ = std::fs::remove_file(&file);
+
+        // Every case fails: the runner must persist the first seed before
+        // re-raising the panic.
+        let config = ProptestConfig::with_cases(4);
+        let strategy = (0u64..1 << 60,);
+        let outcome = std::panic::catch_unwind(|| {
+            run_persisted(&config, &strategy, source.to_str().unwrap(), |(_x,)| {
+                panic!("always fails")
+            });
+        });
+        assert!(outcome.is_err());
+        let seeds = load_regression_seeds(&file);
+        assert_eq!(seeds, vec![0x5EED_0000_0000_0000]);
+
+        // The recorded case replays before fresh cases and regenerates the
+        // exact same input.
+        let expected = {
+            let mut rng = crate::test_runner::TestRng::seed_from_u64(seeds[0]);
+            strategy.generate(&mut rng)
+        };
+        let mut replayed = Vec::new();
+        run_persisted(&config, &strategy, source.to_str().unwrap(), |(x,)| {
+            replayed.push(x);
+        });
+        assert_eq!(replayed.len(), 4 + 1);
+        assert_eq!(replayed[0], expected.0);
+        // Passing runs never grow the file.
+        assert_eq!(load_regression_seeds(&file), seeds);
+        std::fs::remove_file(&file).unwrap();
     }
 
     proptest! {
