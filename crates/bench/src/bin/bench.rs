@@ -97,6 +97,9 @@ fn collect_metrics(
         Mapper::soi(MapConfig {
             parallelism,
             cone_cache,
+            // Bench circuits sit below the production gate threshold; the
+            // cached mode must still exercise the cache tiers it measures.
+            cone_cache_min_gates: 0,
             trace,
             ..MapConfig::default()
         })
@@ -208,6 +211,7 @@ fn soi_mapper(parallelism: Parallelism, cone_cache: bool) -> Mapper {
     Mapper::soi(MapConfig {
         parallelism,
         cone_cache,
+        cone_cache_min_gates: 0,
         ..MapConfig::default()
     })
 }

@@ -30,7 +30,7 @@ use std::fmt;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use soi_domino_ir::{DominoError, TransistorCounts};
-use soi_mapper::MappingResult;
+use soi_mapper::{MappingResult, PartialMapping};
 use soi_netlist::{Network, NetworkError};
 use soi_pbe::hazard;
 use soi_unate::{verify, UnateError, UnateNetwork};
@@ -100,6 +100,12 @@ pub enum AuditError {
     NetworkSim(NetworkError),
     /// Evaluating the mapped circuit failed.
     CircuitEval(DominoError),
+    /// A salvaged [`PartialMapping`](soi_mapper::PartialMapping) violates
+    /// its own accounting invariants.
+    PartialInconsistent {
+        /// The violated invariant.
+        what: String,
+    },
 }
 
 impl fmt::Display for AuditError {
@@ -135,6 +141,9 @@ impl fmt::Display for AuditError {
             ),
             AuditError::NetworkSim(e) => write!(f, "source simulation failed: {e}"),
             AuditError::CircuitEval(e) => write!(f, "circuit evaluation failed: {e}"),
+            AuditError::PartialInconsistent { what } => {
+                write!(f, "salvaged partial mapping is inconsistent: {what}")
+            }
         }
     }
 }
@@ -238,6 +247,58 @@ pub fn check_pipeline(
         equivalence_rounds: cfg.equivalence_rounds,
         vectors_checked,
     })
+}
+
+/// Checks a salvaged [`PartialMapping`]'s internal accounting: unit counts
+/// are conserved and the frontier is exactly the cut between completed and
+/// unfinished work.
+///
+/// Invariants checked:
+///
+/// * `completed ≤ total` and `salvaged ≤ completed`;
+/// * the frontier is empty exactly when every unit completed (an interrupt
+///   observed after the last unit finished);
+/// * the frontier fits in the unfinished remainder, and its indices are
+///   in range, sorted, and distinct.
+///
+/// # Errors
+///
+/// Returns [`AuditError::PartialInconsistent`] naming the first violated
+/// invariant.
+pub fn check_partial(partial: &PartialMapping) -> Result<(), AuditError> {
+    let fail = |what: String| Err(AuditError::PartialInconsistent { what });
+    let total = partial.total_units();
+    let completed = partial.completed_units();
+    let salvaged = partial.salvaged_units();
+    if completed > total {
+        return fail(format!("{completed} completed units out of {total}"));
+    }
+    if salvaged > completed {
+        return fail(format!(
+            "{salvaged} salvaged units but only {completed} completed"
+        ));
+    }
+    let frontier = partial.frontier();
+    if frontier.is_empty() != (completed == total) {
+        return fail(format!(
+            "frontier of {} units with {completed}/{total} completed",
+            frontier.len()
+        ));
+    }
+    if frontier.len() > total - completed {
+        return fail(format!(
+            "frontier of {} units exceeds the {} unfinished",
+            frontier.len(),
+            total - completed
+        ));
+    }
+    if let Some(&u) = frontier.iter().find(|&&u| u >= total) {
+        return fail(format!("frontier unit {u} out of range ({total} units)"));
+    }
+    if let Some(w) = frontier.windows(2).find(|w| w[0] >= w[1]) {
+        return fail(format!("frontier not sorted-unique at {}..{}", w[0], w[1]));
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -19,8 +19,10 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use soi_domino_ir::{DominoCircuit, GateId, JunctionRef, Pdn, Signal};
+use soi_mapper::MapConfig;
 use soi_netlist::{Network, Node, NodeId};
 use soi_pbe::hazard;
+use soi_unate::{convert, Options};
 
 // ---- Network mutators ----------------------------------------------------
 
@@ -143,6 +145,41 @@ pub fn duplicate_input_name(network: &Network, seed: u64) -> Option<Network> {
     let mut mutated = network.clone();
     mutated.set_node_unchecked(victim, Node::Input { name });
     checked_invalid(mutated)
+}
+
+// ---- Mapper job-control mutators -----------------------------------------
+
+/// Poisons one seeded-random cone unit of `network`'s unate form: the
+/// returned config makes any mapping run of `network` panic the worker
+/// that picks up that unit (see
+/// [`poison_node`](soi_mapper::MapConfig::poison_node)), exercising panic
+/// containment end-to-end. The fault is guaranteed effectful and
+/// deterministic: the poisoned node is the unit's *root*, every schedule
+/// visits each unit exactly once, and the panic fires before any solving —
+/// so the same unit blows up on serial, parallel and cached runs alike,
+/// and the mapper must surface it as
+/// [`MapError::WorkerPanicked`](soi_mapper::MapError) for that unit index.
+///
+/// Returns the poisoned config together with the unit's partition index;
+/// `None` when the network does not convert under the config's output
+/// phase (nothing to poison).
+pub fn poison_unit(config: &MapConfig, network: &Network, seed: u64) -> Option<(MapConfig, usize)> {
+    let unate = convert(
+        network,
+        &Options {
+            output_phase: config.output_phase,
+        },
+    )
+    .ok()?;
+    let partition = unate.cone_partition();
+    if partition.units().is_empty() {
+        return None;
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let unit_index = rng.gen_range(0..partition.units().len());
+    let mut poisoned = *config;
+    poisoned.poison_node = Some(partition.unit(unit_index).root().index() as u32);
+    Some((poisoned, unit_index))
 }
 
 // ---- BLIF byte-stream mutators -------------------------------------------

@@ -46,5 +46,5 @@ pub mod audit;
 pub mod inject;
 pub mod pipeline;
 
-pub use audit::{check_pipeline, AuditConfig, AuditError, AuditReport};
+pub use audit::{check_partial, check_pipeline, AuditConfig, AuditError, AuditReport};
 pub use pipeline::{Pipeline, PipelineReport, Stage, StageError, StageFailure};

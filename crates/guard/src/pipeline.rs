@@ -152,6 +152,9 @@ pub struct PipelineReport {
     /// Whether the run needed the graceful-degradation retry (or the
     /// mapper's own in-config degradation fired).
     pub degraded: bool,
+    /// Interrupted map attempts recovered by resuming from their salvaged
+    /// partial results (0 on a clean first attempt).
+    pub salvage_retries: u32,
     /// The audit report, when auditing was enabled.
     pub audit: Option<AuditReport>,
 }
@@ -163,18 +166,20 @@ pub struct Pipeline {
     mapper: Mapper,
     unate_options: Options,
     degrade_on_unmappable: bool,
+    salvage_retries: u32,
     audit: Option<AuditConfig>,
 }
 
 impl Pipeline {
     /// Creates a pipeline around a mapper, with default unate-conversion
     /// options, auditing enabled at [`AuditConfig::default`], and no
-    /// degradation retry.
+    /// degradation or salvage retries.
     pub fn new(mapper: Mapper) -> Pipeline {
         Pipeline {
             mapper,
             unate_options: Options::default(),
             degrade_on_unmappable: false,
+            salvage_retries: 0,
             audit: Some(AuditConfig::default()),
         }
     }
@@ -192,6 +197,22 @@ impl Pipeline {
     /// the offending nodes instead of failing the flow.
     pub fn with_degradation(mut self, enabled: bool) -> Pipeline {
         self.degrade_on_unmappable = enabled;
+        self
+    }
+
+    /// Allows up to `retries` map-stage resumes from salvaged partial
+    /// results: when the map stage is interrupted (cancellation trip,
+    /// deadline, contained worker panic) and the error carries a non-empty
+    /// [`PartialMapping`](soi_mapper::PartialMapping), the stage reruns
+    /// with the salvaged cone cache attached — re-solving only what the
+    /// interrupt cut off — instead of failing the flow. The deterministic
+    /// `cancel_after_steps` test trip is cleared on resume (it would
+    /// re-fire identically); a wall-clock deadline grants each attempt a
+    /// fresh allowance over strictly less work, and a tripped
+    /// [`CancelToken`](soi_mapper::CancelToken) stays honored — the resume
+    /// fails fast.
+    pub fn with_salvage_retry(mut self, retries: u32) -> Pipeline {
+        self.salvage_retries = retries;
         self
     }
 
@@ -230,30 +251,50 @@ impl Pipeline {
                 .map_err(|e| ctx(Stage::UnateConvert, StageFailure::Unate(e)))?
         };
 
-        // Stage 3: map, with the optional degradation retry. The span
-        // covers the whole stage; the mapper opens its own `dp` /
+        // Stage 3: map, with the optional degradation and salvage retries.
+        // The span covers the whole stage; the mapper opens its own `dp` /
         // `reconstruct` / `pbe-postprocess` child spans inside it.
         let map_span = trace.span(TraceStage::Map);
-        let (result, retried) = match self.mapper.run_unate(&unate) {
-            Ok(result) => (result, false),
-            Err(MapError::Unmappable { .. })
-                if self.degrade_on_unmappable && !self.mapper.config().degrade_unmappable =>
-            {
-                let mut config = *self.mapper.config();
-                config.degrade_unmappable = true;
-                let retry = match self.mapper.algorithm() {
-                    Algorithm::DominoMap => Mapper::baseline(config),
-                    Algorithm::RsMap => Mapper::rearrange_stacks(config),
-                    Algorithm::SoiDominoMap => Mapper::soi(config),
-                };
-                let result = retry
-                    .run_unate(&unate)
-                    .map_err(|e| ctx(Stage::Map, StageFailure::Map(e)))?;
-                (result, true)
+        let rebuild = |algorithm: Algorithm, config| match algorithm {
+            Algorithm::DominoMap => Mapper::baseline(config),
+            Algorithm::RsMap => Mapper::rearrange_stacks(config),
+            Algorithm::SoiDominoMap => Mapper::soi(config),
+        };
+        let mut mapper = self.mapper.clone();
+        let mut degrade_retried = false;
+        let mut salvage_retries = 0u32;
+        let result = loop {
+            match mapper.run_unate(&unate) {
+                Ok(result) => break result,
+                Err(MapError::Unmappable { .. })
+                    if self.degrade_on_unmappable && !mapper.config().degrade_unmappable =>
+                {
+                    // Graceful degradation: force gate boundaries at the
+                    // offending nodes instead of failing the flow.
+                    let mut config = *mapper.config();
+                    config.degrade_unmappable = true;
+                    mapper = rebuild(mapper.algorithm(), config);
+                    degrade_retried = true;
+                }
+                Err(e) => {
+                    let salvage = e.partial().filter(|p| !p.is_empty()).map(|p| p.cache());
+                    match salvage {
+                        Some(cache) if salvage_retries < self.salvage_retries => {
+                            salvage_retries += 1;
+                            let mut config = *mapper.config();
+                            // The deterministic test trip would re-fire at
+                            // the same step count; the deadline and token
+                            // stay honored (see `with_salvage_retry`).
+                            config.limits.cancel_after_steps = None;
+                            mapper = rebuild(mapper.algorithm(), config).with_cone_cache(cache);
+                        }
+                        _ => return Err(ctx(Stage::Map, StageFailure::Map(e))),
+                    }
+                }
             }
-            Err(e) => return Err(ctx(Stage::Map, StageFailure::Map(e))),
         };
         map_span.finish();
+        let retried = degrade_retried;
 
         // Stage 4: discharge-protect — the circuit must be structurally
         // sound and every committed discharge point covered.
@@ -293,6 +334,7 @@ impl Pipeline {
             unate,
             result,
             degraded,
+            salvage_retries,
             audit: audit_report,
         })
     }
@@ -460,6 +502,76 @@ mod tests {
             .expect_err("unparsable BLIF must fail");
         assert_eq!(err.stage, Stage::Parse);
         assert!(err.to_string().contains("parse"));
+    }
+
+    /// Several disjoint output cones, so an interrupt midway through the
+    /// serial unit walk leaves completed units to salvage.
+    fn many_cones(outputs: usize) -> Network {
+        let mut n = Network::new("many-cones");
+        let inputs: Vec<_> = (0..outputs + 3)
+            .map(|i| n.add_input(format!("i{i}")))
+            .collect();
+        for o in 0..outputs {
+            let a = n.and2(inputs[o], inputs[o + 1]);
+            let b = n.or2(a, inputs[o + 2]);
+            let c = n.and2(b, inputs[o + 3]);
+            n.add_output(format!("f{o}"), c);
+        }
+        n
+    }
+
+    #[test]
+    fn salvage_retry_resumes_an_interrupted_map_stage() {
+        let network = many_cones(8);
+        let clean = Pipeline::new(Mapper::soi(MapConfig::default()))
+            .run(&network)
+            .expect("clean run passes");
+        assert_eq!(clean.salvage_retries, 0);
+        let steps = clean.result.combine_steps;
+        assert!(steps > 4, "test circuit must do real combination work");
+
+        let mut config = MapConfig::default();
+        config.limits.cancel_after_steps = Some(steps / 2);
+        let interruptible = Pipeline::new(Mapper::soi(config));
+
+        // Without the retry the interrupt fails the stage (typed).
+        let err = interruptible.run(&network).expect_err("trip fails the map");
+        assert_eq!(err.stage, Stage::Map);
+        match &err.failure {
+            StageFailure::Map(e @ MapError::Cancelled { .. }) => {
+                let partial = e.partial().expect("interrupts carry salvage");
+                assert!(!partial.is_empty(), "midway trip must complete units");
+            }
+            other => panic!("expected a cancelled map failure, got {other}"),
+        }
+
+        // With it, the stage resumes from the salvage and the flow (audit
+        // included) completes identically to the clean run.
+        let report = interruptible
+            .with_salvage_retry(2)
+            .run(&network)
+            .expect("salvage retry recovers the flow");
+        assert_eq!(report.salvage_retries, 1);
+        assert_eq!(report.result.combine_steps, clean.result.combine_steps);
+        assert_eq!(report.result.counts, clean.result.counts);
+        assert!(report.audit.is_some());
+    }
+
+    #[test]
+    fn salvage_retry_honors_a_tripped_cancel_token() {
+        let token = soi_mapper::CancelToken::new();
+        token.cancel();
+        let mut config = MapConfig::default();
+        config.limits.cancel = token;
+        let err = Pipeline::new(Mapper::soi(config))
+            .with_salvage_retry(3)
+            .run(&many_cones(4))
+            .expect_err("a tripped token is a command, not a hiccup");
+        assert_eq!(err.stage, Stage::Map);
+        assert!(matches!(
+            err.failure,
+            StageFailure::Map(MapError::Cancelled { .. })
+        ));
     }
 
     #[test]

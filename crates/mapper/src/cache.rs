@@ -383,7 +383,13 @@ fn fingerprint(config: &MapConfig, algorithm: Algorithm) -> u64 {
     config.output_phase.hash(&mut h);
     config.allow_duplication.hash(&mut h);
     config.degrade_unmappable.hash(&mut h);
-    config.limits.hash(&mut h);
+    // Of the limits, only the semantic budgets participate: the job-control
+    // fields (deadline, cancel token, step trip) interrupt a run without
+    // changing any solution, and a salvage resume must fingerprint
+    // identically to the interrupted run it is reviving.
+    config.limits.max_gates.hash(&mut h);
+    config.limits.max_tuples_per_node.hash(&mut h);
+    config.limits.max_combine_steps.hash(&mut h);
     h.finish()
 }
 
@@ -415,13 +421,19 @@ pub(crate) struct ConeEntry {
 impl ConeEntry {
     /// Snapshots a just-solved cone from the solution table.
     /// `degraded` is the slice of this unit's degraded node ids.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError::CacheCorrupt`](crate::MapError::CacheCorrupt)
+    /// when a degraded node id falls outside the cone being captured — a
+    /// corrupt shape must surface as a typed error, never panic a worker.
     pub(crate) fn capture(
         shape: &ConeShape,
         table: &SolTable,
         degraded: &[UId],
         steps: u64,
         level_base: u32,
-    ) -> ConeEntry {
+    ) -> Result<ConeEntry, crate::MapError> {
         let sols: Vec<NodeSol> = shape
             .canon
             .iter()
@@ -442,15 +454,20 @@ impl ConeEntry {
             }
         }
         bnd_class.sort_unstable();
-        let pos_of = |id: UId| -> u32 {
+        let pos_of = |id: UId| -> Result<u32, crate::MapError> {
             let idx = id.index() as u32;
             let at = canon_pos
                 .binary_search_by_key(&idx, |&(i, _)| i)
-                .expect("degraded node inside its own unit");
-            canon_pos[at].1
+                .map_err(|_| crate::MapError::CacheCorrupt {
+                    what: format!("degraded node {idx} is outside the cone being captured"),
+                })?;
+            Ok(canon_pos[at].1)
         };
-        let degraded_pos = degraded.iter().map(|&id| pos_of(id)).collect();
-        ConeEntry {
+        let degraded_pos = degraded
+            .iter()
+            .map(|&id| pos_of(id))
+            .collect::<Result<Vec<u32>, _>>()?;
+        Ok(ConeEntry {
             peak_candidates: sols
                 .iter()
                 .map(|s| s.exported.total_candidates())
@@ -463,7 +480,7 @@ impl ConeEntry {
             degraded_pos,
             steps,
             level_base,
-        }
+        })
     }
 
     /// Records the node kinds of the capture cone (split from `capture`
@@ -705,6 +722,63 @@ mod tests {
             ..base
         };
         assert_eq!(f, fingerprint(&uncached, Algorithm::SoiDominoMap));
+    }
+
+    #[test]
+    fn fingerprint_ignores_job_control() {
+        // A salvage resume clears the interrupt knobs and attaches the
+        // partial cache; its fingerprint must match the interrupted run's
+        // or every salvaged entry would be invisible.
+        let base = MapConfig::default();
+        let f = fingerprint(&base, Algorithm::SoiDominoMap);
+        let controlled = MapConfig {
+            limits: crate::Limits {
+                deadline: Some(std::time::Duration::from_millis(5)),
+                cancel: crate::CancelToken::new(),
+                cancel_after_steps: Some(100),
+                ..base.limits
+            },
+            cone_cache_min_gates: 0,
+            poison_node: Some(3),
+            ..base
+        };
+        assert_eq!(f, fingerprint(&controlled, Algorithm::SoiDominoMap));
+        // The semantic budgets still participate.
+        let tighter = MapConfig {
+            limits: crate::Limits {
+                max_tuples_per_node: 17,
+                ..base.limits
+            },
+            ..base
+        };
+        assert_ne!(f, fingerprint(&tighter, Algorithm::SoiDominoMap));
+    }
+
+    #[test]
+    fn capture_surfaces_foreign_degraded_nodes_as_typed_corruption() {
+        use soi_unate::{convert, Options, UId};
+
+        let mut n = soi_netlist::Network::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let f = n.and2(a, b);
+        n.add_output("f", f);
+        let unate = convert(&n, &Options::default()).expect("converts");
+        let partition = unate.cone_partition();
+        let unit = partition.unit(0);
+        let shape = unate.cone_shape(unit);
+        let table = SolTable::new(unate.len());
+        for &id in unit.nodes() {
+            table.set(id, NodeSol::default());
+        }
+        let foreign = UId::from_index(unate.len() + 7);
+        let err = match ConeEntry::capture(&shape, &table, &[foreign], 0, 0) {
+            Err(e) => e,
+            Ok(_) => panic!("a degraded id outside the cone is corruption"),
+        };
+        assert!(matches!(err, crate::MapError::CacheCorrupt { .. }), "{err}");
+        // A well-formed capture still succeeds.
+        assert!(ConeEntry::capture(&shape, &table, &[unit.root()], 0, 0).is_ok());
     }
 
     #[test]

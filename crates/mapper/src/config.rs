@@ -1,5 +1,9 @@
+use std::time::Duration;
+
 use soi_trace::TraceHandle;
 use soi_unate::OutputPhase;
+
+use crate::job::CancelToken;
 
 /// Which mapping algorithm a [`Mapper`](crate::Mapper) runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -154,6 +158,24 @@ pub struct Limits {
     /// Maximum number of candidate-combination steps summed over the whole
     /// run. Exceeding it aborts with `BudgetExceeded`.
     pub max_combine_steps: u64,
+    /// Wall-clock allowance for one run, measured from DP entry. Expiring
+    /// aborts with
+    /// [`MapError::DeadlineExceeded`](crate::MapError::DeadlineExceeded)
+    /// carrying a salvaged [`PartialMapping`](crate::PartialMapping).
+    /// `None` (the default) never trips.
+    pub deadline: Option<Duration>,
+    /// Cooperative cancellation token shared with a controller thread.
+    /// Tripping it aborts the run with
+    /// [`MapError::Cancelled`](crate::MapError::Cancelled) carrying a
+    /// salvaged [`PartialMapping`](crate::PartialMapping). The default
+    /// [`CancelToken::none`] never trips.
+    pub cancel: CancelToken,
+    /// Deterministic cancellation trip for tests: cancel once the global
+    /// combine-step count reaches this value. Unlike the wall-clock
+    /// deadline this interrupts at a schedule-independent point, which is
+    /// what the salvage bit-identity suite keys on. `None` (the default)
+    /// never trips.
+    pub cancel_after_steps: Option<u64>,
 }
 
 impl Default for Limits {
@@ -162,6 +184,9 @@ impl Default for Limits {
             max_gates: 1_000_000,
             max_tuples_per_node: 1024,
             max_combine_steps: 100_000_000,
+            deadline: None,
+            cancel: CancelToken::none(),
+            cancel_after_steps: None,
         }
     }
 }
@@ -230,8 +255,24 @@ pub struct MapConfig {
     /// solution instead of re-running the per-node solver. Results are
     /// bit-identical with the cache on or off; on repetitive circuits
     /// (adders, multipliers, crypto rounds) most cones are cache hits.
-    /// On by default.
+    /// On by default, but gated by [`MapConfig::cone_cache_min_gates`].
     pub cone_cache: bool,
+    /// Minimum unate gate count before `cone_cache` actually builds a
+    /// per-run cache. On small circuits the hashing and capture overhead
+    /// outruns the re-solve it saves (`BENCH_pr5.json` measured
+    /// `speedup_cached` of 0.71–0.92 across the registry), so the cache is
+    /// effectively off below this threshold. Set to `0` to force it on
+    /// regardless of size. A cache *attached* via
+    /// [`Mapper::with_cone_cache`](crate::Mapper::with_cone_cache) always
+    /// bypasses the threshold — explicit sharing (warm reruns, salvage
+    /// resume) is the caller's call.
+    pub cone_cache_min_gates: usize,
+    /// Fault-injection knob for the containment test suite: panic the
+    /// worker solving whichever cone unit contains this unate node index.
+    /// The panic is contained by the scheduler and surfaces as
+    /// [`MapError::WorkerPanicked`](crate::MapError::WorkerPanicked). Never
+    /// set in production configs; `None` by default.
+    pub poison_node: Option<u32>,
     /// When a node has no `(W ≤ w_max, H ≤ h_max)` combination, force a
     /// gate boundary there by combining the children's single-gate
     /// candidates even though the resulting shape violates the limits, and
@@ -265,6 +306,8 @@ impl Default for MapConfig {
             limits: Limits::default(),
             parallelism: Parallelism::default(),
             cone_cache: true,
+            cone_cache_min_gates: MapConfig::DEFAULT_CONE_CACHE_MIN_GATES,
+            poison_node: None,
             degrade_unmappable: false,
             trace: TraceHandle::off(),
         }
@@ -272,6 +315,12 @@ impl Default for MapConfig {
 }
 
 impl MapConfig {
+    /// Default [`MapConfig::cone_cache_min_gates`]: every registry
+    /// benchmark sits below it (the largest, `des`, converts to a few
+    /// thousand unate gates), matching the `BENCH_pr5.json` measurement
+    /// that the cache only pays off past repetitive-netlist scale.
+    pub const DEFAULT_CONE_CACHE_MIN_GATES: usize = 10_000;
+
     /// The paper's depth-objective configuration.
     pub fn depth() -> MapConfig {
         MapConfig {
@@ -355,6 +404,20 @@ mod tests {
     #[test]
     fn cone_cache_is_on_by_default() {
         assert!(MapConfig::default().cone_cache);
+    }
+
+    #[test]
+    fn job_control_is_inert_by_default() {
+        let c = MapConfig::default();
+        assert_eq!(
+            c.cone_cache_min_gates,
+            MapConfig::DEFAULT_CONE_CACHE_MIN_GATES
+        );
+        assert!(c.poison_node.is_none());
+        assert!(c.limits.deadline.is_none());
+        assert!(c.limits.cancel_after_steps.is_none());
+        assert!(!c.limits.cancel.is_cancelled());
+        assert!(c.validate().is_ok());
     }
 
     #[test]

@@ -5,12 +5,17 @@
 //! a [`ConeCache`](crate::ConeCache) along the way.
 
 use std::cell::Cell;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::HashSet;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use soi_trace::{Counter, Gauge, Stage};
-use soi_unate::{ConeUnit, Literal, ShapeScratch, UId, UNode, UnateNetwork};
+use soi_trace::{Counter, Gauge, Stage, TraceHandle};
+use soi_unate::{ConePartition, ConeUnit, Literal, ShapeScratch, UId, UNode, UnateNetwork};
 
 use crate::cache::{self, RunCache};
+use crate::job::{CancelToken, PartialMapping};
 use crate::tuple::{Cand, Form, GateSol, NodeSol, TupleKey};
 use crate::{Algorithm, ConeCache, Cost, CostModel, Footing, MapConfig, MapError};
 
@@ -46,16 +51,46 @@ pub(crate) struct Solution {
 /// execution (a cache hit charges the exact step count the solver would
 /// have performed); only which node reports the exhaustion first may
 /// differ under contention.
+///
+/// The budget doubles as the run's **interrupt poll point**: the shared
+/// cancellation token, the deterministic step trip and the wall-clock
+/// deadline from [`crate::Limits`] are checked here — once per
+/// [`CHECK_STRIDE`] combine steps inside the inner loop, plus at every
+/// cone-unit boundary — so every worker observes an interrupt within a
+/// bounded amount of work without putting an `Instant::now()` on the hot
+/// path.
 pub(crate) struct Budget {
     steps: AtomicU64,
     max_steps: u64,
+    cancel: CancelToken,
+    /// `Limits::cancel_after_steps`, or `u64::MAX` when unset.
+    cancel_after: u64,
+    /// `(fire instant, configured allowance)` when a deadline is set.
+    deadline: Option<(Instant, Duration)>,
+    started: Instant,
+    /// First-trip latch so `cancels_observed` counts interrupts, not polls.
+    tripped: AtomicBool,
+    trace: TraceHandle,
 }
+
+/// Combine steps between interrupt polls. Coarse enough that the poll
+/// (an atomic load, occasionally a clock read) vanishes next to the
+/// candidate combination work of a stride; fine enough that a cancel or
+/// deadline is observed within microseconds on every schedule.
+const CHECK_STRIDE: u64 = 1024;
 
 impl Budget {
     pub(crate) fn new(config: &MapConfig) -> Budget {
+        let started = Instant::now();
         Budget {
             steps: AtomicU64::new(0),
             max_steps: config.limits.max_combine_steps,
+            cancel: config.limits.cancel,
+            cancel_after: config.limits.cancel_after_steps.unwrap_or(u64::MAX),
+            deadline: config.limits.deadline.map(|d| (started + d, d)),
+            started,
+            tripped: AtomicBool::new(false),
+            trace: config.trace,
         }
     }
 
@@ -69,7 +104,8 @@ impl Budget {
     /// cumulative total (and with it budget-trip behaviour) identical to
     /// an uncached run.
     pub(crate) fn charge_many(&self, n: u64, node: UId) -> Result<(), MapError> {
-        let steps = self.steps.fetch_add(n, Ordering::Relaxed) + n;
+        let before = self.steps.fetch_add(n, Ordering::Relaxed);
+        let steps = before + n;
         if steps > self.max_steps {
             return Err(MapError::BudgetExceeded {
                 what: format!(
@@ -78,7 +114,53 @@ impl Budget {
                 ),
             });
         }
+        // Poll interrupts once per stride — and always when this charge
+        // crossed the deterministic test trip, so `cancel_after_steps`
+        // interrupts at the exact step count regardless of stride phase.
+        if before / CHECK_STRIDE != steps / CHECK_STRIDE || steps >= self.cancel_after {
+            self.check_interrupt()?;
+        }
         Ok(())
+    }
+
+    /// Polls the run's interrupt sources: the cancellation token, the
+    /// deterministic step trip, then the wall-clock deadline. Called from
+    /// the charge stride, at cone-unit boundaries, and by the scheduler's
+    /// worker loop.
+    pub(crate) fn check_interrupt(&self) -> Result<(), MapError> {
+        if self.cancel.is_cancelled() {
+            self.trip();
+            return Err(MapError::Cancelled {
+                what: "cancellation token tripped".into(),
+                partial: None,
+            });
+        }
+        if self.steps.load(Ordering::Relaxed) >= self.cancel_after {
+            self.trip();
+            return Err(MapError::Cancelled {
+                what: format!("deterministic trip at {} combine steps", self.cancel_after),
+                partial: None,
+            });
+        }
+        if let Some((at, allowance)) = self.deadline {
+            if Instant::now() >= at {
+                self.trip();
+                return Err(MapError::DeadlineExceeded {
+                    elapsed: self.started.elapsed(),
+                    deadline: allowance,
+                    partial: None,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Counts the first observed interrupt (workers racing to the same
+    /// trip report one cancellation, not one per worker).
+    fn trip(&self) {
+        if !self.tripped.swap(true, Ordering::Relaxed) {
+            self.trace.count(Counter::CancelsObserved, 1);
+        }
     }
 
     /// Total steps charged so far across all workers.
@@ -146,6 +228,11 @@ impl<'a> NodeCtx<'a> {
 
     fn steps_so_far(&self) -> u64 {
         self.steps.get()
+    }
+
+    /// Polls the run's interrupt sources (see [`Budget::check_interrupt`]).
+    pub(crate) fn check_interrupt(&self) -> Result<(), MapError> {
+        self.budget.check_interrupt()
     }
 }
 
@@ -220,6 +307,22 @@ impl SolTable {
             .map(|slot| slot.into_inner().expect("every node solved"))
             .collect()
     }
+
+    /// Exclusive access to a solved slot — the salvage pass uses it to
+    /// backfill cache profiles on the nodes of completed units after an
+    /// interrupted run (when the workers are gone and the table may be
+    /// only partially filled, so [`into_sols`](SolTable::into_sols) is off
+    /// the table).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` has not been solved.
+    fn get_mut(&mut self, id: UId) -> &mut NodeSol {
+        self.slots[id.index()]
+            .get_mut()
+            .as_mut()
+            .expect("every node of a completed unit is solved")
+    }
 }
 
 /// View of the already-solved nodes a solver may read. A thin wrapper over
@@ -272,6 +375,14 @@ where
     }
 }
 
+/// One cone unit a worker finished, with the combine steps it charged —
+/// the unit of account for partial-result salvage.
+#[derive(Clone, Copy)]
+pub(crate) struct CompletedUnit {
+    pub unit: u32,
+    pub steps: u64,
+}
+
 /// Per-worker accumulator merged into the [`Solution`] at the end.
 #[derive(Default)]
 pub(crate) struct UnitAcc {
@@ -279,6 +390,8 @@ pub(crate) struct UnitAcc {
     pub peak_candidates: usize,
     pub cache_hits: u64,
     pub cache_misses: u64,
+    /// Units this worker completed, in completion order.
+    pub completed: Vec<CompletedUnit>,
 }
 
 /// A worker's mutable state: scratch arenas plus the accumulator.
@@ -373,6 +486,18 @@ fn solve_unit<S: NodeSolver>(
     run_cache: Option<&RunCache<'_>>,
     state: &mut WorkerState,
 ) -> Result<(), MapError> {
+    if let Some(poisoned) = ctx.config.poison_node {
+        // Fault injection (see `MapConfig::poison_node`): blow up before
+        // any solving, on every schedule and cache mode alike, so the
+        // containment path is exercised deterministically.
+        if unit
+            .nodes()
+            .iter()
+            .any(|&id| id.index() == poisoned as usize)
+        {
+            panic!("injected fault: poisoned unate node {poisoned}");
+        }
+    }
     let Some(rc) = run_cache else {
         return solve_nodes(ctx, table, unate, solver, unit.nodes(), state, None);
     };
@@ -434,11 +559,65 @@ fn solve_unit<S: NodeSolver>(
             &state.acc.degraded[degraded_start..],
             steps,
             level_base,
-        )
+        )?
         .with_kinds(shape, unate),
     );
     state.shapes = shapes;
     Ok(())
+}
+
+/// Runs one cone unit with full job control: an interrupt poll at the
+/// unit boundary, panic containment around the solve, and completion
+/// tracking for salvage. Both schedules funnel through here.
+#[allow(clippy::too_many_arguments)]
+fn run_unit_isolated<S: NodeSolver>(
+    ctx: &NodeCtx<'_>,
+    table: &SolTable,
+    unate: &UnateNetwork,
+    unit: &ConeUnit,
+    solver: &S,
+    run_cache: Option<&RunCache<'_>>,
+    state: &mut WorkerState,
+    u: usize,
+) -> Result<(), MapError> {
+    ctx.check_interrupt()?;
+    let steps_before = ctx.steps_so_far();
+    // AssertUnwindSafe: on a caught panic the worker's in-progress unit
+    // state (scratch arenas, partially filled table slots) is abandoned —
+    // the salvage pass only ever reads units recorded as completed.
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        solve_unit(ctx, table, unate, unit, solver, run_cache, state)
+    }));
+    match outcome {
+        Ok(Ok(())) => {
+            state.acc.completed.push(CompletedUnit {
+                unit: u as u32,
+                steps: ctx.steps_so_far() - steps_before,
+            });
+            Ok(())
+        }
+        Ok(Err(e)) => Err(e),
+        Err(payload) => {
+            ctx.config.trace.count(Counter::PanicsContained, 1);
+            Err(MapError::WorkerPanicked {
+                unit: u,
+                payload: panic_text(payload.as_ref()),
+                partial: None,
+            })
+        }
+    }
+}
+
+/// Renders a caught panic payload as text (panics carry `&str` or
+/// `String` in practice; anything else gets a placeholder).
+pub(crate) fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
 }
 
 /// Runs a per-node solver over the whole network, serially or on the
@@ -477,14 +656,15 @@ pub(crate) fn run_dp<S: NodeSolver>(
         .parallelism
         .resolved_threads(hw, gates, partition.units().len())
         .clamp(1, partition.units().len().max(1));
-    let table = SolTable::new(unate.len());
+    let mut table = SolTable::new(unate.len());
     let run_cache = cone_cache.map(|c| RunCache::new(c, config, algorithm));
 
-    let accs: Vec<UnitAcc> = if threads <= 1 {
+    let (accs, outcome): (Vec<UnitAcc>, Result<(), MapError>) = if threads <= 1 {
         let ctx = NodeCtx::new(config, &model, &fanouts, &budget);
         let mut state = WorkerState::default();
-        for unit in partition.units() {
-            solve_unit(
+        let mut outcome = Ok(());
+        for (u, unit) in partition.units().iter().enumerate() {
+            if let Err(e) = run_unit_isolated(
                 &ctx,
                 &table,
                 unate,
@@ -492,15 +672,20 @@ pub(crate) fn run_dp<S: NodeSolver>(
                 &solver,
                 run_cache.as_ref(),
                 &mut state,
-            )?;
+                u,
+            ) {
+                outcome = Err(e);
+                break;
+            }
         }
-        vec![state.acc]
+        (vec![state.acc], outcome)
     } else {
-        let table = &table;
+        let table_ref = &table;
         let partition_ref = &partition;
         let run_cache = run_cache.as_ref();
         let solver = &solver;
-        let workers = crate::sched::run_units(
+        let budget_ref = &budget;
+        let (workers, outcome) = crate::sched::run_units(
             &partition,
             threads,
             |_| {
@@ -510,27 +695,34 @@ pub(crate) fn run_dp<S: NodeSolver>(
                 )
             },
             |(ctx, state): &mut (NodeCtx<'_>, WorkerState), u: usize| {
-                solve_unit(
+                run_unit_isolated(
                     ctx,
-                    table,
+                    table_ref,
                     unate,
                     partition_ref.unit(u),
                     solver,
                     run_cache,
                     state,
+                    u,
                 )
             },
+            || budget_ref.check_interrupt(),
             trace,
-        )?;
-        workers.into_iter().map(|(_, state)| state.acc).collect()
+        );
+        (
+            workers.into_iter().map(|(_, state)| state.acc).collect(),
+            outcome,
+        )
     };
 
     let mut degraded: Vec<UId> = Vec::new();
+    let mut completed: Vec<CompletedUnit> = Vec::new();
     let mut peak_candidates = 0usize;
     let mut cache_hits = 0u64;
     let mut cache_misses = 0u64;
     for acc in accs {
         degraded.extend(acc.degraded);
+        completed.extend(acc.completed);
         peak_candidates = peak_candidates.max(acc.peak_candidates);
         cache_hits += acc.cache_hits;
         cache_misses += acc.cache_misses;
@@ -538,8 +730,35 @@ pub(crate) fn run_dp<S: NodeSolver>(
     // Workers report degradations in unit-completion order; restore the
     // global topological order (what a cache-off serial walk produces).
     degraded.sort_unstable();
+    completed.sort_unstable_by_key(|c| c.unit);
 
     let combine_steps = budget.total();
+
+    if let Err(err) = outcome {
+        return Err(match err {
+            MapError::Cancelled { .. }
+            | MapError::DeadlineExceeded { .. }
+            | MapError::WorkerPanicked { .. } => {
+                let salvage = build_salvage(
+                    unate,
+                    config,
+                    algorithm,
+                    &partition,
+                    &completed,
+                    &degraded,
+                    &mut table,
+                    &fanouts,
+                    combine_steps,
+                    trace,
+                );
+                err.with_partial(Arc::new(salvage))
+            }
+            // Deterministic failures (budget trips, unmappable nodes, cache
+            // corruption) recur identically on a resume — no salvage.
+            other => other,
+        });
+    }
+
     if trace.enabled() {
         trace.count(Counter::CombineSteps, combine_steps);
         trace.count(Counter::DegradedNodes, degraded.len() as u64);
@@ -556,6 +775,133 @@ pub(crate) fn run_dp<S: NodeSolver>(
         cache_misses,
         combine_steps,
     })
+}
+
+/// Captures everything an interrupted run finished into a fresh
+/// [`ConeCache`], producing the [`PartialMapping`] that rides on the
+/// interrupt error.
+///
+/// Each completed unit is keyed exactly as [`solve_unit`] would key it on
+/// a cached run — same probe, same capture, same step price — so a resume
+/// that attaches the salvage cache rebinds the salvaged cones instead of
+/// re-solving them and still charges a bit-identical combine-step total.
+/// Units outside the cache's envelope (oversized, or below the gate floor)
+/// complete but are not salvaged; a resume re-solves them
+/// deterministically.
+#[allow(clippy::too_many_arguments)]
+fn build_salvage(
+    unate: &UnateNetwork,
+    config: &MapConfig,
+    algorithm: Algorithm,
+    partition: &ConePartition,
+    completed: &[CompletedUnit],
+    degraded: &[UId],
+    table: &mut SolTable,
+    fanouts: &[u32],
+    combine_steps: u64,
+    trace: TraceHandle,
+) -> PartialMapping {
+    let total = partition.units().len();
+    let mut done = vec![false; total];
+    for c in completed {
+        done[c.unit as usize] = true;
+    }
+    // The frontier: unfinished units whose dependencies all finished — the
+    // exact work the interrupt cut off, under any schedule.
+    let frontier: Vec<usize> = (0..total)
+        .filter(|&u| !done[u] && partition.unit(u).deps().iter().all(|&d| done[d]))
+        .collect();
+    let degraded: HashSet<UId> = degraded.iter().copied().collect();
+
+    // Backfill cache profiles: an uncached interrupted run never computed
+    // them, and the probes below read boundary profiles from the table.
+    // `profile` is pure, so recomputing them on a cached run is a no-op.
+    for c in completed {
+        for &id in partition.unit(c.unit as usize).nodes() {
+            let sol = table.get_mut(id);
+            sol.profile = cache::profile(&sol.exported);
+        }
+    }
+
+    let salvage_cache = Arc::new(ConeCache::new());
+    let rc = RunCache::new(&salvage_cache, config, algorithm);
+    let mut shapes = ShapeScratch::default();
+    let mut salvaged = 0usize;
+    for c in completed {
+        let unit = partition.unit(c.unit as usize);
+        let gates = unit
+            .nodes()
+            .iter()
+            .filter(|&&id| unate.node(id).is_gate())
+            .count();
+        if unit.nodes().len() <= cache::MAX_CACHED_UNIT_NODES
+            && gates >= cache::MIN_CACHED_UNIT_GATES
+        {
+            // Cone tier, mirroring `solve_unit`'s miss path.
+            unate.cone_shape_into(unit, &mut shapes);
+            let shape = &shapes.shape;
+            let root = unit.root();
+            let root_fanout = if unate.node(root).is_gate() {
+                fanouts[root.index()]
+            } else {
+                0
+            };
+            let (key, level_base, _) = rc.probe(shape, root_fanout, table, unate);
+            let unit_degraded: Vec<UId> = unit
+                .nodes()
+                .iter()
+                .copied()
+                .filter(|id| degraded.contains(id))
+                .collect();
+            if let Ok(entry) =
+                cache::ConeEntry::capture(shape, table, &unit_degraded, c.steps, level_base)
+            {
+                rc.insert(key, entry.with_kinds(shape, unate));
+                salvaged += 1;
+            }
+        } else if gates == 1 {
+            // Node tier, mirroring `solve_nodes`' per-gate path. The unit's
+            // literals charge no combine steps, so the unit total `c.steps`
+            // is exactly what the lone gate's solve cost.
+            let Some(&gid) = unit.nodes().iter().find(|&&id| unate.node(id).is_gate()) else {
+                continue;
+            };
+            let node = unate.node(gid);
+            let viable = match node {
+                UNode::And(a, b) | UNode::Or(a, b) => {
+                    table.get(a).exported.total_candidates()
+                        * table.get(b).exported.total_candidates()
+                        >= cache::NODE_TIER_MIN_COMBINATIONS
+                }
+                UNode::Lit(_) => false,
+            };
+            if viable {
+                let (key, level_base, _) = rc.probe_node(node, fanouts[gid.index()], table);
+                rc.insert_node(
+                    key,
+                    cache::NodeEntry::capture(
+                        gid,
+                        node,
+                        table.get(gid),
+                        degraded.contains(&gid),
+                        c.steps,
+                        level_base,
+                    ),
+                );
+                salvaged += 1;
+            }
+        }
+        // 0-gate units (bare literal roots) cost nothing to re-solve.
+    }
+    trace.count(Counter::UnitsSalvaged, salvaged as u64);
+    PartialMapping::new(
+        total,
+        completed.len(),
+        salvaged,
+        frontier,
+        combine_steps,
+        salvage_cache,
+    )
 }
 
 /// Gate-periphery cost: p-clock + output inverter (2) + keeper, plus the

@@ -1,0 +1,236 @@
+//! Job control for a mapping run: cooperative cancellation and
+//! partial-result salvage.
+//!
+//! A long mapping can be interrupted three ways — an external
+//! [`CancelToken`] trips, the wall-clock [`Limits::deadline`](crate::Limits)
+//! expires, or a worker panics on a poisoned cone unit. All three surface
+//! as a typed [`MapError`](crate::MapError) variant carrying a
+//! [`PartialMapping`]: every cone unit the run finished, captured under the
+//! structural cone cache's canonical keys, plus the unfinished frontier. A
+//! resumed run attaches the salvaged cache
+//! ([`Mapper::with_cone_cache`](crate::Mapper::with_cone_cache)) and only
+//! re-solves what was lost — bit-identically to an uninterrupted run.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::cache::ConeCache;
+
+/// A shared flag for cancelling an in-flight mapping run from another
+/// thread.
+///
+/// The token is `Copy` like [`TraceHandle`](crate::TraceHandle): it wraps a
+/// leaked `&'static AtomicBool`, so handing it to a config struct and to a
+/// controller thread needs no reference counting. [`CancelToken::none`]
+/// (the default) can never trip and costs one branch per check.
+///
+/// Equality and hashing are by identity — two tokens are equal when they
+/// share the same flag.
+#[derive(Clone, Copy)]
+pub struct CancelToken {
+    flag: Option<&'static AtomicBool>,
+}
+
+impl CancelToken {
+    /// A token that can never be cancelled (the default).
+    pub const fn none() -> CancelToken {
+        CancelToken { flag: None }
+    }
+
+    /// Creates a fresh, untripped token.
+    ///
+    /// The backing flag is leaked: tokens are tiny and meant to be created
+    /// per long-running job, mirroring the recorder-installation idiom in
+    /// `soi-trace`.
+    pub fn new() -> CancelToken {
+        CancelToken {
+            flag: Some(Box::leak(Box::new(AtomicBool::new(false)))),
+        }
+    }
+
+    /// Trips the token. Every run sharing it observes the cancellation at
+    /// its next check; a no-op on [`CancelToken::none`].
+    pub fn cancel(&self) {
+        if let Some(flag) = self.flag {
+            flag.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether the token has been tripped.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.is_some_and(|f| f.load(Ordering::Relaxed))
+    }
+
+    /// Identity of the backing flag, for [`Eq`]/[`Hash`].
+    fn addr(&self) -> usize {
+        self.flag.map_or(0, |f| f as *const AtomicBool as usize)
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> CancelToken {
+        CancelToken::none()
+    }
+}
+
+impl fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.flag {
+            None => write!(f, "CancelToken::none"),
+            Some(flag) => f
+                .debug_struct("CancelToken")
+                .field("cancelled", &flag.load(Ordering::Relaxed))
+                .finish(),
+        }
+    }
+}
+
+impl PartialEq for CancelToken {
+    fn eq(&self, other: &CancelToken) -> bool {
+        self.addr() == other.addr()
+    }
+}
+
+impl Eq for CancelToken {}
+
+impl Hash for CancelToken {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.addr().hash(state);
+    }
+}
+
+/// What an interrupted mapping run managed to finish.
+///
+/// Carried by the interrupt variants of [`MapError`](crate::MapError)
+/// (`Cancelled`, `DeadlineExceeded`, `WorkerPanicked`). The salvaged cone
+/// units live in a [`ConeCache`] keyed exactly as a clean cached run would
+/// key them, so resuming is just re-running with
+/// [`Mapper::with_cone_cache`](crate::Mapper::with_cone_cache)`(partial.cache())`:
+/// salvaged cones rebind instead of re-solving, and the result is
+/// bit-identical to an uninterrupted run.
+#[derive(Debug, Clone)]
+pub struct PartialMapping {
+    total_units: usize,
+    completed_units: usize,
+    salvaged_units: usize,
+    frontier: Vec<usize>,
+    combine_steps: u64,
+    cache: Arc<ConeCache>,
+}
+
+impl PartialMapping {
+    pub(crate) fn new(
+        total_units: usize,
+        completed_units: usize,
+        salvaged_units: usize,
+        frontier: Vec<usize>,
+        combine_steps: u64,
+        cache: Arc<ConeCache>,
+    ) -> PartialMapping {
+        PartialMapping {
+            total_units,
+            completed_units,
+            salvaged_units,
+            frontier,
+            combine_steps,
+            cache,
+        }
+    }
+
+    /// Cone units in the run's partition.
+    pub fn total_units(&self) -> usize {
+        self.total_units
+    }
+
+    /// Cone units the run finished before the interrupt.
+    pub fn completed_units(&self) -> usize {
+        self.completed_units
+    }
+
+    /// Completed units captured into [`PartialMapping::cache`] (units too
+    /// large or too trivial for the cache complete but are not salvaged —
+    /// a resume re-solves them deterministically).
+    pub fn salvaged_units(&self) -> usize {
+        self.salvaged_units
+    }
+
+    /// Unfinished cone units whose dependencies all completed — the work
+    /// the interrupt actually cut off. Empty only when every unit finished
+    /// (an interrupt observed after the last unit).
+    pub fn frontier(&self) -> &[usize] {
+        &self.frontier
+    }
+
+    /// Combine steps charged before the interrupt.
+    pub fn combine_steps(&self) -> u64 {
+        self.combine_steps
+    }
+
+    /// The salvage cache: attach it to a new
+    /// [`Mapper`](crate::Mapper) via
+    /// [`with_cone_cache`](crate::Mapper::with_cone_cache) to resume.
+    pub fn cache(&self) -> Arc<ConeCache> {
+        Arc::clone(&self.cache)
+    }
+
+    /// Whether the interrupt arrived before any unit completed.
+    pub fn is_empty(&self) -> bool {
+        self.completed_units == 0
+    }
+}
+
+impl fmt::Display for PartialMapping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} cone units completed ({} salvaged, {} on the frontier) after {} combine steps",
+            self.completed_units,
+            self.total_units,
+            self.salvaged_units,
+            self.frontier.len(),
+            self.combine_steps
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_token_never_trips() {
+        let t = CancelToken::none();
+        assert!(!t.is_cancelled());
+        t.cancel();
+        assert!(!t.is_cancelled());
+        assert_eq!(t, CancelToken::default());
+    }
+
+    #[test]
+    fn fresh_token_trips_once_for_every_copy() {
+        let t = CancelToken::new();
+        let copy = t;
+        assert!(!copy.is_cancelled());
+        t.cancel();
+        assert!(copy.is_cancelled());
+        assert_eq!(t, copy);
+        assert_ne!(t, CancelToken::new());
+        assert_ne!(t, CancelToken::none());
+    }
+
+    #[test]
+    fn partial_mapping_reports_progress() {
+        let p = PartialMapping::new(10, 4, 3, vec![4, 7], 1234, Arc::new(ConeCache::new()));
+        assert_eq!(p.total_units(), 10);
+        assert_eq!(p.completed_units(), 4);
+        assert_eq!(p.salvaged_units(), 3);
+        assert_eq!(p.frontier(), &[4, 7]);
+        assert_eq!(p.combine_steps(), 1234);
+        assert!(!p.is_empty());
+        let s = p.to_string();
+        assert!(s.contains("4/10"), "{s}");
+        assert!(s.contains("3 salvaged"), "{s}");
+    }
+}

@@ -38,6 +38,13 @@
 //! with tracing on or off, and a detached handle costs one branch per
 //! emission site.
 //!
+//! Long runs are under **job control**: a [`CancelToken`] and a wall-clock
+//! deadline ([`Limits`]) interrupt the DP cooperatively, worker panics are
+//! contained per cone unit, and all three interrupts surface as typed
+//! [`MapError`] variants carrying a [`PartialMapping`] — the completed
+//! cone units captured under the cache's canonical keys, so a resumed run
+//! re-seeds a [`ConeCache`] and only re-solves what was lost.
+//!
 //! # Example
 //!
 //! ```rust
@@ -70,6 +77,7 @@ mod config;
 mod cost;
 mod dp;
 mod error;
+mod job;
 mod map;
 mod reconstruct;
 mod report;
@@ -81,6 +89,7 @@ pub use cache::ConeCache;
 pub use config::{Algorithm, AndOrder, Footing, Limits, MapConfig, Objective, Parallelism};
 pub use cost::{Cost, CostModel};
 pub use error::MapError;
+pub use job::{CancelToken, PartialMapping};
 pub use map::Mapper;
 pub use report::MappingResult;
 pub use soi_trace::TraceHandle;

@@ -120,12 +120,19 @@ impl Mapper {
     /// As for [`Mapper::run`], minus the unate-conversion failures.
     pub fn run_unate(&self, unate: &UnateNetwork) -> Result<MappingResult, MapError> {
         self.config.validate()?;
-        // An attached cache always wins; otherwise build a per-run cache
-        // when the config asks for one (it still pays off within a single
-        // run — repetitive circuits solve each distinct cone once).
+        // An attached cache always wins (the caller already paid for it —
+        // shared warm caches and salvage resumes bypass the size gate);
+        // otherwise build a per-run cache when the config asks for one and
+        // the network is big enough to amortize shape hashing
+        // (`cone_cache_min_gates` — BENCH_pr5.json showed per-run caching
+        // costing 8–29% on the small registry circuits).
         let own_cache = match &self.cache {
             Some(_) => None,
-            None if self.config.cone_cache => Some(ConeCache::new()),
+            None if self.config.cone_cache
+                && unate.stats().gates() >= self.config.cone_cache_min_gates =>
+            {
+                Some(ConeCache::new())
+            }
             None => None,
         };
         let cache = self.cache.as_deref().or(own_cache.as_ref());

@@ -19,13 +19,30 @@
 //! reason the level schedule was: every unit computation is a pure
 //! function of its dependencies' published solutions, and the scheduler
 //! only decides *when* and *where* a unit runs, never what it reads.
+//!
+//! # Failure and drain protocol
+//!
+//! A task that returns an error, a task that panics, and an interrupt
+//! observed by the `check` hook all funnel into [`Pool::fail`]: the first
+//! failure is recorded, the `abort` flag is raised, and every parked
+//! worker is woken. Workers re-check `abort` before popping, so the drain
+//! needs no level barrier even though a failed unit's consumers keep
+//! nonzero dependency counters forever — nobody will ever pop them.
+//! Parks are bounded by [`PARK_TIMEOUT`], so a lost wakeup delays the
+//! drain by microseconds, never hangs it. Panics are contained with
+//! `catch_unwind` at the task boundary and surface as
+//! [`MapError::WorkerPanicked`]; the pool itself never unwinds, and the
+//! caller always gets every worker's state back for salvage. The time
+//! from the first failure to the last worker returning is emitted as a
+//! [`Stage::Drain`] span.
 
 use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use soi_trace::{Counter, TraceHandle, WorkerStats};
+use soi_trace::{Counter, Event, Stage, TraceHandle, WorkerStats};
 use soi_unate::ConePartition;
 
 use crate::MapError;
@@ -50,10 +67,12 @@ struct Pool {
     queued: AtomicUsize,
     /// Units not yet completed; 0 means the run is done.
     remaining: AtomicUsize,
-    /// Set on the first task error; workers drain out promptly.
+    /// Set on the first failure; workers drain out promptly.
     abort: AtomicBool,
-    /// The first error a task returned.
+    /// The first error a task (or the interrupt check) produced.
     error: Mutex<Option<MapError>>,
+    /// When the first failure was recorded — the start of the drain.
+    drain_started: Mutex<Option<Instant>>,
     /// Workers currently parked (wakeup elision hint).
     sleepers: AtomicUsize,
     idle: Mutex<()>,
@@ -88,6 +107,7 @@ impl Pool {
             remaining: AtomicUsize::new(units.len()),
             abort: AtomicBool::new(false),
             error: Mutex::new(None),
+            drain_started: Mutex::new(None),
             sleepers: AtomicUsize::new(0),
             idle: Mutex::new(()),
             wake: Condvar::new(),
@@ -153,12 +173,14 @@ impl Pool {
         self.sleepers.fetch_sub(1, Ordering::SeqCst);
     }
 
-    /// Records the first error and drains the pool.
+    /// Records the first failure (and the drain start) and drains the
+    /// pool.
     fn fail(&self, e: MapError) {
         {
             let mut slot = self.error.lock().expect("error lock poisoned");
             if slot.is_none() {
                 *slot = Some(e);
+                *self.drain_started.lock().expect("drain lock poisoned") = Some(Instant::now());
             }
         }
         self.abort.store(true, Ordering::Release);
@@ -180,9 +202,18 @@ fn work<W>(
     state: &mut W,
     stats: &mut WorkerStats,
     task: &(impl Fn(&mut W, usize) -> Result<(), MapError> + Sync),
+    check: &(impl Fn() -> Result<(), MapError> + Sync),
+    trace: TraceHandle,
 ) {
     loop {
         if pool.abort.load(Ordering::Acquire) || pool.remaining.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        // Interrupt poll at the schedule boundary: a worker spinning over
+        // an empty queue (its peers still solving) observes a cancellation
+        // or deadline here even though it never charges a combine step.
+        if let Err(e) = check() {
+            pool.fail(e);
             return;
         }
         let Some((unit, stolen)) = pool.pop(me) else {
@@ -192,9 +223,30 @@ fn work<W>(
         };
         stats.units += 1;
         stats.steals += u64::from(stolen);
-        if let Err(e) = task(state, unit as usize) {
-            pool.fail(e);
-            return;
+        // Second line of panic defense: the DP's per-unit isolation
+        // converts its own panics before they reach this frame, so this
+        // catch only fires for tasks that unwind past it. Either way a
+        // panicking task can never abort the process or strand the pool —
+        // the dead unit's consumers keep nonzero dependency counters, but
+        // every worker re-checks `abort` before popping, so the drain
+        // terminates without a level barrier.
+        // AssertUnwindSafe: a failed run abandons all task state; the
+        // salvage path only reads units recorded as completed.
+        match std::panic::catch_unwind(AssertUnwindSafe(|| task(state, unit as usize))) {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => {
+                pool.fail(e);
+                return;
+            }
+            Err(payload) => {
+                trace.count(Counter::PanicsContained, 1);
+                pool.fail(MapError::WorkerPanicked {
+                    unit: unit as usize,
+                    payload: crate::dp::panic_text(payload.as_ref()),
+                    partial: None,
+                });
+                return;
+            }
         }
         // Release the consumers whose last dependency this was. The
         // `AcqRel` decrement pairs with the other producers' decrements:
@@ -214,19 +266,26 @@ fn work<W>(
 
 /// Runs `task` over every unit of `partition` on `threads` persistent
 /// workers (the calling thread is worker 0), respecting unit dependencies.
-/// Each worker gets its own `make_worker(index)` state. Returns the worker
-/// states for the caller to merge, or the first task error.
+/// Each worker gets its own `make_worker(index)` state; `check` is polled
+/// at every schedule boundary so interrupts reach idle workers too.
+///
+/// Always returns every worker's state — on failure the caller salvages
+/// what the workers completed — alongside the run outcome: `Ok(())`, or
+/// the first error any task returned, the first interrupt `check`
+/// reported, or a [`MapError::WorkerPanicked`] for a contained panic.
 ///
 /// With `trace` enabled, each worker's scheduling tallies are emitted as a
 /// [`WorkerStats`] event at the end of the run, plus aggregate
-/// steal/wakeup/park counters.
+/// steal/wakeup/park counters; a failed run also emits a [`Stage::Drain`]
+/// span covering first-failure-to-last-worker-return.
 pub(crate) fn run_units<W: Send>(
     partition: &ConePartition,
     threads: usize,
     make_worker: impl Fn(usize) -> W,
     task: impl Fn(&mut W, usize) -> Result<(), MapError> + Sync,
+    check: impl Fn() -> Result<(), MapError> + Sync,
     trace: TraceHandle,
-) -> Result<Vec<W>, MapError> {
+) -> (Vec<W>, Result<(), MapError>) {
     let threads = threads.clamp(1, partition.units().len().max(1));
     let pool = Pool::new(partition, threads);
     let mut states: Vec<W> = (0..threads).map(&make_worker).collect();
@@ -241,23 +300,33 @@ pub(crate) fn run_units<W: Send>(
         let (first_stats, rest_stats) = stats.split_first_mut().expect("at least one worker");
         let pool = &pool;
         let task = &task;
+        let check = &check;
         std::thread::scope(|s| {
             let handles: Vec<_> = rest
                 .iter_mut()
                 .zip(rest_stats.iter_mut())
                 .enumerate()
-                .map(|(i, (state, stat))| s.spawn(move || work(pool, i + 1, state, stat, task)))
+                .map(|(i, (state, stat))| {
+                    s.spawn(move || work(pool, i + 1, state, stat, task, check, trace))
+                })
                 .collect();
-            work(pool, 0, first, first_stats, task);
+            work(pool, 0, first, first_stats, task, check, trace);
             for h in handles {
-                h.join().expect("DP worker panicked");
+                // Tasks are panic-isolated above; an unwind here would be a
+                // bug in the worker loop itself.
+                h.join().expect("DP worker loop panicked");
             }
         });
     }
-    if let Some(e) = pool.error.into_inner().expect("error lock poisoned") {
-        return Err(e);
-    }
+    // All workers have returned: a recorded drain start means the span is
+    // now complete.
     if trace.enabled() {
+        if let Some(at) = *pool.drain_started.lock().expect("drain lock poisoned") {
+            trace.emit(&Event::Span {
+                stage: Stage::Drain,
+                nanos: at.elapsed().as_nanos() as u64,
+            });
+        }
         let (mut steals, mut wakeups, mut parks) = (0u64, 0u64, 0u64);
         for &s in &stats {
             steals += s.steals;
@@ -269,12 +338,15 @@ pub(crate) fn run_units<W: Send>(
         trace.count(Counter::SchedWakeups, wakeups);
         trace.count(Counter::SchedParks, parks);
     }
-    debug_assert_eq!(
-        pool.remaining.load(Ordering::Relaxed),
-        0,
+    let error = pool.error.into_inner().expect("error lock poisoned");
+    debug_assert!(
+        error.is_some() || pool.remaining.load(Ordering::Relaxed) == 0,
         "scheduler drained without completing every unit"
     );
-    Ok(states)
+    match error {
+        Some(e) => (states, Err(e)),
+        None => (states, Ok(())),
+    }
 }
 
 #[cfg(test)]
@@ -313,7 +385,7 @@ mod tests {
         for threads in [1, 2, 4] {
             let done: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
             let visits = AtomicUsize::new(0);
-            let states = run_units(
+            let (states, outcome) = run_units(
                 &partition,
                 threads,
                 |i| i,
@@ -328,9 +400,10 @@ mod tests {
                     visits.fetch_add(1, Ordering::SeqCst);
                     Ok(())
                 },
+                || Ok(()),
                 TraceHandle::off(),
-            )
-            .expect("no task errors");
+            );
+            outcome.expect("no task errors");
             assert_eq!(states.len(), threads.min(n));
             assert_eq!(visits.load(Ordering::SeqCst), n, "{threads} threads");
         }
@@ -340,7 +413,7 @@ mod tests {
     fn pool_propagates_the_first_error_and_drains() {
         let network = diamond(12);
         let partition = network.cone_partition();
-        let err = run_units(
+        let (states, outcome) = run_units(
             &partition,
             4,
             |_| (),
@@ -353,10 +426,11 @@ mod tests {
                     Ok(())
                 }
             },
+            || Ok(()),
             TraceHandle::off(),
-        )
-        .unwrap_err();
-        assert!(matches!(err, MapError::BudgetExceeded { .. }));
+        );
+        assert_eq!(states.len(), 4);
+        assert!(matches!(outcome, Err(MapError::BudgetExceeded { .. })));
     }
 
     #[test]
@@ -368,9 +442,70 @@ mod tests {
         });
         u.add_output("f", USignal::Node(a), false);
         let partition = u.cone_partition();
-        let states =
-            run_units(&partition, 8, |i| i, |_, _| Ok(()), TraceHandle::off()).expect("runs");
+        let (states, outcome) = run_units(
+            &partition,
+            8,
+            |i| i,
+            |_, _| Ok(()),
+            || Ok(()),
+            TraceHandle::off(),
+        );
+        outcome.expect("runs");
         assert_eq!(states.len(), 1);
+    }
+
+    #[test]
+    fn pool_contains_task_panics_and_returns_states() {
+        let network = diamond(12);
+        let partition = network.cone_partition();
+        let target = partition.units().len() - 1;
+        let (recorder, trace) = soi_trace::Recorder::install();
+        let (states, outcome) = run_units(
+            &partition,
+            4,
+            |_| 0u64,
+            |ran, u| {
+                if u == target {
+                    panic!("synthetic panic at unit {u}");
+                }
+                *ran += 1;
+                Ok(())
+            },
+            || Ok(()),
+            trace,
+        );
+        // Worker states survive the panic for salvage.
+        assert_eq!(states.len(), 4);
+        match outcome {
+            Err(MapError::WorkerPanicked { unit, payload, .. }) => {
+                assert_eq!(unit, target);
+                assert!(payload.contains("synthetic panic"), "{payload}");
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+        assert_eq!(recorder.counter(Counter::PanicsContained), 1);
+        // The drain was timed.
+        assert!(recorder.stage_nanos(Stage::Drain).is_some());
+    }
+
+    #[test]
+    fn pool_observes_interrupts_from_the_check_hook() {
+        let network = diamond(12);
+        let partition = network.cone_partition();
+        let (_, outcome) = run_units(
+            &partition,
+            2,
+            |_| (),
+            |_, _| Ok(()),
+            || {
+                Err(MapError::Cancelled {
+                    what: "pre-tripped token".into(),
+                    partial: None,
+                })
+            },
+            TraceHandle::off(),
+        );
+        assert!(matches!(outcome, Err(MapError::Cancelled { .. })));
     }
 
     #[test]
@@ -379,7 +514,8 @@ mod tests {
         let partition = network.cone_partition();
         let n = partition.units().len() as u64;
         let (recorder, trace) = soi_trace::Recorder::install();
-        run_units(&partition, 3, |_| (), |_, _| Ok(()), trace).expect("runs");
+        let (_, outcome) = run_units(&partition, 3, |_| (), |_, _| Ok(()), || Ok(()), trace);
+        outcome.expect("runs");
         let workers = recorder.workers();
         assert_eq!(workers.len(), 3);
         // Every unit ran on exactly one worker.

@@ -74,11 +74,14 @@ pub enum Stage {
     DischargeProtect,
     /// The cross-stage consistency audit (guard pipeline).
     Audit,
+    /// Scheduler drain after an interrupt or contained panic: from the
+    /// first failure observation until the last worker returned.
+    Drain,
 }
 
 impl Stage {
     /// Every stage, in flow order.
-    pub const ALL: [Stage; 10] = [
+    pub const ALL: [Stage; 11] = [
         Stage::Parse,
         Stage::NetlistValidate,
         Stage::UnateConvert,
@@ -89,6 +92,7 @@ impl Stage {
         Stage::PbePostprocess,
         Stage::DischargeProtect,
         Stage::Audit,
+        Stage::Drain,
     ];
 
     /// The stage's kebab-case display name.
@@ -104,6 +108,7 @@ impl Stage {
             Stage::PbePostprocess => "pbe-postprocess",
             Stage::DischargeProtect => "discharge-protect",
             Stage::Audit => "audit",
+            Stage::Drain => "drain",
         }
     }
 }
@@ -166,11 +171,19 @@ pub enum Counter {
     DischargesPruned,
     /// Input vectors the guard audit simulated.
     AuditVectors,
+    /// Interrupts (cancellation, deterministic trip, deadline) a run
+    /// observed — latched to one per trip, however many workers race to it.
+    CancelsObserved,
+    /// Worker panics caught and converted to typed errors.
+    PanicsContained,
+    /// Completed cone units an interrupted run captured into its salvage
+    /// cache.
+    UnitsSalvaged,
 }
 
 impl Counter {
     /// Every counter, in declaration order.
-    pub const ALL: [Counter; 16] = [
+    pub const ALL: [Counter; 19] = [
         Counter::CandidatesGenerated,
         Counter::CandidatesPruned,
         Counter::CandidatesExported,
@@ -187,6 +200,9 @@ impl Counter {
         Counter::DischargesInserted,
         Counter::DischargesPruned,
         Counter::AuditVectors,
+        Counter::CancelsObserved,
+        Counter::PanicsContained,
+        Counter::UnitsSalvaged,
     ];
 
     /// The counter's snake_case display name.
@@ -208,6 +224,9 @@ impl Counter {
             Counter::DischargesInserted => "discharges_inserted",
             Counter::DischargesPruned => "discharges_pruned",
             Counter::AuditVectors => "audit_vectors",
+            Counter::CancelsObserved => "cancels_observed",
+            Counter::PanicsContained => "panics_contained",
+            Counter::UnitsSalvaged => "units_salvaged",
         }
     }
 }

@@ -31,7 +31,13 @@ fn spec(seed: u64) -> RandomSpec {
 }
 
 fn with_cache(cone_cache: bool, base: MapConfig) -> MapConfig {
-    MapConfig { cone_cache, ..base }
+    MapConfig {
+        cone_cache,
+        // These suites exercise circuits below the production size gate
+        // (`cone_cache_min_gates`); "cache on" must actually build one.
+        cone_cache_min_gates: 0,
+        ..base
+    }
 }
 
 fn assert_same_mapping(on: &MappingResult, off: &MappingResult, what: &str) {
@@ -125,12 +131,15 @@ fn cone_cache_is_bit_identical_on_registry_circuits() {
 fn repetitive_circuits_hit_the_cache() {
     for name in ["des", "f51m"] {
         let network = registry::benchmark(name).expect("registered");
-        let result = Mapper::soi(MapConfig::default())
-            .run(&network)
-            .expect("maps");
+        let result = Mapper::soi(MapConfig {
+            cone_cache_min_gates: 0,
+            ..MapConfig::default()
+        })
+        .run(&network)
+        .expect("maps");
         let rate = result
             .cone_cache_hit_rate()
-            .expect("cache on by default, units exist");
+            .expect("cache forced on, units exist");
         assert!(
             rate > 0.5,
             "{name}: cone-cache hit rate {:.1}% (hits {}, misses {})",

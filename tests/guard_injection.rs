@@ -5,8 +5,10 @@
 //! or by the cross-stage audit; nothing panics; nothing passes silently.**
 
 use soi_domino::circuits::registry;
-use soi_domino::guard::{check_pipeline, inject, AuditConfig, AuditError, Pipeline, Stage};
-use soi_domino::mapper::{MapConfig, MapError, Mapper, MappingResult};
+use soi_domino::guard::{
+    check_partial, check_pipeline, inject, AuditConfig, AuditError, Pipeline, Stage,
+};
+use soi_domino::mapper::{MapConfig, MapError, Mapper, MappingResult, Parallelism};
 use soi_domino::netlist::blif;
 use soi_domino::pbe::bodysim::{BodySimConfig, BodySimulator};
 use soi_domino::pbe::hazard;
@@ -167,6 +169,74 @@ fn corrupted_circuits_are_caught_by_audit_or_validation() {
     // discharge transistors at all), but the harness must have exercised a
     // substantial population.
     assert!(injected >= 200, "only {injected} circuit faults injected");
+}
+
+/// The mapper-level fault injection: a seeded poisoned cone unit always
+/// surfaces as a contained, typed `WorkerPanicked` naming exactly that
+/// unit — on serial and parallel schedules alike — with an auditable
+/// salvage whose resume maps bit-identically to a clean run. Never a
+/// hang, never an abort, never a silent pass.
+#[test]
+fn poisoned_cone_units_are_contained_on_every_schedule() {
+    let mut injected = 0u32;
+    for &name in CIRCUITS {
+        let network = registry::benchmark(name).expect("registered benchmark");
+        let base = MapConfig::default();
+        let clean = Mapper::soi(base).run(&network).expect("clean maps");
+        for seed in 0..SEEDS {
+            let Some((poisoned, unit)) = inject::poison_unit(&base, &network, seed) else {
+                continue;
+            };
+            injected += 1;
+            for parallelism in [Parallelism::Serial, Parallelism::Threads(2)] {
+                let config = MapConfig {
+                    parallelism,
+                    ..poisoned
+                };
+                let err = Mapper::soi(config)
+                    .run(&network)
+                    .expect_err("a poisoned unit must fail the run");
+                let MapError::WorkerPanicked {
+                    unit: failed,
+                    payload,
+                    partial,
+                } = err
+                else {
+                    panic!("{name} seed {seed}: expected WorkerPanicked, got {err:?}");
+                };
+                assert_eq!(failed, unit, "{name} seed {seed}: wrong unit blamed");
+                assert!(payload.contains("injected fault"), "{payload}");
+                let partial = partial.expect("contained panics carry salvage");
+                if let Err(e) = check_partial(&partial) {
+                    panic!("{name} seed {seed}: salvage fails its audit: {e}");
+                }
+                assert!(partial.completed_units() < partial.total_units());
+
+                let resumed = Mapper::soi(MapConfig {
+                    poison_node: None,
+                    ..config
+                })
+                .with_cone_cache(partial.cache())
+                .run(&network)
+                .expect("the resumed run maps");
+                assert_eq!(clean.counts, resumed.counts, "{name} seed {seed}");
+                assert_eq!(
+                    clean.degraded_nodes, resumed.degraded_nodes,
+                    "{name} seed {seed}"
+                );
+                assert_eq!(
+                    clean.peak_candidates, resumed.peak_candidates,
+                    "{name} seed {seed}"
+                );
+                assert_eq!(
+                    clean.combine_steps, resumed.combine_steps,
+                    "{name} seed {seed}"
+                );
+            }
+        }
+    }
+    // Every registry circuit has cone units to poison.
+    assert_eq!(injected, 120); // 6 circuits x 20 seeds
 }
 
 #[test]

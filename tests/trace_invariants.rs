@@ -28,7 +28,7 @@
 
 use soi_domino::circuits::misc::random::{generate, RandomSpec};
 use soi_domino::circuits::registry;
-use soi_domino::mapper::{MapConfig, Mapper, MappingResult, Parallelism};
+use soi_domino::mapper::{Limits, MapConfig, MapError, Mapper, MappingResult, Parallelism};
 use soi_domino::netlist::Network;
 use soi_domino::trace::{Counter, Gauge, Recorder, Stage, TraceHandle};
 use soi_domino::unate;
@@ -119,6 +119,19 @@ fn assert_run_oracles(rec: &Recorder, result: &MappingResult, what: &str, mode: 
         node_misses, result.cone_cache_misses,
         "{what}: {mode} node-tier misses disagree with the result's cache misses"
     );
+    // Job control: a run that completed never observed an interrupt,
+    // contained a panic, or salvaged anything.
+    for quiet in [
+        Counter::CancelsObserved,
+        Counter::PanicsContained,
+        Counter::UnitsSalvaged,
+    ] {
+        assert_eq!(
+            rec.counter(quiet),
+            0,
+            "{what}: {mode} successful run recorded {quiet:?}"
+        );
+    }
 }
 
 /// Runs the four modes on one network and checks every oracle.
@@ -207,6 +220,9 @@ fn check_network(rec: &'static Recorder, trace: TraceHandle, network: &Network, 
         trace,
         parallelism: Parallelism::Threads(2),
         cone_cache: true,
+        // Every oracle circuit sits below the production size gate; force
+        // the cache on so the memo tiers are actually exercised.
+        cone_cache_min_gates: 0,
         ..base
     })
     .run(network)
@@ -313,4 +329,103 @@ fn warm_cache_reruns_keep_the_balances() {
         warm.cone_cache_hits > 0,
         "second pass should hit the shared cache"
     );
+}
+
+/// Interrupted runs balance the job-control counters: the trip is latched
+/// (exactly one `cancels_observed` no matter how many workers see it),
+/// `units_salvaged` equals the partial's salvage count, and a contained
+/// panic records exactly one `panics_contained` — plus a drain span when
+/// workers had to be drained.
+#[test]
+fn interrupted_runs_balance_the_job_control_counters() {
+    let (rec, trace) = Recorder::install();
+    let network = registry::benchmark("frg1").expect("registered");
+    let base = MapConfig {
+        trace,
+        ..base_config()
+    };
+    let clean = Mapper::soi(base).run(&network).expect("maps");
+
+    // Deterministic halfway trip, serial and parallel.
+    for parallelism in [Parallelism::Serial, Parallelism::Threads(2)] {
+        rec.reset();
+        let config = MapConfig {
+            parallelism,
+            limits: Limits {
+                cancel_after_steps: Some((clean.combine_steps / 2).max(1)),
+                ..base.limits
+            },
+            ..base
+        };
+        let err = Mapper::soi(config)
+            .run(&network)
+            .expect_err("the halfway trip must fire");
+        assert!(matches!(err, MapError::Cancelled { .. }), "{err:?}");
+        let partial = err.partial().expect("interrupts carry salvage");
+        assert_eq!(
+            rec.counter(Counter::CancelsObserved),
+            1,
+            "{parallelism:?}: the trip must be latched exactly once"
+        );
+        assert_eq!(rec.counter(Counter::PanicsContained), 0);
+        assert_eq!(
+            rec.counter(Counter::UnitsSalvaged),
+            partial.salvaged_units() as u64,
+            "{parallelism:?}: salvage counter disagrees with the partial"
+        );
+    }
+
+    // A poisoned cone unit, serial and parallel: contained exactly once,
+    // never misreported as a cancellation, drain span in parallel mode.
+    let partition_net = unate::convert(&network, &unate::Options::default()).expect("converts");
+    let partition = partition_net.cone_partition();
+    let (target, unit) = partition
+        .units()
+        .iter()
+        .enumerate()
+        .rev()
+        .find(|(_, u)| !u.deps().is_empty())
+        .expect("frg1 has dependent cone units");
+    for parallelism in [Parallelism::Serial, Parallelism::Threads(2)] {
+        rec.reset();
+        let config = MapConfig {
+            parallelism,
+            poison_node: Some(unit.root().index() as u32),
+            ..base
+        };
+        let err = Mapper::soi(config)
+            .run(&network)
+            .expect_err("the poisoned unit must fail the run");
+        let MapError::WorkerPanicked {
+            unit: failed,
+            partial,
+            ..
+        } = err
+        else {
+            panic!("expected WorkerPanicked, got {err:?}");
+        };
+        assert_eq!(failed, target);
+        let partial = partial.expect("contained panics carry salvage");
+        assert_eq!(
+            rec.counter(Counter::PanicsContained),
+            1,
+            "{parallelism:?}: the panic must be contained exactly once"
+        );
+        assert_eq!(
+            rec.counter(Counter::CancelsObserved),
+            0,
+            "{parallelism:?}: a contained panic is not a cancellation"
+        );
+        assert_eq!(
+            rec.counter(Counter::UnitsSalvaged),
+            partial.salvaged_units() as u64,
+            "{parallelism:?}: salvage counter disagrees with the partial"
+        );
+        if matches!(parallelism, Parallelism::Threads(_)) {
+            assert!(
+                rec.stage_nanos(Stage::Drain).is_some(),
+                "parallel containment must record a drain span"
+            );
+        }
+    }
 }
