@@ -19,18 +19,37 @@
 //! bit-identical to the untraced ones. The slowest circuit additionally
 //! streams a full JSON-lines event trace next to the report.
 //!
+//! After the registry section, the report gets a size-bucketed `corpus`
+//! section: every `soi_circuits::corpus` entry — vendored AIGER files up
+//! through the ≥100k-gate synthetic tiers — is timed in the same three
+//! modes, with repetitions scaled down as circuits grow. The huge tier is
+//! where the parallel scheduler and the cone-cache gate
+//! (`cone_cache_min_gates`, currently 10k) earn or lose their defaults;
+//! each row records `cached_vs_parallel` so the gate stays re-justified by
+//! data. A corpus entry that fails to load is a **typed error row** in the
+//! report and fails the run — never a silent skip.
+//!
 //! Usage:
 //!   cargo run --release -p soi-bench --bin bench [OUT.json]
-//!     (default output: `BENCH_pr5.json` in the working directory;
+//!     (default output: `BENCH_pr7.json` in the working directory;
 //!      the event trace lands at `OUT.json` + `.trace.jsonl`)
+//!   cargo run --release -p soi-bench --bin bench -- --corpus-dir DIR [OUT.json]
+//!     additionally benches every `.aag`/`.aig`/`.blif` file in DIR as
+//!     extra corpus rows; an unreadable or malformed file is an error row
+//!     and a non-zero exit.
 //!   cargo run --release -p soi-bench --bin bench -- --smoke
 //!     CI gate: maps three small circuits serial vs forced 2-thread DP
 //!     (best of 5) and fails if the scheduler loses by more than 1.5x on
 //!     the largest — the PR 2 spawn-per-level regression must stay dead.
+//!   cargo run --release -p soi-bench --bin bench -- --corpus-smoke
+//!     CI gate for the AIGER/corpus path: parses and maps every vendored
+//!     corpus AIG end-to-end, then maps one ≥100k-gate synthetic once
+//!     (run under `timeout` in CI; any failure is fatal).
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use soi_circuits::corpus::{self, SizeBucket};
 use soi_circuits::registry;
 use soi_mapper::{MapConfig, Mapper, MappingResult, Parallelism, TraceHandle};
 use soi_netlist::Network;
@@ -47,6 +66,20 @@ const SMOKE_CIRCUITS: [&str; 3] = ["cm150", "b9", "c880"];
 
 /// Largest tolerated parallel/serial ratio on the last smoke circuit.
 const SMOKE_MAX_RATIO: f64 = 1.5;
+
+/// The ≥100k-gate synthetic the `--corpus-smoke` CI gate maps once.
+const CORPUS_SMOKE_HUGE: &str = "synth-mult136";
+
+/// Timing repetitions per corpus row, scaled down as circuits grow: a huge
+/// circuit's serial pass runs for seconds, and two interleaved reps already
+/// separate a real regression from host noise.
+fn corpus_reps(bucket: SizeBucket) -> u32 {
+    match bucket {
+        SizeBucket::Small | SizeBucket::Medium => 5,
+        SizeBucket::Large => 3,
+        SizeBucket::Huge => 2,
+    }
+}
 
 struct Entry {
     name: &'static str,
@@ -252,6 +285,178 @@ fn smoke(host_threads: usize) {
     );
 }
 
+/// One size-bucketed corpus measurement, or the typed load failure that
+/// kept the row from being timed.
+enum CorpusRow {
+    Ok {
+        name: String,
+        bucket: SizeBucket,
+        gates: usize,
+        serial_ms: f64,
+        parallel_ms: f64,
+        cached_ms: f64,
+        parallel_threads: usize,
+        cache_hits: u64,
+        cache_misses: u64,
+        counts_match: bool,
+    },
+    Err {
+        name: String,
+        error: String,
+    },
+}
+
+/// Times one corpus network in the three standard modes, reps scaled by
+/// its size bucket.
+fn bench_corpus_network(
+    name: &str,
+    network: &Network,
+    serial: &Mapper,
+    auto: &Mapper,
+    cached: &Mapper,
+) -> CorpusRow {
+    let gates = network.stats().binary_gates;
+    let bucket = SizeBucket::of(gates);
+    let reps = corpus_reps(bucket);
+    let [(serial_ms, s), (parallel_ms, p), (cached_ms, c)] =
+        best_ms_interleaved([serial, auto, cached], network, reps);
+    let counts_match = same_outcome(&s, &p) && same_outcome(&s, &c);
+    eprintln!(
+        "  [{bucket}] {name}: {gates} gates, serial {serial_ms:.1} ms / auto({}t) \
+         {parallel_ms:.1} ms / cached {cached_ms:.1} ms, hit rate {:.0}%{}",
+        p.threads_used,
+        c.cone_cache_hit_rate().unwrap_or(0.0) * 100.0,
+        if counts_match { "" } else { "  ** MISMATCH **" }
+    );
+    CorpusRow::Ok {
+        name: name.to_string(),
+        bucket,
+        gates,
+        serial_ms,
+        parallel_ms,
+        cached_ms,
+        parallel_threads: p.threads_used,
+        cache_hits: c.cone_cache_hits,
+        cache_misses: c.cone_cache_misses,
+        counts_match,
+    }
+}
+
+/// Benches the built-in corpus (smallest bucket first) plus any extra files
+/// from `--corpus-dir`. A load failure produces a typed error row and stops
+/// the sweep — an unreadable corpus file must fail the run, not shrink it.
+fn bench_corpus(corpus_dir: Option<&str>) -> Vec<CorpusRow> {
+    let serial = soi_mapper(Parallelism::Serial, false);
+    let auto = soi_mapper(Parallelism::Auto, false);
+    let cached = soi_mapper(Parallelism::Auto, true);
+    let mut rows = Vec::new();
+
+    let mut entries: Vec<&corpus::CorpusEntry> = corpus::ENTRIES.iter().collect();
+    entries.sort_by_key(|e| e.approx_gates);
+    for entry in entries {
+        match corpus::load(entry.name) {
+            Ok(network) => {
+                rows.push(bench_corpus_network(
+                    entry.name, &network, &serial, &auto, &cached,
+                ));
+            }
+            Err(e) => {
+                eprintln!("  ERROR loading corpus entry `{}`: {e}", entry.name);
+                rows.push(CorpusRow::Err {
+                    name: entry.name.to_string(),
+                    error: e.to_string(),
+                });
+                return rows;
+            }
+        }
+    }
+
+    if let Some(dir) = corpus_dir {
+        let mut paths: Vec<std::path::PathBuf> = match std::fs::read_dir(dir) {
+            Ok(rd) => rd.filter_map(|e| e.ok()).map(|e| e.path()).collect(),
+            Err(e) => {
+                eprintln!("  ERROR reading corpus dir `{dir}`: {e}");
+                rows.push(CorpusRow::Err {
+                    name: dir.to_string(),
+                    error: format!("unreadable corpus directory: {e}"),
+                });
+                return rows;
+            }
+        };
+        paths.retain(|p| {
+            matches!(
+                p.extension().and_then(|e| e.to_str()),
+                Some("aag" | "aig" | "blif")
+            )
+        });
+        paths.sort();
+        for path in paths {
+            let name = path.display().to_string();
+            match corpus::load_path(&path) {
+                Ok(network) => {
+                    rows.push(bench_corpus_network(
+                        &name, &network, &serial, &auto, &cached,
+                    ));
+                }
+                Err(e) => {
+                    eprintln!("  ERROR loading `{name}`: {e}");
+                    rows.push(CorpusRow::Err {
+                        name,
+                        error: e.to_string(),
+                    });
+                    return rows;
+                }
+            }
+        }
+    }
+    rows
+}
+
+/// CI gate for the AIGER/corpus path: every vendored corpus AIG must parse
+/// and map end-to-end with the shipped default config, and one ≥100k-gate
+/// synthetic must materialize and map. Run under `timeout` in CI; any
+/// failure aborts with a typed error message.
+fn corpus_smoke() {
+    let mapper = Mapper::soi(MapConfig::default());
+    for entry in corpus::ENTRIES {
+        if matches!(entry.source, corpus::Source::Synthetic) {
+            continue;
+        }
+        let start = Instant::now();
+        let network = match corpus::load(entry.name) {
+            Ok(n) => n,
+            Err(e) => panic!("corpus smoke: `{}` failed to load: {e}", entry.name),
+        };
+        let result = match mapper.run(&network) {
+            Ok(r) => r,
+            Err(e) => panic!("corpus smoke: `{}` failed to map: {e}", entry.name),
+        };
+        eprintln!(
+            "  {}: parsed + mapped in {:.1} ms ({} transistors)",
+            entry.name,
+            start.elapsed().as_secs_f64() * 1e3,
+            result.counts.total
+        );
+    }
+    let start = Instant::now();
+    let huge = corpus::load(CORPUS_SMOKE_HUGE)
+        .unwrap_or_else(|e| panic!("corpus smoke: `{CORPUS_SMOKE_HUGE}` failed to load: {e}"));
+    let gates = huge.stats().binary_gates;
+    assert!(
+        gates >= 100_000,
+        "corpus smoke: `{CORPUS_SMOKE_HUGE}` shrank below the 100k-gate tier ({gates} gates)"
+    );
+    let result = mapper
+        .run(&huge)
+        .unwrap_or_else(|e| panic!("corpus smoke: `{CORPUS_SMOKE_HUGE}` failed to map: {e}"));
+    eprintln!(
+        "corpus smoke ok: {CORPUS_SMOKE_HUGE} ({gates} gates) mapped in {:.1} ms \
+         ({} transistors)",
+        start.elapsed().as_secs_f64() * 1e3,
+        result.counts.total
+    );
+}
+
 fn main() {
     // The one honest source for the host's thread count: every report row
     // derives from this call (PR 2 recorded `host_threads: 1` while timing
@@ -260,13 +465,26 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(1);
 
+    let mut out_path: Option<String> = None;
+    let mut corpus_dir: Option<String> = None;
     let mut args = std::env::args().skip(1);
-    let first = args.next();
-    if first.as_deref() == Some("--smoke") {
-        smoke(host_threads);
-        return;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => {
+                smoke(host_threads);
+                return;
+            }
+            "--corpus-smoke" => {
+                corpus_smoke();
+                return;
+            }
+            "--corpus-dir" => {
+                corpus_dir = Some(args.next().expect("--corpus-dir needs a directory"));
+            }
+            other => out_path = Some(other.to_string()),
+        }
     }
-    let out_path = first.unwrap_or_else(|| "BENCH_pr5.json".into());
+    let out_path = out_path.unwrap_or_else(|| "BENCH_pr7.json".into());
 
     let mut names: Vec<&'static str> = registry::TABLE2.to_vec();
     for name in registry::TABLE1 {
@@ -321,6 +539,17 @@ fn main() {
             metrics,
         });
     }
+    eprintln!("corpus sweep (size-bucketed, reps 5/3/2 by bucket)...");
+    let corpus_rows = bench_corpus(corpus_dir.as_deref());
+    let corpus_ok = corpus_rows.iter().all(|r| {
+        matches!(
+            r,
+            CorpusRow::Ok {
+                counts_match: true,
+                ..
+            }
+        )
+    });
     let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
 
     // Stream a full event trace of the slowest circuit's default-config run
@@ -438,6 +667,67 @@ fn main() {
         );
     }
     let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"corpus\": {{\n    \"description\": \"size-bucketed sweep of the soi-circuits corpus \
+         (vendored AIGER entries through the >=100k-gate synthetic tiers) in the same three \
+         modes; cached_vs_parallel re-justifies the cone_cache_min_gates gate (10k): the cache \
+         must pay for itself where it is enabled. A row with an `error` field is a corpus entry \
+         that failed to load — the run fails rather than skip it.\","
+    );
+    let _ = writeln!(
+        json,
+        "    \"reps_by_bucket\": {{\"small\": 5, \"medium\": 5, \"large\": 3, \"huge\": 2}},"
+    );
+    let _ = writeln!(json, "    \"rows\": [");
+    let corpus_last = corpus_rows.len().saturating_sub(1);
+    for (i, row) in corpus_rows.iter().enumerate() {
+        let sep = if i == corpus_last { "" } else { "," };
+        match row {
+            CorpusRow::Ok {
+                name,
+                bucket,
+                gates,
+                serial_ms,
+                parallel_ms,
+                cached_ms,
+                parallel_threads,
+                cache_hits,
+                cache_misses,
+                counts_match,
+            } => {
+                let total = cache_hits + cache_misses;
+                let hit_rate = if total > 0 {
+                    *cache_hits as f64 / total as f64
+                } else {
+                    0.0
+                };
+                let _ = writeln!(
+                    json,
+                    "      {{\"name\": \"{name}\", \"bucket\": \"{bucket}\", \"gates\": {gates}, \
+                     \"serial_ms\": {serial_ms:.3}, \"parallel_ms\": {parallel_ms:.3}, \
+                     \"cached_ms\": {cached_ms:.3}, \"parallel_threads_used\": \
+                     {parallel_threads}, \"speedup_parallel\": {:.3}, \"speedup_cached\": {:.3}, \
+                     \"cached_vs_parallel\": {:.3}, \"cache_hits\": {cache_hits}, \
+                     \"cache_misses\": {cache_misses}, \"cache_hit_rate\": {hit_rate:.3}, \
+                     \"counts_match\": {counts_match}}}{sep}",
+                    serial_ms / parallel_ms.max(1e-9),
+                    serial_ms / cached_ms.max(1e-9),
+                    parallel_ms / cached_ms.max(1e-9),
+                );
+            }
+            CorpusRow::Err { name, error } => {
+                let _ = writeln!(
+                    json,
+                    "      {{\"name\": \"{name}\", \"error\": \"{}\"}}{sep}",
+                    error.replace('\\', "\\\\").replace('"', "\\\"")
+                );
+            }
+        }
+    }
+    let _ = writeln!(json, "    ],");
+    let _ = writeln!(json, "    \"ok\": {corpus_ok}");
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"total_serial_ms\": {total_serial:.3},");
     let _ = writeln!(json, "  \"total_parallel_ms\": {total_parallel:.3},");
     let _ = writeln!(json, "  \"total_cached_ms\": {total_cached:.3},");
@@ -466,4 +756,12 @@ fn main() {
         all_match,
         "parallel/cached/traced DP diverged from untraced serial counts"
     );
+    if let Some(CorpusRow::Err { name, error }) = corpus_rows
+        .iter()
+        .find(|r| matches!(r, CorpusRow::Err { .. }))
+    {
+        eprintln!("corpus entry `{name}` failed to load: {error}");
+        std::process::exit(1);
+    }
+    assert!(corpus_ok, "a corpus mode diverged from serial counts");
 }

@@ -32,6 +32,7 @@
 
 pub mod arith;
 pub mod code;
+pub mod corpus;
 pub mod misc;
 pub mod registry;
 pub mod select;

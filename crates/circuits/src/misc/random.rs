@@ -147,7 +147,14 @@ pub fn generate(spec: &RandomSpec) -> Network {
         2 * (usize::BITS - spec.gates.leading_zeros()) + 8
     };
 
-    while b.network().stats().binary_gates < spec.gates {
+    // Count binary gates incrementally: `stats()` rescans the whole network
+    // (O(n) per call), which makes the loop quadratic at the 100k+ gate
+    // sizes the corpus generators ask for. The builder strashes and
+    // constant-folds, so a gate call may add zero nodes — only nodes
+    // appended since the last iteration are scanned.
+    let mut binary_gates = b.network().stats().binary_gates;
+    let mut scanned = b.network().len();
+    while binary_gates < spec.gates {
         // Advance the sweep pointer over consumed signals and over signals
         // already at the depth ceiling (those wait for the collector).
         while next_unconsumed < pool.len()
@@ -233,6 +240,16 @@ pub fn generate(spec: &RandomSpec) -> Network {
         pool.push(gate);
         consumed.push(false);
         depths.push(depths[a_idx].max(depths[b_idx]) + 1);
+        let net = b.network();
+        while scanned < net.len() {
+            if matches!(
+                net.node(NodeId::from_index(scanned)),
+                soi_netlist::Node::Binary { .. }
+            ) {
+                binary_gates += 1;
+            }
+            scanned += 1;
+        }
     }
 
     // Collector: fold every unconsumed signal into the outputs, round-robin.

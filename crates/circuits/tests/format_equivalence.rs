@@ -1,0 +1,41 @@
+//! Cross-format equivalence over the benchmark registry: every registry
+//! circuit serialized through both front-ends (BLIF text and AIGER, both
+//! flavors) must parse back to networks equivalent to the original and to
+//! each other — the two readers agree on what the circuit *is*.
+
+use soi_circuits::registry;
+use soi_netlist::{aiger, blif, sim};
+
+#[test]
+fn registry_circuits_roundtrip_identically_through_blif_and_aiger() {
+    let mut checked = 0usize;
+    for name in registry::names() {
+        let net = registry::benchmark(name).expect("registry name resolves");
+        // Keep the sweep fast in debug CI: the big registry entries add
+        // simulation time without adding front-end coverage.
+        if net.stats().binary_gates > 3_000 {
+            continue;
+        }
+        let from_blif = blif::parse(&blif::write(&net))
+            .unwrap_or_else(|e| panic!("{name}: blif roundtrip: {e}"));
+        let from_aag = aiger::parse_ascii(&aiger::write_ascii(&net))
+            .unwrap_or_else(|e| panic!("{name}: aag roundtrip: {e}"));
+        let from_aig = aiger::parse_binary(&aiger::write_binary(&net))
+            .unwrap_or_else(|e| panic!("{name}: aig roundtrip: {e}"));
+        for (fmt, parsed) in [("blif", &from_blif), ("aag", &from_aag), ("aig", &from_aig)] {
+            parsed
+                .validate()
+                .unwrap_or_else(|e| panic!("{name}/{fmt}: invalid: {e}"));
+            assert!(
+                sim::random_equivalent(&net, parsed, 4, 0xEC).unwrap(),
+                "{name}: {fmt} roundtrip changed the function"
+            );
+        }
+        assert!(
+            sim::random_equivalent(&from_blif, &from_aag, 4, 0xED).unwrap(),
+            "{name}: BLIF and AIGER readers disagree"
+        );
+        checked += 1;
+    }
+    assert!(checked >= 10, "only {checked} registry circuits swept");
+}

@@ -242,6 +242,57 @@ pub fn swap_blif_lines(bytes: &[u8], seed: u64) -> Option<Vec<u8>> {
     Some(lines.join("\n").into_bytes())
 }
 
+// ---- AIGER byte-stream mutators ------------------------------------------
+//
+// Like the BLIF mutators, these only guarantee the bytes changed: the
+// property under test is that `soi_netlist::aiger` never panics on the
+// result — it either parses a network that passes `validate` or returns a
+// typed `NetworkError`. They work on both flavors (ASCII `aag` and binary
+// `aig`), since both are just byte streams to a fuzzer.
+
+/// Truncates an AIGER byte stream at a random position.
+pub fn truncate_aiger(bytes: &[u8], seed: u64) -> Option<Vec<u8>> {
+    truncate_blif(bytes, seed)
+}
+
+/// Overwrites a handful of random bytes of an AIGER stream; XOR guarantees
+/// each touched byte actually changes, so binary varint sections get
+/// corrupted too, not just ASCII lines.
+pub fn garble_aiger(bytes: &[u8], seed: u64) -> Option<Vec<u8>> {
+    garble_blif(bytes, seed)
+}
+
+/// Perturbs one numeric field of the AIGER header line (`aag M I L O A` or
+/// `aig M I L O A`): off-by-one in either direction, zeroed, or inflated to
+/// an implausibly huge value — the last probing the parser's id-space
+/// budget check. Returns `None` when the stream has no parseable header to
+/// perturb (then `garble_aiger` is the right tool).
+pub fn perturb_aiger_header(bytes: &[u8], seed: u64) -> Option<Vec<u8>> {
+    let line_end = bytes.iter().position(|&b| b == b'\n')?;
+    let header = std::str::from_utf8(&bytes[..line_end]).ok()?;
+    let mut tokens: Vec<String> = header.split_whitespace().map(str::to_string).collect();
+    // magic + the five size fields
+    if tokens.len() < 6 || !(tokens[0] == "aag" || tokens[0] == "aig") {
+        return None;
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let field = rng.gen_range(1..6usize);
+    let old: u64 = tokens[field].parse().ok()?;
+    let new = match rng.gen_range(0..4u8) {
+        0 => old.wrapping_add(1),
+        1 => old.saturating_sub(1),
+        2 => 0,
+        _ => u64::MAX / 2 + rng.gen_range(0..1000u64),
+    };
+    if new == old {
+        return perturb_aiger_header(bytes, seed.wrapping_add(1));
+    }
+    tokens[field] = new.to_string();
+    let mut out = tokens.join(" ").into_bytes();
+    out.extend_from_slice(&bytes[line_end..]);
+    Some(out)
+}
+
 // ---- Domino-circuit mutators ---------------------------------------------
 
 /// Removes one pre-discharge transistor whose absence actually exposes a
@@ -544,6 +595,27 @@ mod tests {
             assert!(drop_blif_line(blif, seed).is_some());
             assert!(swap_blif_lines(blif, seed).is_some());
         }
+    }
+
+    #[test]
+    fn aiger_mutators_change_the_bytes() {
+        let aag = b"aag 3 2 0 1 1\n2\n4\n6\n6 4 2\n";
+        for seed in 0..20 {
+            let truncated = truncate_aiger(aag, seed).unwrap();
+            assert!(truncated.len() < aag.len());
+            assert_ne!(garble_aiger(aag, seed).unwrap(), aag.to_vec());
+            let perturbed = perturb_aiger_header(aag, seed).unwrap();
+            assert_ne!(perturbed, aag.to_vec());
+            // Only the header line is touched.
+            let tail = |b: &[u8]| b[b.iter().position(|&c| c == b'\n').unwrap()..].to_vec();
+            assert_eq!(tail(&perturbed), tail(aag));
+        }
+    }
+
+    #[test]
+    fn perturb_aiger_header_skips_headerless_streams() {
+        assert!(perturb_aiger_header(b"no newline", 0).is_none());
+        assert!(perturb_aiger_header(b"not aiger at all\nrest\n", 0).is_none());
     }
 
     #[test]

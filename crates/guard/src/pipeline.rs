@@ -361,6 +361,29 @@ impl Pipeline {
         };
         self.run(&network)
     }
+
+    /// Parses an AIGER document (ASCII `aag` or binary `aig`, sniffed from
+    /// the magic) and runs the full flow on the resulting network — the
+    /// AIGER counterpart of [`Pipeline::run_blif`].
+    ///
+    /// # Errors
+    ///
+    /// Parse failures surface as [`Stage::Parse`] with the netlist layer's
+    /// [`NetworkError`] (including [`NetworkError::TooManyNodes`] for
+    /// headers past the id space); everything after parsing behaves exactly
+    /// like [`Pipeline::run`].
+    pub fn run_aiger(&self, bytes: &[u8]) -> Result<PipelineReport, StageError> {
+        let trace = self.mapper.config().trace;
+        let network = {
+            let _span = trace.span(TraceStage::Parse);
+            soi_netlist::aiger::parse_bytes(bytes).map_err(|e| StageError {
+                stage: Stage::Parse,
+                context: "<aiger>".to_string(),
+                failure: StageFailure::Network(e),
+            })?
+        };
+        self.run(&network)
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,1085 @@
+//! AIGER reader and writer (combinational subset).
+//!
+//! AIGER is the standard interchange format for and-inverter graphs used by
+//! the model-checking and synthesis communities (EPFL benchmark suites,
+//! HWMCC, ABC). This module reads and writes both flavors:
+//!
+//! * the ASCII format (`aag` magic, `.aag` files), where every literal is
+//!   spelled out and gate definitions may appear in any order, and
+//! * the binary format (`aig` magic, `.aig` files), where inputs are
+//!   implicit and each AND gate is stored as two LEB128-style varint deltas.
+//!
+//! Only the combinational subset is supported — a nonzero latch count is a
+//! typed parse error, matching the purely combinational mapping flow. An
+//! AND-inverter structure maps losslessly onto the existing [`Network`]
+//! model: each AIG conjunction becomes a [`BinOp::And`](crate::BinOp) gate
+//! and negated literals become [`UnOp::Inv`](crate::UnOp) nodes, shared via
+//! [`NetworkBuilder`] structural hashing. Writing re-encodes arbitrary
+//! networks (OR/XOR/NAND/... gates included) into pure AND/INV form.
+//!
+//! The ASCII reader is worklist-driven (Kahn-style, keyed fanin variable →
+//! dependent gates), so a million-gate file in any order parses in linear
+//! time, and all size fields are range-checked against the `u32` node-id
+//! space before anything is allocated — oversized headers surface as
+//! [`NetworkError::TooManyNodes`], never a panic or an OOM.
+//!
+//! # Example
+//!
+//! ```rust
+//! use soi_netlist::aiger;
+//!
+//! # fn main() -> Result<(), soi_netlist::NetworkError> {
+//! // A half adder: sum = a ^ b (three ANDs), carry = a & b.
+//! let text = "\
+//! aag 5 2 0 2 3
+//! 2
+//! 4
+//! 10
+//! 6
+//! 6 4 2
+//! 8 5 3
+//! 10 9 7
+//! i0 a
+//! i1 b
+//! o0 sum
+//! o1 carry
+//! ";
+//! let net = aiger::parse_ascii(text)?;
+//! assert_eq!(net.inputs().len(), 2);
+//! assert_eq!(net.simulate(&[true, false])?, vec![true, false]);
+//! assert_eq!(net.simulate(&[true, true])?, vec![false, true]);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::{builder::NetworkBuilder, BinOp, Network, NetworkError, Node, NodeId, UnOp};
+
+/// One parsed AND-gate definition: output variable and two fanin literals.
+#[derive(Debug, Clone, Copy)]
+struct AndDef {
+    line: usize,
+    var: u64,
+    rhs0: u64,
+    rhs1: u64,
+}
+
+/// What a variable is bound to while building the network.
+#[derive(Debug, Clone, Copy)]
+enum VarDef {
+    /// Primary input number `usize` (index into the input literal list).
+    Input(usize),
+    /// AND gate number `usize` (index into the gate list).
+    Gate(usize),
+}
+
+fn perr(line: usize, message: impl Into<String>) -> NetworkError {
+    NetworkError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses an ASCII (`aag`) AIGER document into a [`Network`].
+///
+/// Gate definitions may appear in any order; resolution is worklist-driven
+/// and linear in the file size. Latches are rejected (combinational subset
+/// only).
+///
+/// # Errors
+///
+/// Returns [`NetworkError::Parse`] describing the offending line on
+/// malformed input, or [`NetworkError::TooManyNodes`] when the declared
+/// sizes exceed the `u32` node-id space.
+pub fn parse_ascii(text: &str) -> Result<Network, NetworkError> {
+    let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l));
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| perr(1, "empty AIGER document"))?;
+    let sizes = parse_header(header, "aag", 1)?;
+
+    // Input literals.
+    let mut input_lits: Vec<(usize, u64)> = Vec::with_capacity(sizes.inputs);
+    for k in 0..sizes.inputs {
+        let (line_no, line) = lines
+            .next()
+            .ok_or_else(|| perr(0, format!("missing input literal {k}")))?;
+        let lit = parse_u64(line.trim(), line_no, "input literal")?;
+        if lit < 2 || lit % 2 != 0 {
+            return Err(perr(
+                line_no,
+                format!("input literal {lit} must be an even non-constant literal"),
+            ));
+        }
+        sizes.check_lit(lit, line_no)?;
+        input_lits.push((line_no, lit));
+    }
+
+    // Output literals.
+    let mut output_lits: Vec<(usize, u64)> = Vec::with_capacity(sizes.outputs);
+    for k in 0..sizes.outputs {
+        let (line_no, line) = lines
+            .next()
+            .ok_or_else(|| perr(0, format!("missing output literal {k}")))?;
+        let lit = parse_u64(line.trim(), line_no, "output literal")?;
+        sizes.check_lit(lit, line_no)?;
+        output_lits.push((line_no, lit));
+    }
+
+    // AND-gate definitions.
+    let mut ands: Vec<AndDef> = Vec::with_capacity(sizes.ands);
+    for k in 0..sizes.ands {
+        let (line_no, line) = lines
+            .next()
+            .ok_or_else(|| perr(0, format!("missing and-gate definition {k}")))?;
+        let mut tok = line.split_whitespace();
+        let mut next = |what: &str| -> Result<u64, NetworkError> {
+            let t = tok
+                .next()
+                .ok_or_else(|| perr(line_no, format!("and-gate definition missing {what}")))?;
+            parse_u64(t, line_no, what)
+        };
+        let lhs = next("output literal")?;
+        let rhs0 = next("first fanin literal")?;
+        let rhs1 = next("second fanin literal")?;
+        if let Some(extra) = tok.next() {
+            return Err(perr(
+                line_no,
+                format!("trailing token `{extra}` after and-gate definition"),
+            ));
+        }
+        if lhs < 2 || lhs % 2 != 0 {
+            return Err(perr(
+                line_no,
+                format!("and-gate output literal {lhs} must be an even non-constant literal"),
+            ));
+        }
+        sizes.check_lit(lhs, line_no)?;
+        sizes.check_lit(rhs0, line_no)?;
+        sizes.check_lit(rhs1, line_no)?;
+        ands.push(AndDef {
+            line: line_no,
+            var: lhs / 2,
+            rhs0,
+            rhs1,
+        });
+    }
+
+    // Symbol table and comment section.
+    let symbols = parse_symbols(lines, sizes.inputs, sizes.outputs)?;
+
+    build(&sizes, &input_lits, &output_lits, ands, symbols, false)
+}
+
+/// Parses a binary (`aig`) AIGER document into a [`Network`].
+///
+/// # Errors
+///
+/// Returns [`NetworkError::Parse`] on malformed headers, non-monotone
+/// deltas or a truncated gate section (the binary body reports byte offsets
+/// in the message since it has no line structure), and
+/// [`NetworkError::TooManyNodes`] for sizes past the `u32` node-id space.
+pub fn parse_binary(bytes: &[u8]) -> Result<Network, NetworkError> {
+    // Header and output literals are ASCII lines; find the end of the
+    // (O + 1)-th line — the gate section starts right after it.
+    let mut cursor = 0usize;
+    let mut header_line = None;
+    let mut line_no = 0usize;
+    let mut output_lits: Vec<(usize, u64)> = Vec::new();
+    let sizes = loop {
+        let end = bytes[cursor..]
+            .iter()
+            .position(|&b| b == b'\n')
+            .map(|p| cursor + p)
+            .ok_or_else(|| perr(line_no + 1, "truncated header section"))?;
+        let line = std::str::from_utf8(&bytes[cursor..end])
+            .map_err(|_| perr(line_no + 1, "header section is not valid UTF-8"))?;
+        line_no += 1;
+        cursor = end + 1;
+        match header_line {
+            None => {
+                let sizes = parse_header(line, "aig", line_no)?;
+                if sizes.max_var != (sizes.inputs + sizes.ands) as u64 {
+                    return Err(perr(
+                        line_no,
+                        format!(
+                            "binary AIGER requires M = I + A (got M={} I={} A={})",
+                            sizes.max_var, sizes.inputs, sizes.ands
+                        ),
+                    ));
+                }
+                header_line = Some(sizes);
+                if sizes.outputs == 0 {
+                    break sizes;
+                }
+            }
+            Some(sizes) => {
+                let lit = parse_u64(line.trim(), line_no, "output literal")?;
+                sizes.check_lit(lit, line_no)?;
+                output_lits.push((line_no, lit));
+                if output_lits.len() == sizes.outputs {
+                    break sizes;
+                }
+            }
+        }
+    };
+
+    // Inputs are implicit: variables 1..=I.
+    let input_lits: Vec<(usize, u64)> =
+        (0..sizes.inputs).map(|k| (0, 2 * (k as u64 + 1))).collect();
+
+    // The delta-encoded gate section: gate k defines variable I + k + 1.
+    let mut ands: Vec<AndDef> = Vec::with_capacity(sizes.ands);
+    for k in 0..sizes.ands {
+        let var = (sizes.inputs + k + 1) as u64;
+        let lhs = 2 * var;
+        let at = cursor;
+        let delta0 = read_varint(bytes, &mut cursor)
+            .ok_or_else(|| perr(0, truncated_gate(k, at, sizes.ands)))?;
+        let delta1 = read_varint(bytes, &mut cursor)
+            .ok_or_else(|| perr(0, truncated_gate(k, at, sizes.ands)))?;
+        let rhs0 = lhs
+            .checked_sub(delta0)
+            .filter(|_| delta0 > 0)
+            .ok_or_else(|| {
+                perr(
+                    0,
+                    format!(
+                        "and gate {k} (byte offset {at}): delta {delta0} does not satisfy \
+                     0 < delta <= lhs {lhs}"
+                    ),
+                )
+            })?;
+        let rhs1 = rhs0.checked_sub(delta1).ok_or_else(|| {
+            perr(
+                0,
+                format!(
+                    "and gate {k} (byte offset {at}): second delta {delta1} exceeds rhs0 {rhs0}"
+                ),
+            )
+        })?;
+        ands.push(AndDef {
+            line: 0,
+            var,
+            rhs0,
+            rhs1,
+        });
+    }
+
+    // Optional trailing symbol table / comment (ASCII again).
+    let tail = std::str::from_utf8(&bytes[cursor..])
+        .map_err(|_| perr(0, "symbol section is not valid UTF-8"))?;
+    let symbols = parse_symbols(
+        tail.lines().map(|l| (0usize, l)),
+        sizes.inputs,
+        sizes.outputs,
+    )?;
+
+    build(&sizes, &input_lits, &output_lits, ands, symbols, true)
+}
+
+/// Parses either AIGER flavor, sniffing the `aag` / `aig` magic.
+///
+/// # Errors
+///
+/// As [`parse_ascii`] / [`parse_binary`]; an unrecognized magic word is a
+/// [`NetworkError::Parse`] on line 1.
+pub fn parse_bytes(bytes: &[u8]) -> Result<Network, NetworkError> {
+    if bytes.starts_with(b"aag ") {
+        let text = std::str::from_utf8(bytes)
+            .map_err(|_| perr(1, "ASCII AIGER document is not valid UTF-8"))?;
+        parse_ascii(text)
+    } else if bytes.starts_with(b"aig ") {
+        parse_binary(bytes)
+    } else {
+        Err(perr(
+            1,
+            "not an AIGER document (expected `aag` or `aig` magic)",
+        ))
+    }
+}
+
+fn truncated_gate(k: usize, at: usize, total: usize) -> String {
+    format!("truncated binary gate section at and gate {k}/{total} (byte offset {at})")
+}
+
+/// Header sizes of an AIGER document: `M I L O A`.
+#[derive(Debug, Clone, Copy)]
+struct Sizes {
+    max_var: u64,
+    inputs: usize,
+    outputs: usize,
+    ands: usize,
+}
+
+impl Sizes {
+    fn check_lit(&self, lit: u64, line: usize) -> Result<(), NetworkError> {
+        if lit / 2 > self.max_var {
+            return Err(perr(
+                line,
+                format!(
+                    "literal {lit} references variable {} past the declared maximum {}",
+                    lit / 2,
+                    self.max_var
+                ),
+            ));
+        }
+        Ok(())
+    }
+}
+
+fn parse_u64(token: &str, line: usize, what: &str) -> Result<u64, NetworkError> {
+    token
+        .parse::<u64>()
+        .map_err(|_| perr(line, format!("invalid {what} `{token}`")))
+}
+
+fn parse_header(line: &str, magic: &str, line_no: usize) -> Result<Sizes, NetworkError> {
+    let mut tok = line.split_whitespace();
+    match tok.next() {
+        Some(m) if m == magic => {}
+        Some(other) => {
+            return Err(perr(
+                line_no,
+                format!("bad magic `{other}` (expected `{magic}`)"),
+            ))
+        }
+        None => return Err(perr(line_no, "empty header line")),
+    }
+    let mut next = |what: &str| -> Result<u64, NetworkError> {
+        let t = tok
+            .next()
+            .ok_or_else(|| perr(line_no, format!("header missing {what} count")))?;
+        parse_u64(t, line_no, what)
+    };
+    let max_var = next("maximum variable")?;
+    let inputs = next("input")?;
+    let latches = next("latch")?;
+    let outputs = next("output")?;
+    let ands = next("and-gate")?;
+    if let Some(extra) = tok.next() {
+        return Err(perr(
+            line_no,
+            format!("trailing token `{extra}` after header (latches/properties unsupported)"),
+        ));
+    }
+    if latches != 0 {
+        return Err(perr(
+            line_no,
+            format!("{latches} latches declared (combinational subset only)"),
+        ));
+    }
+    // Range-check everything against the u32 node-id space before any
+    // allocation: a parsed network needs at most one node per input, two
+    // per AND gate (the conjunction and a shared inverter) plus the two
+    // constants, and each declared count must itself fit the space.
+    let budget = NodeId::MAX_INDEX as u64;
+    let need = (inputs)
+        .checked_add(ands.saturating_mul(2))
+        .and_then(|n| n.checked_add(outputs))
+        .and_then(|n| n.checked_add(2))
+        .unwrap_or(u64::MAX);
+    if need > budget || max_var > budget {
+        return Err(NetworkError::TooManyNodes {
+            index: usize::try_from(need.max(max_var)).unwrap_or(usize::MAX),
+        });
+    }
+    if inputs + ands > max_var {
+        return Err(perr(
+            line_no,
+            format!(
+                "maximum variable {max_var} is smaller than inputs {inputs} + and gates {ands}"
+            ),
+        ));
+    }
+    Ok(Sizes {
+        max_var,
+        inputs: inputs as usize,
+        outputs: outputs as usize,
+        ands: ands as usize,
+    })
+}
+
+/// Parsed symbol table: names for input and output positions.
+#[derive(Debug, Default)]
+struct Symbols {
+    inputs: HashMap<usize, String>,
+    outputs: HashMap<usize, String>,
+}
+
+fn parse_symbols<'a>(
+    lines: impl Iterator<Item = (usize, &'a str)>,
+    inputs: usize,
+    outputs: usize,
+) -> Result<Symbols, NetworkError> {
+    let mut symbols = Symbols::default();
+    for (line_no, raw) in lines {
+        let line = raw.trim_end();
+        if line == "c" {
+            break; // Comment section: everything after is free-form.
+        }
+        if line.is_empty() {
+            continue;
+        }
+        let (kind, rest) = line.split_at(1);
+        let (pos_str, name) = rest
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| perr(line_no, format!("symbol entry `{line}` missing a name")))?;
+        let pos: usize = pos_str
+            .parse()
+            .map_err(|_| perr(line_no, format!("invalid symbol position `{pos_str}`")))?;
+        let (table, limit) = match kind {
+            "i" => (&mut symbols.inputs, inputs),
+            "o" => (&mut symbols.outputs, outputs),
+            other => {
+                return Err(perr(
+                    line_no,
+                    format!("unsupported symbol kind `{other}` (combinational subset only)"),
+                ))
+            }
+        };
+        if pos >= limit {
+            return Err(perr(
+                line_no,
+                format!("symbol position {pos} out of range (only {limit} declared)"),
+            ));
+        }
+        if table.insert(pos, name.to_string()).is_some() {
+            return Err(perr(
+                line_no,
+                format!("duplicate symbol entry `{kind}{pos}`"),
+            ));
+        }
+    }
+    Ok(symbols)
+}
+
+/// LEB128-style varint: 7 bits per byte, MSB = continuation.
+fn read_varint(bytes: &[u8], cursor: &mut usize) -> Option<u64> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = *bytes.get(*cursor)?;
+        *cursor += 1;
+        if shift >= 63 && b > 1 {
+            return None; // Overflow past u64: corrupt stream.
+        }
+        value |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Some(value);
+        }
+        shift += 7;
+    }
+}
+
+fn write_varint(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Materializes the parsed sections into a [`Network`].
+///
+/// `sorted` marks a binary-format gate section, which the format guarantees
+/// is topologically ordered (every rhs literal is smaller than the lhs);
+/// ASCII sections go through the Kahn worklist instead.
+fn build(
+    sizes: &Sizes,
+    input_lits: &[(usize, u64)],
+    output_lits: &[(usize, u64)],
+    ands: Vec<AndDef>,
+    symbols: Symbols,
+    sorted: bool,
+) -> Result<Network, NetworkError> {
+    // Bind each variable to its definition, rejecting duplicate drivers —
+    // the same scale bug class the BLIF parser fixes: a redefined variable
+    // must be a typed error, never a silent overwrite.
+    let mut defs: HashMap<u64, VarDef> = HashMap::with_capacity(sizes.inputs + sizes.ands);
+    for (k, (line, lit)) in input_lits.iter().enumerate() {
+        if defs.insert(lit / 2, VarDef::Input(k)).is_some() {
+            return Err(perr(
+                *line,
+                format!("input literal {lit} redefines variable {}", lit / 2),
+            ));
+        }
+    }
+    for (k, def) in ands.iter().enumerate() {
+        if defs.insert(def.var, VarDef::Gate(k)).is_some() {
+            return Err(perr(
+                def.line,
+                format!(
+                    "and-gate output literal {} redefines variable {}",
+                    2 * def.var,
+                    def.var
+                ),
+            ));
+        }
+    }
+
+    let mut b = NetworkBuilder::new("aiger");
+    b.check_capacity(sizes.inputs + 2 * sizes.ands + sizes.outputs + 2)?;
+    let mut input_nodes: Vec<NodeId> = Vec::with_capacity(sizes.inputs);
+    for k in 0..sizes.inputs {
+        let name = symbols
+            .inputs
+            .get(&k)
+            .cloned()
+            .unwrap_or_else(|| format!("i{k}"));
+        input_nodes.push(b.input(name));
+    }
+
+    // `gate_nodes[k]` is Some once AND gate k has been built.
+    let mut gate_nodes: Vec<Option<NodeId>> = vec![None; ands.len()];
+    {
+        // Resolves a literal to a node, if its variable is already built.
+        // (A closure would fight the borrow checker over `b`.)
+        fn resolve(
+            b: &mut NetworkBuilder,
+            defs: &HashMap<u64, VarDef>,
+            input_nodes: &[NodeId],
+            gate_nodes: &[Option<NodeId>],
+            lit: u64,
+        ) -> Option<NodeId> {
+            let base = match lit / 2 {
+                0 => Some(b.zero()),
+                var => match defs.get(&var)? {
+                    VarDef::Input(k) => Some(input_nodes[*k]),
+                    VarDef::Gate(k) => gate_nodes[*k],
+                },
+            }?;
+            Some(if lit % 2 == 1 { b.inv(base) } else { base })
+        }
+
+        let order: VecDeque<usize> = if sorted {
+            (0..ands.len()).collect()
+        } else {
+            // Kahn worklist: count unresolved fanin variables per gate and
+            // wake dependents as their fanins are defined, so out-of-order
+            // ASCII files build in linear time.
+            let mut unresolved: Vec<usize> = vec![0; ands.len()];
+            let mut waiters: HashMap<u64, Vec<usize>> = HashMap::new();
+            let is_pending = |defs: &HashMap<u64, VarDef>, lit: u64| -> bool {
+                matches!(defs.get(&(lit / 2)), Some(VarDef::Gate(_))) && lit / 2 != 0
+            };
+            let mut ready: VecDeque<usize> = VecDeque::new();
+            for (k, def) in ands.iter().enumerate() {
+                let mut pending = 0;
+                for lit in [def.rhs0, def.rhs1] {
+                    if is_pending(&defs, lit) {
+                        pending += 1;
+                        waiters.entry(lit / 2).or_default().push(k);
+                    }
+                }
+                // A gate always waits on gate-defined fanins, including
+                // itself; direct self-reference lands in the cycle report.
+                unresolved[k] = pending;
+                if pending == 0 {
+                    ready.push_back(k);
+                }
+            }
+            let mut order = VecDeque::with_capacity(ands.len());
+            let mut built = vec![false; ands.len()];
+            while let Some(k) = ready.pop_front() {
+                if built[k] {
+                    continue;
+                }
+                built[k] = true;
+                order.push_back(k);
+                if let Some(waiting) = waiters.remove(&ands[k].var) {
+                    for w in waiting {
+                        unresolved[w] = unresolved[w].saturating_sub(1);
+                        if unresolved[w] == 0 && !built[w] {
+                            ready.push_back(w);
+                        }
+                    }
+                }
+            }
+            if order.len() < ands.len() {
+                let stuck = ands
+                    .iter()
+                    .enumerate()
+                    .find(|(k, _)| !built[*k])
+                    .map(|(_, d)| d)
+                    .expect("some gate must be stuck");
+                return Err(perr(
+                    stuck.line,
+                    format!(
+                        "and gate for variable {} depends on an undefined variable or a cycle",
+                        stuck.var
+                    ),
+                ));
+            }
+            order
+        };
+
+        for k in order {
+            let def = ands[k];
+            let err = |lit: u64| {
+                perr(
+                    def.line,
+                    format!(
+                        "and gate for variable {} references undefined variable {}",
+                        def.var,
+                        lit / 2
+                    ),
+                )
+            };
+            let a = resolve(&mut b, &defs, &input_nodes, &gate_nodes, def.rhs0)
+                .ok_or_else(|| err(def.rhs0))?;
+            let y = resolve(&mut b, &defs, &input_nodes, &gate_nodes, def.rhs1)
+                .ok_or_else(|| err(def.rhs1))?;
+            gate_nodes[k] = Some(b.and(a, y));
+        }
+
+        for (k, (line, lit)) in output_lits.iter().enumerate() {
+            let driver =
+                resolve(&mut b, &defs, &input_nodes, &gate_nodes, *lit).ok_or_else(|| {
+                    perr(
+                        *line,
+                        format!(
+                            "output literal {lit} references undefined variable {}",
+                            lit / 2
+                        ),
+                    )
+                })?;
+            let name = symbols
+                .outputs
+                .get(&k)
+                .cloned()
+                .unwrap_or_else(|| format!("o{k}"));
+            b.output(name, driver);
+        }
+    }
+
+    let network = b.finish();
+    network.validate()?;
+    Ok(network)
+}
+
+// ---- Writing --------------------------------------------------------------
+
+/// A network re-encoded as an and-inverter graph, ready for serialization.
+struct AigEncoding {
+    inputs: usize,
+    /// Per AND gate: `(rhs0, rhs1)` literals with `rhs0 >= rhs1`, in
+    /// topological order (gate `k` defines variable `inputs + k + 1` and
+    /// only references smaller variables, as the binary format requires).
+    ands: Vec<(u64, u64)>,
+    outputs: Vec<u64>,
+    input_names: Vec<String>,
+    output_names: Vec<String>,
+}
+
+impl AigEncoding {
+    const FALSE: u64 = 0;
+    const TRUE: u64 = 1;
+
+    fn from_network(network: &Network) -> AigEncoding {
+        let mut enc = AigEncoding {
+            inputs: network.inputs().len(),
+            ands: Vec::new(),
+            outputs: Vec::new(),
+            input_names: Vec::new(),
+            output_names: Vec::new(),
+        };
+        let mut strash: HashMap<(u64, u64), u64> = HashMap::new();
+        let mut lit_of: Vec<u64> = vec![Self::FALSE; network.len()];
+        let mut next_input = 0u64;
+        for (id, node) in network.iter() {
+            let lit = match node {
+                Node::Input { name } => {
+                    enc.input_names.push(name.clone());
+                    next_input += 1;
+                    2 * next_input
+                }
+                Node::Const { value } => {
+                    if *value {
+                        Self::TRUE
+                    } else {
+                        Self::FALSE
+                    }
+                }
+                Node::Unary { op, a } => {
+                    let a = lit_of[a.index()];
+                    match op {
+                        UnOp::Inv => a ^ 1,
+                        UnOp::Buf => a,
+                    }
+                }
+                Node::Binary { op, a, b } => {
+                    let (a, b) = (lit_of[a.index()], lit_of[b.index()]);
+                    match op {
+                        BinOp::And => enc.and(&mut strash, a, b),
+                        BinOp::Nand => enc.and(&mut strash, a, b) ^ 1,
+                        BinOp::Or => enc.or(&mut strash, a, b),
+                        BinOp::Nor => enc.or(&mut strash, a, b) ^ 1,
+                        BinOp::Xor => enc.xor(&mut strash, a, b),
+                        BinOp::Xnor => enc.xor(&mut strash, a, b) ^ 1,
+                    }
+                }
+            };
+            lit_of[id.index()] = lit;
+        }
+        for port in network.outputs() {
+            enc.outputs.push(lit_of[port.driver.index()]);
+            enc.output_names.push(port.name.clone());
+        }
+        enc
+    }
+
+    /// A structurally hashed, constant-folded AND over two literals.
+    fn and(&mut self, strash: &mut HashMap<(u64, u64), u64>, a: u64, b: u64) -> u64 {
+        if a == Self::FALSE || b == Self::FALSE || a == b ^ 1 {
+            return Self::FALSE;
+        }
+        if a == Self::TRUE {
+            return b;
+        }
+        if b == Self::TRUE || a == b {
+            return a;
+        }
+        let key = if a >= b { (a, b) } else { (b, a) };
+        if let Some(&lit) = strash.get(&key) {
+            return lit;
+        }
+        let var = (self.inputs + self.ands.len() + 1) as u64;
+        self.ands.push(key);
+        strash.insert(key, 2 * var);
+        2 * var
+    }
+
+    fn or(&mut self, strash: &mut HashMap<(u64, u64), u64>, a: u64, b: u64) -> u64 {
+        self.and(strash, a ^ 1, b ^ 1) ^ 1
+    }
+
+    fn xor(&mut self, strash: &mut HashMap<(u64, u64), u64>, a: u64, b: u64) -> u64 {
+        let t0 = self.and(strash, a, b ^ 1);
+        let t1 = self.and(strash, a ^ 1, b);
+        self.or(strash, t0, t1)
+    }
+
+    fn max_var(&self) -> u64 {
+        (self.inputs + self.ands.len()) as u64
+    }
+
+    fn symbol_section(&self) -> String {
+        let mut out = String::new();
+        for (k, name) in self.input_names.iter().enumerate() {
+            out.push_str(&format!("i{k} {name}\n"));
+        }
+        for (k, name) in self.output_names.iter().enumerate() {
+            out.push_str(&format!("o{k} {name}\n"));
+        }
+        out
+    }
+}
+
+/// Serializes a network as ASCII AIGER (`.aag`), re-encoding all gate types
+/// into pure AND/INV form with structural hashing. Input and output names
+/// are preserved through the symbol table.
+pub fn write_ascii(network: &Network) -> String {
+    let enc = AigEncoding::from_network(network);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "aag {} {} 0 {} {}\n",
+        enc.max_var(),
+        enc.inputs,
+        enc.outputs.len(),
+        enc.ands.len()
+    ));
+    for k in 0..enc.inputs {
+        out.push_str(&format!("{}\n", 2 * (k as u64 + 1)));
+    }
+    for lit in &enc.outputs {
+        out.push_str(&format!("{lit}\n"));
+    }
+    for (k, (rhs0, rhs1)) in enc.ands.iter().enumerate() {
+        let lhs = 2 * (enc.inputs + k + 1) as u64;
+        out.push_str(&format!("{lhs} {rhs0} {rhs1}\n"));
+    }
+    out.push_str(&enc.symbol_section());
+    out
+}
+
+/// Serializes a network as binary AIGER (`.aig`): implicit inputs and
+/// varint-delta-encoded AND gates, the compact format the large benchmark
+/// suites ship in.
+pub fn write_binary(network: &Network) -> Vec<u8> {
+    let enc = AigEncoding::from_network(network);
+    let mut out = Vec::new();
+    out.extend_from_slice(
+        format!(
+            "aig {} {} 0 {} {}\n",
+            enc.max_var(),
+            enc.inputs,
+            enc.outputs.len(),
+            enc.ands.len()
+        )
+        .as_bytes(),
+    );
+    for lit in &enc.outputs {
+        out.extend_from_slice(format!("{lit}\n").as_bytes());
+    }
+    for (k, (rhs0, rhs1)) in enc.ands.iter().enumerate() {
+        let lhs = 2 * (enc.inputs + k + 1) as u64;
+        debug_assert!(lhs > *rhs0 && rhs0 >= rhs1);
+        write_varint(&mut out, lhs - rhs0);
+        write_varint(&mut out, rhs0 - rhs1);
+    }
+    out.extend_from_slice(enc.symbol_section().as_bytes());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim;
+
+    fn sample_network() -> Network {
+        let mut n = Network::new("sample");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        let g1 = n.xor2(a, b);
+        let g2 = n.nand2(g1, c);
+        let g3 = n.nor2(g1, a);
+        let g4 = n.xnor2(g2, g3);
+        n.add_output("x", g2);
+        n.add_output("y", g4);
+        n
+    }
+
+    #[test]
+    fn ascii_roundtrip_preserves_function_and_names() {
+        let n = sample_network();
+        let text = write_ascii(&n);
+        let back = parse_ascii(&text).unwrap();
+        assert!(sim::random_equivalent(&n, &back, 8, 3).unwrap());
+        let names: Vec<_> = back
+            .inputs()
+            .iter()
+            .map(|id| match back.node(*id) {
+                Node::Input { name } => name.clone(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+        let out_names: Vec<_> = back.outputs().iter().map(|p| p.name.clone()).collect();
+        assert_eq!(out_names, vec!["x", "y"]);
+    }
+
+    #[test]
+    fn binary_roundtrip_preserves_function() {
+        let n = sample_network();
+        let bytes = write_binary(&n);
+        let back = parse_binary(&bytes).unwrap();
+        assert!(sim::random_equivalent(&n, &back, 8, 5).unwrap());
+    }
+
+    #[test]
+    fn parse_bytes_sniffs_both_formats() {
+        let n = sample_network();
+        let ascii = parse_bytes(write_ascii(&n).as_bytes()).unwrap();
+        let binary = parse_bytes(&write_binary(&n)).unwrap();
+        assert!(sim::random_equivalent(&ascii, &binary, 8, 7).unwrap());
+        assert!(matches!(
+            parse_bytes(b"blah 1 2 3"),
+            Err(NetworkError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_order_ascii_gates_resolve() {
+        // sum-of-two chain written back to front.
+        let text = "\
+aag 4 2 0 1 2
+2
+4
+8
+8 6 2
+6 4 2
+";
+        let n = parse_ascii(text).unwrap();
+        // 6 = a&b, 8 = 6&a = a&b.
+        assert_eq!(n.simulate(&[true, true]).unwrap(), vec![true]);
+        assert_eq!(n.simulate(&[true, false]).unwrap(), vec![false]);
+    }
+
+    #[test]
+    fn constant_literals_evaluate() {
+        // Output 1 is constant true; output wired to !input.
+        let text = "aag 1 1 0 2 0\n2\n1\n3\ni0 a\no0 t\no1 na\n";
+        let n = parse_ascii(text).unwrap();
+        assert_eq!(n.simulate(&[false]).unwrap(), vec![true, true]);
+        assert_eq!(n.simulate(&[true]).unwrap(), vec![true, false]);
+    }
+
+    #[test]
+    fn latches_are_rejected() {
+        let err = parse_ascii("aag 3 1 1 1 0\n2\n4 2\n4\n").unwrap_err();
+        assert!(err.to_string().contains("combinational"), "{err}");
+    }
+
+    #[test]
+    fn malformed_headers_are_typed_errors() {
+        for text in [
+            "",
+            "aag",
+            "aag x 1 0 1 0",
+            "aag 1 1 0 1",
+            "aag 1 1 0 1 0 9",
+            "agg 1 1 0 1 0",
+            "aag 0 1 0 0 1", // M < I + A
+        ] {
+            assert!(
+                matches!(parse_ascii(text), Err(NetworkError::Parse { .. })),
+                "accepted {text:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_header_is_too_many_nodes_not_oom() {
+        let text = format!("aag {} {} 0 1 0\n", u64::MAX / 2, u64::MAX / 2 - 1);
+        assert!(matches!(
+            parse_ascii(&text),
+            Err(NetworkError::TooManyNodes { .. })
+        ));
+        let text = "aag 4294967296 4294967295 0 1 1\n";
+        assert!(matches!(
+            parse_ascii(text),
+            Err(NetworkError::TooManyNodes { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_variable_definition_is_rejected() {
+        // Gate 4 defined twice.
+        let text = "aag 3 1 0 1 2\n2\n6\n4 2 2\n4 2 3\n";
+        let err = parse_ascii(text).unwrap_err();
+        assert!(err.to_string().contains("redefines"), "{err}");
+        // Gate redefining an input.
+        let text = "aag 2 1 0 1 1\n2\n4\n2 2 2\n";
+        let err = parse_ascii(text).unwrap_err();
+        assert!(err.to_string().contains("redefines"), "{err}");
+    }
+
+    #[test]
+    fn undefined_variable_is_reported() {
+        let text = "aag 3 1 0 1 1\n2\n4\n4 6 2\n";
+        let err = parse_ascii(text).unwrap_err();
+        assert!(
+            err.to_string().contains("undefined") || err.to_string().contains("cycle"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn cyclic_gates_are_reported() {
+        let text = "aag 3 1 0 1 2\n2\n4\n4 6 2\n6 4 2\n";
+        let err = parse_ascii(text).unwrap_err();
+        assert!(err.to_string().contains("cycle"), "{err}");
+    }
+
+    #[test]
+    fn truncated_binary_is_a_typed_error() {
+        // One declared AND gate, but the gate section holds zero / half a
+        // definition — and a header cut mid-line.
+        for bytes in [
+            &b"aig 2 1 0 1 1\n4\n"[..],
+            &b"aig 2 1 0 1 1\n4\n\x02"[..],
+            &b"aig 2 1 0 1"[..],
+        ] {
+            let err = parse_binary(bytes).unwrap_err();
+            assert!(
+                matches!(err, NetworkError::Parse { .. }),
+                "{bytes:?}: {err}"
+            );
+            assert!(err.to_string().contains("truncated"), "{err}");
+        }
+    }
+
+    #[test]
+    fn binary_header_must_satisfy_m_equals_i_plus_a() {
+        let err = parse_binary(b"aig 9 2 0 1 2\n6\n").unwrap_err();
+        assert!(err.to_string().contains("M = I + A"), "{err}");
+    }
+
+    #[test]
+    fn symbol_errors_are_reported() {
+        // Out-of-range symbol position.
+        let text = "aag 1 1 0 1 0\n2\n2\ni7 ghost\n";
+        assert!(parse_ascii(text).is_err());
+        // Duplicate symbol.
+        let text = "aag 1 1 0 1 0\n2\n2\ni0 a\ni0 b\n";
+        assert!(parse_ascii(text).is_err());
+        // Unsupported kind.
+        let text = "aag 1 1 0 1 0\n2\n2\nl0 latchy\n";
+        assert!(parse_ascii(text).is_err());
+    }
+
+    #[test]
+    fn comment_section_is_ignored() {
+        let text = "aag 1 1 0 1 0\n2\n2\ni0 a\nc\nany old junk 123 !!\n";
+        let n = parse_ascii(text).unwrap();
+        assert_eq!(n.inputs().len(), 1);
+    }
+
+    #[test]
+    fn writer_emits_topologically_sorted_binary_gates() {
+        // A deliberately shuffled-looking network still encodes with
+        // monotone lhs and rhs < lhs, which parse_binary re-checks by
+        // construction (deltas must be positive).
+        let mut n = Network::new("deep");
+        let mut prev = n.add_input("x0");
+        for i in 1..40 {
+            let x = n.add_input(format!("x{i}"));
+            prev = if i % 3 == 0 {
+                n.or2(prev, x)
+            } else if i % 3 == 1 {
+                n.xor2(prev, x)
+            } else {
+                n.and2(prev, x)
+            };
+        }
+        n.add_output("y", prev);
+        let back = parse_binary(&write_binary(&n)).unwrap();
+        assert!(sim::random_equivalent(&n, &back, 8, 9).unwrap());
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        let mut buf = Vec::new();
+        let values = [
+            0u64,
+            1,
+            127,
+            128,
+            255,
+            16383,
+            16384,
+            u32::MAX as u64,
+            u64::MAX,
+        ];
+        for &v in &values {
+            write_varint(&mut buf, v);
+        }
+        let mut cursor = 0;
+        for &v in &values {
+            assert_eq!(read_varint(&buf, &mut cursor), Some(v));
+        }
+        assert_eq!(cursor, buf.len());
+        // Truncated stream.
+        let mut buf = Vec::new();
+        write_varint(&mut buf, u64::MAX);
+        let mut cursor = 0;
+        assert_eq!(read_varint(&buf[..buf.len() - 1], &mut cursor), None);
+    }
+}

@@ -11,7 +11,7 @@
 //! `0`) is inverted. This lets the real ISCAS'85 / MCNC benchmark files be
 //! dropped into the flow when they are available.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use crate::{builder::NetworkBuilder, Network, NetworkError, Node, NodeId};
 
@@ -197,57 +197,94 @@ pub fn parse(text: &str) -> Result<Network, NetworkError> {
         signals.insert(name.clone(), id);
     }
 
-    // Iteratively resolve covers whose fanins are all known (BLIF files are
-    // not required to be topologically sorted).
-    let mut remaining: Vec<usize> = (0..covers.len()).collect();
-    while !remaining.is_empty() {
-        let mut progressed = false;
-        let mut build_error: Option<NetworkError> = None;
-        remaining.retain(|&idx| {
-            if build_error.is_some() {
-                return true;
-            }
-            let (line, names, rows) = &covers[idx];
-            let fanins = &names[..names.len() - 1];
-            if fanins.iter().all(|f| signals.contains_key(f)) {
-                // `names` is checked non-empty when the cover is collected.
-                let Some(output) = names.last().cloned() else {
-                    build_error = Some(NetworkError::Parse {
-                        line: *line,
-                        message: ".names cover lost its output signal".into(),
-                    });
-                    return true;
-                };
-                match build_cover(&mut b, fanins, rows, &signals, *line) {
-                    Ok(id) => {
-                        signals.insert(output, id);
-                        progressed = true;
-                        false
-                    }
-                    Err(e) => {
-                        build_error = Some(e);
-                        true
-                    }
-                }
-            } else {
-                true
-            }
-        });
-        if let Some(e) = build_error {
-            return Err(e);
-        }
-        if !progressed {
-            let (line, names, _) = &covers[remaining[0]];
-            let missing = names[..names.len() - 1]
-                .iter()
-                .find(|f| !signals.contains_key(*f))
-                .cloned()
-                .unwrap_or_else(|| "?".to_string());
+    // Every signal gets exactly one driver: a cover output that collides
+    // with a primary input or an earlier cover is an error, not a silent
+    // overwrite.
+    let mut driver_of: HashMap<&str, usize> = HashMap::with_capacity(covers.len());
+    for (idx, (line, names, _)) in covers.iter().enumerate() {
+        // `names` is checked non-empty when the cover is collected.
+        let output = names.last().map(String::as_str).unwrap_or_default();
+        if signals.contains_key(output) {
             return Err(NetworkError::Parse {
                 line: *line,
-                message: format!("signal `{missing}` is never defined (or covers form a cycle)"),
+                message: format!(".names output `{output}` redefines a primary input"),
             });
         }
+        if let Some(first) = driver_of.insert(output, idx) {
+            return Err(NetworkError::Parse {
+                line: *line,
+                message: format!(
+                    "signal `{output}` is driven more than once (first driven by the .names \
+                     block on line {})",
+                    covers[first].0
+                ),
+            });
+        }
+    }
+
+    // Resolve covers in dependency order — BLIF files are not required to
+    // be topologically sorted. This is a Kahn-style worklist keyed by
+    // unresolved fanin name: each cover tracks how many of its fanins are
+    // still undefined, and defining a signal wakes exactly the covers
+    // waiting on it, so a shuffled (even fully reverse-ordered) file
+    // resolves in linear time instead of rescanning every pending cover
+    // per pass.
+    let mut unresolved: Vec<usize> = vec![0; covers.len()];
+    let mut waiters: HashMap<&str, Vec<usize>> = HashMap::new();
+    let mut ready: VecDeque<usize> = VecDeque::new();
+    for (idx, (_, names, _)) in covers.iter().enumerate() {
+        let fanins = &names[..names.len() - 1];
+        let pending = fanins.iter().filter(|f| !signals.contains_key(*f)).count();
+        unresolved[idx] = pending;
+        if pending == 0 {
+            ready.push_back(idx);
+        } else {
+            for fanin in fanins.iter().filter(|f| !signals.contains_key(*f)) {
+                waiters.entry(fanin.as_str()).or_default().push(idx);
+            }
+        }
+    }
+    let mut built = 0usize;
+    while let Some(idx) = ready.pop_front() {
+        let (line, names, rows) = &covers[idx];
+        let fanins = &names[..names.len() - 1];
+        let output = names.last().map(String::as_str).unwrap_or_default();
+        // Worst case a cover expands to one inverter per literal plus the
+        // AND/OR trees; bound it before building so a pathologically large
+        // file fails with a typed error instead of a panic.
+        let literals: usize = rows.iter().map(|(mask, _)| mask.chars().count()).sum();
+        b.check_capacity(2 * literals + 2 * rows.len() + 2)?;
+        let id = build_cover(&mut b, fanins, rows, &signals, *line)?;
+        signals.insert(output.to_string(), id);
+        built += 1;
+        if let Some(waiting) = waiters.remove(output) {
+            for w in waiting {
+                unresolved[w] -= 1;
+                if unresolved[w] == 0 {
+                    ready.push_back(w);
+                }
+            }
+        }
+    }
+    if built < covers.len() {
+        // Something never resolved: report the earliest stuck cover and its
+        // first missing fanin (never defined, or part of a cycle).
+        let (line, names, _) = covers
+            .iter()
+            .enumerate()
+            .filter(|(idx, _)| unresolved[*idx] > 0)
+            .map(|(_, c)| c)
+            .min_by_key(|(line, _, _)| *line)
+            .expect("some cover must be unresolved");
+        let missing = names[..names.len() - 1]
+            .iter()
+            .find(|f| !signals.contains_key(*f))
+            .cloned()
+            .unwrap_or_else(|| "?".to_string());
+        return Err(NetworkError::Parse {
+            line: *line,
+            message: format!("signal `{missing}` is never defined (or covers form a cycle)"),
+        });
     }
 
     for name in &output_names {
@@ -308,7 +345,40 @@ fn build_cover(
 
 /// Serializes a network to BLIF. Gates are emitted as `.names` covers; node
 /// signal names are synthesized as `n<id>` unless the node is a named input.
+///
+/// BLIF has a single flat signal namespace, so an output port that shares
+/// its name with a primary input but is driven by different logic is not
+/// expressible as-is — the alias cover would redefine the input. Such ports
+/// are emitted under a uniquified `<name>__out` name (the document stays
+/// parseable and functionally identical; only the colliding port names
+/// change).
 pub fn write(network: &Network) -> String {
+    let input_names: std::collections::HashSet<&str> = network
+        .inputs()
+        .iter()
+        .filter_map(|&id| match network.node(id) {
+            Node::Input { name } => Some(name.as_str()),
+            _ => None,
+        })
+        .collect();
+    // An output may keep an input's name only when that input itself drives
+    // it; anything else must be renamed out of the way.
+    let port_name = |port: &crate::OutputPort| -> String {
+        let drives_itself = matches!(
+            network.node(port.driver),
+            Node::Input { name } if *name == port.name
+        );
+        if !drives_itself && input_names.contains(port.name.as_str()) {
+            let mut renamed = format!("{}__out", port.name);
+            while input_names.contains(renamed.as_str()) {
+                renamed.push('_');
+            }
+            renamed
+        } else {
+            port.name.clone()
+        }
+    };
+
     let mut out = String::new();
     out.push_str(&format!(".model {}\n", network.name()));
     out.push_str(".inputs");
@@ -322,7 +392,7 @@ pub fn write(network: &Network) -> String {
     out.push_str(".outputs");
     for port in network.outputs() {
         out.push(' ');
-        out.push_str(&port.name);
+        out.push_str(&port_name(port));
     }
     out.push('\n');
 
@@ -370,8 +440,9 @@ pub fn write(network: &Network) -> String {
     // Alias outputs onto their drivers with buffers where names differ.
     for port in network.outputs() {
         let drv = signal(port.driver);
-        if drv != port.name {
-            out.push_str(&format!(".names {} {}\n1 1\n", drv, port.name));
+        let name = port_name(port);
+        if drv != name {
+            out.push_str(&format!(".names {} {}\n1 1\n", drv, name));
         }
     }
     out.push_str(".end\n");
@@ -397,6 +468,25 @@ mod tests {
         let text = write(&n);
         let back = parse(&text).unwrap();
         assert!(sim::random_equivalent(&n, &back, 8, 11).unwrap());
+    }
+
+    #[test]
+    fn writer_uniquifies_output_names_that_collide_with_inputs() {
+        // An output port named like an input but driven by other logic has
+        // no direct BLIF spelling; the writer must rename it instead of
+        // emitting a cover that redefines the input.
+        let mut n = Network::new("collide");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g = n.and2(a, b);
+        n.add_output("a", g); // collides with input `a`
+        n.add_output("b", b); // same-named input drives it: no rename
+        let text = write(&n);
+        assert!(text.contains("a__out"), "renamed port missing:\n{text}");
+        let back = parse(&text).expect("written BLIF parses under the strict reader");
+        assert!(sim::random_equivalent(&n, &back, 8, 5).unwrap());
+        assert_eq!(back.outputs()[0].name, "a__out");
+        assert_eq!(back.outputs()[1].name, "b");
     }
 
     #[test]
@@ -428,6 +518,58 @@ mod tests {
 .end
 ";
         let n = parse(text).unwrap();
+        assert_eq!(n.simulate(&[true, true]).unwrap(), vec![true]);
+        assert_eq!(n.simulate(&[true, false]).unwrap(), vec![false]);
+    }
+
+    #[test]
+    fn duplicate_cover_driver_is_rejected() {
+        let text = "\
+.model t
+.inputs a b
+.outputs f
+.names a b f
+11 1
+.names a b f
+1- 1
+.end
+";
+        let err = parse(text).unwrap_err();
+        match err {
+            NetworkError::Parse { line, ref message } => {
+                assert_eq!(line, 6, "{message}");
+                assert!(message.contains("driven more than once"), "{message}");
+                assert!(message.contains("line 4"), "{message}");
+            }
+            other => panic!("expected Parse, got {other}"),
+        }
+    }
+
+    #[test]
+    fn cover_redefining_an_input_is_rejected() {
+        let text = ".model t\n.inputs a b\n.outputs f\n.names b a\n1 1\n.names a b f\n11 1\n.end\n";
+        let err = parse(text).unwrap_err();
+        match err {
+            NetworkError::Parse { line, ref message } => {
+                assert_eq!(line, 4, "{message}");
+                assert!(message.contains("redefines a primary input"), "{message}");
+            }
+            other => panic!("expected Parse, got {other}"),
+        }
+    }
+
+    #[test]
+    fn reverse_topological_chain_resolves() {
+        // A chain emitted back to front: cover k depends on cover k+1's
+        // output. The worklist must resolve it without quadratic rescans
+        // (the perf bound lives in tests/parse_perf.rs; this checks
+        // correctness on a small instance).
+        let mut text = String::from(".model rev\n.inputs a b\n.outputs f\n.names t0 b f\n11 1\n");
+        for k in 0..20 {
+            text.push_str(&format!(".names t{} b t{}\n11 1\n", k + 1, k));
+        }
+        text.push_str(".names a b t20\n11 1\n.end\n");
+        let n = parse(&text).unwrap();
         assert_eq!(n.simulate(&[true, true]).unwrap(), vec![true]);
         assert_eq!(n.simulate(&[true, false]).unwrap(), vec![false]);
     }

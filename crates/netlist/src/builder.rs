@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 
-use crate::{BinOp, Network, NodeId, UnOp};
+use crate::{BinOp, Network, NetworkError, NodeId, UnOp};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum Key {
@@ -62,6 +62,27 @@ impl NetworkBuilder {
     /// Declares a primary input.
     pub fn input(&mut self, name: impl Into<String>) -> NodeId {
         self.network.add_input(name)
+    }
+
+    /// Checks that `additional` more nodes fit the `u32` id space.
+    ///
+    /// Parsers call this before expanding untrusted constructs (a BLIF
+    /// cover, an AIGER gate section) so oversized inputs surface as
+    /// [`NetworkError::TooManyNodes`] instead of panicking deep inside the
+    /// gate constructors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::TooManyNodes`] when the budget would be
+    /// exceeded.
+    pub fn check_capacity(&self, additional: usize) -> Result<(), NetworkError> {
+        let len = self.network.len();
+        if additional > NodeId::MAX_INDEX - len.min(NodeId::MAX_INDEX) {
+            return Err(NetworkError::TooManyNodes {
+                index: len.saturating_add(additional),
+            });
+        }
+        Ok(())
     }
 
     /// Declares `count` inputs named `prefix0..prefixN`.

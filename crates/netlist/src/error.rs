@@ -44,12 +44,18 @@ pub enum NetworkError {
     },
     /// The network has no outputs, so the requested operation is meaningless.
     NoOutputs,
-    /// A parse error in a BLIF file.
+    /// A parse error in a BLIF or AIGER file.
     Parse {
         /// 1-based line number.
         line: usize,
         /// Human-readable message.
         message: String,
+    },
+    /// A node index does not fit the `u32` id space — the network (or the
+    /// file describing it) is larger than the representation supports.
+    TooManyNodes {
+        /// The index that overflowed.
+        index: usize,
     },
 }
 
@@ -74,6 +80,13 @@ impl fmt::Display for NetworkError {
             NetworkError::NoOutputs => write!(f, "network has no outputs"),
             NetworkError::Parse { line, message } => {
                 write!(f, "parse error on line {line}: {message}")
+            }
+            NetworkError::TooManyNodes { index } => {
+                write!(
+                    f,
+                    "node index {index} exceeds the u32 id space ({} max)",
+                    u32::MAX
+                )
             }
         }
     }

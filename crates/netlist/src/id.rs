@@ -1,5 +1,7 @@
 use std::fmt;
 
+use crate::NetworkError;
+
 /// Identifier of a node inside a [`Network`](crate::Network).
 ///
 /// `NodeId`s are dense indices handed out by the network in insertion order;
@@ -19,12 +21,36 @@ use std::fmt;
 pub struct NodeId(pub(crate) u32);
 
 impl NodeId {
+    /// The largest index a `NodeId` can represent.
+    pub const MAX_INDEX: usize = u32::MAX as usize;
+
+    /// Creates a node id from a raw index, returning a typed error when the
+    /// index does not fit the `u32` id space.
+    ///
+    /// The parsers and the builder use this (directly or via capacity
+    /// guards) so that oversized input files surface as
+    /// [`NetworkError::TooManyNodes`] instead of a panic.
+    pub fn try_from_index(index: usize) -> Result<NodeId, NetworkError> {
+        u32::try_from(index)
+            .map(NodeId)
+            .map_err(|_| NetworkError::TooManyNodes { index })
+    }
+
     /// Creates a node id from a raw index.
     ///
     /// This is mainly useful for tooling that serializes networks; ids built
     /// this way are only valid if the index refers to an existing node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds [`NodeId::MAX_INDEX`]; fallible callers
+    /// (parsers, builders fed by untrusted input) should use
+    /// [`NodeId::try_from_index`] instead.
     pub fn from_index(index: usize) -> NodeId {
-        NodeId(u32::try_from(index).expect("node index exceeds u32 range"))
+        match NodeId::try_from_index(index) {
+            Ok(id) => id,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Returns the dense index of this node.
@@ -57,5 +83,21 @@ mod tests {
     #[test]
     fn ordering_follows_index() {
         assert!(NodeId::from_index(1) < NodeId::from_index(2));
+    }
+
+    #[test]
+    fn try_from_index_rejects_overflow_with_typed_error() {
+        assert_eq!(
+            NodeId::try_from_index(NodeId::MAX_INDEX).unwrap().index(),
+            NodeId::MAX_INDEX
+        );
+        let err = NodeId::try_from_index(NodeId::MAX_INDEX + 1).unwrap_err();
+        assert_eq!(
+            err,
+            NetworkError::TooManyNodes {
+                index: NodeId::MAX_INDEX + 1
+            }
+        );
+        assert!(err.to_string().contains("u32 id space"), "{err}");
     }
 }

@@ -14,7 +14,9 @@
 //!   statistics ([`stats`]),
 //! * functional simulation, both single-vector and batched 64-way bit-parallel
 //!   ([`sim`]),
-//! * a BLIF-subset reader/writer ([`blif`]) and DOT export ([`dot`]).
+//! * a BLIF-subset reader/writer ([`blif`]), an AIGER reader/writer for
+//!   ASCII `.aag` and binary `.aig` and-inverter graphs ([`aiger`]), and
+//!   DOT export ([`dot`]).
 //!
 //! # Example
 //!
@@ -38,6 +40,7 @@
 //! # }
 //! ```
 
+pub mod aiger;
 pub mod bdd;
 pub mod blif;
 pub mod builder;

@@ -1,0 +1,108 @@
+//! Parse-time bounds for the worklist-driven readers.
+//!
+//! Both parsers resolve definitions with a Kahn-style worklist (unresolved
+//! fanins → dependents), so a document listing its logic in *reverse*
+//! topological order — the adversarial order for the old rescan loop, which
+//! was quadratic in it — must parse in linear time. The bounds here are
+//! generous (2 s, debug-mode CI) precisely because a regression to O(n²)
+//! blows through them by orders of magnitude: 50k covers under the old
+//! `retain`-rescan took minutes.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use soi_netlist::{aiger, blif};
+
+#[test]
+fn blif_50k_reverse_topological_covers_parse_fast() {
+    // A 50k-deep AND chain written bottom-up: every cover references a
+    // signal that is defined *later* in the file.
+    const COVERS: usize = 50_000;
+    let mut text = String::with_capacity(COVERS * 24);
+    text.push_str(".model reverse-chain\n.inputs a b\n.outputs f\n");
+    writeln!(text, ".names s1 b f\n11 1").unwrap();
+    for k in 1..COVERS {
+        writeln!(text, ".names s{} b s{k}\n11 1", k + 1).unwrap();
+    }
+    writeln!(text, ".names a b s{COVERS}\n11 1").unwrap();
+    text.push_str(".end\n");
+
+    let start = Instant::now();
+    let net = blif::parse(&text).expect("reverse-ordered BLIF parses");
+    let elapsed = start.elapsed();
+    net.validate().unwrap();
+    assert_eq!(net.outputs().len(), 1);
+    assert!(
+        net.stats().binary_gates >= COVERS,
+        "chain built: {} gates",
+        net.stats().binary_gates
+    );
+    assert!(
+        elapsed.as_secs_f64() < 2.0,
+        "50k reverse-topological covers took {elapsed:?} (worklist regression?)"
+    );
+}
+
+#[test]
+fn aiger_100k_reverse_ordered_gates_parse_fast() {
+    // 100k AND gates in an ASCII document, listed in reverse definition
+    // order so every gate's fanins are defined after it in the file.
+    const GATES: usize = 100_000;
+    const INPUTS: usize = 2;
+    let max_var = (INPUTS + GATES) as u64;
+    let mut text = String::with_capacity(GATES * 20);
+    writeln!(text, "aag {max_var} {INPUTS} 0 1 {GATES}").unwrap();
+    writeln!(text, "2\n4").unwrap();
+    writeln!(text, "{}", 2 * max_var).unwrap(); // output: the last gate
+    for var in ((INPUTS as u64 + 1)..=max_var).rev() {
+        // Gate `var` conjoins the previous gate (or the inputs) with input b.
+        let prev = if var == INPUTS as u64 + 1 {
+            2
+        } else {
+            2 * (var - 1)
+        };
+        writeln!(text, "{} {} 4", 2 * var, prev).unwrap();
+    }
+
+    let start = Instant::now();
+    let net = aiger::parse_ascii(&text).expect("reverse-ordered AIGER parses");
+    let elapsed = start.elapsed();
+    net.validate().unwrap();
+    assert_eq!(net.inputs().len(), INPUTS);
+    assert!(
+        elapsed.as_secs_f64() < 2.0,
+        "100k reverse-ordered AIGER gates took {elapsed:?} (worklist regression?)"
+    );
+}
+
+#[test]
+fn aiger_100k_binary_parses_fast() {
+    // The binary flavor is definition-ordered by construction; the bound
+    // covers the varint decoder and builder throughput.
+    const GATES: usize = 100_000;
+    const INPUTS: usize = 2;
+    let max_var = (INPUTS + GATES) as u64;
+    let mut ascii = String::with_capacity(GATES * 20);
+    writeln!(ascii, "aag {max_var} {INPUTS} 0 1 {GATES}").unwrap();
+    writeln!(ascii, "2\n4").unwrap();
+    writeln!(ascii, "{}", 2 * max_var).unwrap();
+    for var in (INPUTS as u64 + 1)..=max_var {
+        let prev = if var == INPUTS as u64 + 1 {
+            2
+        } else {
+            2 * (var - 1)
+        };
+        writeln!(ascii, "{} {} 4", 2 * var, prev).unwrap();
+    }
+    let net = aiger::parse_ascii(&ascii).unwrap();
+    let bytes = aiger::write_binary(&net);
+
+    let start = Instant::now();
+    let back = aiger::parse_binary(&bytes).expect("binary AIGER parses");
+    let elapsed = start.elapsed();
+    back.validate().unwrap();
+    assert!(
+        elapsed.as_secs_f64() < 2.0,
+        "100k binary AIGER gates took {elapsed:?}"
+    );
+}
