@@ -29,9 +29,14 @@
 //! data. A corpus entry that fails to load is a **typed error row** in the
 //! report and fails the run — never a silent skip.
 //!
+//! Every corpus row additionally round-trips a freshly built cone cache
+//! through the persistent store format and times a warm re-run against
+//! the reloaded entries — `persist_warm_ms` is the cross-run amortization
+//! the on-disk format buys.
+//!
 //! Usage:
 //!   cargo run --release -p soi-bench --bin bench [OUT.json]
-//!     (default output: `BENCH_pr7.json` in the working directory;
+//!     (default output: `BENCH_pr8.json` in the working directory;
 //!      the event trace lands at `OUT.json` + `.trace.jsonl`)
 //!   cargo run --release -p soi-bench --bin bench -- --corpus-dir DIR [OUT.json]
 //!     additionally benches every `.aag`/`.aig`/`.blif` file in DIR as
@@ -43,17 +48,20 @@
 //!     the largest — the PR 2 spawn-per-level regression must stay dead.
 //!   cargo run --release -p soi-bench --bin bench -- --corpus-smoke
 //!     CI gate for the AIGER/corpus path: parses and maps every vendored
-//!     corpus AIG end-to-end, then maps one ≥100k-gate synthetic once
-//!     (run under `timeout` in CI; any failure is fatal).
+//!     corpus AIG end-to-end, then races the shipped default config
+//!     against serial/uncached on both ≥100k-gate synthetics — the
+//!     default must stay within a wall-clock envelope and must not lose
+//!     to serial (run under `timeout` in CI; any failure is fatal).
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 use soi_circuits::corpus::{self, SizeBucket};
 use soi_circuits::registry;
-use soi_mapper::{MapConfig, Mapper, MappingResult, Parallelism, TraceHandle};
+use soi_mapper::{ConeCache, MapConfig, Mapper, MappingResult, Parallelism, TraceHandle};
 use soi_netlist::Network;
-use soi_trace::{Counter, JsonLines, Recorder};
+use soi_trace::{Counter, Gauge, JsonLines, Recorder};
 
 /// Timing repetitions per circuit and mode; the minimum is reported.
 const REPS: u32 = 7;
@@ -67,8 +75,24 @@ const SMOKE_CIRCUITS: [&str; 3] = ["cm150", "b9", "c880"];
 /// Largest tolerated parallel/serial ratio on the last smoke circuit.
 const SMOKE_MAX_RATIO: f64 = 1.5;
 
-/// The ≥100k-gate synthetic the `--corpus-smoke` CI gate maps once.
-const CORPUS_SMOKE_HUGE: &str = "synth-mult136";
+/// The ≥100k-gate synthetics the `--corpus-smoke` CI gate maps, with the
+/// PR 7 serial/uncached baseline (milliseconds, 1-thread host) each must
+/// stay within [`CORPUS_SMOKE_WALL_MULTIPLE`] of. The repetitive
+/// multiplier is where the cone cache wins; the low-repetition control
+/// netlist is where the adaptive bypass has to keep it from losing.
+const CORPUS_SMOKE_HUGE: [(&str, f64); 2] =
+    [("synth-mult136", 973.6), ("synth-control-120k", 1376.7)];
+
+/// Generous wall-clock envelope for the huge-bucket smoke circuits: the
+/// serial baseline may drift with the host, but an order-of-magnitude
+/// blowup is a regression, not noise.
+const CORPUS_SMOKE_WALL_MULTIPLE: f64 = 8.0;
+
+/// The shipped default config must not lose to serial/uncached on any
+/// huge-bucket circuit by more than this ratio (noise margin included) —
+/// the cone-cache gate plus the adaptive bypass exist precisely so the
+/// default is never the slow configuration.
+const CORPUS_SMOKE_DEFAULT_MAX_RATIO: f64 = 1.15;
 
 /// Timing repetitions per corpus row, scaled down as circuits grow: a huge
 /// circuit's serial pass runs for seconds, and two interleaved reps already
@@ -87,7 +111,9 @@ struct Entry {
     serial_ms: f64,
     parallel_ms: f64,
     cached_ms: f64,
+    serial_threads: usize,
     parallel_threads: usize,
+    cached_threads: usize,
     cache_hits: u64,
     cache_misses: u64,
     peak_candidates: usize,
@@ -104,6 +130,9 @@ struct Metrics {
     candidates_pruned: u64,
     candidates_exported: u64,
     discharges_inserted: u64,
+    prune_batches: u64,
+    skyline_survivors: u64,
+    scratch_high_water: u64,
     sched_steals: u64,
     sched_wakeups: u64,
     sched_parks: u64,
@@ -149,6 +178,9 @@ fn collect_metrics(
     let candidates_pruned = rec.counter(Counter::CandidatesPruned);
     let candidates_exported = rec.counter(Counter::CandidatesExported);
     let discharges_inserted = rec.counter(Counter::DischargesInserted);
+    let prune_batches = rec.counter(Counter::PruneBatches);
+    let skyline_survivors = rec.counter(Counter::SkylineSurvivors);
+    let scratch_high_water = rec.gauge(Gauge::ScratchHighWater);
     let dp_ms = rec
         .stage_nanos(soi_trace::Stage::Dp)
         .map_or(0.0, |n| n as f64 / 1e6);
@@ -186,6 +218,9 @@ fn collect_metrics(
         candidates_pruned,
         candidates_exported,
         discharges_inserted,
+        prune_batches,
+        skyline_survivors,
+        scratch_high_water,
         sched_steals,
         sched_wakeups,
         sched_parks,
@@ -296,9 +331,17 @@ enum CorpusRow {
         parallel_ms: f64,
         cached_ms: f64,
         parallel_threads: usize,
+        cached_threads: usize,
         cache_hits: u64,
         cache_misses: u64,
         counts_match: bool,
+        /// Size of the persistent store the cache-building run produced.
+        persist_store_bytes: usize,
+        /// Best timed re-run against a fresh cache reloaded from that
+        /// store — the warm-start the persistent format exists to buy.
+        persist_warm_ms: f64,
+        /// Cache hits the warm run took (every one served from the store).
+        persist_hits: u64,
     },
     Err {
         name: String,
@@ -320,11 +363,54 @@ fn bench_corpus_network(
     let reps = corpus_reps(bucket);
     let [(serial_ms, s), (parallel_ms, p), (cached_ms, c)] =
         best_ms_interleaved([serial, auto, cached], network, reps);
-    let counts_match = same_outcome(&s, &p) && same_outcome(&s, &c);
+    let mut counts_match = same_outcome(&s, &p) && same_outcome(&s, &c);
+
+    // Persistent warm start: build a cache, round-trip it through the
+    // on-disk store format in memory, and time a re-run against the
+    // reloaded entries — the cross-run amortization the store exists for.
+    let with_cache = |cache: &Arc<ConeCache>| {
+        Mapper::soi(MapConfig {
+            parallelism: Parallelism::Auto,
+            cone_cache: true,
+            cone_cache_min_gates: 0,
+            ..MapConfig::default()
+        })
+        .with_cone_cache(Arc::clone(cache))
+    };
+    let build_cache = Arc::new(ConeCache::new());
+    with_cache(&build_cache)
+        .run(network)
+        .expect("cache-building corpus run maps");
+    let mut store = Vec::new();
+    build_cache
+        .save_to(&mut store)
+        .expect("in-memory store write");
+    let persist_store_bytes = store.len();
+    let reloaded = Arc::new(ConeCache::new());
+    reloaded
+        .load_from(&store[..])
+        .expect("pristine store reloads");
+    let warm = with_cache(&reloaded);
+    let mut persist_warm_ms = f64::INFINITY;
+    let mut persist_hits = 0;
+    // Warm reps share the reloaded cache, so its sticky bypass latches
+    // carry across reps (a later rep may probe less than the first); the
+    // reported hits must come from the same rep as the reported time.
+    for _ in 0..reps.min(2) {
+        let (ms, w) = time_once(&warm, network);
+        counts_match &= same_outcome(&s, &w);
+        if ms < persist_warm_ms {
+            persist_warm_ms = ms;
+            persist_hits = w.cone_cache_hits;
+        }
+    }
     eprintln!(
         "  [{bucket}] {name}: {gates} gates, serial {serial_ms:.1} ms / auto({}t) \
-         {parallel_ms:.1} ms / cached {cached_ms:.1} ms, hit rate {:.0}%{}",
+         {parallel_ms:.1} ms / cached({}t) {cached_ms:.1} ms / persist-warm \
+         {persist_warm_ms:.1} ms ({} KiB store), hit rate {:.0}%{}",
         p.threads_used,
+        c.threads_used,
+        persist_store_bytes / 1024,
         c.cone_cache_hit_rate().unwrap_or(0.0) * 100.0,
         if counts_match { "" } else { "  ** MISMATCH **" }
     );
@@ -336,9 +422,13 @@ fn bench_corpus_network(
         parallel_ms,
         cached_ms,
         parallel_threads: p.threads_used,
+        cached_threads: c.threads_used,
         cache_hits: c.cone_cache_hits,
         cache_misses: c.cone_cache_misses,
         counts_match,
+        persist_store_bytes,
+        persist_warm_ms,
+        persist_hits,
     }
 }
 
@@ -438,22 +528,87 @@ fn corpus_smoke() {
             result.counts.total
         );
     }
+    // Huge tier: the default config (Auto + gated cone cache + adaptive
+    // bypass) races serial/uncached on both ≥100k-gate synthetics. The
+    // default losing on *any* huge circuit means a shipped knob is
+    // mis-tuned — that is a failure, not a data point.
+    let serial = soi_mapper(Parallelism::Serial, false);
+    for (name, baseline_ms) in CORPUS_SMOKE_HUGE {
+        let huge = corpus::load(name)
+            .unwrap_or_else(|e| panic!("corpus smoke: `{name}` failed to load: {e}"));
+        let gates = huge.stats().binary_gates;
+        assert!(
+            gates >= 100_000,
+            "corpus smoke: `{name}` shrank below the 100k-gate tier ({gates} gates)"
+        );
+        let [(serial_ms, s), (default_ms, d)] =
+            best_ms_interleaved([&serial, &mapper], &huge, 2);
+        assert!(
+            same_outcome(&s, &d),
+            "corpus smoke: `{name}`: default config diverged from serial/uncached"
+        );
+        let wall_limit = baseline_ms * CORPUS_SMOKE_WALL_MULTIPLE;
+        assert!(
+            serial_ms <= wall_limit && default_ms <= wall_limit,
+            "corpus smoke: `{name}` blew the wall-clock envelope (serial {serial_ms:.1} ms, \
+             default {default_ms:.1} ms, limit {wall_limit:.0} ms = {CORPUS_SMOKE_WALL_MULTIPLE}x \
+             the {baseline_ms:.1} ms baseline)"
+        );
+        let ratio = default_ms / serial_ms.max(1e-9);
+        assert!(
+            ratio <= CORPUS_SMOKE_DEFAULT_MAX_RATIO,
+            "corpus smoke: `{name}`: default config is {ratio:.2}x serial/uncached \
+             (limit {CORPUS_SMOKE_DEFAULT_MAX_RATIO}x) — the cone-cache gate or the adaptive \
+             bypass stopped paying for itself"
+        );
+        eprintln!(
+            "corpus smoke ok: {name} ({gates} gates) serial {serial_ms:.1} ms / default \
+             {default_ms:.1} ms (ratio {ratio:.2}, {} transistors)",
+            d.counts.total
+        );
+    }
+}
+
+/// Diagnostic: maps one corpus entry with the default config and a
+/// recorder attached, and prints the per-tier cache counters the corpus
+/// rows aggregate away — the data the `cache_bypass_floor_permille`
+/// default is tuned against.
+fn tier_probe(name: &str) {
+    let network = corpus::load(name).unwrap_or_else(|e| panic!("`{name}` failed to load: {e}"));
+    let (rec, trace) = Recorder::install();
+    rec.reset();
     let start = Instant::now();
-    let huge = corpus::load(CORPUS_SMOKE_HUGE)
-        .unwrap_or_else(|e| panic!("corpus smoke: `{CORPUS_SMOKE_HUGE}` failed to load: {e}"));
-    let gates = huge.stats().binary_gates;
-    assert!(
-        gates >= 100_000,
-        "corpus smoke: `{CORPUS_SMOKE_HUGE}` shrank below the 100k-gate tier ({gates} gates)"
-    );
-    let result = mapper
-        .run(&huge)
-        .unwrap_or_else(|e| panic!("corpus smoke: `{CORPUS_SMOKE_HUGE}` failed to map: {e}"));
+    let floor = std::env::var("SOI_BYPASS_FLOOR")
+        .ok()
+        .and_then(|v| v.parse().ok());
+    let mut probe_config = MapConfig {
+        trace,
+        ..MapConfig::default()
+    };
+    if let Some(f) = floor {
+        probe_config.cache_bypass_floor_permille = f;
+    }
+    let result = Mapper::soi(probe_config)
+    .run(&network)
+    .unwrap_or_else(|e| panic!("`{name}` failed to map: {e}"));
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+    let node_probes = rec.counter(Counter::NodeTierProbes);
+    let node_hits = rec.counter(Counter::NodeTierHits);
     eprintln!(
-        "corpus smoke ok: {CORPUS_SMOKE_HUGE} ({gates} gates) mapped in {:.1} ms \
-         ({} transistors)",
-        start.elapsed().as_secs_f64() * 1e3,
-        result.counts.total
+        "{name}: {ms:.1} ms, overall cache {} hits / {} misses, cone tier {} unit hits \
+         ({} gate-weighted), node tier {node_hits}/{node_probes} probes hit ({:.1}%), \
+         tier bypasses {}, persist hits {}",
+        result.cone_cache_hits,
+        result.cone_cache_misses,
+        rec.counter(Counter::ConeTierHits),
+        rec.counter(Counter::ConeTierGateHits),
+        if node_probes > 0 {
+            node_hits as f64 / node_probes as f64 * 100.0
+        } else {
+            0.0
+        },
+        rec.counter(Counter::TierBypasses),
+        rec.counter(Counter::PersistHits),
     );
 }
 
@@ -478,13 +633,17 @@ fn main() {
                 corpus_smoke();
                 return;
             }
+            "--tier-probe" => {
+                tier_probe(&args.next().expect("--tier-probe needs a corpus entry name"));
+                return;
+            }
             "--corpus-dir" => {
                 corpus_dir = Some(args.next().expect("--corpus-dir needs a directory"));
             }
             other => out_path = Some(other.to_string()),
         }
     }
-    let out_path = out_path.unwrap_or_else(|| "BENCH_pr7.json".into());
+    let out_path = out_path.unwrap_or_else(|| "BENCH_pr8.json".into());
 
     let mut names: Vec<&'static str> = registry::TABLE2.to_vec();
     for name in registry::TABLE1 {
@@ -530,7 +689,9 @@ fn main() {
             serial_ms,
             parallel_ms,
             cached_ms,
+            serial_threads: s.threads_used,
             parallel_threads: p.threads_used,
+            cached_threads: c.threads_used,
             cache_hits: c.cone_cache_hits,
             cache_misses: c.cone_cache_misses,
             peak_candidates: s.peak_candidates,
@@ -590,9 +751,21 @@ fn main() {
     let _ = writeln!(json, "  \"host_threads\": {host_threads},");
     let _ = writeln!(
         json,
+        "  \"auto_policy\": {{\"description\": \"how Parallelism::Auto resolved on this host: \
+         serial below {} gates or on a 1-thread host, otherwise min(host_threads, units / {}); \
+         each row's *_threads_used fields record what every mode actually ran with — a 1 under \
+         `parallel_threads_used` on this host means Auto judged multithreading a loss, not that \
+         the scheduler was skipped\", \"min_parallel_gates\": {}, \"units_per_thread\": {}}},",
+        Parallelism::AUTO_MIN_PARALLEL_GATES,
+        Parallelism::AUTO_UNITS_PER_THREAD,
+        Parallelism::AUTO_MIN_PARALLEL_GATES,
+        Parallelism::AUTO_UNITS_PER_THREAD,
+    );
+    let _ = writeln!(
+        json,
         "  \"modes\": {{\"serial\": \"Parallelism::Serial, cone_cache off\", \"parallel\": \
          \"Parallelism::Auto, cone_cache off\", \"cached\": \"Parallelism::Auto, cone_cache on \
-         (default config)\"}},"
+         (default config, adaptive bypass active)\"}},"
     );
     let _ = writeln!(json, "  \"circuits\": [");
     let last = entries.len().saturating_sub(1);
@@ -619,7 +792,8 @@ fn main() {
         let _ = writeln!(
             json,
             "    {{\"name\": \"{}\", \"tables\": \"{}\", \"serial_ms\": {:.3}, \"parallel_ms\": \
-             {:.3}, \"cached_ms\": {:.3}, \"parallel_threads_used\": {}, \"speedup_parallel\": \
+             {:.3}, \"cached_ms\": {:.3}, \"serial_threads_used\": {}, \
+             \"parallel_threads_used\": {}, \"cached_threads_used\": {}, \"speedup_parallel\": \
              {:.3}, \"speedup_cached\": {:.3}, \"cache_hits\": {}, \"cache_misses\": {}, \
              \"cache_hit_rate\": {:.3}, \"peak_candidates\": {}, \"total_transistors\": {}, \
              \"counts_match\": {},",
@@ -628,7 +802,9 @@ fn main() {
             e.serial_ms,
             e.parallel_ms,
             e.cached_ms,
+            e.serial_threads,
             e.parallel_threads,
+            e.cached_threads,
             e.serial_ms / e.parallel_ms.max(1e-9),
             e.serial_ms / e.cached_ms.max(1e-9),
             e.cache_hits,
@@ -642,6 +818,7 @@ fn main() {
             json,
             "     \"metrics\": {{\"combine_steps\": {}, \"candidates_generated\": {}, \
              \"candidates_pruned\": {}, \"candidates_exported\": {}, \"discharges_inserted\": {}, \
+             \"prune_batches\": {}, \"skyline_survivors\": {}, \"scratch_high_water\": {}, \
              \"dp_ms\": {:.3}, \"sched_steals\": {}, \"sched_wakeups\": {}, \"sched_parks\": {}, \
              \"worker_units\": [{}], \"node_tier_probes\": {}, \"node_tier_hits\": {}, \
              \"node_tier_misses\": {}, \"node_tier_hit_rate\": {:.3}, \"cone_tier_hits\": {}, \
@@ -651,6 +828,9 @@ fn main() {
             m.candidates_pruned,
             m.candidates_exported,
             m.discharges_inserted,
+            m.prune_batches,
+            m.skyline_survivors,
+            m.scratch_high_water,
             m.dp_ms,
             m.sched_steals,
             m.sched_wakeups,
@@ -692,9 +872,13 @@ fn main() {
                 parallel_ms,
                 cached_ms,
                 parallel_threads,
+                cached_threads,
                 cache_hits,
                 cache_misses,
                 counts_match,
+                persist_store_bytes,
+                persist_warm_ms,
+                persist_hits,
             } => {
                 let total = cache_hits + cache_misses;
                 let hit_rate = if total > 0 {
@@ -707,13 +891,17 @@ fn main() {
                     "      {{\"name\": \"{name}\", \"bucket\": \"{bucket}\", \"gates\": {gates}, \
                      \"serial_ms\": {serial_ms:.3}, \"parallel_ms\": {parallel_ms:.3}, \
                      \"cached_ms\": {cached_ms:.3}, \"parallel_threads_used\": \
-                     {parallel_threads}, \"speedup_parallel\": {:.3}, \"speedup_cached\": {:.3}, \
+                     {parallel_threads}, \"cached_threads_used\": {cached_threads}, \
+                     \"speedup_parallel\": {:.3}, \"speedup_cached\": {:.3}, \
                      \"cached_vs_parallel\": {:.3}, \"cache_hits\": {cache_hits}, \
                      \"cache_misses\": {cache_misses}, \"cache_hit_rate\": {hit_rate:.3}, \
-                     \"counts_match\": {counts_match}}}{sep}",
+                     \"persist_store_bytes\": {persist_store_bytes}, \"persist_warm_ms\": \
+                     {persist_warm_ms:.3}, \"persist_warm_vs_cached\": {:.3}, \"persist_hits\": \
+                     {persist_hits}, \"counts_match\": {counts_match}}}{sep}",
                     serial_ms / parallel_ms.max(1e-9),
                     serial_ms / cached_ms.max(1e-9),
                     parallel_ms / cached_ms.max(1e-9),
+                    cached_ms / persist_warm_ms.max(1e-9),
                 );
             }
             CorpusRow::Err { name, error } => {

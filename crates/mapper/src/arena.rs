@@ -1,0 +1,354 @@
+//! Struct-of-arrays candidate arena for the DP inner loop.
+//!
+//! The per-node combination loop generates hundreds of candidates, prunes
+//! them per shape, and stages the survivors for export. Storing them as
+//! `Vec<Cand>` (array-of-structs) made the dominance prune walk 56-byte
+//! rows to compare a handful of `u32` coordinates; the [`CandArena`] packs
+//! each of the twelve dominance coordinates into its own contiguous
+//! column, so the batched skyline sweep ([`skyline_prune`]) streams
+//! cache-line-dense `u32` lanes instead. Candidates are addressed by `u32`
+//! handles; the columns (and the per-worker handle vectors around them)
+//! are cleared, never dropped, so their capacity is retained across nodes
+//! and cone units.
+//!
+//! The flag pair (`par_b`, `touches_pi`) is pre-encoded as a 2-bit
+//! dominance *rank* byte (see [`CandArena::rank`]): `x` is no worse than
+//! `y` on both flags exactly when `rank(x) & !rank(y) == 0`, and comparing
+//! the byte numerically orders by `par_b` then `touches_pi` — the same
+//! coordinate order the dominance check uses.
+
+use std::cmp::Ordering;
+
+use crate::tuple::{Cand, Form, TupleKey};
+use crate::{Cost, CostModel};
+
+/// Number of `u32` dominance coordinates per candidate (grounded cost,
+/// on-top cost, spine and branch potential points).
+const COLS: usize = 10;
+
+/// Struct-of-arrays candidate storage, indexed by `u32` handles.
+#[derive(Default)]
+pub(crate) struct CandArena {
+    /// Coordinate columns, in dominance order: `g.tx, g.wtx, g.disch,
+    /// g.level, u.tx, u.wtx, u.disch, u.level, p_spine, p_branch`.
+    cols: [Vec<u32>; COLS],
+    /// Flag dominance ranks: bit 1 = `!par_b`, bit 0 = `touches_pi`
+    /// (smaller is better on both, matching the cost columns).
+    ranks: Vec<u8>,
+    /// Back-pointer forms, row-aligned with the columns.
+    forms: Vec<Form>,
+}
+
+impl CandArena {
+    /// Number of candidates stored.
+    pub fn len(&self) -> usize {
+        self.forms.len()
+    }
+
+    /// Drops all candidates, keeping every column's capacity.
+    pub fn clear(&mut self) {
+        for col in &mut self.cols {
+            col.clear();
+        }
+        self.ranks.clear();
+        self.forms.clear();
+    }
+
+    /// Appends a candidate, returning its handle.
+    pub fn push(&mut self, c: Cand) -> u32 {
+        let h = self.forms.len() as u32;
+        let coords = [
+            c.g.tx, c.g.wtx, c.g.disch, c.g.level, c.u.tx, c.u.wtx, c.u.disch, c.u.level,
+            c.p_spine, c.p_branch,
+        ];
+        for (col, v) in self.cols.iter_mut().zip(coords) {
+            col.push(v);
+        }
+        self.ranks
+            .push(u8::from(!c.par_b) << 1 | u8::from(c.touches_pi));
+        self.forms.push(c.form);
+        h
+    }
+
+    /// Materializes the candidate behind a handle.
+    pub fn get(&self, h: u32) -> Cand {
+        let i = h as usize;
+        let v = |c: usize| self.cols[c][i];
+        Cand {
+            g: Cost {
+                tx: v(0),
+                wtx: v(1),
+                disch: v(2),
+                level: v(3),
+            },
+            u: Cost {
+                tx: v(4),
+                wtx: v(5),
+                disch: v(6),
+                level: v(7),
+            },
+            p_spine: v(8),
+            p_branch: v(9),
+            par_b: self.ranks[i] & 2 == 0,
+            touches_pi: self.ranks[i] & 1 != 0,
+            form: self.forms[i],
+        }
+    }
+
+    /// The grounded cost of a handle (what the cost model ranks by).
+    pub fn g(&self, h: u32) -> Cost {
+        let i = h as usize;
+        Cost {
+            tx: self.cols[0][i],
+            wtx: self.cols[1][i],
+            disch: self.cols[2][i],
+            level: self.cols[3][i],
+        }
+    }
+
+    /// Whether `x` dominates `y`: no worse on every coordinate that can
+    /// influence any future cost — both cost vectors, both potential-point
+    /// counts, and the flag ranks (`par_b` at least as good, `touches_pi`
+    /// no worse).
+    pub fn dominates(&self, x: u32, y: u32) -> bool {
+        let (x, y) = (x as usize, y as usize);
+        self.ranks[x] & !self.ranks[y] == 0 && self.cols.iter().all(|col| col[x] <= col[y])
+    }
+
+    /// Total order extending dominance: coordinate-lexicographic over the
+    /// columns, then the flag rank byte. `x` dominates `y` (component-wise
+    /// `<=` everywhere) implies `x <= y` here, so a sweep in this order
+    /// only ever meets a candidate's dominators *before* it.
+    pub fn lex_cmp(&self, x: u32, y: u32) -> Ordering {
+        let (x, y) = (x as usize, y as usize);
+        for col in &self.cols {
+            match col[x].cmp(&col[y]) {
+                Ordering::Equal => {}
+                other => return other,
+            }
+        }
+        self.ranks[x].cmp(&self.ranks[y])
+    }
+}
+
+/// Batched replacement for the quadratic insert-scan-retain Pareto prune.
+///
+/// `group` is one shape's `(key, handle)` run in generation order; `order`
+/// and `kept` are reused scratch vectors. On return `kept` holds the
+/// surviving *handles*, sorted by the model's grounded key with ties
+/// broken by generation order and capped at `max` — bit-identical to what
+/// the old quadratic loop plus stable sort produced (see DESIGN.md §7.2
+/// for the linear-extension argument). Returns the skyline survivor count
+/// before the cap.
+///
+/// The sweep sorts positions by [`CandArena::lex_cmp`] (a linear extension
+/// of dominance, ties broken toward earlier generation), then scans
+/// forward keeping anything no earlier keeper dominates. Because every
+/// dominator of a candidate sorts before it, the backward `retain` pass of
+/// the old loop is unnecessary, and each comparison streams column-packed
+/// `u32`s. Mutual dominance (coordinate-equal candidates with different
+/// forms) resolves to the earliest-generated one, exactly like the old
+/// first-wins insertion.
+pub(crate) fn skyline_prune(
+    arena: &CandArena,
+    group: &[(TupleKey, u32)],
+    order: &mut Vec<u32>,
+    kept: &mut Vec<u32>,
+    model: &CostModel,
+    max: usize,
+) -> usize {
+    order.clear();
+    order.extend(0..group.len() as u32);
+    order.sort_unstable_by(|&x, &y| {
+        arena
+            .lex_cmp(group[x as usize].1, group[y as usize].1)
+            .then(x.cmp(&y))
+    });
+    kept.clear();
+    'sweep: for &pos in order.iter() {
+        let cand = group[pos as usize].1;
+        for &kpos in kept.iter() {
+            if arena.dominates(group[kpos as usize].1, cand) {
+                continue 'sweep;
+            }
+        }
+        kept.push(pos);
+    }
+    let survivors = kept.len();
+    kept.sort_unstable_by_key(|&pos| (model.key(&arena.g(group[pos as usize].1)), pos));
+    kept.truncate(max);
+    for pos in kept.iter_mut() {
+        *pos = group[*pos as usize].1;
+    }
+    survivors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_unate::{Literal, Phase};
+
+    fn cand(tag: usize, g: Cost, u: Cost, spine: u32, branch: u32, par_b: bool, pi: bool) -> Cand {
+        Cand {
+            g,
+            u,
+            p_spine: spine,
+            p_branch: branch,
+            par_b,
+            touches_pi: pi,
+            form: Form::Lit(Literal {
+                input: tag,
+                phase: Phase::Pos,
+            }),
+        }
+    }
+
+    #[test]
+    fn round_trips_candidates() {
+        let mut a = CandArena::default();
+        let c = cand(
+            7,
+            Cost {
+                tx: 1,
+                wtx: 2,
+                disch: 3,
+                level: 4,
+            },
+            Cost {
+                tx: 5,
+                wtx: 6,
+                disch: 7,
+                level: 8,
+            },
+            9,
+            10,
+            true,
+            false,
+        );
+        let h = a.push(c);
+        let back = a.get(h);
+        assert_eq!(back.g, c.g);
+        assert_eq!(back.u, c.u);
+        assert_eq!(back.p_spine, 9);
+        assert_eq!(back.p_branch, 10);
+        assert!(back.par_b);
+        assert!(!back.touches_pi);
+        assert_eq!(a.g(h), c.g);
+        assert!(matches!(back.form, Form::Lit(l) if l.input == 7));
+        a.clear();
+        assert_eq!(a.len(), 0);
+    }
+
+    #[test]
+    fn rank_byte_encodes_flag_dominance() {
+        let mut a = CandArena::default();
+        let base = Cost::transistors(1);
+        // par_b=true, touches_pi=false is the best flag pair; it dominates
+        // every other combination (costs equal).
+        let best = a.push(cand(0, base, base, 0, 0, true, false));
+        for (i, (p, t)) in [(true, true), (false, false), (false, true)]
+            .into_iter()
+            .enumerate()
+        {
+            let other = a.push(cand(i + 1, base, base, 0, 0, p, t));
+            assert!(a.dominates(best, other));
+            assert!(!a.dominates(other, best));
+            assert_eq!(a.lex_cmp(best, other), Ordering::Less);
+        }
+    }
+
+    #[test]
+    fn lex_order_extends_dominance() {
+        let mut a = CandArena::default();
+        let cheap = a.push(cand(0, Cost::transistors(2), Cost::transistors(3), 1, 0, false, false));
+        let costly = a.push(cand(1, Cost::transistors(2), Cost::transistors(4), 1, 0, false, false));
+        assert!(a.dominates(cheap, costly));
+        assert_eq!(a.lex_cmp(cheap, costly), Ordering::Less);
+        assert_eq!(a.lex_cmp(cheap, cheap), Ordering::Equal);
+    }
+}
+
+/// The batched skyline prune must be a drop-in for the quadratic
+/// reference prune: same survivor *set*, same *order*, same cap — over
+/// random candidate clouds dense enough to force dominance chains, exact
+/// coordinate ties (first-wins), and mutual domination between distinct
+/// forms.
+#[cfg(test)]
+mod equivalence {
+    use proptest::prelude::*;
+    use soi_unate::{Literal, Phase};
+
+    use super::*;
+    use crate::config::{Algorithm, Objective};
+    use crate::soi::prune_reference;
+    use crate::MapConfig;
+
+    /// Tiny coordinate ranges so a 60-candidate cloud is saturated with
+    /// ties and dominated rows — the interesting regime for both prunes.
+    fn cost() -> impl Strategy<Value = Cost> {
+        (0u32..4, 0u32..4, 0u32..3, 0u32..3).prop_map(|(tx, wtx, disch, level)| Cost {
+            tx,
+            wtx,
+            disch,
+            level,
+        })
+    }
+
+    type RawCand = (Cost, Cost, u32, u32, bool, bool);
+
+    fn cloud() -> impl Strategy<Value = Vec<RawCand>> {
+        proptest::collection::vec((cost(), cost(), 0u32..3, 0u32..3, any::<bool>(), any::<bool>()), 0..60)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(192))]
+        #[test]
+        fn skyline_prune_matches_quadratic_reference(
+            raw in cloud(),
+            cap in 1usize..6,
+            uncapped in any::<bool>(),
+            depth_objective in any::<bool>(),
+        ) {
+            let config = MapConfig {
+                objective: if depth_objective { Objective::Depth } else { Objective::Area },
+                ..MapConfig::default()
+            };
+            let model = CostModel::new(&config, Algorithm::SoiDominoMap);
+            let max = if uncapped { usize::MAX } else { cap };
+            // The `Lit` input doubles as an identity tag: equal lists mean
+            // the same candidates in the same order, not just equal costs.
+            let cands: Vec<Cand> = raw
+                .into_iter()
+                .enumerate()
+                .map(|(i, (g, u, p_spine, p_branch, par_b, touches_pi))| Cand {
+                    g,
+                    u,
+                    p_spine,
+                    p_branch,
+                    par_b,
+                    touches_pi,
+                    form: Form::Lit(Literal {
+                        input: i,
+                        phase: Phase::Pos,
+                    }),
+                })
+                .collect();
+
+            let mut reference = Vec::new();
+            prune_reference(cands.iter().copied(), &mut reference, &model, max);
+
+            let mut arena = CandArena::default();
+            let key = TupleKey { w: 1, h: 1 };
+            let group: Vec<(TupleKey, u32)> =
+                cands.iter().map(|&c| (key, arena.push(c))).collect();
+            let (mut order, mut kept) = (Vec::new(), Vec::new());
+            let survivors = skyline_prune(&arena, &group, &mut order, &mut kept, &model, max);
+            let sky: Vec<Cand> = kept.iter().map(|&h| arena.get(h)).collect();
+
+            // Survivor count is reported before the cap truncates.
+            prop_assert!(survivors >= sky.len());
+            prop_assert!(uncapped || sky.len() <= cap);
+            prop_assert_eq!(sky, reference);
+        }
+    }
+}

@@ -13,6 +13,7 @@
 
 use soi_unate::{UId, UNode, UnateNetwork};
 
+use crate::arena::CandArena;
 use crate::dp::{self, NodeCtx, NodeOutcome, Scratch, SolView};
 use crate::tuple::{Cand, CandRef, ExportMap, Form, NodeSol, TupleKey};
 use crate::{Algorithm, ConeCache, CostModel, MapConfig, MapError};
@@ -31,20 +32,21 @@ pub(crate) fn solve(
 /// strict `better` demands). Returns whether a candidate was dropped (the
 /// loser of an incumbent comparison) — candidate-balance bookkeeping.
 fn consider(
-    best: &mut Vec<(TupleKey, Cand)>,
+    best: &mut Vec<(TupleKey, u32)>,
+    arena: &mut CandArena,
     model: &CostModel,
     key: TupleKey,
     cand: Cand,
 ) -> bool {
     match best.binary_search_by_key(&key, |&(k, _)| k) {
         Ok(i) => {
-            if model.better(&cand.g, &best[i].1.g) {
-                best[i].1 = cand;
+            if model.better(&cand.g, &arena.g(best[i].1)) {
+                best[i].1 = arena.push(cand);
             }
             true
         }
         Err(i) => {
-            best.insert(i, (key, cand));
+            best.insert(i, (key, arena.push(cand)));
             false
         }
     }
@@ -70,11 +72,13 @@ fn solve_node(
     // scratch arena (a handful of shapes — binary search + insert beats
     // hashing at this size, and the order is deterministic for free).
     let Scratch {
+        cands,
         pairs: bare,
         shapes,
         staged,
         ..
     } = scratch;
+    cands.clear();
     bare.clear();
     // Candidate-balance bookkeeping (`generated == pruned + exported` per
     // solved node): every constructed candidate counts as generated, every
@@ -94,7 +98,7 @@ fn solve_node(
             }
             let cand = combine(config.baseline_order, is_and, ra, ca, rb, cb);
             generated += 1;
-            pruned += u64::from(consider(bare, model, key, cand));
+            pruned += u64::from(consider(bare, cands, model, key, cand));
         }
     }
     let mut degraded = false;
@@ -118,7 +122,7 @@ fn solve_node(
                 };
                 let cand = combine(config.baseline_order, is_and, ra, ca, rb, cb);
                 generated += 1;
-                pruned += u64::from(consider(bare, model, key, cand));
+                pruned += u64::from(consider(bare, cands, model, key, cand));
             }
         }
         degraded = true;
@@ -135,14 +139,14 @@ fn solve_node(
     // shape cap: `enforce_tuple_cap` keeps the cheapest shapes.
     shapes.clear();
     staged.clear();
-    for (i, &(key, cand)) in bare.iter().enumerate() {
-        staged.push(cand);
+    for (i, &(key, h)) in bare.iter().enumerate() {
+        staged.push(h);
         shapes.push((key, i as u32, 1));
     }
-    crate::soi::enforce_tuple_cap(shapes, staged, model, config.limits.max_tuples_per_node);
+    crate::soi::enforce_tuple_cap(shapes, staged, cands, model, config.limits.max_tuples_per_node);
     let survivors: u64 = shapes.iter().map(|&(_, _, len)| u64::from(len)).sum();
     pruned += staged.len() as u64 - survivors;
-    let exported = ExportMap::from_runs(shapes, staged);
+    let exported = ExportMap::from_runs(shapes, staged, cands);
     let mut sol = NodeSol {
         gate: dp::form_gate(config, model, exported.flat()),
         ..NodeSol::default()

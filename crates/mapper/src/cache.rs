@@ -50,17 +50,20 @@
 //! runs of a family of circuits start warm.
 
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::io::{Read, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use soi_unate::{ConeShape, UId, UNode, UnateNetwork};
+use soi_unate::{ConeShape, ConeUnit, UId, UNode, UnateNetwork};
 
 use crate::dp::{SolTable, UnitAcc};
+use crate::persist::{self, Dec, Enc, Malformed};
 use crate::tuple::{CandRef, ExportMap, Form, NodeSol};
-use crate::{Algorithm, MapConfig};
+use crate::{Algorithm, MapConfig, MapError};
 
 /// Cones larger than this many nodes are solved without consulting the
 /// cache: the miss-side capture clones the whole cone's solutions, and
@@ -79,6 +82,20 @@ pub(crate) const NODE_TIER_MIN_COMBINATIONS: usize = 1;
 /// and whole-cone snapshot over, and the node tier memoizes single gates
 /// without ever computing a shape.
 pub(crate) const MIN_CACHED_UNIT_GATES: usize = 2;
+
+/// Probe count between adaptive-bypass judgments (per tier). Each time a
+/// tier's lifetime probe count crosses a multiple of this window, its
+/// cumulative hit rate is compared against
+/// [`MapConfig::cache_bypass_floor_permille`]; a rate below the floor
+/// latches the tier off for the rest of the cache's lifetime. The window
+/// is large enough that small circuits (and every unit test) finish before
+/// the first judgment, so bypass never perturbs them — and small enough
+/// that a losing tier latches while most of the run is still ahead: the
+/// cone tier probes once per cone *unit*, so a ≥100k-gate control netlist
+/// only accumulates a few thousand cone probes in total, and a window
+/// that needs most of them has already paid the canonical-hash overhead
+/// it exists to stop.
+pub(crate) const BYPASS_PROBE_WINDOW: u64 = 1024;
 
 /// 128-bit cache key: structural signature ⊕ boundary profiles ⊕ root
 /// fanout ⊕ config fingerprint, as two independently seeded 64-bit hashes.
@@ -100,6 +117,30 @@ pub struct ConeCache {
     nodes: Mutex<HashMap<CacheKey, Arc<NodeEntry>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Adaptive-bypass bookkeeping, per tier: lifetime probe and hit
+    /// tallies (independent of `hits`/`misses`, which weigh cone hits by
+    /// gate count) and the sticky bypass latches. Latches are per cache —
+    /// a shared cache that proved useless stays off for later runs too.
+    cone_probes: AtomicU64,
+    cone_probe_hits: AtomicU64,
+    cone_warmup_hits: AtomicU64,
+    cone_bypassed: AtomicBool,
+    node_probes: AtomicU64,
+    node_probe_hits: AtomicU64,
+    node_warmup_hits: AtomicU64,
+    node_bypassed: AtomicBool,
+}
+
+/// What [`ConeCache::load`] recovered from a persistent store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheLoadStats {
+    /// Cone-tier entries merged into the cache.
+    pub cone_entries: usize,
+    /// Node-tier entries merged into the cache.
+    pub node_entries: usize,
+    /// Entries whose checksum or payload was corrupt — skipped, never
+    /// loaded, never fatal.
+    pub skipped_entries: usize,
 }
 
 impl ConeCache {
@@ -138,6 +179,172 @@ impl ConeCache {
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
     }
+
+    /// Tiers this cache's adaptive bypass has latched off so far (0–2).
+    pub fn bypassed_tiers(&self) -> u32 {
+        u32::from(self.cone_bypassed.load(Ordering::Relaxed))
+            + u32::from(self.node_bypassed.load(Ordering::Relaxed))
+    }
+
+    /// Writes every entry to `path` in the persistent store format (see
+    /// [`crate::persist`] for the layout and versioning rules).
+    ///
+    /// # Errors
+    ///
+    /// [`MapError::Io`] on any filesystem failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), MapError> {
+        let path = path.as_ref();
+        let file = std::fs::File::create(path).map_err(|e| io_err("create", path, &e))?;
+        let mut w = std::io::BufWriter::new(file);
+        self.save_to(&mut w)?;
+        use std::io::Write as _;
+        w.flush()
+            .map_err(|e| io_err("flush", path, &e))
+            .map(|()| ())
+    }
+
+    /// Writes every entry to `w` in the persistent store format. Entries
+    /// are emitted in sorted key order, so saving the same cache twice
+    /// produces identical bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`MapError::Io`] on any write failure.
+    pub fn save_to<W: Write>(&self, mut w: W) -> Result<(), MapError> {
+        let wr_err = |e: std::io::Error| MapError::Io {
+            what: format!("writing cone-cache store: {e}"),
+        };
+        let entries = self.entries.lock().expect("cache poisoned");
+        let nodes = self.nodes.lock().expect("cache poisoned");
+        let mut head = Enc::new();
+        head.bytes(&persist::MAGIC);
+        head.u32(persist::VERSION);
+        head.count(entries.len());
+        head.count(nodes.len());
+        w.write_all(&head.buf).map_err(wr_err)?;
+        let frame = |key: CacheKey, payload: &[u8], w: &mut W| -> Result<(), MapError> {
+            let mut head = Enc::new();
+            head.u64(key[0]);
+            head.u64(key[1]);
+            head.count(payload.len());
+            head.u64(persist::checksum(key, payload));
+            w.write_all(&head.buf).map_err(wr_err)?;
+            w.write_all(payload).map_err(wr_err)
+        };
+        let mut keys: Vec<CacheKey> = entries.keys().copied().collect();
+        keys.sort_unstable();
+        for key in keys {
+            let mut enc = Enc::new();
+            entries[&key].encode(&mut enc);
+            frame(key, &enc.buf, &mut w)?;
+        }
+        let mut keys: Vec<CacheKey> = nodes.keys().copied().collect();
+        keys.sort_unstable();
+        for key in keys {
+            let mut enc = Enc::new();
+            nodes[&key].encode(&mut enc);
+            frame(key, &enc.buf, &mut w)?;
+        }
+        Ok(())
+    }
+
+    /// Merges a persistent store from `path` into this cache. Entries that
+    /// fail their checksum or decode are skipped (and counted); entries
+    /// already present win over loaded ones. Loaded entries are marked
+    /// persisted, so hits they serve are reported under `persist_hits`.
+    ///
+    /// # Errors
+    ///
+    /// [`MapError::Io`] on filesystem failures;
+    /// [`MapError::CacheCorrupt`] when the header or the frame structure
+    /// itself is damaged (nothing past the damage can be framed).
+    pub fn load(&self, path: impl AsRef<Path>) -> Result<CacheLoadStats, MapError> {
+        let path = path.as_ref();
+        let file = std::fs::File::open(path).map_err(|e| io_err("open", path, &e))?;
+        self.load_from(std::io::BufReader::new(file))
+    }
+
+    /// Merges a persistent store read from `r` into this cache. See
+    /// [`load`](ConeCache::load).
+    ///
+    /// # Errors
+    ///
+    /// As for [`load`](ConeCache::load).
+    pub fn load_from<R: Read>(&self, mut r: R) -> Result<CacheLoadStats, MapError> {
+        let mut data = Vec::new();
+        r.read_to_end(&mut data).map_err(|e| MapError::Io {
+            what: format!("reading cone-cache store: {e}"),
+        })?;
+        let corrupt = |what: &str| MapError::CacheCorrupt {
+            what: format!("persistent store: {what}"),
+        };
+        let mut d = Dec::new(&data);
+        let magic = d.take(8).map_err(|_| corrupt("truncated header"))?;
+        if magic != persist::MAGIC {
+            return Err(corrupt("bad magic — not a cone-cache store"));
+        }
+        let version = d.u32().map_err(|_| corrupt("truncated header"))?;
+        if version != persist::VERSION {
+            return Err(MapError::CacheCorrupt {
+                what: format!(
+                    "persistent store: version {version} (this build reads {})",
+                    persist::VERSION
+                ),
+            });
+        }
+        let cone_n = d.count(32).map_err(|_| corrupt("implausible entry count"))?;
+        let node_n = d.count(32).map_err(|_| corrupt("implausible entry count"))?;
+        let mut stats = CacheLoadStats::default();
+        for i in 0..cone_n + node_n {
+            let key = [
+                d.u64().map_err(|_| corrupt("truncated entry frame"))?,
+                d.u64().map_err(|_| corrupt("truncated entry frame"))?,
+            ];
+            let len = d.count(1).map_err(|_| corrupt("entry overruns store"))?;
+            let sum = d.u64().map_err(|_| corrupt("truncated entry frame"))?;
+            let payload = d.take(len).map_err(|_| corrupt("entry overruns store"))?;
+            if persist::checksum(key, payload) != sum {
+                stats.skipped_entries += 1;
+                continue;
+            }
+            let mut pd = Dec::new(payload);
+            if i < cone_n {
+                match ConeEntry::decode(&mut pd) {
+                    Ok(e) if pd.finished() => {
+                        self.entries
+                            .lock()
+                            .expect("cache poisoned")
+                            .entry(key)
+                            .or_insert_with(|| Arc::new(e));
+                        stats.cone_entries += 1;
+                    }
+                    _ => stats.skipped_entries += 1,
+                }
+            } else {
+                match NodeEntry::decode(&mut pd) {
+                    Ok(e) if pd.finished() => {
+                        self.nodes
+                            .lock()
+                            .expect("cache poisoned")
+                            .entry(key)
+                            .or_insert_with(|| Arc::new(e));
+                        stats.node_entries += 1;
+                    }
+                    _ => stats.skipped_entries += 1,
+                }
+            }
+        }
+        if !d.finished() {
+            return Err(corrupt("trailing bytes after the last entry"));
+        }
+        Ok(stats)
+    }
+}
+
+fn io_err(op: &str, path: &Path, e: &std::io::Error) -> MapError {
+    MapError::Io {
+        what: format!("{op} {}: {e}", path.display()),
+    }
 }
 
 impl fmt::Debug for ConeCache {
@@ -154,6 +361,10 @@ impl fmt::Debug for ConeCache {
 pub(crate) struct RunCache<'a> {
     cache: &'a ConeCache,
     fingerprint: u64,
+    /// Adaptive-bypass floor in hits-per-thousand-probes; 0 disables the
+    /// bypass. Deliberately excluded from the fingerprint — bypassing a
+    /// tier changes how solutions are *found*, never what they are.
+    bypass_floor: u32,
 }
 
 impl<'a> RunCache<'a> {
@@ -165,7 +376,52 @@ impl<'a> RunCache<'a> {
         RunCache {
             cache,
             fingerprint: fingerprint(config, algorithm),
+            bypass_floor: config.cache_bypass_floor_permille,
         }
+    }
+
+    /// Whether the cone tier is still live (not latched off by the
+    /// adaptive bypass). A bypassed tier is skipped entirely: no probe, no
+    /// capture, no counter traffic — so the probe/hit/miss conservation
+    /// invariants hold across the latch.
+    pub(crate) fn cone_tier_enabled(&self) -> bool {
+        !self.cache.cone_bypassed.load(Ordering::Relaxed)
+    }
+
+    /// Node-tier counterpart of [`cone_tier_enabled`](RunCache::cone_tier_enabled).
+    pub(crate) fn node_tier_enabled(&self) -> bool {
+        !self.cache.node_bypassed.load(Ordering::Relaxed)
+    }
+
+    /// Whether both tiers are latched off — at that point solutions no
+    /// longer need cache profiles and the run behaves like an uncached one.
+    pub(crate) fn fully_bypassed(&self) -> bool {
+        !self.cone_tier_enabled() && !self.node_tier_enabled()
+    }
+
+    /// Records one cone-tier probe outcome for the adaptive bypass.
+    /// Returns `true` exactly when this call latched the tier off.
+    pub(crate) fn note_cone_probe(&self, hit: bool) -> bool {
+        note_probe(
+            &self.cache.cone_probes,
+            &self.cache.cone_probe_hits,
+            &self.cache.cone_warmup_hits,
+            &self.cache.cone_bypassed,
+            hit,
+            self.bypass_floor,
+        )
+    }
+
+    /// Node-tier counterpart of [`note_cone_probe`](RunCache::note_cone_probe).
+    pub(crate) fn note_node_probe(&self, hit: bool) -> bool {
+        note_probe(
+            &self.cache.node_probes,
+            &self.cache.node_probe_hits,
+            &self.cache.node_warmup_hits,
+            &self.cache.node_bypassed,
+            hit,
+            self.bypass_floor,
+        )
     }
 
     /// Computes the cache key for a cone and looks it up. Returns the key
@@ -352,16 +608,122 @@ pub(crate) fn profile(exported: &ExportMap) -> (u64, u32) {
 
 /// Chained multiply-xorshift accumulator (xor in, multiply by the golden
 /// ratio, shift-mix) — order-sensitive, and strong enough for hash-key
-/// discrimination where equality is re-verified structurally or the key
-/// space is 128 bits.
-struct Mix(u64);
+/// discrimination where equality is re-verified structurally, the key
+/// space is 128 bits, or (as in the persistent store's checksums) the
+/// adversary is bit rot rather than collision search.
+pub(crate) struct Mix(pub u64);
 
 impl Mix {
     #[inline]
-    fn word(&mut self, v: u64) {
+    pub fn word(&mut self, v: u64) {
         self.0 = (self.0 ^ v).wrapping_mul(0x9e37_79b9_7f4a_7c15);
         self.0 ^= self.0 >> 29;
     }
+}
+
+/// One tier's adaptive-bypass accounting: tally the probe, and at every
+/// [`BYPASS_PROBE_WINDOW`]-th probe compare the hit rate *since the first
+/// window closed* against the configured permille floor, latching the
+/// tier off when it underperforms. The first window is a warm-up grace:
+/// every cache starts cold, so the opening probes miss on even the most
+/// repetitive netlist, and judging them would latch exactly the runs the
+/// cache is about to win (observed: the 110k-gate array multiplier's cone
+/// tier is at 67% cumulative after 1024 probes and at 99% for the rest of
+/// the run). The grace is not unconditional, though: a tier whose *first*
+/// window can't even clear half the floor is hopeless — warming caches
+/// climb through mid rates (the multiplier's 67% ≫ 40%), while
+/// low-repetition netlists sit far below (a 120k-gate control netlist's
+/// cone tier opens at ~15%) — so that one case latches immediately
+/// instead of paying for a second window. Returns `true` exactly once per
+/// latch (the caller traces it). Relaxed ordering throughout: the
+/// counters are statistics, and the latch is sticky — a worker reading it
+/// a moment late merely probes once more.
+fn note_probe(
+    probes: &AtomicU64,
+    hits: &AtomicU64,
+    warmup_hits: &AtomicU64,
+    bypassed: &AtomicBool,
+    hit: bool,
+    floor_permille: u32,
+) -> bool {
+    if floor_permille == 0 {
+        return false;
+    }
+    if hit {
+        hits.fetch_add(1, Ordering::Relaxed);
+    }
+    let p = probes.fetch_add(1, Ordering::Relaxed) + 1;
+    if p % BYPASS_PROBE_WINDOW != 0 {
+        return false;
+    }
+    let h = hits.load(Ordering::Relaxed);
+    if p == BYPASS_PROBE_WINDOW {
+        if h.saturating_mul(2000) < u64::from(floor_permille).saturating_mul(BYPASS_PROBE_WINDOW) {
+            return !bypassed.swap(true, Ordering::Relaxed);
+        }
+        warmup_hits.store(h, Ordering::Relaxed);
+        return false;
+    }
+    let judged = h
+        .saturating_sub(warmup_hits.load(Ordering::Relaxed))
+        .saturating_mul(1000);
+    if judged >= u64::from(floor_permille).saturating_mul(p - BYPASS_PROBE_WINDOW) {
+        return false;
+    }
+    !bypassed.swap(true, Ordering::Relaxed)
+}
+
+/// Per-run caches are only worth their probe/capture overhead on
+/// netlists at least this large; below it the admission pre-scan is
+/// skipped outright (and so is its cost). High enough that no
+/// integration-test circuit is ever affected.
+pub(crate) const ADMISSION_MIN_GATES: usize = 10_000;
+
+/// Cold-cache admission pre-scan: decides whether a run starting from an
+/// *empty* cache should probe it at all.
+///
+/// The adaptive bypass latches losing tiers mid-run, but only after at
+/// least one [`BYPASS_PROBE_WINDOW`] of probes has already paid the
+/// canonical-hash and capture overhead — and the cone tier probes once
+/// per *unit*, so on a low-repetition 100k-gate netlist that window is a
+/// quarter of the whole run. This scan front-loads the question: hash
+/// each cone unit's node-kind sequence (a strictly coarser signature than
+/// the real cache key — identical cone keys imply identical kind
+/// sequences, so the duplicate count *over*estimates achievable hits) and
+/// admit the cache only if even that optimistic repetition ratio clears
+/// the bypass floor. Skipping is therefore conservative-safe: a netlist
+/// rejected here could not have sustained the floor anyway.
+///
+/// Warm caches (non-empty: shared across runs or loaded from a persistent
+/// store) are always admitted — their hits come from *prior* runs, which
+/// this single-run proxy cannot see.
+pub(crate) fn admit_cold_cache(
+    cache: &ConeCache,
+    unate: &UnateNetwork,
+    units: &[ConeUnit],
+    gates: usize,
+    floor_permille: u32,
+) -> bool {
+    if floor_permille == 0 || gates < ADMISSION_MIN_GATES || !cache.is_empty() {
+        return true;
+    }
+    let mut seen = HashSet::with_capacity(units.len());
+    let mut dups: u64 = 0;
+    for unit in units {
+        let mut h = Mix(0x636f_6c64_5f61_646d); // "cold_adm"
+        h.word(unit.nodes().len() as u64);
+        for &id in unit.nodes() {
+            h.word(match unate.node(id) {
+                UNode::Lit(_) => 1,
+                UNode::And(..) => 2,
+                UNode::Or(..) => 3,
+            });
+        }
+        if !seen.insert(h.0) {
+            dups += 1;
+        }
+    }
+    dups.saturating_mul(1000) >= u64::from(floor_permille).saturating_mul(units.len() as u64)
 }
 
 /// Everything [`MapConfig`] + [`Algorithm`] contribute to DP results.
@@ -416,6 +778,10 @@ pub(crate) struct ConeEntry {
     /// rebinding onto a cone with base `b` shifts every stored level by
     /// `b - level_base`.
     level_base: u32,
+    /// Whether this entry was revived from a persistent store (hits it
+    /// serves count as `persist_hits`). Not serialized: saving and
+    /// reloading re-marks.
+    persisted: bool,
 }
 
 impl ConeEntry {
@@ -480,6 +846,7 @@ impl ConeEntry {
             degraded_pos,
             steps,
             level_base,
+            persisted: false,
         })
     }
 
@@ -493,6 +860,84 @@ impl ConeEntry {
     /// The combination steps the capture run charged.
     pub(crate) fn steps(&self) -> u64 {
         self.steps
+    }
+
+    /// Whether this entry came from a persistent store.
+    pub(crate) fn persisted(&self) -> bool {
+        self.persisted
+    }
+
+    /// Serializes the entry body (the frame header and checksum are the
+    /// store's concern — see [`crate::persist`]).
+    fn encode(&self, e: &mut Enc) {
+        e.count(self.sols.len());
+        for sol in &self.sols {
+            e.node_sol(sol);
+        }
+        e.count(self.kinds.len());
+        e.bytes(&self.kinds);
+        for pairs in [&self.canon_pos, &self.bnd_class] {
+            e.count(pairs.len());
+            for &(a, b) in pairs {
+                e.u32(a);
+                e.u32(b);
+            }
+        }
+        e.count(self.degraded_pos.len());
+        for &p in &self.degraded_pos {
+            e.u32(p);
+        }
+        e.u64(self.steps);
+        e.count(self.peak_candidates);
+        e.u32(self.level_base);
+    }
+
+    /// Decodes an entry body, marking it persisted. Any malformed byte
+    /// fails the whole entry — the store loader then skips it.
+    fn decode(d: &mut Dec<'_>) -> Result<ConeEntry, Malformed> {
+        // Smallest NodeSol: empty export map (8) + gate tag (1) + profile
+        // (12) = 21 bytes.
+        let n = d.count(21)?;
+        let mut sols = Vec::with_capacity(n);
+        for _ in 0..n {
+            sols.push(d.node_sol()?);
+        }
+        let kinds_len = d.count(1)?;
+        let kinds = d.take(kinds_len)?.to_vec();
+        if kinds.iter().any(|&k| k > 2) {
+            return Err(Malformed);
+        }
+        let mut pair_vecs = [Vec::new(), Vec::new()];
+        for pairs in &mut pair_vecs {
+            let n = d.count(8)?;
+            pairs.reserve(n);
+            for _ in 0..n {
+                pairs.push((d.u32()?, d.u32()?));
+            }
+            if pairs.windows(2).any(|w| w[0].0 >= w[1].0) {
+                return Err(Malformed); // must stay sorted: rebind binary-searches
+            }
+        }
+        let [canon_pos, bnd_class] = pair_vecs;
+        let n = d.count(4)?;
+        let mut degraded_pos = Vec::with_capacity(n);
+        for _ in 0..n {
+            degraded_pos.push(d.u32()?);
+        }
+        let steps = d.u64()?;
+        let peak_candidates = usize::try_from(d.u64()?).map_err(|_| Malformed)?;
+        let level_base = d.u32()?;
+        Ok(ConeEntry {
+            sols,
+            kinds,
+            canon_pos,
+            bnd_class,
+            degraded_pos,
+            steps,
+            peak_candidates,
+            level_base,
+            persisted: true,
+        })
     }
 
     /// Structural sanity check: the entry fits the shape node-for-node.
@@ -585,6 +1030,8 @@ pub(crate) struct NodeEntry {
     steps: u64,
     /// Level-normalization base at capture (see [`level_base`]).
     level_base: u32,
+    /// Whether this entry was revived from a persistent store.
+    persisted: bool,
 }
 
 impl NodeEntry {
@@ -610,12 +1057,49 @@ impl NodeEntry {
             degraded,
             steps,
             level_base,
+            persisted: false,
         }
     }
 
     /// The combination steps the capture solve charged.
     pub(crate) fn steps(&self) -> u64 {
         self.steps
+    }
+
+    /// Whether this entry came from a persistent store.
+    pub(crate) fn persisted(&self) -> bool {
+        self.persisted
+    }
+
+    /// Serializes the entry body (mirrors [`ConeEntry::encode`]).
+    fn encode(&self, e: &mut Enc) {
+        e.node_sol(&self.sol);
+        e.u8(self.kind);
+        e.u32(self.old_self);
+        e.u32(self.fanins.0);
+        e.u32(self.fanins.1);
+        e.bool(self.degraded);
+        e.u64(self.steps);
+        e.u32(self.level_base);
+    }
+
+    /// Decodes an entry body, marking it persisted.
+    fn decode(d: &mut Dec<'_>) -> Result<NodeEntry, Malformed> {
+        let sol = d.node_sol()?;
+        let kind = d.u8()?;
+        if kind != 1 && kind != 2 {
+            return Err(Malformed);
+        }
+        Ok(NodeEntry {
+            sol,
+            kind,
+            old_self: d.u32()?,
+            fanins: (d.u32()?, d.u32()?),
+            degraded: d.bool()?,
+            steps: d.u64()?,
+            level_base: d.u32()?,
+            persisted: true,
+        })
     }
 
     /// Deep-copies the cached solution onto gate `node`, translating the
@@ -789,5 +1273,190 @@ mod tests {
         assert_eq!(c.hits(), 0);
         assert_eq!(c.misses(), 0);
         assert!(format!("{c:?}").contains("entries"));
+    }
+
+    #[test]
+    fn bypass_latches_a_hopeless_tier_at_the_first_window() {
+        let probes = AtomicU64::new(0);
+        let hits = AtomicU64::new(0);
+        let warmup = AtomicU64::new(0);
+        let bypassed = AtomicBool::new(false);
+        // A tier that can't clear even half the floor in its first window
+        // gets no warm-up grace: runs that probe fewer times than the
+        // window (every unit test) are still never judged, but a hopeless
+        // tier latches the moment the first window closes.
+        for _ in 0..BYPASS_PROBE_WINDOW - 1 {
+            assert!(!note_probe(&probes, &hits, &warmup, &bypassed, false, 800));
+        }
+        assert!(!bypassed.load(Ordering::Relaxed));
+        // The window-closing probe sees 0‰ < 400‰ (= floor / 2) and
+        // latches; the latch edge is reported exactly once.
+        assert!(note_probe(&probes, &hits, &warmup, &bypassed, false, 800));
+        assert!(bypassed.load(Ordering::Relaxed));
+        assert!(!note_probe(&probes, &hits, &warmup, &bypassed, false, 800));
+    }
+
+    #[test]
+    fn bypass_judges_a_middling_first_window_only_after_warmup() {
+        let probes = AtomicU64::new(0);
+        let hits = AtomicU64::new(0);
+        let warmup = AtomicU64::new(0);
+        let bypassed = AtomicBool::new(false);
+        // A 50% first window clears the floor/2 hopelessness check (500‰ ≥
+        // 400‰) and becomes the warm-up baseline...
+        for i in 0..BYPASS_PROBE_WINDOW {
+            assert!(!note_probe(&probes, &hits, &warmup, &bypassed, i % 2 == 0, 800));
+        }
+        assert!(!bypassed.load(Ordering::Relaxed));
+        // ...so a second, all-miss window is judged on its own (0‰ < 800‰)
+        // and latches at the second boundary, not before.
+        for _ in 0..BYPASS_PROBE_WINDOW - 1 {
+            assert!(!note_probe(&probes, &hits, &warmup, &bypassed, false, 800));
+        }
+        assert!(note_probe(&probes, &hits, &warmup, &bypassed, false, 800));
+        assert!(bypassed.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn bypass_forgives_a_cold_start_once_the_tier_warms_up() {
+        let probes = AtomicU64::new(0);
+        let hits = AtomicU64::new(0);
+        let warmup = AtomicU64::new(0);
+        let bypassed = AtomicBool::new(false);
+        // A cold-ish first window at exactly floor/2 (every cache starts
+        // cold; 400‰ survives the hopelessness check)...
+        for i in 0..BYPASS_PROBE_WINDOW {
+            assert!(!note_probe(&probes, &hits, &warmup, &bypassed, i % 5 < 2, 800));
+        }
+        // ...followed by a hot steady state: the cumulative rate crosses
+        // 800‰ only much later, but the post-warm-up rate is 1000‰ from
+        // the second window on, so the tier is never latched.
+        for _ in 0..4 * BYPASS_PROBE_WINDOW {
+            assert!(!note_probe(&probes, &hits, &warmup, &bypassed, true, 800));
+        }
+        assert!(!bypassed.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn bypass_spares_hot_tiers_and_respects_floor_zero() {
+        let probes = AtomicU64::new(0);
+        let hits = AtomicU64::new(0);
+        let warmup = AtomicU64::new(0);
+        let bypassed = AtomicBool::new(false);
+        // A tier hitting above the floor survives every window.
+        for _ in 0..3 * BYPASS_PROBE_WINDOW {
+            assert!(!note_probe(&probes, &hits, &warmup, &bypassed, true, 800));
+        }
+        assert!(!bypassed.load(Ordering::Relaxed));
+        // Floor 0 disables the mechanism outright: no counting, no latch.
+        let probes = AtomicU64::new(0);
+        let hits = AtomicU64::new(0);
+        let bypassed = AtomicBool::new(false);
+        for _ in 0..3 * BYPASS_PROBE_WINDOW {
+            assert!(!note_probe(&probes, &hits, &warmup, &bypassed, false, 0));
+        }
+        assert_eq!(probes.load(Ordering::Relaxed), 0);
+        assert!(!bypassed.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn admission_scan_skips_only_cold_unrepetitive_netlists() {
+        use soi_unate::{convert, Options};
+
+        // Repetitive: >10k identical two-literal AND cones. The kind-
+        // sequence proxy sees every unit but the first as a duplicate, so
+        // the cache is admitted.
+        let mut rep = soi_netlist::Network::new("rep");
+        for i in 0..ADMISSION_MIN_GATES + 1 {
+            let a = rep.add_input(format!("a{i}"));
+            let b = rep.add_input(format!("b{i}"));
+            let g = rep.and2(a, b);
+            rep.add_output(format!("f{i}"), g);
+        }
+        let rep = convert(&rep, &Options::default()).expect("converts");
+        let rep_partition = rep.cone_partition();
+        let rep_gates = rep.stats().gates();
+        assert!(rep_gates >= ADMISSION_MIN_GATES);
+        let cache = ConeCache::new();
+        assert!(admit_cold_cache(
+            &cache,
+            &rep,
+            rep_partition.units(),
+            rep_gates,
+            800
+        ));
+
+        // Unrepetitive: every cone is a literal chain of a *different*
+        // length, so no two kind sequences collide and the scan rejects
+        // the cold cache — but the same netlist with a warm (non-empty)
+        // cache, a zero floor, or a sub-threshold gate count is admitted.
+        let mut uniq = soi_netlist::Network::new("uniq");
+        let (mut chain, mut total) = (1usize, 0usize);
+        while total < ADMISSION_MIN_GATES {
+            let mut s = uniq.add_input(format!("x{chain}_0"));
+            for j in 0..chain {
+                let t = uniq.add_input(format!("x{chain}_{}", j + 1));
+                s = if j % 2 == 0 {
+                    uniq.and2(s, t)
+                } else {
+                    uniq.or2(s, t)
+                };
+            }
+            uniq.add_output(format!("f{chain}"), s);
+            total += chain;
+            chain += 1;
+        }
+        let uniq = convert(&uniq, &Options::default()).expect("converts");
+        let partition = uniq.cone_partition();
+        let gates = uniq.stats().gates();
+        assert!(gates >= ADMISSION_MIN_GATES);
+        assert!(!admit_cold_cache(
+            &cache,
+            &uniq,
+            partition.units(),
+            gates,
+            800
+        ));
+        assert!(admit_cold_cache(&cache, &uniq, partition.units(), gates, 0));
+        assert!(admit_cold_cache(
+            &cache,
+            &uniq,
+            partition.units(),
+            ADMISSION_MIN_GATES - 1,
+            800
+        ));
+        cache.nodes.lock().expect("cache poisoned").insert(
+            [1, 2],
+            Arc::new(NodeEntry {
+                sol: NodeSol::default(),
+                kind: 1,
+                old_self: 0,
+                fanins: (0, 0),
+                degraded: false,
+                steps: 0,
+                level_base: 0,
+                persisted: false,
+            }),
+        );
+        assert!(admit_cold_cache(
+            &cache,
+            &uniq,
+            partition.units(),
+            gates,
+            800
+        ));
+    }
+
+    #[test]
+    fn bypass_floor_separates_the_observed_corpus_rates() {
+        // The default floor must sit strictly between the two observed
+        // huge-bucket hit rates: control-style netlists (~731‰) latch,
+        // multiplier-style netlists (~989‰) keep their cache.
+        let floor = u64::from(MapConfig::DEFAULT_CACHE_BYPASS_FLOOR_PERMILLE);
+        let window = BYPASS_PROBE_WINDOW;
+        let control_hits = window * 731 / 1000;
+        let mult_hits = window * 989 / 1000;
+        assert!(control_hits * 1000 < floor * window);
+        assert!(mult_hits * 1000 >= floor * window);
     }
 }

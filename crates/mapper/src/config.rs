@@ -267,6 +267,19 @@ pub struct MapConfig {
     /// bypasses the threshold — explicit sharing (warm reruns, salvage
     /// resume) is the caller's call.
     pub cone_cache_min_gates: usize,
+    /// Adaptive cache-bypass floor, in hits per thousand probes. Each
+    /// cache tier (cone, node) tracks its probe outcomes; every
+    /// [`BYPASS_PROBE_WINDOW`](crate::ConeCache)-sized batch of probes,
+    /// a tier whose cumulative hit rate sits below this floor is latched
+    /// off for the rest of the cache's lifetime — no more probes, no more
+    /// captures — so a cache that isn't paying for itself (irregular
+    /// netlists like `synth-control-120k`) stops taxing the run, while a
+    /// high-hit-rate cache (repetitive arrays like `synth-mult136`) keeps
+    /// its win. Solutions are bit-identical with the bypass latched or
+    /// not (the cache is semantically transparent), so this knob is
+    /// excluded from the cache fingerprint. `0` disables the bypass;
+    /// values above 1000 are rejected by [`validate`](MapConfig::validate).
+    pub cache_bypass_floor_permille: u32,
     /// Fault-injection knob for the containment test suite: panic the
     /// worker solving whichever cone unit contains this unate node index.
     /// The panic is contained by the scheduler and surfaces as
@@ -307,6 +320,7 @@ impl Default for MapConfig {
             parallelism: Parallelism::default(),
             cone_cache: true,
             cone_cache_min_gates: MapConfig::DEFAULT_CONE_CACHE_MIN_GATES,
+            cache_bypass_floor_permille: MapConfig::DEFAULT_CACHE_BYPASS_FLOOR_PERMILLE,
             poison_node: None,
             degrade_unmappable: false,
             trace: TraceHandle::off(),
@@ -320,6 +334,14 @@ impl MapConfig {
     /// thousand unate gates), matching the `BENCH_pr5.json` measurement
     /// that the cache only pays off past repetitive-netlist scale.
     pub const DEFAULT_CONE_CACHE_MIN_GATES: usize = 10_000;
+
+    /// Default [`MapConfig::cache_bypass_floor_permille`]: sits between
+    /// the hit rates measured on the huge corpus circuits where the cache
+    /// loses (`synth-control-120k`, ~731‰, mapped 0.82× serial speed in
+    /// `BENCH_pr7.json`) and where it wins (`synth-mult136`, ~989‰,
+    /// 1.23×), so the bypass cuts the former loose and leaves the latter
+    /// alone.
+    pub const DEFAULT_CACHE_BYPASS_FLOOR_PERMILLE: u32 = 800;
 
     /// The paper's depth-objective configuration.
     pub fn depth() -> MapConfig {
@@ -347,6 +369,11 @@ impl MapConfig {
         if self.w_max == 0 || self.h_max == 0 {
             return Err(crate::MapError::InvalidConfig {
                 what: "w_max and h_max must be at least 1".into(),
+            });
+        }
+        if self.cache_bypass_floor_permille > 1000 {
+            return Err(crate::MapError::InvalidConfig {
+                what: "cache_bypass_floor_permille must be at most 1000".into(),
             });
         }
         if self.max_candidates == 0 {

@@ -14,6 +14,7 @@ use std::time::{Duration, Instant};
 use soi_trace::{Counter, Gauge, Stage, TraceHandle};
 use soi_unate::{ConePartition, ConeUnit, Literal, ShapeScratch, UId, UNode, UnateNetwork};
 
+use crate::arena::CandArena;
 use crate::cache::{self, RunCache};
 use crate::job::{CancelToken, PartialMapping};
 use crate::tuple::{Cand, Form, GateSol, NodeSol, TupleKey};
@@ -237,21 +238,29 @@ impl<'a> NodeCtx<'a> {
 }
 
 /// Per-worker scratch arenas, reused across nodes so per-node accumulation
-/// and pruning never allocate in steady state. One flat pair list replaces
-/// the per-shape `HashMap<TupleKey, Vec<Cand>>` the solvers used to fill:
-/// candidates accumulate into `pairs`, a stable sort groups them by shape
-/// (preserving insertion order within each shape), and the per-shape
-/// survivors are staged in `staged` with their runs described by `shapes`.
+/// and pruning never allocate in steady state. All candidate payloads live
+/// in the struct-of-arrays [`CandArena`]; the vectors around it carry only
+/// `u32` handles. Candidates accumulate into `pairs`, a stable sort groups
+/// them by shape (preserving insertion order within each shape), the
+/// batched skyline prune ([`crate::arena::skyline_prune`]) selects each
+/// shape's survivors via `order`/`kept`, and the survivors are staged in
+/// `staged` with their runs described by `shapes`. Everything is cleared —
+/// never dropped — between nodes, so capacity is retained across nodes
+/// *and* cone units for the lifetime of the worker.
 #[derive(Default)]
 pub(crate) struct Scratch {
-    /// Flat `(shape, candidate)` accumulation arena.
-    pub pairs: Vec<(TupleKey, Cand)>,
-    /// Pareto-pruning keep buffer for one shape run.
-    pub kept: Vec<Cand>,
+    /// Struct-of-arrays storage for every candidate of the current node.
+    pub cands: CandArena,
+    /// Flat `(shape, handle)` accumulation list.
+    pub pairs: Vec<(TupleKey, u32)>,
+    /// Skyline sweep ordering scratch (positions into one shape's run).
+    pub order: Vec<u32>,
+    /// Pareto-pruning keep buffer for one shape run (handles).
+    pub kept: Vec<u32>,
     /// Per-shape survivor runs: `(key, start, len)` into `staged`.
     pub shapes: Vec<(TupleKey, u32, u32)>,
-    /// Survivor staging arena.
-    pub staged: Vec<Cand>,
+    /// Survivor staging list (handles).
+    pub staged: Vec<u32>,
 }
 
 /// The published per-node solutions of one DP run.
@@ -388,6 +397,9 @@ pub(crate) struct CompletedUnit {
 pub(crate) struct UnitAcc {
     pub degraded: Vec<UId>,
     pub peak_candidates: usize,
+    /// Largest candidate count the worker's scratch arena held for one
+    /// node (pre-prune frontier high-water; see `Gauge::ScratchHighWater`).
+    pub scratch_high_water: usize,
     pub cache_hits: u64,
     pub cache_misses: u64,
     /// Units this worker completed, in completion order.
@@ -418,19 +430,28 @@ fn solve_nodes<S: NodeSolver>(
 ) -> Result<(), MapError> {
     for &id in nodes {
         let node = unate.node(id);
-        let node_cache = run_cache.filter(|_| match node {
-            UNode::And(a, b) | UNode::Or(a, b) => {
-                table.get(a).exported.total_candidates() * table.get(b).exported.total_candidates()
-                    >= cache::NODE_TIER_MIN_COMBINATIONS
-            }
-            UNode::Lit(_) => false,
-        });
+        let node_cache = run_cache
+            .filter(|rc| rc.node_tier_enabled())
+            .filter(|_| match node {
+                UNode::And(a, b) | UNode::Or(a, b) => {
+                    table.get(a).exported.total_candidates()
+                        * table.get(b).exported.total_candidates()
+                        >= cache::NODE_TIER_MIN_COMBINATIONS
+                }
+                UNode::Lit(_) => false,
+            });
         let (sol, deg) = if let Some(rc) = node_cache {
             let fanout = ctx.fanouts[id.index()];
             let (key, level_base, hit) = rc.probe_node(node, fanout, table);
             ctx.config.trace.count(Counter::NodeTierProbes, 1);
+            if rc.note_node_probe(hit.is_some()) {
+                ctx.config.trace.count(Counter::TierBypasses, 1);
+            }
             if let Some(entry) = hit {
                 ctx.config.trace.count(Counter::NodeTierHits, 1);
+                if entry.persisted() {
+                    ctx.config.trace.count(Counter::PersistHits, 1);
+                }
                 rc.record_hits(1);
                 state.acc.cache_hits += 1;
                 ctx.charge_many(entry.steps(), id)?;
@@ -455,9 +476,11 @@ fn solve_nodes<S: NodeSolver>(
         } else {
             let view = SolView { table };
             let (mut sol, deg) = solver.solve_node(ctx, &view, &mut state.scratch, id, node)?;
-            if run_cache.is_some() {
+            if run_cache.is_some_and(|rc| !rc.fully_bypassed()) {
                 // Literal solutions feed gate probes: they need profiles
                 // too (all-level-0 candidates, so the min pins base 0).
+                // Once both tiers are latched off nothing reads profiles
+                // again, so the digest walk is skipped along with them.
                 sol.profile = cache::profile(&sol.exported);
             }
             (sol, deg)
@@ -466,6 +489,7 @@ fn solve_nodes<S: NodeSolver>(
             .acc
             .peak_candidates
             .max(sol.exported.total_candidates());
+        state.acc.scratch_high_water = state.acc.scratch_high_water.max(state.scratch.cands.len());
         if deg {
             state.acc.degraded.push(id);
         }
@@ -506,10 +530,15 @@ fn solve_unit<S: NodeSolver>(
         .iter()
         .filter(|&&id| unate.node(id).is_gate())
         .count();
-    if unit.nodes().len() > cache::MAX_CACHED_UNIT_NODES || gates < cache::MIN_CACHED_UNIT_GATES {
+    if unit.nodes().len() > cache::MAX_CACHED_UNIT_NODES
+        || gates < cache::MIN_CACHED_UNIT_GATES
+        || !rc.cone_tier_enabled()
+    {
         // Too big to snapshot as one entry (the capture clones every
-        // solution in the cone), or too small to amortize the shape
-        // computation; every gate still goes through the node tier.
+        // solution in the cone), too small to amortize the shape
+        // computation, or the adaptive bypass latched the cone tier off;
+        // every gate still goes through the node tier (which applies its
+        // own bypass latch).
         return solve_nodes(ctx, table, unate, solver, unit.nodes(), state, Some(rc));
     }
     // Borrow dance: the shape buffers move out of `state` so `state` stays
@@ -528,6 +557,9 @@ fn solve_unit<S: NodeSolver>(
         0
     };
     let (key, level_base, hit) = rc.probe(shape, root_fanout, table, unate);
+    if rc.note_cone_probe(hit.is_some()) {
+        ctx.config.trace.count(Counter::TierBypasses, 1);
+    }
     let gates = gates as u64;
     if let Some(entry) = hit {
         // One cone probe stands in for every gate solve in the unit, so
@@ -536,6 +568,9 @@ fn solve_unit<S: NodeSolver>(
         // an uncached run.
         ctx.config.trace.count(Counter::ConeTierHits, 1);
         ctx.config.trace.count(Counter::ConeTierGateHits, gates);
+        if entry.persisted() {
+            ctx.config.trace.count(Counter::PersistHits, gates);
+        }
         rc.record_hits(gates);
         state.acc.cache_hits += gates;
         ctx.charge_many(entry.steps(), root)?;
@@ -657,7 +692,21 @@ pub(crate) fn run_dp<S: NodeSolver>(
         .resolved_threads(hw, gates, partition.units().len())
         .clamp(1, partition.units().len().max(1));
     let mut table = SolTable::new(unate.len());
-    let run_cache = cone_cache.map(|c| RunCache::new(c, config, algorithm));
+    let run_cache = cone_cache
+        .filter(|c| {
+            let admitted = crate::cache::admit_cold_cache(
+                c,
+                unate,
+                partition.units(),
+                gates,
+                config.cache_bypass_floor_permille,
+            );
+            if !admitted {
+                trace.count(Counter::AdmissionSkips, 1);
+            }
+            admitted
+        })
+        .map(|c| RunCache::new(c, config, algorithm));
 
     let (accs, outcome): (Vec<UnitAcc>, Result<(), MapError>) = if threads <= 1 {
         let ctx = NodeCtx::new(config, &model, &fanouts, &budget);
@@ -718,12 +767,14 @@ pub(crate) fn run_dp<S: NodeSolver>(
     let mut degraded: Vec<UId> = Vec::new();
     let mut completed: Vec<CompletedUnit> = Vec::new();
     let mut peak_candidates = 0usize;
+    let mut scratch_high_water = 0usize;
     let mut cache_hits = 0u64;
     let mut cache_misses = 0u64;
     for acc in accs {
         degraded.extend(acc.degraded);
         completed.extend(acc.completed);
         peak_candidates = peak_candidates.max(acc.peak_candidates);
+        scratch_high_water = scratch_high_water.max(acc.scratch_high_water);
         cache_hits += acc.cache_hits;
         cache_misses += acc.cache_misses;
     }
@@ -764,6 +815,7 @@ pub(crate) fn run_dp<S: NodeSolver>(
         trace.count(Counter::DegradedNodes, degraded.len() as u64);
         trace.gauge(Gauge::PeakCandidates, peak_candidates as u64);
         trace.gauge(Gauge::ThreadsUsed, threads as u64);
+        trace.gauge(Gauge::ScratchHighWater, scratch_high_water as u64);
     }
 
     Ok(Solution {

@@ -66,9 +66,16 @@ pub enum MapError {
         partial: Option<Arc<PartialMapping>>,
     },
     /// A cached cone entry failed an internal consistency check while being
-    /// captured or rebound.
+    /// captured or rebound, or a persistent cache store was structurally
+    /// damaged (bad magic, unknown version, broken entry framing).
     CacheCorrupt {
         /// Description of the violated invariant.
+        what: String,
+    },
+    /// An I/O failure while saving or loading a persistent cache store.
+    Io {
+        /// The operation and underlying error, rendered as text (kept as a
+        /// string so the error type stays `Clone`).
         what: String,
     },
 }
@@ -123,6 +130,7 @@ impl fmt::Display for MapError {
                 write!(f, "worker panicked on cone unit {unit}: {payload}")
             }
             MapError::CacheCorrupt { what } => write!(f, "cone cache corruption: {what}"),
+            MapError::Io { what } => write!(f, "cache store I/O failure: {what}"),
         }
     }
 }
@@ -175,6 +183,8 @@ mod tests {
         assert!(e.to_string().contains("unit 3"));
         let e = MapError::CacheCorrupt { what: "key".into() };
         assert!(e.to_string().contains("corruption"));
+        let e = MapError::Io { what: "disk".into() };
+        assert!(e.to_string().contains("I/O"));
     }
 
     #[test]

@@ -71,6 +71,7 @@
 //! # }
 //! ```
 
+mod arena;
 mod baseline;
 mod cache;
 mod config;
@@ -79,13 +80,14 @@ mod dp;
 mod error;
 mod job;
 mod map;
+mod persist;
 mod reconstruct;
 mod report;
 mod sched;
 mod soi;
 mod tuple;
 
-pub use cache::ConeCache;
+pub use cache::{CacheLoadStats, ConeCache};
 pub use config::{Algorithm, AndOrder, Footing, Limits, MapConfig, Objective, Parallelism};
 pub use cost::{Cost, CostModel};
 pub use error::MapError;

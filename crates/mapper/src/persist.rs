@@ -1,0 +1,490 @@
+//! On-disk format for persistent cone-cache stores.
+//!
+//! Repeated substructure amortizes *within* a run through the
+//! [`ConeCache`](crate::ConeCache) tiers; this module lets it amortize
+//! *across* runs: [`ConeCache::save`](crate::ConeCache::save) snapshots
+//! every entry to a store file and [`ConeCache::load`](crate::ConeCache::load)
+//! merges a store back in, marking each revived entry so hits it serves are
+//! reported under `persist_hits`. Loaded entries are bit-identical to the
+//! captures they snapshot, so a warm-started run maps exactly like a
+//! cold-cache run — only faster.
+//!
+//! ## Layout (all integers little-endian)
+//!
+//! ```text
+//! magic     8 bytes  b"SOIDCCH1"
+//! version   u32      bumped on any layout change; no cross-version reads
+//! cone_n    u64      cone-tier entry count
+//! node_n    u64      node-tier entry count
+//! entries   cone_n cone frames, then node_n node frames
+//! ```
+//!
+//! Each entry frame is self-delimiting and independently checksummed:
+//!
+//! ```text
+//! key       2 × u64  the 128-bit cache key (config fingerprint included)
+//! len       u64      payload byte length
+//! checksum  u64      chained multiply-xorshift over the key and the
+//!                    payload (see [`checksum`])
+//! payload   len bytes entry body (see `ConeEntry::encode` / `NodeEntry::encode`)
+//! ```
+//!
+//! ## Versioning and corruption rules
+//!
+//! * A wrong magic or version, a truncated header, or a frame whose `len`
+//!   overruns the store surfaces as a typed
+//!   [`MapError::CacheCorrupt`](crate::MapError::CacheCorrupt) — framing is
+//!   lost, nothing after the damage can be trusted.
+//! * A frame whose checksum mismatches, or whose payload fails to decode
+//!   (bad tag, over-long vector, trailing bytes), is **skipped** and
+//!   counted in [`CacheLoadStats::skipped_entries`]: the frame boundary is
+//!   intact, so the remaining entries still load. Loading never panics.
+//! * Keys embed the config fingerprint (hashed with the standard library's
+//!   [`DefaultHasher`](std::collections::hash_map::DefaultHasher), whose
+//!   keys are fixed), so a store written by a binary with a different
+//!   hasher implementation simply never hits — stale entries are inert,
+//!   never wrong.
+
+use crate::cache::Mix;
+use crate::tuple::{Cand, CandRef, ExportMap, Form, GateSol, NodeSol, TupleKey};
+use crate::Cost;
+use soi_unate::{Literal, Phase, UId};
+
+/// Store file magic: "SOI Domino Cone CacHe", format 1.
+pub(crate) const MAGIC: [u8; 8] = *b"SOIDCCH1";
+
+/// Store format version. Bump on any payload or frame layout change;
+/// loading rejects every other version outright.
+pub(crate) const VERSION: u32 = 1;
+
+/// Per-entry frame checksum: the cache's chained multiply-xorshift over
+/// the frame's key and its payload in 8-byte words (last word
+/// zero-padded), seeded with the payload length so truncation to a word
+/// boundary still mismatches. Covering the key means a flipped key byte
+/// fails the checksum instead of silently filing the entry under a
+/// canonical hash it does not belong to.
+pub(crate) fn checksum(key: [u64; 2], payload: &[u8]) -> u64 {
+    let mut h = Mix(0x7065_7273_6973_7431); // "persist1" domain seed
+    h.word(key[0]);
+    h.word(key[1]);
+    h.word(payload.len() as u64);
+    let mut chunks = payload.chunks_exact(8);
+    for c in &mut chunks {
+        h.word(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut last = [0u8; 8];
+        last[..rem.len()].copy_from_slice(rem);
+        h.word(u64::from_le_bytes(last));
+    }
+    h.0
+}
+
+/// Append-only byte encoder for store payloads.
+#[derive(Default)]
+pub(crate) struct Enc {
+    pub buf: Vec<u8>,
+}
+
+impl Enc {
+    pub fn new() -> Enc {
+        Enc::default()
+    }
+
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+
+    pub fn count(&mut self, n: usize) {
+        self.u64(n as u64);
+    }
+
+    fn uid(&mut self, id: UId) {
+        self.u64(id.index() as u64);
+    }
+
+    fn key(&mut self, k: TupleKey) {
+        self.u32(k.w);
+        self.u32(k.h);
+    }
+
+    fn cost(&mut self, c: Cost) {
+        self.u32(c.tx);
+        self.u32(c.wtx);
+        self.u32(c.disch);
+        self.u32(c.level);
+    }
+
+    fn cand_ref(&mut self, r: CandRef) {
+        self.uid(r.node);
+        self.key(r.key);
+        self.u32(r.idx);
+    }
+
+    fn form(&mut self, f: Form) {
+        match f {
+            Form::Lit(l) => {
+                self.u8(0);
+                self.u64(l.input as u64);
+                self.u8(match l.phase {
+                    Phase::Pos => 0,
+                    Phase::Neg => 1,
+                });
+            }
+            Form::ChildGate(id) => {
+                self.u8(1);
+                self.uid(id);
+            }
+            Form::And { top, bottom } => {
+                self.u8(2);
+                self.cand_ref(top);
+                self.cand_ref(bottom);
+            }
+            Form::Or { a, b } => {
+                self.u8(3);
+                self.cand_ref(a);
+                self.cand_ref(b);
+            }
+        }
+    }
+
+    fn cand(&mut self, c: &Cand) {
+        self.cost(c.g);
+        self.cost(c.u);
+        self.u32(c.p_spine);
+        self.u32(c.p_branch);
+        self.bool(c.par_b);
+        self.bool(c.touches_pi);
+        self.form(c.form);
+    }
+
+    fn export_map(&mut self, m: &ExportMap) {
+        self.count(m.shape_runs().count());
+        for (key, run) in m.shape_runs() {
+            self.key(key);
+            self.count(run.len());
+            for c in run {
+                self.cand(c);
+            }
+        }
+    }
+
+    pub fn node_sol(&mut self, s: &NodeSol) {
+        self.export_map(&s.exported);
+        match &s.gate {
+            None => self.u8(0),
+            Some(g) => {
+                self.u8(1);
+                self.cost(g.cost);
+                self.bool(g.footed);
+                self.form(g.form);
+                self.key(g.shape);
+            }
+        }
+        self.u64(s.profile.0);
+        self.u32(s.profile.1);
+    }
+}
+
+/// Bounds-checked byte decoder. Every read can fail; a failure skips the
+/// entry (the frame length keeps the rest of the store readable).
+pub(crate) struct Dec<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+/// Decode failure: the payload does not parse. Carries no context — the
+/// caller reports the entry as skipped, not why.
+pub(crate) struct Malformed;
+
+type DResult<T> = Result<T, Malformed>;
+
+impl<'a> Dec<'a> {
+    pub fn new(data: &'a [u8]) -> Dec<'a> {
+        Dec { data, pos: 0 }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Whether every byte was consumed — trailing garbage is corruption.
+    pub fn finished(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    pub fn take(&mut self, n: usize) -> DResult<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(Malformed);
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self) -> DResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u32(&mut self) -> DResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    pub fn u64(&mut self) -> DResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    pub fn bool(&mut self) -> DResult<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(Malformed),
+        }
+    }
+
+    /// A count whose items each occupy at least `min_item_bytes` — bounds
+    /// the claimed length against the bytes actually present, so a
+    /// corrupted count can never balloon an allocation.
+    pub fn count(&mut self, min_item_bytes: usize) -> DResult<usize> {
+        let n = self.u64()?;
+        let n = usize::try_from(n).map_err(|_| Malformed)?;
+        if n > self.remaining() / min_item_bytes.max(1) {
+            return Err(Malformed);
+        }
+        Ok(n)
+    }
+
+    fn uid(&mut self) -> DResult<UId> {
+        let raw = self.u64()?;
+        let idx = usize::try_from(raw).map_err(|_| Malformed)?;
+        if idx > u32::MAX as usize {
+            return Err(Malformed);
+        }
+        Ok(UId::from_index(idx))
+    }
+
+    fn key(&mut self) -> DResult<TupleKey> {
+        Ok(TupleKey {
+            w: self.u32()?,
+            h: self.u32()?,
+        })
+    }
+
+    fn cost(&mut self) -> DResult<Cost> {
+        Ok(Cost {
+            tx: self.u32()?,
+            wtx: self.u32()?,
+            disch: self.u32()?,
+            level: self.u32()?,
+        })
+    }
+
+    fn cand_ref(&mut self) -> DResult<CandRef> {
+        Ok(CandRef {
+            node: self.uid()?,
+            key: self.key()?,
+            idx: self.u32()?,
+        })
+    }
+
+    fn form(&mut self) -> DResult<Form> {
+        match self.u8()? {
+            0 => {
+                let input = usize::try_from(self.u64()?).map_err(|_| Malformed)?;
+                let phase = match self.u8()? {
+                    0 => Phase::Pos,
+                    1 => Phase::Neg,
+                    _ => return Err(Malformed),
+                };
+                Ok(Form::Lit(Literal { input, phase }))
+            }
+            1 => Ok(Form::ChildGate(self.uid()?)),
+            2 => Ok(Form::And {
+                top: self.cand_ref()?,
+                bottom: self.cand_ref()?,
+            }),
+            3 => Ok(Form::Or {
+                a: self.cand_ref()?,
+                b: self.cand_ref()?,
+            }),
+            _ => Err(Malformed),
+        }
+    }
+
+    fn cand(&mut self) -> DResult<Cand> {
+        Ok(Cand {
+            g: self.cost()?,
+            u: self.cost()?,
+            p_spine: self.u32()?,
+            p_branch: self.u32()?,
+            par_b: self.bool()?,
+            touches_pi: self.bool()?,
+            form: self.form()?,
+        })
+    }
+
+    fn export_map(&mut self) -> DResult<ExportMap> {
+        // Smallest run frame: key (8) + count (8).
+        let runs = self.count(16)?;
+        let mut map = ExportMap::default();
+        for _ in 0..runs {
+            let key = self.key()?;
+            // Smallest candidate: 2 costs + 2 u32 + 2 bools + 1-byte form
+            // tag + its smallest body (ChildGate: 8) = 51 bytes.
+            let n = self.count(51)?;
+            let mut cands = Vec::with_capacity(n);
+            for _ in 0..n {
+                cands.push(self.cand()?);
+            }
+            // Out-of-order or duplicate shapes are corruption: `append_run`
+            // refuses, we report malformed.
+            if !map.append_run(key, cands.into_iter()) {
+                return Err(Malformed);
+            }
+        }
+        Ok(map)
+    }
+
+    pub fn node_sol(&mut self) -> DResult<NodeSol> {
+        let exported = self.export_map()?;
+        let gate = match self.u8()? {
+            0 => None,
+            1 => Some(GateSol {
+                cost: self.cost()?,
+                footed: self.bool()?,
+                form: self.form()?,
+                shape: self.key()?,
+            }),
+            _ => return Err(Malformed),
+        };
+        let profile = (self.u64()?, self.u32()?);
+        Ok(NodeSol {
+            exported,
+            gate,
+            profile,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checksum_distinguishes_truncation_flips_and_keys() {
+        let key = [0xfeed, 0xbeef];
+        let payload = b"0123456789abcdef!";
+        let full = checksum(key, payload);
+        assert_eq!(full, checksum(key, payload));
+        assert_ne!(full, checksum(key, &payload[..16]));
+        assert_ne!(full, checksum(key, &payload[..8]));
+        let mut flipped = payload.to_vec();
+        flipped[3] ^= 0x40;
+        assert_ne!(full, checksum(key, &flipped));
+        assert_ne!(full, checksum([0xfeee, 0xbeef], payload));
+        assert_ne!(full, checksum([0xfeed, 0xbeee], payload));
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut e = Enc::new();
+        e.u8(7);
+        e.u32(0xdead_beef);
+        e.u64(u64::MAX - 3);
+        e.bool(true);
+        e.bool(false);
+        e.count(5);
+        let mut d = Dec::new(&e.buf);
+        assert_eq!(d.u8().ok(), Some(7));
+        assert_eq!(d.u32().ok(), Some(0xdead_beef));
+        assert_eq!(d.u64().ok(), Some(u64::MAX - 3));
+        assert_eq!(d.bool().ok(), Some(true));
+        assert_eq!(d.bool().ok(), Some(false));
+        // count(1): five items need five bytes, none remain.
+        assert!(d.count(1).is_err());
+        let mut zero = Enc::new();
+        zero.count(0);
+        let mut d = Dec::new(&zero.buf);
+        assert_eq!(d.count(1).ok(), Some(0));
+        assert!(d.finished());
+    }
+
+    #[test]
+    fn node_sol_round_trips() {
+        let mut sol = NodeSol::default();
+        let c = Cand {
+            g: Cost::transistors(3),
+            u: Cost::transistors(5),
+            p_spine: 1,
+            p_branch: 2,
+            par_b: true,
+            touches_pi: false,
+            form: Form::And {
+                top: CandRef {
+                    node: UId::from_index(4),
+                    key: TupleKey { w: 1, h: 2 },
+                    idx: 0,
+                },
+                bottom: CandRef {
+                    node: UId::from_index(9),
+                    key: TupleKey::UNIT,
+                    idx: 3,
+                },
+            },
+        };
+        assert!(sol.exported.append_run(TupleKey::UNIT, std::iter::once(c)));
+        assert!(sol
+            .exported
+            .append_run(TupleKey { w: 2, h: 1 }, [c, c].into_iter()));
+        sol.gate = Some(GateSol {
+            cost: Cost::transistors(11),
+            footed: true,
+            form: Form::ChildGate(UId::from_index(4)),
+            shape: TupleKey { w: 2, h: 2 },
+        });
+        sol.profile = (0x1234_5678_9abc_def0, 7);
+        let mut e = Enc::new();
+        e.node_sol(&sol);
+        let mut d = Dec::new(&e.buf);
+        let back = d.node_sol().ok().expect("decodes");
+        assert!(d.finished());
+        assert_eq!(back.profile, sol.profile);
+        assert_eq!(back.gate.as_ref().map(|g| g.cost), Some(Cost::transistors(11)));
+        let flat: Vec<_> = back.exported.flat().map(|(k, c)| (k, *c)).collect();
+        let orig: Vec<_> = sol.exported.flat().map(|(k, c)| (k, *c)).collect();
+        assert_eq!(flat, orig);
+    }
+
+    #[test]
+    fn malformed_bytes_never_panic() {
+        // Every truncation of a valid encoding decodes to Err, not a panic.
+        let mut e = Enc::new();
+        e.node_sol(&NodeSol::default());
+        for cut in 0..e.buf.len() {
+            let mut d = Dec::new(&e.buf[..cut]);
+            assert!(d.node_sol().is_err() || !d.finished());
+        }
+        // Bad enum tags fail cleanly.
+        let mut d = Dec::new(&[0xff; 64]);
+        assert!(d.form().is_err());
+        let mut d = Dec::new(&[0xff; 64]);
+        assert!(d.bool().is_err());
+    }
+}

@@ -123,7 +123,7 @@ impl Ctx<'_> {
     }
 
     fn build_ref(&mut self, cand: &CandRef) -> Pdn {
-        let form = self.sols[cand.node.index()].exported[&cand.key][cand.idx].form;
+        let form = self.sols[cand.node.index()].exported[&cand.key][cand.idx as usize].form;
         let _ = self.unate; // structure comes entirely from the back-pointers
         self.build_pdn(&form)
     }

@@ -26,6 +26,7 @@
 
 use soi_unate::{UId, UNode, UnateNetwork};
 
+use crate::arena::{skyline_prune, CandArena};
 use crate::dp::{self, NodeCtx, NodeOutcome, Scratch, SolView};
 use crate::tuple::{Cand, CandRef, ExportMap, Form, NodeSol, TupleKey};
 use crate::{Algorithm, AndOrder, ConeCache, Cost, CostModel, MapConfig, MapError};
@@ -57,29 +58,33 @@ fn solve_node(
     };
     let (sol_a, sol_b) = (view.get(a), view.get(b));
     let Scratch {
+        cands,
         pairs,
+        order,
         kept,
         shapes,
         staged,
     } = scratch;
+    cands.clear();
     pairs.clear();
     for (ra, ca) in sol_a.exported_refs(a) {
         for (rb, cb) in sol_b.exported_refs(b) {
             ctx.charge(id)?;
             if is_and {
-                for (rt, ct, rbm, cbm) in and_orders(config.and_order, ra, ca, rb, cb) {
+                let (orders, n) = and_orders(config.and_order, ra, ca, rb, cb);
+                for &(rt, ct, rbm, cbm) in &orders[..n] {
                     let key = rt.key.and(rbm.key);
                     if !key.fits(config.w_max, config.h_max) {
                         continue;
                     }
-                    pairs.push((key, combine_and(config, rt, ct, rbm, cbm)));
+                    pairs.push((key, cands.push(combine_and(config, rt, ct, rbm, cbm))));
                 }
             } else {
                 let key = ra.key.or(rb.key);
                 if !key.fits(config.w_max, config.h_max) {
                     continue;
                 }
-                pairs.push((key, combine_or(config, ra, ca, rb, cb)));
+                pairs.push((key, cands.push(combine_or(config, ra, ca, rb, cb))));
             }
         }
     }
@@ -105,7 +110,7 @@ fn solve_node(
                     let key = ra.key.or(rb.key);
                     (key, combine_or(config, ra, ca, rb, cb))
                 };
-                pairs.push((key, cand));
+                pairs.push((key, cands.push(cand)));
             }
         }
         degraded = true;
@@ -131,28 +136,33 @@ fn solve_node(
     shapes.clear();
     staged.clear();
     let mut i = 0;
+    let mut prune_batches = 0u64;
+    let mut skyline_survivors = 0u64;
     while i < pairs.len() {
         let key = pairs[i].0;
         let mut j = i;
         while j < pairs.len() && pairs[j].0 == key {
             j += 1;
         }
-        prune(
-            pairs[i..j].iter().map(|&(_, c)| c),
+        skyline_survivors += skyline_prune(
+            cands,
+            &pairs[i..j],
+            order,
             kept,
             ctx.model,
             config.max_candidates,
-        );
+        ) as u64;
+        prune_batches += 1;
         pruned += (j - i - kept.len()) as u64;
         let start = staged.len() as u32;
         staged.append(kept);
         shapes.push((key, start, staged.len() as u32 - start));
         i = j;
     }
-    enforce_tuple_cap(shapes, staged, ctx.model, config.limits.max_tuples_per_node);
+    enforce_tuple_cap(shapes, staged, cands, ctx.model, config.limits.max_tuples_per_node);
     let survivors: u64 = shapes.iter().map(|&(_, _, len)| u64::from(len)).sum();
     pruned += staged.len() as u64 - survivors;
-    let exported = ExportMap::from_runs(shapes, staged);
+    let exported = ExportMap::from_runs(shapes, staged, cands);
     let mut sol = NodeSol {
         gate: dp::form_gate(config, ctx.model, exported.flat()),
         ..NodeSol::default()
@@ -174,6 +184,8 @@ fn solve_node(
         trace.count(soi_trace::Counter::CandidatesGenerated, generated);
         trace.count(soi_trace::Counter::CandidatesPruned, pruned);
         trace.count(soi_trace::Counter::CandidatesExported, bare_exported);
+        trace.count(soi_trace::Counter::PruneBatches, prune_batches);
+        trace.count(soi_trace::Counter::SkylineSurvivors, skyline_survivors);
     }
     Ok((sol, degraded))
 }
@@ -188,7 +200,8 @@ fn solve_node(
 /// `staged`, which [`ExportMap::from_runs`] compacts when copying out.
 pub(crate) fn enforce_tuple_cap(
     shapes: &mut Vec<(TupleKey, u32, u32)>,
-    staged: &[Cand],
+    staged: &[u32],
+    arena: &CandArena,
     model: &CostModel,
     cap: usize,
 ) {
@@ -196,8 +209,8 @@ pub(crate) fn enforce_tuple_cap(
     if total <= cap {
         return;
     }
-    // `prune` left each shape's run sorted by the model's grounded key, so
-    // truncation keeps the best candidates.
+    // The prune left each shape's run sorted by the model's grounded key,
+    // so truncation keeps the best candidates.
     let per_shape = (cap / shapes.len()).max(1) as u32;
     for run in shapes.iter_mut() {
         run.2 = run.2.min(per_shape);
@@ -206,7 +219,7 @@ pub(crate) fn enforce_tuple_cap(
         let mut order: Vec<usize> = (0..shapes.len()).collect();
         order.sort_by_key(|&i| {
             let (key, start, _) = shapes[i];
-            (model.key(&staged[start as usize].g), key.w, key.h)
+            (model.key(&arena.g(staged[start as usize])), key.w, key.h)
         });
         order.truncate(cap);
         // Restore shape order among the survivors.
@@ -262,46 +275,55 @@ fn score(c: &Cand) -> u32 {
 
 type Orientation<'c> = (CandRef, &'c Cand, CandRef, &'c Cand);
 
-/// Yields the (top, bottom) orientations to try for an AND combination.
+/// Yields the (top, bottom) orientations to try for an AND combination:
+/// a fixed-size buffer plus the count of valid entries, so the inner DP
+/// loop never heap-allocates per candidate pair.
 fn and_orders<'c>(
     order: AndOrder,
     ra: CandRef,
     ca: &'c Cand,
     rb: CandRef,
     cb: &'c Cand,
-) -> Vec<Orientation<'c>> {
+) -> ([Orientation<'c>; 2], usize) {
+    let fwd = (ra, ca, rb, cb);
+    let rev = (rb, cb, ra, ca);
     match order {
-        AndOrder::FirstOnTop => vec![(ra, ca, rb, cb)],
-        AndOrder::Exhaustive => vec![(ra, ca, rb, cb), (rb, cb, ra, ca)],
+        AndOrder::FirstOnTop => ([fwd, rev], 1),
+        AndOrder::Exhaustive => ([fwd, rev], 2),
         AndOrder::BulkTypical => {
             // The adversarial bulk orientation, available to the SOI DP for
             // ablation studies.
-            let a_top = score(ca) >= score(cb);
-            if a_top {
-                vec![(ra, ca, rb, cb)]
+            if score(ca) >= score(cb) {
+                ([fwd, rev], 1)
             } else {
-                vec![(rb, cb, ra, ca)]
+                ([rev, fwd], 1)
             }
         }
         AndOrder::PaperHeuristic => {
             // The operand with a parallel bottom — or, between two such
             // operands, the one with more potential points — goes to the
             // bottom, in the hope it will eventually be grounded.
-            let a_bottom = score(ca) >= score(cb);
-            if a_bottom {
-                vec![(rb, cb, ra, ca)]
+            if score(ca) >= score(cb) {
+                ([rev, fwd], 1)
             } else {
-                vec![(ra, ca, rb, cb)]
+                ([fwd, rev], 1)
             }
         }
     }
 }
 
-/// Pareto pruning over `(g, u, par_b)` with component-wise cost dominance
-/// (safe for every monotone composition the DP performs), then a cap at
-/// `max` candidates ordered by the model's grounded key. The survivors are
-/// left in `kept` (cleared first).
-fn prune(cands: impl Iterator<Item = Cand>, kept: &mut Vec<Cand>, model: &CostModel, max: usize) {
+/// The original quadratic Pareto prune over `(g, u, par_b)` with
+/// component-wise cost dominance, then a cap at `max` candidates ordered by
+/// the model's grounded key. Kept as the reference semantics the batched
+/// [`skyline_prune`] must reproduce bit-identically; the in-crate
+/// equivalence proptest drives both over random candidate clouds.
+#[cfg(test)]
+pub(crate) fn prune_reference(
+    cands: impl Iterator<Item = Cand>,
+    kept: &mut Vec<Cand>,
+    model: &CostModel,
+    max: usize,
+) {
     let dominates = |x: &Cand, y: &Cand| -> bool {
         // x dominates y: no worse on every coordinate that can influence
         // any future cost — including `touches_pi`, which decides whether
@@ -453,7 +475,9 @@ mod tests {
         assert!(eg.tx <= hg.tx);
     }
 
-    /// Pruning keeps non-dominated candidates and respects the cap.
+    /// Pruning keeps non-dominated candidates and respects the cap — and
+    /// the batched skyline path agrees bit-for-bit with the quadratic
+    /// reference on both the dominance-tie and cap cases.
     #[test]
     fn prune_respects_dominance_and_cap() {
         let config = cfg();
@@ -470,22 +494,37 @@ mod tests {
                 phase: Phase::Pos,
             }),
         };
+        // Runs both prunes over the same cloud and returns the skyline
+        // survivors materialized, after checking they match the reference.
+        let both = |cands: &[Cand], max: usize| -> Vec<Cand> {
+            let mut reference = Vec::new();
+            prune_reference(cands.iter().copied(), &mut reference, &model, max);
+            let mut arena = CandArena::default();
+            let key = TupleKey { w: 1, h: 1 };
+            let group: Vec<(TupleKey, u32)> =
+                cands.iter().map(|&c| (key, arena.push(c))).collect();
+            let (mut order, mut kept) = (Vec::new(), Vec::new());
+            let survivors = skyline_prune(&arena, &group, &mut order, &mut kept, &model, max);
+            assert!(survivors >= kept.len());
+            let sky: Vec<Cand> = kept.iter().map(|&h| arena.get(h)).collect();
+            assert_eq!(sky, reference);
+            sky
+        };
         // (10, 10, T) dominates (10, 10, F) and (11, 12, F).
-        let mut kept = Vec::new();
         let cands = vec![
             mk(10, 10, true),
             mk(10, 10, false),
             mk(11, 12, false),
             mk(8, 13, false),
         ];
-        prune(cands.into_iter(), &mut kept, &model, 4);
+        let kept = both(&cands, 4);
         assert_eq!(kept.len(), 2);
         // The cheap-g/expensive-u candidate survives.
         assert!(kept.iter().any(|c| c.g.tx == 8));
         assert!(kept.iter().any(|c| c.g.tx == 10 && c.par_b));
 
         let many: Vec<Cand> = (0..10).map(|i| mk(10 + i, 40 - i, false)).collect();
-        prune(many.into_iter(), &mut kept, &model, 3);
+        let kept = both(&many, 3);
         assert_eq!(kept.len(), 3);
         // Cap keeps the best grounded costs.
         assert!(kept.iter().all(|c| c.g.tx <= 12));

@@ -3,6 +3,7 @@ use std::ops::Index;
 
 use soi_unate::{Literal, UId};
 
+use crate::arena::CandArena;
 use crate::Cost;
 
 /// A `(W, H)` pull-down-network shape — the index of the paper's tuple
@@ -53,7 +54,7 @@ impl fmt::Display for TupleKey {
 pub(crate) struct CandRef {
     pub node: UId,
     pub key: TupleKey,
-    pub idx: usize,
+    pub idx: u32,
 }
 
 /// How a candidate structure was formed — the DP back-pointer used to
@@ -63,7 +64,7 @@ pub(crate) struct CandRef {
 /// children's exported sets, never owned subtrees, so a `Form` (and with it
 /// a whole [`Cand`]) is `Copy` — candidate pruning and gate formation move
 /// plain words instead of cloning heap structures.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum Form {
     /// A single transistor driven by a primary-input literal.
     Lit(Literal),
@@ -89,7 +90,7 @@ pub(crate) enum Form {
 /// * **branch** points sit inside parallel branches. They are absolved
 ///   only by grounding *this* structure's bottom; on top of a stack they
 ///   must be discharged.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct Cand {
     /// Cost if the structure's bottom is eventually grounded.
     pub g: Cost,
@@ -166,11 +167,15 @@ pub(crate) struct ExportMap {
 }
 
 impl ExportMap {
-    /// Builds an export set from per-shape runs into a staging arena, in
-    /// run order. `shapes` must be sorted by key with no duplicates; each
-    /// `(key, start, len)` selects `staged[start..start + len]`. The runs
-    /// may leave holes in `staged` (capped shapes); the copy compacts them.
-    pub fn from_runs(shapes: &[(TupleKey, u32, u32)], staged: &[Cand]) -> ExportMap {
+    /// Builds an export set from per-shape runs of staged handles into a
+    /// [`CandArena`], in run order. `shapes` must be sorted by key with no
+    /// duplicates; each `(key, start, len)` selects
+    /// `staged[start..start + len]`. The runs may leave holes in `staged`
+    /// (capped shapes); the copy compacts them while materializing the
+    /// arena rows into the export's own row-major storage (exports are
+    /// read whole-candidate-at-a-time by consumers, so they stay AoS —
+    /// see DESIGN.md §7.1).
+    pub fn from_runs(shapes: &[(TupleKey, u32, u32)], staged: &[u32], arena: &CandArena) -> ExportMap {
         debug_assert!(shapes.windows(2).all(|w| w[0].0 < w[1].0));
         let total: usize = shapes.iter().map(|&(_, _, len)| len as usize).sum();
         let mut map = ExportMap {
@@ -183,8 +188,11 @@ impl ExportMap {
                 start: map.cands.len() as u32,
                 len,
             });
-            map.cands
-                .extend_from_slice(&staged[start as usize..(start + len) as usize]);
+            map.cands.extend(
+                staged[start as usize..(start + len) as usize]
+                    .iter()
+                    .map(|&h| arena.get(h)),
+            );
         }
         map
     }
@@ -260,6 +268,31 @@ impl ExportMap {
     pub fn cands_mut(&mut self) -> &mut [Cand] {
         &mut self.cands
     }
+
+    /// Iterator over `(shape, run)` pairs in shape order — the
+    /// serialization view used by the persistent cache store.
+    pub fn shape_runs(&self) -> impl Iterator<Item = (TupleKey, &[Cand])> + '_ {
+        self.runs.iter().enumerate().map(|(i, r)| (r.key, self.run(i)))
+    }
+
+    /// Appends a whole run under `key`, which must sort strictly after
+    /// every existing run — the deserialization counterpart of
+    /// [`shape_runs`](ExportMap::shape_runs). Returns `false` (leaving the
+    /// map untouched) when the ordering invariant would break.
+    #[must_use]
+    pub fn append_run(&mut self, key: TupleKey, cands: impl Iterator<Item = Cand>) -> bool {
+        if self.runs.last().is_some_and(|r| r.key >= key) {
+            return false;
+        }
+        let start = self.cands.len() as u32;
+        self.cands.extend(cands);
+        self.runs.push(ShapeRun {
+            key,
+            start,
+            len: self.cands.len() as u32 - start,
+        });
+        true
+    }
 }
 
 impl Index<&TupleKey> for ExportMap {
@@ -310,7 +343,7 @@ impl NodeSol {
                             CandRef {
                                 node,
                                 key: r.key,
-                                idx,
+                                idx: idx as u32,
                             },
                             c,
                         )
@@ -372,15 +405,16 @@ mod tests {
 
     #[test]
     fn export_map_from_runs_compacts_holes() {
-        // Staging arena with a capped (shortened) middle run: the copy
+        // Staging handles with a capped (shortened) middle run: the copy
         // drops the hole.
-        let staged = vec![cand(1), cand(2), cand(3), cand(4)];
+        let mut arena = CandArena::default();
+        let staged: Vec<u32> = [1, 2, 3, 4].iter().map(|&tx| arena.push(cand(tx))).collect();
         let shapes = vec![
             (TupleKey::UNIT, 0u32, 1u32),
             (TupleKey { w: 1, h: 2 }, 1, 1), // run of 2, capped to 1
             (TupleKey { w: 2, h: 2 }, 3, 1),
         ];
-        let m = ExportMap::from_runs(&shapes, &staged);
+        let m = ExportMap::from_runs(&shapes, &staged, &arena);
         assert_eq!(m.total_candidates(), 3);
         let txs: Vec<u32> = m.flat().map(|(_, c)| c.g.tx).collect();
         assert_eq!(txs, vec![1, 2, 4]);

@@ -179,11 +179,23 @@ pub enum Counter {
     /// Completed cone units an interrupted run captured into its salvage
     /// cache.
     UnitsSalvaged,
+    /// Per-shape candidate groups the batched skyline prune processed.
+    PruneBatches,
+    /// Candidates the skyline sweep kept (before the per-shape cap).
+    SkylineSurvivors,
+    /// Cache hits served by entries loaded from a persistent store.
+    PersistHits,
+    /// Cache tiers the adaptive bypass disabled mid-run (at most one per
+    /// tier per run).
+    TierBypasses,
+    /// Runs where the cold-cache admission pre-scan found too little cone
+    /// repetition and skipped the cache entirely.
+    AdmissionSkips,
 }
 
 impl Counter {
     /// Every counter, in declaration order.
-    pub const ALL: [Counter; 19] = [
+    pub const ALL: [Counter; 24] = [
         Counter::CandidatesGenerated,
         Counter::CandidatesPruned,
         Counter::CandidatesExported,
@@ -203,6 +215,11 @@ impl Counter {
         Counter::CancelsObserved,
         Counter::PanicsContained,
         Counter::UnitsSalvaged,
+        Counter::PruneBatches,
+        Counter::SkylineSurvivors,
+        Counter::PersistHits,
+        Counter::TierBypasses,
+        Counter::AdmissionSkips,
     ];
 
     /// The counter's snake_case display name.
@@ -227,6 +244,11 @@ impl Counter {
             Counter::CancelsObserved => "cancels_observed",
             Counter::PanicsContained => "panics_contained",
             Counter::UnitsSalvaged => "units_salvaged",
+            Counter::PruneBatches => "prune_batches",
+            Counter::SkylineSurvivors => "skyline_survivors",
+            Counter::PersistHits => "persist_hits",
+            Counter::TierBypasses => "tier_bypasses",
+            Counter::AdmissionSkips => "admission_skips",
         }
     }
 }
@@ -246,17 +268,26 @@ pub enum Gauge {
     PeakCandidates,
     /// Worker threads the DP schedule actually used.
     ThreadsUsed,
+    /// Largest candidate count a worker's scratch arena held for one node
+    /// — the pre-prune frontier high-water mark (capacity the reused
+    /// arenas retain across nodes and cone units).
+    ScratchHighWater,
 }
 
 impl Gauge {
     /// Every gauge, in declaration order.
-    pub const ALL: [Gauge; 2] = [Gauge::PeakCandidates, Gauge::ThreadsUsed];
+    pub const ALL: [Gauge; 3] = [
+        Gauge::PeakCandidates,
+        Gauge::ThreadsUsed,
+        Gauge::ScratchHighWater,
+    ];
 
     /// The gauge's snake_case display name.
     pub fn name(self) -> &'static str {
         match self {
             Gauge::PeakCandidates => "peak_candidates",
             Gauge::ThreadsUsed => "threads_used",
+            Gauge::ScratchHighWater => "scratch_high_water",
         }
     }
 }

@@ -1,0 +1,240 @@
+//! PR 8 guarantees for the persistent cone-cache store, checked end to end:
+//! a store written by [`ConeCache::save`] and reloaded by [`ConeCache::load`]
+//! is a pure warm-start — it changes wall-clock, never results.
+//!
+//! * **Round trip** — map, save, load into a fresh cache, re-map: the warm
+//!   run is bit-identical to a cold-cache reference and reports
+//!   `persist_hits > 0`, and the reloaded cache holds exactly the entry
+//!   counts the store advertised.
+//! * **Determinism** — two saves of the same cache produce identical bytes
+//!   (entries are emitted in sorted key order).
+//! * **Corruption** — every single-byte flip and every truncation of a
+//!   valid store either surfaces a typed [`MapError::CacheCorrupt`] /
+//!   [`MapError::Io`] or loads with the damaged entries *skipped*; it never
+//!   panics, and whatever survives still maps bit-identically to the cold
+//!   reference (checksummed frames make damaged payloads detectable).
+
+use std::sync::Arc;
+
+use soi_domino::circuits::registry;
+use soi_domino::mapper::{ConeCache, MapConfig, MapError, Mapper, MappingResult, Parallelism};
+use soi_domino::netlist::Network;
+use soi_domino::trace::{Counter, Recorder};
+
+/// Serial, cache-eligible configuration: integration circuits sit below the
+/// production size gate, so the gate is lowered to make the cache real.
+fn cached_config() -> MapConfig {
+    MapConfig {
+        parallelism: Parallelism::Serial,
+        cone_cache: true,
+        cone_cache_min_gates: 0,
+        ..MapConfig::default()
+    }
+}
+
+fn cold_config() -> MapConfig {
+    MapConfig {
+        cone_cache: false,
+        ..cached_config()
+    }
+}
+
+fn assert_identical(reference: &MappingResult, got: &MappingResult, what: &str) {
+    assert_eq!(reference.counts, got.counts, "{what}: counts diverge");
+    assert_eq!(
+        reference.circuit, got.circuit,
+        "{what}: materialized netlists diverge"
+    );
+    assert_eq!(
+        reference.degraded_nodes, got.degraded_nodes,
+        "{what}: degraded nodes diverge"
+    );
+    assert_eq!(
+        reference.peak_candidates, got.peak_candidates,
+        "{what}: peak candidates diverge"
+    );
+    assert_eq!(
+        reference.combine_steps, got.combine_steps,
+        "{what}: combine steps diverge"
+    );
+}
+
+/// Maps `network` once through a fresh cache and returns the store bytes
+/// alongside the cold reference and the populated cache's entry counts.
+fn populated_store(network: &Network) -> (Vec<u8>, MappingResult, usize, usize) {
+    let reference = Mapper::soi(cold_config())
+        .run(network)
+        .expect("cold reference maps");
+    let cache = Arc::new(ConeCache::new());
+    let warm = Mapper::soi(cached_config())
+        .with_cone_cache(Arc::clone(&cache))
+        .run(network)
+        .expect("cache-building run maps");
+    assert_identical(&reference, &warm, "cache-building run");
+    let mut bytes = Vec::new();
+    cache.save_to(&mut bytes).expect("save_to a Vec cannot fail");
+    (bytes, reference, cache.cone_entries(), cache.node_entries())
+}
+
+#[test]
+fn store_round_trips_and_serves_persisted_hits() {
+    let network = registry::benchmark("c880").expect("registered");
+    let (bytes, reference, cone_entries, node_entries) = populated_store(&network);
+
+    // Saves are byte-deterministic: entries are written in sorted key order.
+    let rebuilt = Arc::new(ConeCache::new());
+    let stats = rebuilt
+        .load_from(&bytes[..])
+        .expect("pristine store loads");
+    assert_eq!(stats.cone_entries, cone_entries, "cone entry count diverges");
+    assert_eq!(stats.node_entries, node_entries, "node entry count diverges");
+    assert_eq!(stats.skipped_entries, 0, "pristine store skipped entries");
+    assert_eq!(rebuilt.cone_entries(), cone_entries);
+    assert_eq!(rebuilt.node_entries(), node_entries);
+    let mut again = Vec::new();
+    rebuilt
+        .save_to(&mut again)
+        .expect("save_to a Vec cannot fail");
+    assert_eq!(bytes, again, "save is not byte-deterministic");
+
+    // A warm run against the reloaded cache is bit-identical and every hit
+    // it takes is accounted as a persisted hit.
+    let (rec, trace) = Recorder::install();
+    rec.reset();
+    let warm = Mapper::soi(MapConfig {
+        trace,
+        ..cached_config()
+    })
+    .with_cone_cache(rebuilt)
+    .run(&network)
+    .expect("warm run maps");
+    assert_identical(&reference, &warm, "warm persistent run");
+    let persist_hits = rec.counter(Counter::PersistHits);
+    assert!(
+        persist_hits > 0,
+        "reloaded store served no persisted hits on an identical circuit"
+    );
+    assert_eq!(
+        persist_hits, warm.cone_cache_hits,
+        "every warm-run hit should come from the persisted store"
+    );
+}
+
+#[test]
+fn store_round_trips_through_the_filesystem() {
+    let network = registry::benchmark("frg1").expect("registered");
+    let (bytes, reference, cone_entries, node_entries) = populated_store(&network);
+
+    let path = std::env::temp_dir().join(format!(
+        "soi-persist-{}-{:x}.cch",
+        std::process::id(),
+        bytes.len()
+    ));
+    let cache = Arc::new(ConeCache::new());
+    cache.load_from(&bytes[..]).expect("pristine store loads");
+    cache.save(&path).expect("save to temp file");
+    let reloaded = ConeCache::new();
+    let stats = reloaded.load(&path).expect("load from temp file");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(stats.cone_entries, cone_entries);
+    assert_eq!(stats.node_entries, node_entries);
+    assert_eq!(stats.skipped_entries, 0);
+
+    let warm = Mapper::soi(cached_config())
+        .with_cone_cache(Arc::new(reloaded))
+        .run(&network)
+        .expect("warm run maps");
+    assert_identical(&reference, &warm, "file round trip");
+
+    // A missing store is a typed I/O error, not a panic or a silent no-op.
+    let missing = ConeCache::new().load(&path);
+    assert!(
+        matches!(missing, Err(MapError::Io { .. })),
+        "missing store should be MapError::Io, got {missing:?}"
+    );
+}
+
+#[test]
+fn header_damage_is_a_typed_corruption_error() {
+    let network = registry::benchmark("frg1").expect("registered");
+    let (bytes, _, _, _) = populated_store(&network);
+
+    // Magic (bytes 0..8), version (8..12) and the two entry counts
+    // (12..28) are all structural: any flip there must be rejected whole.
+    for offset in 0..12 {
+        let mut damaged = bytes.clone();
+        damaged[offset] ^= 0x5a;
+        let got = ConeCache::new().load_from(&damaged[..]);
+        assert!(
+            matches!(got, Err(MapError::CacheCorrupt { .. })),
+            "flip at header byte {offset} should be CacheCorrupt, got {got:?}"
+        );
+    }
+}
+
+#[test]
+fn byte_flips_are_skipped_or_rejected_never_believed() {
+    let network = registry::benchmark("frg1").expect("registered");
+    let (bytes, reference, cone_entries, node_entries) = populated_store(&network);
+    let total = cone_entries + node_entries;
+
+    // Seeded single-byte flips across the whole store body. Each must
+    // either fail typed (framing damage) or load with the damaged entry
+    // skipped — and whatever loaded must still map bit-identically.
+    let mut skipped_at_least_once = false;
+    let mut offset = 28; // first byte past the fixed header
+    while offset < bytes.len() {
+        let mut damaged = bytes.clone();
+        damaged[offset] ^= 0xa5;
+        let cache = Arc::new(ConeCache::new());
+        match cache.load_from(&damaged[..]) {
+            Err(MapError::CacheCorrupt { .. }) => {}
+            Err(e) => panic!("flip at byte {offset}: unexpected error {e:?}"),
+            Ok(stats) => {
+                assert!(
+                    stats.skipped_entries > 0,
+                    "flip at byte {offset} loaded cleanly — checksum missed it"
+                );
+                assert_eq!(
+                    stats.cone_entries + stats.node_entries + stats.skipped_entries,
+                    total,
+                    "flip at byte {offset}: entries lost without being counted"
+                );
+                skipped_at_least_once = true;
+                let warm = Mapper::soi(cached_config())
+                    .with_cone_cache(cache)
+                    .run(&network)
+                    .expect("partially loaded cache maps");
+                assert_identical(&reference, &warm, "partially loaded cache");
+            }
+        }
+        offset += 131; // prime stride: covers keys, lengths, checksums, payloads
+    }
+    assert!(
+        skipped_at_least_once,
+        "no flip exercised the per-entry skip path; widen the stride"
+    );
+}
+
+#[test]
+fn truncations_never_panic() {
+    let network = registry::benchmark("frg1").expect("registered");
+    let (bytes, reference, _, _) = populated_store(&network);
+
+    let mut len = 0;
+    while len < bytes.len() {
+        let cache = Arc::new(ConeCache::new());
+        match cache.load_from(&bytes[..len]) {
+            Err(MapError::CacheCorrupt { .. }) => {}
+            Err(e) => panic!("truncation at {len}: unexpected error {e:?}"),
+            Ok(_) => {
+                let warm = Mapper::soi(cached_config())
+                    .with_cone_cache(cache)
+                    .run(&network)
+                    .expect("truncated-store cache maps");
+                assert_identical(&reference, &warm, "truncated store");
+            }
+        }
+        len += 97; // prime stride: lands mid-header, mid-frame, mid-payload
+    }
+}
