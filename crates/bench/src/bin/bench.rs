@@ -4,7 +4,7 @@
 //! `SOI_Domino_Map` three ways — DP forced serial with the cone cache off
 //! (the PR 2 baseline configuration), `Parallelism::Auto` with the cache
 //! off (the cost-model cutoff must never lose to serial), and the shipped
-//! default (`Auto` + cone cache) — and writes `BENCH_pr5.json` with
+//! default (`Auto` + cone cache) — and writes `BENCH_pr9.json` with
 //! per-circuit timings, the thread count each mode actually used, the
 //! cone-cache hit rate, and cross-mode equality checks (every mode must be
 //! bit-identical).
@@ -34,9 +34,15 @@
 //! the reloaded entries — `persist_warm_ms` is the cross-run amortization
 //! the on-disk format buys.
 //!
+//! Every registry circuit and corpus row also carries a `stages` block: a
+//! per-stage wall-time breakdown (`ingest`, `unate_convert`,
+//! `cone_partition`, `dp` exclusive of the nested partition span,
+//! `reconstruct`, `pbe_post`) read from one traced serial run — where the
+//! milliseconds actually go, row by row.
+//!
 //! Usage:
 //!   cargo run --release -p soi-bench --bin bench [OUT.json]
-//!     (default output: `BENCH_pr8.json` in the working directory;
+//!     (default output: `BENCH_pr9.json` in the working directory;
 //!      the event trace lands at `OUT.json` + `.trace.jsonl`)
 //!   cargo run --release -p soi-bench --bin bench -- --corpus-dir DIR [OUT.json]
 //!     additionally benches every `.aag`/`.aig`/`.blif` file in DIR as
@@ -51,7 +57,9 @@
 //!     corpus AIG end-to-end, then races the shipped default config
 //!     against serial/uncached on both ≥100k-gate synthetics — the
 //!     default must stay within a wall-clock envelope and must not lose
-//!     to serial (run under `timeout` in CI; any failure is fatal).
+//!     to serial — and asserts each synthetic's traced stage breakdown
+//!     is present and sums to no more than the traced run's total (run
+//!     under `timeout` in CI; any failure is fatal).
 
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -61,7 +69,7 @@ use soi_circuits::corpus::{self, SizeBucket};
 use soi_circuits::registry;
 use soi_mapper::{ConeCache, MapConfig, Mapper, MappingResult, Parallelism, TraceHandle};
 use soi_netlist::Network;
-use soi_trace::{Counter, Gauge, JsonLines, Recorder};
+use soi_trace::{Counter, Gauge, JsonLines, Recorder, Stage};
 
 /// Timing repetitions per circuit and mode; the minimum is reported.
 const REPS: u32 = 7;
@@ -76,12 +84,12 @@ const SMOKE_CIRCUITS: [&str; 3] = ["cm150", "b9", "c880"];
 const SMOKE_MAX_RATIO: f64 = 1.5;
 
 /// The ≥100k-gate synthetics the `--corpus-smoke` CI gate maps, with the
-/// PR 7 serial/uncached baseline (milliseconds, 1-thread host) each must
+/// PR 8 serial/uncached baseline (milliseconds, 1-thread host) each must
 /// stay within [`CORPUS_SMOKE_WALL_MULTIPLE`] of. The repetitive
 /// multiplier is where the cone cache wins; the low-repetition control
 /// netlist is where the adaptive bypass has to keep it from losing.
 const CORPUS_SMOKE_HUGE: [(&str, f64); 2] =
-    [("synth-mult136", 973.6), ("synth-control-120k", 1376.7)];
+    [("synth-mult136", 657.0), ("synth-control-120k", 1628.2)];
 
 /// Generous wall-clock envelope for the huge-bucket smoke circuits: the
 /// serial baseline may drift with the host, but an order-of-magnitude
@@ -102,6 +110,75 @@ fn corpus_reps(bucket: SizeBucket) -> u32 {
         SizeBucket::Small | SizeBucket::Medium => 5,
         SizeBucket::Large => 3,
         SizeBucket::Huge => 2,
+    }
+}
+
+/// Per-stage wall-time breakdown of one traced serial/uncached run, in
+/// milliseconds. The DP driver's span encloses the cone-partition span, so
+/// `dp_ms` here is *exclusive* — partition time is subtracted back out and
+/// the listed stages are disjoint slices of the run. Their sum can only
+/// fall short of `traced_total_ms` (validation, audit, and glue are not
+/// broken out), never exceed it; `--corpus-smoke` asserts exactly that.
+struct Stages {
+    /// Reading + parsing the source artifact into a `Network`. Timed by
+    /// the harness around the corpus load (the mapper never sees I/O);
+    /// zero for rows whose ingest was not separately traced.
+    ingest_ms: f64,
+    unate_convert_ms: f64,
+    cone_partition_ms: f64,
+    /// DP proper, exclusive of the nested cone-partition span.
+    dp_ms: f64,
+    reconstruct_ms: f64,
+    /// Baseline discharge insertion — structurally zero for `SOI_Domino_Map`,
+    /// which places discharges during reconstruction instead.
+    pbe_post_ms: f64,
+    /// Wall clock of the traced mapping run the breakdown came from
+    /// (ingest excluded — it happens before the mapper runs).
+    traced_total_ms: f64,
+}
+
+impl Stages {
+    /// Reads the breakdown out of a recorder that observed exactly one
+    /// serial mapping run.
+    fn read(rec: &Recorder, ingest_ms: f64, traced_total_ms: f64) -> Stages {
+        let ms = |stage| rec.stage_nanos(stage).map_or(0.0, |n| n as f64 / 1e6);
+        let cone_partition_ms = ms(Stage::ConePartition);
+        Stages {
+            ingest_ms,
+            unate_convert_ms: ms(Stage::UnateConvert),
+            cone_partition_ms,
+            dp_ms: (ms(Stage::Dp) - cone_partition_ms).max(0.0),
+            reconstruct_ms: ms(Stage::Reconstruct),
+            pbe_post_ms: ms(Stage::PbePostprocess),
+            traced_total_ms,
+        }
+    }
+
+    /// Sum of the disjoint mapping stages (ingest excluded — it is not
+    /// part of the mapping run the total measures).
+    fn sum_ms(&self) -> f64 {
+        self.unate_convert_ms
+            + self.cone_partition_ms
+            + self.dp_ms
+            + self.reconstruct_ms
+            + self.pbe_post_ms
+    }
+
+    /// The breakdown as a JSON object literal.
+    fn json(&self) -> String {
+        format!(
+            "{{\"ingest_ms\": {:.3}, \"unate_convert_ms\": {:.3}, \"cone_partition_ms\": {:.3}, \
+             \"dp_ms\": {:.3}, \"reconstruct_ms\": {:.3}, \"pbe_post_ms\": {:.3}, \
+             \"stage_sum_ms\": {:.3}, \"traced_total_ms\": {:.3}}}",
+            self.ingest_ms,
+            self.unate_convert_ms,
+            self.cone_partition_ms,
+            self.dp_ms,
+            self.reconstruct_ms,
+            self.pbe_post_ms,
+            self.sum_ms(),
+            self.traced_total_ms,
+        )
     }
 }
 
@@ -143,6 +220,7 @@ struct Metrics {
     cone_tier_hits: u64,
     cone_tier_gate_hits: u64,
     dp_ms: f64,
+    stages: Stages,
     traced_match: bool,
 }
 
@@ -154,6 +232,7 @@ fn collect_metrics(
     trace: TraceHandle,
     network: &Network,
     untraced_serial: &MappingResult,
+    ingest_ms: f64,
 ) -> Metrics {
     let traced = |parallelism, cone_cache| {
         Mapper::soi(MapConfig {
@@ -167,11 +246,15 @@ fn collect_metrics(
         })
     };
 
-    // Serial pass: the candidate funnel and combine-step totals.
+    // Serial pass: the candidate funnel, combine-step totals, and the
+    // per-stage wall-time breakdown.
     rec.reset();
+    let serial_start = Instant::now();
     let s = traced(Parallelism::Serial, false)
         .run(network)
         .expect("registry circuit maps");
+    let traced_total_ms = serial_start.elapsed().as_secs_f64() * 1e3;
+    let stages = Stages::read(rec, ingest_ms, traced_total_ms);
     let mut traced_match = same_outcome(untraced_serial, &s);
     let combine_steps = rec.counter(Counter::CombineSteps);
     let candidates_generated = rec.counter(Counter::CandidatesGenerated);
@@ -231,6 +314,7 @@ fn collect_metrics(
         cone_tier_hits,
         cone_tier_gate_hits,
         dp_ms,
+        stages,
         traced_match,
     }
 }
@@ -342,6 +426,9 @@ enum CorpusRow {
         persist_warm_ms: f64,
         /// Cache hits the warm run took (every one served from the store).
         persist_hits: u64,
+        /// Per-stage breakdown from one traced serial/uncached run
+        /// (`ingest_ms` timed by the harness around the corpus load).
+        stages: Stages,
     },
     Err {
         name: String,
@@ -351,19 +438,47 @@ enum CorpusRow {
 
 /// Times one corpus network in the three standard modes, reps scaled by
 /// its size bucket.
+/// The three standard corpus timing modes.
+struct Modes {
+    serial: Mapper,
+    auto: Mapper,
+    cached: Mapper,
+}
+
 fn bench_corpus_network(
     name: &str,
     network: &Network,
-    serial: &Mapper,
-    auto: &Mapper,
-    cached: &Mapper,
+    modes: &Modes,
+    rec: &'static Recorder,
+    trace: TraceHandle,
+    ingest_ms: f64,
 ) -> CorpusRow {
+    let Modes {
+        serial,
+        auto,
+        cached,
+    } = modes;
     let gates = network.stats().binary_gates;
     let bucket = SizeBucket::of(gates);
     let reps = corpus_reps(bucket);
     let [(serial_ms, s), (parallel_ms, p), (cached_ms, c)] =
         best_ms_interleaved([serial, auto, cached], network, reps);
     let mut counts_match = same_outcome(&s, &p) && same_outcome(&s, &c);
+
+    // One traced serial run for the per-stage wall-time breakdown (timed
+    // runs stay untraced; tracing is observational and must not diverge).
+    rec.reset();
+    let traced_serial = Mapper::soi(MapConfig {
+        parallelism: Parallelism::Serial,
+        cone_cache: false,
+        trace,
+        ..MapConfig::default()
+    });
+    let traced_start = Instant::now();
+    let ts = traced_serial.run(network).expect("traced corpus run maps");
+    let traced_total_ms = traced_start.elapsed().as_secs_f64() * 1e3;
+    counts_match &= same_outcome(&s, &ts);
+    let stages = Stages::read(rec, ingest_ms, traced_total_ms);
 
     // Persistent warm start: build a cache, round-trip it through the
     // on-disk store format in memory, and time a re-run against the
@@ -414,6 +529,18 @@ fn bench_corpus_network(
         c.cone_cache_hit_rate().unwrap_or(0.0) * 100.0,
         if counts_match { "" } else { "  ** MISMATCH **" }
     );
+    eprintln!(
+        "           stages: ingest {:.1} / unate {:.1} / cone {:.1} / dp {:.1} / reconstruct \
+         {:.1} / pbe-post {:.1} ms (sum {:.1} of {:.1} ms traced)",
+        stages.ingest_ms,
+        stages.unate_convert_ms,
+        stages.cone_partition_ms,
+        stages.dp_ms,
+        stages.reconstruct_ms,
+        stages.pbe_post_ms,
+        stages.sum_ms(),
+        stages.traced_total_ms,
+    );
     CorpusRow::Ok {
         name: name.to_string(),
         bucket,
@@ -429,6 +556,7 @@ fn bench_corpus_network(
         persist_store_bytes,
         persist_warm_ms,
         persist_hits,
+        stages,
     }
 }
 
@@ -436,18 +564,37 @@ fn bench_corpus_network(
 /// from `--corpus-dir`. A load failure produces a typed error row and stops
 /// the sweep — an unreadable corpus file must fail the run, not shrink it.
 fn bench_corpus(corpus_dir: Option<&str>) -> Vec<CorpusRow> {
-    let serial = soi_mapper(Parallelism::Serial, false);
-    let auto = soi_mapper(Parallelism::Auto, false);
-    let cached = soi_mapper(Parallelism::Auto, true);
+    let modes = Modes {
+        serial: soi_mapper(Parallelism::Serial, false),
+        auto: soi_mapper(Parallelism::Auto, false),
+        cached: soi_mapper(Parallelism::Auto, true),
+    };
+    let (rec, trace) = Recorder::install();
     let mut rows = Vec::new();
+
+    // The harness owns corpus I/O, so it owns the ingest span: each load
+    // runs inside `Stage::Ingest` and the measured time heads that row's
+    // stage table.
+    let timed_load = |load: &dyn Fn() -> Result<Network, corpus::CorpusError>| {
+        rec.reset();
+        let result = {
+            let _ingest = trace.span(Stage::Ingest);
+            load()
+        };
+        let ingest_ms = rec
+            .stage_nanos(Stage::Ingest)
+            .map_or(0.0, |n| n as f64 / 1e6);
+        (result, ingest_ms)
+    };
 
     let mut entries: Vec<&corpus::CorpusEntry> = corpus::ENTRIES.iter().collect();
     entries.sort_by_key(|e| e.approx_gates);
     for entry in entries {
-        match corpus::load(entry.name) {
+        let (loaded, ingest_ms) = timed_load(&|| corpus::load(entry.name));
+        match loaded {
             Ok(network) => {
                 rows.push(bench_corpus_network(
-                    entry.name, &network, &serial, &auto, &cached,
+                    entry.name, &network, &modes, rec, trace, ingest_ms,
                 ));
             }
             Err(e) => {
@@ -482,10 +629,11 @@ fn bench_corpus(corpus_dir: Option<&str>) -> Vec<CorpusRow> {
         paths.sort();
         for path in paths {
             let name = path.display().to_string();
-            match corpus::load_path(&path) {
+            let (loaded, ingest_ms) = timed_load(&|| corpus::load_path(&path));
+            match loaded {
                 Ok(network) => {
                     rows.push(bench_corpus_network(
-                        &name, &network, &serial, &auto, &cached,
+                        &name, &network, &modes, rec, trace, ingest_ms,
                     ));
                 }
                 Err(e) => {
@@ -541,8 +689,7 @@ fn corpus_smoke() {
             gates >= 100_000,
             "corpus smoke: `{name}` shrank below the 100k-gate tier ({gates} gates)"
         );
-        let [(serial_ms, s), (default_ms, d)] =
-            best_ms_interleaved([&serial, &mapper], &huge, 2);
+        let [(serial_ms, s), (default_ms, d)] = best_ms_interleaved([&serial, &mapper], &huge, 2);
         assert!(
             same_outcome(&s, &d),
             "corpus smoke: `{name}`: default config diverged from serial/uncached"
@@ -561,10 +708,54 @@ fn corpus_smoke() {
              (limit {CORPUS_SMOKE_DEFAULT_MAX_RATIO}x) — the cone-cache gate or the adaptive \
              bypass stopped paying for itself"
         );
+        // Stage breakdown: one traced serial run per synthetic must
+        // produce every mapping stage, the stages must sum to no more
+        // than the traced total (they are disjoint slices of the run),
+        // and tracing must stay observational.
+        let (rec, trace) = Recorder::install();
+        rec.reset();
+        let traced_start = Instant::now();
+        let t = Mapper::soi(MapConfig {
+            parallelism: Parallelism::Serial,
+            cone_cache: false,
+            trace,
+            ..MapConfig::default()
+        })
+        .run(&huge)
+        .unwrap_or_else(|e| panic!("corpus smoke: traced `{name}` failed to map: {e}"));
+        let traced_total_ms = traced_start.elapsed().as_secs_f64() * 1e3;
+        assert!(
+            same_outcome(&s, &t),
+            "corpus smoke: `{name}`: traced serial run diverged from untraced"
+        );
+        let stages = Stages::read(rec, 0.0, traced_total_ms);
+        for (stage, ms) in [
+            ("unate-convert", stages.unate_convert_ms),
+            ("cone-partition", stages.cone_partition_ms),
+            ("dp", stages.dp_ms),
+            ("reconstruct", stages.reconstruct_ms),
+        ] {
+            assert!(
+                ms > 0.0,
+                "corpus smoke: `{name}`: stage `{stage}` missing from the traced breakdown"
+            );
+        }
+        assert!(
+            stages.sum_ms() <= traced_total_ms,
+            "corpus smoke: `{name}`: stage sum {:.1} ms exceeds the traced total \
+             {traced_total_ms:.1} ms — the breakdown double-counts a span",
+            stages.sum_ms()
+        );
         eprintln!(
             "corpus smoke ok: {name} ({gates} gates) serial {serial_ms:.1} ms / default \
-             {default_ms:.1} ms (ratio {ratio:.2}, {} transistors)",
-            d.counts.total
+             {default_ms:.1} ms (ratio {ratio:.2}, {} transistors); stages unate {:.1} / cone \
+             {:.1} / dp {:.1} / reconstruct {:.1} ms (sum {:.1} of {traced_total_ms:.1} ms traced)",
+            d.counts.total,
+            stages.unate_convert_ms,
+            stages.cone_partition_ms,
+            stages.dp_ms,
+            stages.reconstruct_ms,
+            stages.sum_ms(),
         );
     }
 }
@@ -589,8 +780,8 @@ fn tier_probe(name: &str) {
         probe_config.cache_bypass_floor_permille = f;
     }
     let result = Mapper::soi(probe_config)
-    .run(&network)
-    .unwrap_or_else(|e| panic!("`{name}` failed to map: {e}"));
+        .run(&network)
+        .unwrap_or_else(|e| panic!("`{name}` failed to map: {e}"));
     let ms = start.elapsed().as_secs_f64() * 1e3;
     let node_probes = rec.counter(Counter::NodeTierProbes);
     let node_hits = rec.counter(Counter::NodeTierHits);
@@ -643,7 +834,7 @@ fn main() {
             other => out_path = Some(other.to_string()),
         }
     }
-    let out_path = out_path.unwrap_or_else(|| "BENCH_pr8.json".into());
+    let out_path = out_path.unwrap_or_else(|| "BENCH_pr9.json".into());
 
     let mut names: Vec<&'static str> = registry::TABLE2.to_vec();
     for name in registry::TABLE1 {
@@ -664,12 +855,14 @@ fn main() {
     let (rec, trace) = Recorder::install();
     let mut entries = Vec::new();
     for name in names {
+        let ingest_start = Instant::now();
         let network = registry::benchmark(name).expect("registered benchmark");
+        let ingest_ms = ingest_start.elapsed().as_secs_f64() * 1e3;
         let [(serial_ms, s), (parallel_ms, p), (cached_ms, c)] =
             best_ms_interleaved([&serial, &auto, &cached], &network, REPS);
         let counts_match = same_outcome(&s, &p) && same_outcome(&s, &c);
         let hit_rate = c.cone_cache_hit_rate().unwrap_or(0.0);
-        let metrics = collect_metrics(rec, trace, &network, &s);
+        let metrics = collect_metrics(rec, trace, &network, &s, ingest_ms);
         eprintln!(
             "  {name}: serial {serial_ms:.2} ms / auto({}t) {parallel_ms:.2} ms / cached \
              {cached_ms:.2} ms, hit rate {:.0}%, {} combines, {} steals{}",
@@ -822,7 +1015,7 @@ fn main() {
              \"dp_ms\": {:.3}, \"sched_steals\": {}, \"sched_wakeups\": {}, \"sched_parks\": {}, \
              \"worker_units\": [{}], \"node_tier_probes\": {}, \"node_tier_hits\": {}, \
              \"node_tier_misses\": {}, \"node_tier_hit_rate\": {:.3}, \"cone_tier_hits\": {}, \
-             \"cone_tier_gate_hits\": {}, \"traced_match\": {}}}}}{}",
+             \"cone_tier_gate_hits\": {}, \"stages\": {}, \"traced_match\": {}}}}}{}",
             m.combine_steps,
             m.candidates_generated,
             m.candidates_pruned,
@@ -842,6 +1035,7 @@ fn main() {
             node_rate,
             m.cone_tier_hits,
             m.cone_tier_gate_hits,
+            m.stages.json(),
             m.traced_match,
             if i == last { "" } else { "," }
         );
@@ -879,6 +1073,7 @@ fn main() {
                 persist_store_bytes,
                 persist_warm_ms,
                 persist_hits,
+                stages,
             } => {
                 let total = cache_hits + cache_misses;
                 let hit_rate = if total > 0 {
@@ -897,11 +1092,12 @@ fn main() {
                      \"cache_misses\": {cache_misses}, \"cache_hit_rate\": {hit_rate:.3}, \
                      \"persist_store_bytes\": {persist_store_bytes}, \"persist_warm_ms\": \
                      {persist_warm_ms:.3}, \"persist_warm_vs_cached\": {:.3}, \"persist_hits\": \
-                     {persist_hits}, \"counts_match\": {counts_match}}}{sep}",
+                     {persist_hits}, \"stages\": {}, \"counts_match\": {counts_match}}}{sep}",
                     serial_ms / parallel_ms.max(1e-9),
                     serial_ms / cached_ms.max(1e-9),
                     parallel_ms / cached_ms.max(1e-9),
                     cached_ms / persist_warm_ms.max(1e-9),
+                    stages.json(),
                 );
             }
             CorpusRow::Err { name, error } => {

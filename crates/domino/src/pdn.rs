@@ -1,3 +1,9 @@
+// SipHash is fine here: `soi-domino-ir` deliberately has no dependencies
+// (it is the leaf IR crate everything else points at), so it cannot use
+// `soi_netlist::fx`, and the one map below is a per-gate net-merge scratch
+// structure, not a mapping-hot-path table.
+#![allow(clippy::disallowed_types)]
+
 use std::collections::HashMap;
 use std::fmt;
 

@@ -1,15 +1,21 @@
-//! Struct-of-arrays candidate arena for the DP inner loop.
+//! Flat candidate arena for the DP inner loop.
 //!
 //! The per-node combination loop generates hundreds of candidates, prunes
 //! them per shape, and stages the survivors for export. Storing them as
 //! `Vec<Cand>` (array-of-structs) made the dominance prune walk 56-byte
-//! rows to compare a handful of `u32` coordinates; the [`CandArena`] packs
-//! each of the twelve dominance coordinates into its own contiguous
-//! column, so the batched skyline sweep ([`skyline_prune`]) streams
-//! cache-line-dense `u32` lanes instead. Candidates are addressed by `u32`
-//! handles; the columns (and the per-worker handle vectors around them)
-//! are cleared, never dropped, so their capacity is retained across nodes
-//! and cone units.
+//! rows to compare a handful of `u32` coordinates. PR 8 packed each
+//! coordinate into its own column (struct-of-arrays); stage profiling
+//! then showed the prune's unit of work is a candidate *pair* — every
+//! `dominates`/`lex_cmp` call touches all ten coordinates of both
+//! candidates, which under the column layout meant ten strided loads per
+//! side. The arena now stores the ten dominance coordinates of each
+//! candidate as one contiguous 40-byte row in a flat `u32` buffer
+//! (stride [`COLS`]): a pair compare reads two dense rows, and the
+//! per-column compare loops are fixed-width `chunks_exact` sweeps the
+//! compiler unrolls into SIMD lanes (no data-dependent branches).
+//! Candidates are addressed by `u32` handles; the buffers (and the
+//! per-worker handle vectors around them) are cleared, never dropped, so
+//! their capacity is retained across nodes and cone units.
 //!
 //! The flag pair (`par_b`, `touches_pi`) is pre-encoded as a 2-bit
 //! dominance *rank* byte (see [`CandArena::rank`]): `x` is no worse than
@@ -19,23 +25,25 @@
 
 use std::cmp::Ordering;
 
-use crate::tuple::{Cand, Form, TupleKey};
+use crate::tuple::{Cand, Form};
 use crate::{Cost, CostModel};
 
 /// Number of `u32` dominance coordinates per candidate (grounded cost,
 /// on-top cost, spine and branch potential points).
 const COLS: usize = 10;
 
-/// Struct-of-arrays candidate storage, indexed by `u32` handles.
+/// Row-major candidate storage, indexed by `u32` handles. Each candidate
+/// owns one contiguous [`COLS`]-wide row of the flat coordinate buffer.
 #[derive(Default)]
 pub(crate) struct CandArena {
-    /// Coordinate columns, in dominance order: `g.tx, g.wtx, g.disch,
-    /// g.level, u.tx, u.wtx, u.disch, u.level, p_spine, p_branch`.
-    cols: [Vec<u32>; COLS],
+    /// Flat coordinate rows, stride [`COLS`]; within a row the dominance
+    /// order is `g.tx, g.wtx, g.disch, g.level, u.tx, u.wtx, u.disch,
+    /// u.level, p_spine, p_branch`.
+    coords: Vec<u32>,
     /// Flag dominance ranks: bit 1 = `!par_b`, bit 0 = `touches_pi`
     /// (smaller is better on both, matching the cost columns).
     ranks: Vec<u8>,
-    /// Back-pointer forms, row-aligned with the columns.
+    /// Back-pointer forms, row-aligned with the coordinate rows.
     forms: Vec<Form>,
 }
 
@@ -45,25 +53,31 @@ impl CandArena {
         self.forms.len()
     }
 
-    /// Drops all candidates, keeping every column's capacity.
+    /// Drops all candidates, keeping every buffer's capacity.
     pub fn clear(&mut self) {
-        for col in &mut self.cols {
-            col.clear();
-        }
+        self.coords.clear();
         self.ranks.clear();
         self.forms.clear();
+    }
+
+    /// The ten-coordinate dominance row behind a handle. Returning a
+    /// fixed-size array reference lets the compare loops below run with
+    /// compile-time bounds — the precondition for autovectorization.
+    #[inline]
+    fn row(&self, h: u32) -> &[u32; COLS] {
+        let i = h as usize * COLS;
+        self.coords[i..i + COLS]
+            .try_into()
+            .expect("coordinate rows have stride COLS")
     }
 
     /// Appends a candidate, returning its handle.
     pub fn push(&mut self, c: Cand) -> u32 {
         let h = self.forms.len() as u32;
-        let coords = [
+        self.coords.extend_from_slice(&[
             c.g.tx, c.g.wtx, c.g.disch, c.g.level, c.u.tx, c.u.wtx, c.u.disch, c.u.level,
             c.p_spine, c.p_branch,
-        ];
-        for (col, v) in self.cols.iter_mut().zip(coords) {
-            col.push(v);
-        }
+        ]);
         self.ranks
             .push(u8::from(!c.par_b) << 1 | u8::from(c.touches_pi));
         self.forms.push(c.form);
@@ -72,23 +86,23 @@ impl CandArena {
 
     /// Materializes the candidate behind a handle.
     pub fn get(&self, h: u32) -> Cand {
+        let r = self.row(h);
         let i = h as usize;
-        let v = |c: usize| self.cols[c][i];
         Cand {
             g: Cost {
-                tx: v(0),
-                wtx: v(1),
-                disch: v(2),
-                level: v(3),
+                tx: r[0],
+                wtx: r[1],
+                disch: r[2],
+                level: r[3],
             },
             u: Cost {
-                tx: v(4),
-                wtx: v(5),
-                disch: v(6),
-                level: v(7),
+                tx: r[4],
+                wtx: r[5],
+                disch: r[6],
+                level: r[7],
             },
-            p_spine: v(8),
-            p_branch: v(9),
+            p_spine: r[8],
+            p_branch: r[9],
             par_b: self.ranks[i] & 2 == 0,
             touches_pi: self.ranks[i] & 1 != 0,
             form: self.forms[i],
@@ -97,12 +111,12 @@ impl CandArena {
 
     /// The grounded cost of a handle (what the cost model ranks by).
     pub fn g(&self, h: u32) -> Cost {
-        let i = h as usize;
+        let r = self.row(h);
         Cost {
-            tx: self.cols[0][i],
-            wtx: self.cols[1][i],
-            disch: self.cols[2][i],
-            level: self.cols[3][i],
+            tx: r[0],
+            wtx: r[1],
+            disch: r[2],
+            level: r[3],
         }
     }
 
@@ -110,32 +124,45 @@ impl CandArena {
     /// influence any future cost — both cost vectors, both potential-point
     /// counts, and the flag ranks (`par_b` at least as good, `touches_pi`
     /// no worse).
+    ///
+    /// The coordinate check is branchless: "x worse anywhere" is OR-folded
+    /// across the ten columns in two `chunks_exact` strips of five, which
+    /// the compiler turns into packed compares over the two contiguous
+    /// rows. Giving up the early exit is the point — a data-dependent
+    /// branch per column costs more than four extra lane compares.
     pub fn dominates(&self, x: u32, y: u32) -> bool {
-        let (x, y) = (x as usize, y as usize);
-        self.ranks[x] & !self.ranks[y] == 0 && self.cols.iter().all(|col| col[x] <= col[y])
+        if self.ranks[x as usize] & !self.ranks[y as usize] != 0 {
+            return false;
+        }
+        let (rx, ry) = (self.row(x), self.row(y));
+        let mut worse = 0u32;
+        for (cx, cy) in rx.chunks_exact(COLS / 2).zip(ry.chunks_exact(COLS / 2)) {
+            for k in 0..COLS / 2 {
+                worse |= u32::from(cx[k] > cy[k]);
+            }
+        }
+        worse == 0
     }
 
     /// Total order extending dominance: coordinate-lexicographic over the
-    /// columns, then the flag rank byte. `x` dominates `y` (component-wise
+    /// row, then the flag rank byte. `x` dominates `y` (component-wise
     /// `<=` everywhere) implies `x <= y` here, so a sweep in this order
     /// only ever meets a candidate's dominators *before* it.
     pub fn lex_cmp(&self, x: u32, y: u32) -> Ordering {
-        let (x, y) = (x as usize, y as usize);
-        for col in &self.cols {
-            match col[x].cmp(&col[y]) {
-                Ordering::Equal => {}
-                other => return other,
-            }
+        // Fixed-size array compare over two dense rows; same
+        // lexicographic semantics as the old per-column loop.
+        match self.row(x).cmp(self.row(y)) {
+            Ordering::Equal => self.ranks[x as usize].cmp(&self.ranks[y as usize]),
+            other => other,
         }
-        self.ranks[x].cmp(&self.ranks[y])
     }
 }
 
 /// Batched replacement for the quadratic insert-scan-retain Pareto prune.
 ///
-/// `group` is one shape's `(key, handle)` run in generation order; `order`
-/// and `kept` are reused scratch vectors. On return `kept` holds the
-/// surviving *handles*, sorted by the model's grounded key with ties
+/// `group` is one shape's candidate handles in generation order; `order`,
+/// `keyed` and `kept` are reused scratch vectors. On return `kept` holds
+/// the surviving *handles*, sorted by the model's grounded key with ties
 /// broken by generation order and capped at `max` — bit-identical to what
 /// the old quadratic loop plus stable sort produced (see DESIGN.md §7.2
 /// for the linear-extension argument). Returns the skyline survivor count
@@ -149,37 +176,59 @@ impl CandArena {
 /// `u32`s. Mutual dominance (coordinate-equal candidates with different
 /// forms) resolves to the earliest-generated one, exactly like the old
 /// first-wins insertion.
+///
+/// Both sorts run over *precomputed* scalar keys — the first two row
+/// columns packed into a `u64` for the lex sort (falling back to the full
+/// row compare only on a prefix tie), the model's packed `u128` key for
+/// the final ranking — because `sort_unstable_by_key` re-derives its key
+/// on every comparison, which stage profiling showed was the single
+/// hottest path of the whole DP.
 pub(crate) fn skyline_prune(
     arena: &CandArena,
-    group: &[(TupleKey, u32)],
-    order: &mut Vec<u32>,
+    group: &[u32],
+    order: &mut Vec<(u64, u32)>,
+    keyed: &mut Vec<(u128, u32)>,
     kept: &mut Vec<u32>,
     model: &CostModel,
     max: usize,
 ) -> usize {
+    if let ([lone], 1..) = (group, max) {
+        // Single-candidate shapes are common (unit tuples, narrow limits)
+        // and need no ordering at all.
+        kept.clear();
+        kept.push(*lone);
+        return 1;
+    }
     order.clear();
-    order.extend(0..group.len() as u32);
-    order.sort_unstable_by(|&x, &y| {
-        arena
-            .lex_cmp(group[x as usize].1, group[y as usize].1)
+    order.extend(group.iter().enumerate().map(|(pos, &h)| {
+        let r = arena.row(h);
+        ((u64::from(r[0]) << 32) | u64::from(r[1]), pos as u32)
+    }));
+    order.sort_unstable_by(|&(px, x), &(py, y)| {
+        px.cmp(&py)
+            .then_with(|| arena.lex_cmp(group[x as usize], group[y as usize]))
             .then(x.cmp(&y))
     });
     kept.clear();
-    'sweep: for &pos in order.iter() {
-        let cand = group[pos as usize].1;
+    'sweep: for &(_, pos) in order.iter() {
+        let cand = group[pos as usize];
         for &kpos in kept.iter() {
-            if arena.dominates(group[kpos as usize].1, cand) {
+            if arena.dominates(group[kpos as usize], cand) {
                 continue 'sweep;
             }
         }
         kept.push(pos);
     }
     let survivors = kept.len();
-    kept.sort_unstable_by_key(|&pos| (model.key(&arena.g(group[pos as usize].1)), pos));
-    kept.truncate(max);
-    for pos in kept.iter_mut() {
-        *pos = group[*pos as usize].1;
-    }
+    keyed.clear();
+    keyed.extend(
+        kept.iter()
+            .map(|&pos| (model.packed_key(&arena.g(group[pos as usize])), pos)),
+    );
+    keyed.sort_unstable();
+    keyed.truncate(max);
+    kept.clear();
+    kept.extend(keyed.iter().map(|&(_, pos)| group[pos as usize]));
     survivors
 }
 
@@ -260,8 +309,24 @@ mod tests {
     #[test]
     fn lex_order_extends_dominance() {
         let mut a = CandArena::default();
-        let cheap = a.push(cand(0, Cost::transistors(2), Cost::transistors(3), 1, 0, false, false));
-        let costly = a.push(cand(1, Cost::transistors(2), Cost::transistors(4), 1, 0, false, false));
+        let cheap = a.push(cand(
+            0,
+            Cost::transistors(2),
+            Cost::transistors(3),
+            1,
+            0,
+            false,
+            false,
+        ));
+        let costly = a.push(cand(
+            1,
+            Cost::transistors(2),
+            Cost::transistors(4),
+            1,
+            0,
+            false,
+            false,
+        ));
         assert!(a.dominates(cheap, costly));
         assert_eq!(a.lex_cmp(cheap, costly), Ordering::Less);
         assert_eq!(a.lex_cmp(cheap, cheap), Ordering::Equal);
@@ -297,7 +362,17 @@ mod equivalence {
     type RawCand = (Cost, Cost, u32, u32, bool, bool);
 
     fn cloud() -> impl Strategy<Value = Vec<RawCand>> {
-        proptest::collection::vec((cost(), cost(), 0u32..3, 0u32..3, any::<bool>(), any::<bool>()), 0..60)
+        proptest::collection::vec(
+            (
+                cost(),
+                cost(),
+                0u32..3,
+                0u32..3,
+                any::<bool>(),
+                any::<bool>(),
+            ),
+            0..60,
+        )
     }
 
     proptest! {
@@ -338,11 +413,10 @@ mod equivalence {
             prune_reference(cands.iter().copied(), &mut reference, &model, max);
 
             let mut arena = CandArena::default();
-            let key = TupleKey { w: 1, h: 1 };
-            let group: Vec<(TupleKey, u32)> =
-                cands.iter().map(|&c| (key, arena.push(c))).collect();
-            let (mut order, mut kept) = (Vec::new(), Vec::new());
-            let survivors = skyline_prune(&arena, &group, &mut order, &mut kept, &model, max);
+            let group: Vec<u32> = cands.iter().map(|&c| arena.push(c)).collect();
+            let (mut order, mut keyed, mut kept) = (Vec::new(), Vec::new(), Vec::new());
+            let survivors =
+                skyline_prune(&arena, &group, &mut order, &mut keyed, &mut kept, &model, max);
             let sky: Vec<Cand> = kept.iter().map(|&h| arena.get(h)).collect();
 
             // Survivor count is reported before the cap truncates.

@@ -74,31 +74,59 @@ fn solve_node(
     let Scratch {
         cands,
         pairs: bare,
+        left,
+        right,
+        right_runs,
         shapes,
         staged,
         ..
     } = scratch;
     cands.clear();
     bare.clear();
+    // Materialize both export lists once (dense slices for the quadratic
+    // loop, with run boundaries on the right so the shape-limit check
+    // hoists to run granularity) and bulk-charge the whole cross-product
+    // upfront — identical cumulative budget totals, one atomic add per
+    // node.
+    left.clear();
+    left.extend(sol_a.exported_refs(a).map(|(r, c)| (r, *c)));
+    right.clear();
+    right_runs.clear();
+    for (key, run) in sol_b.exported.shape_runs() {
+        let start = right.len() as u32;
+        right.extend(run.iter().enumerate().map(|(idx, c)| {
+            (
+                CandRef {
+                    node: b,
+                    key,
+                    idx: idx as u32,
+                },
+                *c,
+            )
+        }));
+        right_runs.push((key, start, run.len() as u32));
+    }
     // Candidate-balance bookkeeping (`generated == pruned + exported` per
     // solved node): every constructed candidate counts as generated, every
     // incumbent comparison drops exactly one.
     let mut generated = 0u64;
     let mut pruned = 0u64;
-    for (ra, ca) in sol_a.exported_refs(a) {
-        for (rb, cb) in sol_b.exported_refs(b) {
-            ctx.charge(id)?;
+    ctx.charge_many(left.len() as u64 * right.len() as u64, id)?;
+    for &(ra, ca) in left.iter() {
+        for &(kb, rstart, rlen) in right_runs.iter() {
             let key = if is_and {
-                ra.key.and(rb.key)
+                ra.key.and(kb)
             } else {
-                ra.key.or(rb.key)
+                ra.key.or(kb)
             };
             if !key.fits(config.w_max, config.h_max) {
                 continue;
             }
-            let cand = combine(config.baseline_order, is_and, ra, ca, rb, cb);
-            generated += 1;
-            pruned += u64::from(consider(bare, cands, model, key, cand));
+            for &(rb, cb) in &right[rstart as usize..(rstart + rlen) as usize] {
+                let cand = combine(config.baseline_order, is_and, ra, &ca, rb, &cb);
+                generated += 1;
+                pruned += u64::from(consider(bare, cands, model, key, cand));
+            }
         }
     }
     let mut degraded = false;
@@ -106,21 +134,29 @@ fn solve_node(
         // Forced gate boundary: combine the children's single-gate `{1,1}`
         // candidates, accepting the out-of-limits shape, and record the
         // node as degraded.
-        for (ra, ca) in sol_a.exported_refs(a) {
+        let units_a = left
+            .iter()
+            .filter(|&&(r, _)| r.key == TupleKey::UNIT)
+            .count();
+        let units_b = right
+            .iter()
+            .filter(|&&(r, _)| r.key == TupleKey::UNIT)
+            .count();
+        ctx.charge_many(units_a as u64 * units_b as u64, id)?;
+        for &(ra, ca) in left.iter() {
             if ra.key != TupleKey::UNIT {
                 continue;
             }
-            for (rb, cb) in sol_b.exported_refs(b) {
+            for &(rb, cb) in right.iter() {
                 if rb.key != TupleKey::UNIT {
                     continue;
                 }
-                ctx.charge(id)?;
                 let key = if is_and {
                     ra.key.and(rb.key)
                 } else {
                     ra.key.or(rb.key)
                 };
-                let cand = combine(config.baseline_order, is_and, ra, ca, rb, cb);
+                let cand = combine(config.baseline_order, is_and, ra, &ca, rb, &cb);
                 generated += 1;
                 pruned += u64::from(consider(bare, cands, model, key, cand));
             }
@@ -143,26 +179,42 @@ fn solve_node(
         staged.push(h);
         shapes.push((key, i as u32, 1));
     }
-    crate::soi::enforce_tuple_cap(shapes, staged, cands, model, config.limits.max_tuples_per_node);
+    crate::soi::enforce_tuple_cap(
+        shapes,
+        staged,
+        cands,
+        model,
+        config.limits.max_tuples_per_node,
+    );
     let survivors: u64 = shapes.iter().map(|&(_, _, len)| u64::from(len)).sum();
     pruned += staged.len() as u64 - survivors;
-    let exported = ExportMap::from_runs(shapes, staged, cands);
+    // Gate formation runs straight off the staged runs; a shared node
+    // never materializes the export set it is about to discard.
     let mut sol = NodeSol {
-        gate: dp::form_gate(config, model, exported.flat()),
+        gate: dp::form_gate(
+            config,
+            model,
+            shapes.iter().flat_map(|&(key, start, len)| {
+                let arena = &*cands;
+                staged[start as usize..(start + len) as usize]
+                    .iter()
+                    .map(move |&h| (key, arena.get(h)))
+            }),
+        ),
         ..NodeSol::default()
     };
     let gate = sol.gate.as_ref().expect("nonempty bare set");
     let gate_cand = dp::exported_gate_cand(id, gate, ctx.fanouts[id.index()], config);
-    let mut bare_exported = exported.total_candidates() as u64;
+    let mut bare_exported = survivors;
     if ctx.fanouts[id.index()] <= 1 || config.allow_duplication {
-        sol.exported = exported;
+        sol.exported = ExportMap::from_runs_with_unit(shapes, staged, cands, gate_cand);
     } else {
         // A shared node exports only its formed gate: the bare survivors
         // are discarded here, not exported.
         pruned += bare_exported;
         bare_exported = 0;
+        sol.exported = ExportMap::unit(gate_cand);
     }
-    sol.exported.push(TupleKey::UNIT, gate_cand);
     let trace = config.trace;
     if trace.enabled() {
         trace.count(soi_trace::Counter::CandidatesGenerated, generated);

@@ -49,15 +49,14 @@
 //! [`Mapper::with_cone_cache`](crate::Mapper::with_cone_cache)) so later
 //! runs of a family of circuits start warm.
 
-use std::collections::hash_map::DefaultHasher;
-use std::collections::{HashMap, HashSet};
 use std::fmt;
-use std::hash::{Hash, Hasher};
+use std::hash::{BuildHasher, Hash, Hasher};
 use std::io::{Read, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use soi_netlist::fx::{FxBuildHasher, FxHashMap, FxHashSet};
 use soi_unate::{ConeShape, ConeUnit, UId, UNode, UnateNetwork};
 
 use crate::dp::{SolTable, UnitAcc};
@@ -113,8 +112,11 @@ pub(crate) type CacheKey = [u64; 2];
 /// [`MappingResult`](crate::MappingResult).
 #[derive(Default)]
 pub struct ConeCache {
-    entries: Mutex<HashMap<CacheKey, Arc<ConeEntry>>>,
-    nodes: Mutex<HashMap<CacheKey, Arc<NodeEntry>>>,
+    // Fx-hashed: keys are already well-mixed 128-bit digests, and the node
+    // tier probes once per gate — re-running SipHash over each probe was
+    // pure overhead (part of why the cache lost on BENCH_pr5).
+    entries: Mutex<FxHashMap<CacheKey, Arc<ConeEntry>>>,
+    nodes: Mutex<FxHashMap<CacheKey, Arc<NodeEntry>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     /// Adaptive-bypass bookkeeping, per tier: lifetime probe and hit
@@ -198,9 +200,7 @@ impl ConeCache {
         let mut w = std::io::BufWriter::new(file);
         self.save_to(&mut w)?;
         use std::io::Write as _;
-        w.flush()
-            .map_err(|e| io_err("flush", path, &e))
-            .map(|()| ())
+        w.flush().map_err(|e| io_err("flush", path, &e))
     }
 
     /// Writes every entry to `w` in the persistent store format. Entries
@@ -292,8 +292,12 @@ impl ConeCache {
                 ),
             });
         }
-        let cone_n = d.count(32).map_err(|_| corrupt("implausible entry count"))?;
-        let node_n = d.count(32).map_err(|_| corrupt("implausible entry count"))?;
+        let cone_n = d
+            .count(32)
+            .map_err(|_| corrupt("implausible entry count"))?;
+        let node_n = d
+            .count(32)
+            .map_err(|_| corrupt("implausible entry count"))?;
         let mut stats = CacheLoadStats::default();
         for i in 0..cone_n + node_n {
             let key = [
@@ -508,11 +512,11 @@ impl<'a> RunCache<'a> {
         self.cache.misses.fetch_add(n, Ordering::Relaxed);
     }
 
-    fn entries(&self) -> std::sync::MutexGuard<'_, HashMap<CacheKey, Arc<ConeEntry>>> {
+    fn entries(&self) -> std::sync::MutexGuard<'_, FxHashMap<CacheKey, Arc<ConeEntry>>> {
         self.cache.entries.lock().expect("cache poisoned")
     }
 
-    fn node_entries(&self) -> std::sync::MutexGuard<'_, HashMap<CacheKey, Arc<NodeEntry>>> {
+    fn node_entries(&self) -> std::sync::MutexGuard<'_, FxHashMap<CacheKey, Arc<NodeEntry>>> {
         self.cache.nodes.lock().expect("cache poisoned")
     }
 
@@ -653,7 +657,7 @@ fn note_probe(
         hits.fetch_add(1, Ordering::Relaxed);
     }
     let p = probes.fetch_add(1, Ordering::Relaxed) + 1;
-    if p % BYPASS_PROBE_WINDOW != 0 {
+    if !p.is_multiple_of(BYPASS_PROBE_WINDOW) {
         return false;
     }
     let h = hits.load(Ordering::Relaxed);
@@ -707,7 +711,7 @@ pub(crate) fn admit_cold_cache(
     if floor_permille == 0 || gates < ADMISSION_MIN_GATES || !cache.is_empty() {
         return true;
     }
-    let mut seen = HashSet::with_capacity(units.len());
+    let mut seen = FxHashSet::with_capacity_and_hasher(units.len(), Default::default());
     let mut dups: u64 = 0;
     for unit in units {
         let mut h = Mix(0x636f_6c64_5f61_646d); // "cold_adm"
@@ -731,7 +735,11 @@ pub(crate) fn admit_cold_cache(
 /// scheduling, never solutions — so serial/parallel/cached runs share
 /// entries.
 fn fingerprint(config: &MapConfig, algorithm: Algorithm) -> u64 {
-    let mut h = DefaultHasher::new();
+    // Pinned-seed Fx, not `DefaultHasher`: fingerprints flow into the keys
+    // of *persisted* cache stores, so they must hash identically across
+    // Rust releases (DefaultHasher's algorithm is explicitly unstable) and
+    // must ignore the fx test-seed hook.
+    let mut h = FxBuildHasher::with_seed(0).build_hasher();
     algorithm.hash(&mut h);
     config.w_max.hash(&mut h);
     config.h_max.hash(&mut h);
@@ -1305,7 +1313,14 @@ mod tests {
         // A 50% first window clears the floor/2 hopelessness check (500‰ ≥
         // 400‰) and becomes the warm-up baseline...
         for i in 0..BYPASS_PROBE_WINDOW {
-            assert!(!note_probe(&probes, &hits, &warmup, &bypassed, i % 2 == 0, 800));
+            assert!(!note_probe(
+                &probes,
+                &hits,
+                &warmup,
+                &bypassed,
+                i % 2 == 0,
+                800
+            ));
         }
         assert!(!bypassed.load(Ordering::Relaxed));
         // ...so a second, all-miss window is judged on its own (0‰ < 800‰)
@@ -1326,7 +1341,14 @@ mod tests {
         // A cold-ish first window at exactly floor/2 (every cache starts
         // cold; 400‰ survives the hopelessness check)...
         for i in 0..BYPASS_PROBE_WINDOW {
-            assert!(!note_probe(&probes, &hits, &warmup, &bypassed, i % 5 < 2, 800));
+            assert!(!note_probe(
+                &probes,
+                &hits,
+                &warmup,
+                &bypassed,
+                i % 5 < 2,
+                800
+            ));
         }
         // ...followed by a hot steady state: the cumulative rate crosses
         // 800‰ only much later, but the post-warm-up rate is 1000‰ from

@@ -104,6 +104,19 @@ impl CostModel {
         }
     }
 
+    /// The comparison key packed into a single `u128` word, ordering
+    /// exactly like [`key`](CostModel::key): the second and third tuple
+    /// components are always `u32`-valued (they come straight from `Cost`
+    /// fields), so `(a << 64) | (b << 32) | c` is order-preserving. The
+    /// prune's final sort ranks every surviving candidate of a node;
+    /// comparing one precomputed scalar there beats rebuilding a
+    /// three-word tuple per comparison.
+    pub fn packed_key(&self, cost: &Cost) -> u128 {
+        let (a, b, c) = self.key(cost);
+        debug_assert!(b >> 32 == 0 && c >> 32 == 0);
+        (u128::from(a) << 64) | (u128::from(b) << 32) | u128::from(c)
+    }
+
     /// Whether `a` is strictly better than `b`.
     pub fn better(&self, a: &Cost, b: &Cost) -> bool {
         self.key(a) < self.key(b)

@@ -5,19 +5,19 @@
 //! a [`ConeCache`](crate::ConeCache) along the way.
 
 use std::cell::Cell;
-use std::collections::HashSet;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use soi_netlist::fx::FxHashSet;
 use soi_trace::{Counter, Gauge, Stage, TraceHandle};
 use soi_unate::{ConePartition, ConeUnit, Literal, ShapeScratch, UId, UNode, UnateNetwork};
 
 use crate::arena::CandArena;
 use crate::cache::{self, RunCache};
 use crate::job::{CancelToken, PartialMapping};
-use crate::tuple::{Cand, Form, GateSol, NodeSol, TupleKey};
+use crate::tuple::{Cand, CandRef, Form, GateSol, NodeSol, TupleKey};
 use crate::{Algorithm, ConeCache, Cost, CostModel, Footing, MapConfig, MapError};
 
 /// The product of one DP run over a unate network.
@@ -95,15 +95,18 @@ impl Budget {
         }
     }
 
-    /// Charges one candidate-combination step at `node`.
+    /// Single-step charge — test convenience over
+    /// [`charge_many`](Budget::charge_many).
+    #[cfg(test)]
     pub(crate) fn charge(&self, node: UId) -> Result<(), MapError> {
         self.charge_many(1, node)
     }
 
-    /// Charges `n` steps at once — how a cone-cache hit pays for the
-    /// combination work its cached solution originally cost, keeping the
-    /// cumulative total (and with it budget-trip behaviour) identical to
-    /// an uncached run.
+    /// Charges `n` candidate-combination steps at once — how a cone-cache
+    /// hit pays for the combination work its cached solution originally
+    /// cost, and how the solvers charge a node's candidate cross-product,
+    /// keeping the cumulative total (and with it budget-trip behaviour)
+    /// identical across both paths.
     pub(crate) fn charge_many(&self, n: u64, node: UId) -> Result<(), MapError> {
         let before = self.steps.fetch_add(n, Ordering::Relaxed);
         let steps = before + n;
@@ -211,18 +214,14 @@ impl<'a> NodeCtx<'a> {
         }
     }
 
-    /// Charges one combination step at `node` against the global budget,
-    /// and counts it toward the worker's local tally.
-    pub fn charge(&self, node: UId) -> Result<(), MapError> {
-        self.steps.set(self.steps.get() + 1);
-        self.budget.charge(node)
-    }
-
-    /// Bulk-charges `n` steps at `node` (cache hits paying for the work
-    /// their cached solution originally cost), keeping the worker tally in
-    /// step with the global budget so enclosing cone captures price
-    /// correctly.
-    fn charge_many(&self, n: u64, node: UId) -> Result<(), MapError> {
+    /// Bulk-charges `n` steps at `node`, keeping the worker tally in step
+    /// with the global budget so enclosing cone captures price correctly.
+    /// Used by cache hits paying for the work their cached solution
+    /// originally cost, and by the solvers' combination loops, which
+    /// charge a node's whole candidate cross-product upfront — one atomic
+    /// add per node instead of one per pair, with an identical cumulative
+    /// total (so budget-trip behaviour is unchanged).
+    pub(crate) fn charge_many(&self, n: u64, node: UId) -> Result<(), MapError> {
         self.steps.set(self.steps.get() + n);
         self.budget.charge_many(n, node)
     }
@@ -239,22 +238,37 @@ impl<'a> NodeCtx<'a> {
 
 /// Per-worker scratch arenas, reused across nodes so per-node accumulation
 /// and pruning never allocate in steady state. All candidate payloads live
-/// in the struct-of-arrays [`CandArena`]; the vectors around it carry only
-/// `u32` handles. Candidates accumulate into `pairs`, a stable sort groups
-/// them by shape (preserving insertion order within each shape), the
-/// batched skyline prune ([`crate::arena::skyline_prune`]) selects each
-/// shape's survivors via `order`/`kept`, and the survivors are staged in
-/// `staged` with their runs described by `shapes`. Everything is cleared —
-/// never dropped — between nodes, so capacity is retained across nodes
-/// *and* cone units for the lifetime of the worker.
+/// in the row-major [`CandArena`]; the vectors around it carry only `u32`
+/// handles. The SOI solver copies both fanins' export lists into
+/// `left`/`right`, buckets every combination by shape as it is generated
+/// (`buckets`, replacing a stable sort over the whole pair list), prunes
+/// each bucket with the batched skyline prune
+/// ([`crate::arena::skyline_prune`]) via `order`/`keyed`/`kept`, and
+/// stages the survivors in `staged` with their runs described by `shapes`.
+/// The baseline keeps its key-sorted best-per-shape list in `pairs`.
+/// Everything is cleared — never dropped — between nodes, so capacity is
+/// retained across nodes *and* cone units for the lifetime of the worker.
 #[derive(Default)]
 pub(crate) struct Scratch {
     /// Struct-of-arrays storage for every candidate of the current node.
     pub cands: CandArena,
-    /// Flat `(shape, handle)` accumulation list.
+    /// Key-sorted best-per-shape accumulation list (baseline DP).
     pub pairs: Vec<(TupleKey, u32)>,
-    /// Skyline sweep ordering scratch (positions into one shape's run).
-    pub order: Vec<u32>,
+    /// Materialized fanin export lists: copied once per node so the
+    /// quadratic combination loop reads two dense slices instead of
+    /// re-walking nested run iterators on every outer iteration.
+    pub left: Vec<(CandRef, Cand)>,
+    pub right: Vec<(CandRef, Cand)>,
+    /// Shape runs of `right`: `(key, start, len)` — lets the combination
+    /// loop test shape limits once per run instead of once per pair.
+    pub right_runs: Vec<(TupleKey, u32, u32)>,
+    /// Per-shape generation-order candidate buckets, indexed
+    /// `(w-1)·h_grid + (h-1)` (SOI DP).
+    pub buckets: Vec<Vec<u32>>,
+    /// Skyline sweep ordering scratch: `(lex-prefix key, position)`.
+    pub order: Vec<(u64, u32)>,
+    /// Skyline final-ranking scratch: `(packed model key, position)`.
+    pub keyed: Vec<(u128, u32)>,
     /// Pareto-pruning keep buffer for one shape run (handles).
     pub kept: Vec<u32>,
     /// Per-shape survivor runs: `(key, start, len)` into `staged`.
@@ -863,7 +877,7 @@ fn build_salvage(
     let frontier: Vec<usize> = (0..total)
         .filter(|&u| !done[u] && partition.unit(u).deps().iter().all(|&d| done[d]))
         .collect();
-    let degraded: HashSet<UId> = degraded.iter().copied().collect();
+    let degraded: FxHashSet<UId> = degraded.iter().copied().collect();
 
     // Backfill cache profiles: an uncached interrupted run never computed
     // them, and the probes below read boundary profiles from the table.
@@ -975,12 +989,12 @@ pub(crate) fn gate_overhead(touches_pi: bool, config: &MapConfig) -> (Cost, bool
 /// toward fewer potential discharge points, then smaller shape) and wraps it
 /// into a formed-gate solution. Iterates the candidates in place — no
 /// flattened copy of the bare sets is ever built.
-pub(crate) fn form_gate<'a>(
+pub(crate) fn form_gate(
     config: &MapConfig,
     model: &CostModel,
-    bare: impl IntoIterator<Item = (TupleKey, &'a Cand)>,
+    bare: impl IntoIterator<Item = (TupleKey, Cand)>,
 ) -> Option<GateSol> {
-    let mut best: Option<(Cost, u32, TupleKey, &Cand)> = None;
+    let mut best: Option<(Cost, u32, TupleKey, Cand)> = None;
     for (key, cand) in bare {
         let (overhead, _) = gate_overhead(cand.touches_pi, config);
         let mut cost = cand.g.combine(overhead);
@@ -1076,7 +1090,7 @@ pub(crate) fn literal_sol(
 ) -> NodeSol {
     let mut sol = NodeSol::default();
     let cand = literal_cand(literal);
-    sol.gate = form_gate(config, model, [(TupleKey::UNIT, &cand)]);
+    sol.gate = form_gate(config, model, [(TupleKey::UNIT, cand)]);
     sol.exported.push(TupleKey::UNIT, cand);
     sol
 }

@@ -183,7 +183,9 @@ mod tests {
         assert!(e.to_string().contains("unit 3"));
         let e = MapError::CacheCorrupt { what: "key".into() };
         assert!(e.to_string().contains("corruption"));
-        let e = MapError::Io { what: "disk".into() };
+        let e = MapError::Io {
+            what: "disk".into(),
+        };
         assert!(e.to_string().contains("I/O"));
     }
 

@@ -244,11 +244,15 @@ impl<'a> Dec<'a> {
     }
 
     pub fn u32(&mut self) -> DResult<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     pub fn u64(&mut self) -> DResult<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     pub fn bool(&mut self) -> DResult<bool> {
@@ -466,7 +470,10 @@ mod tests {
         let back = d.node_sol().ok().expect("decodes");
         assert!(d.finished());
         assert_eq!(back.profile, sol.profile);
-        assert_eq!(back.gate.as_ref().map(|g| g.cost), Some(Cost::transistors(11)));
+        assert_eq!(
+            back.gate.as_ref().map(|g| g.cost),
+            Some(Cost::transistors(11))
+        );
         let flat: Vec<_> = back.exported.flat().map(|(k, c)| (k, *c)).collect();
         let orig: Vec<_> = sol.exported.flat().map(|(k, c)| (k, *c)).collect();
         assert_eq!(flat, orig);

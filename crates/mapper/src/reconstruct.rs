@@ -1,8 +1,6 @@
 //! Gate materialization: turning DP back-pointers into a
 //! [`DominoCircuit`].
 
-use std::collections::HashMap;
-
 use soi_domino_ir::{DominoCircuit, DominoGate, GateId, Pdn, Signal};
 use soi_unate::{UId, USignal, UnateNetwork};
 
@@ -25,7 +23,7 @@ pub(crate) fn materialize(
         config,
         attach_discharge,
         circuit: DominoCircuit::new(unate.input_names().to_vec()),
-        built: HashMap::new(),
+        built: vec![None; unate.len()],
     };
     for out in unate.outputs() {
         match out.signal {
@@ -50,12 +48,14 @@ struct Ctx<'a> {
     config: &'a MapConfig,
     attach_discharge: bool,
     circuit: DominoCircuit,
-    built: HashMap<UId, GateId>,
+    /// Materialized gate per unate node, dense by `UId` (the id space is
+    /// contiguous, so `Vec` indexing beats a map probe per fanin edge).
+    built: Vec<Option<GateId>>,
 }
 
 impl Ctx<'_> {
     fn build_gate(&mut self, node: UId) -> GateId {
-        if let Some(&id) = self.built.get(&node) {
+        if let Some(id) = self.built[node.index()] {
             return id;
         }
         let gate_sol = self.sols[node.index()]
@@ -84,7 +84,7 @@ impl Ctx<'_> {
         };
         if self.attach_discharge {
             let analysis = soi_pbe::points::analyze(gate.pdn());
-            let discharge = analysis.grounded_discharge();
+            let discharge = analysis.into_grounded_discharge();
             self.config.trace.count(
                 soi_trace::Counter::DischargesInserted,
                 discharge.len() as u64,
@@ -92,7 +92,7 @@ impl Ctx<'_> {
             gate.set_discharge(discharge);
         }
         let id = self.circuit.add_gate(gate);
-        self.built.insert(node, id);
+        self.built[node.index()] = Some(id);
         id
     }
 

@@ -59,63 +59,127 @@ fn solve_node(
     let (sol_a, sol_b) = (view.get(a), view.get(b));
     let Scratch {
         cands,
-        pairs,
+        left,
+        right,
+        right_runs,
+        buckets,
         order,
+        keyed,
         kept,
         shapes,
         staged,
+        ..
     } = scratch;
     cands.clear();
-    pairs.clear();
-    for (ra, ca) in sol_a.exported_refs(a) {
-        for (rb, cb) in sol_b.exported_refs(b) {
-            ctx.charge(id)?;
-            if is_and {
-                let (orders, n) = and_orders(config.and_order, ra, ca, rb, cb);
-                for &(rt, ct, rbm, cbm) in &orders[..n] {
-                    let key = rt.key.and(rbm.key);
-                    if !key.fits(config.w_max, config.h_max) {
-                        continue;
-                    }
-                    pairs.push((key, cands.push(combine_and(config, rt, ct, rbm, cbm))));
-                }
+    // Materialize both export lists once: the quadratic loop below then
+    // streams two dense slices instead of re-walking the right-hand side's
+    // nested run iterator on every outer candidate. The right side also
+    // keeps its shape-run boundaries — all candidates of a run share one
+    // `TupleKey`, so the combined shape (symmetric in the operands for
+    // both AND and OR) and its limit check hoist to the run level,
+    // skipping whole runs whose combinations cannot fit.
+    left.clear();
+    left.extend(sol_a.exported_refs(a).map(|(r, c)| (r, *c)));
+    right.clear();
+    right_runs.clear();
+    for (key, run) in sol_b.exported.shape_runs() {
+        let start = right.len() as u32;
+        right.extend(run.iter().enumerate().map(|(idx, c)| {
+            (
+                CandRef {
+                    node: b,
+                    key,
+                    idx: idx as u32,
+                },
+                *c,
+            )
+        }));
+        right_runs.push((key, start, run.len() as u32));
+    }
+    // Candidates land in per-shape buckets as they are generated — bucket
+    // `(w-1)·h_grid + (h-1)` in generation order, which is exactly the
+    // (shape-lexicographic, then insertion-ordered) sequence the old
+    // stable sort over a flat pair list produced. The grid spans the
+    // configured limits widened to 2 so the degraded fallback's
+    // out-of-limit unit combinations (`{1,2}`/`{2,1}`) always have a slot.
+    let w_grid = config.w_max.max(2) as usize;
+    let h_grid = config.h_max.max(2) as usize;
+    if buckets.len() < w_grid * h_grid {
+        buckets.resize_with(w_grid * h_grid, Vec::new);
+    }
+    for bucket in &mut buckets[..w_grid * h_grid] {
+        bucket.clear();
+    }
+    let mut generated = 0u64;
+    // One bulk budget charge for the whole cross-product — same
+    // cumulative total (and so the same trip point) as the old
+    // charge-per-pair, without an atomic add in the inner loop.
+    ctx.charge_many(left.len() as u64 * right.len() as u64, id)?;
+    for &(ra, ca) in left.iter() {
+        for &(kb, rstart, rlen) in right_runs.iter() {
+            // One shape and one limit check per (candidate, run) pair —
+            // `TupleKey::and`/`or` are symmetric, so every orientation of
+            // every pair in this run lands on the same combined shape.
+            let key = if is_and {
+                ra.key.and(kb)
             } else {
-                let key = ra.key.or(rb.key);
-                if !key.fits(config.w_max, config.h_max) {
-                    continue;
+                ra.key.or(kb)
+            };
+            if !key.fits(config.w_max, config.h_max) {
+                continue;
+            }
+            let bucket = &mut buckets[(key.w as usize - 1) * h_grid + key.h as usize - 1];
+            for &(rb, cb) in &right[rstart as usize..(rstart + rlen) as usize] {
+                if is_and {
+                    let (orders, n) = and_orders(config.and_order, ra, &ca, rb, &cb);
+                    for &(rt, ct, rbm, cbm) in &orders[..n] {
+                        generated += 1;
+                        bucket.push(cands.push(combine_and(config, rt, ct, rbm, cbm)));
+                    }
+                } else {
+                    generated += 1;
+                    bucket.push(cands.push(combine_or(config, ra, &ca, rb, &cb)));
                 }
-                pairs.push((key, cands.push(combine_or(config, ra, ca, rb, cb))));
             }
         }
     }
     let mut degraded = false;
-    if pairs.is_empty() && config.degrade_unmappable {
+    if generated == 0 && config.degrade_unmappable {
         // Forced gate boundary: reduce both children to their single-gate
         // `{1,1}` candidates and combine those, accepting the
         // out-of-limits shape. The gate formed here exceeds
         // `(W_max, H_max)`; the node is recorded as degraded.
-        for (ra, ca) in sol_a.exported_refs(a) {
+        let units_a = left
+            .iter()
+            .filter(|&&(r, _)| r.key == TupleKey::UNIT)
+            .count();
+        let units_b = right
+            .iter()
+            .filter(|&&(r, _)| r.key == TupleKey::UNIT)
+            .count();
+        ctx.charge_many(units_a as u64 * units_b as u64, id)?;
+        for &(ra, ca) in left.iter() {
             if ra.key != TupleKey::UNIT {
                 continue;
             }
-            for (rb, cb) in sol_b.exported_refs(b) {
+            for &(rb, cb) in right.iter() {
                 if rb.key != TupleKey::UNIT {
                     continue;
                 }
-                ctx.charge(id)?;
+                generated += 1;
                 let (key, cand) = if is_and {
                     let key = ra.key.and(rb.key);
-                    (key, combine_and(config, ra, ca, rb, cb))
+                    (key, combine_and(config, ra, &ca, rb, &cb))
                 } else {
                     let key = ra.key.or(rb.key);
-                    (key, combine_or(config, ra, ca, rb, cb))
+                    (key, combine_or(config, ra, &ca, rb, &cb))
                 };
-                pairs.push((key, cands.push(cand)));
+                buckets[(key.w as usize - 1) * h_grid + key.h as usize - 1].push(cands.push(cand));
             }
         }
         degraded = true;
     }
-    if pairs.is_empty() {
+    if generated == 0 {
         return Err(MapError::Unmappable {
             what: format!(
                 "node {id} has no (W ≤ {}, H ≤ {}) combination",
@@ -127,58 +191,77 @@ fn solve_node(
     // solved node): `generated` is everything that entered the frontier;
     // drops are tallied independently at each site so the balance is a
     // genuine cross-check, not an identity.
-    let generated = pairs.len() as u64;
     let mut pruned = 0u64;
-    // Group by shape: the stable sort preserves generation order within
-    // each shape, so pruning sees exactly the per-shape sequences the old
-    // per-shape vectors held.
-    pairs.sort_by_key(|&(key, _)| key);
     shapes.clear();
     staged.clear();
-    let mut i = 0;
     let mut prune_batches = 0u64;
     let mut skyline_survivors = 0u64;
-    while i < pairs.len() {
-        let key = pairs[i].0;
-        let mut j = i;
-        while j < pairs.len() && pairs[j].0 == key {
-            j += 1;
+    // Bucket order (w ascending, then h) is exactly `TupleKey`'s
+    // lexicographic order, so the staged runs come out key-sorted.
+    for w in 1..=w_grid {
+        for h in 1..=h_grid {
+            let group = &buckets[(w - 1) * h_grid + (h - 1)];
+            if group.is_empty() {
+                continue;
+            }
+            let key = TupleKey {
+                w: w as u32,
+                h: h as u32,
+            };
+            skyline_survivors += skyline_prune(
+                cands,
+                group,
+                order,
+                keyed,
+                kept,
+                ctx.model,
+                config.max_candidates,
+            ) as u64;
+            prune_batches += 1;
+            pruned += (group.len() - kept.len()) as u64;
+            let start = staged.len() as u32;
+            staged.append(kept);
+            shapes.push((key, start, staged.len() as u32 - start));
         }
-        skyline_survivors += skyline_prune(
-            cands,
-            &pairs[i..j],
-            order,
-            kept,
-            ctx.model,
-            config.max_candidates,
-        ) as u64;
-        prune_batches += 1;
-        pruned += (j - i - kept.len()) as u64;
-        let start = staged.len() as u32;
-        staged.append(kept);
-        shapes.push((key, start, staged.len() as u32 - start));
-        i = j;
     }
-    enforce_tuple_cap(shapes, staged, cands, ctx.model, config.limits.max_tuples_per_node);
+    enforce_tuple_cap(
+        shapes,
+        staged,
+        cands,
+        ctx.model,
+        config.limits.max_tuples_per_node,
+    );
     let survivors: u64 = shapes.iter().map(|&(_, _, len)| u64::from(len)).sum();
     pruned += staged.len() as u64 - survivors;
-    let exported = ExportMap::from_runs(shapes, staged, cands);
+    // The gate is formed straight off the staged runs — the same
+    // candidates in the same order an ExportMap copy would hold — so a
+    // shared node (which discards its bare survivors) never pays for
+    // materializing an export set it won't publish.
     let mut sol = NodeSol {
-        gate: dp::form_gate(config, ctx.model, exported.flat()),
+        gate: dp::form_gate(
+            config,
+            ctx.model,
+            shapes.iter().flat_map(|&(key, start, len)| {
+                let arena = &*cands;
+                staged[start as usize..(start + len) as usize]
+                    .iter()
+                    .map(move |&h| (key, arena.get(h)))
+            }),
+        ),
         ..NodeSol::default()
     };
     let gate = sol.gate.as_ref().expect("nonempty bare set");
     let gate_cand = dp::exported_gate_cand(id, gate, ctx.fanouts[id.index()], config);
-    let mut bare_exported = exported.total_candidates() as u64;
+    let mut bare_exported = survivors;
     if ctx.fanouts[id.index()] <= 1 || config.allow_duplication {
-        sol.exported = exported;
+        sol.exported = ExportMap::from_runs_with_unit(shapes, staged, cands, gate_cand);
     } else {
         // A shared node exports only its formed gate: the bare survivors
         // are discarded here, not exported.
         pruned += bare_exported;
         bare_exported = 0;
+        sol.exported = ExportMap::unit(gate_cand);
     }
-    sol.exported.push(TupleKey::UNIT, gate_cand);
     let trace = config.trace;
     if trace.enabled() {
         trace.count(soi_trace::Counter::CandidatesGenerated, generated);
@@ -500,11 +583,11 @@ mod tests {
             let mut reference = Vec::new();
             prune_reference(cands.iter().copied(), &mut reference, &model, max);
             let mut arena = CandArena::default();
-            let key = TupleKey { w: 1, h: 1 };
-            let group: Vec<(TupleKey, u32)> =
-                cands.iter().map(|&c| (key, arena.push(c))).collect();
-            let (mut order, mut kept) = (Vec::new(), Vec::new());
-            let survivors = skyline_prune(&arena, &group, &mut order, &mut kept, &model, max);
+            let group: Vec<u32> = cands.iter().map(|&c| arena.push(c)).collect();
+            let (mut order, mut keyed, mut kept) = (Vec::new(), Vec::new(), Vec::new());
+            let survivors = skyline_prune(
+                &arena, &group, &mut order, &mut keyed, &mut kept, &model, max,
+            );
             assert!(survivors >= kept.len());
             let sky: Vec<Cand> = kept.iter().map(|&h| arena.get(h)).collect();
             assert_eq!(sky, reference);

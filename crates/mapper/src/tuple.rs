@@ -175,7 +175,19 @@ impl ExportMap {
     /// arena rows into the export's own row-major storage (exports are
     /// read whole-candidate-at-a-time by consumers, so they stay AoS —
     /// see DESIGN.md §7.1).
-    pub fn from_runs(shapes: &[(TupleKey, u32, u32)], staged: &[u32], arena: &CandArena) -> ExportMap {
+    ///
+    /// The solvers now always export the gate-as-input tuple alongside
+    /// the bare runs and so call [`from_runs_with_unit`] instead; this
+    /// plain variant remains as the reference constructor its oracle
+    /// test compares against.
+    ///
+    /// [`from_runs_with_unit`]: ExportMap::from_runs_with_unit
+    #[cfg(test)]
+    pub fn from_runs(
+        shapes: &[(TupleKey, u32, u32)],
+        staged: &[u32],
+        arena: &CandArena,
+    ) -> ExportMap {
         debug_assert!(shapes.windows(2).all(|w| w[0].0 < w[1].0));
         let total: usize = shapes.iter().map(|&(_, _, len)| len as usize).sum();
         let mut map = ExportMap {
@@ -197,12 +209,89 @@ impl ExportMap {
         map
     }
 
+    /// An export set holding exactly one `{1,1}` candidate — what a
+    /// shared node exports (its formed gate as an input transistor). A
+    /// dedicated constructor so the hot solver path never goes through
+    /// [`push`](ExportMap::push)'s general insert machinery.
+    pub fn unit(cand: Cand) -> ExportMap {
+        ExportMap {
+            runs: vec![ShapeRun {
+                key: TupleKey::UNIT,
+                start: 0,
+                len: 1,
+            }],
+            cands: vec![cand],
+        }
+    }
+
+    /// [`from_runs`](ExportMap::from_runs) plus an appended `{1,1}` extra
+    /// candidate (the node's gate-as-input tuple), fused into the single
+    /// copy pass: produces byte-for-byte what
+    /// `from_runs(..).push(TupleKey::UNIT, extra)` would — the extra
+    /// candidate lands at the *end* of the unit run — without `push`'s
+    /// front-of-arena `Vec::insert`, which memmoved the entire candidate
+    /// arena once per solved node.
+    pub fn from_runs_with_unit(
+        shapes: &[(TupleKey, u32, u32)],
+        staged: &[u32],
+        arena: &CandArena,
+        extra: Cand,
+    ) -> ExportMap {
+        debug_assert!(shapes.windows(2).all(|w| w[0].0 < w[1].0));
+        let total: usize = shapes.iter().map(|&(_, _, len)| len as usize).sum();
+        let mut map = ExportMap {
+            runs: Vec::with_capacity(shapes.len() + 1),
+            cands: Vec::with_capacity(total + 1),
+        };
+        // `{1,1}` is the minimum shape, so an existing unit run can only
+        // be the first one; otherwise the extra forms a new leading run.
+        let extend_first = shapes
+            .first()
+            .is_some_and(|&(key, _, _)| key == TupleKey::UNIT);
+        if !extend_first {
+            map.runs.push(ShapeRun {
+                key: TupleKey::UNIT,
+                start: 0,
+                len: 1,
+            });
+            map.cands.push(extra);
+        }
+        for (i, &(key, start, len)) in shapes.iter().enumerate() {
+            let run_start = map.cands.len() as u32;
+            map.cands.extend(
+                staged[start as usize..(start + len) as usize]
+                    .iter()
+                    .map(|&h| arena.get(h)),
+            );
+            let mut run_len = len;
+            if i == 0 && extend_first {
+                map.cands.push(extra);
+                run_len += 1;
+            }
+            map.runs.push(ShapeRun {
+                key,
+                start: run_start,
+                len: run_len,
+            });
+        }
+        map
+    }
+
     /// The candidates exported under `key`, if any.
+    ///
+    /// A node rarely exports more than a few dozen shapes, so a forward
+    /// scan comparing packed `(w, h)` words (the same order as
+    /// `TupleKey`'s derived `Ord`) beats a binary search's unpredictable
+    /// probes — this lookup runs once per fanin edge during reconstruct.
     pub fn get(&self, key: &TupleKey) -> Option<&[Cand]> {
-        self.runs
-            .binary_search_by_key(key, |r| r.key)
-            .ok()
-            .map(|i| self.run(i))
+        let want = (u64::from(key.w) << 32) | u64::from(key.h);
+        for (i, r) in self.runs.iter().enumerate() {
+            let have = (u64::from(r.key.w) << 32) | u64::from(r.key.h);
+            if have >= want {
+                return (have == want).then(|| self.run(i));
+            }
+        }
+        None
     }
 
     fn run(&self, i: usize) -> &[Cand] {
@@ -272,7 +361,10 @@ impl ExportMap {
     /// Iterator over `(shape, run)` pairs in shape order — the
     /// serialization view used by the persistent cache store.
     pub fn shape_runs(&self) -> impl Iterator<Item = (TupleKey, &[Cand])> + '_ {
-        self.runs.iter().enumerate().map(|(i, r)| (r.key, self.run(i)))
+        self.runs
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.key, self.run(i)))
     }
 
     /// Appends a whole run under `key`, which must sort strictly after
@@ -408,7 +500,10 @@ mod tests {
         // Staging handles with a capped (shortened) middle run: the copy
         // drops the hole.
         let mut arena = CandArena::default();
-        let staged: Vec<u32> = [1, 2, 3, 4].iter().map(|&tx| arena.push(cand(tx))).collect();
+        let staged: Vec<u32> = [1, 2, 3, 4]
+            .iter()
+            .map(|&tx| arena.push(cand(tx)))
+            .collect();
         let shapes = vec![
             (TupleKey::UNIT, 0u32, 1u32),
             (TupleKey { w: 1, h: 2 }, 1, 1), // run of 2, capped to 1
@@ -418,6 +513,36 @@ mod tests {
         assert_eq!(m.total_candidates(), 3);
         let txs: Vec<u32> = m.flat().map(|(_, c)| c.g.tx).collect();
         assert_eq!(txs, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn from_runs_with_unit_matches_from_runs_plus_push() {
+        // The fused constructor must be byte-for-byte what the reference
+        // two-step build produces, whether or not a `{1,1}` run already
+        // exists in the staged shapes.
+        let mut arena = CandArena::default();
+        let staged: Vec<u32> = [1, 2, 3].iter().map(|&tx| arena.push(cand(tx))).collect();
+        let with_unit = vec![
+            (TupleKey::UNIT, 0u32, 1u32),
+            (TupleKey { w: 2, h: 1 }, 1, 2),
+        ];
+        let without_unit = vec![
+            (TupleKey { w: 1, h: 2 }, 0u32, 2u32),
+            (TupleKey { w: 2, h: 1 }, 2, 1),
+        ];
+        for shapes in [with_unit, without_unit] {
+            let extra = cand(99);
+            let fused = ExportMap::from_runs_with_unit(&shapes, &staged, &arena, extra);
+            let mut reference = ExportMap::from_runs(&shapes, &staged, &arena);
+            reference.push(TupleKey::UNIT, extra);
+            let a: Vec<(TupleKey, u32)> = fused.flat().map(|(k, c)| (k, c.g.tx)).collect();
+            let b: Vec<(TupleKey, u32)> = reference.flat().map(|(k, c)| (k, c.g.tx)).collect();
+            assert_eq!(a, b);
+            assert_eq!(fused.len(), reference.len());
+            for (key, run) in reference.shape_runs() {
+                assert_eq!(fused.get(&key).unwrap(), run);
+            }
+        }
     }
 
     #[test]

@@ -52,7 +52,9 @@
 //! # }
 //! ```
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+use crate::fx::FxHashMap;
 
 use crate::{builder::NetworkBuilder, BinOp, Network, NetworkError, Node, NodeId, UnOp};
 
@@ -404,8 +406,8 @@ fn parse_header(line: &str, magic: &str, line_no: usize) -> Result<Sizes, Networ
 /// Parsed symbol table: names for input and output positions.
 #[derive(Debug, Default)]
 struct Symbols {
-    inputs: HashMap<usize, String>,
-    outputs: HashMap<usize, String>,
+    inputs: FxHashMap<usize, String>,
+    outputs: FxHashMap<usize, String>,
 }
 
 fn parse_symbols<'a>(
@@ -501,7 +503,8 @@ fn build(
     // Bind each variable to its definition, rejecting duplicate drivers —
     // the same scale bug class the BLIF parser fixes: a redefined variable
     // must be a typed error, never a silent overwrite.
-    let mut defs: HashMap<u64, VarDef> = HashMap::with_capacity(sizes.inputs + sizes.ands);
+    let mut defs: FxHashMap<u64, VarDef> =
+        FxHashMap::with_capacity_and_hasher(sizes.inputs + sizes.ands, Default::default());
     for (k, (line, lit)) in input_lits.iter().enumerate() {
         if defs.insert(lit / 2, VarDef::Input(k)).is_some() {
             return Err(perr(
@@ -542,7 +545,7 @@ fn build(
         // (A closure would fight the borrow checker over `b`.)
         fn resolve(
             b: &mut NetworkBuilder,
-            defs: &HashMap<u64, VarDef>,
+            defs: &FxHashMap<u64, VarDef>,
             input_nodes: &[NodeId],
             gate_nodes: &[Option<NodeId>],
             lit: u64,
@@ -564,8 +567,8 @@ fn build(
             // wake dependents as their fanins are defined, so out-of-order
             // ASCII files build in linear time.
             let mut unresolved: Vec<usize> = vec![0; ands.len()];
-            let mut waiters: HashMap<u64, Vec<usize>> = HashMap::new();
-            let is_pending = |defs: &HashMap<u64, VarDef>, lit: u64| -> bool {
+            let mut waiters: FxHashMap<u64, Vec<usize>> = FxHashMap::default();
+            let is_pending = |defs: &FxHashMap<u64, VarDef>, lit: u64| -> bool {
                 matches!(defs.get(&(lit / 2)), Some(VarDef::Gate(_))) && lit / 2 != 0
             };
             let mut ready: VecDeque<usize> = VecDeque::new();
@@ -689,7 +692,7 @@ impl AigEncoding {
             input_names: Vec::new(),
             output_names: Vec::new(),
         };
-        let mut strash: HashMap<(u64, u64), u64> = HashMap::new();
+        let mut strash: FxHashMap<(u64, u64), u64> = FxHashMap::default();
         let mut lit_of: Vec<u64> = vec![Self::FALSE; network.len()];
         let mut next_input = 0u64;
         for (id, node) in network.iter() {
@@ -735,7 +738,7 @@ impl AigEncoding {
     }
 
     /// A structurally hashed, constant-folded AND over two literals.
-    fn and(&mut self, strash: &mut HashMap<(u64, u64), u64>, a: u64, b: u64) -> u64 {
+    fn and(&mut self, strash: &mut FxHashMap<(u64, u64), u64>, a: u64, b: u64) -> u64 {
         if a == Self::FALSE || b == Self::FALSE || a == b ^ 1 {
             return Self::FALSE;
         }
@@ -755,11 +758,11 @@ impl AigEncoding {
         2 * var
     }
 
-    fn or(&mut self, strash: &mut HashMap<(u64, u64), u64>, a: u64, b: u64) -> u64 {
+    fn or(&mut self, strash: &mut FxHashMap<(u64, u64), u64>, a: u64, b: u64) -> u64 {
         self.and(strash, a ^ 1, b ^ 1) ^ 1
     }
 
-    fn xor(&mut self, strash: &mut HashMap<(u64, u64), u64>, a: u64, b: u64) -> u64 {
+    fn xor(&mut self, strash: &mut FxHashMap<(u64, u64), u64>, a: u64, b: u64) -> u64 {
         let t0 = self.and(strash, a, b ^ 1);
         let t1 = self.and(strash, a ^ 1, b);
         self.or(strash, t0, t1)

@@ -37,7 +37,7 @@
 //! # }
 //! ```
 
-use std::collections::HashMap;
+use crate::fx::FxHashMap;
 use std::error::Error;
 use std::fmt;
 
@@ -85,8 +85,8 @@ struct BddNode {
 #[derive(Debug, Clone)]
 pub struct Bdd {
     nodes: Vec<BddNode>,
-    unique: HashMap<(u32, Ref, Ref), Ref>,
-    ite_cache: HashMap<(Ref, Ref, Ref), Ref>,
+    unique: FxHashMap<(u32, Ref, Ref), Ref>,
+    ite_cache: FxHashMap<(Ref, Ref, Ref), Ref>,
     limit: usize,
 }
 
@@ -107,8 +107,8 @@ impl Bdd {
                     hi: Ref::TRUE,
                 },
             ],
-            unique: HashMap::new(),
-            ite_cache: HashMap::new(),
+            unique: FxHashMap::default(),
+            ite_cache: FxHashMap::default(),
             limit,
         }
     }
@@ -297,7 +297,7 @@ impl Bdd {
 
     /// Counts the satisfying assignments of `f` over `nvars` variables.
     pub fn sat_count(&self, f: Ref, nvars: u32) -> f64 {
-        fn walk(bdd: &Bdd, r: Ref, memo: &mut HashMap<Ref, f64>, nvars: u32) -> f64 {
+        fn walk(bdd: &Bdd, r: Ref, memo: &mut FxHashMap<Ref, f64>, nvars: u32) -> f64 {
             if r == Ref::FALSE {
                 return 0.0;
             }
@@ -316,7 +316,7 @@ impl Bdd {
             memo.insert(r, c);
             c
         }
-        let mut memo = HashMap::new();
+        let mut memo = FxHashMap::default();
         let scaled = walk(self, f, &mut memo, nvars);
         scaled * 2f64.powi((self.level(f).min(nvars)) as i32)
     }

@@ -11,8 +11,10 @@
 //! `0`) is inverted. This lets the real ISCAS'85 / MCNC benchmark files be
 //! dropped into the flow when they are available.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
+use crate::fx::FxHashSet;
+use crate::intern::{Sym, SymbolTable};
 use crate::{builder::NetworkBuilder, Network, NetworkError, Node, NodeId};
 
 /// Parses a BLIF-subset document into a [`Network`].
@@ -48,10 +50,14 @@ use crate::{builder::NetworkBuilder, Network, NetworkError, Node, NodeId};
 /// ```
 pub fn parse(text: &str) -> Result<Network, NetworkError> {
     let mut model_name = String::from("blif");
-    let mut input_names: Vec<String> = Vec::new();
-    let mut output_names: Vec<String> = Vec::new();
-    // (line_no, signal names ending with the defined output, cube rows)
-    type Cover = (usize, Vec<String>, Vec<(String, char)>);
+    // Signal names are interned as they are tokenized: each distinct name
+    // is allocated once, and from here on signals travel as dense `Sym`
+    // indices — the resolver's side tables below are plain `Vec`s.
+    let mut syms = SymbolTable::new();
+    let mut input_syms: Vec<Sym> = Vec::new();
+    let mut output_syms: Vec<Sym> = Vec::new();
+    // (line_no, signal symbols ending with the defined output, cube rows)
+    type Cover = (usize, Vec<Sym>, Vec<(String, char)>);
     let mut covers: Vec<Cover> = Vec::new();
 
     let mut logical_lines: Vec<(usize, String)> = Vec::new();
@@ -108,15 +114,15 @@ pub fn parse(text: &str) -> Result<Network, NetworkError> {
                 current_cover = None;
             }
             ".inputs" => {
-                input_names.extend(tokens.map(str::to_string));
+                input_syms.extend(tokens.map(|t| syms.intern(t)));
                 current_cover = None;
             }
             ".outputs" => {
-                output_names.extend(tokens.map(str::to_string));
+                output_syms.extend(tokens.map(|t| syms.intern(t)));
                 current_cover = None;
             }
             ".names" => {
-                let names: Vec<String> = tokens.map(str::to_string).collect();
+                let names: Vec<Sym> = tokens.map(|t| syms.intern(t)).collect();
                 if names.is_empty() {
                     return Err(NetworkError::Parse {
                         line,
@@ -190,32 +196,38 @@ pub fn parse(text: &str) -> Result<Network, NetworkError> {
     }
 
     // Build the network: inputs first, then covers in dependency order.
+    // Every side table from here on is dense by `Sym` — the interner fixed
+    // the signal universe during tokenization, so no more string hashing.
     let mut b = NetworkBuilder::new(model_name);
-    let mut signals: HashMap<String, NodeId> = HashMap::new();
-    for name in &input_names {
-        let id = b.input(name.clone());
-        signals.insert(name.clone(), id);
+    let mut signals: Vec<Option<NodeId>> = vec![None; syms.len()];
+    for &sym in &input_syms {
+        let id = b.input(syms.resolve(sym));
+        signals[sym.index()] = Some(id);
     }
 
     // Every signal gets exactly one driver: a cover output that collides
     // with a primary input or an earlier cover is an error, not a silent
     // overwrite.
-    let mut driver_of: HashMap<&str, usize> = HashMap::with_capacity(covers.len());
+    let mut driver_of: Vec<Option<usize>> = vec![None; syms.len()];
     for (idx, (line, names, _)) in covers.iter().enumerate() {
         // `names` is checked non-empty when the cover is collected.
-        let output = names.last().map(String::as_str).unwrap_or_default();
-        if signals.contains_key(output) {
-            return Err(NetworkError::Parse {
-                line: *line,
-                message: format!(".names output `{output}` redefines a primary input"),
-            });
-        }
-        if let Some(first) = driver_of.insert(output, idx) {
+        let output = *names.last().expect("cover has an output symbol");
+        if signals[output.index()].is_some() {
             return Err(NetworkError::Parse {
                 line: *line,
                 message: format!(
-                    "signal `{output}` is driven more than once (first driven by the .names \
+                    ".names output `{}` redefines a primary input",
+                    syms.resolve(output)
+                ),
+            });
+        }
+        if let Some(first) = driver_of[output.index()].replace(idx) {
+            return Err(NetworkError::Parse {
+                line: *line,
+                message: format!(
+                    "signal `{}` is driven more than once (first driven by the .names \
                      block on line {})",
+                    syms.resolve(output),
                     covers[first].0
                 ),
             });
@@ -230,17 +242,20 @@ pub fn parse(text: &str) -> Result<Network, NetworkError> {
     // resolves in linear time instead of rescanning every pending cover
     // per pass.
     let mut unresolved: Vec<usize> = vec![0; covers.len()];
-    let mut waiters: HashMap<&str, Vec<usize>> = HashMap::new();
+    let mut waiters: Vec<Vec<usize>> = vec![Vec::new(); syms.len()];
     let mut ready: VecDeque<usize> = VecDeque::new();
     for (idx, (_, names, _)) in covers.iter().enumerate() {
         let fanins = &names[..names.len() - 1];
-        let pending = fanins.iter().filter(|f| !signals.contains_key(*f)).count();
+        let pending = fanins
+            .iter()
+            .filter(|f| signals[f.index()].is_none())
+            .count();
         unresolved[idx] = pending;
         if pending == 0 {
             ready.push_back(idx);
         } else {
-            for fanin in fanins.iter().filter(|f| !signals.contains_key(*f)) {
-                waiters.entry(fanin.as_str()).or_default().push(idx);
+            for fanin in fanins.iter().filter(|f| signals[f.index()].is_none()) {
+                waiters[fanin.index()].push(idx);
             }
         }
     }
@@ -248,21 +263,19 @@ pub fn parse(text: &str) -> Result<Network, NetworkError> {
     while let Some(idx) = ready.pop_front() {
         let (line, names, rows) = &covers[idx];
         let fanins = &names[..names.len() - 1];
-        let output = names.last().map(String::as_str).unwrap_or_default();
+        let output = *names.last().expect("cover has an output symbol");
         // Worst case a cover expands to one inverter per literal plus the
         // AND/OR trees; bound it before building so a pathologically large
         // file fails with a typed error instead of a panic.
         let literals: usize = rows.iter().map(|(mask, _)| mask.chars().count()).sum();
         b.check_capacity(2 * literals + 2 * rows.len() + 2)?;
         let id = build_cover(&mut b, fanins, rows, &signals, *line)?;
-        signals.insert(output.to_string(), id);
+        signals[output.index()] = Some(id);
         built += 1;
-        if let Some(waiting) = waiters.remove(output) {
-            for w in waiting {
-                unresolved[w] -= 1;
-                if unresolved[w] == 0 {
-                    ready.push_back(w);
-                }
+        for w in std::mem::take(&mut waiters[output.index()]) {
+            unresolved[w] -= 1;
+            if unresolved[w] == 0 {
+                ready.push_back(w);
             }
         }
     }
@@ -278,8 +291,8 @@ pub fn parse(text: &str) -> Result<Network, NetworkError> {
             .expect("some cover must be unresolved");
         let missing = names[..names.len() - 1]
             .iter()
-            .find(|f| !signals.contains_key(*f))
-            .cloned()
+            .find(|f| signals[f.index()].is_none())
+            .map(|f| syms.resolve(*f).to_string())
             .unwrap_or_else(|| "?".to_string());
         return Err(NetworkError::Parse {
             line: *line,
@@ -287,12 +300,12 @@ pub fn parse(text: &str) -> Result<Network, NetworkError> {
         });
     }
 
-    for name in &output_names {
-        let driver = signals.get(name).ok_or_else(|| NetworkError::Parse {
+    for &sym in &output_syms {
+        let driver = signals[sym.index()].ok_or_else(|| NetworkError::Parse {
             line: 0,
-            message: format!("output `{name}` is never defined"),
+            message: format!("output `{}` is never defined", syms.resolve(sym)),
         })?;
-        b.output(name.clone(), *driver);
+        b.output(syms.resolve(sym), driver);
     }
     let network = b.finish();
     network.validate()?;
@@ -301,9 +314,9 @@ pub fn parse(text: &str) -> Result<Network, NetworkError> {
 
 fn build_cover(
     b: &mut NetworkBuilder,
-    fanins: &[String],
+    fanins: &[Sym],
     rows: &[(String, char)],
-    signals: &HashMap<String, NodeId>,
+    signals: &[Option<NodeId>],
     line: usize,
 ) -> Result<NodeId, NetworkError> {
     if rows.is_empty() {
@@ -321,7 +334,7 @@ fn build_cover(
     for (mask, _) in rows {
         let mut literals = Vec::new();
         for (pos, ch) in mask.chars().enumerate() {
-            let sig = signals[&fanins[pos]];
+            let sig = signals[fanins[pos].index()].expect("worklist resolves fanins before covers");
             match ch {
                 '1' => literals.push(sig),
                 '0' => {
@@ -353,7 +366,7 @@ fn build_cover(
 /// parseable and functionally identical; only the colliding port names
 /// change).
 pub fn write(network: &Network) -> String {
-    let input_names: std::collections::HashSet<&str> = network
+    let input_names: FxHashSet<&str> = network
         .inputs()
         .iter()
         .filter_map(|&id| match network.node(id) {

@@ -7,8 +7,7 @@
 //! on the fly, which keeps generated benchmark circuits free of redundant
 //! logic.
 
-use std::collections::HashMap;
-
+use crate::fx::FxHashMap;
 use crate::{BinOp, Network, NetworkError, NodeId, UnOp};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -40,11 +39,14 @@ enum Key {
 #[derive(Debug, Clone)]
 pub struct NetworkBuilder {
     network: Network,
-    cache: HashMap<Key, NodeId>,
+    cache: FxHashMap<Key, NodeId>,
     const_false: Option<NodeId>,
     const_true: Option<NodeId>,
-    /// Inverse edges we know about: `inv_of[x] = y` when `y = !x`.
-    inv_of: HashMap<NodeId, NodeId>,
+    /// Inverse edges we know about, dense by node index:
+    /// `inv_of[x] = Some(y)` when `y = !x` (and vice versa). Node ids are
+    /// contiguous, so plain indexing replaces a map probe on the synthetic
+    /// ingest hot path.
+    inv_of: Vec<Option<NodeId>>,
 }
 
 impl NetworkBuilder {
@@ -52,10 +54,10 @@ impl NetworkBuilder {
     pub fn new(name: impl Into<String>) -> NetworkBuilder {
         NetworkBuilder {
             network: Network::new(name),
-            cache: HashMap::new(),
+            cache: FxHashMap::default(),
             const_false: None,
             const_true: None,
-            inv_of: HashMap::new(),
+            inv_of: Vec::new(),
         }
     }
 
@@ -130,7 +132,7 @@ impl NetworkBuilder {
         if self.is_one(a) {
             return self.zero();
         }
-        if let Some(&orig) = self.inv_of.get(&a) {
+        if let Some(orig) = self.known_inv(a) {
             return orig;
         }
         let key = Key::Un(UnOp::Inv, a);
@@ -139,9 +141,23 @@ impl NetworkBuilder {
         }
         let id = self.network.inv(a);
         self.cache.insert(key, id);
-        self.inv_of.insert(id, a);
-        self.inv_of.insert(a, id);
+        self.link_inv(a, id);
         id
+    }
+
+    /// The recorded inverse of `a`, if one exists.
+    fn known_inv(&self, a: NodeId) -> Option<NodeId> {
+        self.inv_of.get(a.index()).copied().flatten()
+    }
+
+    /// Records `b = !a` in both directions.
+    fn link_inv(&mut self, a: NodeId, b: NodeId) {
+        let need = a.index().max(b.index()) + 1;
+        if self.inv_of.len() < need {
+            self.inv_of.resize(need, None);
+        }
+        self.inv_of[a.index()] = Some(b);
+        self.inv_of[b.index()] = Some(a);
     }
 
     fn binary(&mut self, op: BinOp, a: NodeId, b: NodeId) -> NodeId {
@@ -160,7 +176,7 @@ impl NetworkBuilder {
     }
 
     fn fold(&mut self, op: BinOp, a: NodeId, b: NodeId) -> Option<NodeId> {
-        let complement = self.inv_of.get(&a) == Some(&b);
+        let complement = self.known_inv(a) == Some(b);
         match op {
             BinOp::And => {
                 if a == b {

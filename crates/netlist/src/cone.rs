@@ -4,8 +4,6 @@
 //! self-contained [`Network`]. Used to slice large benchmark circuits into
 //! single-output experiments and to build reduced test cases.
 
-use std::collections::HashMap;
-
 use crate::{Network, Node, NodeId};
 
 /// Extracts the cone feeding the named outputs into a new network.
@@ -72,7 +70,12 @@ fn extract_ports(network: &Network, ports: &[&crate::OutputPort], keep_inputs: b
     }
 
     let mut out = Network::new(format!("{}_cone", network.name()));
-    let mut remap: HashMap<NodeId, NodeId> = HashMap::new();
+    // Old id → new id, dense: the source id space is contiguous and the
+    // traversal below visits it in order.
+    let mut remap: Vec<Option<NodeId>> = vec![None; network.len()];
+    let mapped = |remap: &[Option<NodeId>], id: NodeId| {
+        remap[id.index()].expect("fanins precede their users in id order")
+    };
     for (id, node) in network.iter() {
         if !live[id.index()] {
             continue;
@@ -80,13 +83,13 @@ fn extract_ports(network: &Network, ports: &[&crate::OutputPort], keep_inputs: b
         let new_id = match node {
             Node::Input { name } => out.add_input(name.clone()),
             Node::Const { value } => out.add_const(*value),
-            Node::Unary { op, a } => out.unary(*op, remap[a]),
-            Node::Binary { op, a, b } => out.binary(*op, remap[a], remap[b]),
+            Node::Unary { op, a } => out.unary(*op, mapped(&remap, *a)),
+            Node::Binary { op, a, b } => out.binary(*op, mapped(&remap, *a), mapped(&remap, *b)),
         };
-        remap.insert(id, new_id);
+        remap[id.index()] = Some(new_id);
     }
     for port in ports {
-        out.add_output(port.name.clone(), remap[&port.driver]);
+        out.add_output(port.name.clone(), mapped(&remap, port.driver));
     }
     out
 }

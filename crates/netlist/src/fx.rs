@@ -1,0 +1,278 @@
+//! Hand-rolled FxHash-style hashing for the mapping hot path.
+//!
+//! `std::collections::HashMap`'s default SipHash-1-3 is keyed and
+//! HashDoS-resistant, but every one of those guarantees costs cycles the
+//! mapping pipeline does not need: its maps are keyed by small integers,
+//! node ids and short tuples, built from trusted inputs, and live for one
+//! run. Profiling the ≥100k-gate corpus rows put SipHash on the flame
+//! graph in four places at once (builder strashing, unate memoization,
+//! cone-cache keying, BLIF signal resolution), so this module provides
+//! the classic Fx construction — multiply by a large odd constant, rotate,
+//! xor — as a drop-in [`BuildHasher`].
+//!
+//! Two properties matter here and both are tested:
+//!
+//! * **Stability.** The function is pinned by this file, not by the
+//!   standard library, so hashes never change across Rust releases
+//!   (the determinism guarantee `DefaultHasher` explicitly withholds).
+//! * **Result-independence.** Nothing the mapper *returns* may depend on
+//!   hash values or map iteration order. [`set_global_seed`] perturbs
+//!   every subsequently created [`FxBuildHasher`], shuffling bucket
+//!   orders wholesale; `tests/hasher_independence.rs` maps the whole
+//!   registry under two seeds and asserts byte-identical circuits.
+//!
+//! Use the [`FxHashMap`]/[`FxHashSet`] aliases. Bare
+//! `std::collections::HashMap`/`HashSet` are denied by `clippy.toml`
+//! (`disallowed-types`) in the hot-path crates so SipHash cannot creep
+//! back in unnoticed.
+
+use std::hash::{BuildHasher, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The Fx multiplier: `2^64 / phi`, forced odd. Multiplication by a
+/// large odd constant diffuses low bits upward; the rotate feeds high
+/// bits back down for the next word.
+const K: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Process-wide seed folded into every [`FxBuildHasher::default`]. Zero
+/// in production; tests perturb it to prove map iteration order leaks
+/// into nothing (see the module docs).
+static GLOBAL_SEED: AtomicU64 = AtomicU64::new(0);
+
+/// Sets the process-wide hasher seed (a test hook).
+///
+/// Maps created *after* this call hash through the new seed, which
+/// reshuffles their bucket iteration order. Mapped results must be
+/// bit-identical under any seed — that invariance is what the hook
+/// exists to test. Not meant for production use: the pipeline's threat
+/// model does not include hash-flooding, and a nonzero seed buys no
+/// performance.
+pub fn set_global_seed(seed: u64) {
+    GLOBAL_SEED.store(seed, Ordering::Relaxed);
+}
+
+/// The current process-wide hasher seed.
+pub fn global_seed() -> u64 {
+    GLOBAL_SEED.load(Ordering::Relaxed)
+}
+
+/// A [`BuildHasher`] producing [`FxHasher`]s. `Default` snapshots the
+/// global seed; `with_seed` pins one explicitly (used by the tests).
+#[derive(Debug, Clone, Copy)]
+pub struct FxBuildHasher {
+    seed: u64,
+}
+
+impl FxBuildHasher {
+    /// A build-hasher with an explicit seed.
+    pub fn with_seed(seed: u64) -> FxBuildHasher {
+        FxBuildHasher { seed }
+    }
+}
+
+impl Default for FxBuildHasher {
+    fn default() -> FxBuildHasher {
+        FxBuildHasher {
+            seed: GLOBAL_SEED.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl BuildHasher for FxBuildHasher {
+    type Hasher = FxHasher;
+
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher { hash: self.seed }
+    }
+}
+
+/// The Fx word mixer: for each input word,
+/// `hash = (hash.rotate_left(5) ^ word) * K`.
+///
+/// Not cryptographic and not flood-resistant — exactly the trade the
+/// hot-path maps want. Byte slices are consumed as little-endian 64-bit
+/// words plus a length-tagged tail, so the same logical key always
+/// produces the same hash regardless of how the standard library splits
+/// its `write` calls for a given type (integers and tuples hash through
+/// the fixed-width methods below, never the slice path).
+#[derive(Debug, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn word(&mut self, w: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ w).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // One final avalanche so maps that only look at high bits (the
+        // hashbrown control bytes use the top 7) still see the last word.
+        let mut h = self.hash;
+        h ^= h >> 32;
+        h = h.wrapping_mul(K);
+        h ^ (h >> 29)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.word(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.word(u64::from_le_bytes(tail));
+        }
+        // Length tag: distinguishes `"ab","c"` from `"a","bc"` across
+        // separate writes and keeps empty slices from being no-ops.
+        self.word(bytes.len() as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.word(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.word(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.word(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.word(v);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.word(v as u64);
+        self.word((v >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.word(v as u64);
+    }
+
+    #[inline]
+    fn write_i8(&mut self, v: i8) {
+        self.word(v as u8 as u64);
+    }
+
+    #[inline]
+    fn write_i16(&mut self, v: i16) {
+        self.word(v as u16 as u64);
+    }
+
+    #[inline]
+    fn write_i32(&mut self, v: i32) {
+        self.word(v as u32 as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, v: i64) {
+        self.word(v as u64);
+    }
+
+    #[inline]
+    fn write_isize(&mut self, v: isize) {
+        self.word(v as usize as u64);
+    }
+}
+
+/// Convenience: the Fx hash of one `u64` under the zero seed — the
+/// building block for hand-chained structural hashes (see
+/// [`crate::restructure`]'s shape digest).
+#[inline]
+pub fn mix64(state: u64, word: u64) -> u64 {
+    (state.rotate_left(5) ^ word).wrapping_mul(K)
+}
+
+/// `HashMap` with the Fx hasher — the required map type in the hot-path
+/// crates (`soi-netlist`, `soi-unate`, `soi-mapper`). These aliases are
+/// the one sanctioned mention of the std types `clippy.toml` disallows:
+/// the deny exists to force call sites through here.
+#[allow(clippy::disallowed_types)]
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` with the Fx hasher.
+#[allow(clippy::disallowed_types)]
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(v: &T, seed: u64) -> u64 {
+        FxBuildHasher::with_seed(seed).hash_one(v)
+    }
+
+    #[test]
+    fn stable_across_calls_and_sensitive_to_input() {
+        assert_eq!(hash_of(&42u64, 0), hash_of(&42u64, 0));
+        assert_ne!(hash_of(&42u64, 0), hash_of(&43u64, 0));
+        assert_ne!(hash_of(&(1u32, 2u32), 0), hash_of(&(2u32, 1u32), 0));
+        assert_ne!(hash_of(&"ab", 0), hash_of(&"ba", 0));
+    }
+
+    #[test]
+    fn pinned_reference_vectors() {
+        // The whole point over DefaultHasher is release-to-release
+        // stability; pin a few outputs so a well-meaning "optimization"
+        // that changes the function is caught as the break it is.
+        assert_eq!(hash_of(&0u64, 0), 0);
+        assert_eq!(hash_of(&0xdead_beefu64, 0), 0xcada_eec8_1e4e_268e);
+        assert_eq!(hash_of(&"soi", 0), 0xa5c8_c1ba_1b9e_d80e);
+    }
+
+    #[test]
+    fn seed_perturbs_hashes() {
+        assert_ne!(hash_of(&7u64, 0), hash_of(&7u64, 0x1234_5678));
+    }
+
+    #[test]
+    fn slice_hashing_is_boundary_sensitive() {
+        let b = FxBuildHasher::with_seed(0);
+        let mut h1 = b.build_hasher();
+        h1.write(b"ab");
+        h1.write(b"c");
+        let mut h2 = b.build_hasher();
+        h2.write(b"a");
+        h2.write(b"bc");
+        assert_ne!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn global_seed_round_trips() {
+        let before = global_seed();
+        set_global_seed(99);
+        assert_eq!(global_seed(), 99);
+        set_global_seed(before);
+    }
+
+    #[test]
+    fn maps_work() {
+        let mut m: FxHashMap<(u32, u32), usize> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert((i, i.wrapping_mul(7)), i as usize);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m[&(41, 287)], 41);
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        s.extend(0..100u64);
+        assert!(s.contains(&99));
+    }
+}

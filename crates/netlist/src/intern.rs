@@ -1,0 +1,199 @@
+//! String interning for the text front-ends.
+//!
+//! BLIF describes a network as thousands of lines of signal *names*, and
+//! the old parser paid for that representation everywhere: every token
+//! became a fresh `String`, every cover held `Vec<String>` fanin lists,
+//! and every resolution step hashed those strings through a map. On a
+//! 100k-signal file that is hundreds of thousands of short-lived heap
+//! allocations plus repeated re-hashing of the same bytes.
+//!
+//! [`SymbolTable`] replaces all of that with classic interning: each
+//! distinct name is stored **once** (as a `Box<str>` that never moves),
+//! and everywhere else the name travels as a [`Sym`] — a dense `u32`
+//! index that is `Copy`, hashes as a single word, and indexes straight
+//! into `Vec`-based side tables (`signals`, `driver_of`, waiter lists)
+//! with no hashing at all. Names materialize back into `String`s only at
+//! the network boundary: when a primary input or output is created, or
+//! when a netlist is exported.
+//!
+//! Collision handling: symbols are looked up by their 64-bit Fx hash;
+//! distinct names that collide (astronomically rare, but correctness
+//! cannot ride on "rare") are chained through a parallel `next` list and
+//! disambiguated by a real string compare.
+
+use crate::fx::{mix64, FxHashMap};
+
+/// An interned name: a dense index into a [`SymbolTable`], assigned in
+/// first-seen order. `Copy`, 4 bytes, directly usable as a `Vec` index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(u32);
+
+impl Sym {
+    /// The dense index of this symbol (`0..table.len()`).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An append-only interner mapping distinct strings to dense [`Sym`]s.
+#[derive(Debug, Default, Clone)]
+pub struct SymbolTable {
+    /// The single owned copy of each name, indexed by `Sym`.
+    names: Vec<Box<str>>,
+    /// 64-bit name hash → first symbol with that hash.
+    by_hash: FxHashMap<u64, Sym>,
+    /// Hash-collision chain: `next[sym]` is the next symbol sharing
+    /// `sym`'s hash, if any.
+    next: Vec<Option<Sym>>,
+}
+
+/// Name hash, independent of the table's map seed so behaviour is
+/// identical under the `fx` test-seed hook.
+fn name_hash(s: &str) -> u64 {
+    let mut h = 0x536f_4953_594d_424c; // arbitrary non-zero domain seed
+    for c in s.as_bytes().chunks(8) {
+        let mut w = [0u8; 8];
+        w[..c.len()].copy_from_slice(c);
+        h = mix64(h, u64::from_le_bytes(w));
+    }
+    mix64(h, s.len() as u64)
+}
+
+impl SymbolTable {
+    /// An empty table.
+    pub fn new() -> SymbolTable {
+        SymbolTable::default()
+    }
+
+    /// A table expecting roughly `n` distinct names.
+    pub fn with_capacity(n: usize) -> SymbolTable {
+        SymbolTable {
+            names: Vec::with_capacity(n),
+            by_hash: FxHashMap::with_capacity_and_hasher(n, Default::default()),
+            next: Vec::with_capacity(n),
+        }
+    }
+
+    /// Interns `name`, allocating only on first sight.
+    pub fn intern(&mut self, name: &str) -> Sym {
+        let h = name_hash(name);
+        if let Some(&head) = self.by_hash.get(&h) {
+            let mut cur = Some(head);
+            while let Some(sym) = cur {
+                if &*self.names[sym.index()] == name {
+                    return sym;
+                }
+                cur = self.next[sym.index()];
+            }
+            // True 64-bit collision between distinct names: chain the
+            // new symbol in front of the old head.
+            let sym = self.push(name);
+            self.next[sym.index()] = Some(head);
+            self.by_hash.insert(h, sym);
+            sym
+        } else {
+            let sym = self.push(name);
+            self.by_hash.insert(h, sym);
+            sym
+        }
+    }
+
+    fn push(&mut self, name: &str) -> Sym {
+        let sym = Sym(u32::try_from(self.names.len()).expect("symbol table overflow"));
+        self.names.push(name.into());
+        self.next.push(None);
+        sym
+    }
+
+    /// Looks `name` up without interning it.
+    pub fn get(&self, name: &str) -> Option<Sym> {
+        let mut cur = self.by_hash.get(&name_hash(name)).copied();
+        while let Some(sym) = cur {
+            if &*self.names[sym.index()] == name {
+                return Some(sym);
+            }
+            cur = self.next[sym.index()];
+        }
+        None
+    }
+
+    /// The name behind `sym`.
+    #[inline]
+    pub fn resolve(&self, sym: Sym) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Number of distinct names interned.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// All symbols with their names, in first-seen (dense index) order.
+    pub fn iter(&self) -> impl Iterator<Item = (Sym, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Sym(i as u32), &**n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_dedups_and_round_trips() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("alpha");
+        let b = t.intern("beta");
+        let a2 = t.intern("alpha");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(t.resolve(a), "alpha");
+        assert_eq!(t.resolve(b), "beta");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn symbols_are_dense_first_seen_indices() {
+        let mut t = SymbolTable::new();
+        for (i, name) in ["x", "y", "z", "y", "x", "w"].iter().enumerate() {
+            let s = t.intern(name);
+            let expected = match i {
+                0 | 4 => 0, // x
+                1 | 3 => 1, // y
+                2 => 2,     // z
+                _ => 3,     // w
+            };
+            assert_eq!(s.index(), expected);
+        }
+        let collected: Vec<&str> = t.iter().map(|(_, n)| n).collect();
+        assert_eq!(collected, ["x", "y", "z", "w"]);
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut t = SymbolTable::new();
+        assert_eq!(t.get("missing"), None);
+        let s = t.intern("present");
+        assert_eq!(t.get("present"), Some(s));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn many_names_stay_distinct() {
+        let mut t = SymbolTable::with_capacity(10_000);
+        let syms: Vec<Sym> = (0..10_000).map(|i| t.intern(&format!("n{i}"))).collect();
+        assert_eq!(t.len(), 10_000);
+        for (i, s) in syms.iter().enumerate() {
+            assert_eq!(t.resolve(*s), format!("n{i}"));
+            assert_eq!(t.get(&format!("n{i}")), Some(*s));
+        }
+    }
+}

@@ -47,7 +47,9 @@ pub mod builder;
 pub mod cone;
 pub mod dot;
 mod error;
+pub mod fx;
 mod id;
+pub mod intern;
 mod network;
 mod node;
 pub mod restructure;
@@ -56,7 +58,9 @@ pub mod stats;
 pub mod topo;
 
 pub use error::NetworkError;
+pub use fx::{FxHashMap, FxHashSet};
 pub use id::NodeId;
+pub use intern::{Sym, SymbolTable};
 pub use network::{Network, OutputPort};
 pub use node::{BinOp, Node, UnOp};
 pub use stats::NetworkStats;

@@ -1,4 +1,4 @@
-use std::collections::HashSet;
+use crate::fx::FxHashSet;
 
 use crate::{BinOp, NetworkError, Node, NodeId, UnOp};
 
@@ -337,7 +337,7 @@ impl Network {
                 });
             }
         }
-        let mut names = HashSet::new();
+        let mut names = FxHashSet::default();
         for id in &self.inputs {
             if let Node::Input { name } = self.node(*id) {
                 if !names.insert(name.clone()) {
@@ -345,7 +345,7 @@ impl Network {
                 }
             }
         }
-        let mut out_names = HashSet::new();
+        let mut out_names = FxHashSet::default();
         for port in &self.outputs {
             if !out_names.insert(port.name.clone()) {
                 return Err(NetworkError::DuplicateName {

@@ -20,7 +20,43 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use crate::fx;
 use crate::{BinOp, Network, Node, NodeId};
+
+/// A structural digest of a network: every node's kind, operation, and
+/// operand ids folded through [`fx::mix64`] in topological order.
+///
+/// The chain is pinned by this crate, so the digest is stable across
+/// processes and Rust releases — the guarantee
+/// `std::hash::DefaultHasher` explicitly withholds, and the reason this
+/// exists instead of hashing [`Node`] through it. Two networks digest
+/// equal iff they have identical node arrays up to port names (names are
+/// deliberately excluded: this is a *shape* digest, used to check that
+/// restructuring seeds actually perturbed the structure).
+pub fn shape_digest(network: &Network) -> u64 {
+    let mut h = 0u64;
+    for (_, node) in network.iter() {
+        match node {
+            Node::Input { .. } => h = fx::mix64(h, 1),
+            Node::Const { value } => {
+                h = fx::mix64(h, 2);
+                h = fx::mix64(h, u64::from(*value));
+            }
+            Node::Unary { op, a } => {
+                h = fx::mix64(h, 3);
+                h = fx::mix64(h, *op as u64);
+                h = fx::mix64(h, a.index() as u64);
+            }
+            Node::Binary { op, a, b } => {
+                h = fx::mix64(h, 4);
+                h = fx::mix64(h, *op as u64);
+                h = fx::mix64(h, a.index() as u64);
+                h = fx::mix64(h, b.index() as u64);
+            }
+        }
+    }
+    h
+}
 
 /// Rebuilds every maximal AND/OR/XOR tree with a random association order.
 ///
@@ -233,23 +269,19 @@ mod tests {
     #[test]
     fn reassociate_changes_structure() {
         let n = sample();
-        let shapes: std::collections::HashSet<usize> = (0..8)
-            .map(|seed| {
-                let r = reassociate(&n, seed);
-                soi_shape_hash(&r)
-            })
+        let shapes: fx::FxHashSet<u64> = (0..8)
+            .map(|seed| shape_digest(&reassociate(&n, seed)))
             .collect();
         assert!(shapes.len() > 1, "every seed produced the same structure");
     }
 
-    fn soi_shape_hash(n: &Network) -> usize {
-        use std::collections::hash_map::DefaultHasher;
-        use std::hash::{Hash, Hasher};
-        let mut h = DefaultHasher::new();
-        for (_, node) in n.iter() {
-            node.hash(&mut h);
-        }
-        h.finish() as usize
+    #[test]
+    fn shape_digest_is_pinned() {
+        // The digest exists to be stable across processes and toolchains;
+        // pin one value so an accidental chain change is caught as the
+        // break it is.
+        assert_eq!(shape_digest(&sample()), 0xa64d_69d5_d3ac_ca7f);
+        assert_eq!(shape_digest(&sample()), shape_digest(&sample()));
     }
 
     #[test]
@@ -288,37 +320,10 @@ mod tests {
     }
 
     /// Exhaustive equivalence check over every one of the `2^inputs`
-    /// assignments (so up to 1024 for the 10-input networks below), using
-    /// 64-lane simulation words — a complete truth-table comparison, not a
-    /// sample.
+    /// assignments — [`sim::exhaustive_equivalent`]'s chunked 64-lane
+    /// truth-table sweep (a complete comparison, not a sample).
     fn exhaustive_equivalent(a: &Network, b: &Network) -> bool {
-        let inputs = a.inputs().len();
-        assert!(inputs <= 10, "exhaustive check capped at 10 inputs");
-        assert_eq!(inputs, b.inputs().len());
-        let total: u64 = 1 << inputs;
-        let mut assignment = 0u64;
-        while assignment < total {
-            let lanes = (total - assignment).min(64);
-            let words: Vec<u64> = (0..inputs)
-                .map(|i| {
-                    let mut w = 0u64;
-                    for k in 0..lanes {
-                        if (assignment + k) >> i & 1 == 1 {
-                            w |= 1 << k;
-                        }
-                    }
-                    w
-                })
-                .collect();
-            let oa = sim::SimBatch::new(words.clone()).run(a).expect("sims");
-            let ob = sim::SimBatch::new(words).run(b).expect("sims");
-            let mask = if lanes == 64 { !0u64 } else { (1 << lanes) - 1 };
-            if oa.iter().zip(&ob).any(|(x, y)| (x ^ y) & mask != 0) {
-                return false;
-            }
-            assignment += lanes;
-        }
-        true
+        sim::exhaustive_equivalent(a, b).expect("matching input counts")
     }
 
     /// A 10-input network mixing every rewrite target: AND/OR/XOR trees,

@@ -37,6 +37,18 @@ pub struct SimBatch {
     words: Vec<u64>,
 }
 
+/// Input `i` toggles with period `2^(i+1)`: the classic truth-table
+/// columns, shared by [`SimBatch::exhaustive`] and
+/// [`SimBatch::exhaustive_wide`].
+const COLS: [u64; 6] = [
+    0xAAAA_AAAA_AAAA_AAAA,
+    0xCCCC_CCCC_CCCC_CCCC,
+    0xF0F0_F0F0_F0F0_F0F0,
+    0xFF00_FF00_FF00_FF00,
+    0xFFFF_0000_FFFF_0000,
+    0xFFFF_FFFF_0000_0000,
+];
+
 impl SimBatch {
     /// Creates a batch from one 64-lane word per primary input.
     pub fn new(words: Vec<u64>) -> SimBatch {
@@ -58,18 +70,47 @@ impl SimBatch {
     /// Panics if `inputs > 6` (more than 64 assignments do not fit a word).
     pub fn exhaustive(inputs: usize) -> SimBatch {
         assert!(inputs <= 6, "exhaustive batch supports at most 6 inputs");
-        // Input i toggles with period 2^(i+1): the classic truth-table columns.
-        const COLS: [u64; 6] = [
-            0xAAAA_AAAA_AAAA_AAAA,
-            0xCCCC_CCCC_CCCC_CCCC,
-            0xF0F0_F0F0_F0F0_F0F0,
-            0xFF00_FF00_FF00_FF00,
-            0xFFFF_0000_FFFF_0000,
-            0xFFFF_FFFF_0000_0000,
-        ];
         SimBatch {
             words: COLS[..inputs].to_vec(),
         }
+    }
+
+    /// Enumerates all `2^inputs` assignments as a sequence of 64-lane
+    /// batches — the chunked sweep that lifts [`exhaustive`]'s
+    /// 6-input/one-word cap. Chunk `c`'s lane `k` holds assignment
+    /// `c·64 + k`: inputs `0..6` cycle the classic truth-table columns
+    /// inside every chunk, and input `i ≥ 6` is constant per chunk (bit
+    /// `i` of the chunk's base assignment), so the whole sweep stays
+    /// bit-parallel with no per-lane bit assembly. Each item carries the
+    /// lane-validity mask for [`run`] results — all-ones except for a
+    /// sub-6-input sweep, whose single chunk holds only `2^inputs` live
+    /// lanes.
+    ///
+    /// [`exhaustive`]: SimBatch::exhaustive
+    /// [`run`]: SimBatch::run
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs > 24`: the sweep is `2^inputs` assignments, and
+    /// past 24 an "exhaustive" check stops being a test-sized workload.
+    pub fn exhaustive_wide(inputs: usize) -> impl Iterator<Item = (SimBatch, u64)> {
+        assert!(
+            inputs <= 24,
+            "exhaustive_wide sweep capped at 24 inputs (2^{inputs} assignments requested)"
+        );
+        let total: u64 = 1 << inputs;
+        let mask = if total >= 64 { !0u64 } else { (1 << total) - 1 };
+        (0..total.div_ceil(64)).map(move |chunk| {
+            let base = chunk * 64;
+            let words = (0..inputs)
+                .map(|i| match i {
+                    0..=5 => COLS[i],
+                    _ if base >> i & 1 == 1 => !0u64,
+                    _ => 0u64,
+                })
+                .collect();
+            (SimBatch { words }, mask)
+        })
     }
 
     /// The per-input lane words.
@@ -156,6 +197,36 @@ pub fn random_equivalent(
     Ok(true)
 }
 
+/// Compares two networks on **every** one of the `2^inputs` assignments
+/// via [`SimBatch::exhaustive_wide`] — a complete truth-table check, not
+/// a sample. Inputs are matched positionally.
+///
+/// # Errors
+///
+/// Returns [`NetworkError::InputArity`] if the two networks have
+/// different primary-input counts.
+///
+/// # Panics
+///
+/// Panics if the networks have more than 24 inputs (see
+/// [`SimBatch::exhaustive_wide`]); use [`random_equivalent`] beyond that.
+pub fn exhaustive_equivalent(a: &Network, b: &Network) -> Result<bool, NetworkError> {
+    if a.inputs().len() != b.inputs().len() {
+        return Err(NetworkError::InputArity {
+            expected: a.inputs().len(),
+            got: b.inputs().len(),
+        });
+    }
+    for (batch, mask) in SimBatch::exhaustive_wide(a.inputs().len()) {
+        let oa = batch.run(a)?;
+        let ob = batch.run(b)?;
+        if oa.iter().zip(&ob).any(|(x, y)| (x ^ y) & mask != 0) {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,6 +293,85 @@ mod tests {
     #[should_panic(expected = "at most 6")]
     fn exhaustive_limit() {
         let _ = SimBatch::exhaustive(7);
+    }
+
+    /// An 8-input network with every node kind, for the wide-sweep
+    /// oracles below.
+    fn wide_net() -> Network {
+        let mut n = Network::new("w");
+        let sigs: Vec<_> = (0..8).map(|i| n.add_input(format!("i{i}"))).collect();
+        let t1 = n.and_tree(&sigs[..4]);
+        let t2 = n.or_tree(&sigs[4..]);
+        let x = n.xor2(t1, t2);
+        let inv = n.inv(sigs[7]);
+        let g = n.and2(x, inv);
+        n.add_output("o", g);
+        n
+    }
+
+    #[test]
+    fn exhaustive_wide_matches_scalar() {
+        // Every lane of every chunk must agree with a scalar evaluation
+        // of the assignment it claims to hold — the full 256-row truth
+        // table for the 8-input network.
+        let n = wide_net();
+        let mut assignment = 0u64;
+        for (batch, mask) in SimBatch::exhaustive_wide(8) {
+            assert_eq!(mask, !0);
+            let out = batch.run(&n).unwrap()[0];
+            for lane in 0..64u64 {
+                let bits: Vec<bool> = (0..8).map(|i| assignment >> i & 1 == 1).collect();
+                let scalar = n.simulate(&bits).unwrap()[0];
+                assert_eq!(out >> lane & 1 == 1, scalar, "assignment {assignment}");
+                assignment += 1;
+            }
+        }
+        assert_eq!(
+            assignment, 256,
+            "sweep covered every assignment exactly once"
+        );
+    }
+
+    #[test]
+    fn exhaustive_wide_agrees_with_exhaustive_below_the_cap() {
+        for inputs in 0..=6 {
+            let chunks: Vec<(SimBatch, u64)> = SimBatch::exhaustive_wide(inputs).collect();
+            assert_eq!(chunks.len(), 1);
+            let (batch, mask) = &chunks[0];
+            assert_eq!(batch.words(), SimBatch::exhaustive(inputs).words());
+            let live = if inputs == 6 {
+                !0
+            } else {
+                (1u64 << (1 << inputs)) - 1
+            };
+            assert_eq!(*mask, live);
+        }
+    }
+
+    #[test]
+    fn exhaustive_wide_chunk_count() {
+        assert_eq!(SimBatch::exhaustive_wide(16).count(), 1 << 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "capped at 24")]
+    fn exhaustive_wide_limit() {
+        let _ = SimBatch::exhaustive_wide(25);
+    }
+
+    #[test]
+    fn exhaustive_equivalent_full_truth_table() {
+        assert!(exhaustive_equivalent(&xor_net(), &xor_as_aoi()).unwrap());
+        let mut n = Network::new("and");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g = n.and2(a, b);
+        n.add_output("o", g);
+        assert!(!exhaustive_equivalent(&xor_net(), &n).unwrap());
+        let mut one = Network::new("one");
+        let a = one.add_input("a");
+        one.add_output("o", a);
+        assert!(exhaustive_equivalent(&xor_net(), &one).is_err());
     }
 
     #[test]

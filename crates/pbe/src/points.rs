@@ -44,6 +44,14 @@ impl PointAnalysis {
         self.committed.clone()
     }
 
+    /// Consuming variant of
+    /// [`grounded_discharge`](PointAnalysis::grounded_discharge) — hands
+    /// over the committed list without cloning it (reconstruct attaches
+    /// a discharge set to every SOI gate, so the clone was measurable).
+    pub fn into_grounded_discharge(self) -> Vec<JunctionRef> {
+        self.committed
+    }
+
     /// Discharge count if the bottom is grounded.
     pub fn grounded_count(&self) -> u32 {
         self.committed.len() as u32
@@ -65,30 +73,52 @@ impl PointAnalysis {
 /// See the paper's Fig. 4 and Fig. 5; both worked examples are reproduced in
 /// this module's tests.
 pub fn analyze(pdn: &Pdn) -> PointAnalysis {
+    let mut result = PointAnalysis::default();
     let mut path = Vec::new();
-    analyze_at(pdn, &mut path)
+    let mut pool = Vec::new();
+    result.par_b = analyze_into(
+        pdn,
+        &mut path,
+        &mut result.potential,
+        &mut result.committed,
+        &mut pool,
+    );
+    result
 }
 
-fn analyze_at(pdn: &Pdn, path: &mut Vec<u32>) -> PointAnalysis {
+/// Appends `pdn`'s potential and committed points directly to the caller's
+/// sinks and returns its `par_b`. Subtrees write into the final lists
+/// instead of building per-level `PointAnalysis` values that get merged
+/// and dropped on the way up — reconstruct runs this for every
+/// materialized SOI gate, and the per-level `Vec` churn dominated its
+/// profile. The append order is exactly the old fold's concatenation
+/// order, so the reported lists (and with them every discharge-set
+/// rendering) are unchanged.
+///
+/// `pool` recycles the scratch buffers that hold a series top-child's
+/// potential points on their way into `committed` (a top's potential
+/// points cannot go to `potential` directly, but its committed points
+/// can — and must keep ordering ahead of them).
+fn analyze_into(
+    pdn: &Pdn,
+    path: &mut Vec<u32>,
+    potential: &mut Vec<JunctionRef>,
+    committed: &mut Vec<JunctionRef>,
+    pool: &mut Vec<Vec<JunctionRef>>,
+) -> bool {
     match pdn {
-        Pdn::Transistor(_) => PointAnalysis::default(),
+        Pdn::Transistor(_) => false,
         Pdn::Parallel(children) => {
             // Branch bottoms merge with the shared bottom node; each branch's
             // internal points remain potential, resolved by the context.
-            let mut result = PointAnalysis {
-                par_b: true,
-                ..PointAnalysis::default()
-            };
+            // Each child's par_b is absorbed: the branch's parallel bottom
+            // *is* this stack's bottom node.
             for (i, child) in children.iter().enumerate() {
                 path.push(i as u32);
-                let sub = analyze_at(child, path);
+                analyze_into(child, path, potential, committed, pool);
                 path.pop();
-                result.potential.extend(sub.potential);
-                result.committed.extend(sub.committed);
-                // sub.par_b is absorbed: the branch's parallel bottom *is*
-                // this stack's bottom node.
             }
-            result
+            true
         }
         Pdn::Series(children) => {
             // Fold bottom-up. The bottom child keeps its potential points
@@ -98,23 +128,23 @@ fn analyze_at(pdn: &Pdn, path: &mut Vec<u32>) -> PointAnalysis {
             // junction is a plain series point and stays potential).
             let last = children.len() - 1;
             path.push(last as u32);
-            let bottom = analyze_at(&children[last], path);
+            let par_b = analyze_into(&children[last], path, potential, committed, pool);
             path.pop();
-            let mut result = bottom;
+            let mut scratch = pool.pop().unwrap_or_default();
             for i in (0..last).rev() {
                 path.push(i as u32);
-                let top = analyze_at(&children[i], path);
+                let top_par_b = analyze_into(&children[i], path, &mut scratch, committed, pool);
                 path.pop();
-                result.committed.extend(top.committed);
-                result.committed.extend(top.potential);
+                committed.append(&mut scratch);
                 let junction = JunctionRef::new(path.clone(), i as u32);
-                if top.par_b {
-                    result.committed.push(junction);
+                if top_par_b {
+                    committed.push(junction);
                 } else {
-                    result.potential.push(junction);
+                    potential.push(junction);
                 }
             }
-            result
+            pool.push(scratch);
+            par_b
         }
     }
 }

@@ -54,6 +54,12 @@ use std::time::Instant;
 /// encloses the cone-partition span) simply emit both.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Stage {
+    /// Front-end ingest: reading and parsing the source artifact (BLIF
+    /// text, AIGER binary, or a generated corpus entry) into a
+    /// [`Network`](../soi_netlist/struct.Network.html). Emitted by the
+    /// caller that owns the I/O (the bench harness wraps its corpus
+    /// loads); in-memory flows that never touch a front-end emit nothing.
+    Ingest,
     /// BLIF text parsing (only flows that start from text emit this).
     Parse,
     /// Structural netlist validation (guard pipeline).
@@ -81,7 +87,8 @@ pub enum Stage {
 
 impl Stage {
     /// Every stage, in flow order.
-    pub const ALL: [Stage; 11] = [
+    pub const ALL: [Stage; 12] = [
+        Stage::Ingest,
         Stage::Parse,
         Stage::NetlistValidate,
         Stage::UnateConvert,
@@ -98,6 +105,7 @@ impl Stage {
     /// The stage's kebab-case display name.
     pub fn name(self) -> &'static str {
         match self {
+            Stage::Ingest => "ingest",
             Stage::Parse => "parse",
             Stage::NetlistValidate => "netlist-validate",
             Stage::UnateConvert => "unate-convert",

@@ -1,7 +1,13 @@
 //! The bubble-pushing conversion itself.
+//!
+//! This pass visits every `(node, phase)` pair of a 100k-gate network, so
+//! its bookkeeping is deliberately cheap: the per-pair memo and the
+//! literal cache are dense `Vec`s indexed by `node.index() * 2 + phase`
+//! (the keyspace is contiguous by construction — no hashing at all), and
+//! only the structural-hash table, whose `(op, lo, hi)` keyspace is
+//! sparse, pays for a map — with the Fx hasher, not SipHash.
 
-use std::collections::HashMap;
-
+use soi_netlist::fx::FxHashMap;
 use soi_netlist::{BinOp, Network, Node, NodeId, UnOp};
 
 use crate::{Literal, Phase, UId, USignal, UnateError, UnateNetwork};
@@ -71,28 +77,28 @@ pub fn convert(network: &Network, options: &Options) -> Result<UnateNetwork, Una
             _ => unreachable!("input list points at input nodes"),
         })
         .collect();
-    let input_pos: HashMap<NodeId, usize> = network
-        .inputs()
-        .iter()
-        .enumerate()
-        .map(|(i, id)| (*id, i))
-        .collect();
+    // Dense input-position table: `NodeId`s are contiguous indices, so a
+    // `Vec` lookup replaces a map probe per input literal.
+    let mut input_pos = vec![usize::MAX; network.len()];
+    for (i, id) in network.inputs().iter().enumerate() {
+        input_pos[id.index()] = i;
+    }
 
     let mut builder = Builder {
         network,
         input_pos: &input_pos,
         out: UnateNetwork::new(input_names),
-        memo: HashMap::new(),
-        hash: HashMap::new(),
-        lit_cache: HashMap::new(),
+        memo: vec![None; network.len() * 2],
+        hash: FxHashMap::default(),
+        lit_cache: vec![None; network.inputs().len() * 2],
     };
 
     for port in network.outputs() {
         let (signal, inverted) = match options.output_phase {
             OutputPhase::Positive => (builder.build(port.driver, Phase::Pos), false),
             OutputPhase::Cheapest => {
-                let pos_cost = builder.estimate(port.driver, Phase::Pos, &mut HashMap::new());
-                let neg_cost = builder.estimate(port.driver, Phase::Neg, &mut HashMap::new());
+                let pos_cost = builder.estimate(port.driver, Phase::Pos, &mut FxHashMap::default());
+                let neg_cost = builder.estimate(port.driver, Phase::Neg, &mut FxHashMap::default());
                 if neg_cost < pos_cost {
                     (builder.build(port.driver, Phase::Neg), true)
                 } else {
@@ -105,24 +111,34 @@ pub fn convert(network: &Network, options: &Options) -> Result<UnateNetwork, Una
     Ok(builder.out)
 }
 
+/// Dense slot for a `(node, phase)` pair: two slots per node.
+#[inline]
+fn slot(node: NodeId, phase: Phase) -> usize {
+    node.index() * 2 + usize::from(phase == Phase::Neg)
+}
+
 struct Builder<'a> {
     network: &'a Network,
-    input_pos: &'a HashMap<NodeId, usize>,
+    /// Input position per node index (`usize::MAX` for non-inputs).
+    input_pos: &'a [usize],
     out: UnateNetwork,
-    /// `(original node, requested phase)` → produced signal.
-    memo: HashMap<(NodeId, Phase), USignal>,
-    /// Structural hashing of produced gates.
-    hash: HashMap<(bool, UId, UId), UId>,
-    lit_cache: HashMap<Literal, UId>,
+    /// `(original node, requested phase)` → produced signal, dense by
+    /// [`slot`].
+    memo: Vec<Option<USignal>>,
+    /// Structural hashing of produced gates (sparse keyspace).
+    hash: FxHashMap<(bool, UId, UId), UId>,
+    /// Produced literal per `input * 2 + phase`.
+    lit_cache: Vec<Option<UId>>,
 }
 
 impl Builder<'_> {
     fn literal(&mut self, literal: Literal) -> UId {
-        if let Some(&id) = self.lit_cache.get(&literal) {
+        let s = literal.input * 2 + usize::from(literal.phase == Phase::Neg);
+        if let Some(id) = self.lit_cache[s] {
             return id;
         }
         let id = self.out.add_literal(literal);
-        self.lit_cache.insert(literal, id);
+        self.lit_cache[s] = Some(id);
         id
     }
 
@@ -164,12 +180,12 @@ impl Builder<'_> {
     }
 
     fn build(&mut self, node: NodeId, phase: Phase) -> USignal {
-        if let Some(&sig) = self.memo.get(&(node, phase)) {
+        if let Some(sig) = self.memo[slot(node, phase)] {
             return sig;
         }
         let sig = match self.network.node(node) {
             Node::Input { .. } => {
-                let input = self.input_pos[&node];
+                let input = self.input_pos[node.index()];
                 USignal::Node(self.literal(Literal { input, phase }))
             }
             Node::Const { value } => USignal::Const(phase.apply(*value)),
@@ -212,7 +228,7 @@ impl Builder<'_> {
                 }
             }
         };
-        self.memo.insert((node, phase), sig);
+        self.memo[slot(node, phase)] = Some(sig);
         sig
     }
 
@@ -236,9 +252,9 @@ impl Builder<'_> {
         &self,
         node: NodeId,
         phase: Phase,
-        visiting: &mut HashMap<(NodeId, Phase), ()>,
+        visiting: &mut FxHashMap<(NodeId, Phase), ()>,
     ) -> usize {
-        if self.memo.contains_key(&(node, phase)) || visiting.contains_key(&(node, phase)) {
+        if self.memo[slot(node, phase)].is_some() || visiting.contains_key(&(node, phase)) {
             return 0;
         }
         visiting.insert((node, phase), ());

@@ -72,7 +72,9 @@ fn populated_store(network: &Network) -> (Vec<u8>, MappingResult, usize, usize) 
         .expect("cache-building run maps");
     assert_identical(&reference, &warm, "cache-building run");
     let mut bytes = Vec::new();
-    cache.save_to(&mut bytes).expect("save_to a Vec cannot fail");
+    cache
+        .save_to(&mut bytes)
+        .expect("save_to a Vec cannot fail");
     (bytes, reference, cache.cone_entries(), cache.node_entries())
 }
 
@@ -83,11 +85,15 @@ fn store_round_trips_and_serves_persisted_hits() {
 
     // Saves are byte-deterministic: entries are written in sorted key order.
     let rebuilt = Arc::new(ConeCache::new());
-    let stats = rebuilt
-        .load_from(&bytes[..])
-        .expect("pristine store loads");
-    assert_eq!(stats.cone_entries, cone_entries, "cone entry count diverges");
-    assert_eq!(stats.node_entries, node_entries, "node entry count diverges");
+    let stats = rebuilt.load_from(&bytes[..]).expect("pristine store loads");
+    assert_eq!(
+        stats.cone_entries, cone_entries,
+        "cone entry count diverges"
+    );
+    assert_eq!(
+        stats.node_entries, node_entries,
+        "node entry count diverges"
+    );
     assert_eq!(stats.skipped_entries, 0, "pristine store skipped entries");
     assert_eq!(rebuilt.cone_entries(), cone_entries);
     assert_eq!(rebuilt.node_entries(), node_entries);
