@@ -4,7 +4,7 @@
 //! `SOI_Domino_Map` three ways — DP forced serial with the cone cache off
 //! (the PR 2 baseline configuration), `Parallelism::Auto` with the cache
 //! off (the cost-model cutoff must never lose to serial), and the shipped
-//! default (`Auto` + cone cache) — and writes `BENCH_pr9.json` with
+//! default (`Auto` + cone cache) — and writes `BENCH_pr10.json` with
 //! per-circuit timings, the thread count each mode actually used, the
 //! cone-cache hit rate, and cross-mode equality checks (every mode must be
 //! bit-identical).
@@ -40,9 +40,15 @@
 //! `reconstruct`, `pbe_post`) read from one traced serial run — where the
 //! milliseconds actually go, row by row.
 //!
+//! Every corpus row additionally gets a `cec` block: the serial mapping
+//! is SAT-proved equivalent to its source network with `soi-cec`
+//! (`cec_ms` wall time, miter/solver counters, and the unproven count —
+//! which must be zero). A non-equivalent or undecided verdict fails the
+//! run like a counts mismatch would.
+//!
 //! Usage:
 //!   cargo run --release -p soi-bench --bin bench [OUT.json]
-//!     (default output: `BENCH_pr9.json` in the working directory;
+//!     (default output: `BENCH_pr10.json` in the working directory;
 //!      the event trace lands at `OUT.json` + `.trace.jsonl`)
 //!   cargo run --release -p soi-bench --bin bench -- --corpus-dir DIR [OUT.json]
 //!     additionally benches every `.aag`/`.aig`/`.blif` file in DIR as
@@ -60,11 +66,19 @@
 //!     to serial — and asserts each synthetic's traced stage breakdown
 //!     is present and sums to no more than the traced run's total (run
 //!     under `timeout` in CI; any failure is fatal).
+//!   cargo run --release -p soi-bench --bin bench -- --cec-smoke
+//!     CI gate for the equivalence checker at scale: maps both ≥100k-gate
+//!     synthetics with the shipped default config and SAT-proves each
+//!     mapped circuit equivalent to its source network — the default and
+//!     serial mappings must agree (`counts_match`), the verdict must be
+//!     `Equivalent`, and there must be zero unproven miters (run under a
+//!     hard `timeout` in CI; any failure is fatal).
 
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
 
+use soi_cec::{check_mapped, CecOptions, CecReport};
 use soi_circuits::corpus::{self, SizeBucket};
 use soi_circuits::registry;
 use soi_mapper::{ConeCache, MapConfig, Mapper, MappingResult, Parallelism, TraceHandle};
@@ -178,6 +192,54 @@ impl Stages {
             self.pbe_post_ms,
             self.sum_ms(),
             self.traced_total_ms,
+        )
+    }
+}
+
+/// Wall time and solver counters from one SAT equivalence proof of a
+/// corpus row's serial mapping against its source network.
+struct CecRow {
+    cec_ms: f64,
+    equivalent: bool,
+    unproven: usize,
+    outputs_proved: usize,
+    outputs_total: usize,
+    sim_filtered: u64,
+    sat_calls: u64,
+    conflicts: u64,
+    cex_replays: u64,
+}
+
+impl CecRow {
+    fn from_report(report: &CecReport, cec_ms: f64) -> CecRow {
+        CecRow {
+            cec_ms,
+            equivalent: report.is_equivalent(),
+            unproven: report.unproven(),
+            outputs_proved: report.outputs_proved,
+            outputs_total: report.outputs_total,
+            sim_filtered: report.sim_filtered,
+            sat_calls: report.sat_calls,
+            conflicts: report.conflicts,
+            cex_replays: report.cex_replays,
+        }
+    }
+
+    /// The proof as a JSON object literal.
+    fn json(&self) -> String {
+        format!(
+            "{{\"cec_ms\": {:.3}, \"equivalent\": {}, \"unproven\": {}, \"outputs_proved\": {}, \
+             \"outputs_total\": {}, \"sim_filtered\": {}, \"sat_calls\": {}, \"conflicts\": {}, \
+             \"cex_replays\": {}}}",
+            self.cec_ms,
+            self.equivalent,
+            self.unproven,
+            self.outputs_proved,
+            self.outputs_total,
+            self.sim_filtered,
+            self.sat_calls,
+            self.conflicts,
+            self.cex_replays,
         )
     }
 }
@@ -429,6 +491,8 @@ enum CorpusRow {
         /// Per-stage breakdown from one traced serial/uncached run
         /// (`ingest_ms` timed by the harness around the corpus load).
         stages: Stages,
+        /// SAT equivalence proof of the serial mapping vs the source.
+        cec: CecRow,
     },
     Err {
         name: String,
@@ -519,6 +583,17 @@ fn bench_corpus_network(
             persist_hits = w.cone_cache_hits;
         }
     }
+
+    // SAT equivalence proof of the serial mapping against the source
+    // network. A wrong or undecided verdict fails the run exactly like a
+    // counts mismatch: the row's numbers would be timings of a miscompile.
+    let cec_start = Instant::now();
+    let cec = match check_mapped(network, &s.circuit, &CecOptions::default()) {
+        Ok(report) => CecRow::from_report(&report, cec_start.elapsed().as_secs_f64() * 1e3),
+        Err(e) => panic!("{name}: equivalence check failed: {e}"),
+    };
+    counts_match &= cec.equivalent && cec.unproven == 0;
+
     eprintln!(
         "  [{bucket}] {name}: {gates} gates, serial {serial_ms:.1} ms / auto({}t) \
          {parallel_ms:.1} ms / cached({}t) {cached_ms:.1} ms / persist-warm \
@@ -541,6 +616,22 @@ fn bench_corpus_network(
         stages.sum_ms(),
         stages.traced_total_ms,
     );
+    eprintln!(
+        "           cec: {:.1} ms, {}/{} outputs proved, {} sat calls ({} conflicts), \
+         {} sim-filtered, {} replays{}",
+        cec.cec_ms,
+        cec.outputs_proved,
+        cec.outputs_total,
+        cec.sat_calls,
+        cec.conflicts,
+        cec.sim_filtered,
+        cec.cex_replays,
+        if cec.equivalent && cec.unproven == 0 {
+            ""
+        } else {
+            "  ** NOT PROVED **"
+        }
+    );
     CorpusRow::Ok {
         name: name.to_string(),
         bucket,
@@ -557,6 +648,7 @@ fn bench_corpus_network(
         persist_warm_ms,
         persist_hits,
         stages,
+        cec,
     }
 }
 
@@ -760,6 +852,65 @@ fn corpus_smoke() {
     }
 }
 
+/// CI gate for the equivalence checker at scale: both ≥100k-gate
+/// synthetics, mapped with the shipped default config, must SAT-prove
+/// equivalent to their source networks with zero unproven miters — and
+/// the default mapping must agree with serial/uncached (`counts_match`),
+/// so the proof covers the configuration that actually ships. Run under a
+/// hard `timeout` in CI; any failure is fatal.
+fn cec_smoke() {
+    let opts = CecOptions::default();
+    let serial = soi_mapper(Parallelism::Serial, false);
+    let default = Mapper::soi(MapConfig::default());
+    for (name, _) in CORPUS_SMOKE_HUGE {
+        let network = corpus::load(name)
+            .unwrap_or_else(|e| panic!("cec smoke: `{name}` failed to load: {e}"));
+        let gates = network.stats().binary_gates;
+        assert!(
+            gates >= 100_000,
+            "cec smoke: `{name}` shrank below the 100k-gate tier ({gates} gates)"
+        );
+        let map_start = Instant::now();
+        let s = serial
+            .run(&network)
+            .unwrap_or_else(|e| panic!("cec smoke: `{name}` failed to map serially: {e}"));
+        let d = default
+            .run(&network)
+            .unwrap_or_else(|e| panic!("cec smoke: `{name}` failed to map: {e}"));
+        let map_ms = map_start.elapsed().as_secs_f64() * 1e3;
+        assert!(
+            same_outcome(&s, &d),
+            "cec smoke: `{name}`: default config diverged from serial/uncached"
+        );
+        let cec_start = Instant::now();
+        let report = check_mapped(&network, &d.circuit, &opts)
+            .unwrap_or_else(|e| panic!("cec smoke: `{name}` equivalence check failed: {e}"));
+        let cec_ms = cec_start.elapsed().as_secs_f64() * 1e3;
+        assert!(
+            report.is_equivalent(),
+            "cec smoke: `{name}`: mapped circuit NOT proved equivalent: {:?}",
+            report.verdict
+        );
+        assert_eq!(
+            report.unproven(),
+            0,
+            "cec smoke: `{name}`: unproven output miters remain"
+        );
+        eprintln!(
+            "cec smoke ok: {name} ({gates} gates) mapped in {map_ms:.1} ms, proved in \
+             {cec_ms:.1} ms — {}/{} outputs, {} internal merges, {} sat calls ({} conflicts), \
+             {} sim-filtered, {} replays",
+            report.outputs_proved,
+            report.outputs_total,
+            report.internal_merges,
+            report.sat_calls,
+            report.conflicts,
+            report.sim_filtered,
+            report.cex_replays,
+        );
+    }
+}
+
 /// Diagnostic: maps one corpus entry with the default config and a
 /// recorder attached, and prints the per-tier cache counters the corpus
 /// rows aggregate away — the data the `cache_bypass_floor_permille`
@@ -824,6 +975,10 @@ fn main() {
                 corpus_smoke();
                 return;
             }
+            "--cec-smoke" => {
+                cec_smoke();
+                return;
+            }
             "--tier-probe" => {
                 tier_probe(&args.next().expect("--tier-probe needs a corpus entry name"));
                 return;
@@ -834,7 +989,7 @@ fn main() {
             other => out_path = Some(other.to_string()),
         }
     }
-    let out_path = out_path.unwrap_or_else(|| "BENCH_pr9.json".into());
+    let out_path = out_path.unwrap_or_else(|| "BENCH_pr10.json".into());
 
     let mut names: Vec<&'static str> = registry::TABLE2.to_vec();
     for name in registry::TABLE1 {
@@ -1047,7 +1202,9 @@ fn main() {
          (vendored AIGER entries through the >=100k-gate synthetic tiers) in the same three \
          modes; cached_vs_parallel re-justifies the cone_cache_min_gates gate (10k): the cache \
          must pay for itself where it is enabled. A row with an `error` field is a corpus entry \
-         that failed to load — the run fails rather than skip it.\","
+         that failed to load — the run fails rather than skip it. Each row's `cec` block is a SAT \
+         equivalence proof of the serial mapping against the source network (soi-cec); \
+         `equivalent` must be true with zero `unproven` miters or the run fails.\","
     );
     let _ = writeln!(
         json,
@@ -1074,6 +1231,7 @@ fn main() {
                 persist_warm_ms,
                 persist_hits,
                 stages,
+                cec,
             } => {
                 let total = cache_hits + cache_misses;
                 let hit_rate = if total > 0 {
@@ -1092,12 +1250,14 @@ fn main() {
                      \"cache_misses\": {cache_misses}, \"cache_hit_rate\": {hit_rate:.3}, \
                      \"persist_store_bytes\": {persist_store_bytes}, \"persist_warm_ms\": \
                      {persist_warm_ms:.3}, \"persist_warm_vs_cached\": {:.3}, \"persist_hits\": \
-                     {persist_hits}, \"stages\": {}, \"counts_match\": {counts_match}}}{sep}",
+                     {persist_hits}, \"stages\": {}, \"cec\": {}, \"counts_match\": \
+                     {counts_match}}}{sep}",
                     serial_ms / parallel_ms.max(1e-9),
                     serial_ms / cached_ms.max(1e-9),
                     parallel_ms / cached_ms.max(1e-9),
                     cached_ms / persist_warm_ms.max(1e-9),
                     stages.json(),
+                    cec.json(),
                 );
             }
             CorpusRow::Err { name, error } => {

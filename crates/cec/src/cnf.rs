@@ -1,0 +1,120 @@
+//! CNF literals and variables.
+//!
+//! The packed representation is the classic solver layout: variable `v`
+//! owns codes `2v` (positive) and `2v + 1` (negated), so a literal's code
+//! indexes watch lists directly and negation is one xor.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A propositional variable, densely numbered from 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(u32);
+
+impl Var {
+    /// Creates a variable from its dense index.
+    pub fn from_index(index: usize) -> Var {
+        Var(index as u32)
+    }
+
+    /// The variable's dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A literal: a variable or its negation, packed as `var << 1 | negated`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The positive literal of `var`.
+    pub fn positive(var: Var) -> Lit {
+        Lit(var.0 << 1)
+    }
+
+    /// The negated literal of `var`.
+    pub fn negative(var: Var) -> Lit {
+        Lit(var.0 << 1 | 1)
+    }
+
+    /// A literal of `var` with the given sign (`true` = negated).
+    pub fn with_sign(var: Var, negated: bool) -> Lit {
+        Lit(var.0 << 1 | u32::from(negated))
+    }
+
+    /// The literal's variable.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Whether the literal is negated.
+    pub fn is_negated(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The packed code (`2·var + negated`), usable as a dense array index.
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Flips the literal's sign iff `flip` — a conditional [`Not`], used
+    /// when substituting complement-phase equivalences.
+    pub fn xor_sign(self, flip: bool) -> Lit {
+        Lit(self.0 ^ u32::from(flip))
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negated() {
+            write!(f, "!{}", self.var())
+        } else {
+            write!(f, "{}", self.var())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packing_round_trips() {
+        let v = Var::from_index(17);
+        let p = Lit::positive(v);
+        let n = Lit::negative(v);
+        assert_eq!(p.var(), v);
+        assert_eq!(n.var(), v);
+        assert!(!p.is_negated());
+        assert!(n.is_negated());
+        assert_eq!(!p, n);
+        assert_eq!(!n, p);
+        assert_eq!(p.code(), 34);
+        assert_eq!(n.code(), 35);
+        assert_eq!(Lit::with_sign(v, true), n);
+        assert_eq!(p.xor_sign(true), n);
+        assert_eq!(p.xor_sign(false), p);
+    }
+
+    #[test]
+    fn display_forms() {
+        let v = Var::from_index(3);
+        assert_eq!(Lit::positive(v).to_string(), "x3");
+        assert_eq!(Lit::negative(v).to_string(), "!x3");
+    }
+}

@@ -1,0 +1,126 @@
+//! # soi-cec
+//!
+//! Scale-proof verification for the SOI domino mapping flow: SAT-based
+//! combinational equivalence checking (CEC) of mapped circuits against
+//! their source networks, and SAT-formulated parasitic-bipolar safety
+//! proofs — self-contained, no external solver.
+//!
+//! The crate stacks four layers:
+//!
+//! * [`cnf`] + [`solver`] — packed literals and a CDCL SAT solver with
+//!   two watched literals, first-UIP clause learning, activity-ordered
+//!   decisions, phase saving, restarts, incremental assumption queries,
+//!   and conflict budgets (budget exhaustion is a typed
+//!   [`SatResult::Unknown`], never a wrong answer);
+//! * [`encode`] — Tseitin CNF construction with constant folding and
+//!   structural-hash sharing for all eight netlist gate kinds;
+//! * [`wordsim`] — 64-lane bit-parallel simulation producing per-node
+//!   signatures from guided (walking-one/zero + corner) and seeded
+//!   random vectors, with complement-aware canonical signatures;
+//! * the checkers — [`check_networks`] sweeps a shared-input miter
+//!   (simulation filters candidate-equivalent cones, structural hashing
+//!   merges them for free, SAT closes what remains, and every
+//!   counterexample is replayed through the scalar simulator before it
+//!   is believed), [`lower::circuit_to_network`] turns a mapped
+//!   [`DominoCircuit`](soi_domino_ir::DominoCircuit) back into a
+//!   network so [`check_mapped`] can compare function against the
+//!   source, and [`pbe_sat`] proves junction excitability verdicts that
+//!   [`soi_pbe::excite`] can only sample beyond its enumeration limit.
+//!
+//! Everything is instrumented through [`soi_trace`]: `cec_sat_calls`,
+//! `cec_sim_filtered`, `conflicts`, and `cex_replays`.
+
+mod cec;
+pub mod cnf;
+pub mod encode;
+pub mod lower;
+pub mod pbe_sat;
+pub mod solver;
+pub mod wordsim;
+
+pub use cec::{
+    check_networks, check_networks_traced, CecError, CecOptions, CecReport, CecVerdict,
+    Counterexample,
+};
+pub use cnf::{Lit, Var};
+pub use encode::{Encoder, NetworkLits};
+pub use pbe_sat::{
+    junction_excitability_sat, verify_safe_sat, verify_safe_sat_traced, PbeSafetyReport,
+};
+pub use solver::{SatResult, Solver};
+
+use soi_domino_ir::DominoCircuit;
+use soi_netlist::Network;
+use soi_trace::TraceHandle;
+
+/// Checks a mapped domino circuit against its source network: lowers the
+/// circuit to a plain network with [`lower::circuit_to_network`] and runs
+/// [`check_networks`] on the pair.
+///
+/// # Errors
+///
+/// See [`CecError`]; inequivalence is a verdict, not an error.
+pub fn check_mapped(
+    network: &Network,
+    circuit: &DominoCircuit,
+    opts: &CecOptions,
+) -> Result<CecReport, CecError> {
+    check_mapped_traced(network, circuit, opts, TraceHandle::off())
+}
+
+/// [`check_mapped`] with a trace handle.
+///
+/// # Errors
+///
+/// See [`CecError`].
+pub fn check_mapped_traced(
+    network: &Network,
+    circuit: &DominoCircuit,
+    opts: &CecOptions,
+    trace: TraceHandle,
+) -> Result<CecReport, CecError> {
+    let lowered = lower::circuit_to_network(circuit);
+    check_networks_traced(network, &lowered, opts, trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_domino_ir::{Pdn, Signal};
+
+    /// Map-free smoke: a hand-built domino circuit for `(a + b) * c`
+    /// checks against the network for the same function, and not against
+    /// a different one.
+    #[test]
+    fn check_mapped_smoke() {
+        let circuit = DominoCircuit::single_gate(
+            vec!["a".into(), "b".into(), "c".into()],
+            Pdn::series(vec![
+                Pdn::parallel(vec![
+                    Pdn::transistor(Signal::input(0)),
+                    Pdn::transistor(Signal::input(1)),
+                ]),
+                Pdn::transistor(Signal::input(2)),
+            ]),
+        );
+        let mut good = Network::new("good");
+        let a = good.add_input("a");
+        let b = good.add_input("b");
+        let c = good.add_input("c");
+        let ab = good.or2(a, b);
+        let f = good.and2(ab, c);
+        good.add_output("f", f);
+        let report = check_mapped(&good, &circuit, &CecOptions::default()).unwrap();
+        assert!(report.is_equivalent(), "{report:?}");
+
+        let mut bad = Network::new("bad");
+        let a = bad.add_input("a");
+        let b = bad.add_input("b");
+        let c = bad.add_input("c");
+        let ab = bad.and2(a, b);
+        let f = bad.or2(ab, c);
+        bad.add_output("f", f);
+        let report = check_mapped(&bad, &circuit, &CecOptions::default()).unwrap();
+        assert!(matches!(report.verdict, CecVerdict::NotEquivalent(_)));
+    }
+}

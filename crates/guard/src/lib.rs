@@ -7,10 +7,12 @@
 //! Three pieces:
 //!
 //! * [`pipeline`] — a staged runner (`netlist-validate → unate-convert →
-//!   map → discharge-protect → audit`) whose failures all surface as one
-//!   typed [`StageError`], naming the stage and wrapping the underlying
-//!   crate error. Optional graceful degradation retries an `Unmappable`
-//!   mapping with forced gate boundaries.
+//!   map → discharge-protect → audit`, plus an opt-in post-map `cec`
+//!   stage that SAT-proves the mapped circuit equivalent to the source
+//!   network and its PBE protection safe) whose failures all surface as
+//!   one typed [`StageError`], naming the stage and wrapping the
+//!   underlying crate error. Optional graceful degradation retries an
+//!   `Unmappable` mapping with forced gate boundaries.
 //! * [`audit`] — the cross-stage consistency check [`check_pipeline`]:
 //!   unate-network equivalence to the source netlist, circuit structural
 //!   validity, PBE-safety, transistor-accounting consistency, and a
@@ -47,4 +49,4 @@ pub mod inject;
 pub mod pipeline;
 
 pub use audit::{check_partial, check_pipeline, AuditConfig, AuditError, AuditReport};
-pub use pipeline::{Pipeline, PipelineReport, Stage, StageError, StageFailure};
+pub use pipeline::{CecVerification, Pipeline, PipelineReport, Stage, StageError, StageFailure};

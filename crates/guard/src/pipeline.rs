@@ -16,9 +16,11 @@
 use std::error::Error;
 use std::fmt;
 
+use soi_cec::{CecError, CecOptions, CecReport, CecVerdict, Counterexample, PbeSafetyReport};
 use soi_domino_ir::DominoError;
 use soi_mapper::{Algorithm, MapError, Mapper, MappingResult};
 use soi_netlist::{Network, NetworkError};
+use soi_pbe::excite::InputConstraints;
 use soi_pbe::{hazard, PbeError};
 use soi_trace::{Counter, Stage as TraceStage};
 use soi_unate::{convert, Options, UnateError, UnateNetwork};
@@ -41,6 +43,10 @@ pub enum Stage {
     DischargeProtect,
     /// The cross-stage consistency audit ([`crate::audit::check_pipeline`]).
     Audit,
+    /// SAT-based combinational equivalence of the mapped circuit against
+    /// the source network, plus the SAT-formulated PBE-safety proof
+    /// (opt-in via [`Pipeline::with_cec`]).
+    Cec,
 }
 
 impl Stage {
@@ -53,6 +59,7 @@ impl Stage {
             Stage::Map => "map",
             Stage::DischargeProtect => "discharge-protect",
             Stage::Audit => "audit",
+            Stage::Cec => "cec",
         }
     }
 }
@@ -86,6 +93,24 @@ pub enum StageFailure {
     },
     /// The cross-stage audit failed.
     Audit(AuditError),
+    /// The equivalence checker could not run ([`CecError`]).
+    Cec(CecError),
+    /// The mapped circuit is **not** equivalent to the source network: a
+    /// replay-confirmed counterexample.
+    CecMismatch(Counterexample),
+    /// The equivalence check left output miters unproven within the
+    /// conflict budget — treated as a failure, never silently passed.
+    CecUnproven {
+        /// Number of unproven output miters.
+        unproven: usize,
+    },
+    /// The SAT PBE-safety proof flagged unprotected committed junctions.
+    CecUnsafe {
+        /// Junctions that failed the proof (excitable or unknown).
+        count: usize,
+        /// `gate/junction` description of the first one.
+        first: String,
+    },
 }
 
 impl fmt::Display for StageFailure {
@@ -103,6 +128,21 @@ impl fmt::Display for StageFailure {
                 )
             }
             StageFailure::Audit(e) => write!(f, "{e}"),
+            StageFailure::Cec(e) => write!(f, "{e}"),
+            StageFailure::CecMismatch(cex) => write!(
+                f,
+                "mapped circuit differs from the source at output {} (lhs {}, rhs {})",
+                cex.output, cex.lhs, cex.rhs
+            ),
+            StageFailure::CecUnproven { unproven } => {
+                write!(f, "{unproven} output miter(s) unproven within budget")
+            }
+            StageFailure::CecUnsafe { count, first } => {
+                write!(
+                    f,
+                    "{count} junction(s) failed the PBE-safety proof, first at {first}"
+                )
+            }
         }
     }
 }
@@ -137,9 +177,23 @@ impl Error for StageError {
             StageFailure::Domino(e) => Some(e),
             StageFailure::Pbe(e) => Some(e),
             StageFailure::Audit(e) => Some(e),
-            StageFailure::Hazards { .. } => None,
+            StageFailure::Cec(e) => Some(e),
+            StageFailure::Hazards { .. }
+            | StageFailure::CecMismatch(_)
+            | StageFailure::CecUnproven { .. }
+            | StageFailure::CecUnsafe { .. } => None,
         }
     }
+}
+
+/// What the opt-in CEC stage proved.
+#[derive(Debug, Clone)]
+pub struct CecVerification {
+    /// The miter-based equivalence report (verdict is
+    /// [`CecVerdict::Equivalent`] on a successful run).
+    pub equivalence: CecReport,
+    /// The SAT PBE-safety report (`safe` on a successful run).
+    pub safety: PbeSafetyReport,
 }
 
 /// Everything a successful pipeline run produces.
@@ -157,6 +211,8 @@ pub struct PipelineReport {
     pub salvage_retries: u32,
     /// The audit report, when auditing was enabled.
     pub audit: Option<AuditReport>,
+    /// The CEC + PBE-safety proofs, when the CEC stage was enabled.
+    pub cec: Option<CecVerification>,
 }
 
 /// The hardened flow runner. Build one around a [`Mapper`] and feed it
@@ -168,6 +224,7 @@ pub struct Pipeline {
     degrade_on_unmappable: bool,
     salvage_retries: u32,
     audit: Option<AuditConfig>,
+    cec: Option<CecOptions>,
 }
 
 impl Pipeline {
@@ -181,6 +238,7 @@ impl Pipeline {
             degrade_on_unmappable: false,
             salvage_retries: 0,
             audit: Some(AuditConfig::default()),
+            cec: None,
         }
     }
 
@@ -220,6 +278,31 @@ impl Pipeline {
     pub fn with_audit(mut self, audit: Option<AuditConfig>) -> Pipeline {
         self.audit = audit;
         self
+    }
+
+    /// Enables the opt-in post-map `cec` stage: SAT-based equivalence of
+    /// the mapped circuit against the source network plus the
+    /// SAT-formulated PBE-safety proof. `None` (the default) skips the
+    /// stage; use [`Pipeline::cec_options`] for budgets derived from the
+    /// mapper's [`Limits`](soi_mapper::Limits).
+    pub fn with_cec(mut self, cec: Option<CecOptions>) -> Pipeline {
+        self.cec = cec;
+        self
+    }
+
+    /// CEC options with conflict budgets derived from the mapper's
+    /// limits: the output-miter budget scales with `max_combine_steps`
+    /// (the knob that already expresses how much compute the caller will
+    /// spend on this flow), clamped to a sane band, and the per-node
+    /// budget is a small fraction of it.
+    pub fn cec_options(&self) -> CecOptions {
+        let limits = &self.mapper.config().limits;
+        let output_conflict_budget = (limits.max_combine_steps / 1_000).clamp(10_000, 10_000_000);
+        CecOptions {
+            output_conflict_budget,
+            node_conflict_budget: (output_conflict_budget / 500).clamp(50, 2_000),
+            ..CecOptions::default()
+        }
     }
 
     /// Runs the full flow on `network`.
@@ -329,6 +412,51 @@ impl Pipeline {
             None => None,
         };
 
+        // Stage 6 (opt-in): cec — SAT equivalence of the mapped circuit
+        // against the source network, then the SAT PBE-safety proof.
+        let cec_report = match &self.cec {
+            Some(opts) => {
+                let _span = trace.span(TraceStage::Cec);
+                let equivalence =
+                    soi_cec::check_mapped_traced(network, &result.circuit, opts, trace)
+                        .map_err(|e| ctx(Stage::Cec, StageFailure::Cec(e)))?;
+                match equivalence.verdict {
+                    CecVerdict::Equivalent => {}
+                    CecVerdict::NotEquivalent(ref cex) => {
+                        return Err(ctx(Stage::Cec, StageFailure::CecMismatch(cex.clone())));
+                    }
+                    CecVerdict::Undecided { unproven } => {
+                        return Err(ctx(Stage::Cec, StageFailure::CecUnproven { unproven }));
+                    }
+                }
+                let safety = soi_cec::verify_safe_sat_traced(
+                    &result.circuit,
+                    &InputConstraints::none(),
+                    opts.output_conflict_budget,
+                    trace,
+                );
+                if !safety.safe {
+                    let first = safety
+                        .first_flagged
+                        .as_ref()
+                        .map(|(g, j)| format!("gate {g} junction {j}"))
+                        .unwrap_or_else(|| "<unknown>".to_string());
+                    return Err(ctx(
+                        Stage::Cec,
+                        StageFailure::CecUnsafe {
+                            count: safety.excitable + safety.unknown,
+                            first,
+                        },
+                    ));
+                }
+                Some(CecVerification {
+                    equivalence,
+                    safety,
+                })
+            }
+            None => None,
+        };
+
         let degraded = retried || result.is_degraded();
         Ok(PipelineReport {
             unate,
@@ -336,6 +464,7 @@ impl Pipeline {
             degraded,
             salvage_retries,
             audit: audit_report,
+            cec: cec_report,
         })
     }
 
@@ -595,6 +724,76 @@ mod tests {
             err.failure,
             StageFailure::Map(MapError::Cancelled { .. })
         ));
+    }
+
+    #[test]
+    fn cec_stage_proves_a_healthy_flow_and_spans() {
+        let (rec, trace) = soi_trace::Recorder::install();
+        let config = MapConfig {
+            trace,
+            ..MapConfig::default()
+        };
+        let pipeline = Pipeline::new(Mapper::soi(config));
+        let opts = pipeline.cec_options();
+        let report = pipeline
+            .with_cec(Some(opts))
+            .run(&nand_or())
+            .expect("pipeline passes with cec");
+        let cec = report.cec.expect("cec ran");
+        assert!(cec.equivalence.is_equivalent());
+        assert_eq!(cec.equivalence.unproven(), 0);
+        assert!(cec.safety.safe);
+        assert!(rec.stage_nanos(TraceStage::Cec).is_some());
+        // The equivalence and safety counters both land in the recorder.
+        assert_eq!(
+            rec.counter(Counter::CecSatCalls),
+            cec.equivalence.sat_calls + cec.safety.sat_calls
+        );
+    }
+
+    #[test]
+    fn cec_stage_is_off_by_default() {
+        let report = Pipeline::new(Mapper::soi(MapConfig::default()))
+            .run(&nand_or())
+            .expect("pipeline passes");
+        assert!(report.cec.is_none());
+    }
+
+    #[test]
+    fn cec_budgets_derive_from_limits() {
+        let mut config = MapConfig::default();
+        config.limits.max_combine_steps = 5_000_000_000;
+        let opts = Pipeline::new(Mapper::soi(config)).cec_options();
+        assert_eq!(opts.output_conflict_budget, 5_000_000);
+        assert_eq!(opts.node_conflict_budget, 2_000);
+        let mut config = MapConfig::default();
+        config.limits.max_combine_steps = 1;
+        let opts = Pipeline::new(Mapper::soi(config)).cec_options();
+        assert_eq!(opts.output_conflict_budget, 10_000);
+        assert_eq!(opts.node_conflict_budget, 50);
+    }
+
+    #[test]
+    fn cec_stage_catches_a_corrupted_mapping() {
+        // Run the normal flow, then corrupt the mapped circuit and
+        // re-check it through the same stage logic via check_mapped.
+        let network = nand_or();
+        let pipeline = Pipeline::new(Mapper::soi(MapConfig::default()));
+        let report = pipeline.run(&network).expect("clean run");
+        let (circuit, witness) = crate::inject::retarget_fanin(&report.result.circuit, 7)
+            .expect("mutator applies to this circuit");
+        let verdict = soi_cec::check_mapped(&network, &circuit, &pipeline.cec_options())
+            .expect("checker runs");
+        match verdict.verdict {
+            soi_cec::CecVerdict::NotEquivalent(cex) => {
+                // The injected witness is itself a distinguishing input.
+                let lhs = network.simulate(&witness).unwrap();
+                let rhs = circuit.evaluate(&witness).unwrap();
+                assert_ne!(lhs, rhs, "witness distinguishes");
+                let _ = cex;
+            }
+            other => panic!("corruption must be caught, got {other:?}"),
+        }
     }
 
     #[test]

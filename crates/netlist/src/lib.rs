@@ -63,4 +63,5 @@ pub use id::NodeId;
 pub use intern::{Sym, SymbolTable};
 pub use network::{Network, OutputPort};
 pub use node::{BinOp, Node, UnOp};
+pub use sim::SimError;
 pub use stats::NetworkStats;

@@ -321,9 +321,13 @@ mod tests {
 
     /// Exhaustive equivalence check over every one of the `2^inputs`
     /// assignments — [`sim::exhaustive_equivalent`]'s chunked 64-lane
-    /// truth-table sweep (a complete comparison, not a sample).
+    /// truth-table sweep (a complete comparison, not a sample). The test
+    /// networks stay far below [`sim::SimBatch::EXHAUSTIVE_WIDE_MAX`], so
+    /// the sweep's typed bound ([`sim::SimError::TooManyInputs`]) is an
+    /// assertion here, not a reachable branch.
     fn exhaustive_equivalent(a: &Network, b: &Network) -> bool {
-        sim::exhaustive_equivalent(a, b).expect("matching input counts")
+        assert!(a.inputs().len() <= sim::SimBatch::EXHAUSTIVE_WIDE_MAX);
+        sim::exhaustive_equivalent(a, b).expect("matching input counts within the sweep bound")
     }
 
     /// A 10-input network mixing every rewrite target: AND/OR/XOR trees,

@@ -37,6 +37,56 @@ pub struct SimBatch {
     words: Vec<u64>,
 }
 
+/// Errors produced by the simulation sweeps in this module.
+///
+/// Width mismatches between a batch and a network stay
+/// [`NetworkError::InputArity`] (wrapped in [`SimError::Net`]); the sweep
+/// generators add their own failure mode, [`SimError::TooManyInputs`], for
+/// exhaustive enumerations whose `2^inputs` assignment space is not a
+/// test-sized workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// An exhaustive sweep was requested over more inputs than the
+    /// enumeration bound supports.
+    TooManyInputs {
+        /// The requested primary-input count.
+        inputs: usize,
+        /// The sweep's enumeration bound.
+        max: usize,
+    },
+    /// An underlying network evaluation failed.
+    Net(NetworkError),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::TooManyInputs { inputs, max } => write!(
+                f,
+                "exhaustive sweep over {inputs} inputs exceeds the {max}-input bound \
+                 (2^{inputs} assignments requested)"
+            ),
+            SimError::Net(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Net(e) => Some(e),
+            SimError::TooManyInputs { .. } => None,
+        }
+    }
+}
+
+impl From<NetworkError> for SimError {
+    fn from(e: NetworkError) -> SimError {
+        SimError::Net(e)
+    }
+}
+
 /// Input `i` toggles with period `2^(i+1)`: the classic truth-table
 /// columns, shared by [`SimBatch::exhaustive`] and
 /// [`SimBatch::exhaustive_wide`].
@@ -50,6 +100,10 @@ const COLS: [u64; 6] = [
 ];
 
 impl SimBatch {
+    /// The enumeration bound of [`SimBatch::exhaustive_wide`]: past 24
+    /// inputs, a `2^inputs` sweep stops being a test-sized workload.
+    pub const EXHAUSTIVE_WIDE_MAX: usize = 24;
+
     /// Creates a batch from one 64-lane word per primary input.
     pub fn new(words: Vec<u64>) -> SimBatch {
         SimBatch { words }
@@ -89,18 +143,25 @@ impl SimBatch {
     /// [`exhaustive`]: SimBatch::exhaustive
     /// [`run`]: SimBatch::run
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `inputs > 24`: the sweep is `2^inputs` assignments, and
-    /// past 24 an "exhaustive" check stops being a test-sized workload.
-    pub fn exhaustive_wide(inputs: usize) -> impl Iterator<Item = (SimBatch, u64)> {
-        assert!(
-            inputs <= 24,
-            "exhaustive_wide sweep capped at 24 inputs (2^{inputs} assignments requested)"
-        );
+    /// Returns [`SimError::TooManyInputs`] if `inputs >
+    /// `[`SimBatch::EXHAUSTIVE_WIDE_MAX`]: the sweep is `2^inputs`
+    /// assignments, and past that bound an "exhaustive" check stops being
+    /// a test-sized workload. Callers that may exceed the bound should
+    /// fall back to [`random_equivalent`]-style sampling.
+    pub fn exhaustive_wide(
+        inputs: usize,
+    ) -> Result<impl Iterator<Item = (SimBatch, u64)>, SimError> {
+        if inputs > SimBatch::EXHAUSTIVE_WIDE_MAX {
+            return Err(SimError::TooManyInputs {
+                inputs,
+                max: SimBatch::EXHAUSTIVE_WIDE_MAX,
+            });
+        }
         let total: u64 = 1 << inputs;
         let mask = if total >= 64 { !0u64 } else { (1 << total) - 1 };
-        (0..total.div_ceil(64)).map(move |chunk| {
+        Ok((0..total.div_ceil(64)).map(move |chunk| {
             let base = chunk * 64;
             let words = (0..inputs)
                 .map(|i| match i {
@@ -110,7 +171,7 @@ impl SimBatch {
                 })
                 .collect();
             (SimBatch { words }, mask)
-        })
+        }))
     }
 
     /// The per-input lane words.
@@ -203,21 +264,19 @@ pub fn random_equivalent(
 ///
 /// # Errors
 ///
-/// Returns [`NetworkError::InputArity`] if the two networks have
-/// different primary-input counts.
-///
-/// # Panics
-///
-/// Panics if the networks have more than 24 inputs (see
-/// [`SimBatch::exhaustive_wide`]); use [`random_equivalent`] beyond that.
-pub fn exhaustive_equivalent(a: &Network, b: &Network) -> Result<bool, NetworkError> {
+/// Returns [`SimError::Net`] (wrapping [`NetworkError::InputArity`]) if
+/// the two networks have different primary-input counts, and
+/// [`SimError::TooManyInputs`] if they have more than
+/// [`SimBatch::EXHAUSTIVE_WIDE_MAX`] inputs; use [`random_equivalent`]
+/// beyond that bound.
+pub fn exhaustive_equivalent(a: &Network, b: &Network) -> Result<bool, SimError> {
     if a.inputs().len() != b.inputs().len() {
-        return Err(NetworkError::InputArity {
+        return Err(SimError::Net(NetworkError::InputArity {
             expected: a.inputs().len(),
             got: b.inputs().len(),
-        });
+        }));
     }
-    for (batch, mask) in SimBatch::exhaustive_wide(a.inputs().len()) {
+    for (batch, mask) in SimBatch::exhaustive_wide(a.inputs().len())? {
         let oa = batch.run(a)?;
         let ob = batch.run(b)?;
         if oa.iter().zip(&ob).any(|(x, y)| (x ^ y) & mask != 0) {
@@ -316,7 +375,7 @@ mod tests {
         // table for the 8-input network.
         let n = wide_net();
         let mut assignment = 0u64;
-        for (batch, mask) in SimBatch::exhaustive_wide(8) {
+        for (batch, mask) in SimBatch::exhaustive_wide(8).unwrap() {
             assert_eq!(mask, !0);
             let out = batch.run(&n).unwrap()[0];
             for lane in 0..64u64 {
@@ -335,7 +394,7 @@ mod tests {
     #[test]
     fn exhaustive_wide_agrees_with_exhaustive_below_the_cap() {
         for inputs in 0..=6 {
-            let chunks: Vec<(SimBatch, u64)> = SimBatch::exhaustive_wide(inputs).collect();
+            let chunks: Vec<(SimBatch, u64)> = SimBatch::exhaustive_wide(inputs).unwrap().collect();
             assert_eq!(chunks.len(), 1);
             let (batch, mask) = &chunks[0];
             assert_eq!(batch.words(), SimBatch::exhaustive(inputs).words());
@@ -350,13 +409,23 @@ mod tests {
 
     #[test]
     fn exhaustive_wide_chunk_count() {
-        assert_eq!(SimBatch::exhaustive_wide(16).count(), 1 << 10);
+        assert_eq!(SimBatch::exhaustive_wide(16).unwrap().count(), 1 << 10);
     }
 
     #[test]
-    #[should_panic(expected = "capped at 24")]
-    fn exhaustive_wide_limit() {
-        let _ = SimBatch::exhaustive_wide(25);
+    fn exhaustive_wide_limit_is_a_typed_error() {
+        let err = SimBatch::exhaustive_wide(25).err().expect("past the bound");
+        assert_eq!(
+            err,
+            SimError::TooManyInputs {
+                inputs: 25,
+                max: SimBatch::EXHAUSTIVE_WIDE_MAX
+            }
+        );
+        assert!(err.to_string().contains("25"));
+        assert!(std::error::Error::source(&err).is_none());
+        // The bound itself is still in range.
+        assert!(SimBatch::exhaustive_wide(SimBatch::EXHAUSTIVE_WIDE_MAX).is_ok());
     }
 
     #[test]
@@ -371,7 +440,10 @@ mod tests {
         let mut one = Network::new("one");
         let a = one.add_input("a");
         one.add_output("o", a);
-        assert!(exhaustive_equivalent(&xor_net(), &one).is_err());
+        assert!(matches!(
+            exhaustive_equivalent(&xor_net(), &one),
+            Err(SimError::Net(NetworkError::InputArity { .. }))
+        ));
     }
 
     #[test]

@@ -80,6 +80,18 @@ impl InputConstraints {
     pub fn is_empty(&self) -> bool {
         self.mutex_groups.is_empty() && self.fixed.is_empty()
     }
+
+    /// The declared mutual-exclusion groups (for alternative solvers that
+    /// re-encode the constraints, such as the SAT formulation in
+    /// `soi-cec`).
+    pub fn mutex_groups(&self) -> &[Vec<usize>] {
+        &self.mutex_groups
+    }
+
+    /// The declared constant-tied inputs.
+    pub fn fixed(&self) -> &[(usize, bool)] {
+        &self.fixed
+    }
 }
 
 /// Analysis effort bounds.

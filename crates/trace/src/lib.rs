@@ -83,11 +83,15 @@ pub enum Stage {
     /// Scheduler drain after an interrupt or contained panic: from the
     /// first failure observation until the last worker returned.
     Drain,
+    /// SAT-based combinational equivalence check of the mapped circuit
+    /// against the source network, plus the SAT-formulated PBE-safety
+    /// proof (the opt-in guard pipeline post-map stage).
+    Cec,
 }
 
 impl Stage {
     /// Every stage, in flow order.
-    pub const ALL: [Stage; 12] = [
+    pub const ALL: [Stage; 13] = [
         Stage::Ingest,
         Stage::Parse,
         Stage::NetlistValidate,
@@ -100,6 +104,7 @@ impl Stage {
         Stage::DischargeProtect,
         Stage::Audit,
         Stage::Drain,
+        Stage::Cec,
     ];
 
     /// The stage's kebab-case display name.
@@ -117,6 +122,7 @@ impl Stage {
             Stage::DischargeProtect => "discharge-protect",
             Stage::Audit => "audit",
             Stage::Drain => "drain",
+            Stage::Cec => "cec",
         }
     }
 }
@@ -199,11 +205,25 @@ pub enum Counter {
     /// Runs where the cold-cache admission pre-scan found too little cone
     /// repetition and skipped the cache entirely.
     AdmissionSkips,
+    /// SAT queries the equivalence/PBE-safety checkers issued (miter
+    /// closures, excitability proofs).
+    CecSatCalls,
+    /// Candidate equivalences the bit-parallel simulation filter
+    /// discharged without a SAT call (signature-distinct pairs plus
+    /// output miters settled by a simulated counterexample).
+    CecSimFiltered,
+    /// CDCL conflicts across every SAT query of a run — the solver-effort
+    /// analogue of `combine_steps`.
+    Conflicts,
+    /// SAT counterexamples replayed through the scalar simulator before
+    /// being believed (every cex is replayed; the count equals the
+    /// counterexamples reported).
+    CexReplays,
 }
 
 impl Counter {
     /// Every counter, in declaration order.
-    pub const ALL: [Counter; 24] = [
+    pub const ALL: [Counter; 28] = [
         Counter::CandidatesGenerated,
         Counter::CandidatesPruned,
         Counter::CandidatesExported,
@@ -228,6 +248,10 @@ impl Counter {
         Counter::PersistHits,
         Counter::TierBypasses,
         Counter::AdmissionSkips,
+        Counter::CecSatCalls,
+        Counter::CecSimFiltered,
+        Counter::Conflicts,
+        Counter::CexReplays,
     ];
 
     /// The counter's snake_case display name.
@@ -257,6 +281,10 @@ impl Counter {
             Counter::PersistHits => "persist_hits",
             Counter::TierBypasses => "tier_bypasses",
             Counter::AdmissionSkips => "admission_skips",
+            Counter::CecSatCalls => "cec_sat_calls",
+            Counter::CecSimFiltered => "cec_sim_filtered",
+            Counter::Conflicts => "conflicts",
+            Counter::CexReplays => "cex_replays",
         }
     }
 }

@@ -10,6 +10,9 @@
 //! * [`unate`] — binate-to-unate conversion by bubble pushing,
 //! * [`domino`] — the transistor-level domino circuit model,
 //! * [`pbe`] — parasitic-bipolar-effect analysis and body-state simulation,
+//! * [`cec`] — scale-proof verification: bit-parallel word simulation, a
+//!   self-contained CDCL SAT solver, miter-based equivalence checking of
+//!   mapped circuits, and SAT-formulated PBE-safety proofs,
 //! * [`mapper`] — the `Domino_Map`, `RS_Map` and `SOI_Domino_Map` algorithms,
 //! * [`guard`] — the hardened staged pipeline, cross-stage audit, and
 //!   fault-injection harness,
@@ -40,6 +43,7 @@
 //! # }
 //! ```
 
+pub use soi_cec as cec;
 pub use soi_circuits as circuits;
 pub use soi_domino_ir as domino;
 pub use soi_guard as guard;

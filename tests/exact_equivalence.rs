@@ -2,71 +2,11 @@
 //! functions stay tractable — a stronger statement than the random-vector
 //! checks used elsewhere.
 
+use soi_domino::cec::lower::circuit_to_network;
 use soi_domino::circuits::registry;
-use soi_domino::domino::{DominoCircuit, Signal};
 use soi_domino::mapper::{MapConfig, Mapper};
-use soi_domino::netlist::{bdd, Network};
+use soi_domino::netlist::bdd;
 use soi_domino::unate::{convert, Options};
-
-/// Lowers a mapped domino circuit back into a plain logic network so its
-/// BDD can be compared against the source's.
-fn circuit_to_network(circuit: &DominoCircuit) -> Network {
-    let mut n = Network::new("lowered");
-    let inputs: Vec<_> = circuit
-        .input_names()
-        .iter()
-        .map(|name| n.add_input(name.clone()))
-        .collect();
-    let mut neg: Vec<Option<soi_domino::netlist::NodeId>> = vec![None; inputs.len()];
-    let mut gate_out = Vec::with_capacity(circuit.gate_count());
-    for (_, gate) in circuit.iter() {
-        let root = lower_pdn(gate.pdn(), &mut n, &inputs, &mut neg, &gate_out);
-        gate_out.push(root);
-    }
-    for binding in circuit.outputs() {
-        let driver = gate_out[binding.gate.index()];
-        let driver = if binding.inverted {
-            n.inv(driver)
-        } else {
-            driver
-        };
-        n.add_output(binding.name.clone(), driver);
-    }
-    n
-}
-
-fn lower_pdn(
-    pdn: &soi_domino::domino::Pdn,
-    n: &mut Network,
-    inputs: &[soi_domino::netlist::NodeId],
-    neg: &mut Vec<Option<soi_domino::netlist::NodeId>>,
-    gate_out: &[soi_domino::netlist::NodeId],
-) -> soi_domino::netlist::NodeId {
-    use soi_domino::domino::{Pdn, Phase};
-    match pdn {
-        Pdn::Transistor(sig) => match *sig {
-            Signal::Input { index, phase } => match phase {
-                Phase::Pos => inputs[index],
-                Phase::Neg => *neg[index].get_or_insert_with(|| n.inv(inputs[index])),
-            },
-            Signal::Gate(g) => gate_out[g.index()],
-        },
-        Pdn::Series(children) => {
-            let parts: Vec<_> = children
-                .iter()
-                .map(|c| lower_pdn(c, n, inputs, neg, gate_out))
-                .collect();
-            n.and_tree(&parts)
-        }
-        Pdn::Parallel(children) => {
-            let parts: Vec<_> = children
-                .iter()
-                .map(|c| lower_pdn(c, n, inputs, neg, gate_out))
-                .collect();
-            n.or_tree(&parts)
-        }
-    }
-}
 
 #[test]
 fn unate_conversion_is_exactly_equivalent() {
